@@ -1,0 +1,91 @@
+// Experiment F1 — client access cost while the file scales up.
+//
+// Paper shapes to reproduce: the LH* substrate keeps insert ~1 message and
+// search ~2 messages (request+reply) *independent of M*; forwarding is
+// bounded by two hops; a brand-new client converges with O(log M) IAMs.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "lhrs/lhrs_file.h"
+
+namespace lhrs::bench {
+namespace {
+
+void Run() {
+  std::puts(
+      "# F1 — access costs while the LH*RS file scales (m=4, k=1, b=20)");
+  PrintRow({"buckets", "records", "msgs/insert(win)", "search msgs",
+            "fwd rate", "new-client IAMs", "new-client search"});
+  PrintRule(7);
+
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 20;
+  opts.group_size = 4;
+  opts.policy.base_k = 1;
+  LhrsFile file(opts);
+  Rng rng(77);
+
+  BucketNo next_checkpoint = 4;
+  uint64_t window_msgs_start = 0;
+  int window_inserts = 0;
+  int total_records = 0;
+
+  while (file.bucket_count() < 256) {
+    ++window_inserts;
+    ++total_records;
+    (void)file.Insert(rng.Next64(), rng.RandomBytes(32));
+    if (file.bucket_count() < next_checkpoint) continue;
+    next_checkpoint *= 2;
+
+    const uint64_t msgs_now = file.network().stats().total_messages();
+    const double per_insert =
+        static_cast<double>(msgs_now - window_msgs_start) / window_inserts;
+
+    // Steady-state search cost with the (converged) default client.
+    const uint64_t fwd_before = file.client(0).forwarded_ops();
+    uint64_t search_start = file.network().stats().total_messages();
+    constexpr int kProbes = 200;
+    for (int i = 0; i < kProbes; ++i) (void)file.Search(rng.Next64());
+    const double per_search =
+        static_cast<double>(file.network().stats().total_messages() -
+                            search_start) /
+        kProbes;
+    const double fwd_rate =
+        static_cast<double>(file.client(0).forwarded_ops() - fwd_before) /
+        kProbes;
+
+    // A brand-new client: image (0,0). Count IAMs to convergence and its
+    // very first search cost (worst case: up to 2 hops + IAM).
+    const size_t fresh = file.AddClient();
+    ClientNode& c = file.client(fresh);
+    uint64_t first_search_start = file.network().stats().total_messages();
+    (void)file.SearchVia(fresh, rng.Next64());
+    const double first_search =
+        static_cast<double>(file.network().stats().total_messages() -
+                            first_search_start);
+    for (int i = 0; i < 3000 && c.image().presumed_bucket_count() <
+                                    file.bucket_count();
+         ++i) {
+      (void)file.SearchVia(fresh, rng.Next64());
+    }
+    PrintRow({std::to_string(file.bucket_count()),
+              std::to_string(total_records), Fmt(per_insert),
+              Fmt(per_search), Fmt(fwd_rate, 3),
+              std::to_string(c.iam_count()), Fmt(first_search, 0)});
+
+    window_msgs_start = file.network().stats().total_messages();
+    window_inserts = 0;
+  }
+  std::puts("");
+  std::puts(
+      "shape check: msgs/insert and search msgs flat in M; IAMs ~ log2(M).");
+}
+
+}  // namespace
+}  // namespace lhrs::bench
+
+int main() {
+  lhrs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Experiment F2 — bucket-recovery cost vs bucket size and number of
+// simultaneous failures, plus the record-recovery vs bucket-recovery
+// latency gap.
+//
+// Paper shapes to reproduce: recovery cost grows linearly with the bucket
+// size b and with the number of failed columns f <= k; recovering a single
+// record during degraded mode is orders of magnitude cheaper/faster than
+// waiting for the full bucket rebuild.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "lhrs/lhrs_file.h"
+
+namespace lhrs::bench {
+namespace {
+
+struct RecoveryCost {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  SimTime sim_us = 0;
+};
+
+/// Builds a file of ~`records` records, crashes `failures` columns of
+/// group 0 (data buckets first), runs recovery, returns its cost.
+RecoveryCost MeasureBucketRecovery(size_t bucket_capacity, uint32_t k,
+                                   uint32_t failures, int records) {
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = bucket_capacity;
+  opts.file.initial_buckets = 4;  // One full group; no splits below cap.
+  opts.group_size = 4;
+  opts.policy.base_k = k;
+  LhrsFile file(opts);
+  Rng rng(500 + k * 10 + failures);
+  for (int i = 0; i < records; ++i) {
+    (void)file.Insert(rng.Next64(), rng.RandomBytes(64));
+  }
+  std::vector<NodeId> dead;
+  for (uint32_t f = 0; f < failures; ++f) {
+    dead.push_back(file.CrashDataBucket(f));
+  }
+  const uint64_t msgs_before = file.network().stats().total_messages();
+  const uint64_t bytes_before = file.network().stats().total().bytes;
+  const SimTime t_before = file.network().now();
+  file.DetectAndRecover(dead[0]);  // Planner discovers all failed columns.
+  RecoveryCost cost;
+  cost.messages = file.network().stats().total_messages() - msgs_before;
+  cost.bytes = file.network().stats().total().bytes - bytes_before;
+  cost.sim_us = file.network().now() - t_before;
+  LHRS_CHECK(file.VerifyParityInvariants().ok());
+  return cost;
+}
+
+void Run() {
+  std::puts("# F2a — bucket recovery cost vs bucket size b (m=4, k=1, 1 failure)");
+  PrintRow({"b (records/bucket)", "messages", "KB moved", "sim time (ms)"});
+  PrintRule(4);
+  for (size_t b : {25, 50, 100, 200, 400}) {
+    const RecoveryCost c =
+        MeasureBucketRecovery(b + 10, /*k=*/1, /*failures=*/1,
+                              static_cast<int>(4 * b * 7 / 10));
+    PrintRow({std::to_string(b), std::to_string(c.messages),
+              Fmt(c.bytes / 1024.0, 1), Fmt(c.sim_us / 1000.0, 2)});
+  }
+
+  std::puts("");
+  std::puts("# F2b — recovery cost vs simultaneous failures f (m=4, b=100)");
+  PrintRow({"k", "f", "messages", "KB moved", "sim time (ms)"});
+  PrintRule(5);
+  for (uint32_t k : {1u, 2u, 3u}) {
+    for (uint32_t f = 1; f <= k; ++f) {
+      const RecoveryCost c = MeasureBucketRecovery(110, k, f, 280);
+      PrintRow({std::to_string(k), std::to_string(f),
+                std::to_string(c.messages), Fmt(c.bytes / 1024.0, 1),
+                Fmt(c.sim_us / 1000.0, 2)});
+    }
+  }
+
+  std::puts("");
+  std::puts(
+      "# F2c — record recovery vs bucket recovery (m=4, k=2, b=2000): the "
+      "degraded mode serves reads long before the bucket rebuild would");
+  PrintRow({"operation", "messages", "sim time (ms)"});
+  PrintRule(3);
+  {
+    LhrsFile::Options opts;
+    opts.file.bucket_capacity = 2100;
+    opts.file.initial_buckets = 4;
+    opts.group_size = 4;
+    opts.policy.base_k = 2;
+    opts.auto_recover = false;  // Isolate the record-recovery path.
+    LhrsFile file(opts);
+    Rng rng(900);
+    std::vector<Key> keys;
+    for (int i = 0; i < 5600; ++i) {
+      const Key k = rng.Next64();
+      if (file.Insert(k, rng.RandomBytes(64)).ok()) keys.push_back(k);
+    }
+    const FileState& state = file.coordinator().state();
+    Key victim_key = 0;
+    for (Key k : keys) {
+      if (state.Address(k) == 1) {
+        victim_key = k;
+        break;
+      }
+    }
+    file.CrashDataBucket(1);
+    uint64_t before = file.network().stats().total_messages();
+    SimTime t_before = file.network().now();
+    LHRS_CHECK(file.Search(victim_key).ok());
+    PrintRow({"record recovery (degraded search)",
+              std::to_string(file.network().stats().total_messages() -
+                             before),
+              Fmt((file.network().now() - t_before) / 1000.0, 2)});
+
+    before = file.network().stats().total_messages();
+    t_before = file.network().now();
+    file.rs_coordinator().RecoverGroup(0);
+    file.network().RunUntilIdle();
+    PrintRow({"full bucket recovery",
+              std::to_string(file.network().stats().total_messages() -
+                             before),
+              Fmt((file.network().now() - t_before) / 1000.0, 2)});
+  }
+}
+
+}  // namespace
+}  // namespace lhrs::bench
+
+int main() {
+  lhrs::bench::Run();
+  return 0;
+}

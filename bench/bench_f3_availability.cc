@@ -1,0 +1,95 @@
+// Experiment F3 — whole-file availability P vs file size M, per scheme.
+//
+// Paper shapes to reproduce: plain LH* collapses (p=0.99, M=100 -> P~37%,
+// M=1000 -> ~0.004%); each +1 of k pushes the collapse out by orders of
+// magnitude; LH*m sits between k=1 and k=2 grouping schemes. Closed forms
+// are cross-checked against Monte-Carlo at two sizes.
+
+#include <cstdio>
+
+#include "analysis/availability_model.h"
+#include "bench/bench_util.h"
+
+namespace lhrs::bench {
+namespace {
+
+void Run() {
+  const double p = 0.99;
+  std::puts("# F3 — file availability P(M), per-bucket availability p=0.99");
+  PrintRow({"M", "LH* (k=0)", "LH*g k_g=4", "LH*s k_s=4", "LH*m",
+            "LH*RS m=4 k=1", "LH*RS k=2", "LH*RS k=3"});
+  PrintRule(8);
+  for (uint32_t m_size : {1u, 8u, 32u, 100u, 256u, 1000u, 4096u}) {
+    PrintRow({std::to_string(m_size),
+              FmtSci(PlainAvailability(m_size, p)),
+              FmtSci(LhgAvailability(m_size, 4, std::max(1u, m_size / 4), p)),
+              FmtSci(LhsAvailability(std::max(1u, m_size / 4), 4, p)),
+              FmtSci(MirrorAvailability(m_size, p)),
+              FmtSci(LhrsAvailability(m_size, 4, 1, p)),
+              FmtSci(LhrsAvailability(m_size, 4, 2, p)),
+              FmtSci(LhrsAvailability(m_size, 4, 3, p))});
+  }
+
+  std::puts("");
+  std::puts("# F3b — Monte-Carlo cross-check (100k trials)");
+  PrintRow({"scheme", "M", "closed form", "Monte-Carlo"});
+  PrintRule(4);
+  Rng rng(123);
+  {
+    const uint32_t M = 100;
+    const double mc = MonteCarloAvailability(
+        M, p, 100000, rng, [](const std::vector<bool>& up) {
+          for (bool u : up) {
+            if (!u) return false;
+          }
+          return true;
+        });
+    PrintRow({"LH*", std::to_string(M), FmtSci(PlainAvailability(M, p)),
+              FmtSci(mc)});
+  }
+  {
+    const uint32_t M = 128, m = 4, k = 2;
+    const uint32_t groups = M / m;
+    const double mc = MonteCarloAvailability(
+        groups * (m + k), p, 100000, rng,
+        [&](const std::vector<bool>& up) {
+          for (uint32_t g = 0; g < groups; ++g) {
+            uint32_t failures = 0;
+            for (uint32_t i = 0; i < m + k; ++i) {
+              if (!up[g * (m + k) + i]) ++failures;
+            }
+            if (failures > k) return false;
+          }
+          return true;
+        });
+    PrintRow({"LH*RS m=4 k=2", std::to_string(M),
+              FmtSci(LhrsAvailability(M, m, k, p)), FmtSci(mc)});
+  }
+
+  std::puts("");
+  std::puts("# F3c — scalable availability holds P flat (thresholds 64, 512)");
+  PrintRow({"M", "fixed k=1", "scalable k", "k of newest group"});
+  PrintRule(4);
+  auto k_for_group = [](uint32_t group) {
+    // Group g was created when the file had ~4g buckets.
+    const uint32_t buckets_at_creation = 4 * group;
+    uint32_t k = 1;
+    if (buckets_at_creation >= 64) ++k;
+    if (buckets_at_creation >= 512) ++k;
+    return k;
+  };
+  for (uint32_t m_size : {16u, 64u, 256u, 1024u, 4096u}) {
+    PrintRow({std::to_string(m_size),
+              FmtSci(LhrsAvailability(m_size, 4, 1, p)),
+              FmtSci(LhrsScalableAvailability(m_size, 4, k_for_group, p)),
+              std::to_string(k_for_group((m_size - 1) / 4))});
+  }
+}
+
+}  // namespace
+}  // namespace lhrs::bench
+
+int main() {
+  lhrs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Experiment F5 — scalable availability: the availability level k of newly
+// created groups rises as the file grows, keeping whole-file availability
+// roughly flat at a storage cost that grows only stepwise.
+//
+// Runs a real LH*RS file with scale thresholds, reporting per-checkpoint:
+// the k of the newest group, measured storage overhead, and the analytic
+// availability of the *actual* per-group k layout (read back from the
+// coordinator) vs the fixed-k=1 alternative.
+
+#include <cstdio>
+
+#include "analysis/availability_model.h"
+#include "bench/bench_util.h"
+#include "lhrs/lhrs_file.h"
+
+namespace lhrs::bench {
+namespace {
+
+void Run() {
+  const double p = 0.99;
+  std::puts(
+      "# F5 — uncoordinated scalable availability (m=4, k0=1, thresholds "
+      "M>=16 and M>=64)");
+  PrintRow({"buckets", "groups", "newest k", "overhead", "P(scalable)",
+            "P(fixed k=1)"});
+  PrintRule(6);
+
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 16;
+  opts.group_size = 4;
+  opts.policy.base_k = 1;
+  opts.policy.scale_thresholds = {16, 64};
+  LhrsFile file(opts);
+  Rng rng(555);
+
+  BucketNo next_checkpoint = 8;
+  while (file.bucket_count() < 160) {
+    (void)file.Insert(rng.Next64(), rng.RandomBytes(64));
+    if (file.bucket_count() < next_checkpoint) continue;
+    next_checkpoint *= 2;
+
+    const auto& coord = file.rs_coordinator();
+    const uint32_t groups = static_cast<uint32_t>(coord.group_count());
+    // Analytic availability with the actual per-group k layout.
+    const double scalable = LhrsScalableAvailability(
+        file.bucket_count(), 4,
+        [&](uint32_t g) { return coord.group_info(g).k; }, p);
+    const double fixed = LhrsAvailability(file.bucket_count(), 4, 1, p);
+    PrintRow({std::to_string(file.bucket_count()), std::to_string(groups),
+              std::to_string(coord.group_info(groups - 1).k),
+              Fmt(100.0 * file.GetStorageStats().ParityOverhead(), 1) + "%",
+              FmtSci(scalable), FmtSci(fixed)});
+  }
+
+  LHRS_CHECK(file.VerifyParityInvariants().ok());
+  std::puts("");
+  std::puts(
+      "shape check: newest-group k steps 1->2->3; P(scalable) stays orders "
+      "of magnitude above P(fixed) at large M; overhead grows stepwise.");
+}
+
+}  // namespace
+}  // namespace lhrs::bench
+
+int main() {
+  lhrs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment F8 — symbol-width ablation at the protocol level: the same
+// LH*RS workload over GF(2^8) vs GF(2^16) parity. Message counts are
+// identical by construction (the field only changes local math and padding
+// to whole symbols); what differs is bytes on the wire (±1 byte padding
+// per odd-length payload) and the local encode/decode throughput measured
+// in bench T3. This bench demonstrates the protocol equivalence and
+// reports end-to-end recovery outcomes under both fields.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "lhrs/lhrs_file.h"
+
+namespace lhrs::bench {
+namespace {
+
+struct RunResult {
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
+  uint64_t parity_bytes = 0;
+  uint64_t recovery_messages = 0;
+  bool all_recovered = false;
+};
+
+RunResult RunWorkload(FieldChoice field) {
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 20;
+  opts.group_size = 4;
+  opts.policy.base_k = 2;
+  opts.field = field;
+  LhrsFile file(opts);
+  Rng rng(31337);
+  std::vector<Key> keys;
+  for (int i = 0; i < 1000; ++i) {
+    const Key k = rng.Next64();
+    // Odd lengths stress the GF(2^16) whole-symbol padding.
+    if (file.Insert(k, rng.RandomBytes(31 + rng.Uniform(34))).ok()) {
+      keys.push_back(k);
+    }
+  }
+  for (int i = 0; i < 300; ++i) {
+    (void)file.Update(keys[rng.Uniform(keys.size())],
+                      rng.RandomBytes(31 + rng.Uniform(34)));
+  }
+  RunResult out;
+  out.parity_bytes = file.GetStorageStats().parity_bytes;
+
+  const uint64_t before = file.network().stats().total_messages();
+  const NodeId d1 = file.CrashDataBucket(0);
+  file.CrashDataBucket(1);
+  file.DetectAndRecover(d1);
+  out.recovery_messages = file.network().stats().total_messages() - before;
+  out.all_recovered = file.rs_coordinator().groups_lost() == 0 &&
+                      file.VerifyParityInvariants().ok();
+  for (Key k : keys) {
+    out.all_recovered &= file.Search(k).ok();
+  }
+  out.total_messages = file.network().stats().total_messages();
+  out.total_bytes = file.network().stats().total().bytes;
+  return out;
+}
+
+void Run() {
+  std::puts(
+      "# F8 — GF(2^8) vs GF(2^16) at the protocol level (m=4, k=2, dual "
+      "failure recovery)");
+  PrintRow({"field", "total msgs", "total KB", "parity KB stored",
+            "recovery msgs", "all data recovered"});
+  PrintRule(6);
+  for (FieldChoice field : {FieldChoice::kGf256, FieldChoice::kGf65536}) {
+    const RunResult r = RunWorkload(field);
+    PrintRow({FieldChoiceName(field), std::to_string(r.total_messages),
+              Fmt(r.total_bytes / 1024.0, 1),
+              Fmt(r.parity_bytes / 1024.0, 1),
+              std::to_string(r.recovery_messages),
+              r.all_recovered ? "yes" : "NO"});
+  }
+  std::puts("");
+  std::puts(
+      "shape check: identical message counts and recovery outcome; GF(2^16) "
+      "adds <=1 byte of padding per odd-length parity buffer; its win is "
+      "local throughput (bench T3), not traffic.");
+}
+
+}  // namespace
+}  // namespace lhrs::bench
+
+int main() {
+  lhrs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment T1 — storage overhead of the availability schemes.
+//
+// Reproduces the paper's storage-cost comparison: LH*RS parity overhead is
+// ~k/m (plus key metadata), tunable independently of access cost; LH*g
+// ~1/k_g; LH*s ~1/k_s; LH*m a flat 100%. Loads the same record volume into
+// every scheme and reports measured parity overhead vs the ideal.
+
+#include <cstdio>
+
+#include "baselines/lhg/lhg_file.h"
+#include "baselines/lhm/lhm_file.h"
+#include "baselines/lhs/lhs_file.h"
+#include "bench/bench_util.h"
+#include "lhrs/lhrs_file.h"
+
+namespace lhrs::bench {
+namespace {
+
+constexpr int kRecords = 2000;
+constexpr size_t kValueBytes = 128;
+constexpr size_t kCapacity = 40;
+
+void Report(const std::string& scheme, const std::string& params,
+            const StorageStats& stats, double ideal) {
+  PrintRow({scheme, params, std::to_string(stats.record_count),
+            std::to_string(stats.data_buckets),
+            std::to_string(stats.parity_buckets),
+            Fmt(100.0 * stats.ParityOverhead(), 1) + "%",
+            Fmt(100.0 * ideal, 1) + "%", Fmt(stats.load_factor, 2)});
+}
+
+void Run() {
+  std::puts("# T1 — storage overhead (2000 records x 128 B)");
+  PrintRow({"scheme", "params", "records", "data bkts", "parity bkts",
+            "overhead", "ideal", "load"});
+  PrintRule(8);
+
+  for (uint32_t m : {2u, 4u, 8u, 16u}) {
+    for (uint32_t k : {1u, 2u, 3u}) {
+      LhrsFile::Options opts;
+      opts.file.bucket_capacity = kCapacity;
+      opts.group_size = m;
+      opts.policy.base_k = k;
+      LhrsFile file(opts);
+      Rng rng(1000 + m * 10 + k);
+      for (int i = 0; i < kRecords; ++i) {
+        (void)file.Insert(rng.Next64(), rng.RandomBytes(kValueBytes));
+      }
+      Report("LH*RS", "m=" + std::to_string(m) + " k=" + std::to_string(k),
+             file.GetStorageStats(), static_cast<double>(k) / m);
+    }
+  }
+
+  for (uint32_t k : {3u, 5u, 10u}) {
+    lhg::LhgFile::Options opts;
+    opts.file.bucket_capacity = kCapacity;
+    opts.group_size = k;
+    lhg::LhgFile file(opts);
+    Rng rng(2000 + k);
+    for (int i = 0; i < kRecords; ++i) {
+      (void)file.Insert(rng.Next64(), rng.RandomBytes(kValueBytes));
+    }
+    Report("LH*g", "k=" + std::to_string(k), file.GetStorageStats(),
+           1.0 / k);
+  }
+
+  {
+    lhm::LhmFile::Options opts;
+    opts.file.bucket_capacity = kCapacity;
+    lhm::LhmFile file(opts);
+    Rng rng(3000);
+    for (int i = 0; i < kRecords; ++i) {
+      (void)file.Insert(rng.Next64(), rng.RandomBytes(kValueBytes));
+    }
+    Report("LH*m", "mirror", file.GetStorageStats(), 1.0);
+  }
+
+  for (uint32_t k : {2u, 4u}) {
+    lhs::LhsFile::Options opts;
+    opts.file.bucket_capacity = kCapacity;
+    opts.stripe_count = k;
+    lhs::LhsFile file(opts);
+    Rng rng(4000 + k);
+    for (int i = 0; i < kRecords; ++i) {
+      (void)file.Insert(rng.Next64(), rng.RandomBytes(kValueBytes));
+    }
+    Report("LH*s", "k=" + std::to_string(k), file.GetStorageStats(),
+           1.0 / k);
+  }
+}
+
+}  // namespace
+}  // namespace lhrs::bench
+
+int main() {
+  lhrs::bench::Run();
+  return 0;
+}

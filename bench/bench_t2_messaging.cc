@@ -1,0 +1,152 @@
+// Experiment T2 — per-operation messaging costs in normal (failure-free)
+// mode, across all schemes, measured with converged client images.
+//
+// Paper shapes to reproduce: LH*RS key search == LH* key search (parity
+// untouched on reads); LH*RS insert = LH* insert + k parity messages;
+// LH*g insert adds exactly one parity message; LH*m doubles writes; LH*s
+// pays k fetches per search — the read penalty of striping.
+
+#include <cstdio>
+#include <functional>
+
+#include "analysis/cost_model.h"
+#include "baselines/lhg/lhg_file.h"
+#include "baselines/lhm/lhm_file.h"
+#include "baselines/lhs/lhs_file.h"
+#include "bench/bench_util.h"
+#include "lhrs/lhrs_file.h"
+
+namespace lhrs::bench {
+namespace {
+
+constexpr int kWarmupOps = 1500;
+constexpr int kMeasuredOps = 500;
+constexpr size_t kValueBytes = 64;
+
+struct Measured {
+  double search = 0, insert = 0, update = 0, del = 0;
+};
+
+/// Runs the standard workload against any facade exposing the common op
+/// signatures and measures messages per op.
+template <typename File>
+Measured Measure(File& file, Network& net, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Key> keys;
+  for (int i = 0; i < kWarmupOps; ++i) {
+    const Key k = rng.Next64();
+    if (file.Insert(k, rng.RandomBytes(kValueBytes)).ok()) keys.push_back(k);
+  }
+  Measured out;
+  uint64_t before = net.stats().total_messages();
+  for (int i = 0; i < kMeasuredOps; ++i) {
+    (void)file.Search(keys[i]);
+  }
+  out.search =
+      static_cast<double>(net.stats().total_messages() - before) /
+      kMeasuredOps;
+
+  before = net.stats().total_messages();
+  std::vector<Key> fresh;
+  for (int i = 0; i < kMeasuredOps; ++i) {
+    const Key k = rng.Next64();
+    fresh.push_back(k);
+    (void)file.Insert(k, rng.RandomBytes(kValueBytes));
+  }
+  out.insert =
+      static_cast<double>(net.stats().total_messages() - before) /
+      kMeasuredOps;
+
+  before = net.stats().total_messages();
+  for (int i = 0; i < kMeasuredOps; ++i) {
+    (void)file.Update(fresh[i], rng.RandomBytes(kValueBytes));
+  }
+  out.update =
+      static_cast<double>(net.stats().total_messages() - before) /
+      kMeasuredOps;
+
+  before = net.stats().total_messages();
+  for (int i = 0; i < kMeasuredOps; ++i) {
+    (void)file.Delete(fresh[i]);
+  }
+  out.del = static_cast<double>(net.stats().total_messages() - before) /
+            kMeasuredOps;
+  return out;
+}
+
+void Report(const std::string& scheme, const std::string& params,
+            const Measured& m, double model_search, double model_insert) {
+  PrintRow({scheme, params, Fmt(m.search), Fmt(model_search), Fmt(m.insert),
+            Fmt(model_insert), Fmt(m.update), Fmt(m.del)});
+}
+
+void Run() {
+  std::puts(
+      "# T2 — messages per operation, failure-free mode (request+reply "
+      "counted; splits amortised in)");
+  PrintRow({"scheme", "params", "search", "model", "insert", "model",
+            "update", "delete"});
+  PrintRule(8);
+
+  {
+    LhStarFile::Options opts;
+    opts.file.bucket_capacity = 50;
+    LhStarFile file(opts);
+    const Measured m = Measure(file, file.network(), 11);
+    Report("LH* (k=0)", "-", m, CostModel::kLhStarSearch,
+           CostModel::kLhStarInsert);
+  }
+  for (uint32_t k : {1u, 2u, 3u}) {
+    LhrsFile::Options opts;
+    opts.file.bucket_capacity = 50;
+    opts.group_size = 4;
+    opts.policy.base_k = k;
+    LhrsFile file(opts);
+    const Measured m = Measure(file, file.network(), 12 + k);
+    Report("LH*RS", "m=4 k=" + std::to_string(k), m, CostModel::kLhrsSearch,
+           CostModel::LhrsInsert(k));
+  }
+  {
+    lhg::LhgFile::Options opts;
+    opts.file.bucket_capacity = 50;
+    opts.group_size = 3;
+    lhg::LhgFile file(opts);
+    const Measured m = Measure(file, file.network(), 16);
+    Report("LH*g", "k=3", m, CostModel::kLhStarSearch, CostModel::kLhgInsert);
+  }
+  {
+    lhg::LhgFile::Options opts;
+    opts.file.bucket_capacity = 50;
+    opts.group_size = 3;
+    opts.reassign_group_keys_on_split = true;
+    lhg::LhgFile file(opts);
+    const Measured m = Measure(file, file.network(), 16);
+    Report("LH*g1", "k=3 (4.4)", m, CostModel::kLhStarSearch,
+           CostModel::kLhgInsert);
+  }
+  {
+    lhm::LhmFile::Options opts;
+    opts.file.bucket_capacity = 50;
+    lhm::LhmFile file(opts);
+    const Measured m = Measure(file, file.network(), 17);
+    Report("LH*m", "mirror", m, CostModel::kLhStarSearch,
+           CostModel::kLhmInsert);
+  }
+  for (uint32_t k : {2u, 4u}) {
+    lhs::LhsFile::Options opts;
+    opts.file.bucket_capacity = 50;
+    opts.stripe_count = k;
+    lhs::LhsFile file(opts);
+    const Measured m = Measure(file, file.network(), 18 + k);
+    Report("LH*s", "k=" + std::to_string(k), m, CostModel::LhsSearch(k),
+           CostModel::LhsInsert(k));
+  }
+}
+
+}  // namespace
+}  // namespace lhrs::bench
+
+int main() {
+  lhrs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Experiment T3 — Galois-field and Reed-Solomon kernel throughput
+// (google-benchmark).
+//
+// Paper shapes to reproduce: the XOR fast path (parity column 0 /
+// coefficient 1) beats general field multiply-add; GF(2^16)'s wider
+// symbols trade table size for per-byte work vs GF(2^8); erasure decode
+// costs roughly an encode plus a small matrix inversion; incremental
+// delta updates beat full re-encodes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gf/gf256.h"
+#include "gf/gf65536.h"
+#include "rs/coder.h"
+
+namespace lhrs {
+namespace {
+
+Bytes MakeBuffer(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return rng.RandomBytes(n);
+}
+
+template <typename F>
+void BM_MulAddBuffer_Xor(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Bytes src = MakeBuffer(n, 1);
+  Bytes dst = MakeBuffer(n, 2);
+  for (auto _ : state) {
+    F::MulAddBuffer(dst.data(), src.data(), n, 1);  // Coefficient 1 = XOR.
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK_TEMPLATE(BM_MulAddBuffer_Xor, GF256)->Range(4096, 65536);
+BENCHMARK_TEMPLATE(BM_MulAddBuffer_Xor, GF65536)->Range(4096, 65536);
+
+template <typename F>
+void BM_MulAddBuffer_General(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Bytes src = MakeBuffer(n, 3);
+  Bytes dst = MakeBuffer(n, 4);
+  const typename F::Symbol coeff = 0x53;
+  for (auto _ : state) {
+    F::MulAddBuffer(dst.data(), src.data(), n, coeff);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK_TEMPLATE(BM_MulAddBuffer_General, GF256)->Range(4096, 65536);
+BENCHMARK_TEMPLATE(BM_MulAddBuffer_General, GF65536)->Range(4096, 65536);
+
+template <typename F>
+void BM_GroupEncode(benchmark::State& state) {
+  const uint32_t m = 4;
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  GroupCoder<F> coder(m, k);
+  std::vector<Bytes> data;
+  std::vector<const Bytes*> ptrs;
+  for (uint32_t i = 0; i < m; ++i) data.push_back(MakeBuffer(n, 10 + i));
+  for (const auto& d : data) ptrs.push_back(&d);
+  for (auto _ : state) {
+    auto parity = coder.Encode(ptrs);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * m);
+}
+BENCHMARK_TEMPLATE(BM_GroupEncode, GF256)
+    ->Args({1, 16384})
+    ->Args({2, 16384})
+    ->Args({3, 16384});
+BENCHMARK_TEMPLATE(BM_GroupEncode, GF65536)
+    ->Args({1, 16384})
+    ->Args({2, 16384})
+    ->Args({3, 16384});
+
+template <typename F>
+void BM_GroupDecode(benchmark::State& state) {
+  const uint32_t m = 4;
+  const uint32_t k = 3;
+  const uint32_t erasures = static_cast<uint32_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  GroupCoder<F> coder(m, k);
+  std::vector<Bytes> data;
+  std::vector<const Bytes*> ptrs;
+  for (uint32_t i = 0; i < m; ++i) data.push_back(MakeBuffer(n, 20 + i));
+  for (const auto& d : data) ptrs.push_back(&d);
+  std::vector<Bytes> parity = coder.Encode(ptrs);
+
+  std::vector<std::pair<size_t, Bytes>> available;
+  std::vector<size_t> missing;
+  for (uint32_t i = 0; i < m; ++i) {
+    if (i < erasures) {
+      missing.push_back(i);
+    } else {
+      available.emplace_back(i, data[i]);
+    }
+  }
+  for (uint32_t j = 0; j < k; ++j) available.emplace_back(m + j, parity[j]);
+
+  for (auto _ : state) {
+    auto decoded = coder.DecodeData(available, missing);
+    benchmark::DoNotOptimize(&decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n *
+                          erasures);
+}
+BENCHMARK_TEMPLATE(BM_GroupDecode, GF256)
+    ->Args({1, 16384})
+    ->Args({2, 16384})
+    ->Args({3, 16384});
+BENCHMARK_TEMPLATE(BM_GroupDecode, GF65536)->Args({2, 16384});
+
+/// Ablation: incremental delta maintenance vs full re-encode on update.
+template <typename F>
+void BM_DeltaUpdate(benchmark::State& state) {
+  const uint32_t m = 4, k = 2;
+  const size_t n = static_cast<size_t>(state.range(0));
+  GroupCoder<F> coder(m, k);
+  Bytes delta = MakeBuffer(n, 30);
+  std::vector<Bytes> parity(k, Bytes(n, 0));
+  for (auto _ : state) {
+    for (uint32_t j = 0; j < k; ++j) {
+      coder.ApplyDelta(1, delta, j, &parity[j]);
+    }
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * k);
+}
+BENCHMARK_TEMPLATE(BM_DeltaUpdate, GF256)->Arg(16384);
+BENCHMARK_TEMPLATE(BM_DeltaUpdate, GF65536)->Arg(16384);
+
+template <typename F>
+void BM_FullReencodeUpdate(benchmark::State& state) {
+  const uint32_t m = 4, k = 2;
+  const size_t n = static_cast<size_t>(state.range(0));
+  GroupCoder<F> coder(m, k);
+  std::vector<Bytes> data;
+  std::vector<const Bytes*> ptrs;
+  for (uint32_t i = 0; i < m; ++i) data.push_back(MakeBuffer(n, 40 + i));
+  for (const auto& d : data) ptrs.push_back(&d);
+  for (auto _ : state) {
+    auto parity = coder.Encode(ptrs);  // Re-reads all m members.
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * k);
+}
+BENCHMARK_TEMPLATE(BM_FullReencodeUpdate, GF256)->Arg(16384);
+BENCHMARK_TEMPLATE(BM_FullReencodeUpdate, GF65536)->Arg(16384);
+
+void BM_MatrixInversion(benchmark::State& state) {
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  GroupCoder<GF256> coder(m, 3);
+  // Build a decode matrix: lose 3 data columns, use 3 parity columns.
+  Matrix<GF256> a(m, m);
+  for (uint32_t t = 0; t < m; ++t) {
+    for (uint32_t i = 0; i < m; ++i) {
+      if (t < 3) {
+        a.Set(i, t, coder.Coefficient(i, t));
+      } else {
+        a.Set(i, t, i == t ? 1 : 0);
+      }
+    }
+  }
+  for (auto _ : state) {
+    auto inv = a.Inverted();
+    benchmark::DoNotOptimize(&inv);
+  }
+}
+BENCHMARK(BM_MatrixInversion)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace lhrs
+
+BENCHMARK_MAIN();

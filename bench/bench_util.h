@@ -1,0 +1,57 @@
+#ifndef LHRS_BENCH_BENCH_UTIL_H_
+#define LHRS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "lh/lh_math.h"
+
+namespace lhrs::bench {
+
+/// Prints a markdown-ish table row. All experiment binaries emit their
+/// table in this format so EXPERIMENTS.md can quote them directly.
+inline void PrintRow(const std::vector<std::string>& cells) {
+  std::string line = "|";
+  for (const auto& c : cells) {
+    line += " " + c + " |";
+  }
+  std::puts(line.c_str());
+}
+
+inline void PrintRule(size_t columns) {
+  std::string line = "|";
+  for (size_t i = 0; i < columns; ++i) line += "---|";
+  std::puts(line.c_str());
+}
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtSci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+/// Generates `n` distinct random keys.
+inline std::vector<Key> RandomKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  std::set<Key> seen;
+  while (seen.size() < n) {
+    const Key k = rng.Next64();
+    if (seen.insert(k).second) keys.push_back(k);
+  }
+  return keys;
+}
+
+}  // namespace lhrs::bench
+
+#endif  // LHRS_BENCH_BENCH_UTIL_H_

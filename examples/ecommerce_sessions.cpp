@@ -1,0 +1,112 @@
+// Scenario: a web-shop session store on a multicomputer.
+//
+// The LH* papers motivate SDDSs with exactly this kind of workload: a RAM
+// file serving key lookups orders of magnitude faster than disk, scaling
+// across commodity nodes as traffic grows. Sessions are keyed by a 64-bit
+// session id; values hold a small serialized cart. The store must keep
+// answering during node failures (a dropped session = a lost sale).
+//
+// The example runs a day of traffic: ramp-up (file scale-out), a flash
+// sale (hot inserts + updates), a rack failure during the sale (two nodes
+// of one group), and an analytics scan at the end.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "lhrs/lhrs_file.h"
+
+namespace {
+
+lhrs::Bytes MakeCart(lhrs::Rng& rng, bool premium) {
+  std::string cart = premium ? "tier=premium;items=" : "tier=basic;items=";
+  const int items = 1 + static_cast<int>(rng.Uniform(5));
+  for (int i = 0; i < items; ++i) {
+    cart += "sku" + std::to_string(rng.Uniform(10000)) + ",";
+  }
+  return lhrs::BytesFromString(cart);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lhrs;
+
+  LhrsFile::Options options;
+  options.file.bucket_capacity = 32;
+  options.group_size = 4;
+  options.policy.base_k = 2;  // Survive a dual-node rack incident.
+  LhrsFile store(options);
+  Rng rng(20260705);
+
+  // --- Morning ramp-up: 3000 sessions created -----------------------------
+  std::vector<Key> sessions;
+  for (int i = 0; i < 3000; ++i) {
+    const Key sid = rng.Next64();
+    if (store.Insert(sid, MakeCart(rng, rng.Flip(0.2))).ok()) {
+      sessions.push_back(sid);
+    }
+  }
+  std::printf("ramp-up: %zu sessions across %u buckets (%zu groups), load "
+              "factor %.2f\n",
+              sessions.size(), store.bucket_count(), store.group_count(),
+              store.GetStorageStats().load_factor);
+
+  // --- Flash sale: bursts of cart updates ---------------------------------
+  const uint64_t msgs_before = store.network().stats().total_messages();
+  for (int i = 0; i < 2000; ++i) {
+    const Key sid = sessions[rng.Uniform(sessions.size())];
+    if (!store.Update(sid, MakeCart(rng, rng.Flip(0.3))).ok()) {
+      std::printf("update lost!\n");
+      return 1;
+    }
+  }
+  std::printf("flash sale: 2000 cart updates, %.2f msgs/update\n",
+              (store.network().stats().total_messages() - msgs_before) /
+                  2000.0);
+
+  // --- Rack incident: two servers of one bucket group go dark -------------
+  std::printf("\nrack incident: killing buckets 4 and 5 (same group)...\n");
+  store.CrashDataBucket(4);
+  store.CrashDataBucket(5);
+
+  // Shoppers keep hitting the store; every session stays readable.
+  int checked = 0, served = 0;
+  for (const Key sid : sessions) {
+    if (checked == 400) break;
+    ++checked;
+    if (store.Search(sid).ok()) ++served;
+  }
+  std::printf("during the incident: %d/%d session reads served "
+              "(degraded reads: %llu)\n",
+              served, checked,
+              static_cast<unsigned long long>(
+                  store.rs_coordinator().degraded_reads_served()));
+  std::printf("background recoveries completed: %llu, groups lost: %llu\n",
+              static_cast<unsigned long long>(
+                  store.rs_coordinator().recoveries_completed()),
+              static_cast<unsigned long long>(
+                  store.rs_coordinator().groups_lost()));
+  if (served != checked || store.rs_coordinator().groups_lost() != 0) {
+    std::printf("LOST SALES — availability goal missed\n");
+    return 1;
+  }
+
+  // --- Evening analytics: scan for premium carts --------------------------
+  ScanPredicate premium;
+  premium.contains = BytesFromString("tier=premium");
+  auto result = store.Scan(premium);
+  if (!result.ok()) {
+    std::printf("analytics scan failed: %s\n",
+                result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nanalytics: %zu premium sessions out of %zu\n",
+              result->size(), sessions.size());
+
+  Status invariant = store.VerifyParityInvariants();
+  std::printf("parity invariant after the whole day: %s\n",
+              invariant.ToString().c_str());
+  return invariant.ok() ? 0 : 1;
+}

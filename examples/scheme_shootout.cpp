@@ -1,0 +1,145 @@
+// Scenario: choosing a high-availability scheme for a new deployment.
+//
+// Runs the same workload against every scheme in this repository — LH*RS
+// and the three classical baselines (LH*g record grouping, LH*m mirroring,
+// LH*s striping) — and prints the trade-off table an operator would use:
+// storage overhead, write cost, read cost, degraded-read behaviour, and
+// the modelled availability at fleet scale.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/availability_model.h"
+#include "baselines/lhg/lhg_file.h"
+#include "baselines/lhm/lhm_file.h"
+#include "baselines/lhs/lhs_file.h"
+#include "common/rng.h"
+#include "lhrs/lhrs_file.h"
+
+namespace {
+
+using namespace lhrs;
+
+constexpr int kRecords = 800;
+constexpr size_t kValueBytes = 96;
+
+struct Row {
+  std::string scheme;
+  double overhead = 0;
+  double write_msgs = 0;
+  double read_msgs = 0;
+  bool degraded_read_ok = false;
+  double availability_1k = 0;  // Modelled at 1000 buckets, p = 0.99.
+};
+
+template <typename File>
+Row Exercise(const std::string& name, File& file, Network& net,
+             double availability) {
+  Row row;
+  row.scheme = name;
+  Rng rng(99);
+  std::vector<Key> keys;
+  for (int i = 0; i < kRecords; ++i) {
+    const Key k = rng.Next64();
+    if (file.Insert(k, rng.RandomBytes(kValueBytes)).ok()) keys.push_back(k);
+  }
+  uint64_t before = net.stats().total_messages();
+  for (int i = 0; i < 200; ++i) {
+    (void)file.Insert(rng.Next64(), rng.RandomBytes(kValueBytes));
+  }
+  row.write_msgs = (net.stats().total_messages() - before) / 200.0;
+  before = net.stats().total_messages();
+  for (int i = 0; i < 200; ++i) (void)file.Search(keys[i]);
+  row.read_msgs = (net.stats().total_messages() - before) / 200.0;
+  row.overhead = file.GetStorageStats().ParityOverhead();
+  row.availability_1k = availability;
+  return row;
+}
+
+void Print(const Row& row) {
+  std::printf("| %-14s | %7.1f%% | %6.2f | %6.2f | %-12s | %8.4f |\n",
+              row.scheme.c_str(), 100.0 * row.overhead, row.write_msgs,
+              row.read_msgs, row.degraded_read_ok ? "yes" : "no",
+              row.availability_1k);
+}
+
+}  // namespace
+
+int main() {
+  const double p = 0.99;
+  std::printf("workload: %d x %zu B records + 200 writes + 200 reads per "
+              "scheme\n\n",
+              kRecords, kValueBytes);
+  std::printf("| %-14s | %8s | %6s | %6s | %-12s | %8s |\n", "scheme",
+              "overhead", "write", "read", "degraded-rd", "P(M=1000)");
+  std::printf("|----------------|----------|--------|--------|--------------|----------|\n");
+
+  {
+    LhrsFile::Options o;
+    o.file.bucket_capacity = 32;
+    o.group_size = 4;
+    o.policy.base_k = 2;
+    LhrsFile f(o);
+    Row row = Exercise("LH*RS m=4 k=2", f, f.network(),
+                       LhrsAvailability(1000, 4, 2, p));
+    // Degraded read check.
+    f.CrashDataBucket(2);
+    row.degraded_read_ok = true;
+    for (Key k = 0; k < 50; ++k) {
+      auto got = f.Search(k);
+      if (!got.ok() && !got.status().IsNotFound()) row.degraded_read_ok = false;
+    }
+    Print(row);
+  }
+  {
+    lhg::LhgFile::Options o;
+    o.file.bucket_capacity = 32;
+    o.group_size = 4;
+    lhg::LhgFile f(o);
+    Row row = Exercise("LH*g k=4", f, f.network(),
+                       LhgAvailability(1000, 4, 250, p));
+    f.CrashDataBucket(2);
+    row.degraded_read_ok = true;
+    for (Key k = 0; k < 50; ++k) {
+      auto got = f.Search(k);
+      if (!got.ok() && !got.status().IsNotFound()) row.degraded_read_ok = false;
+    }
+    Print(row);
+  }
+  {
+    lhm::LhmFile::Options o;
+    o.file.bucket_capacity = 32;
+    lhm::LhmFile f(o);
+    Row row =
+        Exercise("LH*m mirror", f, f.network(), MirrorAvailability(1000, p));
+    f.CrashPrimaryBucket(1);
+    row.degraded_read_ok = true;
+    for (Key k = 0; k < 50; ++k) {
+      auto got = f.Search(k);
+      if (!got.ok() && !got.status().IsNotFound()) row.degraded_read_ok = false;
+    }
+    Print(row);
+  }
+  {
+    lhs::LhsFile::Options o;
+    o.file.bucket_capacity = 32;
+    o.stripe_count = 4;
+    lhs::LhsFile f(o);
+    Row row = Exercise("LH*s k=4", f, f.network(),
+                       LhsAvailability(250, 4, p));
+    f.CrashStripeBucketOf(1, 12345);
+    row.degraded_read_ok = true;
+    for (Key k = 0; k < 20; ++k) {
+      auto got = f.Search(k);
+      if (!got.ok() && !got.status().IsNotFound()) row.degraded_read_ok = false;
+    }
+    Print(row);
+  }
+
+  std::printf(
+      "\nreading the table: LH*RS matches the cheapest reads (mirroring "
+      "aside, striping pays k reads), keeps overhead ~k/m, and is the only "
+      "scheme whose availability level is tunable per group.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "analysis/availability_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lhrs {
+
+double PlainAvailability(uint32_t buckets, double p) {
+  return std::pow(p, buckets);
+}
+
+double AtMostFailures(uint32_t n, uint32_t tolerated, double p) {
+  const double q = 1.0 - p;
+  double sum = 0.0;
+  double coeff = 1.0;  // C(n, i), built incrementally.
+  for (uint32_t i = 0; i <= tolerated && i <= n; ++i) {
+    sum += coeff * std::pow(q, i) * std::pow(p, n - i);
+    coeff = coeff * (n - i) / (i + 1);
+  }
+  return sum;
+}
+
+double LhrsAvailability(uint32_t data_buckets, uint32_t m, uint32_t k,
+                        double p) {
+  LHRS_CHECK_GT(m, 0u);
+  double total = 1.0;
+  for (uint32_t first = 0; first < data_buckets; first += m) {
+    const uint32_t existing = std::min(m, data_buckets - first);
+    total *= AtMostFailures(existing + k, k, p);
+  }
+  return total;
+}
+
+double LhrsScalableAvailability(
+    uint32_t data_buckets, uint32_t m,
+    const std::function<uint32_t(uint32_t group)>& k_for_group, double p) {
+  LHRS_CHECK_GT(m, 0u);
+  double total = 1.0;
+  uint32_t group = 0;
+  for (uint32_t first = 0; first < data_buckets; first += m, ++group) {
+    const uint32_t existing = std::min(m, data_buckets - first);
+    const uint32_t k = k_for_group(group);
+    total *= AtMostFailures(existing + k, k, p);
+  }
+  return total;
+}
+
+double MirrorAvailability(uint32_t buckets, double p) {
+  const double q = 1.0 - p;
+  return std::pow(1.0 - q * q, buckets);
+}
+
+double LhgAvailability(uint32_t data_buckets, uint32_t group_size,
+                       uint32_t parity_buckets, double p) {
+  LHRS_CHECK_GT(group_size, 0u);
+  // P(no data failure anywhere).
+  const double no_data_failure = std::pow(p, data_buckets);
+  // P(every group has <= 1 data failure).
+  double per_group_ok = 1.0;
+  for (uint32_t first = 0; first < data_buckets; first += group_size) {
+    const uint32_t existing = std::min(group_size, data_buckets - first);
+    per_group_ok *= AtMostFailures(existing, 1, p);
+  }
+  const double all_parity_up = std::pow(p, parity_buckets);
+  // Survive iff: (all parity up AND <=1 data failure per group)
+  //          OR (some parity down AND zero data failures).
+  return all_parity_up * per_group_ok +
+         (1.0 - all_parity_up) * no_data_failure;
+}
+
+double LhsAvailability(uint32_t buckets_per_stripe_file, uint32_t k,
+                       double p) {
+  // Column groups of k+1 same-numbered buckets, each 1-available.
+  return std::pow(AtMostFailures(k + 1, 1, p), buckets_per_stripe_file);
+}
+
+double MonteCarloAvailability(
+    uint32_t nodes, double p, uint32_t trials, Rng& rng,
+    const std::function<bool(const std::vector<bool>& up)>& survives) {
+  LHRS_CHECK_GT(trials, 0u);
+  uint32_t ok = 0;
+  std::vector<bool> up(nodes);
+  for (uint32_t t = 0; t < trials; ++t) {
+    for (uint32_t n = 0; n < nodes; ++n) up[n] = rng.Flip(p);
+    if (survives(up)) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+}  // namespace lhrs

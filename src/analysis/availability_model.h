@@ -1,0 +1,63 @@
+#ifndef LHRS_ANALYSIS_AVAILABILITY_MODEL_H_
+#define LHRS_ANALYSIS_AVAILABILITY_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lhrs {
+
+/// Closed-form file-availability models under the paper's assumption of
+/// independent bucket failures with per-bucket availability p. These drive
+/// experiment F3 (availability vs file size) and are cross-validated by
+/// Monte-Carlo simulation in the tests.
+
+/// Plain LH*: all M buckets must be up — P = p^M, the motivating collapse
+/// (0.99^100 ~ 0.37).
+double PlainAvailability(uint32_t buckets, double p);
+
+/// Binomial tail: probability that at most `tolerated` of `n` independent
+/// nodes are down.
+double AtMostFailures(uint32_t n, uint32_t tolerated, double p);
+
+/// LH*RS with fixed geometry: M data buckets in groups of m, each group
+/// with k parity buckets; a group survives iff at most k of its
+/// (m' + k) nodes fail (m' < m in the partial last group).
+double LhrsAvailability(uint32_t data_buckets, uint32_t m, uint32_t k,
+                        double p);
+
+/// LH*RS with scalable availability: group g created when the file had
+/// `KForGroup(g)` availability; pass the per-group k directly.
+double LhrsScalableAvailability(
+    uint32_t data_buckets, uint32_t m,
+    const std::function<uint32_t(uint32_t group)>& k_for_group, double p);
+
+/// LH*m mirroring: every bucket is paired; the file survives iff no pair
+/// loses both copies.
+double MirrorAvailability(uint32_t buckets, double p);
+
+/// LH*g record grouping with bucket groups of size k and `parity_buckets`
+/// F2 buckets. Survives iff (a) every bucket group has at most one data
+/// failure, and (b) data failures and parity failures do not coincide
+/// (a failed data bucket needs all of F2 to rebuild; a failed parity
+/// bucket needs all of F1).
+double LhgAvailability(uint32_t data_buckets, uint32_t group_size,
+                       uint32_t parity_buckets, double p);
+
+/// LH*s striping: k stripe files plus a parity file with identical bucket
+/// counts; same-numbered buckets across the k+1 files form a 1-available
+/// column group.
+double LhsAvailability(uint32_t buckets_per_stripe_file, uint32_t k,
+                       double p);
+
+/// Monte-Carlo estimate of any scheme's availability: samples node up/down
+/// vectors and evaluates `survives`. Used to validate the closed forms.
+double MonteCarloAvailability(
+    uint32_t nodes, double p, uint32_t trials, Rng& rng,
+    const std::function<bool(const std::vector<bool>& up)>& survives);
+
+}  // namespace lhrs
+
+#endif  // LHRS_ANALYSIS_AVAILABILITY_MODEL_H_

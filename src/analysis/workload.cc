@@ -1,0 +1,45 @@
+#include "analysis/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lhrs {
+
+ZipfSampler::ZipfSampler(size_t n, double theta) {
+  LHRS_CHECK_GT(n, 0u);
+  cumulative_.reserve(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cumulative_.push_back(sum);
+  }
+  for (double& c : cumulative_) c /= sum;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return it == cumulative_.end() ? cumulative_.size() - 1
+                                 : static_cast<size_t>(
+                                       it - cumulative_.begin());
+}
+
+bool WorkloadSpec::Valid() const {
+  const double sum = insert_fraction + search_fraction + update_fraction +
+                     delete_fraction;
+  return sum > 0.999 && sum < 1.001 && insert_fraction >= 0 &&
+         search_fraction >= 0 && update_fraction >= 0 &&
+         delete_fraction >= 0 && value_min <= value_max;
+}
+
+std::string WorkloadStats::ToString() const {
+  std::ostringstream os;
+  os << "ops=" << total() << " (i=" << inserts << " s=" << searches
+     << " u=" << updates << " d=" << deletes << ") misses=" << not_found
+     << " failures=" << failures << " live=" << live_keys;
+  return os.str();
+}
+
+}  // namespace lhrs

@@ -1,0 +1,143 @@
+#ifndef LHRS_ANALYSIS_WORKLOAD_H_
+#define LHRS_ANALYSIS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "lh/lh_math.h"
+
+namespace lhrs {
+
+/// Zipf-distributed index sampler over [0, n): index i is drawn with
+/// probability proportional to 1 / (i+1)^theta. Used to model skewed
+/// (hot-key) access in workloads; rebuilding the cumulative table costs
+/// O(n), sampling is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta);
+
+  size_t n() const { return cumulative_.size(); }
+
+  /// Draws an index in [0, n).
+  size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Specification of a synthetic workload: an operation mix over a keyspace
+/// with a chosen access skew and value-size range.
+struct WorkloadSpec {
+  /// Operation mix; fractions must sum to ~1.
+  double insert_fraction = 0.25;
+  double search_fraction = 0.60;
+  double update_fraction = 0.10;
+  double delete_fraction = 0.05;
+
+  /// How keys of search/update/delete are picked among the live keys.
+  enum class Skew {
+    kUniform,   ///< Every live key equally likely.
+    kZipfian,   ///< Hot keys (theta below) — models popularity skew.
+  };
+  Skew skew = Skew::kUniform;
+  double zipf_theta = 0.99;  ///< YCSB-style default.
+
+  size_t value_min = 16;
+  size_t value_max = 128;
+
+  /// Validates the mix; returns false when the fractions are inconsistent.
+  bool Valid() const;
+};
+
+/// Outcome counters of a workload run.
+struct WorkloadStats {
+  uint64_t inserts = 0;
+  uint64_t searches = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t not_found = 0;   ///< Searches that (correctly) missed.
+  uint64_t failures = 0;    ///< Ops that errored unexpectedly.
+  uint64_t live_keys = 0;   ///< Keys alive at the end.
+
+  uint64_t total() const {
+    return inserts + searches + updates + deletes;
+  }
+  std::string ToString() const;
+};
+
+/// Drives `ops` operations of the spec against any file facade exposing
+/// Insert/Search/Update/Delete (LhrsFile and every baseline do). The
+/// driver keeps the live-key set so deletes and updates always target
+/// existing keys; with Zipfian skew, lower-indexed (older) keys are hotter.
+template <typename File>
+WorkloadStats RunWorkload(File& file, const WorkloadSpec& spec, int ops,
+                          Rng& rng) {
+  LHRS_CHECK(spec.Valid()) << "workload fractions must sum to 1";
+  WorkloadStats stats;
+  std::vector<Key> live;
+  ZipfSampler zipf(1, spec.zipf_theta);
+
+  auto pick_existing = [&]() -> size_t {
+    if (spec.skew == WorkloadSpec::Skew::kZipfian) {
+      if (zipf.n() != live.size()) zipf = ZipfSampler(live.size(),
+                                                      spec.zipf_theta);
+      return zipf.Sample(rng);
+    }
+    return static_cast<size_t>(rng.Uniform(live.size()));
+  };
+  auto value = [&] {
+    return rng.RandomBytes(spec.value_min +
+                           rng.Uniform(spec.value_max - spec.value_min + 1));
+  };
+
+  for (int i = 0; i < ops; ++i) {
+    const double roll = rng.NextDouble();
+    if (roll < spec.insert_fraction || live.empty()) {
+      const Key key = rng.Next64();
+      const Status s = file.Insert(key, value());
+      ++stats.inserts;
+      if (s.ok()) {
+        live.push_back(key);
+      } else if (!s.IsAlreadyExists()) {
+        ++stats.failures;
+      }
+    } else if (roll < spec.insert_fraction + spec.search_fraction) {
+      ++stats.searches;
+      if (rng.Flip(0.9)) {
+        auto got = file.Search(live[pick_existing()]);
+        if (!got.ok()) ++stats.failures;
+      } else {
+        auto got = file.Search(rng.Next64());
+        if (got.ok()) {
+          ++stats.failures;  // Phantom read.
+        } else if (got.status().IsNotFound()) {
+          ++stats.not_found;
+        } else {
+          ++stats.failures;
+        }
+      }
+    } else if (roll < spec.insert_fraction + spec.search_fraction +
+                          spec.update_fraction) {
+      ++stats.updates;
+      if (!file.Update(live[pick_existing()], value()).ok()) {
+        ++stats.failures;
+      }
+    } else {
+      ++stats.deletes;
+      const size_t at = pick_existing();
+      if (!file.Delete(live[at]).ok()) ++stats.failures;
+      live[at] = live.back();
+      live.pop_back();
+    }
+  }
+  stats.live_keys = live.size();
+  return stats;
+}
+
+}  // namespace lhrs
+
+#endif  // LHRS_ANALYSIS_WORKLOAD_H_

@@ -1,0 +1,178 @@
+#include "baselines/lhg/lhg_data_bucket.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "net/network.h"
+
+namespace lhrs::lhg {
+
+LhgDataBucketNode::LhgDataBucketNode(std::shared_ptr<SystemContext> f1_ctx,
+                                     std::shared_ptr<SystemContext> f2_ctx,
+                                     uint32_t group_size, BucketNo bucket_no,
+                                     Level level, bool pre_initialized,
+                                     bool reassign_on_split)
+    : DataBucketNode(std::move(f1_ctx), bucket_no, level, pre_initialized),
+      f2_ctx_(std::move(f2_ctx)),
+      group_size_(group_size),
+      reassign_on_split_(reassign_on_split) {
+  f2_image_.initial_buckets = f2_ctx_->config.initial_buckets;
+}
+
+GroupKey LhgDataBucketNode::group_key_of(Key key) const {
+  auto it = group_keys_.find(key);
+  LHRS_CHECK(it != group_keys_.end()) << "no group key for " << key;
+  return GroupKey::Unpack(it->second);
+}
+
+void LhgDataBucketNode::SendParityUpdate(GroupKey gk, ParityUpdateMsg::Op op,
+                                         Key member, uint32_t new_length,
+                                         Bytes delta) {
+  const uint64_t packed = gk.Packed();
+  const BucketNo a = f2_image_.Address(packed);  // A1 on the F2 image.
+  auto update = std::make_unique<ParityUpdateMsg>();
+  update->gkey = packed;
+  update->op = op;
+  update->member = member;
+  update->new_length = new_length;
+  update->delta = std::move(delta);
+  update->reply_to = id();
+  update->intended_bucket = a;
+  Send(f2_ctx_->allocation.Lookup(a), std::move(update));
+}
+
+void LhgDataBucketNode::OnInsertCommitted(Key key, const Bytes& value) {
+  const GroupKey gk{bucket_group(), ++counter_};
+  group_keys_[key] = gk.Packed();
+  SendParityUpdate(gk, ParityUpdateMsg::Op::kAddMember, key,
+                   static_cast<uint32_t>(value.size()), value);
+}
+
+void LhgDataBucketNode::OnUpdateCommitted(Key key, const Bytes& old_value,
+                                          const Bytes& new_value) {
+  Bytes delta = old_value;
+  XorAssignPadded(delta, new_value);
+  SendParityUpdate(group_key_of(key), ParityUpdateMsg::Op::kValueUpdate, key,
+                   static_cast<uint32_t>(new_value.size()),
+                   std::move(delta));
+}
+
+void LhgDataBucketNode::OnDeleteCommitted(Key key, const Bytes& old_value) {
+  const GroupKey gk = group_key_of(key);
+  group_keys_.erase(key);
+  SendParityUpdate(gk, ParityUpdateMsg::Op::kRemoveMember, key, 0,
+                   old_value);
+}
+
+void LhgDataBucketNode::OnRecordsMovedOut(std::vector<WireRecord>& moved) {
+  // THE LH*g property: movers keep their group keys (carried in the wire
+  // tag) and no parity record is touched.
+  for (auto& rec : moved) {
+    auto it = group_keys_.find(rec.key);
+    LHRS_CHECK(it != group_keys_.end());
+    rec.tag = it->second;
+    group_keys_.erase(it);
+  }
+}
+
+void LhgDataBucketNode::OnRecordsMovedIn(const std::vector<WireRecord>& moved) {
+  for (const auto& rec : moved) {
+    LHRS_CHECK_NE(rec.tag, 0u) << "moved LH*g record lost its group key";
+    if (!reassign_on_split_) {
+      // Basic LH*g: the group key is immutable; parity untouched.
+      group_keys_[rec.key] = rec.tag;
+      continue;
+    }
+    // LH*g1: retire the record from its old group and register it in this
+    // bucket's group under a fresh counter value (paper section 4.4).
+    const GroupKey old_gk = GroupKey::Unpack(rec.tag);
+    SendParityUpdate(old_gk, ParityUpdateMsg::Op::kRemoveMember, rec.key,
+                     0, rec.value);
+    const GroupKey new_gk{bucket_group(), ++counter_};
+    group_keys_[rec.key] = new_gk.Packed();
+    SendParityUpdate(new_gk, ParityUpdateMsg::Op::kAddMember, rec.key,
+                     static_cast<uint32_t>(rec.value.size()), rec.value);
+  }
+}
+
+void LhgDataBucketNode::OnDecommissioned() {
+  group_keys_.clear();
+  counter_ = 0;
+}
+
+void LhgDataBucketNode::HandleSubclassMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhgMsg::kParityIam: {
+      const auto& iam = static_cast<const ParityIamMsg&>(*msg.body);
+      f2_image_.Adjust(iam.bucket, iam.level);  // A3 on the F2 image.
+      return;
+    }
+    case LhgMsg::kCollectForParity:
+      HandleCollectForParity(
+          static_cast<const CollectForParityMsg&>(*msg.body), msg.from);
+      return;
+    case LhgMsg::kInstallData:
+      HandleInstallData(static_cast<const InstallDataMsg&>(*msg.body),
+                        msg.from);
+      return;
+    default:
+      DataBucketNode::HandleSubclassMessage(msg);
+  }
+}
+
+void LhgDataBucketNode::HandleSubclassDeliveryFailure(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhgMsg::kParityUpdate: {
+      // An F2 bucket is down. Report it so the coordinator rebuilds it
+      // (A5) — and escalate the update itself for re-delivery: the dead
+      // node may merely be a *stale-image* miss whose correct bucket is
+      // alive, and even when it is the right bucket, the A5 rebuild scans
+      // F1 (which already holds this change's data side) only for records
+      // addressed there, so an in-flight delta must not be dropped.
+      const auto& update = static_cast<const ParityUpdateMsg&>(*msg.body);
+      auto report = std::make_unique<UnavailableReportMsg>();
+      report->node = msg.to;
+      report->bucket = update.intended_bucket;
+      report->is_parity = true;
+      Send(ctx().coordinator, std::move(report));
+      Send(ctx().coordinator, std::make_unique<ParityUpdateMsg>(update));
+      return;
+    }
+    default:
+      DataBucketNode::HandleSubclassDeliveryFailure(msg);
+  }
+}
+
+void LhgDataBucketNode::HandleCollectForParity(const CollectForParityMsg& req,
+                                               NodeId from) {
+  FileState f2_state{req.i2, req.n2, req.f2_initial_buckets};
+  auto reply = std::make_unique<CollectForParityReplyMsg>();
+  reply->task_id = req.task_id;
+  reply->from_bucket = bucket_no();
+  for (const auto& [key, value] : records_) {
+    const uint64_t packed = group_keys_.at(key);
+    const BucketNo a = f2_state.Address(packed);
+    if (a == req.parity_bucket || a == req.also_bucket) {
+      reply->records.push_back(TaggedRecord{packed, key, value});
+    }
+  }
+  Send(from, std::move(reply));
+}
+
+void LhgDataBucketNode::HandleInstallData(const InstallDataMsg& install,
+                                          NodeId from) {
+  LHRS_CHECK_EQ(install.bucket, bucket_no());
+  std::map<Key, Bytes> records;
+  group_keys_.clear();
+  for (const auto& rec : install.records) {
+    records[rec.key] = rec.value;
+    group_keys_[rec.key] = rec.gkey;
+  }
+  counter_ = install.counter;
+  InstallRecoveredState(std::move(records), install.level);
+  auto ack = std::make_unique<InstallAckMsg>();
+  ack->task_id = install.task_id;
+  Send(from, std::move(ack));
+}
+
+}  // namespace lhrs::lhg

@@ -1,0 +1,69 @@
+#ifndef LHRS_BASELINES_LHG_LHG_DATA_BUCKET_H_
+#define LHRS_BASELINES_LHG_LHG_DATA_BUCKET_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/lhg/lhg_messages.h"
+#include "lhstar/data_bucket.h"
+
+namespace lhrs::lhg {
+
+/// A bucket of the LH*g primary file F1: an LH* bucket that additionally
+/// assigns record-group keys (g, r) at insert time — g from its own bucket
+/// group, r from its monotone insert counter — and maintains the XOR
+/// parity file F2, acting as an LH* *client* of F2 (own image of F2's
+/// state, corrected by IAMs).
+///
+/// The defining property implemented here: splits move records with their
+/// group keys unchanged and touch no parity record (OnRecordsMovedOut is
+/// parity-silent), unlike LH*RS where a split pays O(b) parity deltas.
+class LhgDataBucketNode : public DataBucketNode {
+ public:
+  /// `reassign_on_split` selects the LH*g1 variant (paper section 4.4):
+  /// records moved by a split receive *new* group keys in the new bucket's
+  /// bucket group (old group membership retired, new one registered — ~2
+  /// extra parity messages per mover). The payoff is group locality: every
+  /// record's group number always equals its current bucket's group, so
+  /// any multi-bucket failure across *different* groups stays recoverable
+  /// and bucket recovery can bulk-read exactly k-1 sibling buckets.
+  LhgDataBucketNode(std::shared_ptr<SystemContext> f1_ctx,
+                    std::shared_ptr<SystemContext> f2_ctx,
+                    uint32_t group_size, BucketNo bucket_no, Level level,
+                    bool pre_initialized, bool reassign_on_split);
+
+  const char* role() const override { return "lhg-data-bucket"; }
+
+  uint32_t bucket_group() const { return bucket_no() / group_size_; }
+  uint32_t insert_counter() const { return counter_; }
+  GroupKey group_key_of(Key key) const;
+
+ protected:
+  void OnInsertCommitted(Key key, const Bytes& value) override;
+  void OnUpdateCommitted(Key key, const Bytes& old_value,
+                         const Bytes& new_value) override;
+  void OnDeleteCommitted(Key key, const Bytes& old_value) override;
+  void OnRecordsMovedOut(std::vector<WireRecord>& moved) override;
+  void OnRecordsMovedIn(const std::vector<WireRecord>& moved) override;
+  void OnDecommissioned() override;
+  void HandleSubclassMessage(const Message& msg) override;
+  void HandleSubclassDeliveryFailure(const Message& msg) override;
+
+ private:
+  void SendParityUpdate(GroupKey gk, ParityUpdateMsg::Op op, Key member,
+                        uint32_t new_length, Bytes delta);
+  void HandleCollectForParity(const CollectForParityMsg& req, NodeId from);
+  void HandleInstallData(const InstallDataMsg& install, NodeId from);
+
+  std::shared_ptr<SystemContext> f2_ctx_;
+  uint32_t group_size_;
+  bool reassign_on_split_;  ///< LH*g1 variant.
+  uint32_t counter_ = 0;  ///< The paper's r; never reused (basic scheme).
+  ClientImage f2_image_;
+  std::unordered_map<Key, uint64_t> group_keys_;  ///< key -> packed (g,r).
+};
+
+}  // namespace lhrs::lhg
+
+#endif  // LHRS_BASELINES_LHG_LHG_DATA_BUCKET_H_

@@ -1,0 +1,239 @@
+#ifndef LHRS_BASELINES_LHG_LHG_MESSAGES_H_
+#define LHRS_BASELINES_LHG_LHG_MESSAGES_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "lh/lh_math.h"
+#include "lhstar/messages.h"
+#include "net/message.h"
+
+namespace lhrs::lhg {
+
+/// The LH*g record-group key (g, r): bucket-group number of the bucket the
+/// record was inserted into, plus that bucket's insert-counter value. Never
+/// changes once assigned, even as splits move the record (the defining
+/// property of LH*g).
+struct GroupKey {
+  uint32_t g = 0;
+  uint32_t r = 0;
+
+  /// Packed form used as the LH* key of the parity record in file F2 and
+  /// as the WireRecord tag on record moves. The (g, r) pair occupies
+  /// (high, low) halves, so parity records hash mostly by r, matching the
+  /// paper's Fig. 2 where an F2 split separates odd from even r.
+  uint64_t Packed() const { return (uint64_t{g} << 32) | r; }
+  static GroupKey Unpack(uint64_t packed) {
+    return GroupKey{static_cast<uint32_t>(packed >> 32),
+                    static_cast<uint32_t>(packed)};
+  }
+  bool operator==(const GroupKey&) const = default;
+};
+
+/// A parity record of file F2 as a value object: the member keys c_1..c_l
+/// (with their value lengths) and the XOR parity bits of the members'
+/// values. Stored serialized in the parity buckets (which are plain LH*
+/// buckets), so F2 splits move parity records with zero special handling.
+///
+/// Deviation note: the paper's bit-string model pads shorter values with
+/// zeros and assumes self-delimiting data; we store each member's value
+/// length so recovery reproduces values byte-exactly.
+struct ParityRecordG {
+  std::vector<Key> members;
+  std::vector<uint32_t> lengths;  ///< Parallel to `members`.
+  Bytes parity;
+
+  Bytes Serialize() const;
+  static ParityRecordG Deserialize(const Bytes& data);
+  /// Index of member `c`, or -1.
+  int FindMember(Key c) const;
+  bool HasMember(Key c) const { return FindMember(c) >= 0; }
+  void AddMember(Key c, uint32_t length);
+  void RemoveMember(Key c);
+  void SetLength(Key c, uint32_t length);
+};
+
+/// Message kinds of the LH*g baseline (range [300, 400)).
+struct LhgMsg {
+  static constexpr int kParityUpdate = MessageKindRange::kLhgBase + 0;
+  static constexpr int kParityIam = MessageKindRange::kLhgBase + 1;
+  static constexpr int kCollectForData = MessageKindRange::kLhgBase + 2;
+  static constexpr int kCollectForDataReply = MessageKindRange::kLhgBase + 3;
+  static constexpr int kCollectForParity = MessageKindRange::kLhgBase + 4;
+  static constexpr int kCollectForParityReply =
+      MessageKindRange::kLhgBase + 5;
+  static constexpr int kInstallParity = MessageKindRange::kLhgBase + 6;
+  static constexpr int kInstallData = MessageKindRange::kLhgBase + 7;
+  static constexpr int kInstallAck = MessageKindRange::kLhgBase + 8;
+  static constexpr int kFindParity = MessageKindRange::kLhgBase + 9;
+  static constexpr int kFindParityReply = MessageKindRange::kLhgBase + 10;
+};
+
+void RegisterLhgMessageNames();
+
+/// F1 data bucket (acting as an LH* client of F2) -> F2 parity bucket:
+/// maintain parity record `gkey`. Forwarded between parity buckets per A2.
+struct ParityUpdateMsg : MessageBody {
+  uint64_t gkey = 0;
+  enum class Op : uint8_t { kAddMember, kRemoveMember, kValueUpdate };
+  Op op = Op::kAddMember;
+  Key member = 0;
+  uint32_t new_length = 0;  ///< Value length after the change.
+  Bytes delta;  ///< XORed into the parity bits (zero-padded).
+  NodeId reply_to = kInvalidNode;  ///< The F1 bucket, for IAMs.
+  BucketNo intended_bucket = 0;
+  int hops = 0;
+
+  int kind() const override { return LhgMsg::kParityUpdate; }
+  size_t ByteSize() const override { return 40 + delta.size(); }
+};
+
+/// F2 parity bucket -> F1 data bucket: image adjustment for the data
+/// bucket's client image of F2 (sent when a parity update was forwarded).
+struct ParityIamMsg : MessageBody {
+  BucketNo bucket = 0;
+  Level level = 0;
+
+  int kind() const override { return LhgMsg::kParityIam; }
+  size_t ByteSize() const override { return 12; }
+};
+
+/// Coordinator -> every F2 bucket (A4 step 1): send the parity records
+/// relevant to recovering F1 bucket `bucket`, i.e. records with bucket
+/// group g = bucket / k containing some member whose address chain passes
+/// through `bucket` under file level `file_level`.
+struct CollectForDataMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo bucket = 0;
+  Level file_level = 0;
+  uint32_t group_size = 0;      ///< k (bucket-group size).
+  uint32_t initial_buckets = 0;  ///< N of F1.
+
+  int kind() const override { return LhgMsg::kCollectForData; }
+  size_t ByteSize() const override { return 24; }
+};
+
+struct SerializedParityRecord {
+  uint64_t gkey = 0;
+  Bytes data;  ///< ParityRecordG::Serialize form.
+
+  size_t ByteSize() const { return 8 + data.size(); }
+};
+
+struct CollectForDataReplyMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo from_bucket = 0;
+  std::vector<SerializedParityRecord> records;
+
+  int kind() const override { return LhgMsg::kCollectForDataReply; }
+  size_t ByteSize() const override {
+    size_t n = 16;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+/// Coordinator -> every F1 bucket (A5 step 1): send the (group key, key,
+/// value) triples of your records whose parity record lives in F2 bucket
+/// `parity_bucket` under F2 state (i2, n2). When the failed parity bucket
+/// died between an F2 split order and its execution, `also_bucket` names
+/// the (still empty) split target whose records also belong in the
+/// rebuilt victim.
+struct CollectForParityMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo parity_bucket = 0;
+  BucketNo also_bucket = ~BucketNo{0};
+  Level i2 = 0;
+  BucketNo n2 = 0;
+  uint32_t f2_initial_buckets = 1;
+
+  int kind() const override { return LhgMsg::kCollectForParity; }
+  size_t ByteSize() const override { return 32; }
+};
+
+struct TaggedRecord {
+  uint64_t gkey = 0;
+  Key key = 0;
+  Bytes value;
+
+  size_t ByteSize() const { return 16 + value.size(); }
+};
+
+struct CollectForParityReplyMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo from_bucket = 0;
+  std::vector<TaggedRecord> records;
+
+  int kind() const override { return LhgMsg::kCollectForParityReply; }
+  size_t ByteSize() const override {
+    size_t n = 16;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+/// Coordinator -> spare: install a rebuilt F2 parity bucket.
+struct InstallParityMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo bucket = 0;
+  Level level = 0;
+  std::vector<SerializedParityRecord> records;
+
+  int kind() const override { return LhgMsg::kInstallParity; }
+  size_t ByteSize() const override {
+    size_t n = 24;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+/// Coordinator -> spare: install a rebuilt F1 data bucket (records carry
+/// their immutable group keys; `counter` restores the insert counter r).
+struct InstallDataMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo bucket = 0;
+  Level level = 0;
+  uint32_t counter = 0;
+  std::vector<TaggedRecord> records;
+
+  int kind() const override { return LhgMsg::kInstallData; }
+  size_t ByteSize() const override {
+    size_t n = 28;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+struct InstallAckMsg : MessageBody {
+  uint64_t task_id = 0;
+
+  int kind() const override { return LhgMsg::kInstallAck; }
+  size_t ByteSize() const override { return 8; }
+};
+
+/// Coordinator -> every F2 bucket (A7 step 1): does any of your parity
+/// records contain member key `key`?
+struct FindParityMsg : MessageBody {
+  uint64_t task_id = 0;
+  Key key = 0;
+
+  int kind() const override { return LhgMsg::kFindParity; }
+  size_t ByteSize() const override { return 16; }
+};
+
+struct FindParityReplyMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo from_bucket = 0;
+  bool found = false;
+  uint64_t gkey = 0;
+  Bytes record;  ///< Serialized ParityRecordG when found.
+
+  int kind() const override { return LhgMsg::kFindParityReply; }
+  size_t ByteSize() const override { return 24 + record.size(); }
+};
+
+}  // namespace lhrs::lhg
+
+#endif  // LHRS_BASELINES_LHG_LHG_MESSAGES_H_

@@ -1,0 +1,178 @@
+#ifndef LHRS_BASELINES_LHM_LHM_FILE_H_
+#define LHRS_BASELINES_LHM_LHM_FILE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "lhstar/client.h"
+#include "lhstar/coordinator.h"
+#include "lhstar/data_bucket.h"
+#include "lhstar/lhstar_file.h"
+#include "net/network.h"
+
+namespace lhrs::lhm {
+
+/// Message kinds of the LH*m baseline (range [400, 500)).
+struct LhmMsg {
+  static constexpr int kMirrorRead = MessageKindRange::kLhmBase + 0;
+  static constexpr int kMirrorReadReply = MessageKindRange::kLhmBase + 1;
+  static constexpr int kMirrorInstall = MessageKindRange::kLhmBase + 2;
+  static constexpr int kMirrorAck = MessageKindRange::kLhmBase + 3;
+};
+
+/// Coordinator -> sibling-file bucket: dump your records (they are the
+/// mirror of the failed bucket's content).
+struct MirrorReadMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo bucket = 0;
+
+  int kind() const override { return LhmMsg::kMirrorRead; }
+  size_t ByteSize() const override { return 16; }
+};
+
+struct MirrorReadReplyMsg : MessageBody {
+  uint64_t task_id = 0;
+  Level level = 0;
+  std::vector<WireRecord> records;
+
+  int kind() const override { return LhmMsg::kMirrorReadReply; }
+  size_t ByteSize() const override {
+    size_t n = 16;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+struct MirrorInstallMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo bucket = 0;
+  Level level = 0;
+  std::vector<WireRecord> records;
+
+  int kind() const override { return LhmMsg::kMirrorInstall; }
+  size_t ByteSize() const override {
+    size_t n = 24;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+struct MirrorAckMsg : MessageBody {
+  uint64_t task_id = 0;
+
+  int kind() const override { return LhmMsg::kMirrorAck; }
+  size_t ByteSize() const override { return 8; }
+};
+
+/// A bucket of one LH*m replica: a plain LH* bucket plus the mirror-copy
+/// protocol for recovery.
+class LhmBucketNode : public DataBucketNode {
+ public:
+  using DataBucketNode::DataBucketNode;
+  const char* role() const override { return "lhm-bucket"; }
+
+ protected:
+  void HandleSubclassMessage(const Message& msg) override;
+};
+
+/// Coordinator of one LH*m replica. Serves ops that hit a dead bucket from
+/// the sibling replica, recovers dead buckets by bulk copy from the
+/// sibling, and parks writes during recovery.
+class LhmCoordinatorNode : public CoordinatorNode {
+ public:
+  explicit LhmCoordinatorNode(std::shared_ptr<SystemContext> ctx)
+      : CoordinatorNode(std::move(ctx)) {}
+
+  /// Wires the sibling replica (direct state access models the paper-style
+  /// shared coordination; all data moves via counted messages).
+  void SetSibling(LhmCoordinatorNode* sibling,
+                  std::shared_ptr<SystemContext> sibling_ctx) {
+    sibling_ = sibling;
+    sibling_ctx_ = std::move(sibling_ctx);
+  }
+
+  void RecoverBucket(BucketNo bucket);
+  uint64_t recoveries_completed() const { return recoveries_completed_; }
+
+ protected:
+  void HandleClientOpFallback(const ClientOpViaCoordinatorMsg& op) override;
+  void OnOpDeliveryFailure(const OpRequestMsg& request) override;
+  void HandleSubclassMessage(const Message& msg) override;
+  void OnSplitOrderDeliveryFailure(const SplitOrderMsg& order,
+                                   NodeId victim_node) override;
+  void OnOrphanedMoveRecords(const MoveRecordsMsg& move) override;
+  bool CanSplitNow() const override { return tasks_.empty(); }
+
+ private:
+  struct CopyTask {
+    uint64_t id = 0;
+    BucketNo bucket = 0;
+    NodeId spare = kInvalidNode;
+    Level level = 0;
+    size_t awaiting = 0;
+    std::vector<WireRecord> records;
+  };
+
+  /// Sends an op to the sibling replica's copy of the record (degraded
+  /// read). hops stays 0 so the sibling's IAM does not corrupt the
+  /// client's image of *this* file.
+  void ServeFromSibling(const ClientOpViaCoordinatorMsg& op);
+
+  LhmCoordinatorNode* sibling_ = nullptr;
+  std::shared_ptr<SystemContext> sibling_ctx_;
+  uint64_t next_task_id_ = 1;
+  std::map<uint64_t, CopyTask> tasks_;
+  std::set<BucketNo> recovering_;
+  std::map<BucketNo, std::vector<ClientOpViaCoordinatorMsg>> parked_;
+  std::map<BucketNo, SplitOrderMsg> pending_split_orders_;
+  std::set<BucketNo> orphaned_moves_;
+  uint64_t recoveries_completed_ = 0;
+};
+
+/// The LH*m baseline: full record mirroring across two LH* files — the
+/// simplest 1-available scheme, at 100% storage overhead and 2x write
+/// messaging, with instant degraded reads (the mirror answers directly)
+/// and bulk-copy recovery.
+class LhmFile {
+ public:
+  struct Options {
+    FileConfig file;
+    NetworkConfig net;
+  };
+
+  explicit LhmFile(Options options);
+
+  Status Insert(Key key, Bytes value);
+  Result<Bytes> Search(Key key);
+  Status Update(Key key, Bytes value);
+  Status Delete(Key key);
+
+  NodeId CrashPrimaryBucket(BucketNo b);
+  void RecoverPrimaryBucket(BucketNo b);
+
+  Network& network() { return network_; }
+  BucketNo bucket_count() const { return coordinators_[0]->state().bucket_count(); }
+  LhmCoordinatorNode& primary_coordinator() { return *coordinators_[0]; }
+  StorageStats GetStorageStats() const;
+
+  /// Both replicas must hold identical record sets.
+  Status VerifyMirrorInvariant() const;
+
+ private:
+  struct Replica {
+    std::shared_ptr<SystemContext> ctx;
+    ClientNode* client = nullptr;
+  };
+
+  Result<OpOutcome> RunOn(size_t replica, OpType op, Key key, Bytes value);
+
+  Network network_;
+  Replica replicas_[2];
+  LhmCoordinatorNode* coordinators_[2] = {nullptr, nullptr};
+};
+
+}  // namespace lhrs::lhm
+
+#endif  // LHRS_BASELINES_LHM_LHM_FILE_H_

@@ -1,0 +1,412 @@
+#include "baselines/lhs/lhs_file.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lhrs::lhs {
+
+namespace {
+
+constexpr size_t kLengthPrefix = 4;
+
+void RegisterLhsNames() {
+  RegisterMessageKindName(LhsMsg::kStripeRead, "lhs.StripeRead");
+  RegisterMessageKindName(LhsMsg::kStripeReadReply, "lhs.StripeReadReply");
+  RegisterMessageKindName(LhsMsg::kStripeInstall, "lhs.StripeInstall");
+  RegisterMessageKindName(LhsMsg::kStripeAck, "lhs.StripeAck");
+}
+
+void PutLength(Bytes& stripe, uint32_t len) {
+  for (int i = 0; i < 4; ++i) {
+    stripe.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+}
+
+uint32_t GetLength(const Bytes& stripe) {
+  LHRS_CHECK_GE(stripe.size(), kLengthPrefix);
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= uint32_t{stripe[i]} << (8 * i);
+  return len;
+}
+
+}  // namespace
+
+std::vector<Bytes> LhsFile::StripeValue(const Bytes& value,
+                                        uint32_t stripe_count) {
+  const uint32_t len = static_cast<uint32_t>(value.size());
+  const size_t chunk = (value.size() + stripe_count - 1) / stripe_count;
+  std::vector<Bytes> out(stripe_count + 1);
+  Bytes parity_chunk(chunk, 0);
+  for (uint32_t s = 0; s < stripe_count; ++s) {
+    Bytes& stripe = out[s];
+    stripe.reserve(kLengthPrefix + chunk);
+    PutLength(stripe, len);
+    const size_t begin = std::min<size_t>(s * chunk, value.size());
+    const size_t end = std::min<size_t>((s + 1) * chunk, value.size());
+    stripe.insert(stripe.end(), value.begin() + begin, value.begin() + end);
+    stripe.resize(kLengthPrefix + chunk, 0);
+    for (size_t i = 0; i < chunk; ++i) {
+      parity_chunk[i] ^= stripe[kLengthPrefix + i];
+    }
+  }
+  Bytes& parity = out[stripe_count];
+  parity.reserve(kLengthPrefix + chunk);
+  PutLength(parity, len);
+  parity.insert(parity.end(), parity_chunk.begin(), parity_chunk.end());
+  return out;
+}
+
+Bytes LhsFile::AssembleValue(const std::vector<Bytes>& stripes,
+                             uint32_t stripe_count) {
+  LHRS_CHECK_GE(stripes.size(), stripe_count);
+  const uint32_t len = GetLength(stripes[0]);
+  Bytes out;
+  out.reserve(len);
+  for (uint32_t s = 0; s < stripe_count; ++s) {
+    out.insert(out.end(), stripes[s].begin() + kLengthPrefix,
+               stripes[s].end());
+  }
+  LHRS_CHECK_GE(out.size(), len);
+  out.resize(len);
+  return out;
+}
+
+Bytes LhsFile::ReconstructStripe(const std::vector<const Bytes*>& present,
+                                 const Bytes& parity, uint32_t stripe_count,
+                                 uint32_t missing) {
+  Bytes out = parity;  // Prefix carries the length already.
+  for (uint32_t s = 0; s < stripe_count; ++s) {
+    if (s == missing) continue;
+    const Bytes* stripe = present[s];
+    LHRS_CHECK(stripe != nullptr);
+    LHRS_CHECK_EQ(stripe->size(), out.size());
+    for (size_t i = kLengthPrefix; i < out.size(); ++i) {
+      out[i] ^= (*stripe)[i];
+    }
+  }
+  return out;
+}
+
+LhsFile::LhsFile(Options options)
+    : network_(options.net), stripe_count_(options.stripe_count) {
+  RegisterLhStarMessageNames();
+  RegisterLhsNames();
+  files_.resize(stripe_count_ + 1);
+  std::vector<std::shared_ptr<SystemContext>> fleet;
+  for (uint32_t f = 0; f <= stripe_count_; ++f) {
+    StripeFile& file = files_[f];
+    file.ctx = std::make_shared<SystemContext>();
+    file.ctx->config = options.file;
+    fleet.push_back(file.ctx);
+    auto coordinator =
+        std::make_unique<LhsCoordinatorNode>(file.ctx, f, stripe_count_);
+    file.coordinator = coordinator.get();
+    file.ctx->coordinator = network_.AddNode(std::move(coordinator));
+    auto ctx = file.ctx;
+    file.coordinator->SetBucketFactory(
+        [this, ctx](BucketNo bucket, Level level) {
+          auto node = std::make_unique<LhsBucketNode>(
+              ctx, bucket, level, /*pre_initialized=*/false);
+          return network_.AddNode(std::move(node));
+        });
+    for (BucketNo b = 0; b < ctx->config.initial_buckets; ++b) {
+      auto node = std::make_unique<LhsBucketNode>(ctx, b, /*level=*/0,
+                                                  /*pre_initialized=*/true);
+      ctx->allocation.Set(b, network_.AddNode(std::move(node)));
+    }
+    auto client = std::make_unique<ClientNode>(ctx);
+    file.client = client.get();
+    network_.AddNode(std::move(client));
+  }
+  for (auto& file : files_) {
+    static_cast<LhsCoordinatorNode*>(file.coordinator)->SetFleet(fleet);
+  }
+}
+
+void LhsBucketNode::HandleSubclassMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhsMsg::kStripeRead: {
+      const auto& req = static_cast<const StripeReadMsg&>(*msg.body);
+      auto reply = std::make_unique<StripeReadReplyMsg>();
+      reply->task_id = req.task_id;
+      reply->level = level();
+      if (decommissioned() || req.bucket != bucket_no()) {
+        reply->failed = true;
+      } else {
+        for (const auto& [key, value] : records_) {
+          reply->records.push_back(WireRecord{key, 0, value});
+        }
+      }
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    case LhsMsg::kStripeInstall: {
+      const auto& install = static_cast<const StripeInstallMsg&>(*msg.body);
+      LHRS_CHECK_EQ(install.bucket, bucket_no());
+      std::map<Key, Bytes> records;
+      for (const auto& rec : install.records) records[rec.key] = rec.value;
+      InstallRecoveredState(std::move(records), install.level);
+      auto ack = std::make_unique<StripeAckMsg>();
+      ack->task_id = install.task_id;
+      Send(msg.from, std::move(ack));
+      return;
+    }
+    default:
+      DataBucketNode::HandleSubclassMessage(msg);
+  }
+}
+
+void LhsCoordinatorNode::RecoverBucket(BucketNo bucket) {
+  if (recovering_.contains(bucket)) return;
+  if (net()->available(ctx_->allocation.Lookup(bucket))) return;
+  LHRS_CHECK(!fleet_.empty());
+  recovering_.insert(bucket);
+
+  RebuildTask task;
+  task.id = next_task_id_++;
+  task.bucket = bucket;
+  task.level = state_.BucketLevel(bucket);
+  task.spare = CreateBucketNode(bucket, task.level);
+  ctx_->allocation.Set(bucket, task.spare);
+
+  // All k+1 files hold every key in the same-numbered bucket (identical
+  // key sets -> identical split schedules), so the k sibling dumps XOR to
+  // the lost stripe.
+  for (uint32_t f = 0; f <= stripe_count_; ++f) {
+    if (f == file_index_) continue;
+    auto read = std::make_unique<StripeReadMsg>();
+    read->task_id = task.id;
+    read->bucket = bucket;
+    ++task.awaiting;
+    Send(fleet_[f]->allocation.Lookup(bucket), std::move(read));
+  }
+  tasks_.emplace(task.id, std::move(task));
+}
+
+void LhsCoordinatorNode::HandleClientOpFallback(
+    const ClientOpViaCoordinatorMsg& op) {
+  MaybeResetClientImage(op);
+  const BucketNo a = state_.Address(op.key);
+  if (lost_buckets_.contains(a)) {
+    FailClientOp(op, StatusCode::kDataLoss,
+                 "two stripe columns lost: beyond LH*s 1-availability");
+    return;
+  }
+  if (recovering_.contains(a) ||
+      !net()->available(ctx_->allocation.Lookup(a))) {
+    RecoverBucket(a);
+    parked_[a].push_back(op);  // Served right after the rebuild.
+    return;
+  }
+  DeliverViaState(op);
+}
+
+void LhsCoordinatorNode::MarkLost(RebuildTask& task) {
+  const BucketNo bucket = task.bucket;
+  lost_buckets_.insert(bucket);
+  recovering_.erase(bucket);
+  // Stand the half-built spare down so queued ops bounce back here.
+  auto stand_down = std::make_unique<SelfCheckReplyMsg>();
+  stand_down->bucket = bucket;
+  stand_down->still_owner = false;
+  Send(task.spare, std::move(stand_down));
+  auto parked = parked_.find(bucket);
+  if (parked != parked_.end()) {
+    for (const auto& op : parked->second) {
+      FailClientOp(op, StatusCode::kDataLoss,
+                   "two stripe columns lost: beyond LH*s 1-availability");
+    }
+    parked_.erase(parked);
+  }
+  tasks_.erase(task.id);
+  MaybeStartSplit();
+}
+
+void LhsCoordinatorNode::HandleSubclassDeliveryFailure(const Message& msg) {
+  if (msg.body->kind() == LhsMsg::kStripeRead) {
+    // A sibling stripe bucket is down too: second column failure.
+    const auto& req = static_cast<const StripeReadMsg&>(*msg.body);
+    auto it = tasks_.find(req.task_id);
+    if (it != tasks_.end()) MarkLost(it->second);
+    return;
+  }
+  CoordinatorNode::HandleSubclassDeliveryFailure(msg);
+}
+
+void LhsCoordinatorNode::OnOpDeliveryFailure(const OpRequestMsg& req) {
+  ClientOpViaCoordinatorMsg op;
+  op.op = req.op;
+  op.op_id = req.op_id;
+  op.client = req.client;
+  op.intended_bucket = req.intended_bucket;
+  op.key = req.key;
+  op.value = req.value;
+  HandleClientOpFallback(op);
+}
+
+void LhsCoordinatorNode::HandleSubclassMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhsMsg::kStripeReadReply: {
+      const auto& reply = static_cast<const StripeReadReplyMsg&>(*msg.body);
+      auto it = tasks_.find(reply.task_id);
+      if (it == tasks_.end()) return;
+      RebuildTask& task = it->second;
+      if (reply.failed) {
+        MarkLost(task);
+        return;
+      }
+      for (const auto& rec : reply.records) {
+        auto [acc, fresh] = task.accumulator.try_emplace(rec.key, rec.value);
+        if (fresh) continue;
+        // XOR the chunk parts; the 4-byte length prefix is identical in
+        // every stripe and must not be XORed away.
+        LHRS_CHECK_EQ(acc->second.size(), rec.value.size());
+        for (size_t i = kLengthPrefix; i < rec.value.size(); ++i) {
+          acc->second[i] ^= rec.value[i];
+        }
+      }
+      LHRS_CHECK_GT(task.awaiting, 0u);
+      if (--task.awaiting > 0) return;
+      auto install = std::make_unique<StripeInstallMsg>();
+      install->task_id = task.id;
+      install->bucket = task.bucket;
+      install->level = task.level;
+      for (auto& [key, stripe] : task.accumulator) {
+        install->records.push_back(WireRecord{key, 0, std::move(stripe)});
+      }
+      Send(task.spare, std::move(install));
+      return;
+    }
+    case LhsMsg::kStripeAck: {
+      const auto& ack = static_cast<const StripeAckMsg&>(*msg.body);
+      auto it = tasks_.find(ack.task_id);
+      if (it == tasks_.end()) return;
+      const BucketNo bucket = it->second.bucket;
+      tasks_.erase(it);
+      recovering_.erase(bucket);
+      ++recoveries_completed_;
+      auto parked = parked_.find(bucket);
+      if (parked != parked_.end()) {
+        std::vector<ClientOpViaCoordinatorMsg> ops =
+            std::move(parked->second);
+        parked_.erase(parked);
+        for (const auto& op : ops) DeliverViaState(op);
+      }
+      MaybeStartSplit();
+      return;
+    }
+    default:
+      CoordinatorNode::HandleSubclassMessage(msg);
+  }
+}
+
+Result<OpOutcome> LhsFile::RunOn(size_t file_index, OpType op, Key key,
+                                 Bytes value) {
+  ClientNode& c = *files_[file_index].client;
+  const uint64_t op_id = c.StartOp(op, key, std::move(value));
+  network_.RunUntilIdle();
+  if (!c.IsDone(op_id)) return Status::Internal("operation did not complete");
+  return c.TakeResult(op_id);
+}
+
+Status LhsFile::Insert(Key key, Bytes value) {
+  std::vector<Bytes> stripes = StripeValue(value, stripe_count_);
+  // k + 1 inserts, one per stripe site (the LH*s insert cost).
+  for (uint32_t s = 0; s <= stripe_count_; ++s) {
+    LHRS_ASSIGN_OR_RETURN(OpOutcome out,
+                          RunOn(s, OpType::kInsert, key,
+                                std::move(stripes[s])));
+    if (!out.status.ok()) return out.status;
+  }
+  return Status::OK();
+}
+
+Result<Bytes> LhsFile::Search(Key key) {
+  // Gather the k data stripes (k messages — the striping read penalty).
+  std::vector<Bytes> stripes(stripe_count_);
+  std::vector<bool> have(stripe_count_, false);
+  uint32_t missing = stripe_count_;
+  for (uint32_t s = 0; s < stripe_count_; ++s) {
+    LHRS_ASSIGN_OR_RETURN(OpOutcome out, RunOn(s, OpType::kSearch, key, {}));
+    if (out.status.ok()) {
+      stripes[s] = std::move(out.value);
+      have[s] = true;
+    } else if (out.status.IsNotFound()) {
+      return out.status;  // Key absent everywhere.
+    } else if (missing == stripe_count_) {
+      missing = s;  // First unavailable stripe: parity can cover it.
+    } else {
+      return Status::DataLoss(
+          "two stripes unavailable: beyond LH*s 1-availability");
+    }
+  }
+  if (missing == stripe_count_) {
+    return AssembleValue(stripes, stripe_count_);
+  }
+  // Degraded read: fetch the parity stripe and reconstruct.
+  LHRS_ASSIGN_OR_RETURN(OpOutcome parity,
+                        RunOn(stripe_count_, OpType::kSearch, key, {}));
+  if (!parity.status.ok()) return parity.status;
+  std::vector<const Bytes*> present(stripe_count_, nullptr);
+  for (uint32_t s = 0; s < stripe_count_; ++s) {
+    if (have[s]) present[s] = &stripes[s];
+  }
+  stripes[missing] =
+      ReconstructStripe(present, parity.value, stripe_count_, missing);
+  return AssembleValue(stripes, stripe_count_);
+}
+
+Status LhsFile::Update(Key key, Bytes value) {
+  std::vector<Bytes> stripes = StripeValue(value, stripe_count_);
+  for (uint32_t s = 0; s <= stripe_count_; ++s) {
+    LHRS_ASSIGN_OR_RETURN(OpOutcome out,
+                          RunOn(s, OpType::kUpdate, key,
+                                std::move(stripes[s])));
+    if (!out.status.ok()) return out.status;
+  }
+  return Status::OK();
+}
+
+Status LhsFile::Delete(Key key) {
+  for (uint32_t s = 0; s <= stripe_count_; ++s) {
+    LHRS_ASSIGN_OR_RETURN(OpOutcome out, RunOn(s, OpType::kDelete, key, {}));
+    if (!out.status.ok()) return out.status;
+  }
+  return Status::OK();
+}
+
+NodeId LhsFile::CrashStripeBucketOf(uint32_t stripe, Key key) {
+  const StripeFile& file = files_.at(stripe);
+  const BucketNo a = file.coordinator->state().Address(key);
+  const NodeId node = file.ctx->allocation.Lookup(a);
+  network_.SetAvailable(node, false);
+  return node;
+}
+
+StorageStats LhsFile::GetStorageStats() const {
+  StorageStats stats;
+  for (uint32_t f = 0; f <= stripe_count_; ++f) {
+    const StripeFile& file = files_[f];
+    const BucketNo count = file.coordinator->state().bucket_count();
+    for (BucketNo b = 0; b < count; ++b) {
+      const auto* bucket = network_.node_as<DataBucketNode>(
+          file.ctx->allocation.Lookup(b));
+      if (f < stripe_count_) {
+        stats.record_count += bucket->record_count();
+        stats.data_bytes += bucket->StorageBytes();
+        ++stats.data_buckets;
+      } else {
+        stats.parity_bytes += bucket->StorageBytes();
+        ++stats.parity_buckets;
+      }
+    }
+  }
+  // record_count counts stripes; report whole records.
+  stats.record_count /= stripe_count_;
+  stats.load_factor = 0.0;
+  return stats;
+}
+
+}  // namespace lhrs::lhs

@@ -1,0 +1,195 @@
+#ifndef LHRS_BASELINES_LHS_LHS_FILE_H_
+#define LHRS_BASELINES_LHS_LHS_FILE_H_
+
+#include <memory>
+#include <vector>
+
+#include "lhstar/client.h"
+#include "lhstar/coordinator.h"
+#include "lhstar/data_bucket.h"
+#include "lhstar/lhstar_file.h"
+#include "net/network.h"
+
+namespace lhrs::lhs {
+
+/// Message kinds of the LH*s baseline (range [500, 600)).
+struct LhsMsg {
+  static constexpr int kStripeRead = MessageKindRange::kLhsBase + 0;
+  static constexpr int kStripeReadReply = MessageKindRange::kLhsBase + 1;
+  static constexpr int kStripeInstall = MessageKindRange::kLhsBase + 2;
+  static constexpr int kStripeAck = MessageKindRange::kLhsBase + 3;
+};
+
+/// Coordinator -> same-numbered bucket of another stripe file: dump your
+/// records (for XOR reconstruction of a lost stripe bucket).
+struct StripeReadMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo bucket = 0;
+
+  int kind() const override { return LhsMsg::kStripeRead; }
+  size_t ByteSize() const override { return 16; }
+};
+
+struct StripeReadReplyMsg : MessageBody {
+  uint64_t task_id = 0;
+  uint32_t file_index = 0;
+  Level level = 0;
+  /// Set when the asked server no longer carries the bucket (it stood
+  /// down after its own failed rebuild): the reconstruction cannot finish.
+  bool failed = false;
+  std::vector<WireRecord> records;
+
+  int kind() const override { return LhsMsg::kStripeReadReply; }
+  size_t ByteSize() const override {
+    size_t n = 20;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+struct StripeInstallMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo bucket = 0;
+  Level level = 0;
+  std::vector<WireRecord> records;
+
+  int kind() const override { return LhsMsg::kStripeInstall; }
+  size_t ByteSize() const override {
+    size_t n = 24;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+struct StripeAckMsg : MessageBody {
+  uint64_t task_id = 0;
+
+  int kind() const override { return LhsMsg::kStripeAck; }
+  size_t ByteSize() const override { return 8; }
+};
+
+/// A bucket of one LH*s stripe file: a plain LH* bucket plus the stripe
+/// dump/install protocol for recovery.
+class LhsBucketNode : public DataBucketNode {
+ public:
+  using DataBucketNode::DataBucketNode;
+  const char* role() const override { return "lhs-bucket"; }
+
+ protected:
+  void HandleSubclassMessage(const Message& msg) override;
+};
+
+/// Coordinator of one LH*s stripe file. Recovers a dead bucket by reading
+/// the same-numbered buckets of every other stripe file (identical key
+/// placement across files) and XOR-reconstructing each stripe; ops that
+/// hit the dead bucket park until the rebuild completes.
+class LhsCoordinatorNode : public CoordinatorNode {
+ public:
+  explicit LhsCoordinatorNode(std::shared_ptr<SystemContext> ctx,
+                              uint32_t file_index, uint32_t stripe_count)
+      : CoordinatorNode(std::move(ctx)),
+        file_index_(file_index),
+        stripe_count_(stripe_count) {}
+
+  /// Wires the contexts of all k+1 stripe files (index == position).
+  void SetFleet(std::vector<std::shared_ptr<SystemContext>> fleet) {
+    fleet_ = std::move(fleet);
+  }
+
+  void RecoverBucket(BucketNo bucket);
+  uint64_t recoveries_completed() const { return recoveries_completed_; }
+
+ protected:
+  void HandleClientOpFallback(const ClientOpViaCoordinatorMsg& op) override;
+  void OnOpDeliveryFailure(const OpRequestMsg& request) override;
+  void HandleSubclassMessage(const Message& msg) override;
+  void HandleSubclassDeliveryFailure(const Message& msg) override;
+  bool CanSplitNow() const override { return tasks_.empty(); }
+
+ private:
+  struct RebuildTask {
+    uint64_t id = 0;
+    BucketNo bucket = 0;
+    NodeId spare = kInvalidNode;
+    Level level = 0;
+    size_t awaiting = 0;
+    /// key -> XOR of the sibling stripes seen so far.
+    std::map<Key, Bytes> accumulator;
+  };
+
+  uint32_t file_index_;
+  uint32_t stripe_count_;
+  std::vector<std::shared_ptr<SystemContext>> fleet_;
+  /// Fails the rebuild: the op parkers get kDataLoss and the bucket is
+  /// marked lost (two stripe-column failures exceed 1-availability).
+  void MarkLost(RebuildTask& task);
+
+  uint64_t next_task_id_ = 1;
+  std::map<uint64_t, RebuildTask> tasks_;
+  std::set<BucketNo> recovering_;
+  std::set<BucketNo> lost_buckets_;
+  std::map<BucketNo, std::vector<ClientOpViaCoordinatorMsg>> parked_;
+  uint64_t recoveries_completed_ = 0;
+};
+
+/// The LH*s baseline: record striping. Every record is cut into k stripes
+/// stored in k separate LH* files under the record's key, plus one XOR
+/// parity stripe in a (k+1)-th file — all on different servers.
+///
+/// Comparison points: ~1/k storage overhead and 1-availability like LH*g /
+/// LH*RS(k=1), but *every* key search must gather k stripes (k messages
+/// where LH*RS pays 1) — the striping drawback the LH*g and LH*RS papers
+/// both highlight. Inserts cost k+1 messages.
+class LhsFile {
+ public:
+  struct Options {
+    FileConfig file;       ///< Config of each stripe file.
+    NetworkConfig net;
+    uint32_t stripe_count = 4;  ///< The paper's k.
+  };
+
+  explicit LhsFile(Options options);
+
+  Status Insert(Key key, Bytes value);
+  Result<Bytes> Search(Key key);
+  Status Update(Key key, Bytes value);
+  Status Delete(Key key);
+
+  /// Crashes the bucket of stripe file `stripe` that holds `key`'s stripe.
+  NodeId CrashStripeBucketOf(uint32_t stripe, Key key);
+
+  Network& network() { return network_; }
+  uint32_t stripe_count() const { return stripe_count_; }
+  StorageStats GetStorageStats() const;
+
+  /// Splits `value` into `stripe_count` equal chunks (zero-padded) plus an
+  /// XOR parity chunk; element i is stripe i's payload, element
+  /// stripe_count is the parity payload. Each payload carries a 4-byte
+  /// total-length prefix so reassembly trims exactly.
+  static std::vector<Bytes> StripeValue(const Bytes& value,
+                                        uint32_t stripe_count);
+  /// Inverse of StripeValue given all data stripes.
+  static Bytes AssembleValue(const std::vector<Bytes>& stripes,
+                             uint32_t stripe_count);
+  /// Reconstructs data stripe `missing` from the others plus parity.
+  static Bytes ReconstructStripe(const std::vector<const Bytes*>& present,
+                                 const Bytes& parity, uint32_t stripe_count,
+                                 uint32_t missing);
+
+ private:
+  struct StripeFile {
+    std::shared_ptr<SystemContext> ctx;
+    CoordinatorNode* coordinator = nullptr;
+    ClientNode* client = nullptr;
+  };
+
+  Result<OpOutcome> RunOn(size_t file_index, OpType op, Key key, Bytes value);
+
+  Network network_;
+  uint32_t stripe_count_;
+  std::vector<StripeFile> files_;  ///< k stripes + 1 parity.
+};
+
+}  // namespace lhrs::lhs
+
+#endif  // LHRS_BASELINES_LHS_LHS_FILE_H_

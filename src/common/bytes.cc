@@ -1,0 +1,37 @@
+#include "common/bytes.h"
+
+#include <algorithm>
+
+namespace lhrs {
+
+Bytes BytesFromString(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string ToHex(std::span<const uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+void XorAssignPadded(Bytes& dst, std::span<const uint8_t> src) {
+  if (dst.size() < src.size()) dst.resize(src.size(), 0);
+  for (size_t i = 0; i < src.size(); ++i) dst[i] ^= src[i];
+}
+
+Bytes PadTo(std::span<const uint8_t> b, size_t n) {
+  Bytes out(b.begin(), b.begin() + std::min(b.size(), n));
+  out.resize(n, 0);
+  return out;
+}
+
+bool AllZero(std::span<const uint8_t> b) {
+  return std::all_of(b.begin(), b.end(), [](uint8_t x) { return x == 0; });
+}
+
+}  // namespace lhrs

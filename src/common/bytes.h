@@ -1,0 +1,37 @@
+#ifndef LHRS_COMMON_BYTES_H_
+#define LHRS_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lhrs {
+
+/// Non-key record payloads are raw byte strings; all parity math operates on
+/// these buffers.
+using Bytes = std::vector<uint8_t>;
+
+/// Builds a byte buffer from an ASCII string (convenience for tests and
+/// examples).
+Bytes BytesFromString(std::string_view s);
+
+/// Renders a buffer as lowercase hex, e.g. {0xde, 0xad} -> "dead".
+std::string ToHex(std::span<const uint8_t> data);
+
+/// XORs `src` into `dst` elementwise. `dst` is grown (zero-padded) to
+/// `src.size()` first if shorter: XOR against an implicit zero pad, as the
+/// parity schemes require for variable-length records.
+void XorAssignPadded(Bytes& dst, std::span<const uint8_t> src);
+
+/// Returns a copy of `b` zero-padded (or truncated) to exactly `n` bytes.
+Bytes PadTo(std::span<const uint8_t> b, size_t n);
+
+/// True when every byte is zero (an all-zero parity buffer means "empty
+/// group slot" in the XOR schemes).
+bool AllZero(std::span<const uint8_t> b);
+
+}  // namespace lhrs
+
+#endif  // LHRS_COMMON_BYTES_H_

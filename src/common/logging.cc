@@ -1,0 +1,12 @@
+#include "common/logging.h"
+
+namespace lhrs {
+namespace internal_logging {
+
+Severity& MinLogSeverity() {
+  static Severity min_severity = Severity::kWarning;  // Tests/benches may lower this.
+  return min_severity;
+}
+
+}  // namespace internal_logging
+}  // namespace lhrs

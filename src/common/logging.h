@@ -1,0 +1,77 @@
+#ifndef LHRS_COMMON_LOGGING_H_
+#define LHRS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace lhrs {
+namespace internal_logging {
+
+/// Message severities. kFatal aborts the process after logging: invariant
+/// violations in a storage system must never be silently ignored.
+enum class Severity { kDebug = 0, kInfo = 1, kWarning = 2, kFatal = 3 };
+
+/// Process-wide minimum severity that is actually printed. Benchmarks raise
+/// this to kWarning to keep output clean.
+Severity& MinLogSeverity();
+
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line)
+      : severity_(severity) {
+    stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
+            << "] ";
+  }
+
+  ~LogMessage() {
+    if (severity_ >= MinLogSeverity()) {
+      std::cerr << stream_.str() << std::endl;
+    }
+    if (severity_ == Severity::kFatal) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* SeverityTag(Severity s) {
+    switch (s) {
+      case Severity::kDebug:
+        return "D";
+      case Severity::kInfo:
+        return "I";
+      case Severity::kWarning:
+        return "W";
+      case Severity::kFatal:
+        return "F";
+    }
+    return "?";
+  }
+
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace lhrs
+
+#define LHRS_LOG(severity)                                          \
+  ::lhrs::internal_logging::LogMessage(                             \
+      ::lhrs::internal_logging::Severity::k##severity, __FILE__,    \
+      __LINE__)                                                     \
+      .stream()
+
+/// Hard invariant check; logs and aborts on violation. Active in all build
+/// modes — a corrupted parity invariant must never propagate.
+#define LHRS_CHECK(cond)                                            \
+  if (!(cond))                                                      \
+  LHRS_LOG(Fatal) << "Check failed: " #cond " "
+
+#define LHRS_CHECK_EQ(a, b) LHRS_CHECK((a) == (b))
+#define LHRS_CHECK_NE(a, b) LHRS_CHECK((a) != (b))
+#define LHRS_CHECK_LT(a, b) LHRS_CHECK((a) < (b))
+#define LHRS_CHECK_LE(a, b) LHRS_CHECK((a) <= (b))
+#define LHRS_CHECK_GT(a, b) LHRS_CHECK((a) > (b))
+#define LHRS_CHECK_GE(a, b) LHRS_CHECK((a) >= (b))
+
+#endif  // LHRS_COMMON_LOGGING_H_

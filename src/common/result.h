@@ -1,0 +1,83 @@
+#ifndef LHRS_COMMON_RESULT_H_
+#define LHRS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace lhrs {
+
+/// A value-or-error holder in the style of `arrow::Result` / `StatusOr`.
+///
+/// Invariant: exactly one of {value, non-OK status} is set.
+///
+///     Result<Record> r = file.Lookup(key);
+///     if (!r.ok()) return r.status();
+///     Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so functions can `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, so functions can
+  /// `return Status::NotFound(...)`). Passing an OK status is a programming
+  /// error and is converted to an Internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Status of the operation; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ is set.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; otherwise binds the
+/// value to `lhs`. `lhs` may be a declaration, e.g.
+/// `LHRS_ASSIGN_OR_RETURN(auto rec, file.Lookup(k));`
+#define LHRS_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  LHRS_ASSIGN_OR_RETURN_IMPL_(                          \
+      LHRS_RESULT_CONCAT_(_lhrs_result, __LINE__), lhs, rexpr)
+
+#define LHRS_RESULT_CONCAT_INNER_(a, b) a##b
+#define LHRS_RESULT_CONCAT_(a, b) LHRS_RESULT_CONCAT_INNER_(a, b)
+#define LHRS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace lhrs
+
+#endif  // LHRS_COMMON_RESULT_H_

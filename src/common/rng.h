@@ -1,0 +1,78 @@
+#ifndef LHRS_COMMON_RNG_H_
+#define LHRS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.h"
+
+namespace lhrs {
+
+/// Deterministic, seedable PRNG (xoshiro256** core, SplitMix64 seeding).
+///
+/// Every randomised component of the simulator takes an explicit `Rng` so
+/// that whole-file scenarios — including failure schedules — replay
+/// identically from a seed. We do not use `std::mt19937` because its
+/// distributions are not guaranteed bit-identical across standard-library
+/// implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformIn(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Flip(double p) { return NextDouble() < p; }
+
+  /// Random payload of `n` bytes.
+  Bytes RandomBytes(size_t n) {
+    Bytes out(n);
+    for (auto& b : out) b = static_cast<uint8_t>(Next64());
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_COMMON_RNG_H_

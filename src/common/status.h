@@ -1,0 +1,102 @@
+#ifndef LHRS_COMMON_STATUS_H_
+#define LHRS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace lhrs {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of returning a `Status` from any operation that can fail,
+/// instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        ///< Key or resource does not exist.
+  kAlreadyExists,   ///< Duplicate key insert or double registration.
+  kInvalidArgument, ///< Caller passed a parameter outside its contract.
+  kUnavailable,     ///< A required server/bucket is unavailable (failure).
+  kDataLoss,        ///< Unrecoverable: more erasures than the code tolerates.
+  kInternal,        ///< Invariant violation inside the library.
+  kTimeout,         ///< Simulated network delivery timed out.
+};
+
+/// Returns a stable human-readable name, e.g. "NotFound".
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation: either OK or an error code plus message.
+///
+/// `Status` is cheap to copy for the OK case and cheap to move always.
+/// Typical use:
+///
+///     Status s = file.Insert(key, value);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a non-OK status to the caller.
+#define LHRS_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::lhrs::Status _lhrs_status = (expr);          \
+    if (!_lhrs_status.ok()) return _lhrs_status;   \
+  } while (false)
+
+}  // namespace lhrs
+
+#endif  // LHRS_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef LHRS_GF_GF_H_
+#define LHRS_GF_GF_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+namespace lhrs {
+
+/// Compile-time contract for a binary-extension Galois field GF(2^w) as the
+/// Reed-Solomon coder consumes it. A conforming field provides scalar
+/// arithmetic on `Symbol` plus bulk buffer kernels used on record payloads.
+///
+/// Addition in GF(2^w) is always XOR, so the buffer addition kernel is shared
+/// and the field only supplies multiplication machinery.
+template <typename F>
+concept GaloisField = requires(typename F::Symbol a, typename F::Symbol b,
+                               uint8_t* dst, const uint8_t* src, size_t n) {
+  typename F::Symbol;
+  { F::kOrder } -> std::convertible_to<uint32_t>;
+  { F::kSymbolBytes } -> std::convertible_to<size_t>;
+  { F::Add(a, b) } -> std::same_as<typename F::Symbol>;
+  { F::Mul(a, b) } -> std::same_as<typename F::Symbol>;
+  { F::Div(a, b) } -> std::same_as<typename F::Symbol>;
+  { F::Inv(a) } -> std::same_as<typename F::Symbol>;
+  { F::MulAddBuffer(dst, src, n, a) };
+};
+
+/// dst[i] ^= src[i] for i in [0, n). Field-independent GF(2^w) addition.
+void XorBuffer(uint8_t* dst, const uint8_t* src, size_t n);
+
+}  // namespace lhrs
+
+#endif  // LHRS_GF_GF_H_

@@ -1,0 +1,96 @@
+#include "gf/gf256.h"
+
+#include "common/logging.h"
+#include "gf/gf.h"
+
+namespace lhrs {
+
+const GF256::Tables& GF256::tables() {
+  static const Tables* kTables = [] {
+    auto* t = new Tables();
+    uint32_t x = 1;
+    for (uint32_t i = 0; i < 255; ++i) {
+      t->exp[i] = static_cast<uint8_t>(x);
+      t->log[x] = static_cast<uint16_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPolynomial;
+    }
+    for (uint32_t i = 255; i < 512; ++i) t->exp[i] = t->exp[i - 255];
+    t->log[0] = 0;  // Sentinel; callers must not take log(0).
+    return t;
+  }();
+  return *kTables;
+}
+
+GF256::Symbol GF256::Div(Symbol a, Symbol b) {
+  LHRS_CHECK_NE(b, 0) << "GF256 division by zero";
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+GF256::Symbol GF256::Inv(Symbol a) {
+  LHRS_CHECK_NE(a, 0) << "GF256 inverse of zero";
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+uint32_t GF256::Log(Symbol a) {
+  LHRS_CHECK_NE(a, 0) << "GF256 log of zero";
+  return tables().log[a];
+}
+
+void GF256::MulAddBuffer(uint8_t* dst, const uint8_t* src, size_t n,
+                         Symbol coeff) {
+  if (coeff == 0 || n == 0) return;
+  if (coeff == 1) {  // XOR fast path (parity column 0).
+    XorBuffer(dst, src, n);
+    return;
+  }
+  // Materialise the product row for this coefficient: row[b] = coeff * b.
+  uint8_t row[256];
+  row[0] = 0;
+  const Tables& t = tables();
+  const uint32_t lc = t.log[coeff];
+  for (uint32_t b = 1; b < 256; ++b) row[b] = t.exp[lc + t.log[b]];
+  for (size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void GF256::MulBuffer(uint8_t* dst, const uint8_t* src, size_t n,
+                      Symbol coeff) {
+  if (n == 0) return;
+  if (coeff == 0) {
+    for (size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (coeff == 1) {
+    for (size_t i = 0; i < n; ++i) dst[i] = src[i];
+    return;
+  }
+  uint8_t row[256];
+  row[0] = 0;
+  const Tables& t = tables();
+  const uint32_t lc = t.log[coeff];
+  for (uint32_t b = 1; b < 256; ++b) row[b] = t.exp[lc + t.log[b]];
+  for (size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void XorBuffer(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  // Word-at-a-time XOR; payload buffers come from std::vector and are
+  // sufficiently aligned for uint64_t access via memcpy-free word loop only
+  // when alignment holds, so do the safe byte loop with manual unrolling.
+  for (; i + 8 <= n; i += 8) {
+    dst[i] ^= src[i];
+    dst[i + 1] ^= src[i + 1];
+    dst[i + 2] ^= src[i + 2];
+    dst[i + 3] ^= src[i + 3];
+    dst[i + 4] ^= src[i + 4];
+    dst[i + 5] ^= src[i + 5];
+    dst[i + 6] ^= src[i + 6];
+    dst[i + 7] ^= src[i + 7];
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace lhrs

@@ -1,0 +1,66 @@
+#ifndef LHRS_GF_GF256_H_
+#define LHRS_GF_GF256_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lhrs {
+
+/// GF(2^8) with the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D)
+/// and generator alpha = 2. Multiplication goes through log/antilog tables,
+/// the classical choice of the LH*RS parity subsystem: one byte of payload is
+/// one code symbol, so records of any length encode without symbol packing.
+///
+/// All operations are static; the tables are built once on first use.
+class GF256 {
+ public:
+  using Symbol = uint8_t;
+  static constexpr uint32_t kOrder = 256;
+  static constexpr size_t kSymbolBytes = 1;
+  static constexpr uint32_t kPolynomial = 0x11D;
+
+  static Symbol Add(Symbol a, Symbol b) { return a ^ b; }
+  static Symbol Sub(Symbol a, Symbol b) { return a ^ b; }
+
+  static Symbol Mul(Symbol a, Symbol b) {
+    if (a == 0 || b == 0) return 0;
+    const Tables& t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+  }
+
+  /// a / b. b must be non-zero.
+  static Symbol Div(Symbol a, Symbol b);
+
+  /// Multiplicative inverse. a must be non-zero.
+  static Symbol Inv(Symbol a);
+
+  /// alpha^e for e >= 0.
+  static Symbol Exp(uint32_t e) { return tables().exp[e % 255]; }
+
+  /// Discrete log base alpha. a must be non-zero.
+  static uint32_t Log(Symbol a);
+
+  /// dst[i] += coeff * src[i] over GF(2^8), for n bytes. The workhorse of
+  /// parity encoding; uses a per-coefficient product row for long buffers and
+  /// falls back to plain XOR when coeff == 1 (the LH*RS "first parity column
+  /// is XOR" fast path).
+  static void MulAddBuffer(uint8_t* dst, const uint8_t* src, size_t n,
+                           Symbol coeff);
+
+  /// dst[i] = coeff * src[i] over GF(2^8), for n bytes.
+  static void MulBuffer(uint8_t* dst, const uint8_t* src, size_t n,
+                        Symbol coeff);
+
+ private:
+  struct Tables {
+    uint8_t exp[512];   // exp[i] = alpha^i, doubled to skip the mod-255.
+    uint16_t log[256];  // log[0] unused.
+    // mul_row[c] built lazily would cost 64 KiB; instead each bulk call
+    // builds its own 256-byte row, which stays L1-resident.
+  };
+  static const Tables& tables();
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_GF_GF256_H_

@@ -1,0 +1,72 @@
+#include "gf/gf65536.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "gf/gf.h"
+
+namespace lhrs {
+
+const GF65536::Tables& GF65536::tables() {
+  static const Tables* kTables = [] {
+    auto* t = new Tables();
+    uint32_t x = 1;
+    for (uint32_t i = 0; i < 65535; ++i) {
+      t->exp[i] = static_cast<uint16_t>(x);
+      t->log[x] = static_cast<uint16_t>(i);
+      x <<= 1;
+      if (x & 0x10000) x ^= kPolynomial;
+    }
+    t->log[0] = 0;  // Sentinel; callers must not take log(0).
+    return t;
+  }();
+  return *kTables;
+}
+
+GF65536::Symbol GF65536::Div(Symbol a, Symbol b) {
+  LHRS_CHECK_NE(b, 0) << "GF65536 division by zero";
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  uint32_t d = t.log[a] + 65535 - t.log[b];
+  if (d >= 65535) d -= 65535;
+  return t.exp[d];
+}
+
+GF65536::Symbol GF65536::Inv(Symbol a) {
+  LHRS_CHECK_NE(a, 0) << "GF65536 inverse of zero";
+  const Tables& t = tables();
+  uint32_t e = 65535 - t.log[a];
+  if (e == 65535) e = 0;
+  return t.exp[e];
+}
+
+uint32_t GF65536::Log(Symbol a) {
+  LHRS_CHECK_NE(a, 0) << "GF65536 log of zero";
+  return tables().log[a];
+}
+
+void GF65536::MulAddBuffer(uint8_t* dst, const uint8_t* src, size_t n,
+                           Symbol coeff) {
+  LHRS_CHECK_EQ(n % 2, 0u) << "GF65536 buffers must hold whole symbols";
+  if (coeff == 0 || n == 0) return;
+  if (coeff == 1) {
+    XorBuffer(dst, src, n);
+    return;
+  }
+  const Tables& t = tables();
+  const uint32_t lc = t.log[coeff];
+  for (size_t i = 0; i < n; i += 2) {
+    uint16_t s;
+    std::memcpy(&s, src + i, 2);
+    if (s == 0) continue;
+    uint32_t e = lc + t.log[s];
+    if (e >= 65535) e -= 65535;
+    uint16_t prod = t.exp[e];
+    uint16_t d;
+    std::memcpy(&d, dst + i, 2);
+    d ^= prod;
+    std::memcpy(dst + i, &d, 2);
+  }
+}
+
+}  // namespace lhrs

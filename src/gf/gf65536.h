@@ -1,0 +1,61 @@
+#ifndef LHRS_GF_GF65536_H_
+#define LHRS_GF_GF65536_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lhrs {
+
+/// GF(2^16) with the primitive polynomial x^16 + x^12 + x^3 + x + 1
+/// (0x1100B) and generator alpha = 2. The archival LH*RS implementation
+/// moved from GF(2^8) to GF(2^16) because wider symbols halve the number of
+/// table lookups per payload byte; we provide both so the trade-off is
+/// measurable (bench T3).
+///
+/// Buffer kernels interpret payloads as little-endian uint16 symbols; byte
+/// counts passed to them must be even (the RS coder pads payloads).
+class GF65536 {
+ public:
+  using Symbol = uint16_t;
+  static constexpr uint32_t kOrder = 65536;
+  static constexpr size_t kSymbolBytes = 2;
+  static constexpr uint32_t kPolynomial = 0x1100B;
+
+  static Symbol Add(Symbol a, Symbol b) { return a ^ b; }
+  static Symbol Sub(Symbol a, Symbol b) { return a ^ b; }
+
+  static Symbol Mul(Symbol a, Symbol b) {
+    if (a == 0 || b == 0) return 0;
+    const Tables& t = tables();
+    uint32_t s = t.log[a] + t.log[b];
+    if (s >= 65535) s -= 65535;
+    return t.exp[s];
+  }
+
+  /// a / b. b must be non-zero.
+  static Symbol Div(Symbol a, Symbol b);
+
+  /// Multiplicative inverse. a must be non-zero.
+  static Symbol Inv(Symbol a);
+
+  /// alpha^e for e >= 0.
+  static Symbol Exp(uint32_t e) { return tables().exp[e % 65535]; }
+
+  /// Discrete log base alpha. a must be non-zero.
+  static uint32_t Log(Symbol a);
+
+  /// dst += coeff * src over GF(2^16) for n bytes (n must be even).
+  static void MulAddBuffer(uint8_t* dst, const uint8_t* src, size_t n,
+                           Symbol coeff);
+
+ private:
+  struct Tables {
+    uint16_t exp[65535];
+    uint16_t log[65536];
+  };
+  static const Tables& tables();
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_GF_GF65536_H_

@@ -1,0 +1,132 @@
+#ifndef LHRS_LH_LH_MATH_H_
+#define LHRS_LH_LH_MATH_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace lhrs {
+
+/// Record key (the paper's `c`). Applications with non-integer keys hash
+/// them to 64 bits first; the LH address computation is then `c mod 2^l N`.
+using Key = uint64_t;
+
+/// Logical bucket number within a file (the paper's `m` / `a`).
+using BucketNo = uint32_t;
+
+/// Bucket level (the paper's `j`) and file level (`i`).
+using Level = uint32_t;
+
+/// The linear-hashing function family h_l(c) = c mod (2^l * N).
+inline BucketNo HashL(Key c, Level l, uint32_t initial_buckets) {
+  return static_cast<BucketNo>(c %
+                               (static_cast<uint64_t>(initial_buckets) << l));
+}
+
+/// The LH* file state (i, n) maintained by the split coordinator: `i` is
+/// the file level, `n` the split pointer (next bucket to split), `N` the
+/// initial bucket count. Clients hold possibly-stale copies (images).
+struct FileState {
+  Level i = 0;
+  BucketNo n = 0;
+  uint32_t initial_buckets = 1;  // The paper's N.
+
+  /// Current number of buckets: M = n + 2^i * N  (equation E1).
+  BucketNo bucket_count() const {
+    return n + (static_cast<BucketNo>(initial_buckets) << i);
+  }
+
+  /// Algorithm (A1): the correct address of key c under this state.
+  BucketNo Address(Key c) const {
+    BucketNo a = HashL(c, i, initial_buckets);
+    if (a < n) a = HashL(c, i + 1, initial_buckets);
+    return a;
+  }
+
+  /// Level of bucket `m` implied by this state: buckets before the split
+  /// pointer (and the newest buckets they spawned) are at level i+1.
+  Level BucketLevel(BucketNo m) const {
+    LHRS_CHECK_LT(m, bucket_count());
+    const BucketNo boundary =
+        static_cast<BucketNo>(initial_buckets) << i;  // 2^i * N
+    if (m < n || m >= boundary) return i + 1;
+    return i;
+  }
+
+  /// Advances the split pointer after bucket n split (creating bucket
+  /// n + 2^i N). Returns the number of the newly created bucket.
+  BucketNo AdvanceSplit() {
+    const BucketNo new_bucket =
+        n + (static_cast<BucketNo>(initial_buckets) << i);
+    ++n;
+    if (n >= static_cast<BucketNo>(initial_buckets) << i) {
+      n = 0;
+      ++i;
+    }
+    return new_bucket;
+  }
+
+  bool operator==(const FileState&) const = default;
+};
+
+/// A client's image (i', n') of a file state, with the image-adjustment
+/// algorithm (A3). Initially (0, 0): a new client assumes the file never
+/// grew.
+struct ClientImage {
+  Level i = 0;
+  BucketNo n = 0;
+  uint32_t initial_buckets = 1;
+
+  /// Address this client computes for key c (A1 on the image).
+  BucketNo Address(Key c) const {
+    BucketNo a = HashL(c, i, initial_buckets);
+    if (a < n) a = HashL(c, i + 1, initial_buckets);
+    return a;
+  }
+
+  /// Number of buckets the client believes exist.
+  BucketNo presumed_bucket_count() const {
+    return n + (static_cast<BucketNo>(initial_buckets) << i);
+  }
+
+  /// Algorithm (A3): adjust the image from an IAM carrying the level `j`
+  /// of the correct bucket `a`. Guarantees the same addressing error never
+  /// repeats and converges in O(log M) IAMs.
+  ///
+  /// The adjusted image is the most advanced file state *provably implied*
+  /// by "bucket a has level j": if a is an original bucket that split to
+  /// level j, the split pointer passed a (n' = a + 1 at i' = j - 1); if a
+  /// is a bucket *created* at level j (a >= 2^(j-1) N), the pointer passed
+  /// its parent a - 2^(j-1) N. Using a + 1 in the second case would
+  /// overshoot the real file and address non-existent buckets.
+  void Adjust(BucketNo a, Level j) {
+    if (j > i) {
+      i = j - 1;
+      const BucketNo boundary = static_cast<BucketNo>(initial_buckets) << i;
+      n = (a >= boundary ? a - boundary : a) + 1;
+      if (n >= boundary) {
+        n = 0;
+        ++i;
+      }
+    }
+  }
+};
+
+/// Algorithm (A2): server-side address verification and forwarding. Bucket
+/// `a` at level `j` received key `c`; returns `a` itself when this bucket is
+/// correct, else the bucket to forward to. The guarantee proven for LH* is
+/// at most two forwarding hops for any image.
+inline BucketNo ForwardAddress(BucketNo a, Level j, Key c,
+                               uint32_t initial_buckets) {
+  BucketNo a1 = HashL(c, j, initial_buckets);
+  if (a1 == a) return a;
+  if (j > 0) {
+    const BucketNo a2 = HashL(c, j - 1, initial_buckets);
+    if (a2 > a && a2 < a1) a1 = a2;
+  }
+  return a1;
+}
+
+}  // namespace lhrs
+
+#endif  // LHRS_LH_LH_MATH_H_

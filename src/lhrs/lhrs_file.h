@@ -1,0 +1,99 @@
+#ifndef LHRS_LHRS_LHRS_FILE_H_
+#define LHRS_LHRS_LHRS_FILE_H_
+
+#include <memory>
+#include <vector>
+
+#include "lhrs/parity_bucket.h"
+#include "lhrs/rs_coordinator.h"
+#include "lhrs/rs_data_bucket.h"
+#include "lhrs/shared.h"
+#include "lhstar/lhstar_file.h"
+
+namespace lhrs {
+
+/// The public face of this library: an LH*RS file — a scalable distributed
+/// hash file with k-availability through Reed-Solomon-coded parity buckets —
+/// on a simulated multicomputer.
+///
+/// Usage:
+///
+///     lhrs::LhrsFile::Options opts;
+///     opts.group_size = 4;                 // m
+///     opts.policy.base_k = 2;              // 2-availability
+///     lhrs::LhrsFile file(opts);
+///     file.Insert(42, lhrs::BytesFromString("payload")).ok();
+///     file.CrashDataBucket(0);
+///     file.Search(42);                     // still answers (record recovery)
+///
+/// Inherits all client operations (Insert/Search/Update/Delete/Scan,
+/// multi-client variants) from LhStarFile; adds failure injection,
+/// recovery control and parity introspection.
+class LhrsFile : public LhStarFile {
+ public:
+  struct Options {
+    FileConfig file;
+    NetworkConfig net;
+    uint32_t group_size = 4;  ///< The paper's m (data buckets per group).
+    AvailabilityPolicy policy;  ///< k per group; supports scalable k.
+    bool auto_recover = true;   ///< Recover buckets on failure detection.
+    bool reuse_ranks = true;    ///< Ablation: see LhrsContext::reuse_ranks.
+    FieldChoice field = FieldChoice::kGf256;  ///< Parity symbol width.
+  };
+
+  explicit LhrsFile(Options options);
+
+  // --- Failure injection & recovery --------------------------------------
+  /// Crashes the server carrying data bucket `b`. Returns its node id.
+  NodeId CrashDataBucket(BucketNo b);
+  /// Crashes parity bucket `parity_index` of group `g`.
+  NodeId CrashParityBucket(uint32_t g, uint32_t parity_index);
+  /// Restores a previously crashed node (it self-checks with the
+  /// coordinator and stands down if it was replaced).
+  void RestoreNode(NodeId node);
+  /// Tells the coordinator about a failed node and runs recovery to
+  /// completion (the explicit-detection path; client traffic triggers the
+  /// lazy path by itself).
+  void DetectAndRecover(NodeId node);
+  /// Recovers every failed column in every group.
+  void RecoverAll();
+
+  /// Exercises algorithm (A6): reconstructs the file state (i, n) from a
+  /// state scan of the buckets and returns it.
+  Result<FileState> RecoverFileState();
+
+  /// Integrity audit: scrubs every bucket group (reads all columns,
+  /// recomputes parity from data, compares). With `repair`, mismatched
+  /// parity columns are re-encoded and reinstalled. All nodes must be up.
+  RsCoordinatorNode::ScrubReport Scrub(bool repair = false);
+
+  /// Simulates a coordinator restart with total soft-state loss, then
+  /// rebuilds the file state, allocation table and parity directory from a
+  /// node survey (and recovers any silently-dead buckets). Returns OK when
+  /// the rebuild completed.
+  Status SimulateCoordinatorRestart();
+
+  // --- Introspection -------------------------------------------------------
+  RsCoordinatorNode& rs_coordinator() { return *rs_coordinator_; }
+  const RsCoordinatorNode& rs_coordinator() const { return *rs_coordinator_; }
+  uint32_t group_size() const { return lhrs_ctx_->m; }
+  size_t group_count() const { return rs_coordinator_->group_count(); }
+  RsDataBucketNode* rs_bucket(BucketNo b) const;
+  ParityBucketNode* parity_bucket(uint32_t g, uint32_t parity_index) const;
+
+  StorageStats GetStorageStats() const override;
+
+  /// Recomputes every group's parity from the data buckets and compares it
+  /// (and the key/length metadata) against the parity buckets' contents.
+  /// The central end-to-end invariant of the scheme; returns a descriptive
+  /// Internal error on the first mismatch.
+  Status VerifyParityInvariants() const;
+
+ private:
+  std::shared_ptr<LhrsContext> lhrs_ctx_;
+  RsCoordinatorNode* rs_coordinator_ = nullptr;  // Owned by network_.
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_LHRS_LHRS_FILE_H_

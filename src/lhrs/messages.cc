@@ -1,0 +1,33 @@
+#include "lhrs/messages.h"
+
+#include "net/stats.h"
+
+namespace lhrs {
+
+void RegisterLhrsMessageNames() {
+  RegisterMessageKindName(LhrsMsg::kParityDelta, "lhrs.ParityDelta");
+  RegisterMessageKindName(LhrsMsg::kParityDeltaBatch,
+                          "lhrs.ParityDeltaBatch");
+  RegisterMessageKindName(LhrsMsg::kGroupConfig, "lhrs.GroupConfig");
+  RegisterMessageKindName(LhrsMsg::kColumnReadRequest,
+                          "lhrs.ColumnReadRequest");
+  RegisterMessageKindName(LhrsMsg::kColumnReadReply, "lhrs.ColumnReadReply");
+  RegisterMessageKindName(LhrsMsg::kInstallDataColumn,
+                          "lhrs.InstallDataColumn");
+  RegisterMessageKindName(LhrsMsg::kInstallParityColumn,
+                          "lhrs.InstallParityColumn");
+  RegisterMessageKindName(LhrsMsg::kInstallDone, "lhrs.InstallDone");
+  RegisterMessageKindName(LhrsMsg::kFindRankRequest, "lhrs.FindRankRequest");
+  RegisterMessageKindName(LhrsMsg::kFindRankReply, "lhrs.FindRankReply");
+  RegisterMessageKindName(LhrsMsg::kRecordReadRequest,
+                          "lhrs.RecordReadRequest");
+  RegisterMessageKindName(LhrsMsg::kRecordReadReply, "lhrs.RecordReadReply");
+  RegisterMessageKindName(LhrsMsg::kParityRecordRequest,
+                          "lhrs.ParityRecordRequest");
+  RegisterMessageKindName(LhrsMsg::kParityRecordReply,
+                          "lhrs.ParityRecordReply");
+  RegisterMessageKindName(LhrsMsg::kPingRequest, "lhrs.PingRequest");
+  RegisterMessageKindName(LhrsMsg::kPongReply, "lhrs.PongReply");
+}
+
+}  // namespace lhrs

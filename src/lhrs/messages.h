@@ -1,0 +1,265 @@
+#ifndef LHRS_LHRS_MESSAGES_H_
+#define LHRS_LHRS_MESSAGES_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "lh/lh_math.h"
+#include "lhstar/messages.h"
+#include "net/message.h"
+
+namespace lhrs {
+
+/// Message kinds of the LH*RS parity / recovery layer (range [200, 300)).
+struct LhrsMsg {
+  static constexpr int kParityDelta = MessageKindRange::kLhrsBase + 0;
+  static constexpr int kParityDeltaBatch = MessageKindRange::kLhrsBase + 1;
+  static constexpr int kGroupConfig = MessageKindRange::kLhrsBase + 2;
+  static constexpr int kColumnReadRequest = MessageKindRange::kLhrsBase + 3;
+  static constexpr int kColumnReadReply = MessageKindRange::kLhrsBase + 4;
+  static constexpr int kInstallDataColumn = MessageKindRange::kLhrsBase + 5;
+  static constexpr int kInstallParityColumn = MessageKindRange::kLhrsBase + 6;
+  static constexpr int kInstallDone = MessageKindRange::kLhrsBase + 7;
+  static constexpr int kFindRankRequest = MessageKindRange::kLhrsBase + 8;
+  static constexpr int kFindRankReply = MessageKindRange::kLhrsBase + 9;
+  static constexpr int kRecordReadRequest = MessageKindRange::kLhrsBase + 10;
+  static constexpr int kRecordReadReply = MessageKindRange::kLhrsBase + 11;
+  static constexpr int kParityRecordRequest =
+      MessageKindRange::kLhrsBase + 12;
+  static constexpr int kParityRecordReply = MessageKindRange::kLhrsBase + 13;
+  static constexpr int kPingRequest = MessageKindRange::kLhrsBase + 14;
+  static constexpr int kPongReply = MessageKindRange::kLhrsBase + 15;
+};
+
+void RegisterLhrsMessageNames();
+
+/// Record rank within its bucket (1-based; the record group key is
+/// (bucket group g, rank r)).
+using Rank = uint32_t;
+
+/// One incremental parity maintenance action for record group (g, rank).
+struct ParityDelta {
+  Rank rank = 0;
+  uint32_t slot = 0;  ///< Data slot (bucket % m) the change happened at.
+  enum class KeyOp : uint8_t {
+    kNone,   ///< Value-only update.
+    kSet,    ///< Member (re)registered: set key + length.
+    kClear,  ///< Member removed from the group.
+  };
+  KeyOp key_op = KeyOp::kNone;
+  Key key = 0;
+  uint32_t new_length = 0;
+  Bytes delta;  ///< old XOR new (zero-padded); the parity-side change.
+
+  size_t ByteSize() const { return 24 + delta.size(); }
+};
+
+/// Data bucket -> parity bucket: one record's parity maintenance.
+struct ParityDeltaMsg : MessageBody {
+  uint32_t group = 0;
+  ParityDelta delta;
+
+  int kind() const override { return LhrsMsg::kParityDelta; }
+  size_t ByteSize() const override { return 8 + delta.ByteSize(); }
+};
+
+/// Data bucket -> parity bucket: bulk parity maintenance (splits batch
+/// all moved records into one transfer per parity bucket).
+struct ParityDeltaBatchMsg : MessageBody {
+  uint32_t group = 0;
+  std::vector<ParityDelta> deltas;
+
+  int kind() const override { return LhrsMsg::kParityDeltaBatch; }
+  size_t ByteSize() const override {
+    size_t n = 8;
+    for (const auto& d : deltas) n += d.ByteSize();
+    return n;
+  }
+};
+
+/// Coordinator -> data bucket: the parity buckets serving your group (sent
+/// at bucket creation and whenever a parity bucket moves to a spare).
+struct GroupConfigMsg : MessageBody {
+  uint32_t group = 0;
+  uint32_t k = 1;
+  std::vector<NodeId> parity_nodes;  ///< size k.
+
+  int kind() const override { return LhrsMsg::kGroupConfig; }
+  size_t ByteSize() const override { return 16 + 8 * parity_nodes.size(); }
+};
+
+/// One data record with its rank, as shipped in recovery dumps.
+struct RankedRecord {
+  Rank rank = 0;
+  Key key = 0;
+  Bytes value;
+
+  size_t ByteSize() const { return 16 + value.size(); }
+};
+
+/// Wire form of a parity record (the non-key part of parity record (g, r)).
+struct WireParityRecord {
+  Rank rank = 0;
+  /// Per data slot: the member's key, or nullopt when the slot has no
+  /// member in this record group.
+  std::vector<std::optional<Key>> keys;
+  std::vector<uint32_t> lengths;
+  Bytes parity;
+
+  size_t ByteSize() const {
+    return 8 + keys.size() * 12 + parity.size();
+  }
+};
+
+/// Coordinator -> surviving column (data or parity bucket): send your full
+/// group-relevant content for recovery of group `group`.
+struct ColumnReadRequestMsg : MessageBody {
+  uint64_t task_id = 0;
+  uint32_t group = 0;
+
+  int kind() const override { return LhrsMsg::kColumnReadRequest; }
+  size_t ByteSize() const override { return 16; }
+};
+
+/// Survivor -> coordinator: full column dump. Exactly one of
+/// records/parity_records is populated, matching the sender's role.
+struct ColumnReadReplyMsg : MessageBody {
+  uint64_t task_id = 0;
+  uint32_t column = 0;  ///< 0..m-1 data slot, m..m+k-1 parity index + m.
+  std::vector<RankedRecord> records;
+  std::vector<WireParityRecord> parity_records;
+  Level level = 0;  ///< Data columns: the bucket's level j.
+
+  int kind() const override { return LhrsMsg::kColumnReadReply; }
+  size_t ByteSize() const override {
+    size_t n = 24;
+    for (const auto& r : records) n += r.ByteSize();
+    for (const auto& p : parity_records) n += p.ByteSize();
+    return n;
+  }
+};
+
+/// Coordinator -> spare: install a reconstructed data bucket.
+struct InstallDataColumnMsg : MessageBody {
+  uint64_t task_id = 0;
+  BucketNo bucket = 0;
+  Level level = 0;
+  std::vector<RankedRecord> records;
+
+  int kind() const override { return LhrsMsg::kInstallDataColumn; }
+  size_t ByteSize() const override {
+    size_t n = 24;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+/// Coordinator -> spare: install a reconstructed parity bucket.
+struct InstallParityColumnMsg : MessageBody {
+  uint64_t task_id = 0;
+  uint32_t group = 0;
+  uint32_t parity_index = 0;
+  std::vector<WireParityRecord> parity_records;
+
+  int kind() const override { return LhrsMsg::kInstallParityColumn; }
+  size_t ByteSize() const override {
+    size_t n = 24;
+    for (const auto& p : parity_records) n += p.ByteSize();
+    return n;
+  }
+};
+
+/// Spare -> coordinator: installation finished; the bucket serves traffic.
+struct InstallDoneMsg : MessageBody {
+  uint64_t task_id = 0;
+  uint32_t column = 0;
+
+  int kind() const override { return LhrsMsg::kInstallDone; }
+  size_t ByteSize() const override { return 16; }
+};
+
+/// Coordinator -> parity bucket: which record group holds key `key` at data
+/// slot `slot`? First step of degraded-mode record recovery: unlike LH*g,
+/// no scan of the parity file is needed — the group's parity bucket is
+/// known directly.
+struct FindRankRequestMsg : MessageBody {
+  uint64_t task_id = 0;
+  Key key = 0;
+  uint32_t slot = 0;
+
+  int kind() const override { return LhrsMsg::kFindRankRequest; }
+  size_t ByteSize() const override { return 24; }
+};
+
+struct FindRankReplyMsg : MessageBody {
+  uint64_t task_id = 0;
+  bool found = false;
+  uint32_t parity_index = 0;  ///< Which parity column answered.
+  WireParityRecord record;    ///< Valid when found.
+
+  int kind() const override { return LhrsMsg::kFindRankReply; }
+  size_t ByteSize() const override { return 16 + record.ByteSize(); }
+};
+
+/// Coordinator -> data bucket: read the single record with rank `rank`.
+struct RecordReadRequestMsg : MessageBody {
+  uint64_t task_id = 0;
+  Rank rank = 0;
+  uint32_t column = 0;  ///< Requester-side bookkeeping (echoed in replies).
+
+  int kind() const override { return LhrsMsg::kRecordReadRequest; }
+  size_t ByteSize() const override { return 16; }
+};
+
+struct RecordReadReplyMsg : MessageBody {
+  uint64_t task_id = 0;
+  uint32_t column = 0;
+  bool found = false;
+  RankedRecord record;
+
+  int kind() const override { return LhrsMsg::kRecordReadReply; }
+  size_t ByteSize() const override { return 24 + record.ByteSize(); }
+};
+
+/// Coordinator -> parity bucket: read the parity record of rank `rank`.
+struct ParityRecordRequestMsg : MessageBody {
+  uint64_t task_id = 0;
+  Rank rank = 0;
+  uint32_t column = 0;  ///< Requester-side bookkeeping (echoed in replies).
+
+  int kind() const override { return LhrsMsg::kParityRecordRequest; }
+  size_t ByteSize() const override { return 16; }
+};
+
+struct ParityRecordReplyMsg : MessageBody {
+  uint64_t task_id = 0;
+  uint32_t column = 0;  ///< m + parity index.
+  bool found = false;
+  WireParityRecord record;
+
+  int kind() const override { return LhrsMsg::kParityRecordReply; }
+  size_t ByteSize() const override { return 24 + record.ByteSize(); }
+};
+
+/// Coordinator -> any node: liveness probe used to verify third-party
+/// unavailability reports before committing to a recovery.
+struct PingRequestMsg : MessageBody {
+  uint64_t probe_id = 0;
+
+  int kind() const override { return LhrsMsg::kPingRequest; }
+  size_t ByteSize() const override { return 8; }
+};
+
+struct PongReplyMsg : MessageBody {
+  uint64_t probe_id = 0;
+
+  int kind() const override { return LhrsMsg::kPongReply; }
+  size_t ByteSize() const override { return 8; }
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_LHRS_MESSAGES_H_

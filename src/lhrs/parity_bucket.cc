@@ -1,0 +1,238 @@
+#include "lhrs/parity_bucket.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "net/network.h"
+
+namespace lhrs {
+
+namespace {
+
+/// Copies a message body of any kind the parity bucket understands, for
+/// deferring traffic that arrives before a recovery install.
+std::unique_ptr<MessageBody> CloneBody(const MessageBody& body) {
+  switch (body.kind()) {
+    case LhrsMsg::kParityDelta:
+      return std::make_unique<ParityDeltaMsg>(
+          static_cast<const ParityDeltaMsg&>(body));
+    case LhrsMsg::kParityDeltaBatch:
+      return std::make_unique<ParityDeltaBatchMsg>(
+          static_cast<const ParityDeltaBatchMsg&>(body));
+    case LhrsMsg::kFindRankRequest:
+      return std::make_unique<FindRankRequestMsg>(
+          static_cast<const FindRankRequestMsg&>(body));
+    case LhrsMsg::kColumnReadRequest:
+      return std::make_unique<ColumnReadRequestMsg>(
+          static_cast<const ColumnReadRequestMsg&>(body));
+    case LhrsMsg::kParityRecordRequest:
+      return std::make_unique<ParityRecordRequestMsg>(
+          static_cast<const ParityRecordRequestMsg&>(body));
+    default:
+      LHRS_LOG(Fatal) << "parity bucket cannot defer message kind "
+                      << body.kind();
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+ParityBucketNode::ParityBucketNode(std::shared_ptr<LhrsContext> ctx,
+                                   uint32_t group, uint32_t parity_index,
+                                   uint32_t k, bool pre_initialized)
+    : ctx_(std::move(ctx)),
+      group_(group),
+      parity_index_(parity_index),
+      k_(k),
+      initialized_(pre_initialized) {
+  LHRS_CHECK_LT(parity_index_, k_);
+}
+
+size_t ParityBucketNode::StorageBytes() const {
+  size_t n = 0;
+  for (const auto& [rank, rec] : records_) n += rec.StorageBytes();
+  return n;
+}
+
+void ParityBucketNode::HandleMessage(const Message& msg) {
+  if (!initialized_ && msg.body->kind() != LhrsMsg::kInstallParityColumn &&
+      msg.body->kind() != LhrsMsg::kPingRequest &&
+      msg.body->kind() != LhStarMsg::kSurveyRequest) {
+    auto deferred = std::make_shared<Message>();
+    deferred->from = msg.from;
+    deferred->to = msg.to;
+    deferred->body = CloneBody(*msg.body);
+    queued_.push_back(std::move(deferred));
+    return;
+  }
+  Dispatch(msg);
+}
+
+void ParityBucketNode::Dispatch(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhrsMsg::kParityDelta: {
+      const auto& m = static_cast<const ParityDeltaMsg&>(*msg.body);
+      LHRS_CHECK_EQ(m.group, group_);
+      ApplyDelta(m.delta);
+      return;
+    }
+    case LhrsMsg::kParityDeltaBatch: {
+      const auto& m = static_cast<const ParityDeltaBatchMsg&>(*msg.body);
+      LHRS_CHECK_EQ(m.group, group_);
+      for (const auto& d : m.deltas) ApplyDelta(d);
+      return;
+    }
+    case LhrsMsg::kFindRankRequest: {
+      const auto& req = static_cast<const FindRankRequestMsg&>(*msg.body);
+      auto reply = std::make_unique<FindRankReplyMsg>();
+      reply->task_id = req.task_id;
+      reply->parity_index = parity_index_;
+      auto it = key_index_.find(req.key);
+      if (it != key_index_.end()) {
+        const ParityRecord& rec = records_.at(it->second);
+        // The key must sit at the requested slot: keys are unique file-wide
+        // and the slot is derived from the key's correct bucket.
+        if (rec.keys[req.slot] == req.key) {
+          reply->found = true;
+          reply->record = ToWire(it->second, rec);
+        }
+      }
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    case LhrsMsg::kParityRecordRequest: {
+      const auto& req =
+          static_cast<const ParityRecordRequestMsg&>(*msg.body);
+      auto reply = std::make_unique<ParityRecordReplyMsg>();
+      reply->task_id = req.task_id;
+      reply->column = ctx_->m + parity_index_;
+      auto it = records_.find(req.rank);
+      if (it != records_.end()) {
+        reply->found = true;
+        reply->record = ToWire(it->first, it->second);
+      }
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    case LhrsMsg::kColumnReadRequest: {
+      const auto& req = static_cast<const ColumnReadRequestMsg&>(*msg.body);
+      LHRS_CHECK_EQ(req.group, group_);
+      auto reply = std::make_unique<ColumnReadReplyMsg>();
+      reply->task_id = req.task_id;
+      reply->column = ctx_->m + parity_index_;
+      reply->parity_records.reserve(records_.size());
+      for (const auto& [rank, rec] : records_) {
+        reply->parity_records.push_back(ToWire(rank, rec));
+      }
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    case LhrsMsg::kInstallParityColumn: {
+      InstallColumn(static_cast<const InstallParityColumnMsg&>(*msg.body));
+      auto done = std::make_unique<InstallDoneMsg>();
+      done->task_id =
+          static_cast<const InstallParityColumnMsg&>(*msg.body).task_id;
+      done->column = ctx_->m + parity_index_;
+      Send(msg.from, std::move(done));
+      // Replay deferred traffic in arrival order.
+      std::vector<std::shared_ptr<Message>> queued = std::move(queued_);
+      queued_.clear();
+      for (const auto& m : queued) Dispatch(*m);
+      return;
+    }
+    case LhStarMsg::kSurveyRequest: {
+      const auto& req = static_cast<const SurveyRequestMsg&>(*msg.body);
+      auto reply = std::make_unique<SurveyReplyMsg>();
+      reply->survey_id = req.survey_id;
+      reply->role = SurveyReplyMsg::Role::kParityBucket;
+      reply->group = group_;
+      reply->parity_index = parity_index_;
+      reply->k = k_;
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    case LhrsMsg::kPingRequest: {
+      const auto& req = static_cast<const PingRequestMsg&>(*msg.body);
+      auto pong = std::make_unique<PongReplyMsg>();
+      pong->probe_id = req.probe_id;
+      Send(msg.from, std::move(pong));
+      return;
+    }
+    default:
+      LHRS_LOG(Fatal) << "parity bucket: unhandled message kind "
+                      << msg.body->kind();
+  }
+}
+
+void ParityBucketNode::ApplyDelta(const ParityDelta& delta) {
+  const uint32_t m = ctx_->m;
+  LHRS_CHECK_LT(delta.slot, m);
+  auto [it, created] = records_.try_emplace(delta.rank, ParityRecord(m));
+  ParityRecord& rec = it->second;
+
+  const ErasureCoder& coder = ctx_->coders->ForK(k_);
+  coder.ApplyDelta(delta.slot, delta.delta, parity_index_, &rec.parity);
+
+  switch (delta.key_op) {
+    case ParityDelta::KeyOp::kNone:
+      LHRS_CHECK(rec.keys[delta.slot].has_value())
+          << "value update for an unregistered group member";
+      rec.lengths[delta.slot] = delta.new_length;
+      break;
+    case ParityDelta::KeyOp::kSet:
+      if (rec.keys[delta.slot].has_value()) {
+        LHRS_CHECK_EQ(*rec.keys[delta.slot], delta.key)
+            << "record group slot collision";
+      } else {
+        rec.keys[delta.slot] = delta.key;
+        key_index_[delta.key] = delta.rank;
+      }
+      rec.lengths[delta.slot] = delta.new_length;
+      break;
+    case ParityDelta::KeyOp::kClear:
+      LHRS_CHECK(rec.keys[delta.slot].has_value());
+      key_index_.erase(*rec.keys[delta.slot]);
+      rec.keys[delta.slot].reset();
+      rec.lengths[delta.slot] = 0;
+      break;
+  }
+
+  if (!rec.HasAnyMember()) {
+    // The last member left: the parity of an empty group must be zero —
+    // a cheap, powerful integrity check of the whole delta pipeline.
+    LHRS_CHECK(AllZero(rec.parity))
+        << "non-zero parity for empty record group (g=" << group_
+        << ", r=" << delta.rank << ")";
+    records_.erase(it);
+  }
+}
+
+WireParityRecord ParityBucketNode::ToWire(Rank rank,
+                                          const ParityRecord& rec) const {
+  WireParityRecord out;
+  out.rank = rank;
+  out.keys = rec.keys;
+  out.lengths = rec.lengths;
+  out.parity = rec.parity;
+  return out;
+}
+
+void ParityBucketNode::InstallColumn(const InstallParityColumnMsg& install) {
+  LHRS_CHECK_EQ(install.group, group_);
+  LHRS_CHECK_EQ(install.parity_index, parity_index_);
+  records_.clear();
+  key_index_.clear();
+  for (const auto& wire : install.parity_records) {
+    ParityRecord rec(ctx_->m);
+    rec.keys = wire.keys;
+    rec.lengths = wire.lengths;
+    rec.parity = wire.parity;
+    for (uint32_t slot = 0; slot < ctx_->m; ++slot) {
+      if (rec.keys[slot].has_value()) key_index_[*rec.keys[slot]] = wire.rank;
+    }
+    records_.emplace(wire.rank, std::move(rec));
+  }
+  initialized_ = true;
+}
+
+}  // namespace lhrs

@@ -1,0 +1,92 @@
+#ifndef LHRS_LHRS_PARITY_BUCKET_H_
+#define LHRS_LHRS_PARITY_BUCKET_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "lhrs/messages.h"
+#include "lhrs/shared.h"
+#include "net/node.h"
+
+namespace lhrs {
+
+/// In-memory parity record of record group (g, rank) at one parity bucket:
+/// the member keys and lengths per data slot, and this parity column's
+/// Reed-Solomon parity bytes.
+struct ParityRecord {
+  std::vector<std::optional<Key>> keys;  ///< size m.
+  std::vector<uint32_t> lengths;         ///< size m; 0 when no member.
+  Bytes parity;
+
+  explicit ParityRecord(uint32_t m) : keys(m), lengths(m, 0) {}
+
+  bool HasAnyMember() const {
+    for (const auto& k : keys) {
+      if (k.has_value()) return true;
+    }
+    return false;
+  }
+
+  size_t StorageBytes() const { return keys.size() * 12 + parity.size(); }
+};
+
+/// A server carrying one parity bucket: parity column `parity_index` of
+/// bucket group `group`, at availability level k.
+///
+/// Applies incremental parity deltas from the group's data buckets, serves
+/// rank lookups for degraded-mode record recovery, and dumps / installs its
+/// column during bucket recovery.
+class ParityBucketNode : public Node {
+ public:
+  /// `pre_initialized` is false for recovery spares, which buffer deltas
+  /// and reads until the reconstructed column is installed.
+  ParityBucketNode(std::shared_ptr<LhrsContext> ctx, uint32_t group,
+                   uint32_t parity_index, uint32_t k, bool pre_initialized);
+
+  void HandleMessage(const Message& msg) override;
+  const char* role() const override { return "parity-bucket"; }
+
+  uint32_t group() const { return group_; }
+  uint32_t parity_index() const { return parity_index_; }
+  uint32_t k() const { return k_; }
+  size_t parity_record_count() const { return records_.size(); }
+
+  /// Local inspection for tests / invariant verification.
+  const std::map<Rank, ParityRecord>& parity_records() const {
+    return records_;
+  }
+
+  /// Test-only hook: mutable access to a parity record, used to inject
+  /// silent corruption that scrubbing must detect. Returns nullptr when
+  /// the rank has no record.
+  ParityRecord* MutableParityRecordForTest(Rank rank) {
+    auto it = records_.find(rank);
+    return it == records_.end() ? nullptr : &it->second;
+  }
+
+  size_t StorageBytes() const;
+
+ private:
+  void Dispatch(const Message& msg);
+  void ApplyDelta(const ParityDelta& delta);
+  WireParityRecord ToWire(Rank rank, const ParityRecord& rec) const;
+  void InstallColumn(const InstallParityColumnMsg& install);
+
+  std::shared_ptr<LhrsContext> ctx_;
+  uint32_t group_;
+  uint32_t parity_index_;
+  uint32_t k_;
+  bool initialized_;
+  std::map<Rank, ParityRecord> records_;
+  /// Degraded-read index: key -> rank (keys are unique across the group).
+  std::unordered_map<Key, Rank> key_index_;
+  std::vector<std::shared_ptr<Message>> queued_;  // Pre-install traffic.
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_LHRS_PARITY_BUCKET_H_

@@ -1,0 +1,193 @@
+#include "lhrs/recovery.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lhrs {
+
+namespace {
+
+/// Everything known about one record group (one rank) during
+/// reconstruction.
+struct RankState {
+  std::vector<std::optional<Key>> keys;     // size m; merged metadata.
+  std::vector<uint32_t> lengths;            // size m.
+  std::map<uint32_t, const Bytes*> data;    // survivor data col -> value.
+  std::map<uint32_t, const Bytes*> parity;  // survivor parity col -> bytes.
+  bool have_parity_meta = false;
+
+  explicit RankState(uint32_t m) : keys(m), lengths(m, 0) {}
+};
+
+}  // namespace
+
+Result<std::vector<ReconstructedColumn>> ReconstructColumns(
+    const ReconstructionRequest& req) {
+  const uint32_t m = req.m;
+  LHRS_CHECK(req.coder != nullptr);
+  LHRS_CHECK_LE(req.existing_slots, m);
+
+  std::vector<uint32_t> missing_data;
+  std::vector<uint32_t> missing_parity;
+  for (uint32_t col : req.missing_columns) {
+    (col < m ? missing_data : missing_parity).push_back(col);
+  }
+
+  // Feasibility: survivors + known-zero slots must reach m columns.
+  const uint32_t zero_slots = m - req.existing_slots;
+  if (req.survivors.size() + zero_slots < m) {
+    return Status::DataLoss("group unrecoverable: " +
+                            std::to_string(req.survivors.size()) +
+                            " survivors + " + std::to_string(zero_slots) +
+                            " empty slots < m=" + std::to_string(m));
+  }
+  bool have_parity_survivor = false;
+  for (const auto& s : req.survivors) {
+    if (s.is_parity(m)) have_parity_survivor = true;
+  }
+  if (!missing_data.empty() && !have_parity_survivor) {
+    return Status::DataLoss(
+        "data columns lost and no parity survivor holds their keys");
+  }
+
+  // Collate survivors per rank.
+  std::map<Rank, RankState> table;
+  auto rank_state = [&](Rank r) -> RankState& {
+    return table.try_emplace(r, RankState(m)).first->second;
+  };
+  for (const auto& s : req.survivors) {
+    if (s.is_parity(m)) {
+      for (const auto& pr : s.parity_records) {
+        RankState& st = rank_state(pr.rank);
+        st.parity[s.column] = &pr.parity;
+        if (!st.have_parity_meta) {
+          st.keys = pr.keys;
+          st.lengths = pr.lengths;
+          st.have_parity_meta = true;
+        }
+      }
+    } else {
+      for (const auto& rec : s.records) {
+        RankState& st = rank_state(rec.rank);
+        st.data[s.column] = &rec.value;
+      }
+    }
+  }
+  // Fold data-dump metadata in (and cross-check against parity metadata).
+  for (const auto& s : req.survivors) {
+    if (s.is_parity(m)) continue;
+    for (const auto& rec : s.records) {
+      RankState& st = table.at(rec.rank);
+      if (st.have_parity_meta) {
+        LHRS_CHECK(st.keys[s.column].has_value() &&
+                   *st.keys[s.column] == rec.key)
+            << "parity metadata disagrees with data column " << s.column;
+      } else {
+        st.keys[s.column] = rec.key;
+        st.lengths[s.column] = static_cast<uint32_t>(rec.value.size());
+      }
+    }
+  }
+
+  std::vector<ReconstructedColumn> out;
+  out.reserve(req.missing_columns.size());
+  std::map<uint32_t, ReconstructedColumn*> out_by_col;
+  for (uint32_t col : req.missing_columns) {
+    out.push_back(ReconstructedColumn{col, {}, {}});
+  }
+  for (auto& col : out) out_by_col[col.column] = &col;
+
+  const Bytes kEmpty;
+  for (auto& [rank, st] : table) {
+    // Which of the missing data slots actually hold a member here?
+    std::vector<size_t> wanted;
+    for (uint32_t col : missing_data) {
+      if (st.keys[col].has_value()) wanted.push_back(col);
+    }
+
+    std::vector<Bytes> decoded;
+    if (!wanted.empty()) {
+      std::vector<std::pair<size_t, Bytes>> available;
+      // Survivor data columns (absent record == empty == zero column).
+      for (const auto& s : req.survivors) {
+        if (s.is_parity(m)) continue;
+        auto it = st.data.find(s.column);
+        available.emplace_back(s.column,
+                               it == st.data.end() ? kEmpty : *it->second);
+      }
+      // Known-zero (non-existing) slots.
+      for (uint32_t slot = req.existing_slots; slot < m; ++slot) {
+        available.emplace_back(slot, kEmpty);
+      }
+      // Survivor parity columns (absent parity record == zero parity; only
+      // consistent when the rank has no members there, checked by decode).
+      for (const auto& s : req.survivors) {
+        if (!s.is_parity(m)) continue;
+        auto it = st.parity.find(s.column);
+        available.emplace_back(s.column,
+                               it == st.parity.end() ? kEmpty : *it->second);
+      }
+      auto result = req.coder->DecodeData(available, wanted);
+      if (!result.ok()) return result.status();
+      decoded = std::move(result).value();
+      // Trim each reconstructed value to its recorded length; the padding
+      // beyond it must be zero, a strong end-to-end decode check.
+      for (size_t i = 0; i < wanted.size(); ++i) {
+        const uint32_t len = st.lengths[wanted[i]];
+        LHRS_CHECK_LE(len, decoded[i].size());
+        for (size_t p = len; p < decoded[i].size(); ++p) {
+          LHRS_CHECK_EQ(decoded[i][p], 0)
+              << "decode produced non-zero padding";
+        }
+        decoded[i].resize(len);
+        out_by_col[wanted[i]]->records.push_back(
+            RankedRecord{rank, *st.keys[wanted[i]], decoded[i]});
+      }
+    }
+
+    if (!missing_parity.empty()) {
+      // Assemble the full data row (survivor values + freshly decoded) and
+      // re-encode the missing parity columns.
+      std::vector<const Bytes*> row(m, nullptr);
+      for (uint32_t slot = 0; slot < req.existing_slots; ++slot) {
+        if (!st.keys[slot].has_value()) continue;
+        auto it = st.data.find(slot);
+        if (it != st.data.end()) {
+          row[slot] = it->second;
+          continue;
+        }
+        auto w = std::find(wanted.begin(), wanted.end(), slot);
+        LHRS_CHECK(w != wanted.end())
+            << "member value for slot " << slot << " is neither a survivor "
+            << "nor reconstructible";
+        row[slot] = &decoded[w - wanted.begin()];
+      }
+      bool any_member = false;
+      for (const Bytes* v : row) any_member |= (v != nullptr);
+      if (any_member) {
+        for (uint32_t col : missing_parity) {
+          const uint32_t j = col - m;
+          Bytes parity;
+          for (uint32_t slot = 0; slot < m; ++slot) {
+            if (row[slot] == nullptr) continue;
+            req.coder->ApplyDelta(slot, *row[slot], j, &parity);
+          }
+          WireParityRecord pr;
+          pr.rank = rank;
+          pr.keys = st.keys;
+          pr.lengths = st.lengths;
+          pr.parity = std::move(parity);
+          out_by_col[col]->parity_records.push_back(std::move(pr));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lhrs

@@ -1,0 +1,1159 @@
+#include "lhrs/rs_coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "net/network.h"
+
+namespace lhrs {
+
+RsCoordinatorNode::RsCoordinatorNode(std::shared_ptr<LhrsContext> lhrs_ctx)
+    : CoordinatorNode(lhrs_ctx->base), lhrs_ctx_(std::move(lhrs_ctx)) {}
+
+const RsCoordinatorNode::GroupInfo& RsCoordinatorNode::group_info(
+    uint32_t g) const {
+  LHRS_CHECK_LT(g, groups_.size());
+  return groups_[g];
+}
+
+uint32_t RsCoordinatorNode::ExistingSlots(uint32_t g) const {
+  const uint32_t m = lhrs_ctx_->m;
+  const BucketNo total = state_.bucket_count();
+  const BucketNo first = g * m;
+  LHRS_CHECK_LT(first, total);
+  return std::min<BucketNo>(m, total - first);
+}
+
+bool RsCoordinatorNode::NodeUp(NodeId node) const {
+  return net()->available(node);
+}
+
+void RsCoordinatorNode::EnsureGroup(uint32_t g) {
+  LHRS_CHECK(parity_factory_) << "coordinator has no parity factory";
+  while (groups_.size() <= g) {
+    const uint32_t new_group = static_cast<uint32_t>(groups_.size());
+    GroupInfo info;
+    info.k = lhrs_ctx_->policy.KForFileSize(state_.bucket_count());
+    info.parity_nodes.reserve(info.k);
+    for (uint32_t j = 0; j < info.k; ++j) {
+      info.parity_nodes.push_back(
+          parity_factory_(new_group, j, info.k, /*spare=*/false));
+    }
+    groups_.push_back(std::move(info));
+  }
+}
+
+void RsCoordinatorNode::InitializeGroups() {
+  const uint32_t last_group =
+      GroupOf(state_.bucket_count() - 1, lhrs_ctx_->m);
+  EnsureGroup(last_group);
+  for (uint32_t g = 0; g <= last_group; ++g) SendGroupConfig(g);
+}
+
+void RsCoordinatorNode::SendGroupConfig(uint32_t g) {
+  const GroupInfo& info = groups_[g];
+  const uint32_t existing = ExistingSlots(g);
+  for (uint32_t slot = 0; slot < existing; ++slot) {
+    const BucketNo b = g * lhrs_ctx_->m + slot;
+    auto cfg = std::make_unique<GroupConfigMsg>();
+    cfg->group = g;
+    cfg->k = info.k;
+    cfg->parity_nodes = info.parity_nodes;
+    Send(ctx_->allocation.Lookup(b), std::move(cfg));
+  }
+}
+
+void RsCoordinatorNode::OnBucketCreated(BucketNo bucket, NodeId node,
+                                        Level level) {
+  (void)level;
+  const uint32_t g = GroupOf(bucket, lhrs_ctx_->m);
+  EnsureGroup(g);
+  const GroupInfo& info = groups_[g];
+  auto cfg = std::make_unique<GroupConfigMsg>();
+  cfg->group = g;
+  cfg->k = info.k;
+  cfg->parity_nodes = info.parity_nodes;
+  Send(node, std::move(cfg));
+}
+
+// --- Failure detection -------------------------------------------------
+
+void RsCoordinatorNode::HandleUnavailableReport(
+    const UnavailableReportMsg& report) {
+  // With automatic recovery off, failure handling is operator-driven
+  // (NotifyUnavailable); third-party reports are informational only.
+  if (!lhrs_ctx_->auto_recover) return;
+  // Ignore stale reports (node already replaced) and duplicates (already
+  // recovering); otherwise verify with a liveness probe before committing
+  // to a recovery.
+  if (report.is_parity) {
+    if (report.group >= groups_.size()) return;
+    const GroupInfo& info = groups_[report.group];
+    if (report.parity_index >= info.k) return;
+    if (info.parity_nodes[report.parity_index] != report.node) return;
+    if (recovering_parity_.contains({report.group, report.parity_index})) {
+      return;
+    }
+  } else {
+    if (!ctx_->allocation.Knows(report.bucket)) return;
+    if (ctx_->allocation.Lookup(report.bucket) != report.node) return;
+    if (recovering_data_.contains(report.bucket)) return;
+  }
+  const uint64_t probe_id = next_probe_id_++;
+  probes_[probe_id] = report.node;
+  auto ping = std::make_unique<PingRequestMsg>();
+  ping->probe_id = probe_id;
+  Send(report.node, std::move(ping));
+}
+
+void RsCoordinatorNode::NotifyUnavailable(NodeId node) {
+  std::set<uint32_t> affected;
+  for (BucketNo b = 0; b < state_.bucket_count(); ++b) {
+    if (ctx_->allocation.Knows(b) && ctx_->allocation.Lookup(b) == node) {
+      affected.insert(GroupOf(b, lhrs_ctx_->m));
+    }
+  }
+  for (uint32_t g = 0; g < groups_.size(); ++g) {
+    for (NodeId p : groups_[g].parity_nodes) {
+      if (p == node) affected.insert(g);
+    }
+  }
+  for (uint32_t g : affected) RecoverGroup(g);
+}
+
+void RsCoordinatorNode::RecoverGroup(uint32_t g) { StartRecovery(g); }
+
+// --- Recovery orchestration ---------------------------------------------
+
+void RsCoordinatorNode::StartRecovery(uint32_t g) {
+  EnsureGroup(g);
+  GroupInfo& info = groups_[g];
+  if (info.lost) return;
+
+  const uint32_t m = lhrs_ctx_->m;
+  const uint32_t existing = ExistingSlots(g);
+  const uint32_t zero_slots = m - existing;
+
+  // Classify columns.
+  std::vector<uint32_t> missing;
+  std::vector<uint32_t> alive_data;    // columns (slots).
+  std::vector<uint32_t> alive_parity;  // parity indexes.
+  for (uint32_t slot = 0; slot < existing; ++slot) {
+    const BucketNo b = g * m + slot;
+    const NodeId node =
+        ctx_->allocation.Knows(b) ? ctx_->allocation.Lookup(b) : kInvalidNode;
+    if (recovering_data_.contains(b) || node == kInvalidNode ||
+        !NodeUp(node)) {
+      missing.push_back(slot);
+    } else {
+      alive_data.push_back(slot);
+    }
+  }
+  for (uint32_t j = 0; j < info.k; ++j) {
+    const NodeId node = info.parity_nodes[j];
+    if (recovering_parity_.contains({g, j}) || node == kInvalidNode ||
+        !NodeUp(node)) {
+      missing.push_back(m + j);
+    } else {
+      alive_parity.push_back(j);
+    }
+  }
+  if (missing.empty()) return;
+  // Already handled by an identical in-flight task? Don't restart it.
+  if (auto it = group_task_.find(g); it != group_task_.end()) {
+    if (tasks_.at(it->second).missing_columns == missing) return;
+  }
+
+  bool missing_has_data = false;
+  for (uint32_t col : missing) missing_has_data |= (col < m);
+
+  // Feasibility (MDS bound + key metadata).
+  if (alive_data.size() + zero_slots + alive_parity.size() < m ||
+      (missing_has_data && alive_parity.empty())) {
+    MarkGroupLost(g);
+    return;
+  }
+
+  // Abort any in-flight task for this group (its survivor set is stale).
+  if (auto it = group_task_.find(g); it != group_task_.end()) {
+    tasks_.erase(it->second);
+    group_task_.erase(it);
+  }
+
+  RecoveryTask task;
+  task.id = next_task_id_++;
+  task.group = g;
+  task.missing_columns = missing;
+
+  // Allocate (or reuse) a spare per missing column and repoint the
+  // directory at it; uninitialised spares queue traffic until installed.
+  for (uint32_t col : missing) {
+    if (col < m) {
+      const BucketNo b = g * m + col;
+      const Level level = state_.BucketLevel(b);
+      NodeId spare =
+          ctx_->allocation.Knows(b) ? ctx_->allocation.Lookup(b)
+                                    : kInvalidNode;
+      if (!recovering_data_.contains(b) || spare == kInvalidNode ||
+          !NodeUp(spare)) {
+        spare = CreateBucketNode(b, level);
+        ctx_->allocation.Set(b, spare);
+      }
+      recovering_data_.insert(b);
+      task.spares[col] = spare;
+      task.data_levels[col] = level;
+    } else {
+      const uint32_t j = col - m;
+      NodeId spare = info.parity_nodes[j];
+      if (!recovering_parity_.contains({g, j}) || spare == kInvalidNode ||
+          !NodeUp(spare)) {
+        spare = parity_factory_(g, j, info.k, /*spare=*/true);
+        info.parity_nodes[j] = spare;
+      }
+      recovering_parity_.insert({g, j});
+      task.spares[col] = spare;
+    }
+  }
+  // New parity locations must reach the group's data buckets — including
+  // the data spares, which SendGroupConfig covers because the allocation
+  // table already points at them.
+  SendGroupConfig(g);
+
+  // Read set: every alive data column, plus enough parity columns for the
+  // decode (at least one when data is missing, for the key metadata).
+  size_t parity_reads =
+      m > zero_slots + alive_data.size()
+          ? m - zero_slots - alive_data.size()
+          : 0;
+  if (missing_has_data && parity_reads == 0) parity_reads = 1;
+  LHRS_CHECK_LE(parity_reads, alive_parity.size());
+
+  for (uint32_t slot : alive_data) {
+    const BucketNo b = g * m + slot;
+    auto read = std::make_unique<ColumnReadRequestMsg>();
+    read->task_id = task.id;
+    read->group = g;
+    task.awaiting_reads.insert(slot);
+    Send(ctx_->allocation.Lookup(b), std::move(read));
+  }
+  for (size_t i = 0; i < parity_reads; ++i) {
+    const uint32_t j = alive_parity[i];
+    auto read = std::make_unique<ColumnReadRequestMsg>();
+    read->task_id = task.id;
+    read->group = g;
+    task.awaiting_reads.insert(m + j);
+    Send(info.parity_nodes[j], std::move(read));
+  }
+
+  group_task_[g] = task.id;
+  const uint64_t id = task.id;
+  tasks_.emplace(id, std::move(task));
+  // A group with no reads to await (all survivors are known-zero slots)
+  // cannot happen: missing data requires a parity read, and missing parity
+  // with no alive data means existing == 0, impossible.
+  LHRS_CHECK(!tasks_.at(id).awaiting_reads.empty());
+}
+
+void RsCoordinatorNode::MarkGroupLost(uint32_t g) {
+  GroupInfo& info = groups_[g];
+  if (info.lost) return;
+  info.lost = true;
+  ++groups_lost_;
+  LHRS_LOG(Warning) << "bucket group " << g
+                    << " lost: more failures than availability level k="
+                    << info.k;
+  if (auto it = group_task_.find(g); it != group_task_.end()) {
+    tasks_.erase(it->second);
+    group_task_.erase(it);
+  }
+  const uint32_t m = lhrs_ctx_->m;
+  for (uint32_t slot = 0; slot < ExistingSlots(g); ++slot) {
+    const BucketNo b = g * m + slot;
+    if (recovering_data_.contains(b)) {
+      // Stand the half-built spare down so it bounces queued ops back
+      // here, where they fail loudly instead of hanging.
+      auto stand_down = std::make_unique<SelfCheckReplyMsg>();
+      stand_down->bucket = b;
+      stand_down->still_owner = false;
+      Send(ctx_->allocation.Lookup(b), std::move(stand_down));
+    }
+    auto parked = parked_.find(b);
+    if (parked == parked_.end()) continue;
+    for (const auto& op : parked->second) {
+      FailClientOp(op, StatusCode::kDataLoss,
+                   "bucket group lost more columns than its availability "
+                   "level tolerates");
+    }
+    parked_.erase(parked);
+  }
+  std::vector<uint64_t> doomed;
+  for (auto& [id, task] : degraded_) {
+    if (task.group == g) doomed.push_back(id);
+  }
+  for (uint64_t id : doomed) {
+    FailDegradedRead(degraded_.at(id),
+                     Status::DataLoss("bucket group lost"));
+  }
+  // Restructuring steps stalled on buckets of the lost group can never
+  // resume; abandon them so the file keeps operating elsewhere.
+  bool dropped_restructure = false;
+  for (auto it = pending_split_orders_.begin();
+       it != pending_split_orders_.end();) {
+    if (GroupOf(it->first, m) == g) {
+      it = pending_split_orders_.erase(it);
+      dropped_restructure = true;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pending_move_records_.begin();
+       it != pending_move_records_.end();) {
+    if (GroupOf(it->first, m) == g) {
+      it = pending_move_records_.erase(it);
+      dropped_restructure = true;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pending_merge_records_.begin();
+       it != pending_merge_records_.end();) {
+    if (GroupOf(it->first, m) == g) {
+      it = pending_merge_records_.erase(it);
+      dropped_restructure = true;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped_restructure) AbortRestructure();
+  MaybeStartSplit();
+}
+
+void RsCoordinatorNode::OnColumnRead(const ColumnReadReplyMsg& reply,
+                                     NodeId from) {
+  (void)from;
+  if (auto scrub = scrubs_.find(reply.task_id); scrub != scrubs_.end()) {
+    ScrubTask& task = scrub->second;
+    if (!task.awaiting_reads.erase(reply.column)) return;
+    ColumnDump dump;
+    dump.column = reply.column;
+    dump.records = reply.records;
+    dump.parity_records = reply.parity_records;
+    task.dumps.push_back(std::move(dump));
+    if (task.awaiting_reads.empty()) FinishScrub(task);
+    return;
+  }
+  auto it = tasks_.find(reply.task_id);
+  if (it == tasks_.end()) return;  // Stale task.
+  RecoveryTask& task = it->second;
+  if (!task.awaiting_reads.erase(reply.column)) return;
+  ColumnDump dump;
+  dump.column = reply.column;
+  dump.records = reply.records;
+  dump.parity_records = reply.parity_records;
+  task.dumps.push_back(std::move(dump));
+  if (task.awaiting_reads.empty()) TryDecodeAndInstall(task);
+}
+
+void RsCoordinatorNode::TryDecodeAndInstall(RecoveryTask& task) {
+  const GroupInfo& info = groups_[task.group];
+  ReconstructionRequest req;
+  req.m = lhrs_ctx_->m;
+  req.k = info.k;
+  req.coder = &lhrs_ctx_->coders->ForK(info.k);
+  req.existing_slots = ExistingSlots(task.group);
+  req.survivors = task.dumps;
+  req.missing_columns = task.missing_columns;
+
+  auto result = ReconstructColumns(req);
+  if (!result.ok()) {
+    LHRS_LOG(Warning) << "reconstruction of group " << task.group
+                      << " failed: " << result.status();
+    MarkGroupLost(task.group);
+    return;
+  }
+
+  for (auto& col : *result) {
+    const NodeId spare = task.spares.at(col.column);
+    if (col.column < lhrs_ctx_->m) {
+      auto install = std::make_unique<InstallDataColumnMsg>();
+      install->task_id = task.id;
+      install->bucket = task.group * lhrs_ctx_->m + col.column;
+      install->level = task.data_levels.at(col.column);
+      install->records = std::move(col.records);
+      task.awaiting_installs.insert(col.column);
+      Send(spare, std::move(install));
+    } else {
+      auto install = std::make_unique<InstallParityColumnMsg>();
+      install->task_id = task.id;
+      install->group = task.group;
+      install->parity_index = col.column - lhrs_ctx_->m;
+      install->parity_records = std::move(col.parity_records);
+      task.awaiting_installs.insert(col.column);
+      Send(spare, std::move(install));
+    }
+  }
+  LHRS_CHECK(!task.awaiting_installs.empty());
+}
+
+void RsCoordinatorNode::OnInstallDone(const InstallDoneMsg& done) {
+  auto it = tasks_.find(done.task_id);
+  if (it == tasks_.end()) return;
+  RecoveryTask& task = it->second;
+  if (!task.awaiting_installs.erase(done.column)) return;
+  ++columns_recovered_;
+  if (task.awaiting_installs.empty() && task.awaiting_reads.empty()) {
+    FinishTask(task);
+  }
+}
+
+void RsCoordinatorNode::FinishTask(RecoveryTask& task) {
+  const uint32_t m = lhrs_ctx_->m;
+  std::vector<ClientOpViaCoordinatorMsg> to_replay;
+  std::vector<BucketNo> recovered_buckets;
+  for (uint32_t col : task.missing_columns) {
+    if (col < m) {
+      const BucketNo b = task.group * m + col;
+      recovering_data_.erase(b);
+      recovered_buckets.push_back(b);
+      auto parked = parked_.find(b);
+      if (parked != parked_.end()) {
+        for (auto& op : parked->second) to_replay.push_back(std::move(op));
+        parked_.erase(parked);
+      }
+    } else {
+      recovering_parity_.erase({task.group, col - m});
+    }
+  }
+  ++recoveries_completed_;
+  const uint32_t g = task.group;
+  group_task_.erase(g);
+  tasks_.erase(task.id);  // `task` is dead after this line.
+  for (const auto& op : to_replay) DeliverViaState(op);
+
+  // Resume restructuring steps that stalled on now-recovered buckets.
+  for (BucketNo b : recovered_buckets) {
+    if (auto it = pending_split_orders_.find(b);
+        it != pending_split_orders_.end()) {
+      Send(ctx_->allocation.Lookup(b),
+           std::make_unique<SplitOrderMsg>(it->second));
+      pending_split_orders_.erase(it);
+    }
+    if (auto it = pending_move_records_.find(b);
+        it != pending_move_records_.end()) {
+      Send(ctx_->allocation.Lookup(b),
+           std::make_unique<MoveRecordsMsg>(it->second));
+      pending_move_records_.erase(it);
+    }
+    if (auto it = pending_merge_records_.find(b);
+        it != pending_merge_records_.end()) {
+      Send(ctx_->allocation.Lookup(b),
+           std::make_unique<MergeRecordsMsg>(it->second));
+      pending_merge_records_.erase(it);
+    }
+  }
+  MaybeStartSplit();
+}
+
+void RsCoordinatorNode::OnSplitOrderDeliveryFailure(const SplitOrderMsg& order,
+                                                    NodeId victim_node) {
+  // The split victim is down (undetected until now). Recover it, then
+  // retry the order; the state already advanced and the new bucket exists.
+  const BucketNo victim =
+      order.new_bucket -
+      (BucketNo{ctx_->config.initial_buckets} << (order.new_level - 1));
+  pending_split_orders_[victim] = order;
+  NotifyUnavailable(victim_node);
+}
+
+void RsCoordinatorNode::OnOrphanedMoveRecords(const MoveRecordsMsg& move) {
+  // The split target died holding no state; the moved records live only in
+  // this message. Recover the (empty) target, then deliver the move.
+  pending_move_records_[move.bucket] = move;
+  if (!IsRecoveringData(move.bucket)) {
+    StartRecovery(GroupOf(move.bucket, lhrs_ctx_->m));
+  }
+}
+
+void RsCoordinatorNode::OnOrphanedMergeRecords(const MergeRecordsMsg& merge) {
+  pending_merge_records_[merge.parent_bucket] = merge;
+  if (!IsRecoveringData(merge.parent_bucket)) {
+    StartRecovery(GroupOf(merge.parent_bucket, lhrs_ctx_->m));
+  }
+}
+
+// --- Coordinator soft-state recovery -----------------------------------------
+
+void RsCoordinatorNode::WipeSoftStateAndResurvey() {
+  // Total soft-state loss: the restarted coordinator process knows only
+  // its configuration (N, m, b, policy) and the set of machine addresses.
+  state_ = FileState{};
+  state_.initial_buckets = ctx_->config.initial_buckets;
+  ctx_->allocation.Clear();
+  groups_.clear();
+  tasks_.clear();
+  group_task_.clear();
+  recovering_data_.clear();
+  recovering_parity_.clear();
+  degraded_.clear();
+  scrubs_.clear();
+  parked_.clear();
+  probes_.clear();
+  survey_rebuilt_ = false;
+
+  SurveyState survey;
+  survey.id = next_survey_id_++;
+  const size_t nodes = net()->node_count();
+  std::vector<std::pair<NodeId, std::unique_ptr<MessageBody>>> batch;
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
+    if (n == id()) continue;
+    auto req = std::make_unique<SurveyRequestMsg>();
+    req->survey_id = survey.id;
+    batch.emplace_back(n, std::move(req));
+    ++survey.awaiting;
+  }
+  const uint64_t sid = survey.id;
+  surveys_.emplace(sid, std::move(survey));
+  net()->Multicast(id(), std::move(batch));
+}
+
+void RsCoordinatorNode::FinishSurvey(SurveyState& survey) {
+  const uint32_t m = lhrs_ctx_->m;
+  // Allocation table + (A6) file state from the data-bucket replies.
+  Level min_level = ~Level{0};
+  BucketNo max_bucket = 0;
+  bool any_data = false;
+  for (const auto& [node, reply] : survey.replies) {
+    if (reply.role != SurveyReplyMsg::Role::kDataBucket ||
+        reply.decommissioned) {
+      continue;
+    }
+    any_data = true;
+    ctx_->allocation.Set(reply.bucket, node);
+    min_level = std::min(min_level, reply.level);
+    max_bucket = std::max(max_bucket, reply.bucket);
+    ctx_->total_records += reply.record_count;
+  }
+  LHRS_CHECK(any_data) << "survey found no data buckets";
+  // Parity directory.
+  uint32_t max_group = 0;
+  for (const auto& [node, reply] : survey.replies) {
+    if (reply.role == SurveyReplyMsg::Role::kParityBucket) {
+      max_group = std::max(max_group, reply.group);
+    }
+  }
+  groups_.assign(max_group + 1, GroupInfo{});
+  for (const auto& [node, reply] : survey.replies) {
+    if (reply.role != SurveyReplyMsg::Role::kParityBucket) continue;
+    GroupInfo& info = groups_[reply.group];
+    if (info.k == 0) {
+      info.k = reply.k;
+      info.parity_nodes.assign(reply.k, kInvalidNode);
+    }
+    LHRS_CHECK_EQ(info.k, reply.k) << "inconsistent k in group survey";
+    // Keep the newest registration (a stale decommissioned twin may also
+    // answer; parity buckets are never decommissioned, but recovered ones
+    // leave their dead predecessors silent, so collisions cannot happen).
+    info.parity_nodes[reply.parity_index] = node;
+  }
+  // Groups whose every parity bucket stayed silent: availability level is
+  // unknowable from the survey; fall back to the policy (exact for
+  // fixed-k files) and let recovery rebuild the columns from the data.
+  for (GroupInfo& info : groups_) {
+    if (info.k == 0) {
+      info.k = lhrs_ctx_->policy.KForFileSize(max_bucket + 1);
+      info.parity_nodes.assign(info.k, kInvalidNode);
+    }
+  }
+  // (A6) closed form. The survey needs the highest bucket's server alive
+  // to pin M; cross-check against the parity directory extent.
+  FileState rebuilt;
+  rebuilt.initial_buckets = ctx_->config.initial_buckets;
+  rebuilt.i = min_level;
+  const BucketNo boundary =
+      BucketNo{ctx_->config.initial_buckets} << min_level;
+  BucketNo total = max_bucket + 1;
+  LHRS_CHECK_GE(total, boundary)
+      << "survey replies inconsistent with LH* (is the last bucket down?)";
+  rebuilt.n = total - boundary;
+  state_ = rebuilt;
+
+  survey_rebuilt_ = true;
+  surveys_.erase(survey.id);
+
+  // Heal the holes: recover buckets/parity columns whose servers stayed
+  // silent, through the ordinary machinery.
+  if (lhrs_ctx_->auto_recover) {
+    for (uint32_t g = 0; g < groups_.size(); ++g) StartRecovery(g);
+  }
+}
+
+// --- Parity scrubbing --------------------------------------------------------
+
+void RsCoordinatorNode::StartScrub(uint32_t g, bool repair) {
+  EnsureGroup(g);
+  const GroupInfo& info = groups_[g];
+  if (info.lost) return;
+  const uint32_t m = lhrs_ctx_->m;
+
+  ScrubTask task;
+  task.id = next_task_id_++;
+  task.group = g;
+  task.repair = repair;
+  for (uint32_t slot = 0; slot < ExistingSlots(g); ++slot) {
+    const BucketNo b = g * m + slot;
+    LHRS_CHECK(NodeUp(ctx_->allocation.Lookup(b)))
+        << "scrub requires every column up";
+    auto read = std::make_unique<ColumnReadRequestMsg>();
+    read->task_id = task.id;
+    read->group = g;
+    task.awaiting_reads.insert(slot);
+    Send(ctx_->allocation.Lookup(b), std::move(read));
+  }
+  for (uint32_t j = 0; j < info.k; ++j) {
+    LHRS_CHECK(NodeUp(info.parity_nodes[j]))
+        << "scrub requires every column up";
+    auto read = std::make_unique<ColumnReadRequestMsg>();
+    read->task_id = task.id;
+    read->group = g;
+    task.awaiting_reads.insert(m + j);
+    Send(info.parity_nodes[j], std::move(read));
+  }
+  const uint64_t id = task.id;
+  scrubs_.emplace(id, std::move(task));
+}
+
+void RsCoordinatorNode::FinishScrub(ScrubTask& task) {
+  const uint32_t m = lhrs_ctx_->m;
+  const GroupInfo& info = groups_[task.group];
+  const ErasureCoder& coder = lhrs_ctx_->coders->ForK(info.k);
+
+  // Ground truth per rank from the data columns.
+  struct Truth {
+    std::vector<std::optional<Key>> keys;
+    std::vector<uint32_t> lengths;
+    std::vector<const Bytes*> values;
+    explicit Truth(uint32_t m) : keys(m), lengths(m, 0), values(m) {}
+  };
+  std::map<Rank, Truth> truth;
+  for (const auto& dump : task.dumps) {
+    if (dump.is_parity(m)) continue;
+    for (const auto& rec : dump.records) {
+      auto [it, unused] = truth.try_emplace(rec.rank, Truth(m));
+      it->second.keys[dump.column] = rec.key;
+      it->second.lengths[dump.column] =
+          static_cast<uint32_t>(rec.value.size());
+      it->second.values[dump.column] = &rec.value;
+    }
+  }
+
+  auto equal_mod_padding = [](const Bytes& a, const Bytes& b) {
+    const size_t n = std::min(a.size(), b.size());
+    if (!std::equal(a.begin(), a.begin() + n, b.begin())) return false;
+    const Bytes& longer = a.size() >= b.size() ? a : b;
+    for (size_t i = n; i < longer.size(); ++i) {
+      if (longer[i] != 0) return false;
+    }
+    return true;
+  };
+
+  std::set<uint32_t> bad_columns;
+  for (const auto& dump : task.dumps) {
+    if (!dump.is_parity(m)) continue;
+    const uint32_t j = dump.column - m;
+    std::set<Rank> seen;
+    for (const auto& pr : dump.parity_records) {
+      seen.insert(pr.rank);
+      auto it = truth.find(pr.rank);
+      bool ok = it != truth.end();
+      if (ok) {
+        const Truth& t = it->second;
+        for (uint32_t slot = 0; slot < m && ok; ++slot) {
+          ok = pr.keys[slot] == t.keys[slot] &&
+               (!t.keys[slot].has_value() ||
+                pr.lengths[slot] == t.lengths[slot]);
+        }
+        if (ok) {
+          Bytes expected;
+          for (uint32_t slot = 0; slot < m; ++slot) {
+            if (t.values[slot] == nullptr) continue;
+            coder.ApplyDelta(slot, *t.values[slot], j, &expected);
+          }
+          ok = equal_mod_padding(expected, pr.parity);
+        }
+      }
+      if (!ok) {
+        ++scrub_report_.mismatched_parity_records;
+        bad_columns.insert(dump.column);
+      }
+    }
+    // Ranks the parity bucket is missing entirely.
+    for (const auto& [rank, t] : truth) {
+      if (!seen.contains(rank)) {
+        ++scrub_report_.mismatched_parity_records;
+        bad_columns.insert(dump.column);
+      }
+    }
+  }
+  ++scrub_report_.groups_scrubbed;
+  scrub_report_.record_groups_checked += truth.size();
+
+  if (task.repair && !bad_columns.empty()) {
+    // Re-encode the bad columns from the (authoritative) data columns.
+    ReconstructionRequest req;
+    req.m = m;
+    req.k = info.k;
+    req.coder = &coder;
+    req.existing_slots = ExistingSlots(task.group);
+    for (const auto& dump : task.dumps) {
+      if (!dump.is_parity(m)) req.survivors.push_back(dump);
+    }
+    req.missing_columns.assign(bad_columns.begin(), bad_columns.end());
+    auto result = ReconstructColumns(req);
+    LHRS_CHECK(result.ok()) << result.status();
+    for (auto& col : *result) {
+      auto install = std::make_unique<InstallParityColumnMsg>();
+      install->task_id = task.id;
+      install->group = task.group;
+      install->parity_index = col.column - m;
+      install->parity_records = std::move(col.parity_records);
+      Send(info.parity_nodes[col.column - m], std::move(install));
+      ++scrub_report_.parity_columns_repaired;
+    }
+  }
+  scrubs_.erase(task.id);
+}
+
+// --- Client ops in degraded mode ------------------------------------------
+
+void RsCoordinatorNode::ParkOp(const ClientOpViaCoordinatorMsg& op) {
+  const BucketNo a = state_.Address(op.key);
+  parked_[a].push_back(op);
+}
+
+void RsCoordinatorNode::HandleClientOpFallback(
+    const ClientOpViaCoordinatorMsg& op) {
+  MaybeResetClientImage(op);
+  const BucketNo a = state_.Address(op.key);
+  const uint32_t g = GroupOf(a, lhrs_ctx_->m);
+  if (g < groups_.size() && groups_[g].lost) {
+    FailClientOp(op, StatusCode::kDataLoss, "bucket group lost");
+    return;
+  }
+  if (IsRecoveringData(a)) {
+    if (op.op == OpType::kSearch) {
+      StartDegradedRead(op);
+    } else {
+      ParkOp(op);
+    }
+    return;
+  }
+  const NodeId node = ctx_->allocation.Lookup(a);
+  if (!NodeUp(node)) {
+    OnDataBucketUnreachable(a, &op);
+    return;
+  }
+  DeliverViaState(op);
+}
+
+void RsCoordinatorNode::OnDataBucketUnreachable(
+    BucketNo bucket, const ClientOpViaCoordinatorMsg* op) {
+  const uint32_t g = GroupOf(bucket, lhrs_ctx_->m);
+  if (lhrs_ctx_->auto_recover) StartRecovery(g);
+  if (g < groups_.size() && groups_[g].lost) {
+    if (op != nullptr) {
+      FailClientOp(*op, StatusCode::kDataLoss, "bucket group lost");
+    }
+    return;
+  }
+  if (op == nullptr) return;
+  if (op->op == OpType::kSearch) {
+    // Record recovery serves the read in degraded mode, long before the
+    // full bucket recovery completes (paper section 2.6).
+    StartDegradedRead(*op);
+  } else if (IsRecoveringData(bucket)) {
+    ParkOp(*op);  // Completed right after the bucket is rebuilt.
+  } else {
+    FailClientOp(*op, StatusCode::kUnavailable,
+                 "bucket unavailable and automatic recovery is off");
+  }
+}
+
+void RsCoordinatorNode::OnOpDeliveryFailure(const OpRequestMsg& req) {
+  ClientOpViaCoordinatorMsg op;
+  op.op = req.op;
+  op.op_id = req.op_id;
+  op.client = req.client;
+  op.intended_bucket = req.intended_bucket;
+  op.key = req.key;
+  op.value = req.value;
+  OnDataBucketUnreachable(req.intended_bucket, &op);
+}
+
+void RsCoordinatorNode::StartDegradedRead(
+    const ClientOpViaCoordinatorMsg& op) {
+  const BucketNo a = state_.Address(op.key);
+  const uint32_t g = GroupOf(a, lhrs_ctx_->m);
+  EnsureGroup(g);
+  const GroupInfo& info = groups_[g];
+
+  // Find a live parity bucket to resolve key -> record group. Unlike the
+  // LH*g baseline, no scan is needed: the group's parity buckets are known.
+  uint32_t j = info.k;
+  for (uint32_t cand = 0; cand < info.k; ++cand) {
+    if (!recovering_parity_.contains({g, cand}) &&
+        NodeUp(info.parity_nodes[cand])) {
+      j = cand;
+      break;
+    }
+  }
+  if (j == info.k) {
+    if (IsRecoveringData(a)) {
+      ParkOp(op);  // Parity is being rebuilt; the op completes afterwards.
+    } else {
+      FailClientOp(op, StatusCode::kUnavailable,
+                   "no parity bucket available for record recovery");
+    }
+    return;
+  }
+
+  DegradedReadTask task;
+  task.id = next_task_id_++;
+  task.op = op;
+  task.group = g;
+  task.target_slot = SlotOf(a, lhrs_ctx_->m);
+  task.used_parity.insert(j);
+  const uint64_t id = task.id;
+  degraded_.emplace(id, std::move(task));
+
+  auto find = std::make_unique<FindRankRequestMsg>();
+  find->task_id = id;
+  find->key = op.key;
+  find->slot = SlotOf(a, lhrs_ctx_->m);
+  Send(info.parity_nodes[j], std::move(find));
+}
+
+void RsCoordinatorNode::OnFindRankReply(const FindRankReplyMsg& reply) {
+  auto it = degraded_.find(reply.task_id);
+  if (it == degraded_.end()) return;
+  DegradedReadTask& task = it->second;
+  if (!reply.found) {
+    // No parity record holds the key: the search is (correctly)
+    // unsuccessful even though the bucket is down.
+    FailDegradedRead(task, Status::NotFound("no such key"));
+    return;
+  }
+  task.have_meta = true;
+  task.meta = reply.record;
+  task.columns[lhrs_ctx_->m + reply.parity_index] = reply.record.parity;
+  ContinueDegradedRead(task);
+}
+
+void RsCoordinatorNode::ContinueDegradedRead(DegradedReadTask& task) {
+  const uint32_t m = lhrs_ctx_->m;
+  const uint32_t g = task.group;
+  const GroupInfo& info = groups_[g];
+  const uint32_t existing = ExistingSlots(g);
+
+  // Request the sibling records (alive member slots other than the target).
+  size_t free_columns = m - existing;  // Non-existing slots: known zero.
+  std::vector<uint32_t> dead_members;
+  for (uint32_t slot = 0; slot < existing; ++slot) {
+    if (slot == task.target_slot) continue;
+    if (!task.meta.keys[slot].has_value()) {
+      ++free_columns;  // No member here: known-zero column.
+      continue;
+    }
+    if (task.columns.contains(slot) || task.awaiting.contains(slot)) {
+      continue;
+    }
+    const BucketNo b = g * m + slot;
+    const NodeId node = ctx_->allocation.Lookup(b);
+    if (IsRecoveringData(b) || !NodeUp(node)) {
+      dead_members.push_back(slot);
+      continue;
+    }
+    auto read = std::make_unique<RecordReadRequestMsg>();
+    read->task_id = task.id;
+    read->rank = task.meta.rank;
+    read->column = slot;
+    task.awaiting.insert(slot);
+    Send(node, std::move(read));
+  }
+
+  // Top up with extra parity columns until m columns are in hand.
+  const size_t have = free_columns + task.columns.size() +
+                      task.awaiting.size();
+  if (have < m) {
+    size_t need = m - have;
+    for (uint32_t j = 0; j < info.k && need > 0; ++j) {
+      if (task.used_parity.contains(j)) continue;
+      if (recovering_parity_.contains({g, j}) ||
+          !NodeUp(info.parity_nodes[j])) {
+        continue;
+      }
+      auto read = std::make_unique<ParityRecordRequestMsg>();
+      read->task_id = task.id;
+      read->rank = task.meta.rank;
+      read->column = m + j;
+      task.awaiting.insert(m + j);
+      task.used_parity.insert(j);
+      Send(info.parity_nodes[j], std::move(read));
+      --need;
+    }
+    if (need > 0) {
+      FailDegradedRead(task,
+                       Status::DataLoss("not enough live columns to "
+                                        "reconstruct the record"));
+      return;
+    }
+  }
+  MaybeFinishDegradedRead(task);
+}
+
+void RsCoordinatorNode::OnDegradedColumn(uint64_t task_id, uint32_t column,
+                                         bool found, const Bytes& payload) {
+  auto it = degraded_.find(task_id);
+  if (it == degraded_.end()) return;
+  DegradedReadTask& task = it->second;
+  if (!task.awaiting.erase(column)) return;
+  // A sibling data bucket must hold the record its parity metadata lists;
+  // an absent parity record means a zero column (no members at this rank
+  // from that parity bucket's perspective cannot happen here, but zero is
+  // the correct algebraic value regardless).
+  if (column < lhrs_ctx_->m) {
+    LHRS_CHECK(found) << "sibling bucket lost a record its group parity "
+                         "still lists (column "
+                      << column << ")";
+  }
+  task.columns[column] = payload;
+  MaybeFinishDegradedRead(task);
+}
+
+void RsCoordinatorNode::MaybeFinishDegradedRead(DegradedReadTask& task) {
+  if (!task.have_meta || !task.awaiting.empty()) return;
+  const uint32_t m = lhrs_ctx_->m;
+  const uint32_t existing = ExistingSlots(task.group);
+  const GroupInfo& info = groups_[task.group];
+
+  std::vector<std::pair<size_t, Bytes>> available;
+  for (const auto& [col, payload] : task.columns) {
+    available.emplace_back(col, payload);
+  }
+  const Bytes kEmpty;
+  for (uint32_t slot = 0; slot < existing; ++slot) {
+    if (slot == task.target_slot) continue;
+    if (!task.meta.keys[slot].has_value() && !task.columns.contains(slot)) {
+      available.emplace_back(slot, kEmpty);
+    }
+  }
+  for (uint32_t slot = existing; slot < m; ++slot) {
+    available.emplace_back(slot, kEmpty);
+  }
+
+  const ErasureCoder& coder = lhrs_ctx_->coders->ForK(info.k);
+  auto decoded = coder.DecodeData(available, {task.target_slot});
+  if (!decoded.ok()) {
+    FailDegradedRead(task, decoded.status());
+    return;
+  }
+  Bytes value = std::move((*decoded)[0]);
+  const uint32_t len = task.meta.lengths[task.target_slot];
+  LHRS_CHECK_LE(len, value.size());
+  value.resize(len);
+
+  auto reply = std::make_unique<OpReplyMsg>();
+  reply->op_id = task.op.op_id;
+  reply->code = StatusCode::kOk;
+  reply->value = std::move(value);
+  Send(task.op.client, std::move(reply));
+  ++degraded_reads_served_;
+  degraded_.erase(task.id);
+}
+
+void RsCoordinatorNode::FailDegradedRead(DegradedReadTask& task,
+                                         Status status) {
+  FailClientOp(task.op, status.code(), status.message());
+  degraded_.erase(task.id);
+}
+
+// --- File-state recovery (A6) ---------------------------------------------
+
+void RsCoordinatorNode::StartFileStateRecovery() {
+  state_scan_active_ = true;
+  state_scan_replies_.clear();
+  std::vector<std::pair<NodeId, std::unique_ptr<MessageBody>>> batch;
+  for (BucketNo b = 0; b < state_.bucket_count(); ++b) {
+    auto req = std::make_unique<StateScanRequestMsg>();
+    req->op_id = 0;
+    batch.emplace_back(ctx_->allocation.Lookup(b), std::move(req));
+  }
+  net()->Multicast(id(), std::move(batch));
+}
+
+Result<FileState> RsCoordinatorNode::FinishFileStateRecovery() {
+  if (!state_scan_active_) {
+    return Status::Internal("no state scan in progress");
+  }
+  state_scan_active_ = false;
+  if (state_scan_replies_.empty()) {
+    return Status::Unavailable("no buckets answered the state scan");
+  }
+  // Algorithm (A6), in the closed form implied by (E1): with
+  // i = min(j_m) and M = largest replying bucket + 1,  n = M - 2^i * N.
+  Level i = ~Level{0};
+  BucketNo largest = 0;
+  for (const auto& [bucket, level] : state_scan_replies_) {
+    i = std::min(i, level);
+    largest = std::max(largest, bucket);
+  }
+  const uint32_t n_initial = ctx_->config.initial_buckets;
+  const BucketNo boundary = static_cast<BucketNo>(n_initial) << i;
+  const BucketNo total = largest + 1;
+  if (total < boundary) {
+    return Status::Internal("state scan replies inconsistent with LH*");
+  }
+  FileState recovered;
+  recovered.initial_buckets = n_initial;
+  recovered.i = i;
+  recovered.n = total - boundary;
+  return recovered;
+}
+
+// --- Message plumbing -------------------------------------------------------
+
+void RsCoordinatorNode::HandleSubclassMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhrsMsg::kColumnReadReply:
+      OnColumnRead(static_cast<const ColumnReadReplyMsg&>(*msg.body),
+                   msg.from);
+      return;
+    case LhrsMsg::kInstallDone:
+      OnInstallDone(static_cast<const InstallDoneMsg&>(*msg.body));
+      return;
+    case LhrsMsg::kFindRankReply:
+      OnFindRankReply(static_cast<const FindRankReplyMsg&>(*msg.body));
+      return;
+    case LhrsMsg::kRecordReadReply: {
+      const auto& reply = static_cast<const RecordReadReplyMsg&>(*msg.body);
+      OnDegradedColumn(reply.task_id, reply.column, reply.found,
+                       reply.record.value);
+      return;
+    }
+    case LhrsMsg::kParityRecordReply: {
+      const auto& reply =
+          static_cast<const ParityRecordReplyMsg&>(*msg.body);
+      OnDegradedColumn(reply.task_id, reply.column, reply.found,
+                       reply.record.parity);
+      return;
+    }
+    case LhrsMsg::kPongReply: {
+      const auto& pong = static_cast<const PongReplyMsg&>(*msg.body);
+      probes_.erase(pong.probe_id);  // Alive: the report was stale.
+      return;
+    }
+    case LhStarMsg::kSurveyReply: {
+      const auto& reply = static_cast<const SurveyReplyMsg&>(*msg.body);
+      auto it = surveys_.find(reply.survey_id);
+      if (it == surveys_.end()) return;
+      it->second.replies.emplace_back(msg.from, reply);
+      LHRS_CHECK_GT(it->second.awaiting, 0u);
+      if (--it->second.awaiting == 0) FinishSurvey(it->second);
+      return;
+    }
+    case LhStarMsg::kStateScanReply: {
+      const auto& reply = static_cast<const StateScanReplyMsg&>(*msg.body);
+      if (state_scan_active_) {
+        state_scan_replies_[reply.bucket] = reply.level;
+      }
+      return;
+    }
+    default:
+      CoordinatorNode::HandleSubclassMessage(msg);
+  }
+}
+
+void RsCoordinatorNode::HandleSubclassDeliveryFailure(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhrsMsg::kPingRequest: {
+      // Probe confirmed the failure: recover everything that node carried.
+      const auto& ping = static_cast<const PingRequestMsg&>(*msg.body);
+      probes_.erase(ping.probe_id);
+      NotifyUnavailable(msg.to);
+      return;
+    }
+    case LhrsMsg::kColumnReadRequest: {
+      // A survivor died mid-recovery: re-plan with the remaining columns.
+      const auto& req = static_cast<const ColumnReadRequestMsg&>(*msg.body);
+      StartRecovery(req.group);
+      return;
+    }
+    case LhrsMsg::kInstallDataColumn: {
+      const auto& install =
+          static_cast<const InstallDataColumnMsg&>(*msg.body);
+      StartRecovery(GroupOf(install.bucket, lhrs_ctx_->m));
+      return;
+    }
+    case LhrsMsg::kInstallParityColumn: {
+      const auto& install =
+          static_cast<const InstallParityColumnMsg&>(*msg.body);
+      StartRecovery(install.group);
+      return;
+    }
+    case LhrsMsg::kFindRankRequest: {
+      // The parity bucket we asked died; retry from scratch with another.
+      const auto& req = static_cast<const FindRankRequestMsg&>(*msg.body);
+      auto it = degraded_.find(req.task_id);
+      if (it == degraded_.end()) return;
+      ClientOpViaCoordinatorMsg op = it->second.op;
+      degraded_.erase(it);
+      if (lhrs_ctx_->auto_recover) StartRecovery(GroupOf(
+          state_.Address(op.key), lhrs_ctx_->m));
+      StartDegradedRead(op);
+      return;
+    }
+    case LhrsMsg::kRecordReadRequest: {
+      // A sibling died mid-read: substitute one more parity column.
+      const auto& req = static_cast<const RecordReadRequestMsg&>(*msg.body);
+      auto it = degraded_.find(req.task_id);
+      if (it == degraded_.end()) return;
+      DegradedReadTask& task = it->second;
+      task.awaiting.erase(req.column);
+      if (lhrs_ctx_->auto_recover) StartRecovery(task.group);
+      ContinueDegradedRead(task);
+      return;
+    }
+    case LhrsMsg::kParityRecordRequest: {
+      const auto& req =
+          static_cast<const ParityRecordRequestMsg&>(*msg.body);
+      auto it = degraded_.find(req.task_id);
+      if (it == degraded_.end()) return;
+      DegradedReadTask& task = it->second;
+      task.awaiting.erase(req.column);
+      task.used_parity.erase(req.column - lhrs_ctx_->m);
+      if (lhrs_ctx_->auto_recover) StartRecovery(task.group);
+      ContinueDegradedRead(task);
+      return;
+    }
+    case LhStarMsg::kStateScanRequest:
+      return;  // Dead buckets simply do not answer the state scan.
+    case LhStarMsg::kSurveyRequest: {
+      const auto& req = static_cast<const SurveyRequestMsg&>(*msg.body);
+      auto it = surveys_.find(req.survey_id);
+      if (it == surveys_.end()) return;
+      LHRS_CHECK_GT(it->second.awaiting, 0u);
+      if (--it->second.awaiting == 0) FinishSurvey(it->second);
+      return;
+    }
+    case LhStarMsg::kSplitOrder:
+    case LhrsMsg::kGroupConfig: {
+      // The target died; its group recovery will rebuild it consistently.
+      NotifyUnavailable(msg.to);
+      return;
+    }
+    default:
+      CoordinatorNode::HandleSubclassDeliveryFailure(msg);
+  }
+}
+
+}  // namespace lhrs

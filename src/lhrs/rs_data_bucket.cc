@@ -1,0 +1,261 @@
+#include "lhrs/rs_data_bucket.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "net/network.h"
+
+namespace lhrs {
+
+RsDataBucketNode::RsDataBucketNode(std::shared_ptr<LhrsContext> lhrs_ctx,
+                                   BucketNo bucket_no, Level level,
+                                   bool pre_initialized)
+    : DataBucketNode(lhrs_ctx->base, bucket_no, level, pre_initialized),
+      lhrs_ctx_(std::move(lhrs_ctx)) {}
+
+Rank RsDataBucketNode::RankOf(Key key) const {
+  auto it = key_rank_.find(key);
+  LHRS_CHECK(it != key_rank_.end()) << "no rank for key " << key;
+  return it->second;
+}
+
+std::vector<RankedRecord> RsDataBucketNode::RankedRecords() const {
+  std::vector<RankedRecord> out;
+  out.reserve(rank_key_.size());
+  for (const auto& [rank, key] : rank_key_) {
+    out.push_back(RankedRecord{rank, key, records_.at(key)});
+  }
+  return out;
+}
+
+Rank RsDataBucketNode::AllocRank() {
+  if (lhrs_ctx_->reuse_ranks && !free_ranks_.empty()) {
+    const Rank r = free_ranks_.top();
+    free_ranks_.pop();
+    return r;
+  }
+  return next_rank_++;
+}
+
+void RsDataBucketNode::FreeRank(Rank r) { free_ranks_.push(r); }
+
+void RsDataBucketNode::BindRank(Key key, Rank r) {
+  key_rank_[key] = r;
+  const auto [it, inserted] = rank_key_.emplace(r, key);
+  LHRS_CHECK(inserted) << "rank " << r << " already bound";
+  (void)it;
+}
+
+void RsDataBucketNode::SendDelta(ParityDelta delta) {
+  LHRS_CHECK(!parity_nodes_.empty())
+      << "bucket " << bucket_no() << " has no group configuration";
+  for (NodeId parity_node : parity_nodes_) {
+    auto msg = std::make_unique<ParityDeltaMsg>();
+    msg->group = group();
+    msg->delta = delta;
+    Send(parity_node, std::move(msg));
+  }
+}
+
+void RsDataBucketNode::OnInsertCommitted(Key key, const Bytes& value) {
+  const Rank r = AllocRank();
+  BindRank(key, r);
+  ParityDelta d;
+  d.rank = r;
+  d.slot = slot();
+  d.key_op = ParityDelta::KeyOp::kSet;
+  d.key = key;
+  d.new_length = static_cast<uint32_t>(value.size());
+  d.delta = value;
+  SendDelta(std::move(d));
+}
+
+void RsDataBucketNode::OnUpdateCommitted(Key key, const Bytes& old_value,
+                                         const Bytes& new_value) {
+  // Delta = old XOR new, zero-padded to the longer of the two.
+  Bytes delta = old_value;
+  XorAssignPadded(delta, new_value);
+  ParityDelta d;
+  d.rank = RankOf(key);
+  d.slot = slot();
+  d.key_op = ParityDelta::KeyOp::kSet;  // Refreshes the stored length.
+  d.key = key;
+  d.new_length = static_cast<uint32_t>(new_value.size());
+  d.delta = std::move(delta);
+  SendDelta(std::move(d));
+}
+
+void RsDataBucketNode::OnDeleteCommitted(Key key, const Bytes& old_value) {
+  const Rank r = RankOf(key);
+  key_rank_.erase(key);
+  rank_key_.erase(r);
+  FreeRank(r);
+  ParityDelta d;
+  d.rank = r;
+  d.slot = slot();
+  d.key_op = ParityDelta::KeyOp::kClear;
+  d.delta = old_value;  // Folding the value out zeroes its contribution.
+  SendDelta(std::move(d));
+}
+
+void RsDataBucketNode::OnRecordsMovedOut(std::vector<WireRecord>& moved) {
+  if (moved.empty()) return;
+  // One bulk message per parity bucket: every mover leaves its record
+  // group (it will join a group of the new bucket's bucket group).
+  std::vector<ParityDelta> deltas;
+  deltas.reserve(moved.size());
+  for (const auto& rec : moved) {
+    const Rank r = RankOf(rec.key);
+    key_rank_.erase(rec.key);
+    rank_key_.erase(r);
+    FreeRank(r);
+    ParityDelta d;
+    d.rank = r;
+    d.slot = slot();
+    d.key_op = ParityDelta::KeyOp::kClear;
+    d.delta = rec.value;
+    deltas.push_back(std::move(d));
+  }
+  for (NodeId parity_node : parity_nodes_) {
+    auto msg = std::make_unique<ParityDeltaBatchMsg>();
+    msg->group = group();
+    msg->deltas = deltas;
+    Send(parity_node, std::move(msg));
+  }
+}
+
+void RsDataBucketNode::OnRecordsMovedIn(const std::vector<WireRecord>& moved) {
+  if (moved.empty()) return;
+  LHRS_CHECK(has_group_config())
+      << "split target " << bucket_no() << " received records before its "
+      << "group configuration";
+  std::vector<ParityDelta> deltas;
+  deltas.reserve(moved.size());
+  for (const auto& rec : moved) {
+    const Rank r = AllocRank();
+    BindRank(rec.key, r);
+    ParityDelta d;
+    d.rank = r;
+    d.slot = slot();
+    d.key_op = ParityDelta::KeyOp::kSet;
+    d.key = rec.key;
+    d.new_length = static_cast<uint32_t>(rec.value.size());
+    d.delta = rec.value;
+    deltas.push_back(std::move(d));
+  }
+  for (NodeId parity_node : parity_nodes_) {
+    auto msg = std::make_unique<ParityDeltaBatchMsg>();
+    msg->group = group();
+    msg->deltas = deltas;
+    Send(parity_node, std::move(msg));
+  }
+}
+
+void RsDataBucketNode::OnDecommissioned() {
+  key_rank_.clear();
+  rank_key_.clear();
+  next_rank_ = 1;
+  while (!free_ranks_.empty()) free_ranks_.pop();
+}
+
+void RsDataBucketNode::HandleSubclassMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhrsMsg::kGroupConfig: {
+      const auto& cfg = static_cast<const GroupConfigMsg&>(*msg.body);
+      LHRS_CHECK_EQ(cfg.group, group());
+      parity_nodes_ = cfg.parity_nodes;
+      k_ = cfg.k;
+      return;
+    }
+    case LhrsMsg::kColumnReadRequest: {
+      const auto& req = static_cast<const ColumnReadRequestMsg&>(*msg.body);
+      LHRS_CHECK_EQ(req.group, group());
+      auto reply = std::make_unique<ColumnReadReplyMsg>();
+      reply->task_id = req.task_id;
+      reply->column = slot();
+      reply->level = level();
+      reply->records.reserve(rank_key_.size());
+      for (const auto& [rank, key] : rank_key_) {
+        reply->records.push_back(RankedRecord{rank, key, records_.at(key)});
+      }
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    case LhrsMsg::kRecordReadRequest: {
+      const auto& req = static_cast<const RecordReadRequestMsg&>(*msg.body);
+      auto reply = std::make_unique<RecordReadReplyMsg>();
+      reply->task_id = req.task_id;
+      reply->column = slot();
+      auto it = rank_key_.find(req.rank);
+      if (it != rank_key_.end()) {
+        reply->found = true;
+        reply->record =
+            RankedRecord{req.rank, it->second, records_.at(it->second)};
+      }
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    case LhrsMsg::kInstallDataColumn: {
+      const auto& install =
+          static_cast<const InstallDataColumnMsg&>(*msg.body);
+      InstallDataColumn(install);
+      auto done = std::make_unique<InstallDoneMsg>();
+      done->task_id = install.task_id;
+      done->column = slot();
+      Send(msg.from, std::move(done));
+      return;
+    }
+    case LhrsMsg::kPingRequest: {
+      const auto& req = static_cast<const PingRequestMsg&>(*msg.body);
+      auto pong = std::make_unique<PongReplyMsg>();
+      pong->probe_id = req.probe_id;
+      Send(msg.from, std::move(pong));
+      return;
+    }
+    default:
+      DataBucketNode::HandleSubclassMessage(msg);
+  }
+}
+
+void RsDataBucketNode::HandleSubclassDeliveryFailure(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhrsMsg::kParityDelta:
+    case LhrsMsg::kParityDeltaBatch: {
+      // A parity bucket of our group is down: report it so the coordinator
+      // recovers it. The delta itself is not lost information — the parity
+      // column is rebuilt from the data columns, which include this change.
+      auto report = std::make_unique<UnavailableReportMsg>();
+      report->node = msg.to;
+      report->is_parity = true;
+      report->group = group();
+      for (uint32_t j = 0; j < parity_nodes_.size(); ++j) {
+        if (parity_nodes_[j] == msg.to) report->parity_index = j;
+      }
+      Send(ctx().coordinator, std::move(report));
+      return;
+    }
+    default:
+      DataBucketNode::HandleSubclassDeliveryFailure(msg);
+  }
+}
+
+void RsDataBucketNode::InstallDataColumn(const InstallDataColumnMsg& install) {
+  LHRS_CHECK_EQ(install.bucket, bucket_no());
+  std::map<Key, Bytes> records;
+  key_rank_.clear();
+  rank_key_.clear();
+  while (!free_ranks_.empty()) free_ranks_.pop();
+  Rank max_rank = 0;
+  for (const auto& rec : install.records) {
+    records.emplace(rec.key, rec.value);
+    BindRank(rec.key, rec.rank);
+    max_rank = std::max(max_rank, rec.rank);
+  }
+  next_rank_ = max_rank + 1;
+  for (Rank r = 1; r < next_rank_; ++r) {
+    if (!rank_key_.contains(r)) free_ranks_.push(r);
+  }
+  InstallRecoveredState(std::move(records), install.level);
+}
+
+}  // namespace lhrs

@@ -1,0 +1,73 @@
+#ifndef LHRS_LHRS_RS_DATA_BUCKET_H_
+#define LHRS_LHRS_RS_DATA_BUCKET_H_
+
+#include <map>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "lhrs/messages.h"
+#include "lhrs/shared.h"
+#include "lhstar/data_bucket.h"
+
+namespace lhrs {
+
+/// An LH*RS data bucket: an LH* data bucket that additionally assigns a
+/// rank to every resident record and keeps the k parity buckets of its
+/// bucket group consistent through incremental XOR/Reed-Solomon deltas.
+///
+/// Rank discipline: ranks are 1-based and unique within the bucket; ranks
+/// freed by deletes and split moves are reused smallest-first so record
+/// groups stay dense (the paper's counter-reuse enhancement, section 4.3).
+class RsDataBucketNode : public DataBucketNode {
+ public:
+  RsDataBucketNode(std::shared_ptr<LhrsContext> lhrs_ctx, BucketNo bucket_no,
+                   Level level, bool pre_initialized);
+
+  uint32_t group() const { return GroupOf(bucket_no(), lhrs_ctx_->m); }
+  uint32_t slot() const { return SlotOf(bucket_no(), lhrs_ctx_->m); }
+  bool has_group_config() const { return !parity_nodes_.empty(); }
+
+  /// Rank of a resident key (tests / invariant checks).
+  Rank RankOf(Key key) const;
+  Rank next_rank() const { return next_rank_; }
+
+  /// All resident records with their ranks, in rank order (tests /
+  /// invariant verification; the protocol path is ColumnReadRequest).
+  std::vector<RankedRecord> RankedRecords() const;
+
+ protected:
+  void OnInsertCommitted(Key key, const Bytes& value) override;
+  void OnUpdateCommitted(Key key, const Bytes& old_value,
+                         const Bytes& new_value) override;
+  void OnDeleteCommitted(Key key, const Bytes& old_value) override;
+  void OnRecordsMovedOut(std::vector<WireRecord>& moved) override;
+  void OnRecordsMovedIn(const std::vector<WireRecord>& moved) override;
+  void OnDecommissioned() override;
+
+  void HandleSubclassMessage(const Message& msg) override;
+  void HandleSubclassDeliveryFailure(const Message& msg) override;
+
+ private:
+  Rank AllocRank();
+  void FreeRank(Rank r);
+  void BindRank(Key key, Rank r);
+  /// Sends one delta to all k parity buckets of this bucket's group.
+  void SendDelta(ParityDelta delta);
+  void InstallDataColumn(const InstallDataColumnMsg& install);
+
+  std::shared_ptr<LhrsContext> lhrs_ctx_;
+  std::vector<NodeId> parity_nodes_;  ///< Local copy, fed by GroupConfig.
+  uint32_t k_ = 0;
+
+  Rank next_rank_ = 1;
+  std::priority_queue<Rank, std::vector<Rank>, std::greater<Rank>>
+      free_ranks_;
+  std::unordered_map<Key, Rank> key_rank_;
+  std::map<Rank, Key> rank_key_;  ///< Ordered for deterministic dumps.
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_LHRS_RS_DATA_BUCKET_H_

@@ -1,0 +1,142 @@
+#ifndef LHRS_LHRS_SHARED_H_
+#define LHRS_LHRS_SHARED_H_
+
+#include <map>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "gf/gf256.h"
+#include "gf/gf65536.h"
+#include "lh/lh_math.h"
+#include "lhstar/system.h"
+#include "rs/coder.h"
+
+namespace lhrs {
+
+/// Galois field used by a file's parity subsystem. GF(2^8) treats every
+/// payload byte as a symbol (the SIGMOD-era choice); GF(2^16) halves the
+/// table lookups per byte at the cost of 256 KiB tables (the choice the
+/// LH*RS line of work later moved to). Selected per file at creation.
+enum class FieldChoice { kGf256, kGf65536 };
+
+inline const char* FieldChoiceName(FieldChoice f) {
+  return f == FieldChoice::kGf256 ? "GF(2^8)" : "GF(2^16)";
+}
+
+/// Field-erased view of a GroupCoder, so the protocol nodes (parity
+/// buckets, recovery, degraded reads) are independent of the symbol width.
+class ErasureCoder {
+ public:
+  virtual ~ErasureCoder() = default;
+
+  virtual uint32_t m() const = 0;
+  virtual uint32_t k() const = 0;
+
+  /// Folds coeff(slot, parity_index) * delta into parity (grows it).
+  virtual void ApplyDelta(size_t slot, std::span<const uint8_t> delta,
+                          size_t parity_index, Bytes* parity) const = 0;
+
+  /// Reconstructs the requested data columns from >= m available columns.
+  virtual Result<std::vector<Bytes>> DecodeData(
+      const std::vector<std::pair<size_t, Bytes>>& available,
+      const std::vector<size_t>& missing_data) const = 0;
+};
+
+/// ErasureCoder over a concrete field.
+template <GaloisField F>
+class TypedErasureCoder final : public ErasureCoder {
+ public:
+  TypedErasureCoder(uint32_t m, uint32_t k) : impl_(m, k) {}
+
+  uint32_t m() const override { return static_cast<uint32_t>(impl_.m()); }
+  uint32_t k() const override { return static_cast<uint32_t>(impl_.k()); }
+
+  void ApplyDelta(size_t slot, std::span<const uint8_t> delta,
+                  size_t parity_index, Bytes* parity) const override {
+    impl_.ApplyDelta(slot, delta, parity_index, parity);
+  }
+
+  Result<std::vector<Bytes>> DecodeData(
+      const std::vector<std::pair<size_t, Bytes>>& available,
+      const std::vector<size_t>& missing_data) const override {
+    return impl_.DecodeData(available, missing_data);
+  }
+
+ private:
+  GroupCoder<F> impl_;
+};
+
+/// Scalable-availability policy (paper section on n-availability /
+/// uncoordinated scalable availability): the availability level k assigned
+/// to a *newly created* bucket group is base_k plus the number of
+/// size thresholds the file has crossed. Existing groups keep their k.
+struct AvailabilityPolicy {
+  uint32_t base_k = 1;
+  /// File sizes (in data buckets) at which k increments for new groups.
+  std::vector<BucketNo> scale_thresholds;
+
+  uint32_t KForFileSize(BucketNo data_buckets) const {
+    uint32_t k = base_k;
+    for (BucketNo t : scale_thresholds) {
+      if (data_buckets >= t) ++k;
+    }
+    return k;
+  }
+};
+
+/// Shares one coder per availability level k (the generator matrix for
+/// (m, k2) embeds the one for (m, k1 < k2) column-wise only after the same
+/// normalisation, so each k gets its own coder; they are tiny).
+class CoderCache {
+ public:
+  explicit CoderCache(uint32_t m, FieldChoice field = FieldChoice::kGf256)
+      : m_(m), field_(field) {}
+
+  uint32_t m() const { return m_; }
+  FieldChoice field() const { return field_; }
+
+  const ErasureCoder& ForK(uint32_t k) {
+    auto it = coders_.find(k);
+    if (it == coders_.end()) {
+      std::unique_ptr<ErasureCoder> coder;
+      if (field_ == FieldChoice::kGf256) {
+        coder = std::make_unique<TypedErasureCoder<GF256>>(m_, k);
+      } else {
+        coder = std::make_unique<TypedErasureCoder<GF65536>>(m_, k);
+      }
+      it = coders_.emplace(k, std::move(coder)).first;
+    }
+    return *it->second;
+  }
+
+ private:
+  uint32_t m_;
+  FieldChoice field_;
+  std::map<uint32_t, std::unique_ptr<ErasureCoder>> coders_;
+};
+
+/// Shared wiring of the LH*RS layer, handed to parity buckets, RS data
+/// buckets and the RS coordinator alongside the base SystemContext.
+struct LhrsContext {
+  std::shared_ptr<SystemContext> base;
+  uint32_t m = 4;  ///< Bucket-group size.
+  std::shared_ptr<CoderCache> coders;
+  AvailabilityPolicy policy;
+  bool auto_recover = true;
+  /// Ablation switch (DESIGN.md section 6): reuse ranks freed by deletes
+  /// and split moves (keeps record groups dense) vs monotone ranks (group
+  /// occupancy decays, inflating parity storage).
+  bool reuse_ranks = true;
+};
+
+/// Bucket group of data bucket `b` for group size m.
+inline uint32_t GroupOf(BucketNo b, uint32_t m) { return b / m; }
+/// Slot of data bucket `b` within its group.
+inline uint32_t SlotOf(BucketNo b, uint32_t m) { return b % m; }
+
+}  // namespace lhrs
+
+#endif  // LHRS_LHRS_SHARED_H_

@@ -1,0 +1,245 @@
+#include "lhstar/client.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "net/network.h"
+
+namespace lhrs {
+
+ClientNode::ClientNode(std::shared_ptr<SystemContext> ctx)
+    : ctx_(std::move(ctx)) {
+  image_.initial_buckets = ctx_->config.initial_buckets;
+}
+
+NodeId ClientNode::ResolveNode(BucketNo bucket) {
+  if (bucket < cached_nodes_.size() &&
+      cached_nodes_[bucket] != kInvalidNode) {
+    return cached_nodes_[bucket];
+  }
+  const NodeId node = ctx_->allocation.Lookup(bucket);
+  if (bucket >= cached_nodes_.size()) {
+    cached_nodes_.resize(bucket + 1, kInvalidNode);
+  }
+  cached_nodes_[bucket] = node;
+  return node;
+}
+
+uint64_t ClientNode::StartOp(OpType op, Key key, Bytes value) {
+  const uint64_t op_id = next_op_id_++;
+  const BucketNo a = image_.Address(key);  // Algorithm (A1) on the image.
+  pending_[op_id] = PendingOp{op, key, value, a};
+
+  auto req = std::make_unique<OpRequestMsg>();
+  req->op = op;
+  req->op_id = op_id;
+  req->client = id();
+  req->intended_bucket = a;
+  req->key = key;
+  req->value = std::move(value);
+  Send(ResolveNode(a), std::move(req));
+  return op_id;
+}
+
+uint64_t ClientNode::StartScan(ScanPredicate predicate, bool deterministic) {
+  const uint64_t op_id = next_op_id_++;
+  pending_scans_[op_id] = PendingScan{deterministic, {}, {}};
+
+  // One copy to every bucket of the client's image, each tagged with the
+  // level the image presumes for it; server-side forwarding covers buckets
+  // the image does not know (exactly once).
+  const BucketNo extent = image_.presumed_bucket_count();
+  FileState presumed{image_.i, image_.n, image_.initial_buckets};
+  std::vector<std::pair<NodeId, std::unique_ptr<MessageBody>>> batch;
+  batch.reserve(extent);
+  for (BucketNo a = 0; a < extent; ++a) {
+    auto req = std::make_unique<ScanRequestMsg>();
+    req->op_id = op_id;
+    req->client = id();
+    req->attached_level = presumed.BucketLevel(a);
+    req->predicate = predicate;
+    req->deterministic = deterministic;
+    // Scans resolve through the authoritative allocation (the multicast
+    // group membership); key-addressed ops use the cache.
+    batch.emplace_back(ctx_->allocation.Lookup(a), std::move(req));
+  }
+  network()->Multicast(id(), std::move(batch));
+  return op_id;
+}
+
+Result<OpOutcome> ClientNode::TakeResult(uint64_t op_id) {
+  auto it = done_.find(op_id);
+  if (it == done_.end()) {
+    return Status::Internal("operation " + std::to_string(op_id) +
+                            " not finished");
+  }
+  OpOutcome out = std::move(it->second);
+  done_.erase(it);
+  return out;
+}
+
+void ClientNode::FinishProbabilisticScan(uint64_t op_id) {
+  auto it = pending_scans_.find(op_id);
+  if (it == pending_scans_.end()) return;
+  LHRS_CHECK(!it->second.deterministic);
+  OpOutcome outcome;
+  outcome.status = Status::OK();
+  outcome.scan_records = std::move(it->second.records);
+  CompleteOp(op_id, std::move(outcome));
+}
+
+void ClientNode::ResetImage() {
+  image_ = ClientImage{};
+  image_.initial_buckets = ctx_->config.initial_buckets;
+  cached_nodes_.clear();
+}
+
+void ClientNode::CompleteOp(uint64_t op_id, OpOutcome outcome) {
+  pending_.erase(op_id);
+  pending_scans_.erase(op_id);
+  done_[op_id] = std::move(outcome);
+}
+
+void ClientNode::HandleMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhStarMsg::kOpReply: {
+      const auto& reply = static_cast<const OpReplyMsg&>(*msg.body);
+      if (!pending_.contains(reply.op_id)) return;  // Late duplicate.
+      OpOutcome outcome;
+      outcome.status = reply.code == StatusCode::kOk
+                           ? Status::OK()
+                           : Status(reply.code, reply.error);
+      outcome.value = reply.value;
+      if (reply.iam.has_value()) {
+        // Algorithm (A3) plus address-cache refresh.
+        ++iam_count_;
+        ++forwarded_ops_;
+        outcome.was_forwarded = true;
+        image_.Adjust(reply.iam->bucket, reply.iam->level);
+        if (reply.iam->bucket >= cached_nodes_.size()) {
+          cached_nodes_.resize(reply.iam->bucket + 1, kInvalidNode);
+        }
+        cached_nodes_[reply.iam->bucket] = msg.from;
+      }
+      CompleteOp(reply.op_id, std::move(outcome));
+      return;
+    }
+    case LhStarMsg::kSurveyRequest: {
+      const auto& req = static_cast<const SurveyRequestMsg&>(*msg.body);
+      auto reply = std::make_unique<SurveyReplyMsg>();
+      reply->survey_id = req.survey_id;
+      reply->role = SurveyReplyMsg::Role::kOther;
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    case LhStarMsg::kImageReset: {
+      const auto& reset = static_cast<const ImageResetMsg&>(*msg.body);
+      image_.i = reset.i;
+      image_.n = reset.n;
+      // Cached physical addresses beyond the new extent are stale.
+      if (cached_nodes_.size() > image_.presumed_bucket_count()) {
+        cached_nodes_.resize(image_.presumed_bucket_count());
+      }
+      return;
+    }
+    case LhStarMsg::kScanReply: {
+      const auto& reply = static_cast<const ScanReplyMsg&>(*msg.body);
+      auto it = pending_scans_.find(reply.op_id);
+      if (it == pending_scans_.end()) return;
+      if (reply.coverage_failed) {
+        OpOutcome outcome;
+        outcome.status =
+            Status::Unavailable("scan could not reach every bucket");
+        CompleteOp(reply.op_id, std::move(outcome));
+        return;
+      }
+      PendingScan& scan = it->second;
+      scan.replied[reply.bucket] = reply.level;
+      for (const auto& rec : reply.records) scan.records.push_back(rec);
+      if (!scan.deterministic) return;  // Completed via time-out upstream.
+      if (ScanCoverageComplete(scan)) {
+        OpOutcome outcome;
+        outcome.status = Status::OK();
+        outcome.scan_records = std::move(scan.records);
+        CompleteOp(reply.op_id, std::move(outcome));
+      }
+      return;
+    }
+    default:
+      LHRS_LOG(Fatal) << "client: unhandled message kind "
+                      << msg.body->kind();
+  }
+}
+
+bool ClientNode::ScanCoverageComplete(const PendingScan& scan) const {
+  // Deterministic termination (section 2.1): with i = min(j_m) and
+  // n = min{m : j_m = i}, the file has M = n + 2^i * N buckets; terminate
+  // when every bucket 0..M-1 has replied.
+  if (scan.replied.empty()) return false;
+  Level min_level = ~Level{0};
+  for (const auto& [bucket, level] : scan.replied) {
+    min_level = std::min(min_level, level);
+  }
+  BucketNo n = 0;
+  bool found = false;
+  for (const auto& [bucket, level] : scan.replied) {
+    if (level == min_level) {
+      n = bucket;
+      found = true;
+      break;  // std::map iterates in bucket order: first hit is min.
+    }
+  }
+  LHRS_CHECK(found);
+  const BucketNo expected =
+      n + (static_cast<BucketNo>(image_.initial_buckets) << min_level);
+  if (scan.replied.size() < expected) return false;
+  for (BucketNo b = 0; b < expected; ++b) {
+    if (!scan.replied.contains(b)) return false;
+  }
+  return true;
+}
+
+void ClientNode::HandleDeliveryFailure(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhStarMsg::kOpRequest: {
+      // Section 2.4/2.8: the server did not answer; notify the
+      // coordinator, which completes the operation (recovering first when
+      // the file has an availability layer).
+      const auto& req = static_cast<const OpRequestMsg&>(*msg.body);
+      if (!pending_.contains(req.op_id)) return;
+      // Evict the stale cache entry; the next attempt re-resolves.
+      if (req.intended_bucket < cached_nodes_.size()) {
+        cached_nodes_[req.intended_bucket] = kInvalidNode;
+      }
+      auto report = std::make_unique<UnavailableReportMsg>();
+      report->node = msg.to;
+      report->bucket = req.intended_bucket;
+      Send(ctx_->coordinator, std::move(report));
+
+      auto bounce = std::make_unique<ClientOpViaCoordinatorMsg>();
+      bounce->op = req.op;
+      bounce->op_id = req.op_id;
+      bounce->client = id();
+      bounce->intended_bucket = req.intended_bucket;
+      bounce->key = req.key;
+      bounce->value = req.value;
+      Send(ctx_->coordinator, std::move(bounce));
+      return;
+    }
+    case LhStarMsg::kScanRequest: {
+      // A scan with deterministic termination blocks on an unavailable
+      // bucket; surface that as kUnavailable.
+      const auto& req = static_cast<const ScanRequestMsg&>(*msg.body);
+      if (!pending_scans_.contains(req.op_id)) return;
+      OpOutcome outcome;
+      outcome.status =
+          Status::Unavailable("scan could not reach every bucket");
+      CompleteOp(req.op_id, std::move(outcome));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace lhrs

@@ -1,0 +1,108 @@
+#ifndef LHRS_LHSTAR_CLIENT_H_
+#define LHRS_LHSTAR_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "lh/lh_math.h"
+#include "lhstar/messages.h"
+#include "lhstar/system.h"
+#include "net/node.h"
+
+namespace lhrs {
+
+/// Completed outcome of a client operation.
+struct OpOutcome {
+  Status status;
+  Bytes value;                       ///< Search result payload.
+  std::vector<WireRecord> scan_records;
+  bool was_forwarded = false;        ///< An IAM arrived with the reply.
+};
+
+/// An LH* application client. Autonomous: carries its own image (i', n')
+/// of the file state — initially (0, 0), i.e. "the file never grew" — and
+/// converges through IAMs (algorithm A3).
+///
+/// The client also caches physical addresses of buckets it has talked to;
+/// a recovery that moves a bucket to a spare leaves this cache stale, which
+/// exercises the displaced-bucket protocol of section 2.8.
+///
+/// Operations are asynchronous: Start*() returns an op id, the simulation
+/// is run (Network::RunUntilIdle), then TakeResult() yields the outcome.
+class ClientNode : public Node {
+ public:
+  explicit ClientNode(std::shared_ptr<SystemContext> ctx);
+
+  void HandleMessage(const Message& msg) override;
+  void HandleDeliveryFailure(const Message& msg) override;
+  const char* role() const override { return "client"; }
+
+  /// Starts a key-addressed operation; value applies to insert/update.
+  uint64_t StartOp(OpType op, Key key, Bytes value = {});
+
+  /// Starts a parallel scan. With `deterministic` termination every bucket
+  /// replies and the client verifies full coverage; otherwise only
+  /// matching buckets reply (the caller then relies on the run-until-idle
+  /// simulation as the paper's time-out).
+  uint64_t StartScan(ScanPredicate predicate, bool deterministic = true);
+
+  bool IsDone(uint64_t op_id) const { return done_.contains(op_id); }
+
+  /// Declares a probabilistic-termination scan finished (the driver's
+  /// time-out fired): whatever replies arrived become the result.
+  void FinishProbabilisticScan(uint64_t op_id);
+
+  /// Returns and removes the outcome of a finished operation.
+  Result<OpOutcome> TakeResult(uint64_t op_id);
+
+  const ClientImage& image() const { return image_; }
+
+  /// Forgets everything learned (image and address cache): the client
+  /// behaves like a brand-new one. Used by the image-convergence bench.
+  void ResetImage();
+
+  /// Number of IAMs received so far (image-adjustment messages).
+  uint64_t iam_count() const { return iam_count_; }
+  /// Number of operations that needed at least one forwarding hop.
+  uint64_t forwarded_ops() const { return forwarded_ops_; }
+
+ private:
+  struct PendingOp {
+    OpType op;
+    Key key = 0;
+    Bytes value;
+    BucketNo sent_to_bucket = 0;
+  };
+
+  struct PendingScan {
+    bool deterministic = true;
+    std::map<BucketNo, Level> replied;
+    std::vector<WireRecord> records;
+  };
+
+  /// Physical address the client uses for `bucket`: its cached entry if it
+  /// has one, else the authoritative table (modelling the allocation-table
+  /// propagation to new clients), which is then cached.
+  NodeId ResolveNode(BucketNo bucket);
+
+  void CompleteOp(uint64_t op_id, OpOutcome outcome);
+  bool ScanCoverageComplete(const PendingScan& scan) const;
+
+  std::shared_ptr<SystemContext> ctx_;
+  ClientImage image_;
+  uint64_t next_op_id_ = 1;
+  std::map<uint64_t, PendingOp> pending_;
+  std::map<uint64_t, PendingScan> pending_scans_;
+  std::map<uint64_t, OpOutcome> done_;
+  std::vector<NodeId> cached_nodes_;
+  uint64_t iam_count_ = 0;
+  uint64_t forwarded_ops_ = 0;
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_LHSTAR_CLIENT_H_

@@ -1,0 +1,269 @@
+#include "lhstar/coordinator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "net/network.h"
+
+namespace lhrs {
+
+CoordinatorNode::CoordinatorNode(std::shared_ptr<SystemContext> ctx)
+    : ctx_(std::move(ctx)) {
+  state_.initial_buckets = ctx_->config.initial_buckets;
+}
+
+void CoordinatorNode::HandleMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhStarMsg::kOverflowReport: {
+      const auto& report = static_cast<const OverflowReportMsg&>(*msg.body);
+      if (ctx_->config.use_load_control) {
+        const double capacity_total =
+            static_cast<double>(ctx_->config.bucket_capacity) *
+            state_.bucket_count();
+        const double load = static_cast<double>(ctx_->total_records) /
+                            capacity_total;
+        if (load <= ctx_->config.split_load_threshold) return;
+      }
+      (void)report;
+      ++pending_splits_;
+      MaybeStartSplit();
+      return;
+    }
+    case LhStarMsg::kSplitDone: {
+      restructure_in_progress_ = false;
+      MaybeStartSplit();
+      MaybeStartMerge();
+      return;
+    }
+    case LhStarMsg::kMergeDone: {
+      restructure_in_progress_ = false;
+      MaybeStartSplit();
+      MaybeStartMerge();
+      return;
+    }
+    case LhStarMsg::kUnderflowReport: {
+      if (!ctx_->config.enable_merge) return;
+      merge_requested_ = true;
+      MaybeStartMerge();
+      return;
+    }
+    case LhStarMsg::kMoveRecords:
+      OnOrphanedMoveRecords(static_cast<const MoveRecordsMsg&>(*msg.body));
+      return;
+    case LhStarMsg::kMergeRecords:
+      OnOrphanedMergeRecords(
+          static_cast<const MergeRecordsMsg&>(*msg.body));
+      return;
+    case LhStarMsg::kClientOpViaCoordinator: {
+      HandleClientOpFallback(
+          static_cast<const ClientOpViaCoordinatorMsg&>(*msg.body));
+      return;
+    }
+    case LhStarMsg::kUnavailableReport: {
+      HandleUnavailableReport(
+          static_cast<const UnavailableReportMsg&>(*msg.body));
+      return;
+    }
+    case LhStarMsg::kSelfCheckRequest: {
+      const auto& req = static_cast<const SelfCheckRequestMsg&>(*msg.body);
+      auto reply = std::make_unique<SelfCheckReplyMsg>();
+      reply->bucket = req.bucket;
+      const bool known = ctx_->allocation.Knows(req.bucket);
+      reply->still_owner =
+          known && ctx_->allocation.Lookup(req.bucket) == msg.from;
+      reply->replacement = known ? ctx_->allocation.Lookup(req.bucket)
+                                 : kInvalidNode;
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    default:
+      HandleSubclassMessage(msg);
+      return;
+  }
+}
+
+void CoordinatorNode::HandleSubclassMessage(const Message& msg) {
+  LHRS_LOG(Fatal) << "coordinator: unhandled message kind "
+                  << msg.body->kind();
+}
+
+void CoordinatorNode::HandleSubclassDeliveryFailure(const Message& msg) {
+  (void)msg;
+}
+
+void CoordinatorNode::MaybeStartSplit() {
+  while (!restructure_in_progress_ && pending_splits_ > 0 && CanSplitNow()) {
+    --pending_splits_;
+    StartSplit();
+  }
+}
+
+void CoordinatorNode::MaybeStartMerge() {
+  if (!merge_requested_ || restructure_in_progress_ || !CanSplitNow()) {
+    return;
+  }
+  merge_requested_ = false;
+  // Merge only while the file is above its initial size and under-loaded.
+  if (state_.bucket_count() <= ctx_->config.initial_buckets) return;
+  const double capacity_total =
+      static_cast<double>(ctx_->config.bucket_capacity) *
+      (state_.bucket_count() - 1);
+  const double load =
+      static_cast<double>(ctx_->total_records) / capacity_total;
+  if (load >= ctx_->config.merge_load_threshold) return;
+
+  // Reverse the last split: state (i, n) steps back, the last bucket
+  // returns into its parent (the new split-pointer position).
+  if (state_.n > 0) {
+    --state_.n;
+  } else {
+    --state_.i;
+    state_.n = (BucketNo{ctx_->config.initial_buckets} << state_.i) - 1;
+  }
+  const BucketNo parent = state_.n;
+  const BucketNo removed = state_.bucket_count();  // Old M - 1.
+  const Level parent_new_level = state_.BucketLevel(parent);
+
+  auto order = std::make_unique<MergeOutMsg>();
+  order->parent_bucket = parent;
+  order->parent_node = ctx_->allocation.Lookup(parent);
+  order->parent_new_level = parent_new_level;
+  Send(ctx_->allocation.Lookup(removed), std::move(order));
+
+  restructure_in_progress_ = true;
+  ++merges_performed_;
+  // Keep shrinking while under-loaded: re-evaluate after MergeDone.
+  merge_requested_ = true;
+}
+
+NodeId CoordinatorNode::CreateBucketNode(BucketNo bucket, Level level) {
+  LHRS_CHECK(bucket_factory_) << "coordinator has no bucket factory";
+  return bucket_factory_(bucket, level);
+}
+
+void CoordinatorNode::StartSplit() {
+  const BucketNo victim = state_.n;
+  const Level new_level = state_.i + 1;
+  const BucketNo new_bucket = state_.AdvanceSplit();
+
+  const NodeId new_node = CreateBucketNode(new_bucket, new_level);
+  ctx_->allocation.Set(new_bucket, new_node);
+  OnBucketCreated(new_bucket, new_node, new_level);
+
+  LHRS_LOG(Debug) << role() << ": split bucket " << victim << " -> "
+                  << new_bucket << " (level " << new_level << ")";
+  auto order = std::make_unique<SplitOrderMsg>();
+  order->new_bucket = new_bucket;
+  order->new_node = new_node;
+  order->new_level = new_level;
+  Send(ctx_->allocation.Lookup(victim), std::move(order));
+
+  restructure_in_progress_ = true;
+  ++splits_performed_;
+}
+
+void CoordinatorNode::OnBucketCreated(BucketNo, NodeId, Level) {}
+
+void CoordinatorNode::DeliverViaState(const ClientOpViaCoordinatorMsg& op) {
+  const BucketNo a = state_.Address(op.key);
+  auto req = std::make_unique<OpRequestMsg>();
+  req->op = op.op;
+  req->op_id = op.op_id;
+  req->client = op.client;
+  req->intended_bucket = a;
+  req->key = op.key;
+  req->value = op.value;
+  req->hops = 1;  // Forces an IAM so the client's image and cache converge.
+  Send(ctx_->allocation.Lookup(a), std::move(req));
+}
+
+void CoordinatorNode::FailClientOp(const ClientOpViaCoordinatorMsg& op,
+                                   StatusCode code, std::string error) {
+  auto reply = std::make_unique<OpReplyMsg>();
+  reply->op_id = op.op_id;
+  reply->code = code;
+  reply->error = std::move(error);
+  Send(op.client, std::move(reply));
+}
+
+void CoordinatorNode::HandleClientOpFallback(
+    const ClientOpViaCoordinatorMsg& op) {
+  MaybeResetClientImage(op);
+  DeliverViaState(op);
+}
+
+void CoordinatorNode::MaybeResetClientImage(
+    const ClientOpViaCoordinatorMsg& op) {
+  // After a merge, a client image can be AHEAD of the file; IAMs only
+  // advance images, so send the authoritative state explicitly.
+  if (op.intended_bucket < state_.bucket_count()) return;
+  auto reset = std::make_unique<ImageResetMsg>();
+  reset->i = state_.i;
+  reset->n = state_.n;
+  Send(op.client, std::move(reset));
+}
+
+void CoordinatorNode::HandleUnavailableReport(const UnavailableReportMsg&) {
+  // Plain LH* has no recovery machinery; reports are informational.
+}
+
+void CoordinatorNode::OnOpDeliveryFailure(const OpRequestMsg& req) {
+  ClientOpViaCoordinatorMsg op;
+  op.op = req.op;
+  op.op_id = req.op_id;
+  op.client = req.client;
+  op.intended_bucket = req.intended_bucket;
+  op.key = req.key;
+  op.value = req.value;
+  FailClientOp(op, StatusCode::kUnavailable,
+               "bucket unavailable and file has no availability layer");
+}
+
+void CoordinatorNode::OnSplitOrderDeliveryFailure(const SplitOrderMsg& order,
+                                                  NodeId victim_node) {
+  (void)order;
+  (void)victim_node;
+  LHRS_LOG(Warning) << "split victim unreachable; split abandoned "
+                       "(no availability layer)";
+  restructure_in_progress_ = false;
+}
+
+void CoordinatorNode::OnOrphanedMoveRecords(const MoveRecordsMsg& move) {
+  LHRS_LOG(Warning) << "split target for bucket " << move.bucket
+                    << " lost with " << move.records.size()
+                    << " records in flight (no availability layer)";
+  restructure_in_progress_ = false;
+}
+
+void CoordinatorNode::OnOrphanedMergeRecords(const MergeRecordsMsg& merge) {
+  LHRS_LOG(Warning) << "merge parent " << merge.parent_bucket
+                    << " lost with " << merge.records.size()
+                    << " records in flight (no availability layer)";
+  restructure_in_progress_ = false;
+}
+
+void CoordinatorNode::HandleDeliveryFailure(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhStarMsg::kOpRequest:
+      OnOpDeliveryFailure(static_cast<const OpRequestMsg&>(*msg.body));
+      return;
+    case LhStarMsg::kSplitOrder:
+      OnSplitOrderDeliveryFailure(
+          static_cast<const SplitOrderMsg&>(*msg.body), msg.to);
+      return;
+    case LhStarMsg::kMergeOut: {
+      // The merge victim is down: undo the state reversal (the merge never
+      // happened) and let the availability layer recover the victim.
+      state_.AdvanceSplit();
+      restructure_in_progress_ = false;
+      --merges_performed_;
+      HandleSubclassDeliveryFailure(msg);
+      return;
+    }
+    default:
+      HandleSubclassDeliveryFailure(msg);
+      return;
+  }
+}
+
+}  // namespace lhrs

@@ -1,0 +1,137 @@
+#ifndef LHRS_LHSTAR_COORDINATOR_H_
+#define LHRS_LHSTAR_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "lh/lh_math.h"
+#include "lhstar/messages.h"
+#include "lhstar/system.h"
+#include "net/node.h"
+
+namespace lhrs {
+
+/// The LH* split coordinator: owns the authoritative file state (i, n),
+/// decides splits on overflow reports (with optional load control),
+/// allocates new server nodes, and completes client operations that hit
+/// unavailable or displaced buckets.
+///
+/// The availability layers (LH*RS and the baselines) subclass this to add
+/// parity-group management and recovery orchestration.
+class CoordinatorNode : public Node {
+ public:
+  /// Allocates a fresh server node carrying `bucket` at `level`, registers
+  /// it on the network and returns its id. Provided by the file facade so
+  /// the coordinator creates the right server subclass.
+  using BucketFactory = std::function<NodeId(BucketNo bucket, Level level)>;
+
+  explicit CoordinatorNode(std::shared_ptr<SystemContext> ctx);
+
+  void SetBucketFactory(BucketFactory factory) {
+    bucket_factory_ = std::move(factory);
+  }
+
+  void HandleMessage(const Message& msg) override;
+  void HandleDeliveryFailure(const Message& msg) override;
+  const char* role() const override { return "coordinator"; }
+
+  const FileState& state() const { return state_; }
+  uint64_t merges_performed() const { return merges_performed_; }
+
+  /// Total records currently in the file, as tracked for load control
+  /// (see FileConfig::use_load_control). Updated from overflow reports and
+  /// split completions, so it is an estimate, as in real LH*.
+  uint64_t splits_performed() const { return splits_performed_; }
+
+  /// Clears the restructuring latch. Public because a sibling coordinator
+  /// (LH*g manages two files as one logical coordinator) may complete or
+  /// abandon this file's restructuring step on its behalf.
+  void AbortRestructure() { restructure_in_progress_ = false; }
+  bool restructure_in_progress() const { return restructure_in_progress_; }
+
+ protected:
+  /// Reacts to a newly created bucket (LH*RS allocates parity groups here).
+  virtual void OnBucketCreated(BucketNo bucket, NodeId node, Level level);
+
+  /// Completes a client op that a server or client bounced here. The base
+  /// implementation re-delivers it to the correct server using the
+  /// authoritative state; if that server is down, the op fails with
+  /// kUnavailable (plain LH* has no recovery).
+  virtual void HandleClientOpFallback(const ClientOpViaCoordinatorMsg& op);
+
+  /// Reacts to an unavailability report. Base: nothing (no availability).
+  virtual void HandleUnavailableReport(const UnavailableReportMsg& report);
+
+  /// Extension point for subclass message kinds.
+  virtual void HandleSubclassMessage(const Message& msg);
+  virtual void HandleSubclassDeliveryFailure(const Message& msg);
+
+  /// Gate for split initiation; LH*RS defers splits while a recovery is in
+  /// flight (the split would move records whose groups are being rebuilt).
+  virtual bool CanSplitNow() const { return true; }
+
+  /// Re-evaluates deferred splits (call when CanSplitNow may have turned
+  /// true).
+  void MaybeStartSplit();
+
+  /// Allocates a server node for `bucket` via the factory (used by splits
+  /// and by recovery to create spares).
+  NodeId CreateBucketNode(BucketNo bucket, Level level);
+
+  /// An OpRequest re-delivered by DeliverViaState could not reach its
+  /// server. Base: fail the op (plain LH* cannot recover).
+  virtual void OnOpDeliveryFailure(const OpRequestMsg& request);
+
+  /// A SplitOrder could not reach the split victim (it was down,
+  /// undetected). The file state has already advanced and the new bucket
+  /// exists (uninitialised). Base: abandon (plain LH* cannot recover);
+  /// availability layers recover the victim and retry the order.
+  virtual void OnSplitOrderDeliveryFailure(const SplitOrderMsg& order,
+                                           NodeId victim_node);
+
+  /// A bulk record transfer (split move or merge) bounced off a dead
+  /// target and was escalated here by the sender — the records exist only
+  /// in the escalated message. Base: drop with a loud warning (plain LH*
+  /// cannot recover); availability layers park the transfer, recover the
+  /// target and re-deliver.
+  virtual void OnOrphanedMoveRecords(const MoveRecordsMsg& move);
+  virtual void OnOrphanedMergeRecords(const MergeRecordsMsg& merge);
+
+
+  /// Delivers `op` to the server currently carrying its correct bucket.
+  /// hops is set to 1 so the serving bucket issues an IAM to the client.
+  void DeliverViaState(const ClientOpViaCoordinatorMsg& op);
+
+  /// Replies to the client with an error (used when an op cannot be
+  /// completed).
+  void FailClientOp(const ClientOpViaCoordinatorMsg& op, StatusCode code,
+                    std::string error);
+
+  /// Sends the client the authoritative file state when its op addressed a
+  /// bucket beyond the (possibly shrunk) file; IAMs cannot move an image
+  /// backwards.
+  void MaybeResetClientImage(const ClientOpViaCoordinatorMsg& op);
+
+  SystemContext& ctx() { return *ctx_; }
+  Network* net() const { return network(); }
+
+  std::shared_ptr<SystemContext> ctx_;
+  FileState state_;
+
+ private:
+  void StartSplit();
+  /// Merges the last bucket into its parent when the load policy says so.
+  void MaybeStartMerge();
+
+  BucketFactory bucket_factory_;
+  bool restructure_in_progress_ = false;  ///< A split or merge is running.
+  uint32_t pending_splits_ = 0;
+  bool merge_requested_ = false;
+  uint64_t splits_performed_ = 0;
+  uint64_t merges_performed_ = 0;
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_LHSTAR_COORDINATOR_H_

@@ -1,0 +1,445 @@
+#include "lhstar/data_bucket.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "net/network.h"
+
+namespace lhrs {
+
+DataBucketNode::DataBucketNode(std::shared_ptr<SystemContext> ctx,
+                               BucketNo bucket_no, Level level,
+                               bool pre_initialized)
+    : ctx_(std::move(ctx)),
+      bucket_no_(bucket_no),
+      level_(level),
+      initialized_(pre_initialized) {}
+
+size_t DataBucketNode::StorageBytes() const {
+  size_t n = 0;
+  for (const auto& [key, value] : records_) {
+    n += sizeof(Key) + value.size();
+  }
+  return n;
+}
+
+void DataBucketNode::HandleMessage(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhStarMsg::kOpRequest:
+      HandleOpRequest(msg);
+      return;
+    case LhStarMsg::kSplitOrder:
+      HandleSplitOrder(static_cast<const SplitOrderMsg&>(*msg.body));
+      return;
+    case LhStarMsg::kMoveRecords:
+      HandleMoveRecords(static_cast<const MoveRecordsMsg&>(*msg.body));
+      return;
+    case LhStarMsg::kMergeOut:
+      HandleMergeOut(static_cast<const MergeOutMsg&>(*msg.body));
+      return;
+    case LhStarMsg::kMergeRecords:
+      HandleMergeRecords(static_cast<const MergeRecordsMsg&>(*msg.body));
+      return;
+    case LhStarMsg::kScanRequest:
+      HandleScanRequest(static_cast<const ScanRequestMsg&>(*msg.body));
+      return;
+    case LhStarMsg::kSurveyRequest: {
+      const auto& req = static_cast<const SurveyRequestMsg&>(*msg.body);
+      auto reply = std::make_unique<SurveyReplyMsg>();
+      reply->survey_id = req.survey_id;
+      reply->role = SurveyReplyMsg::Role::kDataBucket;
+      reply->decommissioned = decommissioned_;
+      reply->bucket = bucket_no_;
+      reply->level = level_;
+      reply->record_count = records_.size();
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    case LhStarMsg::kStateScanRequest: {
+      const auto& req = static_cast<const StateScanRequestMsg&>(*msg.body);
+      auto reply = std::make_unique<StateScanReplyMsg>();
+      reply->op_id = req.op_id;
+      reply->bucket = bucket_no_;
+      reply->level = level_;
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    case LhStarMsg::kSelfCheckReply: {
+      const auto& reply = static_cast<const SelfCheckReplyMsg&>(*msg.body);
+      if (!reply.still_owner && !decommissioned_) {
+        decommissioned_ = true;
+        records_.clear();
+        // Traffic buffered while waiting for an installation that will
+        // never come goes back to the coordinator / clients.
+        std::vector<std::unique_ptr<OpRequestMsg>> queued =
+            std::move(queued_ops_);
+        queued_ops_.clear();
+        for (const auto& op : queued) BounceToCoordinator(*op);
+        std::vector<std::unique_ptr<ScanRequestMsg>> scans =
+            std::move(queued_scans_);
+        queued_scans_.clear();
+        for (const auto& scan : scans) {
+          auto fail = std::make_unique<ScanReplyMsg>();
+          fail->op_id = scan->op_id;
+          fail->bucket = bucket_no_;
+          fail->level = level_;
+          fail->coverage_failed = true;
+          Send(scan->client, std::move(fail));
+        }
+        OnDecommissioned();
+      }
+      return;
+    }
+    default:
+      HandleSubclassMessage(msg);
+      return;
+  }
+}
+
+void DataBucketNode::HandleSubclassMessage(const Message& msg) {
+  LHRS_LOG(Fatal) << role() << " bucket " << bucket_no_
+                  << ": unhandled message kind " << msg.body->kind();
+}
+
+void DataBucketNode::HandleSubclassDeliveryFailure(const Message& msg) {
+  (void)msg;
+}
+
+void DataBucketNode::HandleOpRequest(const Message& msg) {
+  const auto& req = static_cast<const OpRequestMsg&>(*msg.body);
+
+  // Section 2.8: a spare, or a server reused for another bucket, matches
+  // the intended bucket number against what it carries and bounces
+  // mismatches to the coordinator.
+  if (decommissioned_ || req.intended_bucket != bucket_no_) {
+    BounceToCoordinator(req);
+    return;
+  }
+
+  if (!initialized_) {
+    // Mid-split: the record move from the parent has not arrived yet.
+    // Buffer and replay (models the parent serving until handover).
+    auto copy = std::make_unique<OpRequestMsg>(req);
+    queued_ops_.push_back(std::move(copy));
+    return;
+  }
+
+  // Algorithm (A2): verify the address, forward at most twice.
+  const BucketNo target =
+      ForwardAddress(bucket_no_, level_, req.key, ctx_->config.initial_buckets);
+  if (target != bucket_no_) {
+    auto fwd = std::make_unique<OpRequestMsg>(req);
+    fwd->intended_bucket = target;
+    fwd->hops = req.hops + 1;
+    LHRS_CHECK_LE(fwd->hops, 3) << "A2 forwarding chain too long";
+    Send(ctx_->allocation.Lookup(target), std::move(fwd));
+    return;
+  }
+
+  ExecuteLocalOp(req);
+}
+
+void DataBucketNode::ExecuteLocalOp(const OpRequestMsg& req) {
+  switch (req.op) {
+    case OpType::kInsert: {
+      auto [it, inserted] = records_.try_emplace(req.key, req.value);
+      if (!inserted) {
+        ReplyToClient(req, StatusCode::kAlreadyExists, "duplicate key", {});
+        return;
+      }
+      ++ctx_->total_records;
+      OnInsertCommitted(req.key, it->second);
+      ReplyToClient(req, StatusCode::kOk, {}, {});
+      ReportOverflowIfNeeded();
+      return;
+    }
+    case OpType::kSearch: {
+      auto it = records_.find(req.key);
+      if (it == records_.end()) {
+        ReplyToClient(req, StatusCode::kNotFound, "no such key", {});
+      } else {
+        ReplyToClient(req, StatusCode::kOk, {}, it->second);
+      }
+      return;
+    }
+    case OpType::kUpdate: {
+      auto it = records_.find(req.key);
+      if (it == records_.end()) {
+        ReplyToClient(req, StatusCode::kNotFound, "no such key", {});
+        return;
+      }
+      const Bytes old_value = std::move(it->second);
+      it->second = req.value;
+      OnUpdateCommitted(req.key, old_value, it->second);
+      ReplyToClient(req, StatusCode::kOk, {}, {});
+      return;
+    }
+    case OpType::kDelete: {
+      auto it = records_.find(req.key);
+      if (it == records_.end()) {
+        ReplyToClient(req, StatusCode::kNotFound, "no such key", {});
+        return;
+      }
+      const Bytes old_value = std::move(it->second);
+      records_.erase(it);
+      if (ctx_->total_records > 0) --ctx_->total_records;
+      OnDeleteCommitted(req.key, old_value);
+      ReplyToClient(req, StatusCode::kOk, {}, {});
+      if (ctx_->config.enable_merge &&
+          records_.size() * 4 < ctx_->config.bucket_capacity) {
+        auto report = std::make_unique<UnderflowReportMsg>();
+        report->bucket = bucket_no_;
+        report->record_count = records_.size();
+        Send(ctx_->coordinator, std::move(report));
+      }
+      return;
+    }
+  }
+}
+
+void DataBucketNode::ReplyToClient(const OpRequestMsg& req, StatusCode code,
+                                   std::string error, Bytes value) {
+  auto reply = std::make_unique<OpReplyMsg>();
+  reply->op_id = req.op_id;
+  reply->code = code;
+  reply->error = std::move(error);
+  reply->value = std::move(value);
+  if (req.hops > 0) {
+    // The correct server receiving a forwarded request issues an IAM.
+    reply->iam = IamInfo{bucket_no_, level_};
+  }
+  Send(req.client, std::move(reply));
+}
+
+void DataBucketNode::BounceToCoordinator(const OpRequestMsg& req) {
+  auto bounce = std::make_unique<ClientOpViaCoordinatorMsg>();
+  bounce->op = req.op;
+  bounce->op_id = req.op_id;
+  bounce->client = req.client;
+  bounce->intended_bucket = req.intended_bucket;
+  bounce->key = req.key;
+  bounce->value = req.value;
+  Send(ctx_->coordinator, std::move(bounce));
+}
+
+void DataBucketNode::ReportOverflowIfNeeded() {
+  if (records_.size() <= ctx_->config.bucket_capacity) return;
+  auto report = std::make_unique<OverflowReportMsg>();
+  report->bucket = bucket_no_;
+  report->record_count = records_.size();
+  Send(ctx_->coordinator, std::move(report));
+}
+
+void DataBucketNode::HandleSplitOrder(const SplitOrderMsg& order) {
+  // A split retried after this bucket was recovered arrives with the
+  // bucket already at the post-split level (the recovery installed the
+  // level implied by the advanced file state).
+  LHRS_CHECK(order.new_level == level_ + 1 || order.new_level == level_);
+  level_ = order.new_level;
+
+  std::vector<WireRecord> moved;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (HashL(it->first, level_, ctx_->config.initial_buckets) != bucket_no_) {
+      moved.push_back(WireRecord{it->first, 0, std::move(it->second)});
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  OnRecordsMovedOut(moved);
+
+  auto move = std::make_unique<MoveRecordsMsg>();
+  move->bucket = order.new_bucket;
+  move->level = order.new_level;
+  move->records = std::move(moved);
+  Send(order.new_node, std::move(move));
+}
+
+void DataBucketNode::HandleMoveRecords(const MoveRecordsMsg& move) {
+  LHRS_CHECK_EQ(move.bucket, bucket_no_);
+  LHRS_CHECK_EQ(move.level, level_);
+  for (const auto& rec : move.records) {
+    auto [it, inserted] = records_.try_emplace(rec.key, rec.value);
+    LHRS_CHECK(inserted) << "duplicate key in split move";
+  }
+  OnRecordsMovedIn(move.records);
+  initialized_ = true;
+
+  auto done = std::make_unique<SplitDoneMsg>();
+  done->bucket = bucket_no_;
+  Send(ctx_->coordinator, std::move(done));
+
+  OnActivated();
+  FlushQueuedTraffic();
+}
+
+void DataBucketNode::FlushQueuedTraffic() {
+  std::vector<std::unique_ptr<OpRequestMsg>> queued = std::move(queued_ops_);
+  queued_ops_.clear();
+  for (auto& op : queued) {
+    Message replay;
+    replay.from = op->client;
+    replay.to = id();
+    replay.body = std::move(op);
+    HandleOpRequest(replay);
+  }
+  std::vector<std::unique_ptr<ScanRequestMsg>> scans =
+      std::move(queued_scans_);
+  queued_scans_.clear();
+  for (auto& scan : scans) HandleScanRequest(*scan);
+}
+
+void DataBucketNode::HandleMergeOut(const MergeOutMsg& order) {
+  // Inverse of a split: every resident record returns to the parent. The
+  // same moved-out hook fires, so availability layers retire the records
+  // from their groups exactly as they would for a split.
+  std::vector<WireRecord> moved;
+  moved.reserve(records_.size());
+  for (auto& [key, value] : records_) {
+    moved.push_back(WireRecord{key, 0, std::move(value)});
+  }
+  records_.clear();
+  OnRecordsMovedOut(moved);
+
+  auto merge = std::make_unique<MergeRecordsMsg>();
+  merge->parent_bucket = order.parent_bucket;
+  merge->parent_new_level = order.parent_new_level;
+  merge->records = std::move(moved);
+  Send(order.parent_node, std::move(merge));
+
+  // This server stands down; stale clients that still address the removed
+  // bucket bounce off it to the coordinator (which resets their images).
+  decommissioned_ = true;
+  OnDecommissioned();
+}
+
+void DataBucketNode::HandleMergeRecords(const MergeRecordsMsg& merge) {
+  LHRS_CHECK_EQ(merge.parent_bucket, bucket_no_);
+  // Tolerate a parent recovered (to the post-merge level) between the
+  // merge order and the record delivery.
+  LHRS_CHECK(merge.parent_new_level + 1 == level_ ||
+             merge.parent_new_level == level_);
+  level_ = merge.parent_new_level;
+  for (const auto& rec : merge.records) {
+    auto [it, inserted] = records_.try_emplace(rec.key, rec.value);
+    LHRS_CHECK(inserted) << "duplicate key in merge";
+    (void)it;
+  }
+  OnRecordsMovedIn(merge.records);
+
+  auto done = std::make_unique<MergeDoneMsg>();
+  done->bucket = bucket_no_;
+  Send(ctx_->coordinator, std::move(done));
+}
+
+void DataBucketNode::HandleScanRequest(const ScanRequestMsg& scan) {
+  if (!initialized_) {
+    // Mid-split: records destined for this bucket are still in flight;
+    // answering now would silently miss them.
+    queued_scans_.push_back(std::make_unique<ScanRequestMsg>(scan));
+    return;
+  }
+  // Exactly-once coverage: forward one copy to each child this bucket
+  // created at a level above the sender's presumed one.
+  for (Level l = scan.attached_level + 1; l <= level_; ++l) {
+    const BucketNo child =
+        bucket_no_ +
+        (static_cast<BucketNo>(ctx_->config.initial_buckets) << (l - 1));
+    auto fwd = std::make_unique<ScanRequestMsg>(scan);
+    fwd->attached_level = l;
+    Send(ctx_->allocation.Lookup(child), std::move(fwd));
+  }
+
+  std::vector<WireRecord> matches;
+  for (const auto& [key, value] : records_) {
+    if (scan.predicate.Matches(key, value)) {
+      matches.push_back(WireRecord{key, 0, value});
+    }
+  }
+  if (scan.deterministic || !matches.empty()) {
+    auto reply = std::make_unique<ScanReplyMsg>();
+    reply->op_id = scan.op_id;
+    reply->bucket = bucket_no_;
+    reply->level = level_;
+    reply->records = std::move(matches);
+    Send(scan.client, std::move(reply));
+  }
+}
+
+void DataBucketNode::HandleDeliveryFailure(const Message& msg) {
+  switch (msg.body->kind()) {
+    case LhStarMsg::kOpRequest: {
+      // A forward hop failed: report the failure and hand the op to the
+      // coordinator (section 2.8).
+      const auto& req = static_cast<const OpRequestMsg&>(*msg.body);
+      auto report = std::make_unique<UnavailableReportMsg>();
+      report->node = msg.to;
+      report->bucket = req.intended_bucket;
+      Send(ctx_->coordinator, std::move(report));
+      BounceToCoordinator(req);
+      return;
+    }
+    case LhStarMsg::kMoveRecords: {
+      // The new bucket died mid-split. The moved records exist only in
+      // this message now (their parity was already retired), so hand them
+      // to the coordinator for safekeeping and recovery.
+      const auto& move = static_cast<const MoveRecordsMsg&>(*msg.body);
+      auto report = std::make_unique<UnavailableReportMsg>();
+      report->node = msg.to;
+      report->bucket = move.bucket;
+      Send(ctx_->coordinator, std::move(report));
+      Send(ctx_->coordinator, std::make_unique<MoveRecordsMsg>(move));
+      return;
+    }
+    case LhStarMsg::kMergeRecords: {
+      // The merge parent died; same safekeeping as for kMoveRecords.
+      const auto& merge = static_cast<const MergeRecordsMsg&>(*msg.body);
+      auto report = std::make_unique<UnavailableReportMsg>();
+      report->node = msg.to;
+      report->bucket = merge.parent_bucket;
+      Send(ctx_->coordinator, std::move(report));
+      Send(ctx_->coordinator, std::make_unique<MergeRecordsMsg>(merge));
+      return;
+    }
+    case LhStarMsg::kScanRequest: {
+      // Coverage forwarding hit a dead bucket: the deterministic scan
+      // cannot terminate normally; tell the client.
+      const auto& scan = static_cast<const ScanRequestMsg&>(*msg.body);
+      auto reply = std::make_unique<ScanReplyMsg>();
+      reply->op_id = scan.op_id;
+      reply->bucket = bucket_no_;
+      reply->level = level_;
+      reply->coverage_failed = true;
+      Send(scan.client, std::move(reply));
+      return;
+    }
+    default:
+      HandleSubclassDeliveryFailure(msg);
+      return;
+  }
+}
+
+void DataBucketNode::SelfCheck() {
+  auto req = std::make_unique<SelfCheckRequestMsg>();
+  req->bucket = bucket_no_;
+  Send(ctx_->coordinator, std::move(req));
+}
+
+void DataBucketNode::InstallRecoveredState(std::map<Key, Bytes> records,
+                                           Level level) {
+  records_ = std::move(records);
+  level_ = level;
+  initialized_ = true;
+  OnActivated();
+  FlushQueuedTraffic();
+}
+
+void DataBucketNode::OnInsertCommitted(Key, const Bytes&) {}
+void DataBucketNode::OnUpdateCommitted(Key, const Bytes&, const Bytes&) {}
+void DataBucketNode::OnDeleteCommitted(Key, const Bytes&) {}
+void DataBucketNode::OnRecordsMovedOut(std::vector<WireRecord>&) {}
+void DataBucketNode::OnRecordsMovedIn(const std::vector<WireRecord>&) {}
+void DataBucketNode::OnDecommissioned() {}
+void DataBucketNode::OnActivated() {}
+
+}  // namespace lhrs

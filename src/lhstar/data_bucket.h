@@ -1,0 +1,125 @@
+#ifndef LHRS_LHSTAR_DATA_BUCKET_H_
+#define LHRS_LHSTAR_DATA_BUCKET_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "lh/lh_math.h"
+#include "lhstar/messages.h"
+#include "lhstar/system.h"
+#include "net/node.h"
+
+namespace lhrs {
+
+/// A server carrying one LH* data bucket.
+///
+/// Implements the server side of the LH* protocol: address verification and
+/// at-most-two-hop forwarding (A2), IAM issuance on forwarded requests,
+/// overflow reporting, the splitting protocol, scan coverage forwarding, and
+/// the displaced-bucket checks of paper section 2.8.
+///
+/// The high-availability layers subclass this and hook the `On*Committed` /
+/// `OnRecordsMoved*` notification points to maintain parity; the base class
+/// is a complete, availability-free LH* server.
+class DataBucketNode : public Node {
+ public:
+  /// `pre_initialized` is true for the file's initial buckets and false for
+  /// split targets, which buffer client traffic until the record move
+  /// arrives.
+  DataBucketNode(std::shared_ptr<SystemContext> ctx, BucketNo bucket_no,
+                 Level level, bool pre_initialized);
+
+  void HandleMessage(const Message& msg) override;
+  void HandleDeliveryFailure(const Message& msg) override;
+  const char* role() const override { return "data-bucket"; }
+
+  BucketNo bucket_no() const { return bucket_no_; }
+  Level level() const { return level_; }
+  size_t record_count() const { return records_.size(); }
+  bool decommissioned() const { return decommissioned_; }
+
+  /// Local inspection for tests / storage statistics (not a protocol path).
+  const std::map<Key, Bytes>& records() const { return records_; }
+
+  /// Approximate local storage in bytes (records + per-record overhead).
+  size_t StorageBytes() const;
+
+  /// Models self-detected restart after a transient outage (section
+  /// 2.5.4): asks the coordinator whether this node still carries its
+  /// bucket; stands down as a spare if it was recovered elsewhere.
+  void SelfCheck();
+
+ protected:
+  // --- Hooks for availability layers -------------------------------------
+
+  /// A new record was stored (insert path).
+  virtual void OnInsertCommitted(Key key, const Bytes& value);
+  /// An existing record's value changed (update path).
+  virtual void OnUpdateCommitted(Key key, const Bytes& old_value,
+                                 const Bytes& new_value);
+  /// A record was removed (delete path).
+  virtual void OnDeleteCommitted(Key key, const Bytes& old_value);
+  /// Records are about to leave this bucket because of a split. The
+  /// vector is mutable so layers can attach per-record tags that must
+  /// travel with the move.
+  virtual void OnRecordsMovedOut(std::vector<WireRecord>& moved);
+  /// Records arrived from a splitting bucket.
+  virtual void OnRecordsMovedIn(const std::vector<WireRecord>& moved);
+  /// This node was told it no longer carries its bucket (becomes a spare).
+  virtual void OnDecommissioned();
+
+  /// The bucket just became initialized (split handover completed or
+  /// recovered state installed); subclasses flush their own deferred
+  /// traffic here.
+  virtual void OnActivated();
+
+  /// Allows subclasses to extend the message vocabulary; called for any
+  /// kind the base class does not recognise.
+  virtual void HandleSubclassMessage(const Message& msg);
+  /// Same for delivery failures of subclass-sent messages.
+  virtual void HandleSubclassDeliveryFailure(const Message& msg);
+
+  SystemContext& ctx() { return *ctx_; }
+  const SystemContext& ctx() const { return *ctx_; }
+
+  /// Directly installs state (recovery path; bypasses the insert hooks)
+  /// and replays any traffic queued while uninitialized.
+  void InstallRecoveredState(std::map<Key, Bytes> records, Level level);
+
+  /// Replays ops and scans buffered while this bucket was uninitialized.
+  void FlushQueuedTraffic();
+
+  /// Reports to the coordinator when this bucket exceeds its capacity
+  /// (also used by subclasses that insert through non-OpRequest paths).
+  void ReportOverflowIfNeeded();
+
+  std::map<Key, Bytes> records_;  // Ordered: deterministic split movement.
+
+ private:
+  void HandleOpRequest(const Message& msg);
+  void ExecuteLocalOp(const OpRequestMsg& req);
+  void HandleSplitOrder(const SplitOrderMsg& order);
+  void HandleMoveRecords(const MoveRecordsMsg& move);
+  void HandleMergeOut(const MergeOutMsg& order);
+  void HandleMergeRecords(const MergeRecordsMsg& merge);
+  void HandleScanRequest(const ScanRequestMsg& scan);
+  void ReplyToClient(const OpRequestMsg& req, StatusCode code,
+                     std::string error, Bytes value);
+  /// Hands an op the server cannot place to the coordinator (displaced
+  /// bucket / spare, section 2.8).
+  void BounceToCoordinator(const OpRequestMsg& req);
+
+  std::shared_ptr<SystemContext> ctx_;
+  BucketNo bucket_no_;
+  Level level_;
+  bool initialized_;
+  bool decommissioned_ = false;
+  std::vector<std::unique_ptr<OpRequestMsg>> queued_ops_;  // Pre-init ops.
+  std::vector<std::unique_ptr<ScanRequestMsg>> queued_scans_;
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_LHSTAR_DATA_BUCKET_H_

@@ -1,0 +1,130 @@
+#include "lhstar/lhstar_file.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lhrs {
+
+LhStarFile::LhStarFile(Options options, DeferInit)
+    : options_(std::move(options)),
+      network_(options_.net),
+      ctx_(std::make_shared<SystemContext>()) {
+  RegisterLhStarMessageNames();
+  ctx_->config = options_.file;
+}
+
+LhStarFile::LhStarFile(Options options)
+    : LhStarFile(std::move(options), DeferInit{}) {
+  auto coordinator = std::make_unique<CoordinatorNode>(ctx_);
+  coordinator_ = coordinator.get();
+  ctx_->coordinator = network_.AddNode(std::move(coordinator));
+
+  coordinator_->SetBucketFactory([this](BucketNo bucket, Level level) {
+    auto node = std::make_unique<DataBucketNode>(ctx_, bucket, level,
+                                                 /*pre_initialized=*/false);
+    return network_.AddNode(std::move(node));
+  });
+
+  for (BucketNo b = 0; b < ctx_->config.initial_buckets; ++b) {
+    auto node = std::make_unique<DataBucketNode>(ctx_, b, /*level=*/0,
+                                                 /*pre_initialized=*/true);
+    ctx_->allocation.Set(b, network_.AddNode(std::move(node)));
+  }
+
+  AddClient();
+}
+
+size_t LhStarFile::AddClient() {
+  auto client = std::make_unique<ClientNode>(ctx_);
+  ClientNode* ptr = client.get();
+  network_.AddNode(std::move(client));
+  clients_.push_back(ptr);
+  return clients_.size() - 1;
+}
+
+ClientNode& LhStarFile::client(size_t index) {
+  LHRS_CHECK_LT(index, clients_.size());
+  return *clients_[index];
+}
+
+Result<OpOutcome> LhStarFile::RunOp(size_t client_index, OpType op, Key key,
+                                    Bytes value) {
+  ClientNode& c = client(client_index);
+  const uint64_t op_id = c.StartOp(op, key, std::move(value));
+  network_.RunUntilIdle();
+  if (!c.IsDone(op_id)) {
+    return Status::Internal("operation did not complete");
+  }
+  return c.TakeResult(op_id);
+}
+
+Status LhStarFile::Insert(Key key, Bytes value) {
+  return InsertVia(0, key, std::move(value));
+}
+
+Status LhStarFile::InsertVia(size_t client_index, Key key, Bytes value) {
+  LHRS_ASSIGN_OR_RETURN(OpOutcome out,
+                        RunOp(client_index, OpType::kInsert, key,
+                              std::move(value)));
+  return out.status;
+}
+
+Result<Bytes> LhStarFile::Search(Key key) { return SearchVia(0, key); }
+
+Result<Bytes> LhStarFile::SearchVia(size_t client_index, Key key) {
+  LHRS_ASSIGN_OR_RETURN(OpOutcome out,
+                        RunOp(client_index, OpType::kSearch, key, {}));
+  if (!out.status.ok()) return out.status;
+  return std::move(out.value);
+}
+
+Status LhStarFile::Update(Key key, Bytes value) {
+  LHRS_ASSIGN_OR_RETURN(OpOutcome out,
+                        RunOp(0, OpType::kUpdate, key, std::move(value)));
+  return out.status;
+}
+
+Status LhStarFile::Delete(Key key) {
+  LHRS_ASSIGN_OR_RETURN(OpOutcome out, RunOp(0, OpType::kDelete, key, {}));
+  return out.status;
+}
+
+Result<std::vector<WireRecord>> LhStarFile::Scan(ScanPredicate predicate,
+                                                 bool deterministic) {
+  ClientNode& c = client(0);
+  const uint64_t op_id = c.StartScan(std::move(predicate), deterministic);
+  network_.RunUntilIdle();
+  if (!c.IsDone(op_id)) {
+    if (!deterministic) {
+      // Probabilistic termination: the simulation going idle is the
+      // time-out after the last received record.
+      c.FinishProbabilisticScan(op_id);
+    } else {
+      return Status::Internal("scan did not terminate");
+    }
+  }
+  LHRS_ASSIGN_OR_RETURN(OpOutcome out, c.TakeResult(op_id));
+  if (!out.status.ok()) return out.status;
+  return std::move(out.scan_records);
+}
+
+DataBucketNode* LhStarFile::bucket(BucketNo b) const {
+  return network_.node_as<DataBucketNode>(ctx_->allocation.Lookup(b));
+}
+
+StorageStats LhStarFile::GetStorageStats() const {
+  StorageStats stats;
+  stats.data_buckets = bucket_count();
+  for (BucketNo b = 0; b < stats.data_buckets; ++b) {
+    const DataBucketNode* node = bucket(b);
+    stats.record_count += node->record_count();
+    stats.data_bytes += node->StorageBytes();
+  }
+  stats.load_factor =
+      static_cast<double>(stats.record_count) /
+      (static_cast<double>(stats.data_buckets) * ctx_->config.bucket_capacity);
+  return stats;
+}
+
+}  // namespace lhrs

@@ -1,0 +1,97 @@
+#ifndef LHRS_LHSTAR_LHSTAR_FILE_H_
+#define LHRS_LHSTAR_LHSTAR_FILE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "lhstar/client.h"
+#include "lhstar/coordinator.h"
+#include "lhstar/data_bucket.h"
+#include "lhstar/system.h"
+#include "net/network.h"
+
+namespace lhrs {
+
+/// Aggregate storage statistics of a simulated file.
+struct StorageStats {
+  size_t record_count = 0;
+  size_t data_bytes = 0;        ///< Primary record payloads incl. keys.
+  size_t parity_bytes = 0;      ///< Availability overhead (0 for plain LH*).
+  size_t data_buckets = 0;
+  size_t parity_buckets = 0;
+  double load_factor = 0.0;     ///< records / (buckets * capacity).
+
+  /// parity_bytes / data_bytes — the paper's storage-overhead metric.
+  double ParityOverhead() const {
+    return data_bytes == 0 ? 0.0
+                           : static_cast<double>(parity_bytes) / data_bytes;
+  }
+};
+
+/// A plain LH* file on a simulated multicomputer: the substrate and the
+/// zero-availability comparison point of every experiment.
+///
+/// Owns the network, coordinator, server and client nodes. The public calls
+/// are synchronous: each starts the asynchronous protocol and runs the
+/// simulation until it settles.
+class LhStarFile {
+ public:
+  struct Options {
+    FileConfig file;
+    NetworkConfig net;
+  };
+
+  explicit LhStarFile(Options options);
+  virtual ~LhStarFile() = default;
+  LhStarFile(const LhStarFile&) = delete;
+  LhStarFile& operator=(const LhStarFile&) = delete;
+
+  // --- Client operations (via the default client 0) ----------------------
+  Status Insert(Key key, Bytes value);
+  Result<Bytes> Search(Key key);
+  Status Update(Key key, Bytes value);
+  Status Delete(Key key);
+  Result<std::vector<WireRecord>> Scan(ScanPredicate predicate = {},
+                                       bool deterministic = true);
+
+  // --- Multi-client access ------------------------------------------------
+  /// Adds another autonomous client; returns its index.
+  size_t AddClient();
+  ClientNode& client(size_t index = 0);
+  size_t client_count() const { return clients_.size(); }
+
+  Status InsertVia(size_t client_index, Key key, Bytes value);
+  Result<Bytes> SearchVia(size_t client_index, Key key);
+
+  // --- Introspection ------------------------------------------------------
+  Network& network() { return network_; }
+  const Network& network() const { return network_; }
+  CoordinatorNode& coordinator() { return *coordinator_; }
+  SystemContext& context() { return *ctx_; }
+  BucketNo bucket_count() const { return coordinator_->state().bucket_count(); }
+  DataBucketNode* bucket(BucketNo b) const;
+
+  virtual StorageStats GetStorageStats() const;
+
+ protected:
+  /// Subclass constructor hook: builds the network/context but defers node
+  /// creation to the subclass (which installs its own coordinator and
+  /// factory).
+  struct DeferInit {};
+  LhStarFile(Options options, DeferInit);
+
+  Result<OpOutcome> RunOp(size_t client_index, OpType op, Key key,
+                          Bytes value);
+
+  Options options_;
+  Network network_;
+  std::shared_ptr<SystemContext> ctx_;
+  CoordinatorNode* coordinator_ = nullptr;  // Owned by network_.
+  std::vector<ClientNode*> clients_;        // Owned by network_.
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_LHSTAR_LHSTAR_FILE_H_

@@ -1,0 +1,341 @@
+#ifndef LHRS_LHSTAR_MESSAGES_H_
+#define LHRS_LHSTAR_MESSAGES_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "lh/lh_math.h"
+#include "net/message.h"
+
+namespace lhrs {
+
+/// Client-visible file operations.
+enum class OpType : uint8_t { kInsert, kSearch, kUpdate, kDelete };
+
+const char* OpTypeName(OpType op);
+
+/// A record as shipped between nodes (splits, recovery, scan replies).
+/// `tag` is an opaque per-record attachment for availability layers that
+/// must travel with moved records (LH*g carries the immutable record-group
+/// key in it); 0 when unused.
+struct WireRecord {
+  Key key = 0;
+  uint64_t tag = 0;
+  Bytes value;
+
+  size_t ByteSize() const { return sizeof(Key) + value.size(); }
+  bool operator==(const WireRecord&) const = default;
+};
+
+/// Message kinds of the LH* substrate (range [100, 200)).
+struct LhStarMsg {
+  static constexpr int kOpRequest = MessageKindRange::kLhStarBase + 0;
+  static constexpr int kOpReply = MessageKindRange::kLhStarBase + 1;
+  static constexpr int kOverflowReport = MessageKindRange::kLhStarBase + 2;
+  static constexpr int kSplitOrder = MessageKindRange::kLhStarBase + 3;
+  static constexpr int kMoveRecords = MessageKindRange::kLhStarBase + 4;
+  static constexpr int kSplitDone = MessageKindRange::kLhStarBase + 5;
+  static constexpr int kScanRequest = MessageKindRange::kLhStarBase + 6;
+  static constexpr int kScanReply = MessageKindRange::kLhStarBase + 7;
+  static constexpr int kClientOpViaCoordinator =
+      MessageKindRange::kLhStarBase + 8;
+  static constexpr int kUnavailableReport = MessageKindRange::kLhStarBase + 9;
+  static constexpr int kStateScanRequest = MessageKindRange::kLhStarBase + 10;
+  static constexpr int kStateScanReply = MessageKindRange::kLhStarBase + 11;
+  static constexpr int kSelfCheckRequest = MessageKindRange::kLhStarBase + 12;
+  static constexpr int kSelfCheckReply = MessageKindRange::kLhStarBase + 13;
+  static constexpr int kUnderflowReport = MessageKindRange::kLhStarBase + 14;
+  static constexpr int kMergeOut = MessageKindRange::kLhStarBase + 15;
+  static constexpr int kMergeRecords = MessageKindRange::kLhStarBase + 16;
+  static constexpr int kMergeDone = MessageKindRange::kLhStarBase + 17;
+  static constexpr int kImageReset = MessageKindRange::kLhStarBase + 18;
+  static constexpr int kSurveyRequest = MessageKindRange::kLhStarBase + 19;
+  static constexpr int kSurveyReply = MessageKindRange::kLhStarBase + 20;
+};
+
+/// Registers display names for all LH* message kinds (idempotent).
+void RegisterLhStarMessageNames();
+
+/// A key-addressed operation, sent client->server and forwarded
+/// server->server per algorithm (A2). Carries the bucket number the sender
+/// intended to reach so a displaced/reused server can detect the mismatch
+/// (paper section 2.8).
+struct OpRequestMsg : MessageBody {
+  OpType op = OpType::kSearch;
+  uint64_t op_id = 0;
+  NodeId client = kInvalidNode;   ///< Where the final reply goes.
+  BucketNo intended_bucket = 0;
+  Key key = 0;
+  Bytes value;                    ///< Insert/update payload.
+  int hops = 0;                   ///< Forwarding count; >0 triggers an IAM.
+
+  int kind() const override { return LhStarMsg::kOpRequest; }
+  size_t ByteSize() const override { return 40 + value.size(); }
+};
+
+/// Image-adjustment payload piggybacked on replies after forwarding: the
+/// level of the correct bucket (the paper's IAM content).
+struct IamInfo {
+  BucketNo bucket = 0;
+  Level level = 0;
+};
+
+/// Reply for one operation, server->client (or coordinator->client in
+/// degraded mode).
+struct OpReplyMsg : MessageBody {
+  uint64_t op_id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string error;
+  Bytes value;                    ///< Search result payload.
+  std::optional<IamInfo> iam;
+
+  int kind() const override { return LhStarMsg::kOpReply; }
+  size_t ByteSize() const override { return 24 + value.size(); }
+};
+
+/// Server->coordinator: bucket exceeded its capacity.
+struct OverflowReportMsg : MessageBody {
+  BucketNo bucket = 0;
+  size_t record_count = 0;
+
+  int kind() const override { return LhStarMsg::kOverflowReport; }
+  size_t ByteSize() const override { return 16; }
+};
+
+/// Coordinator->server: split your bucket; send movers to `new_node`.
+struct SplitOrderMsg : MessageBody {
+  BucketNo new_bucket = 0;
+  NodeId new_node = kInvalidNode;
+  Level new_level = 0;  ///< Level of both halves after the split.
+
+  int kind() const override { return LhStarMsg::kSplitOrder; }
+  size_t ByteSize() const override { return 16; }
+};
+
+/// Splitting server -> new server: the relocated records (one bulk
+/// transfer; its byte size drives the simulated time of the split).
+struct MoveRecordsMsg : MessageBody {
+  BucketNo bucket = 0;  ///< Bucket number of the receiving (new) bucket.
+  Level level = 0;
+  std::vector<WireRecord> records;
+
+  int kind() const override { return LhStarMsg::kMoveRecords; }
+  size_t ByteSize() const override {
+    size_t n = 16;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+/// New server -> coordinator: split finished; next split may proceed.
+struct SplitDoneMsg : MessageBody {
+  BucketNo bucket = 0;
+
+  int kind() const override { return LhStarMsg::kSplitDone; }
+  size_t ByteSize() const override { return 8; }
+};
+
+/// Predicate of a scan: matches records by a byte substring of the value
+/// (empty pattern matches everything), or by an arbitrary `custom`
+/// function — the simulated form of the shipped selection code real SDDS
+/// scans carry. The scan *protocol* (coverage + termination) is what the
+/// experiments exercise.
+struct ScanPredicate {
+  Bytes contains;
+  std::function<bool(Key key, const Bytes& value)> custom;
+
+  bool Matches(Key key, const Bytes& value) const;
+  size_t ByteSize() const { return 16 + contains.size(); }
+};
+
+/// Client->server (multicast) and server->server (coverage forwarding).
+/// `attached_level` implements the exactly-once coverage algorithm: a bucket
+/// at level j receiving level l forwards copies to its children created at
+/// levels l+1..j.
+struct ScanRequestMsg : MessageBody {
+  uint64_t op_id = 0;
+  NodeId client = kInvalidNode;
+  Level attached_level = 0;
+  ScanPredicate predicate;
+  bool deterministic = true;  ///< All buckets reply (vs only matching ones).
+
+  int kind() const override { return LhStarMsg::kScanRequest; }
+  size_t ByteSize() const override { return 24 + predicate.ByteSize(); }
+};
+
+/// Server->client scan answer with the bucket's matching records plus the
+/// (m, j_m) pair the deterministic-termination check needs.
+struct ScanReplyMsg : MessageBody {
+  uint64_t op_id = 0;
+  BucketNo bucket = 0;
+  Level level = 0;
+  /// Set when this server could not forward coverage to a child bucket:
+  /// the deterministic scan terminates abnormally (section 2.7).
+  bool coverage_failed = false;
+  std::vector<WireRecord> records;
+
+  int kind() const override { return LhStarMsg::kScanReply; }
+  size_t ByteSize() const override {
+    size_t n = 24;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+/// Client->coordinator: an operation whose target server did not answer
+/// (or a forwarding bucket failed). The coordinator owns the op from here
+/// (paper section 2.8).
+struct ClientOpViaCoordinatorMsg : MessageBody {
+  OpType op = OpType::kSearch;
+  uint64_t op_id = 0;
+  NodeId client = kInvalidNode;
+  BucketNo intended_bucket = 0;
+  Key key = 0;
+  Bytes value;
+
+  int kind() const override { return LhStarMsg::kClientOpViaCoordinator; }
+  size_t ByteSize() const override { return 40 + value.size(); }
+};
+
+/// Any party -> coordinator: node `node` (believed to carry `bucket`) is
+/// unreachable.
+struct UnavailableReportMsg : MessageBody {
+  NodeId node = kInvalidNode;
+  BucketNo bucket = 0;
+  bool is_parity = false;   ///< LH*RS parity bucket vs data bucket.
+  uint32_t group = 0;       ///< Parity: bucket group; data: unused.
+  uint32_t parity_index = 0;
+
+  int kind() const override { return LhStarMsg::kUnavailableReport; }
+  size_t ByteSize() const override { return 24; }
+};
+
+/// Coordinator->buckets: report your (m, j_m) for file-state recovery (A6).
+struct StateScanRequestMsg : MessageBody {
+  uint64_t op_id = 0;
+
+  int kind() const override { return LhStarMsg::kStateScanRequest; }
+  size_t ByteSize() const override { return 8; }
+};
+
+struct StateScanReplyMsg : MessageBody {
+  uint64_t op_id = 0;
+  BucketNo bucket = 0;
+  Level level = 0;
+
+  int kind() const override { return LhStarMsg::kStateScanReply; }
+  size_t ByteSize() const override { return 16; }
+};
+
+/// Server -> coordinator: bucket occupancy fell below the merge trigger
+/// (file shrinking, the paper's section 4.3 "bucket merge" variation).
+struct UnderflowReportMsg : MessageBody {
+  BucketNo bucket = 0;
+  size_t record_count = 0;
+
+  int kind() const override { return LhStarMsg::kUnderflowReport; }
+  size_t ByteSize() const override { return 16; }
+};
+
+/// Coordinator -> the last bucket: merge yourself back into your parent
+/// (inverse of a split).
+struct MergeOutMsg : MessageBody {
+  BucketNo parent_bucket = 0;
+  NodeId parent_node = kInvalidNode;
+  Level parent_new_level = 0;
+
+  int kind() const override { return LhStarMsg::kMergeOut; }
+  size_t ByteSize() const override { return 16; }
+};
+
+/// Merging bucket -> parent: all of its records (one bulk transfer).
+struct MergeRecordsMsg : MessageBody {
+  BucketNo parent_bucket = 0;
+  Level parent_new_level = 0;
+  std::vector<WireRecord> records;
+
+  int kind() const override { return LhStarMsg::kMergeRecords; }
+  size_t ByteSize() const override {
+    size_t n = 16;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+/// Parent -> coordinator: merge absorbed; restructuring may continue.
+struct MergeDoneMsg : MessageBody {
+  BucketNo bucket = 0;
+
+  int kind() const override { return LhStarMsg::kMergeDone; }
+  size_t ByteSize() const override { return 8; }
+};
+
+/// Coordinator -> client: authoritative file state. Sent when a client
+/// addressed a bucket beyond the (shrunk) file — IAMs only ever advance an
+/// image, so shrinking needs an explicit reset.
+struct ImageResetMsg : MessageBody {
+  Level i = 0;
+  BucketNo n = 0;
+
+  int kind() const override { return LhStarMsg::kImageReset; }
+  size_t ByteSize() const override { return 12; }
+};
+
+/// Restarted coordinator -> every node: identify yourself. The replies
+/// rebuild the coordinator's soft state: the file state (i, n) via the
+/// (A6) closed form, the allocation table, and (for availability layers)
+/// the parity directory. Every node answers, so the survey terminates
+/// deterministically against the known node count.
+struct SurveyRequestMsg : MessageBody {
+  uint64_t survey_id = 0;
+
+  int kind() const override { return LhStarMsg::kSurveyRequest; }
+  size_t ByteSize() const override { return 8; }
+};
+
+struct SurveyReplyMsg : MessageBody {
+  uint64_t survey_id = 0;
+  enum class Role : uint8_t { kOther, kDataBucket, kParityBucket };
+  Role role = Role::kOther;
+  bool decommissioned = false;
+  // Data buckets:
+  BucketNo bucket = 0;
+  Level level = 0;
+  uint64_t record_count = 0;
+  // Parity buckets (availability layers):
+  uint32_t group = 0;
+  uint32_t parity_index = 0;
+  uint32_t k = 0;
+
+  int kind() const override { return LhStarMsg::kSurveyReply; }
+  size_t ByteSize() const override { return 40; }
+};
+
+/// Restored server -> coordinator: "am I still bucket m?" (self-detected
+/// recovery, paper section 2.5.4).
+struct SelfCheckRequestMsg : MessageBody {
+  BucketNo bucket = 0;
+
+  int kind() const override { return LhStarMsg::kSelfCheckRequest; }
+  size_t ByteSize() const override { return 8; }
+};
+
+/// Coordinator -> restored server: keep serving, or stand down as a hot
+/// spare (your bucket was recreated at `replacement`).
+struct SelfCheckReplyMsg : MessageBody {
+  BucketNo bucket = 0;
+  bool still_owner = false;
+  NodeId replacement = kInvalidNode;
+
+  int kind() const override { return LhStarMsg::kSelfCheckReply; }
+  size_t ByteSize() const override { return 16; }
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_LHSTAR_MESSAGES_H_

@@ -1,0 +1,9 @@
+#include "net/message.h"
+
+#include "net/stats.h"
+
+namespace lhrs {
+
+std::string MessageBody::Describe() const { return MessageKindName(kind()); }
+
+}  // namespace lhrs

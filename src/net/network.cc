@@ -1,0 +1,109 @@
+#include "net/network.h"
+
+#include <utility>
+
+namespace lhrs {
+
+namespace {
+
+/// Hard cap on processed events per RunUntilIdle, so a protocol bug
+/// (forwarding loop, retry storm) fails a test loudly instead of hanging.
+constexpr uint64_t kEventBudget = 200'000'000;
+
+}  // namespace
+
+Network::Network(NetworkConfig config) : config_(config) {}
+
+NodeId Network::AddNode(std::unique_ptr<Node> node) {
+  LHRS_CHECK(node != nullptr);
+  LHRS_CHECK(node->network_ == nullptr) << "node already registered";
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node->network_ = this;
+  node->id_ = id;
+  nodes_.push_back(NodeSlot{std::move(node), /*available=*/true});
+  return id;
+}
+
+void Network::Send(NodeId from, NodeId to,
+                   std::unique_ptr<MessageBody> body) {
+  Enqueue(std::move(body), from, to, /*multicast_member=*/false);
+}
+
+void Network::Multicast(
+    NodeId from,
+    std::vector<std::pair<NodeId, std::unique_ptr<MessageBody>>> batch) {
+  bool first = true;
+  for (auto& [to, body] : batch) {
+    const bool member = config_.multicast_available && !first;
+    Enqueue(std::move(body), from, to, member);
+    first = false;
+  }
+}
+
+void Network::Enqueue(std::unique_ptr<MessageBody> body, NodeId from,
+                      NodeId to, bool multicast_member) {
+  LHRS_CHECK(body != nullptr);
+  LHRS_CHECK(to >= 0 && static_cast<size_t>(to) < nodes_.size())
+      << "send to unknown node " << to;
+  const size_t bytes = body->ByteSize();
+  stats_.RecordSend(body->kind(), bytes, !multicast_member);
+
+  auto msg = std::make_shared<Message>();
+  msg->id = next_message_id_++;
+  msg->from = from;
+  msg->to = to;
+  msg->send_time = now_;
+  msg->multicast_member = multicast_member;
+  msg->body = std::move(body);
+
+  events_.push(Event{now_ + DeliveryLatency(bytes), next_seq_++,
+                     EventType::kDeliver, std::move(msg)});
+}
+
+void Network::SetAvailable(NodeId id, bool available) {
+  LHRS_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  nodes_[id].available = available;
+}
+
+bool Network::available(NodeId id) const {
+  LHRS_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return nodes_[id].available;
+}
+
+void Network::RunUntilIdle() {
+  while (!events_.empty()) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    LHRS_CHECK_GE(ev.time, now_);
+    now_ = ev.time;
+    ++processed_events_;
+    LHRS_CHECK_LT(processed_events_, kEventBudget)
+        << "event budget exhausted — protocol loop?";
+
+    Message& msg = *ev.message;
+    switch (ev.type) {
+      case EventType::kDeliver: {
+        if (!nodes_[msg.to].available) {
+          // Destination is down: the sender times out. An unavailable
+          // sender gets nothing (it crashed too).
+          stats_.RecordDeliveryFailure();
+          if (msg.from != kInvalidNode && nodes_[msg.from].available) {
+            events_.push(Event{now_ + config_.timeout_us, next_seq_++,
+                               EventType::kDeliveryFailure, ev.message});
+          }
+          break;
+        }
+        nodes_[msg.to].node->HandleMessage(msg);
+        break;
+      }
+      case EventType::kDeliveryFailure: {
+        if (msg.from != kInvalidNode && nodes_[msg.from].available) {
+          nodes_[msg.from].node->HandleDeliveryFailure(msg);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace lhrs

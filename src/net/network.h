@@ -1,0 +1,133 @@
+#ifndef LHRS_NET_NETWORK_H_
+#define LHRS_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "net/message.h"
+#include "net/node.h"
+#include "net/stats.h"
+
+namespace lhrs {
+
+/// Latency and service parameters of the simulated network. Defaults model
+/// the ~100 Mb/s switched-Ethernet multicomputer of the original LH*
+/// experiments: ~100 us per short message plus per-KB serialisation cost.
+struct NetworkConfig {
+  SimTime unicast_latency_us = 100;   ///< Fixed per-message latency.
+  SimTime per_kb_us = 80;             ///< Added latency per KiB of payload.
+  SimTime timeout_us = 2000;          ///< Failure-detection (RPC timeout).
+  bool multicast_available = true;    ///< Hardware multicast for scans.
+};
+
+/// Discrete-event message-passing simulator of a share-nothing
+/// multicomputer.
+///
+/// Single-threaded and deterministic: events are processed in (time, seq)
+/// order, so a scenario replays identically from the same seed. Nodes are
+/// added dynamically (file growth allocates new servers; recovery allocates
+/// hot spares). A node can be marked unavailable, after which messages to
+/// it bounce back to the sender as delivery failures after the configured
+/// timeout — the simulator's model of crash + detection.
+class Network {
+ public:
+  explicit Network(NetworkConfig config = {});
+
+  /// Registers a node and assigns its NodeId. May be called while the
+  /// event loop runs (splits and recoveries allocate servers on the fly).
+  NodeId AddNode(std::unique_ptr<Node> node);
+
+  /// The node object at `id` (never null for a valid id).
+  Node* node(NodeId id) const {
+    LHRS_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+    return nodes_[id].node.get();
+  }
+
+  /// Downcasts node(id); CHECK-fails if the role does not match.
+  template <typename T>
+  T* node_as(NodeId id) const {
+    T* t = dynamic_cast<T*>(node(id));
+    LHRS_CHECK(t != nullptr) << "node " << id << " has unexpected role";
+    return t;
+  }
+
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Queues a unicast message for delivery.
+  void Send(NodeId from, NodeId to, std::unique_ptr<MessageBody> body);
+
+  /// Queues one message per destination as a single multicast batch:
+  /// counted as one message in the statistics when hardware multicast is
+  /// available (how the paper accounts scan costs), as N unicasts
+  /// otherwise. Bodies may differ per destination (scans attach
+  /// per-bucket presumed levels).
+  void Multicast(
+      NodeId from,
+      std::vector<std::pair<NodeId, std::unique_ptr<MessageBody>>> batch);
+
+  /// Crash / restore a node. An unavailable node receives nothing; senders
+  /// get HandleDeliveryFailure after the timeout.
+  void SetAvailable(NodeId id, bool available);
+  bool available(NodeId id) const;
+
+  /// Runs the event loop until no events remain. Every client-visible
+  /// operation in this codebase completes within one call (the protocols
+  /// contain no unbounded retries).
+  void RunUntilIdle();
+
+  /// Current simulated time (microseconds).
+  SimTime now() const { return now_; }
+
+  MessageStats& stats() { return stats_; }
+  const MessageStats& stats() const { return stats_; }
+  const NetworkConfig& config() const { return config_; }
+
+  /// Total messages processed since construction (safety valve for tests).
+  uint64_t processed_events() const { return processed_events_; }
+
+ private:
+  enum class EventType { kDeliver, kDeliveryFailure };
+
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // FIFO tiebreak.
+    EventType type;
+    std::shared_ptr<Message> message;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct NodeSlot {
+    std::unique_ptr<Node> node;
+    bool available = true;
+  };
+
+  SimTime DeliveryLatency(size_t bytes) const {
+    return config_.unicast_latency_us + config_.per_kb_us * (bytes / 1024);
+  }
+
+  void Enqueue(std::unique_ptr<MessageBody> body, NodeId from, NodeId to,
+               bool multicast_member);
+
+  NetworkConfig config_;
+  std::vector<NodeSlot> nodes_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  SimTime now_ = 0;
+  uint64_t next_message_id_ = 1;
+  uint64_t next_seq_ = 1;
+  uint64_t processed_events_ = 0;
+  MessageStats stats_;
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_NET_NETWORK_H_

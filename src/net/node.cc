@@ -1,0 +1,16 @@
+#include "net/node.h"
+
+#include "net/network.h"
+
+namespace lhrs {
+
+void Node::HandleDeliveryFailure(const Message& msg) {
+  (void)msg;  // Default: losses are ignored; protocol nodes override.
+}
+
+void Node::Send(NodeId to, std::unique_ptr<MessageBody> body) {
+  LHRS_CHECK(network_ != nullptr) << "node not registered on a network";
+  network_->Send(id_, to, std::move(body));
+}
+
+}  // namespace lhrs

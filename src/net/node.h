@@ -1,0 +1,52 @@
+#ifndef LHRS_NET_NODE_H_
+#define LHRS_NET_NODE_H_
+
+#include <memory>
+
+#include "net/message.h"
+
+namespace lhrs {
+
+class Network;
+
+/// A process on the simulated multicomputer: a server carrying a bucket, a
+/// client, the split coordinator, or an idle hot spare. Nodes communicate
+/// exclusively by message passing; a node must never touch another node's
+/// state directly (the tests enforce that discipline by running scenarios
+/// where such shortcuts would produce wrong message counts).
+class Node {
+ public:
+  Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  virtual ~Node() = default;
+
+  NodeId id() const { return id_; }
+
+  /// Delivers one message. May send further messages via Send().
+  virtual void HandleMessage(const Message& msg) = 0;
+
+  /// Invoked (after the simulated timeout) when a message this node sent
+  /// could not be delivered because the destination is unavailable — the
+  /// simulator's model of an RPC timeout. Default: ignore.
+  virtual void HandleDeliveryFailure(const Message& msg);
+
+  /// Human-readable role tag for logs ("bucket", "client", ...).
+  virtual const char* role() const { return "node"; }
+
+ protected:
+  /// Sends a message to `to`. Valid only after registration on a network.
+  void Send(NodeId to, std::unique_ptr<MessageBody> body);
+
+  Network* network() const { return network_; }
+
+ private:
+  friend class Network;
+
+  Network* network_ = nullptr;
+  NodeId id_ = kInvalidNode;
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_NET_NODE_H_

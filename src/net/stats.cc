@@ -1,0 +1,39 @@
+#include "net/stats.h"
+
+#include <sstream>
+
+namespace lhrs {
+
+namespace {
+
+std::map<int, std::string>& KindNames() {
+  static auto* names = new std::map<int, std::string>();
+  return *names;
+}
+
+}  // namespace
+
+void RegisterMessageKindName(int kind, std::string name) {
+  KindNames().emplace(kind, std::move(name));
+}
+
+std::string MessageKindName(int kind) {
+  const auto& names = KindNames();
+  auto it = names.find(kind);
+  if (it != names.end()) return it->second;
+  return "kind" + std::to_string(kind);
+}
+
+std::string MessageStats::ToString() const {
+  std::ostringstream os;
+  os << "messages=" << total_.messages << " bytes=" << total_.bytes
+     << " deliveries=" << deliveries_ << " failures=" << delivery_failures_
+     << "\n";
+  for (const auto& [kind, c] : per_kind_) {
+    os << "  " << MessageKindName(kind) << ": " << c.messages << " msgs, "
+       << c.bytes << " B\n";
+  }
+  return os.str();
+}
+
+}  // namespace lhrs

@@ -1,0 +1,85 @@
+#ifndef LHRS_NET_STATS_H_
+#define LHRS_NET_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lhrs {
+
+/// Message-traffic counters, the primary metric of every SDDS evaluation
+/// ("messaging costs are network-speed invariant"). Counts are kept per
+/// message kind; benches snapshot/diff around operations.
+class MessageStats {
+ public:
+  struct Counter {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+  };
+
+  /// Records one sent message. A multicast to n destinations is recorded as
+  /// one message when the multicast service is on (`count_as_message` true
+  /// only for the first member), matching how the paper counts scans.
+  void RecordSend(int kind, size_t bytes, bool count_as_message) {
+    Counter& c = per_kind_[kind];
+    c.bytes += bytes;
+    total_.bytes += bytes;
+    if (count_as_message) {
+      ++c.messages;
+      ++total_.messages;
+    }
+    ++deliveries_;
+  }
+
+  void RecordDeliveryFailure() { ++delivery_failures_; }
+
+  const Counter& total() const { return total_; }
+  uint64_t total_messages() const { return total_.messages; }
+
+  /// Point-to-point deliveries including every member of a multicast.
+  uint64_t deliveries() const { return deliveries_; }
+  uint64_t delivery_failures() const { return delivery_failures_; }
+
+  Counter ForKind(int kind) const {
+    auto it = per_kind_.find(kind);
+    return it == per_kind_.end() ? Counter{} : it->second;
+  }
+
+  /// Sum over a half-open kind range [lo, hi) — e.g. all LH*RS parity
+  /// traffic.
+  Counter ForKindRange(int lo, int hi) const {
+    Counter out;
+    for (auto it = per_kind_.lower_bound(lo);
+         it != per_kind_.end() && it->first < hi; ++it) {
+      out.messages += it->second.messages;
+      out.bytes += it->second.bytes;
+    }
+    return out;
+  }
+
+  void Reset() {
+    per_kind_.clear();
+    total_ = Counter{};
+    deliveries_ = 0;
+    delivery_failures_ = 0;
+  }
+
+  /// Multi-line table of per-kind counts using the registered kind names.
+  std::string ToString() const;
+
+ private:
+  std::map<int, Counter> per_kind_;
+  Counter total_;
+  uint64_t deliveries_ = 0;
+  uint64_t delivery_failures_ = 0;
+};
+
+/// Registers a display name for a message kind (idempotent).
+void RegisterMessageKindName(int kind, std::string name);
+
+/// Name previously registered, or "kind<N>".
+std::string MessageKindName(int kind);
+
+}  // namespace lhrs
+
+#endif  // LHRS_NET_STATS_H_

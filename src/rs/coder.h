@@ -1,0 +1,183 @@
+#ifndef LHRS_RS_CODER_H_
+#define LHRS_RS_CODER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/result.h"
+#include "rs/generator.h"
+#include "rs/matrix.h"
+
+namespace lhrs {
+
+/// Reed-Solomon coder for one LH*RS record group: m data slots, k parity
+/// slots. Codeword columns are numbered 0..m-1 (data) and m..m+k-1 (parity).
+///
+/// Payloads are variable-length byte strings; the code semantically operates
+/// on buffers zero-padded to a common length, and an absent group member is
+/// an all-zero buffer. Callers therefore never need to materialise padding:
+/// `ApplyDelta` grows the parity buffer on demand, and `DecodeData` pads
+/// survivors internally.
+///
+/// Thread-compatible: const methods are safe to call concurrently.
+template <GaloisField F>
+class GroupCoder {
+ public:
+  using Symbol = typename F::Symbol;
+
+  /// Builds the coder for a group of `m` data buckets with availability
+  /// level `k`. CHECK-fails on invalid (m, k); use BuildParityMatrix
+  /// directly when graceful validation is needed.
+  GroupCoder(size_t m, size_t k)
+      : m_(m), k_(k), parity_matrix_(std::move([&] {
+          auto p = BuildParityMatrix<F>(m, k);
+          LHRS_CHECK(p.ok()) << p.status();
+          return std::move(p).value();
+        }())) {}
+
+  size_t m() const { return m_; }
+  size_t k() const { return k_; }
+  const Matrix<F>& parity_matrix() const { return parity_matrix_; }
+
+  /// Coefficient applied to data slot `i` when folding into parity `j`.
+  /// Coefficient(i, 0) == 1 for all i: parity 0 is the XOR bucket.
+  Symbol Coefficient(size_t data_slot, size_t parity_idx) const {
+    return parity_matrix_.At(data_slot, parity_idx);
+  }
+
+  /// Full-group encode. `data[i]` may be nullptr (absent member == zero
+  /// buffer). Returns k parity buffers, each of the padded common length.
+  std::vector<Bytes> Encode(std::span<const Bytes* const> data) const {
+    LHRS_CHECK_EQ(data.size(), m_);
+    size_t len = 0;
+    for (const Bytes* d : data) {
+      if (d != nullptr) len = std::max(len, d->size());
+    }
+    len = PaddedLength(len);
+    std::vector<Bytes> parity(k_, Bytes(len, 0));
+    for (size_t i = 0; i < m_; ++i) {
+      if (data[i] == nullptr || data[i]->empty()) continue;
+      const Bytes padded = PadTo(*data[i], len);
+      for (size_t j = 0; j < k_; ++j) {
+        F::MulAddBuffer(parity[j].data(), padded.data(), len,
+                        Coefficient(i, j));
+      }
+    }
+    return parity;
+  }
+
+  /// Incremental parity maintenance: folds `coeff(i, j) * delta` into
+  /// `parity`, growing it (zero padding) as needed. `delta` is
+  /// old_payload XOR new_payload (with the shorter one zero-padded), which
+  /// equals new_payload on insert and old_payload on delete.
+  void ApplyDelta(size_t data_slot, std::span<const uint8_t> delta,
+                  size_t parity_idx, Bytes* parity) const {
+    LHRS_CHECK_LT(data_slot, m_);
+    LHRS_CHECK_LT(parity_idx, k_);
+    const size_t len = PaddedLength(delta.size());
+    if (parity->size() < len) parity->resize(len, 0);
+    if (delta.size() == len) {
+      F::MulAddBuffer(parity->data(), delta.data(), len,
+                      Coefficient(data_slot, parity_idx));
+    } else {
+      const Bytes padded = PadTo(delta, len);
+      F::MulAddBuffer(parity->data(), padded.data(), len,
+                      Coefficient(data_slot, parity_idx));
+    }
+  }
+
+  /// Reconstructs the requested data columns from any >= m available
+  /// codeword columns. `available` holds (column index, payload) pairs;
+  /// column indices in [0, m) are data slots, in [m, m+k) parity slots.
+  /// Absent-but-known-empty data slots should be passed as available columns
+  /// with an empty payload.
+  ///
+  /// Returns the reconstructed payloads in the order of `missing_data`,
+  /// each padded to the common group length (callers trim using the record
+  /// length recorded in the parity metadata). Fails with DataLoss when
+  /// fewer than m columns are available.
+  Result<std::vector<Bytes>> DecodeData(
+      const std::vector<std::pair<size_t, Bytes>>& available,
+      const std::vector<size_t>& missing_data) const {
+    if (available.size() < m_) {
+      return Status::DataLoss(
+          "unrecoverable record group: " + std::to_string(available.size()) +
+          " of " + std::to_string(m_) + " required columns available");
+    }
+    for (size_t col : missing_data) {
+      LHRS_CHECK_LT(col, m_) << "only data columns can be requested";
+    }
+    // Use exactly m of the available columns, preferring data columns (they
+    // carry identity rows, keeping the decode matrix mostly trivial).
+    std::vector<std::pair<size_t, const Bytes*>> use;
+    use.reserve(m_);
+    for (const auto& [col, payload] : available) {
+      if (col < m_ && use.size() < m_) use.emplace_back(col, &payload);
+    }
+    for (const auto& [col, payload] : available) {
+      if (col >= m_ && use.size() < m_) use.emplace_back(col, &payload);
+    }
+    LHRS_CHECK_EQ(use.size(), m_);
+
+    size_t len = 0;
+    for (const auto& [col, payload] : use) {
+      len = std::max(len, payload->size());
+    }
+    len = PaddedLength(len);
+
+    // Codeword relation: value(col) = sum_i d_i * G[i][col] with
+    // G = [I | P]. Stack the m used columns into A (m x m):
+    // A[i][t] = G[i][use[t].col]; then d = values * A^{-1}.
+    Matrix<F> a(m_, m_);
+    for (size_t t = 0; t < m_; ++t) {
+      const size_t col = use[t].first;
+      for (size_t i = 0; i < m_; ++i) {
+        if (col < m_) {
+          a.Set(i, t, i == col ? 1 : 0);
+        } else {
+          a.Set(i, t, Coefficient(i, col - m_));
+        }
+      }
+    }
+    auto inv = a.Inverted();
+    if (!inv.ok()) {
+      return Status::Internal("decode matrix singular — MDS violation: " +
+                              inv.status().message());
+    }
+
+    std::vector<Bytes> out;
+    out.reserve(missing_data.size());
+    for (size_t want : missing_data) {
+      Bytes rec(len, 0);
+      // d_want = sum_t values_t * Ainv[t][want].
+      for (size_t t = 0; t < m_; ++t) {
+        const Symbol coeff = inv->At(t, want);
+        if (coeff == 0 || use[t].second->empty()) continue;
+        const Bytes padded = PadTo(*use[t].second, len);
+        F::MulAddBuffer(rec.data(), padded.data(), len, coeff);
+      }
+      out.push_back(std::move(rec));
+    }
+    return out;
+  }
+
+  /// Rounds a payload length up to a whole number of field symbols.
+  size_t PaddedLength(size_t n) const {
+    const size_t s = F::kSymbolBytes;
+    return (n + s - 1) / s * s;
+  }
+
+ private:
+  size_t m_;
+  size_t k_;
+  Matrix<F> parity_matrix_;
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_RS_CODER_H_

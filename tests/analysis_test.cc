@@ -1,0 +1,189 @@
+// Tests for the availability models, including Monte-Carlo
+// cross-validation of every closed form.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/availability_model.h"
+#include "analysis/cost_model.h"
+#include "common/rng.h"
+
+namespace lhrs {
+namespace {
+
+TEST(AvailabilityModelTest, PlainMatchesPaperNumbers) {
+  // Paper: p = 0.99, M = 100 -> P ~ 0.37; M = 1000 -> ~ 4e-5.
+  EXPECT_NEAR(PlainAvailability(100, 0.99), 0.366, 0.005);
+  EXPECT_LT(PlainAvailability(1000, 0.99), 1e-4);
+  EXPECT_DOUBLE_EQ(PlainAvailability(0, 0.99), 1.0);
+}
+
+TEST(AvailabilityModelTest, AtMostFailuresBasics) {
+  EXPECT_DOUBLE_EQ(AtMostFailures(3, 3, 0.5), 1.0);
+  EXPECT_NEAR(AtMostFailures(2, 1, 0.5), 0.75, 1e-12);
+  EXPECT_NEAR(AtMostFailures(1, 0, 0.9), 0.9, 1e-12);
+  // Monotone in tolerated failures.
+  for (uint32_t t = 0; t < 5; ++t) {
+    EXPECT_LE(AtMostFailures(6, t, 0.8), AtMostFailures(6, t + 1, 0.8));
+  }
+}
+
+TEST(AvailabilityModelTest, LhrsBeatsPlainAndRisesWithK) {
+  const double p = 0.99;
+  for (uint32_t m : {4u, 8u}) {
+    double prev = PlainAvailability(128, p);
+    for (uint32_t k = 1; k <= 3; ++k) {
+      const double a = LhrsAvailability(128, m, k, p);
+      EXPECT_GT(a, prev) << "m=" << m << " k=" << k;
+      prev = a;
+    }
+    EXPECT_GT(prev, 0.999);
+  }
+}
+
+TEST(AvailabilityModelTest, LhrsHandlesPartialLastGroup) {
+  // 10 buckets, m = 4: groups of 4, 4, 2.
+  const double p = 0.95;
+  const double expected = AtMostFailures(5, 1, p) * AtMostFailures(5, 1, p) *
+                          AtMostFailures(3, 1, p);
+  EXPECT_NEAR(LhrsAvailability(10, 4, 1, p), expected, 1e-12);
+}
+
+TEST(AvailabilityModelTest, ScalableKeepsAvailabilityFlat) {
+  // Fixed k = 1 decays with M; scalable k (growing each doubling) holds.
+  const double p = 0.99;
+  auto scalable_k = [](uint32_t group) {
+    if (group < 4) return 1u;
+    if (group < 32) return 2u;
+    return 3u;
+  };
+  const double fixed_small = LhrsAvailability(32, 4, 1, p);
+  const double fixed_large = LhrsAvailability(1024, 4, 1, p);
+  const double scal_large = LhrsScalableAvailability(1024, 4, scalable_k, p);
+  EXPECT_LT(fixed_large, fixed_small);
+  EXPECT_GT(scal_large, fixed_large);
+  EXPECT_GT(scal_large, 0.99) << "scalable availability should stay high";
+}
+
+TEST(AvailabilityModelTest, MonteCarloMatchesPlain) {
+  Rng rng(1);
+  const double mc = MonteCarloAvailability(
+      100, 0.99, 50000, rng, [](const std::vector<bool>& up) {
+        for (bool u : up) {
+          if (!u) return false;
+        }
+        return true;
+      });
+  EXPECT_NEAR(mc, PlainAvailability(100, 0.99), 0.01);
+}
+
+TEST(AvailabilityModelTest, MonteCarloMatchesLhrs) {
+  const uint32_t data = 32, m = 4, k = 2;
+  const double p = 0.95;
+  Rng rng(2);
+  // Node layout: per group, m data then k parity.
+  const uint32_t groups = data / m;
+  const double mc = MonteCarloAvailability(
+      groups * (m + k), p, 50000, rng, [&](const std::vector<bool>& up) {
+        for (uint32_t g = 0; g < groups; ++g) {
+          uint32_t failures = 0;
+          for (uint32_t i = 0; i < m + k; ++i) {
+            if (!up[g * (m + k) + i]) ++failures;
+          }
+          if (failures > k) return false;
+        }
+        return true;
+      });
+  EXPECT_NEAR(mc, LhrsAvailability(data, m, k, p), 0.01);
+}
+
+TEST(AvailabilityModelTest, MonteCarloMatchesMirror) {
+  Rng rng(3);
+  const uint32_t buckets = 50;
+  const double p = 0.95;
+  const double mc = MonteCarloAvailability(
+      2 * buckets, p, 50000, rng, [&](const std::vector<bool>& up) {
+        for (uint32_t b = 0; b < buckets; ++b) {
+          if (!up[2 * b] && !up[2 * b + 1]) return false;
+        }
+        return true;
+      });
+  EXPECT_NEAR(mc, MirrorAvailability(buckets, p), 0.01);
+}
+
+TEST(AvailabilityModelTest, MonteCarloMatchesLhg) {
+  Rng rng(4);
+  const uint32_t data = 30, k = 3, parity = 10;
+  const double p = 0.97;
+  // Layout: data buckets then parity buckets.
+  const double mc = MonteCarloAvailability(
+      data + parity, p, 50000, rng, [&](const std::vector<bool>& up) {
+        uint32_t data_failures = 0;
+        for (uint32_t g = 0; g < data; g += k) {
+          uint32_t group_failures = 0;
+          for (uint32_t i = g; i < std::min(g + k, data); ++i) {
+            if (!up[i]) {
+              ++group_failures;
+              ++data_failures;
+            }
+          }
+          if (group_failures > 1) return false;
+        }
+        bool parity_failure = false;
+        for (uint32_t i = data; i < data + parity; ++i) {
+          if (!up[i]) parity_failure = true;
+        }
+        return !(parity_failure && data_failures > 0);
+      });
+  EXPECT_NEAR(mc, LhgAvailability(data, k, parity, p), 0.01);
+}
+
+TEST(AvailabilityModelTest, MonteCarloMatchesLhs) {
+  Rng rng(5);
+  const uint32_t buckets = 16, k = 4;
+  const double p = 0.95;
+  const double mc = MonteCarloAvailability(
+      (k + 1) * buckets, p, 50000, rng, [&](const std::vector<bool>& up) {
+        for (uint32_t b = 0; b < buckets; ++b) {
+          uint32_t failures = 0;
+          for (uint32_t f = 0; f <= k; ++f) {
+            if (!up[f * buckets + b]) ++failures;
+          }
+          if (failures > 1) return false;
+        }
+        return true;
+      });
+  EXPECT_NEAR(mc, LhsAvailability(buckets, k, p), 0.01);
+}
+
+TEST(AvailabilityModelTest, SchemeOrderingAtScale) {
+  // At p = 0.99 and a sizeable file: k=2 LH*RS > mirroring > 1-available
+  // schemes > plain.
+  const double p = 0.99;
+  const uint32_t data = 256;
+  const double plain = PlainAvailability(data, p);
+  const double lhg = LhgAvailability(data, 4, data / 4, p);
+  const double lhrs1 = LhrsAvailability(data, 4, 1, p);
+  const double mirror = MirrorAvailability(data, p);
+  const double lhrs2 = LhrsAvailability(data, 4, 2, p);
+  EXPECT_GT(lhg, plain);
+  EXPECT_GT(lhrs1, lhg);
+  EXPECT_GT(mirror, lhrs1);  // Pairs beat groups-of-5 for 1 failure.
+  EXPECT_GT(lhrs2, mirror);
+}
+
+TEST(CostModelTest, RecordRecoveryScaling) {
+  // LH*RS degraded reads are O(m); LH*g's grow linearly with the parity
+  // file — the headline F4 contrast.
+  EXPECT_EQ(CostModel::LhrsRecordRecovery(4),
+            CostModel::LhrsRecordRecovery(4));
+  EXPECT_LT(CostModel::LhrsRecordRecovery(4),
+            CostModel::LhgRecordRecovery(16, 4));
+  EXPECT_GT(CostModel::LhgRecordRecovery(64, 4),
+            2 * CostModel::LhgRecordRecovery(16, 4));
+}
+
+}  // namespace
+}  // namespace lhrs

@@ -1,0 +1,169 @@
+// Unit tests for the common kernel: Status/Result, byte utilities, RNG.
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace lhrs {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  const Status s = Status::NotFound("no such key");
+  EXPECT_EQ(s.ToString(), "NotFound: no such key");
+  EXPECT_EQ(s.message(), "no such key");
+}
+
+TEST(StatusTest, EqualityAndStreaming) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  std::ostringstream os;
+  os << Status::DataLoss("gone");
+  EXPECT_EQ(os.str(), "DataLoss: gone");
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Chained() {
+  LHRS_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();  // Programming error, caught.
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+Result<int> Quarter(int x) {
+  LHRS_ASSIGN_OR_RETURN(int h, Half(x));
+  LHRS_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());  // 3 is odd.
+  EXPECT_TRUE(Quarter(7).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(BytesTest, FromStringAndHex) {
+  const Bytes b = BytesFromString("Hi");
+  EXPECT_EQ(b, (Bytes{'H', 'i'}));
+  EXPECT_EQ(ToHex(Bytes{0xDE, 0xAD, 0x00}), "dead00");
+  EXPECT_EQ(ToHex(Bytes{}), "");
+}
+
+TEST(BytesTest, XorAssignPaddedGrowsDestination) {
+  Bytes dst = {0x01};
+  XorAssignPadded(dst, Bytes{0x01, 0xFF, 0x0F});
+  EXPECT_EQ(dst, (Bytes{0x00, 0xFF, 0x0F}));
+  // XOR is its own inverse under the padded convention.
+  XorAssignPadded(dst, Bytes{0x01, 0xFF, 0x0F});
+  EXPECT_EQ(dst, (Bytes{0x01, 0x00, 0x00}));
+}
+
+TEST(BytesTest, PadToAndAllZero) {
+  EXPECT_EQ(PadTo(Bytes{1, 2}, 4), (Bytes{1, 2, 0, 0}));
+  EXPECT_EQ(PadTo(Bytes{1, 2, 3}, 2), (Bytes{1, 2}));
+  EXPECT_TRUE(AllZero(Bytes{0, 0, 0}));
+  EXPECT_TRUE(AllZero(Bytes{}));
+  EXPECT_FALSE(AllZero(Bytes{0, 1}));
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(12345), b(12345), c(54321);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+  bool differs = false;
+  Rng a2(12345);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next64() != c.Next64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const uint64_t v = rng.UniformIn(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, FlipIsRoughlyFair) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.Flip(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads / 100000.0, 0.25, 0.01);
+}
+
+TEST(RngTest, RandomBytesLengthAndVariety) {
+  Rng rng(13);
+  const Bytes b = rng.RandomBytes(1000);
+  ASSERT_EQ(b.size(), 1000u);
+  std::set<uint8_t> distinct(b.begin(), b.end());
+  EXPECT_GT(distinct.size(), 100u);
+}
+
+}  // namespace
+}  // namespace lhrs

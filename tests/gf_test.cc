@@ -1,0 +1,194 @@
+// Unit tests for the GF(2^8) and GF(2^16) arithmetic kernels.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf/gf.h"
+#include "gf/gf256.h"
+#include "gf/gf65536.h"
+
+namespace lhrs {
+namespace {
+
+template <typename F>
+class GaloisFieldTest : public ::testing::Test {};
+
+using FieldTypes = ::testing::Types<GF256, GF65536>;
+TYPED_TEST_SUITE(GaloisFieldTest, FieldTypes);
+
+TYPED_TEST(GaloisFieldTest, SatisfiesConcept) {
+  static_assert(GaloisField<TypeParam>);
+}
+
+TYPED_TEST(GaloisFieldTest, AdditionIsXor) {
+  using S = typename TypeParam::Symbol;
+  EXPECT_EQ(TypeParam::Add(S{0x5A}, S{0x5A}), 0);
+  EXPECT_EQ(TypeParam::Add(S{0x12}, S{0}), 0x12);
+}
+
+TYPED_TEST(GaloisFieldTest, MultiplicativeIdentityAndZero) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a =
+        static_cast<typename TypeParam::Symbol>(rng.Next64() %
+                                                TypeParam::kOrder);
+    EXPECT_EQ(TypeParam::Mul(a, 1), a);
+    EXPECT_EQ(TypeParam::Mul(1, a), a);
+    EXPECT_EQ(TypeParam::Mul(a, 0), 0);
+    EXPECT_EQ(TypeParam::Mul(0, a), 0);
+  }
+}
+
+TYPED_TEST(GaloisFieldTest, MultiplicationCommutesAndAssociates) {
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<typename TypeParam::Symbol>(
+        rng.Next64() % TypeParam::kOrder);
+    const auto b = static_cast<typename TypeParam::Symbol>(
+        rng.Next64() % TypeParam::kOrder);
+    const auto c = static_cast<typename TypeParam::Symbol>(
+        rng.Next64() % TypeParam::kOrder);
+    EXPECT_EQ(TypeParam::Mul(a, b), TypeParam::Mul(b, a));
+    EXPECT_EQ(TypeParam::Mul(TypeParam::Mul(a, b), c),
+              TypeParam::Mul(a, TypeParam::Mul(b, c)));
+  }
+}
+
+TYPED_TEST(GaloisFieldTest, DistributesOverAddition) {
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<typename TypeParam::Symbol>(
+        rng.Next64() % TypeParam::kOrder);
+    const auto b = static_cast<typename TypeParam::Symbol>(
+        rng.Next64() % TypeParam::kOrder);
+    const auto c = static_cast<typename TypeParam::Symbol>(
+        rng.Next64() % TypeParam::kOrder);
+    EXPECT_EQ(TypeParam::Mul(a, TypeParam::Add(b, c)),
+              TypeParam::Add(TypeParam::Mul(a, b), TypeParam::Mul(a, c)));
+  }
+}
+
+TYPED_TEST(GaloisFieldTest, InverseRoundTrips) {
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    auto a = static_cast<typename TypeParam::Symbol>(rng.Next64() %
+                                                     TypeParam::kOrder);
+    if (a == 0) a = 1;
+    EXPECT_EQ(TypeParam::Mul(a, TypeParam::Inv(a)), 1);
+    const auto b = static_cast<typename TypeParam::Symbol>(
+        1 + rng.Next64() % (TypeParam::kOrder - 1));
+    EXPECT_EQ(TypeParam::Mul(TypeParam::Div(a, b), b), a);
+  }
+}
+
+TYPED_TEST(GaloisFieldTest, ExpLogRoundTrip) {
+  for (uint32_t e = 0; e < 1000; ++e) {
+    const auto x = TypeParam::Exp(e);
+    EXPECT_NE(x, 0);
+    EXPECT_EQ(TypeParam::Exp(TypeParam::Log(x)), x);
+  }
+}
+
+TYPED_TEST(GaloisFieldTest, GeneratorHasFullOrder) {
+  // alpha^i must not repeat before the full multiplicative group is
+  // enumerated: alpha^(order-1) == 1 and no smaller positive power is 1.
+  const uint32_t group_order = TypeParam::kOrder - 1;
+  EXPECT_EQ(TypeParam::Exp(group_order), 1);
+  // Spot-check proper divisors of the group order.
+  std::vector<uint32_t> divisors;
+  for (uint32_t d = 1; d * d <= group_order; ++d) {
+    if (group_order % d == 0) {
+      divisors.push_back(d);
+      divisors.push_back(group_order / d);
+    }
+  }
+  for (uint32_t d : divisors) {
+    if (d == group_order) continue;
+    EXPECT_NE(TypeParam::Exp(d), 1) << "generator order divides " << d;
+  }
+}
+
+TYPED_TEST(GaloisFieldTest, MulAddBufferMatchesScalarLoop) {
+  Rng rng(31);
+  const size_t kLen = 1024;  // Even, so GF65536 sees whole symbols.
+  Bytes src = rng.RandomBytes(kLen);
+  for (uint32_t trial = 0; trial < 16; ++trial) {
+    const auto coeff = static_cast<typename TypeParam::Symbol>(
+        rng.Next64() % TypeParam::kOrder);
+    Bytes dst = rng.RandomBytes(kLen);
+    Bytes expected = dst;
+    // Scalar reference: symbol-wise multiply-accumulate.
+    const size_t sym = TypeParam::kSymbolBytes;
+    for (size_t i = 0; i < kLen; i += sym) {
+      uint32_t s = 0;
+      for (size_t b = 0; b < sym; ++b) s |= uint32_t{src[i + b]} << (8 * b);
+      const auto prod = TypeParam::Mul(
+          static_cast<typename TypeParam::Symbol>(s), coeff);
+      for (size_t b = 0; b < sym; ++b) {
+        expected[i + b] ^= static_cast<uint8_t>(prod >> (8 * b));
+      }
+    }
+    TypeParam::MulAddBuffer(dst.data(), src.data(), kLen, coeff);
+    EXPECT_EQ(dst, expected) << "coeff=" << uint64_t{coeff};
+  }
+}
+
+TYPED_TEST(GaloisFieldTest, MulAddBufferCoeffOneIsXor) {
+  Rng rng(37);
+  Bytes src = rng.RandomBytes(256);
+  Bytes dst = rng.RandomBytes(256);
+  Bytes expected = dst;
+  for (size_t i = 0; i < src.size(); ++i) expected[i] ^= src[i];
+  TypeParam::MulAddBuffer(dst.data(), src.data(), src.size(), 1);
+  EXPECT_EQ(dst, expected);
+}
+
+TYPED_TEST(GaloisFieldTest, MulAddBufferCoeffZeroIsNoop) {
+  Rng rng(41);
+  Bytes src = rng.RandomBytes(128);
+  Bytes dst = rng.RandomBytes(128);
+  Bytes expected = dst;
+  TypeParam::MulAddBuffer(dst.data(), src.data(), src.size(), 0);
+  EXPECT_EQ(dst, expected);
+}
+
+TEST(Gf256Test, KnownProducts) {
+  // From the 0x11D tables: 2*2=4, 0x80*2 = 0x1D (reduction kicks in).
+  EXPECT_EQ(GF256::Mul(2, 2), 4);
+  EXPECT_EQ(GF256::Mul(0x80, 2), 0x1D);
+  EXPECT_EQ(GF256::Mul(0xFF, 0xFF), GF256::Exp(2 * GF256::Log(0xFF) % 255));
+}
+
+TEST(Gf256Test, AllInversesUnique) {
+  std::vector<bool> seen(256, false);
+  for (uint32_t a = 1; a < 256; ++a) {
+    const uint8_t inv = GF256::Inv(static_cast<uint8_t>(a));
+    EXPECT_FALSE(seen[inv]);
+    seen[inv] = true;
+    EXPECT_EQ(GF256::Mul(static_cast<uint8_t>(a), inv), 1);
+  }
+}
+
+TEST(Gf65536Test, KnownProducts) {
+  EXPECT_EQ(GF65536::Mul(2, 2), 4);
+  // x^15 * x = x^16 = x^12 + x^3 + x + 1 (mod 0x1100B).
+  EXPECT_EQ(GF65536::Mul(0x8000, 2), 0x100B);
+}
+
+TEST(XorBufferTest, HandlesOddLengthsAndTails) {
+  Rng rng(43);
+  for (size_t len : {0, 1, 7, 8, 9, 63, 64, 65, 1000}) {
+    Bytes src = rng.RandomBytes(len);
+    Bytes dst = rng.RandomBytes(len);
+    Bytes expected = dst;
+    for (size_t i = 0; i < len; ++i) expected[i] ^= src[i];
+    XorBuffer(dst.data(), src.data(), len);
+    EXPECT_EQ(dst, expected) << "len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace lhrs

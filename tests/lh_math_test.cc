@@ -1,0 +1,228 @@
+// Property tests of the linear-hashing math: algorithms A1 (addressing),
+// A2 (server forwarding), A3 (image adjustment) and the file-state
+// evolution, directly against the invariants stated in the paper.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lh/lh_math.h"
+
+namespace lhrs {
+namespace {
+
+/// Simulates file growth to `splits` splits and returns per-bucket levels.
+std::vector<Level> GrowFile(FileState& state, uint32_t splits) {
+  std::vector<Level> levels(state.initial_buckets, 0);
+  for (uint32_t s = 0; s < splits; ++s) {
+    const BucketNo victim = state.n;
+    const Level new_level = state.i + 1;
+    const BucketNo new_bucket = state.AdvanceSplit();
+    levels[victim] = new_level;
+    EXPECT_EQ(new_bucket, levels.size());
+    levels.push_back(new_level);
+  }
+  return levels;
+}
+
+TEST(FileStateTest, BucketCountMatchesE1) {
+  FileState state;
+  for (int s = 0; s < 100; ++s) {
+    EXPECT_EQ(state.bucket_count(),
+              state.n + (BucketNo{state.initial_buckets} << state.i));
+    state.AdvanceSplit();
+  }
+}
+
+TEST(FileStateTest, SplitSequenceFollowsLinearHashing) {
+  // Splits must proceed 0; 0,1; 0,1,2,3; ... (paper section 2.1).
+  FileState state;
+  std::vector<BucketNo> victims;
+  for (int s = 0; s < 15; ++s) {
+    victims.push_back(state.n);
+    state.AdvanceSplit();
+  }
+  EXPECT_EQ(victims, (std::vector<BucketNo>{0, 0, 1, 0, 1, 2, 3, 0, 1, 2, 3,
+                                            4, 5, 6, 7}));
+}
+
+TEST(FileStateTest, LevelsComputedMatchSimulatedLevels) {
+  FileState state;
+  std::vector<Level> levels = GrowFile(state, 23);
+  for (BucketNo b = 0; b < state.bucket_count(); ++b) {
+    EXPECT_EQ(state.BucketLevel(b), levels[b]) << "bucket " << b;
+  }
+}
+
+TEST(FileStateTest, WorksWithMultipleInitialBuckets) {
+  FileState state;
+  state.initial_buckets = 3;
+  std::vector<Level> levels = GrowFile(state, 10);
+  EXPECT_EQ(state.bucket_count(), 13u);
+  for (BucketNo b = 0; b < state.bucket_count(); ++b) {
+    EXPECT_EQ(state.BucketLevel(b), levels[b]);
+  }
+}
+
+TEST(AddressingTest, AddressAlwaysWithinFile) {
+  Rng rng(5);
+  FileState state;
+  for (int s = 0; s < 200; ++s) {
+    for (int t = 0; t < 50; ++t) {
+      const Key c = rng.Next64();
+      EXPECT_LT(state.Address(c), state.bucket_count());
+    }
+    state.AdvanceSplit();
+  }
+}
+
+TEST(AddressingTest, CorrectBucketIffHashAtBucketLevel) {
+  // The paper's claim: m = a iff m = h_{j_m}(c).
+  Rng rng(7);
+  FileState state;
+  GrowFile(state, 37);
+  for (int t = 0; t < 2000; ++t) {
+    const Key c = rng.Next64();
+    const BucketNo a = state.Address(c);
+    for (BucketNo m = 0; m < state.bucket_count(); ++m) {
+      const bool hash_match =
+          HashL(c, state.BucketLevel(m), state.initial_buckets) == m;
+      EXPECT_EQ(hash_match, m == a) << "key " << c << " bucket " << m;
+    }
+  }
+}
+
+TEST(ForwardingTest, AtMostTwoHopsFromAnyImage) {
+  // For every (older image, current state) pair and random keys, A2 must
+  // reach the correct bucket in at most two forwardings.
+  Rng rng(11);
+  FileState state;
+  std::vector<FileState> history;
+  for (int s = 0; s < 40; ++s) {
+    history.push_back(state);
+    state.AdvanceSplit();
+  }
+  for (const FileState& old_state : history) {
+    ClientImage image{old_state.i, old_state.n, old_state.initial_buckets};
+    for (int t = 0; t < 200; ++t) {
+      const Key c = rng.Next64();
+      BucketNo a = image.Address(c);
+      const BucketNo correct = state.Address(c);
+      int hops = 0;
+      while (a != correct) {
+        const BucketNo next =
+            ForwardAddress(a, state.BucketLevel(a), c,
+                           state.initial_buckets);
+        ASSERT_NE(next, a) << "A2 stuck at wrong bucket";
+        a = next;
+        ASSERT_LE(++hops, 2) << "A2 exceeded two hops";
+      }
+      EXPECT_EQ(ForwardAddress(a, state.BucketLevel(a), c,
+                               state.initial_buckets),
+                a);
+    }
+  }
+}
+
+TEST(ImageAdjustmentTest, SameErrorNeverRepeats) {
+  // After an IAM for key c, re-addressing c must hit the correct bucket
+  // (A3's guarantee that the same addressing error cannot happen twice).
+  Rng rng(13);
+  FileState state;
+  GrowFile(state, 29);
+  for (int t = 0; t < 500; ++t) {
+    ClientImage image;  // Brand-new client.
+    const Key c = rng.Next64();
+    const BucketNo correct = state.Address(c);
+    if (image.Address(c) == correct) continue;
+    image.Adjust(correct, state.BucketLevel(correct));
+    EXPECT_EQ(image.Address(c), correct) << "key " << c;
+  }
+}
+
+TEST(ImageAdjustmentTest, ConvergesInLogarithmicSteps) {
+  // Repeatedly addressing random keys and applying IAMs must converge the
+  // image in O(log M) adjustments.
+  Rng rng(17);
+  FileState state;
+  GrowFile(state, 200);  // M = 201.
+  ClientImage image;
+  int adjustments = 0;
+  for (int t = 0; t < 100000; ++t) {
+    const Key c = rng.Next64();
+    const BucketNo guess = image.Address(c);
+    const BucketNo correct = state.Address(c);
+    if (guess != correct) {
+      image.Adjust(correct, state.BucketLevel(correct));
+      ++adjustments;
+    }
+    if (image.presumed_bucket_count() == state.bucket_count()) break;
+  }
+  EXPECT_LE(adjustments, 2 * 8 + 4) << "more than O(log M) IAMs";
+  EXPECT_EQ(image.presumed_bucket_count(), state.bucket_count());
+}
+
+TEST(ImageAdjustmentTest, ImageNeverOvershootsFile) {
+  Rng rng(19);
+  FileState state;
+  ClientImage image;
+  for (int s = 0; s < 100; ++s) {
+    state.AdvanceSplit();
+    for (int t = 0; t < 20; ++t) {
+      const Key c = rng.Next64();
+      const BucketNo correct = state.Address(c);
+      if (image.Address(c) != correct) {
+        image.Adjust(correct, state.BucketLevel(correct));
+      }
+      EXPECT_LE(image.presumed_bucket_count(), state.bucket_count());
+    }
+  }
+}
+
+TEST(ScanCoverageTest, ImageLevelsPlusForwardingCoverExactlyOnce) {
+  // The scan coverage rule: the client sends to every bucket of its image
+  // with the image-implied level; bucket a at level j receiving level l
+  // forwards to children a + 2^(v-1) N for v = l+1..j. Every real bucket
+  // must receive the scan exactly once, for any lagging image.
+  FileState state;
+  std::vector<FileState> history;
+  for (int s = 0; s < 64; ++s) {
+    history.push_back(state);
+    state.AdvanceSplit();
+  }
+  for (const FileState& old_state : history) {
+    std::map<BucketNo, int> hits;
+    // Direct sends from the image.
+    struct Pending {
+      BucketNo bucket;
+      Level attached;
+    };
+    std::vector<Pending> queue;
+    FileState presumed = old_state;
+    for (BucketNo a = 0; a < presumed.bucket_count(); ++a) {
+      queue.push_back({a, presumed.BucketLevel(a)});
+    }
+    while (!queue.empty()) {
+      const Pending p = queue.back();
+      queue.pop_back();
+      ++hits[p.bucket];
+      const Level actual = state.BucketLevel(p.bucket);
+      for (Level v = p.attached + 1; v <= actual; ++v) {
+        queue.push_back(
+            {p.bucket + (BucketNo{state.initial_buckets} << (v - 1)), v});
+      }
+    }
+    ASSERT_EQ(hits.size(), state.bucket_count())
+        << "image M'=" << old_state.bucket_count();
+    for (const auto& [bucket, count] : hits) {
+      EXPECT_EQ(count, 1) << "bucket " << bucket << " image M'="
+                          << old_state.bucket_count();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lhrs

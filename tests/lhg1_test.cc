@@ -1,0 +1,154 @@
+// Tests for the LH*g1 variant (paper section 4.4): records moved by splits
+// receive new group keys in the new bucket's bucket group, making record
+// groups bucket-local.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lhg/lhg_file.h"
+#include "common/rng.h"
+
+namespace lhrs::lhg {
+namespace {
+
+Bytes Val(const std::string& s) { return BytesFromString(s); }
+
+LhgFile::Options G1Opts(uint32_t k = 3, size_t capacity = 8) {
+  LhgFile::Options opts;
+  opts.file.bucket_capacity = capacity;
+  opts.group_size = k;
+  opts.reassign_group_keys_on_split = true;
+  return opts;
+}
+
+std::vector<Key> Populate(LhgFile& file, int n, uint64_t seed) {
+  Rng rng(seed);
+  std::set<Key> keys;
+  while (keys.size() < static_cast<size_t>(n)) keys.insert(rng.Next64());
+  std::vector<Key> out(keys.begin(), keys.end());
+  for (Key k : out) {
+    EXPECT_TRUE(file.Insert(k, Val("value-" + std::to_string(k))).ok());
+  }
+  return out;
+}
+
+TEST(Lhg1FileTest, GroupLocalityHoldsAfterGrowth) {
+  // The defining LH*g1 property: every record's group number equals its
+  // current bucket's bucket group.
+  LhgFile file(G1Opts());
+  Populate(file, 250, 71);
+  ASSERT_GT(file.bucket_count(), 9u);
+  for (BucketNo b = 0; b < file.bucket_count(); ++b) {
+    const LhgDataBucketNode* bucket = file.lhg_bucket(b);
+    for (const auto& [key, value] : bucket->records()) {
+      EXPECT_EQ(bucket->group_key_of(key).g, b / 3)
+          << "key " << key << " in bucket " << b;
+    }
+  }
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+}
+
+TEST(Lhg1FileTest, BasicLhgHasNoGroupLocality) {
+  LhgFile::Options opts = G1Opts();
+  opts.reassign_group_keys_on_split = false;
+  LhgFile file(opts);
+  Populate(file, 250, 71);
+  ASSERT_GT(file.bucket_count(), 9u);
+  bool found_foreign = false;
+  for (BucketNo b = 0; b < file.bucket_count() && !found_foreign; ++b) {
+    const LhgDataBucketNode* bucket = file.lhg_bucket(b);
+    for (const auto& [key, value] : bucket->records()) {
+      if (bucket->group_key_of(key).g != b / 3) {
+        found_foreign = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_foreign)
+      << "basic LH*g should retain foreign group keys after splits";
+}
+
+TEST(Lhg1FileTest, SplitsCostParityTrafficUnlikeBasicLhg) {
+  // LH*g1 trades ~2 parity messages per mover for the locality property.
+  LhgFile basic_opts(G1Opts(3, 20));
+  LhgFile::Options b = G1Opts(3, 20);
+  b.reassign_group_keys_on_split = false;
+  LhgFile basic(b);
+  LhgFile& g1 = basic_opts;
+  Rng rng1(73), rng2(73);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(g1.Insert(rng1.Next64(), Val("x")).ok());
+    ASSERT_TRUE(basic.Insert(rng2.Next64(), Val("x")).ok());
+  }
+  const auto g1_updates =
+      g1.network().stats().ForKind(LhgMsg::kParityUpdate).messages;
+  const auto basic_updates =
+      basic.network().stats().ForKind(LhgMsg::kParityUpdate).messages;
+  EXPECT_GT(g1_updates, basic_updates + 100)
+      << "LH*g1 splits should generate extra parity traffic";
+  EXPECT_TRUE(g1.VerifyParityInvariants().ok());
+  EXPECT_TRUE(basic.VerifyParityInvariants().ok());
+}
+
+TEST(Lhg1FileTest, MixedWorkloadKeepsInvariants) {
+  LhgFile file(G1Opts(3, 7));
+  Rng rng(79);
+  std::set<Key> live;
+  for (int i = 0; i < 500; ++i) {
+    const int action = static_cast<int>(rng.Uniform(10));
+    if (action < 7 || live.empty()) {
+      const Key k = rng.Next64();
+      if (file.Insert(k, rng.RandomBytes(1 + rng.Uniform(24))).ok()) {
+        live.insert(k);
+      }
+    } else if (action < 9) {
+      ASSERT_TRUE(
+          file.Update(*live.begin(), rng.RandomBytes(1 + rng.Uniform(24)))
+              .ok());
+    } else {
+      ASSERT_TRUE(file.Delete(*live.begin()).ok());
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+  for (Key k : live) EXPECT_TRUE(file.Search(k).ok());
+}
+
+TEST(Lhg1FileTest, RecoveryWorks) {
+  LhgFile file(G1Opts(3, 10));
+  std::vector<Key> keys = Populate(file, 150, 83);
+  const BucketNo victim = file.bucket_count() - 1;
+  const size_t victim_records = file.lhg_bucket(victim)->record_count();
+  ASSERT_GT(victim_records, 0u);
+  file.CrashDataBucket(victim);
+  file.RecoverDataBucket(victim);
+  EXPECT_EQ(file.lhg_bucket(victim)->record_count(), victim_records);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+  for (Key k : keys) {
+    EXPECT_TRUE(file.Search(k).ok());
+  }
+}
+
+TEST(Lhg1FileTest, FailuresInDifferentGroupsAreIndependentlyRecoverable) {
+  // The availability gain of LH*g1: with group locality, two failures in
+  // *different* bucket groups never share a record group, so both recover.
+  LhgFile file(G1Opts(3, 10));
+  std::vector<Key> keys = Populate(file, 200, 89);
+  ASSERT_GE(file.bucket_count(), 7u);
+  // Buckets 1 (group 0) and 5 (group 1).
+  file.CrashDataBucket(1);
+  file.CrashDataBucket(5);
+  file.RecoverDataBucket(1);
+  file.RecoverDataBucket(5);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+  for (Key k : keys) {
+    auto got = file.Search(k);
+    ASSERT_TRUE(got.ok()) << got.status();
+  }
+}
+
+}  // namespace
+}  // namespace lhrs::lhg

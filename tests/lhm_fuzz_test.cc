@@ -1,0 +1,82 @@
+// Randomized scenario fuzzing of the LH*m mirroring baseline: interleaved
+// ops with single-replica crashes and recoveries, checked against a shadow
+// model and the replica-equality invariant.
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lhm/lhm_file.h"
+#include "common/rng.h"
+
+namespace lhrs::lhm {
+namespace {
+
+class LhmFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LhmFuzzTest, LongRandomScenario) {
+  LhmFile::Options opts;
+  opts.file.bucket_capacity = 8;
+  LhmFile file(opts);
+  Rng rng(GetParam());
+
+  std::map<Key, Bytes> model;
+  bool primary_crashed = false;
+  BucketNo crashed_bucket = 0;
+
+  for (int step = 0; step < 700; ++step) {
+    const int action = static_cast<int>(rng.Uniform(100));
+    if (action < 45) {
+      const Key key = rng.Next64();
+      const Bytes value = rng.RandomBytes(1 + rng.Uniform(32));
+      const Status s = file.Insert(key, value);
+      if (model.contains(key)) {
+        EXPECT_TRUE(s.IsAlreadyExists());
+      } else if (s.ok()) {
+        model[key] = value;
+      } else {
+        ADD_FAILURE() << "step " << step << ": " << s;
+      }
+    } else if (action < 58 && !model.empty()) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      const Bytes value = rng.RandomBytes(1 + rng.Uniform(32));
+      ASSERT_TRUE(file.Update(it->first, value).ok()) << "step " << step;
+      it->second = value;
+    } else if (action < 68 && !model.empty()) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(file.Delete(it->first).ok()) << "step " << step;
+      model.erase(it);
+    } else if (action < 86 && !model.empty()) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      auto got = file.Search(it->first);
+      ASSERT_TRUE(got.ok()) << "step " << step << ": " << got.status();
+      EXPECT_EQ(*got, it->second);
+    } else if (action < 92 && !primary_crashed) {
+      crashed_bucket =
+          static_cast<BucketNo>(rng.Uniform(file.bucket_count()));
+      file.CrashPrimaryBucket(crashed_bucket);
+      primary_crashed = true;
+    } else if (primary_crashed) {
+      file.RecoverPrimaryBucket(crashed_bucket);
+      primary_crashed = false;
+    }
+  }
+
+  if (primary_crashed) file.RecoverPrimaryBucket(crashed_bucket);
+  EXPECT_TRUE(file.VerifyMirrorInvariant().ok());
+  for (const auto& [key, value] : model) {
+    auto got = file.Search(key);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LhmFuzzTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace lhrs::lhm

@@ -1,0 +1,293 @@
+// Integration tests of the LH* substrate: a real simulated multicomputer
+// with clients, data-bucket servers and a split coordinator.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lhstar/lhstar_file.h"
+
+namespace lhrs {
+namespace {
+
+LhStarFile::Options SmallFile(size_t capacity = 8) {
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = capacity;
+  return opts;
+}
+
+Bytes Val(const std::string& s) { return BytesFromString(s); }
+
+TEST(LhStarFileTest, InsertSearchRoundTrip) {
+  LhStarFile file(SmallFile());
+  ASSERT_TRUE(file.Insert(1, Val("one")).ok());
+  ASSERT_TRUE(file.Insert(2, Val("two")).ok());
+  auto got = file.Search(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Val("one"));
+  got = file.Search(2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Val("two"));
+}
+
+TEST(LhStarFileTest, SearchMissingIsNotFound) {
+  LhStarFile file(SmallFile());
+  ASSERT_TRUE(file.Insert(1, Val("x")).ok());
+  auto got = file.Search(99);
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsNotFound());
+}
+
+TEST(LhStarFileTest, DuplicateInsertRejected) {
+  LhStarFile file(SmallFile());
+  ASSERT_TRUE(file.Insert(1, Val("x")).ok());
+  Status dup = file.Insert(1, Val("y"));
+  EXPECT_TRUE(dup.IsAlreadyExists());
+  auto got = file.Search(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Val("x"));
+}
+
+TEST(LhStarFileTest, UpdateAndDelete) {
+  LhStarFile file(SmallFile());
+  ASSERT_TRUE(file.Insert(5, Val("before")).ok());
+  ASSERT_TRUE(file.Update(5, Val("after")).ok());
+  auto got = file.Search(5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Val("after"));
+  ASSERT_TRUE(file.Delete(5).ok());
+  EXPECT_TRUE(file.Search(5).status().IsNotFound());
+  EXPECT_TRUE(file.Update(5, Val("zombie")).IsNotFound());
+  EXPECT_TRUE(file.Delete(5).IsNotFound());
+}
+
+TEST(LhStarFileTest, FileScalesAndAllKeysRemainFindable) {
+  LhStarFile file(SmallFile(/*capacity=*/10));
+  Rng rng(1234);
+  std::set<Key> keys;
+  while (keys.size() < 500) keys.insert(rng.Next64());
+  for (Key k : keys) {
+    ASSERT_TRUE(file.Insert(k, Val("v" + std::to_string(k))).ok());
+  }
+  EXPECT_GT(file.bucket_count(), 32u) << "file did not scale";
+  for (Key k : keys) {
+    auto got = file.Search(k);
+    ASSERT_TRUE(got.ok()) << "key " << k << ": " << got.status();
+    EXPECT_EQ(*got, Val("v" + std::to_string(k)));
+  }
+}
+
+TEST(LhStarFileTest, NoRecordEverInWrongBucket) {
+  LhStarFile file(SmallFile(6));
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(file.Insert(rng.Next64(), Val("x")).ok());
+  }
+  const FileState& state = file.coordinator().state();
+  size_t total = 0;
+  for (BucketNo b = 0; b < file.bucket_count(); ++b) {
+    const DataBucketNode* bucket = file.bucket(b);
+    EXPECT_EQ(bucket->level(), state.BucketLevel(b));
+    for (const auto& [key, value] : bucket->records()) {
+      EXPECT_EQ(state.Address(key), b) << "key " << key;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(LhStarFileTest, LoadFactorNearSeventyPercentWithoutLoadControl) {
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = 20;
+  LhStarFile file(opts);
+  Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(file.Insert(rng.Next64(), Val("payload")).ok());
+  }
+  const StorageStats stats = file.GetStorageStats();
+  EXPECT_GT(stats.load_factor, 0.5);
+  EXPECT_LT(stats.load_factor, 0.95);
+}
+
+TEST(LhStarFileTest, AverageInsertCostNearOneMessagePlusReply) {
+  // Paper: "the average key insert cost is one message, and key search
+  // cost is two messages, regardless of the file size" (excluding the
+  // reply in their accounting; we measure request traffic after the
+  // client image has converged through normal use).
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = 20;
+  LhStarFile file(opts);
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(file.Insert(rng.Next64(), Val("x")).ok());
+  }
+  // Steady state: measure 500 searches.
+  std::vector<Key> probe;
+  for (int i = 0; i < 500; ++i) probe.push_back(rng.Next64());
+  const uint64_t before = file.network().stats().total_messages();
+  for (Key k : probe) (void)file.Search(k);
+  const uint64_t after = file.network().stats().total_messages();
+  const double per_search = static_cast<double>(after - before) / 500.0;
+  // Request + reply, with rare forwarding: between 2 and 2.3.
+  EXPECT_GE(per_search, 2.0);
+  EXPECT_LT(per_search, 2.3);
+}
+
+TEST(LhStarFileTest, NewClientConvergesWithLogarithmicIams) {
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = 10;
+  LhStarFile file(opts);
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(file.Insert(rng.Next64(), Val("x")).ok());
+  }
+  ASSERT_GT(file.bucket_count(), 100u);
+  // A brand-new client starts with image (0, 0).
+  const size_t fresh = file.AddClient();
+  ClientNode& c = file.client(fresh);
+  const uint64_t iams_before = c.iam_count();
+  for (int i = 0; i < 2000; ++i) {
+    auto got = file.SearchVia(fresh, rng.Next64());
+    EXPECT_TRUE(got.ok() || got.status().IsNotFound());
+  }
+  const uint64_t iams = c.iam_count() - iams_before;
+  EXPECT_GT(iams, 0u);
+  EXPECT_LE(iams, 20u) << "image convergence took more than O(log M) IAMs";
+  EXPECT_EQ(c.image().presumed_bucket_count(), file.bucket_count());
+}
+
+TEST(LhStarFileTest, ScanFindsEverythingDeterministically) {
+  LhStarFile file(SmallFile(7));
+  Rng rng(41);
+  std::set<Key> keys;
+  while (keys.size() < 200) keys.insert(rng.Next64());
+  for (Key k : keys) ASSERT_TRUE(file.Insert(k, Val("scanme")).ok());
+  auto result = file.Scan();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), keys.size());
+  std::set<Key> seen;
+  for (const auto& rec : *result) seen.insert(rec.key);
+  EXPECT_EQ(seen, keys);
+}
+
+TEST(LhStarFileTest, ScanWithPredicateSelectsSubset) {
+  LhStarFile file(SmallFile(9));
+  for (Key k = 0; k < 100; ++k) {
+    const char* tag = (k % 3 == 0) ? "red" : "blue";
+    ASSERT_TRUE(file.Insert(k, Val(tag)).ok());
+  }
+  ScanPredicate pred;
+  pred.contains = Val("red");
+  auto result = file.Scan(pred);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 34u);  // k = 0, 3, ..., 99.
+  for (const auto& rec : *result) EXPECT_EQ(rec.key % 3, 0u);
+}
+
+TEST(LhStarFileTest, ProbabilisticScanAlsoComplete) {
+  LhStarFile file(SmallFile(9));
+  for (Key k = 0; k < 120; ++k) {
+    ASSERT_TRUE(file.Insert(k, Val("x")).ok());
+  }
+  auto result = file.Scan({}, /*deterministic=*/false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 120u);
+}
+
+TEST(LhStarFileTest, ScanByStaleClientCoversNewBuckets) {
+  LhStarFile file(SmallFile(6));
+  const size_t fresh = file.AddClient();
+  Rng rng(55);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(file.Insert(rng.Next64(), Val("x")).ok());
+  }
+  // The fresh client still believes the file has one bucket.
+  EXPECT_EQ(file.client(fresh).image().presumed_bucket_count(), 1u);
+  ClientNode& c = file.client(fresh);
+  const uint64_t op = c.StartScan({}, /*deterministic=*/true);
+  file.network().RunUntilIdle();
+  ASSERT_TRUE(c.IsDone(op));
+  auto outcome = c.TakeResult(op);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->status.ok());
+  EXPECT_EQ(outcome->scan_records.size(), 400u);
+}
+
+TEST(LhStarFileTest, UnavailableBucketFailsOpsWithoutAvailabilityLayer) {
+  LhStarFile file(SmallFile(6));
+  Rng rng(66);
+  std::vector<Key> keys;
+  for (int i = 0; i < 100; ++i) {
+    keys.push_back(rng.Next64());
+    ASSERT_TRUE(file.Insert(keys.back(), Val("x")).ok());
+  }
+  ASSERT_GT(file.bucket_count(), 4u);
+  // Crash bucket 2's server.
+  file.network().SetAvailable(file.context().allocation.Lookup(2), false);
+  const FileState& state = file.coordinator().state();
+  bool hit_dead_bucket = false;
+  for (Key k : keys) {
+    auto got = file.Search(k);
+    if (state.Address(k) == 2) {
+      hit_dead_bucket = true;
+      EXPECT_TRUE(got.status().IsUnavailable()) << got.status();
+    } else {
+      EXPECT_TRUE(got.ok()) << got.status();
+    }
+  }
+  EXPECT_TRUE(hit_dead_bucket);
+  // A deterministic scan cannot terminate normally.
+  auto scan = file.Scan();
+  EXPECT_TRUE(scan.status().IsUnavailable());
+}
+
+TEST(LhStarFileTest, MultipleClientsIndependentImages) {
+  LhStarFile file(SmallFile(8));
+  const size_t c2 = file.AddClient();
+  Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(file.InsertVia(i % 2 == 0 ? 0 : c2, rng.Next64(),
+                               Val("x")).ok());
+  }
+  // Both clients function and their images are valid (<= actual).
+  EXPECT_LE(file.client(0).image().presumed_bucket_count(),
+            file.bucket_count());
+  EXPECT_LE(file.client(c2).image().presumed_bucket_count(),
+            file.bucket_count());
+}
+
+TEST(LhStarFileTest, LoadControlDelaysSplits) {
+  LhStarFile::Options uncontrolled = SmallFile(10);
+  LhStarFile::Options controlled = SmallFile(10);
+  controlled.file.use_load_control = true;
+  controlled.file.split_load_threshold = 0.85;
+  LhStarFile f1(uncontrolled);
+  LhStarFile f2(controlled);
+  Rng rng1(88), rng2(88);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(f1.Insert(rng1.Next64(), Val("x")).ok());
+    ASSERT_TRUE(f2.Insert(rng2.Next64(), Val("x")).ok());
+  }
+  EXPECT_GT(f2.GetStorageStats().load_factor,
+            f1.GetStorageStats().load_factor);
+}
+
+TEST(LhStarFileTest, WorksWithMultipleInitialBuckets) {
+  LhStarFile::Options opts = SmallFile(8);
+  opts.file.initial_buckets = 4;
+  LhStarFile file(opts);
+  Rng rng(91);
+  std::set<Key> keys;
+  while (keys.size() < 200) keys.insert(rng.Next64());
+  for (Key k : keys) ASSERT_TRUE(file.Insert(k, Val("x")).ok());
+  for (Key k : keys) EXPECT_TRUE(file.Search(k).ok());
+  auto scan = file.Scan();
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->size(), keys.size());
+}
+
+}  // namespace
+}  // namespace lhrs

@@ -1,0 +1,208 @@
+// Tests for bucket merging (file shrinking, paper section 4.3): the
+// inverse of splitting, with parity maintained through the shrink and
+// client images reset when they run ahead of the file.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lhrs/lhrs_file.h"
+#include "lhstar/lhstar_file.h"
+
+namespace lhrs {
+namespace {
+
+Bytes Val(const std::string& s) { return BytesFromString(s); }
+
+TEST(MergeTest, PlainFileShrinksAfterDeletions) {
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = 10;
+  opts.file.enable_merge = true;
+  LhStarFile file(opts);
+  Rng rng(31);
+  std::vector<Key> keys;
+  for (int i = 0; i < 400; ++i) {
+    const Key k = rng.Next64();
+    if (file.Insert(k, Val("v" + std::to_string(k))).ok()) keys.push_back(k);
+  }
+  const BucketNo peak = file.bucket_count();
+  ASSERT_GT(peak, 16u);
+
+  // Delete 90% of the records.
+  const size_t keep = keys.size() / 10;
+  for (size_t i = keep; i < keys.size(); ++i) {
+    ASSERT_TRUE(file.Delete(keys[i]).ok());
+  }
+  EXPECT_LT(file.bucket_count(), peak / 2) << "file did not shrink";
+  EXPECT_GT(file.coordinator().merges_performed(), 0u);
+
+  // Every surviving record remains findable and correctly placed.
+  for (size_t i = 0; i < keep; ++i) {
+    auto got = file.Search(keys[i]);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, Val("v" + std::to_string(keys[i])));
+  }
+  const FileState& state = file.coordinator().state();
+  for (BucketNo b = 0; b < file.bucket_count(); ++b) {
+    for (const auto& [key, value] : file.bucket(b)->records()) {
+      EXPECT_EQ(state.Address(key), b);
+    }
+  }
+}
+
+TEST(MergeTest, StaleClientImageIsResetAfterShrink) {
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = 10;
+  opts.file.enable_merge = true;
+  LhStarFile file(opts);
+  Rng rng(37);
+  std::vector<Key> keys;
+  for (int i = 0; i < 300; ++i) {
+    const Key k = rng.Next64();
+    if (file.Insert(k, Val("x")).ok()) keys.push_back(k);
+  }
+  // Client 0's image is now large. Shrink the file hard.
+  for (size_t i = 20; i < keys.size(); ++i) {
+    ASSERT_TRUE(file.Delete(keys[i]).ok());
+  }
+  ASSERT_LT(file.bucket_count(), 12u);
+  // The client's image is ahead of the file; ops must still succeed (via
+  // the decommissioned server -> coordinator -> image reset path).
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(file.Search(keys[i]).ok());
+  }
+  EXPECT_LE(file.client(0).image().presumed_bucket_count(),
+            file.bucket_count() + 2);
+  // Once reset, addressing is direct again.
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(file.Search(keys[i]).ok());
+  }
+}
+
+TEST(MergeTest, ScanCorrectAfterShrink) {
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = 8;
+  opts.file.enable_merge = true;
+  LhStarFile file(opts);
+  Rng rng(41);
+  std::set<Key> keys;
+  while (keys.size() < 250) keys.insert(rng.Next64());
+  for (Key k : keys) ASSERT_TRUE(file.Insert(k, Val("x")).ok());
+  std::vector<Key> doomed(keys.begin(), keys.end());
+  for (size_t i = 30; i < doomed.size(); ++i) {
+    ASSERT_TRUE(file.Delete(doomed[i]).ok());
+    keys.erase(doomed[i]);
+  }
+  auto scan = file.Scan();
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  std::set<Key> seen;
+  for (const auto& rec : *scan) seen.insert(rec.key);
+  EXPECT_EQ(seen, keys);
+}
+
+TEST(MergeTest, LhrsParityMaintainedThroughShrink) {
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 10;
+  opts.file.enable_merge = true;
+  opts.group_size = 4;
+  opts.policy.base_k = 2;
+  LhrsFile file(opts);
+  Rng rng(43);
+  std::vector<Key> keys;
+  for (int i = 0; i < 400; ++i) {
+    const Key k = rng.Next64();
+    if (file.Insert(k, rng.RandomBytes(24)).ok()) keys.push_back(k);
+  }
+  const BucketNo peak = file.bucket_count();
+  ASSERT_GT(peak, 16u);
+  for (size_t i = 40; i < keys.size(); ++i) {
+    ASSERT_TRUE(file.Delete(keys[i]).ok());
+  }
+  EXPECT_LT(file.bucket_count(), peak);
+  EXPECT_GT(file.coordinator().merges_performed(), 0u);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok()) << "after shrink";
+  for (size_t i = 0; i < 40; ++i) {
+    EXPECT_TRUE(file.Search(keys[i]).ok());
+  }
+}
+
+TEST(MergeTest, GrowShrinkGrowCycleStaysConsistent) {
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 10;
+  opts.file.enable_merge = true;
+  opts.group_size = 4;
+  opts.policy.base_k = 1;
+  LhrsFile file(opts);
+  Rng rng(47);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    std::vector<Key> keys;
+    for (int i = 0; i < 250; ++i) {
+      const Key k = rng.Next64();
+      if (file.Insert(k, rng.RandomBytes(16)).ok()) keys.push_back(k);
+    }
+    ASSERT_TRUE(file.VerifyParityInvariants().ok())
+        << "cycle " << cycle << " after growth";
+    for (size_t i = 10; i < keys.size(); ++i) {
+      ASSERT_TRUE(file.Delete(keys[i]).ok());
+    }
+    ASSERT_TRUE(file.VerifyParityInvariants().ok())
+        << "cycle " << cycle << " after shrink";
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_TRUE(file.Search(keys[i]).ok());
+    }
+  }
+}
+
+TEST(MergeTest, RecoveryStillWorksAfterShrink) {
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 10;
+  opts.file.enable_merge = true;
+  opts.group_size = 4;
+  opts.policy.base_k = 1;
+  LhrsFile file(opts);
+  Rng rng(53);
+  std::vector<Key> keys;
+  for (int i = 0; i < 300; ++i) {
+    const Key k = rng.Next64();
+    if (file.Insert(k, Val("value-" + std::to_string(k))).ok()) {
+      keys.push_back(k);
+    }
+  }
+  for (size_t i = 60; i < keys.size(); ++i) {
+    ASSERT_TRUE(file.Delete(keys[i]).ok());
+  }
+  keys.resize(60);
+  ASSERT_GT(file.bucket_count(), 1u);
+  const NodeId dead = file.CrashDataBucket(file.bucket_count() - 1);
+  file.DetectAndRecover(dead);
+  EXPECT_EQ(file.rs_coordinator().groups_lost(), 0u);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+  for (Key k : keys) {
+    auto got = file.Search(k);
+    ASSERT_TRUE(got.ok()) << got.status();
+  }
+}
+
+TEST(MergeTest, NeverShrinksBelowInitialBuckets) {
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = 10;
+  opts.file.enable_merge = true;
+  opts.file.initial_buckets = 2;
+  LhStarFile file(opts);
+  Rng rng(59);
+  std::vector<Key> keys;
+  for (int i = 0; i < 100; ++i) {
+    const Key k = rng.Next64();
+    if (file.Insert(k, Val("x")).ok()) keys.push_back(k);
+  }
+  for (Key k : keys) ASSERT_TRUE(file.Delete(k).ok());
+  EXPECT_GE(file.bucket_count(), 2u);
+  EXPECT_TRUE(file.Insert(1, Val("fresh")).ok());
+  EXPECT_TRUE(file.Search(1).ok());
+}
+
+}  // namespace
+}  // namespace lhrs

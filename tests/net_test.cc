@@ -1,0 +1,232 @@
+// Tests for the discrete-event multicomputer simulator.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/message.h"
+#include "net/network.h"
+#include "net/node.h"
+#include "net/stats.h"
+
+namespace lhrs {
+namespace {
+
+constexpr int kTestMsgKind = 90;
+
+struct TestMsg : MessageBody {
+  int payload = 0;
+  size_t size = 16;
+
+  int kind() const override { return kTestMsgKind; }
+  size_t ByteSize() const override { return size; }
+};
+
+/// Records everything it receives; optionally echoes back.
+class EchoNode : public Node {
+ public:
+  explicit EchoNode(bool echo) : echo_(echo) {}
+
+  void HandleMessage(const Message& msg) override {
+    received.push_back(static_cast<const TestMsg&>(*msg.body).payload);
+    receive_times.push_back(network()->now());
+    if (echo_) {
+      auto reply = std::make_unique<TestMsg>();
+      reply->payload = -received.back();
+      Send(msg.from, std::move(reply));
+    }
+  }
+
+  void HandleDeliveryFailure(const Message& msg) override {
+    failures.push_back(static_cast<const TestMsg&>(*msg.body).payload);
+    failure_times.push_back(network()->now());
+  }
+
+  std::vector<int> received;
+  std::vector<SimTime> receive_times;
+  std::vector<int> failures;
+  std::vector<SimTime> failure_times;
+
+ private:
+  bool echo_;
+};
+
+TEST(NetworkTest, DeliversInSendOrder) {
+  Network net;
+  auto* a = new EchoNode(false);
+  auto* b = new EchoNode(false);
+  const NodeId ida = net.AddNode(std::unique_ptr<Node>(a));
+  const NodeId idb = net.AddNode(std::unique_ptr<Node>(b));
+  for (int i = 0; i < 5; ++i) {
+    auto msg = std::make_unique<TestMsg>();
+    msg->payload = i;
+    net.Send(ida, idb, std::move(msg));
+  }
+  net.RunUntilIdle();
+  EXPECT_EQ(b->received, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(net.stats().total_messages(), 5u);
+}
+
+TEST(NetworkTest, EchoRoundTripAdvancesClock) {
+  Network net;
+  auto* a = new EchoNode(false);
+  auto* b = new EchoNode(true);
+  const NodeId ida = net.AddNode(std::unique_ptr<Node>(a));
+  const NodeId idb = net.AddNode(std::unique_ptr<Node>(b));
+  auto msg = std::make_unique<TestMsg>();
+  msg->payload = 42;
+  net.Send(ida, idb, std::move(msg));
+  net.RunUntilIdle();
+  ASSERT_EQ(a->received.size(), 1u);
+  EXPECT_EQ(a->received[0], -42);
+  // Two hops at 100us base latency each.
+  EXPECT_EQ(net.now(), 200u);
+}
+
+TEST(NetworkTest, LargeMessagesTakeLonger) {
+  NetworkConfig cfg;
+  cfg.unicast_latency_us = 100;
+  cfg.per_kb_us = 80;
+  Network net(cfg);
+  auto* a = new EchoNode(false);
+  auto* b = new EchoNode(false);
+  const NodeId ida = net.AddNode(std::unique_ptr<Node>(a));
+  const NodeId idb = net.AddNode(std::unique_ptr<Node>(b));
+  auto big = std::make_unique<TestMsg>();
+  big->payload = 1;
+  big->size = 8192;  // 8 KiB -> 8 * 80 extra us.
+  net.Send(ida, idb, std::move(big));
+  net.RunUntilIdle();
+  EXPECT_EQ(b->receive_times[0], 100u + 8 * 80u);
+}
+
+TEST(NetworkTest, UnavailableDestinationBouncesAfterTimeout) {
+  NetworkConfig cfg;
+  cfg.timeout_us = 2000;
+  Network net(cfg);
+  auto* a = new EchoNode(false);
+  auto* b = new EchoNode(false);
+  const NodeId ida = net.AddNode(std::unique_ptr<Node>(a));
+  const NodeId idb = net.AddNode(std::unique_ptr<Node>(b));
+  net.SetAvailable(idb, false);
+  auto msg = std::make_unique<TestMsg>();
+  msg->payload = 7;
+  net.Send(ida, idb, std::move(msg));
+  net.RunUntilIdle();
+  EXPECT_TRUE(b->received.empty());
+  ASSERT_EQ(a->failures.size(), 1u);
+  EXPECT_EQ(a->failures[0], 7);
+  EXPECT_EQ(a->failure_times[0], 100u + 2000u);
+  EXPECT_EQ(net.stats().delivery_failures(), 1u);
+}
+
+TEST(NetworkTest, RestoredNodeReceivesAgain) {
+  Network net;
+  auto* a = new EchoNode(false);
+  auto* b = new EchoNode(false);
+  const NodeId ida = net.AddNode(std::unique_ptr<Node>(a));
+  const NodeId idb = net.AddNode(std::unique_ptr<Node>(b));
+  net.SetAvailable(idb, false);
+  auto m1 = std::make_unique<TestMsg>();
+  m1->payload = 1;
+  net.Send(ida, idb, std::move(m1));
+  net.RunUntilIdle();
+  net.SetAvailable(idb, true);
+  auto m2 = std::make_unique<TestMsg>();
+  m2->payload = 2;
+  net.Send(ida, idb, std::move(m2));
+  net.RunUntilIdle();
+  EXPECT_EQ(b->received, std::vector<int>{2});
+}
+
+TEST(NetworkTest, MulticastCountsAsOneMessage) {
+  NetworkConfig cfg;
+  cfg.multicast_available = true;
+  Network net(cfg);
+  auto* src = new EchoNode(false);
+  const NodeId id_src = net.AddNode(std::unique_ptr<Node>(src));
+  std::vector<EchoNode*> sinks;
+  std::vector<std::pair<NodeId, std::unique_ptr<MessageBody>>> batch;
+  for (int i = 0; i < 8; ++i) {
+    auto* sink = new EchoNode(false);
+    const NodeId id = net.AddNode(std::unique_ptr<Node>(sink));
+    sinks.push_back(sink);
+    auto msg = std::make_unique<TestMsg>();
+    msg->payload = i;
+    batch.emplace_back(id, std::move(msg));
+  }
+  net.Multicast(id_src, std::move(batch));
+  net.RunUntilIdle();
+  EXPECT_EQ(net.stats().total_messages(), 1u);   // Paper-style accounting.
+  EXPECT_EQ(net.stats().deliveries(), 8u);       // Physical deliveries.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(sinks[i]->received.size(), 1u);
+    EXPECT_EQ(sinks[i]->received[0], i);
+  }
+}
+
+TEST(NetworkTest, WithoutMulticastServiceEachCopyCounts) {
+  NetworkConfig cfg;
+  cfg.multicast_available = false;
+  Network net(cfg);
+  auto* src = new EchoNode(false);
+  const NodeId id_src = net.AddNode(std::unique_ptr<Node>(src));
+  std::vector<std::pair<NodeId, std::unique_ptr<MessageBody>>> batch;
+  for (int i = 0; i < 4; ++i) {
+    const NodeId id = net.AddNode(std::make_unique<EchoNode>(false));
+    auto msg = std::make_unique<TestMsg>();
+    batch.emplace_back(id, std::move(msg));
+  }
+  net.Multicast(id_src, std::move(batch));
+  net.RunUntilIdle();
+  EXPECT_EQ(net.stats().total_messages(), 4u);
+}
+
+TEST(NetworkTest, StatsPerKindAndRange) {
+  RegisterMessageKindName(kTestMsgKind, "test.Msg");
+  Network net;
+  const NodeId a = net.AddNode(std::make_unique<EchoNode>(false));
+  const NodeId b = net.AddNode(std::make_unique<EchoNode>(false));
+  for (int i = 0; i < 3; ++i) {
+    net.Send(a, b, std::make_unique<TestMsg>());
+  }
+  net.RunUntilIdle();
+  EXPECT_EQ(net.stats().ForKind(kTestMsgKind).messages, 3u);
+  EXPECT_EQ(net.stats().ForKind(kTestMsgKind).bytes, 48u);
+  EXPECT_EQ(net.stats().ForKindRange(0, 100).messages, 3u);
+  EXPECT_EQ(net.stats().ForKindRange(100, 200).messages, 0u);
+  EXPECT_NE(net.stats().ToString().find("test.Msg"), std::string::npos);
+}
+
+TEST(NetworkTest, NodesAddedDuringRunReceiveMessages) {
+  // Models split-time server allocation: a node created by a handler can
+  // be messaged immediately.
+  class SpawnerNode : public Node {
+   public:
+    void HandleMessage(const Message& msg) override {
+      auto* child = new EchoNode(false);
+      child_id = network()->AddNode(std::unique_ptr<Node>(child));
+      child_ptr = child;
+      auto fwd = std::make_unique<TestMsg>();
+      fwd->payload = static_cast<const TestMsg&>(*msg.body).payload;
+      Send(child_id, std::move(fwd));
+    }
+    NodeId child_id = kInvalidNode;
+    EchoNode* child_ptr = nullptr;
+  };
+  Network net;
+  auto* spawner = new SpawnerNode();
+  const NodeId a = net.AddNode(std::make_unique<EchoNode>(false));
+  const NodeId s = net.AddNode(std::unique_ptr<Node>(spawner));
+  auto msg = std::make_unique<TestMsg>();
+  msg->payload = 5;
+  net.Send(a, s, std::move(msg));
+  net.RunUntilIdle();
+  ASSERT_NE(spawner->child_ptr, nullptr);
+  EXPECT_EQ(spawner->child_ptr->received, std::vector<int>{5});
+}
+
+}  // namespace
+}  // namespace lhrs

@@ -1,0 +1,295 @@
+// Unit and property tests for the Reed-Solomon layer: matrix algebra, the
+// normalised-Cauchy generator matrix (MDS property), and the group coder
+// (encode, incremental delta updates, erasure decode).
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf/gf256.h"
+#include "gf/gf65536.h"
+#include "rs/coder.h"
+#include "rs/generator.h"
+#include "rs/matrix.h"
+
+namespace lhrs {
+namespace {
+
+TEST(MatrixTest, IdentityInversion) {
+  auto id = Matrix<GF256>::Identity(5);
+  auto inv = id.Inverted();
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(*inv == id);
+}
+
+TEST(MatrixTest, RandomInversionRoundTrip) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.Uniform(8);
+    Matrix<GF256> m(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        m.Set(i, j, static_cast<uint8_t>(rng.Next64()));
+      }
+    }
+    auto inv = m.Inverted();
+    if (!inv.ok()) continue;  // Singular draw; skip.
+    auto prod = m.Mul(*inv);
+    EXPECT_TRUE(prod == Matrix<GF256>::Identity(n));
+  }
+}
+
+TEST(MatrixTest, SingularMatrixRejected) {
+  Matrix<GF256> m(2, 2);
+  m.Set(0, 0, 3);
+  m.Set(0, 1, 5);
+  m.Set(1, 0, 3);
+  m.Set(1, 1, 5);  // Equal rows.
+  auto inv = m.Inverted();
+  EXPECT_FALSE(inv.ok());
+  EXPECT_TRUE(inv.status().IsInvalidArgument());
+  EXPECT_EQ(m.Determinant(), 0);
+}
+
+TEST(MatrixTest, DeterminantMatchesInvertibility) {
+  Rng rng(103);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 1 + rng.Uniform(5);
+    Matrix<GF256> m(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        m.Set(i, j, static_cast<uint8_t>(rng.Next64()));
+      }
+    }
+    EXPECT_EQ(m.Determinant() != 0, m.Inverted().ok());
+  }
+}
+
+TEST(GeneratorTest, FirstColumnAllOnes) {
+  for (uint32_t m : {1u, 2u, 4u, 8u, 16u}) {
+    for (uint32_t k : {1u, 2u, 3u, 4u}) {
+      auto p = BuildParityMatrix<GF256>(m, k);
+      ASSERT_TRUE(p.ok());
+      for (uint32_t i = 0; i < m; ++i) {
+        EXPECT_EQ(p->At(i, 0), 1) << "m=" << m << " k=" << k << " i=" << i;
+      }
+      for (uint32_t j = 0; j < k; ++j) {
+        EXPECT_EQ(p->At(0, j), 1) << "first row must be all ones";
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, RejectsInvalidParameters) {
+  EXPECT_FALSE(BuildParityMatrix<GF256>(0, 1).ok());
+  EXPECT_FALSE(BuildParityMatrix<GF256>(1, 0).ok());
+  EXPECT_FALSE(BuildParityMatrix<GF256>(200, 100).ok());  // m + k > 256.
+  EXPECT_TRUE(BuildParityMatrix<GF256>(128, 128).ok());
+}
+
+// The central correctness property: every square submatrix of the parity
+// matrix must be nonsingular, which makes the systematic code MDS.
+class MdsPropertyTest
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(MdsPropertyTest, CauchyDerivedMatrixIsMds) {
+  const auto [m, k] = GetParam();
+  auto p = BuildParityMatrix<GF256>(m, k);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(IsMdsParityMatrix(*p)) << "m=" << m << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGeometries, MdsPropertyTest,
+    ::testing::Values(std::pair{2u, 1u}, std::pair{2u, 2u}, std::pair{3u, 2u},
+                      std::pair{4u, 1u}, std::pair{4u, 2u}, std::pair{4u, 3u},
+                      std::pair{4u, 4u}, std::pair{8u, 2u}, std::pair{8u, 3u},
+                      std::pair{16u, 3u}, std::pair{16u, 4u},
+                      std::pair{32u, 4u}));
+
+TEST(MdsPropertyTest, CauchyMatrixIsMdsOverGf65536Too) {
+  auto p = BuildParityMatrix<GF65536>(8, 3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(IsMdsParityMatrix(*p));
+}
+
+// Ablation: the naive Vandermonde-style construction alpha^(i*j) appended
+// to an identity is NOT MDS in general — the reason LH*RS needs the
+// Cauchy-derived generator. A 2x2 submatrix with rows {i1, i2} and columns
+// {j1, j2} is singular iff (i1-i2)(j1-j2) = 0 mod 255; the smallest such
+// geometry within field bounds is m = 86 (row gap 85), k = 4 (column gap
+// 3), since 85 * 3 = 255.
+TEST(GeneratorTest, NaiveVandermondeFailsMdsForLargeGroups) {
+  auto p = BuildNaiveVandermondeParity<GF256>(86, 4);
+  auto sub = p.Submatrix({0, 85}, {0, 3});
+  EXPECT_EQ(sub.Determinant(), 0)
+      << "expected singular submatrix in naive Vandermonde parity";
+  // The Cauchy-derived matrix of the same geometry has no such defect.
+  auto cauchy = BuildParityMatrix<GF256>(86, 4);
+  ASSERT_TRUE(cauchy.ok());
+  EXPECT_NE(cauchy->Submatrix({0, 85}, {0, 3}).Determinant(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// GroupCoder tests.
+
+template <typename F>
+class GroupCoderTest : public ::testing::Test {};
+
+using CoderFields = ::testing::Types<GF256, GF65536>;
+TYPED_TEST_SUITE(GroupCoderTest, CoderFields);
+
+TYPED_TEST(GroupCoderTest, EncodeDecodeRoundTripAllErasurePatterns) {
+  const uint32_t m = 4, k = 2;
+  GroupCoder<TypeParam> coder(m, k);
+  Rng rng(211);
+
+  // Variable-length member payloads, one slot empty.
+  std::vector<Bytes> data(m);
+  data[0] = rng.RandomBytes(40);
+  data[1] = rng.RandomBytes(17);
+  data[2] = {};  // Absent member.
+  data[3] = rng.RandomBytes(33);
+  std::vector<const Bytes*> ptrs = {&data[0], &data[1], nullptr, &data[3]};
+  std::vector<Bytes> parity = coder.Encode(ptrs);
+  ASSERT_EQ(parity.size(), k);
+
+  // Every way of losing up to k of the m+k columns must decode.
+  for (uint32_t lost1 = 0; lost1 < m; ++lost1) {
+    for (uint32_t lost2 = lost1 + 1; lost2 <= m + k; ++lost2) {
+      std::vector<std::pair<size_t, Bytes>> available;
+      for (uint32_t col = 0; col < m + k; ++col) {
+        if (col == lost1 || col == lost2) continue;
+        if (col < m) {
+          available.emplace_back(col, data[col]);
+        } else {
+          available.emplace_back(col, parity[col - m]);
+        }
+      }
+      std::vector<size_t> wanted;
+      if (lost1 < m) wanted.push_back(lost1);
+      if (lost2 < m) wanted.push_back(lost2);
+      if (wanted.empty()) continue;
+      auto decoded = coder.DecodeData(available, wanted);
+      ASSERT_TRUE(decoded.ok()) << decoded.status();
+      for (size_t i = 0; i < wanted.size(); ++i) {
+        const Bytes& original = data[wanted[i]];
+        const Bytes padded = PadTo(original, (*decoded)[i].size());
+        EXPECT_EQ((*decoded)[i], padded)
+            << "lost (" << lost1 << "," << lost2 << ") slot " << wanted[i];
+      }
+    }
+  }
+}
+
+TYPED_TEST(GroupCoderTest, TooFewColumnsIsDataLoss) {
+  GroupCoder<TypeParam> coder(4, 2);
+  std::vector<std::pair<size_t, Bytes>> available = {
+      {0, Bytes{1, 2}}, {1, Bytes{3, 4}}, {2, Bytes{5, 6}}};
+  auto decoded = coder.DecodeData(available, {3});
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsDataLoss());
+}
+
+TYPED_TEST(GroupCoderTest, DeltaUpdatesMatchFullReencode) {
+  const uint32_t m = 4, k = 3;
+  GroupCoder<TypeParam> coder(m, k);
+  Rng rng(223);
+
+  std::vector<Bytes> data(m);
+  std::vector<Bytes> parity(k);
+
+  // Build the group incrementally: insert, update, delete, with varying
+  // lengths; parity maintained only through ApplyDelta.
+  for (int step = 0; step < 200; ++step) {
+    const uint32_t slot = static_cast<uint32_t>(rng.Uniform(m));
+    const int action = static_cast<int>(rng.Uniform(3));
+    if (action == 0 || data[slot].empty()) {
+      // Insert/overwrite with a fresh value: delta = old XOR new.
+      Bytes next = rng.RandomBytes(1 + rng.Uniform(64));
+      Bytes delta = data[slot];
+      XorAssignPadded(delta, next);
+      for (uint32_t j = 0; j < k; ++j) {
+        coder.ApplyDelta(slot, delta, j, &parity[j]);
+      }
+      data[slot] = std::move(next);
+    } else if (action == 1) {
+      // Delete: delta = old value.
+      for (uint32_t j = 0; j < k; ++j) {
+        coder.ApplyDelta(slot, data[slot], j, &parity[j]);
+      }
+      data[slot].clear();
+    } else {
+      // In-place partial update.
+      Bytes next = data[slot];
+      next[rng.Uniform(next.size())] ^= static_cast<uint8_t>(rng.Next64());
+      Bytes delta = data[slot];
+      XorAssignPadded(delta, next);
+      for (uint32_t j = 0; j < k; ++j) {
+        coder.ApplyDelta(slot, delta, j, &parity[j]);
+      }
+      data[slot] = std::move(next);
+    }
+  }
+
+  // Full re-encode must agree (modulo trailing zeros from length churn).
+  std::vector<const Bytes*> ptrs;
+  for (auto& d : data) ptrs.push_back(d.empty() ? nullptr : &d);
+  std::vector<Bytes> fresh = coder.Encode(ptrs);
+  for (uint32_t j = 0; j < k; ++j) {
+    const size_t n = std::max(fresh[j].size(), parity[j].size());
+    const Bytes a = PadTo(fresh[j], n);
+    const Bytes b = PadTo(parity[j], n);
+    EXPECT_EQ(a, b) << "parity column " << j;
+  }
+}
+
+TYPED_TEST(GroupCoderTest, ParityColumnZeroIsPlainXor) {
+  const uint32_t m = 4;
+  GroupCoder<TypeParam> coder(m, 2);
+  Rng rng(227);
+  std::vector<Bytes> data(m);
+  for (auto& d : data) d = rng.RandomBytes(32);
+  std::vector<const Bytes*> ptrs;
+  for (auto& d : data) ptrs.push_back(&d);
+  std::vector<Bytes> parity = coder.Encode(ptrs);
+
+  Bytes expected(32, 0);
+  for (const auto& d : data) {
+    for (size_t i = 0; i < 32; ++i) expected[i] ^= d[i];
+  }
+  EXPECT_EQ(parity[0], expected);
+}
+
+TYPED_TEST(GroupCoderTest, SingleMemberGroupDecodesFromParityAlone) {
+  // The paper's "a record sole in its group is recoverable even if all
+  // other buckets fail" case: decode from k parity columns + m-1 known
+  // zeros.
+  const uint32_t m = 4, k = 1;
+  GroupCoder<TypeParam> coder(m, k);
+  Bytes value = BytesFromString("lonely record");
+  std::vector<const Bytes*> ptrs = {nullptr, &value, nullptr, nullptr};
+  std::vector<Bytes> parity = coder.Encode(ptrs);
+
+  std::vector<std::pair<size_t, Bytes>> available = {
+      {0, {}}, {2, {}}, {3, {}}, {4, parity[0]}};
+  auto decoded = coder.DecodeData(available, {1});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0], PadTo(value, (*decoded)[0].size()));
+}
+
+TEST(GroupCoderTest65536, PadsOddLengthsToWholeSymbols) {
+  GroupCoder<GF65536> coder(2, 1);
+  Bytes odd = {0xAB, 0xCD, 0xEF};  // 3 bytes -> padded to 4.
+  std::vector<const Bytes*> ptrs = {&odd, nullptr};
+  std::vector<Bytes> parity = coder.Encode(ptrs);
+  ASSERT_EQ(parity[0].size(), 4u);
+  EXPECT_EQ(parity[0][0], 0xAB);
+  EXPECT_EQ(parity[0][3], 0x00);
+}
+
+}  // namespace
+}  // namespace lhrs

@@ -1,0 +1,134 @@
+// Tests for parity scrubbing: detection and repair of silent parity
+// corruption (bit rot, lost updates) by auditing parity against the data
+// columns.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lhrs/lhrs_file.h"
+
+namespace lhrs {
+namespace {
+
+LhrsFile::Options Opts(uint32_t m = 4, uint32_t k = 2) {
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 10;
+  opts.group_size = m;
+  opts.policy.base_k = k;
+  return opts;
+}
+
+void Populate(LhrsFile& file, int n, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    (void)file.Insert(rng.Next64(), rng.RandomBytes(1 + rng.Uniform(32)));
+  }
+}
+
+TEST(ScrubTest, CleanFileHasNoMismatches) {
+  LhrsFile file(Opts());
+  Populate(file, 200, 61);
+  const auto report = file.Scrub();
+  EXPECT_EQ(report.groups_scrubbed, file.group_count());
+  EXPECT_GT(report.record_groups_checked, 0u);
+  EXPECT_EQ(report.mismatched_parity_records, 0u);
+  EXPECT_EQ(report.parity_columns_repaired, 0u);
+}
+
+TEST(ScrubTest, DetectsFlippedParityBits) {
+  LhrsFile file(Opts());
+  Populate(file, 150, 62);
+  // Silent bit rot in one parity record of group 0, column 1.
+  auto* bucket = file.parity_bucket(0, 1);
+  ASSERT_GT(bucket->parity_record_count(), 0u);
+  const Rank rank = bucket->parity_records().begin()->first;
+  ParityRecord* record = bucket->MutableParityRecordForTest(rank);
+  ASSERT_NE(record, nullptr);
+  ASSERT_FALSE(record->parity.empty());
+  record->parity[0] ^= 0xFF;
+
+  const auto report = file.Scrub(/*repair=*/false);
+  EXPECT_EQ(report.mismatched_parity_records, 1u);
+  EXPECT_EQ(report.parity_columns_repaired, 0u);  // Detection only.
+  EXPECT_FALSE(file.VerifyParityInvariants().ok());
+}
+
+TEST(ScrubTest, DetectsCorruptedMetadata) {
+  LhrsFile file(Opts());
+  Populate(file, 150, 63);
+  auto* bucket = file.parity_bucket(0, 0);
+  const Rank rank = bucket->parity_records().begin()->first;
+  ParityRecord* record = bucket->MutableParityRecordForTest(rank);
+  ASSERT_NE(record, nullptr);
+  record->lengths[0] += 7;  // Length drift.
+  const auto report = file.Scrub();
+  EXPECT_GE(report.mismatched_parity_records, 1u);
+}
+
+TEST(ScrubTest, RepairRestoresCorruptedColumns) {
+  LhrsFile file(Opts());
+  Populate(file, 200, 64);
+  // Corrupt several records across two parity columns of group 0.
+  for (uint32_t j : {0u, 1u}) {
+    auto* bucket = file.parity_bucket(0, j);
+    int corrupted = 0;
+    for (const auto& [rank, unused] : bucket->parity_records()) {
+      ParityRecord* record = bucket->MutableParityRecordForTest(rank);
+      if (!record->parity.empty()) {
+        record->parity.back() ^= 0x5A;
+        if (++corrupted == 3) break;
+      }
+    }
+  }
+  ASSERT_FALSE(file.VerifyParityInvariants().ok());
+
+  const auto report = file.Scrub(/*repair=*/true);
+  EXPECT_GE(report.mismatched_parity_records, 2u);
+  EXPECT_EQ(report.parity_columns_repaired, 2u);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok()) << "after repair";
+
+  // Idempotence: a second scrub is clean.
+  const auto again = file.Scrub();
+  EXPECT_EQ(again.mismatched_parity_records, 0u);
+}
+
+TEST(ScrubTest, DetectsDroppedParityRecord) {
+  LhrsFile file(Opts());
+  Populate(file, 150, 65);
+  auto* bucket = file.parity_bucket(0, 1);
+  ASSERT_GT(bucket->parity_record_count(), 1u);
+  // Simulate a lost record: blank one out via the test hook by zeroing its
+  // content is not enough (keys remain); instead corrupt all its keys'
+  // metadata so the audit flags it.
+  const Rank rank = bucket->parity_records().rbegin()->first;
+  ParityRecord* record = bucket->MutableParityRecordForTest(rank);
+  for (auto& key : record->keys) {
+    if (key.has_value()) *key ^= 1;  // Wrong member keys.
+  }
+  const auto report = file.Scrub(/*repair=*/true);
+  EXPECT_GE(report.mismatched_parity_records, 1u);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+}
+
+TEST(ScrubTest, RepairedFileStillRecoversFromFailures) {
+  LhrsFile file(Opts());
+  Rng rng(66);
+  std::vector<Key> keys;
+  for (int i = 0; i < 200; ++i) {
+    const Key k = rng.Next64();
+    if (file.Insert(k, rng.RandomBytes(24)).ok()) keys.push_back(k);
+  }
+  auto* bucket = file.parity_bucket(0, 0);
+  const Rank rank = bucket->parity_records().begin()->first;
+  bucket->MutableParityRecordForTest(rank)->parity[0] ^= 0x42;
+  (void)file.Scrub(/*repair=*/true);
+
+  const NodeId d1 = file.CrashDataBucket(0);
+  file.CrashDataBucket(1);
+  file.DetectAndRecover(d1);
+  EXPECT_EQ(file.rs_coordinator().groups_lost(), 0u);
+  for (Key k : keys) EXPECT_TRUE(file.Search(k).ok());
+}
+
+}  // namespace
+}  // namespace lhrs

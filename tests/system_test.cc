@@ -1,0 +1,229 @@
+// Cross-layer system tests: the simulated file's measured availability
+// against the analytic model, concurrent multi-client interleavings, and
+// the displaced-bucket protocol of section 2.8 exercised explicitly.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/availability_model.h"
+#include "common/rng.h"
+#include "lhrs/lhrs_file.h"
+
+namespace lhrs {
+namespace {
+
+// The closed-form availability model says: a group survives iff at most k
+// of its nodes fail. Validate that the *system* agrees: crash every node
+// independently with probability 1-p, run detection + recovery, and check
+// that groups are lost exactly when the model's predicate says so — and
+// that survival means every record is still readable.
+TEST(SystemAvailabilityTest, MeasuredSurvivalMatchesModelPredicate) {
+  const double p = 0.8;  // Low availability so both outcomes occur often.
+  const uint32_t m = 2, k = 1;
+  Rng meta_rng(424242);
+  int survived = 0, lost = 0;
+  constexpr int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    LhrsFile::Options opts;
+    opts.file.bucket_capacity = 8;
+    opts.file.initial_buckets = 4;
+    opts.group_size = m;
+    opts.policy.base_k = k;
+    LhrsFile file(opts);
+    Rng rng(1000 + trial);
+    std::vector<Key> keys;
+    for (int i = 0; i < 60; ++i) {
+      const Key key = rng.Next64();
+      if (file.Insert(key, rng.RandomBytes(24)).ok()) keys.push_back(key);
+    }
+    // Crash nodes independently; track per-group failure counts.
+    const uint32_t groups = static_cast<uint32_t>(file.group_count());
+    std::vector<uint32_t> failures(groups, 0);
+    std::vector<NodeId> dead;
+    for (BucketNo b = 0; b < file.bucket_count(); ++b) {
+      if (!meta_rng.Flip(p)) {
+        dead.push_back(file.CrashDataBucket(b));
+        ++failures[GroupOf(b, m)];
+      }
+    }
+    for (uint32_t g = 0; g < groups; ++g) {
+      const auto& info = file.rs_coordinator().group_info(g);
+      for (uint32_t j = 0; j < info.k; ++j) {
+        if (!meta_rng.Flip(p)) {
+          dead.push_back(file.CrashParityBucket(g, j));
+          ++failures[g];
+        }
+      }
+    }
+    bool model_survives = true;
+    for (uint32_t g = 0; g < groups; ++g) {
+      if (failures[g] > k) model_survives = false;
+    }
+    for (NodeId node : dead) file.DetectAndRecover(node);
+
+    const bool system_survives =
+        file.rs_coordinator().groups_lost() == 0;
+    EXPECT_EQ(system_survives, model_survives) << "trial " << trial;
+    if (system_survives) {
+      ++survived;
+      for (Key key : keys) {
+        EXPECT_TRUE(file.Search(key).ok()) << "trial " << trial;
+      }
+      EXPECT_TRUE(file.VerifyParityInvariants().ok());
+    } else {
+      ++lost;
+    }
+  }
+  // With p=0.8, 2 groups of 3 nodes: both outcomes must have occurred.
+  EXPECT_GT(survived, 0);
+  EXPECT_GT(lost, 0);
+}
+
+TEST(MultiClientTest, ConcurrentOpsFromManyClientsInterleave) {
+  // Several autonomous clients fire operations *before* the network runs:
+  // requests, forwards, IAMs, splits and parity updates all interleave in
+  // one event storm. Every op must complete correctly.
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 10;
+  opts.group_size = 4;
+  opts.policy.base_k = 1;
+  LhrsFile file(opts);
+  constexpr size_t kClients = 5;
+  std::vector<size_t> clients;
+  clients.push_back(0);
+  for (size_t c = 1; c < kClients; ++c) clients.push_back(file.AddClient());
+
+  Rng rng(777);
+  struct Pending {
+    size_t client;
+    uint64_t op_id;
+    Key key;
+  };
+  std::set<Key> all_keys;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<Pending> batch;
+    for (size_t c : clients) {
+      for (int i = 0; i < 5; ++i) {
+        const Key key = rng.Next64();
+        all_keys.insert(key);
+        batch.push_back(
+            {c, file.client(c).StartOp(OpType::kInsert, key,
+                                       rng.RandomBytes(16)),
+             key});
+      }
+    }
+    file.network().RunUntilIdle();
+    for (const auto& op : batch) {
+      ASSERT_TRUE(file.client(op.client).IsDone(op.op_id));
+      auto outcome = file.client(op.client).TakeResult(op.op_id);
+      ASSERT_TRUE(outcome.ok());
+      EXPECT_TRUE(outcome->status.ok()) << outcome->status;
+    }
+  }
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+  // Cross-client visibility: every key readable from every client.
+  Rng pick(88);
+  for (int i = 0; i < 100; ++i) {
+    auto it = all_keys.begin();
+    std::advance(it, pick.Uniform(all_keys.size()));
+    const size_t c = pick.Uniform(kClients);
+    auto got = file.SearchVia(c, *it);
+    EXPECT_TRUE(got.ok()) << got.status();
+  }
+}
+
+TEST(DisplacedBucketTest, StaleCacheToReusedServerBouncesViaCoordinator) {
+  // Section 2.8 case (ii)/(iii) explicitly: client 0 caches the address of
+  // bucket 1; the bucket is recovered elsewhere; the old server comes back
+  // as a hot spare; client 0's next access hits the spare, which matches
+  // the intended bucket number, fails, and bounces via the coordinator.
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 10;
+  opts.group_size = 4;
+  opts.policy.base_k = 1;
+  LhrsFile file(opts);
+  Rng rng(99);
+  std::vector<Key> keys;
+  for (int i = 0; i < 80; ++i) {
+    const Key key = rng.Next64();
+    if (file.Insert(key, BytesFromString("v")).ok()) keys.push_back(key);
+  }
+  // Make sure client 0 has cached bucket 1's address.
+  Key key_in_1 = 0;
+  for (Key key : keys) {
+    if (file.coordinator().state().Address(key) == 1) {
+      key_in_1 = key;
+      break;
+    }
+  }
+  ASSERT_TRUE(file.Search(key_in_1).ok());
+
+  const NodeId old_node = file.CrashDataBucket(1);
+  file.DetectAndRecover(old_node);
+  file.RestoreNode(old_node);  // Back up, now a decommissioned spare.
+  ASSERT_TRUE(
+      file.network().node_as<DataBucketNode>(old_node)->decommissioned());
+
+  // The access through the stale cache must still succeed (one bounce).
+  const uint64_t bounces_before =
+      file.network().stats().ForKind(LhStarMsg::kClientOpViaCoordinator)
+          .messages;
+  auto got = file.Search(key_in_1);
+  ASSERT_TRUE(got.ok()) << got.status();
+  const uint64_t bounces_after =
+      file.network().stats().ForKind(LhStarMsg::kClientOpViaCoordinator)
+          .messages;
+  EXPECT_EQ(bounces_after, bounces_before + 1)
+      << "expected exactly one coordinator bounce";
+
+  // And the IAM healed the cache: the next access goes direct.
+  ASSERT_TRUE(file.Search(key_in_1).ok());
+  EXPECT_EQ(file.network().stats().ForKind(LhStarMsg::kClientOpViaCoordinator)
+                .messages,
+            bounces_after);
+}
+
+TEST(SelfCheckTest, RestartedBucketKeepsServingWhenNotReplaced) {
+  // Section 2.5.4 second case: the outage went unnoticed; the node
+  // restarts with intact data, asks the coordinator, and keeps its bucket.
+  LhrsFile::Options opts;
+  opts.group_size = 4;
+  opts.policy.base_k = 1;
+  opts.auto_recover = false;
+  LhrsFile file(opts);
+  for (Key key = 0; key < 30; ++key) {
+    ASSERT_TRUE(file.Insert(key, BytesFromString("x")).ok());
+  }
+  const NodeId node = file.CrashDataBucket(0);
+  file.RestoreNode(node);  // Triggers SelfCheck.
+  EXPECT_FALSE(
+      file.network().node_as<DataBucketNode>(node)->decommissioned());
+  EXPECT_TRUE(file.Search(0).ok());
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+}
+
+TEST(SimulatedTimeTest, OperationLatencyMatchesLatencyModel) {
+  // Two plain messages (request + reply) at 100 us each: a converged
+  // search takes 200 us of simulated time, independent of file size.
+  LhrsFile::Options opts;
+  opts.group_size = 4;
+  opts.policy.base_k = 2;
+  LhrsFile file(opts);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(file.Insert(rng.Next64(), rng.RandomBytes(16)).ok());
+  }
+  Rng probe(4);
+  for (int i = 0; i < 20; ++i) {
+    const SimTime before = file.network().now();
+    (void)file.Search(probe.Next64());
+    const SimTime elapsed = file.network().now() - before;
+    EXPECT_GE(elapsed, 200u);
+    EXPECT_LE(elapsed, 600u);  // At most two forwarding hops more.
+  }
+}
+
+}  // namespace
+}  // namespace lhrs

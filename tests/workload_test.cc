@@ -1,0 +1,95 @@
+// Tests for the workload generator: Zipf sampling, op-mix accounting, and
+// end-to-end runs against the real schemes.
+
+#include <gtest/gtest.h>
+
+#include "analysis/workload.h"
+#include "baselines/lhg/lhg_file.h"
+#include "lhrs/lhrs_file.h"
+
+namespace lhrs {
+namespace {
+
+TEST(ZipfSamplerTest, SkewsTowardLowIndices) {
+  ZipfSampler zipf(1000, 0.99);
+  Rng rng(1);
+  std::vector<int> hits(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++hits[zipf.Sample(rng)];
+  // Index 0 must be much hotter than index 500.
+  EXPECT_GT(hits[0], 20 * std::max(1, hits[500]));
+  // And the head (top 10%) should carry the majority of accesses.
+  int head = 0;
+  for (int i = 0; i < 100; ++i) head += hits[i];
+  EXPECT_GT(head, 50000);
+}
+
+TEST(ZipfSamplerTest, ThetaZeroIsUniform) {
+  ZipfSampler zipf(100, 0.0);
+  Rng rng(2);
+  std::vector<int> hits(100, 0);
+  for (int i = 0; i < 100000; ++i) ++hits[zipf.Sample(rng)];
+  for (int h : hits) {
+    EXPECT_GT(h, 600);
+    EXPECT_LT(h, 1400);
+  }
+}
+
+TEST(WorkloadSpecTest, Validation) {
+  WorkloadSpec spec;
+  EXPECT_TRUE(spec.Valid());
+  spec.insert_fraction = 0.9;
+  EXPECT_FALSE(spec.Valid());  // Sums to > 1.
+  spec = WorkloadSpec{};
+  spec.value_min = 100;
+  spec.value_max = 10;
+  EXPECT_FALSE(spec.Valid());
+}
+
+TEST(WorkloadRunnerTest, MixApproximatelyHonoured) {
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 20;
+  opts.group_size = 4;
+  opts.policy.base_k = 1;
+  LhrsFile file(opts);
+  WorkloadSpec spec;  // Default 25/60/10/5.
+  Rng rng(3);
+  const WorkloadStats stats = RunWorkload(file, spec, 4000, rng);
+  EXPECT_EQ(stats.total(), 4000u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_NEAR(stats.inserts / 4000.0, 0.25, 0.05);
+  EXPECT_NEAR(stats.searches / 4000.0, 0.60, 0.05);
+  EXPECT_NEAR(stats.updates / 4000.0, 0.10, 0.04);
+  EXPECT_NEAR(stats.deletes / 4000.0, 0.05, 0.03);
+  EXPECT_GT(stats.not_found, 0u);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+  EXPECT_NE(stats.ToString().find("failures=0"), std::string::npos);
+}
+
+TEST(WorkloadRunnerTest, ZipfianSkewAgainstLhrs) {
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 20;
+  opts.group_size = 4;
+  opts.policy.base_k = 2;
+  LhrsFile file(opts);
+  WorkloadSpec spec;
+  spec.skew = WorkloadSpec::Skew::kZipfian;
+  Rng rng(4);
+  const WorkloadStats stats = RunWorkload(file, spec, 3000, rng);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+}
+
+TEST(WorkloadRunnerTest, RunsAgainstBaselines) {
+  lhg::LhgFile::Options opts;
+  opts.file.bucket_capacity = 20;
+  opts.group_size = 3;
+  lhg::LhgFile file(opts);
+  WorkloadSpec spec;
+  Rng rng(5);
+  const WorkloadStats stats = RunWorkload(file, spec, 2000, rng);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+}
+
+}  // namespace
+}  // namespace lhrs
