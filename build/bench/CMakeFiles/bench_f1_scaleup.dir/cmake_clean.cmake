@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_scaleup.dir/bench_f1_scaleup.cc.o"
+  "CMakeFiles/bench_f1_scaleup.dir/bench_f1_scaleup.cc.o.d"
+  "bench_f1_scaleup"
+  "bench_f1_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

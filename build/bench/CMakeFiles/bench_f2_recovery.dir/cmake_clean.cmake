@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_recovery.dir/bench_f2_recovery.cc.o"
+  "CMakeFiles/bench_f2_recovery.dir/bench_f2_recovery.cc.o.d"
+  "bench_f2_recovery"
+  "bench_f2_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

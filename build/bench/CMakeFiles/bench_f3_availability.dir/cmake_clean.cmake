@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_availability.dir/bench_f3_availability.cc.o"
+  "CMakeFiles/bench_f3_availability.dir/bench_f3_availability.cc.o.d"
+  "bench_f3_availability"
+  "bench_f3_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_parity_update.dir/bench_f6_parity_update.cc.o"
+  "CMakeFiles/bench_f6_parity_update.dir/bench_f6_parity_update.cc.o.d"
+  "bench_f6_parity_update"
+  "bench_f6_parity_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_parity_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_ablations.dir/bench_f7_ablations.cc.o"
+  "CMakeFiles/bench_f7_ablations.dir/bench_f7_ablations.cc.o.d"
+  "bench_f7_ablations"
+  "bench_f7_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

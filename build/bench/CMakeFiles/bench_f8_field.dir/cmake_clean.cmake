@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_field.dir/bench_f8_field.cc.o"
+  "CMakeFiles/bench_f8_field.dir/bench_f8_field.cc.o.d"
+  "bench_f8_field"
+  "bench_f8_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

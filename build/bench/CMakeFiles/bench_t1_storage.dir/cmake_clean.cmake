@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_storage.dir/bench_t1_storage.cc.o"
+  "CMakeFiles/bench_t1_storage.dir/bench_t1_storage.cc.o.d"
+  "bench_t1_storage"
+  "bench_t1_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

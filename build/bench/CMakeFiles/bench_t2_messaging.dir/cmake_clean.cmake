@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_messaging.dir/bench_t2_messaging.cc.o"
+  "CMakeFiles/bench_t2_messaging.dir/bench_t2_messaging.cc.o.d"
+  "bench_t2_messaging"
+  "bench_t2_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

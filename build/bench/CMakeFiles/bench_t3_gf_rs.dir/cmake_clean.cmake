@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_gf_rs.dir/bench_t3_gf_rs.cc.o"
+  "CMakeFiles/bench_t3_gf_rs.dir/bench_t3_gf_rs.cc.o.d"
+  "bench_t3_gf_rs"
+  "bench_t3_gf_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_gf_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_sessions.dir/ecommerce_sessions.cpp.o"
+  "CMakeFiles/ecommerce_sessions.dir/ecommerce_sessions.cpp.o.d"
+  "ecommerce_sessions"
+  "ecommerce_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

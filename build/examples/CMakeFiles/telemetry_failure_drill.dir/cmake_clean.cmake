@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_failure_drill.dir/telemetry_failure_drill.cpp.o"
+  "CMakeFiles/telemetry_failure_drill.dir/telemetry_failure_drill.cpp.o.d"
+  "telemetry_failure_drill"
+  "telemetry_failure_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_failure_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhrs_analysis.dir/availability_model.cc.o"
+  "CMakeFiles/lhrs_analysis.dir/availability_model.cc.o.d"
+  "CMakeFiles/lhrs_analysis.dir/workload.cc.o"
+  "CMakeFiles/lhrs_analysis.dir/workload.cc.o.d"
+  "liblhrs_analysis.a"
+  "liblhrs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhrs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

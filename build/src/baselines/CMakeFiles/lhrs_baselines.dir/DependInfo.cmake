@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/lhg/lhg_coordinator.cc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhg/lhg_coordinator.cc.o" "gcc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhg/lhg_coordinator.cc.o.d"
+  "/root/repo/src/baselines/lhg/lhg_data_bucket.cc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhg/lhg_data_bucket.cc.o" "gcc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhg/lhg_data_bucket.cc.o.d"
+  "/root/repo/src/baselines/lhg/lhg_file.cc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhg/lhg_file.cc.o" "gcc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhg/lhg_file.cc.o.d"
+  "/root/repo/src/baselines/lhg/lhg_messages.cc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhg/lhg_messages.cc.o" "gcc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhg/lhg_messages.cc.o.d"
+  "/root/repo/src/baselines/lhg/lhg_parity_bucket.cc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhg/lhg_parity_bucket.cc.o" "gcc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhg/lhg_parity_bucket.cc.o.d"
+  "/root/repo/src/baselines/lhm/lhm_file.cc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhm/lhm_file.cc.o" "gcc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhm/lhm_file.cc.o.d"
+  "/root/repo/src/baselines/lhs/lhs_file.cc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhs/lhs_file.cc.o" "gcc" "src/baselines/CMakeFiles/lhrs_baselines.dir/lhs/lhs_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lhstar/CMakeFiles/lhrs_lhstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lhrs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lhrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

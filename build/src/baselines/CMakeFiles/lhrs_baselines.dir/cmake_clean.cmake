@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhrs_baselines.dir/lhg/lhg_coordinator.cc.o"
+  "CMakeFiles/lhrs_baselines.dir/lhg/lhg_coordinator.cc.o.d"
+  "CMakeFiles/lhrs_baselines.dir/lhg/lhg_data_bucket.cc.o"
+  "CMakeFiles/lhrs_baselines.dir/lhg/lhg_data_bucket.cc.o.d"
+  "CMakeFiles/lhrs_baselines.dir/lhg/lhg_file.cc.o"
+  "CMakeFiles/lhrs_baselines.dir/lhg/lhg_file.cc.o.d"
+  "CMakeFiles/lhrs_baselines.dir/lhg/lhg_messages.cc.o"
+  "CMakeFiles/lhrs_baselines.dir/lhg/lhg_messages.cc.o.d"
+  "CMakeFiles/lhrs_baselines.dir/lhg/lhg_parity_bucket.cc.o"
+  "CMakeFiles/lhrs_baselines.dir/lhg/lhg_parity_bucket.cc.o.d"
+  "CMakeFiles/lhrs_baselines.dir/lhm/lhm_file.cc.o"
+  "CMakeFiles/lhrs_baselines.dir/lhm/lhm_file.cc.o.d"
+  "CMakeFiles/lhrs_baselines.dir/lhs/lhs_file.cc.o"
+  "CMakeFiles/lhrs_baselines.dir/lhs/lhs_file.cc.o.d"
+  "liblhrs_baselines.a"
+  "liblhrs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhrs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

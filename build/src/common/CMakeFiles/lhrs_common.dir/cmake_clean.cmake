@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhrs_common.dir/bytes.cc.o"
+  "CMakeFiles/lhrs_common.dir/bytes.cc.o.d"
+  "CMakeFiles/lhrs_common.dir/logging.cc.o"
+  "CMakeFiles/lhrs_common.dir/logging.cc.o.d"
+  "CMakeFiles/lhrs_common.dir/status.cc.o"
+  "CMakeFiles/lhrs_common.dir/status.cc.o.d"
+  "liblhrs_common.a"
+  "liblhrs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhrs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

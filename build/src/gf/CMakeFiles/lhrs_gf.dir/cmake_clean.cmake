@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhrs_gf.dir/gf256.cc.o"
+  "CMakeFiles/lhrs_gf.dir/gf256.cc.o.d"
+  "CMakeFiles/lhrs_gf.dir/gf65536.cc.o"
+  "CMakeFiles/lhrs_gf.dir/gf65536.cc.o.d"
+  "liblhrs_gf.a"
+  "liblhrs_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhrs_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

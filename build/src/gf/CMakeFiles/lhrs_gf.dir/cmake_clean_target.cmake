@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblhrs_gf.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lhrs/lhrs_file.cc" "src/lhrs/CMakeFiles/lhrs_core.dir/lhrs_file.cc.o" "gcc" "src/lhrs/CMakeFiles/lhrs_core.dir/lhrs_file.cc.o.d"
+  "/root/repo/src/lhrs/messages.cc" "src/lhrs/CMakeFiles/lhrs_core.dir/messages.cc.o" "gcc" "src/lhrs/CMakeFiles/lhrs_core.dir/messages.cc.o.d"
+  "/root/repo/src/lhrs/parity_bucket.cc" "src/lhrs/CMakeFiles/lhrs_core.dir/parity_bucket.cc.o" "gcc" "src/lhrs/CMakeFiles/lhrs_core.dir/parity_bucket.cc.o.d"
+  "/root/repo/src/lhrs/recovery.cc" "src/lhrs/CMakeFiles/lhrs_core.dir/recovery.cc.o" "gcc" "src/lhrs/CMakeFiles/lhrs_core.dir/recovery.cc.o.d"
+  "/root/repo/src/lhrs/rs_coordinator.cc" "src/lhrs/CMakeFiles/lhrs_core.dir/rs_coordinator.cc.o" "gcc" "src/lhrs/CMakeFiles/lhrs_core.dir/rs_coordinator.cc.o.d"
+  "/root/repo/src/lhrs/rs_data_bucket.cc" "src/lhrs/CMakeFiles/lhrs_core.dir/rs_data_bucket.cc.o" "gcc" "src/lhrs/CMakeFiles/lhrs_core.dir/rs_data_bucket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lhstar/CMakeFiles/lhrs_lhstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/lhrs_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lhrs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lhrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

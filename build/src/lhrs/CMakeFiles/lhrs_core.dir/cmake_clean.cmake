@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhrs_core.dir/lhrs_file.cc.o"
+  "CMakeFiles/lhrs_core.dir/lhrs_file.cc.o.d"
+  "CMakeFiles/lhrs_core.dir/messages.cc.o"
+  "CMakeFiles/lhrs_core.dir/messages.cc.o.d"
+  "CMakeFiles/lhrs_core.dir/parity_bucket.cc.o"
+  "CMakeFiles/lhrs_core.dir/parity_bucket.cc.o.d"
+  "CMakeFiles/lhrs_core.dir/recovery.cc.o"
+  "CMakeFiles/lhrs_core.dir/recovery.cc.o.d"
+  "CMakeFiles/lhrs_core.dir/rs_coordinator.cc.o"
+  "CMakeFiles/lhrs_core.dir/rs_coordinator.cc.o.d"
+  "CMakeFiles/lhrs_core.dir/rs_data_bucket.cc.o"
+  "CMakeFiles/lhrs_core.dir/rs_data_bucket.cc.o.d"
+  "liblhrs_core.a"
+  "liblhrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

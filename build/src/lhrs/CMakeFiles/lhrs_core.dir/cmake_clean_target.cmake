@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblhrs_core.a"
+)

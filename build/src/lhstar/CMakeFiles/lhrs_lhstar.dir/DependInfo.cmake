@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lhstar/client.cc" "src/lhstar/CMakeFiles/lhrs_lhstar.dir/client.cc.o" "gcc" "src/lhstar/CMakeFiles/lhrs_lhstar.dir/client.cc.o.d"
+  "/root/repo/src/lhstar/coordinator.cc" "src/lhstar/CMakeFiles/lhrs_lhstar.dir/coordinator.cc.o" "gcc" "src/lhstar/CMakeFiles/lhrs_lhstar.dir/coordinator.cc.o.d"
+  "/root/repo/src/lhstar/data_bucket.cc" "src/lhstar/CMakeFiles/lhrs_lhstar.dir/data_bucket.cc.o" "gcc" "src/lhstar/CMakeFiles/lhrs_lhstar.dir/data_bucket.cc.o.d"
+  "/root/repo/src/lhstar/lhstar_file.cc" "src/lhstar/CMakeFiles/lhrs_lhstar.dir/lhstar_file.cc.o" "gcc" "src/lhstar/CMakeFiles/lhrs_lhstar.dir/lhstar_file.cc.o.d"
+  "/root/repo/src/lhstar/messages.cc" "src/lhstar/CMakeFiles/lhrs_lhstar.dir/messages.cc.o" "gcc" "src/lhstar/CMakeFiles/lhrs_lhstar.dir/messages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lhrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lhrs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

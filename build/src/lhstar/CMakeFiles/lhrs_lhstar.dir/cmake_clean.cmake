@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhrs_lhstar.dir/client.cc.o"
+  "CMakeFiles/lhrs_lhstar.dir/client.cc.o.d"
+  "CMakeFiles/lhrs_lhstar.dir/coordinator.cc.o"
+  "CMakeFiles/lhrs_lhstar.dir/coordinator.cc.o.d"
+  "CMakeFiles/lhrs_lhstar.dir/data_bucket.cc.o"
+  "CMakeFiles/lhrs_lhstar.dir/data_bucket.cc.o.d"
+  "CMakeFiles/lhrs_lhstar.dir/lhstar_file.cc.o"
+  "CMakeFiles/lhrs_lhstar.dir/lhstar_file.cc.o.d"
+  "CMakeFiles/lhrs_lhstar.dir/messages.cc.o"
+  "CMakeFiles/lhrs_lhstar.dir/messages.cc.o.d"
+  "liblhrs_lhstar.a"
+  "liblhrs_lhstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhrs_lhstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lhrs_lhstar.
+# This may be replaced when dependencies are built.

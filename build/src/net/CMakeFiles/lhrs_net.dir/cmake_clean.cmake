@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhrs_net.dir/message.cc.o"
+  "CMakeFiles/lhrs_net.dir/message.cc.o.d"
+  "CMakeFiles/lhrs_net.dir/network.cc.o"
+  "CMakeFiles/lhrs_net.dir/network.cc.o.d"
+  "CMakeFiles/lhrs_net.dir/node.cc.o"
+  "CMakeFiles/lhrs_net.dir/node.cc.o.d"
+  "CMakeFiles/lhrs_net.dir/stats.cc.o"
+  "CMakeFiles/lhrs_net.dir/stats.cc.o.d"
+  "liblhrs_net.a"
+  "liblhrs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhrs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

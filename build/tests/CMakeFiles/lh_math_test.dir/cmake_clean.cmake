@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lh_math_test.dir/lh_math_test.cc.o"
+  "CMakeFiles/lh_math_test.dir/lh_math_test.cc.o.d"
+  "lh_math_test"
+  "lh_math_test.pdb"
+  "lh_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lh_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhg1_test.dir/lhg1_test.cc.o"
+  "CMakeFiles/lhg1_test.dir/lhg1_test.cc.o.d"
+  "lhg1_test"
+  "lhg1_test.pdb"
+  "lhg1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhg1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhg_test.dir/lhg_test.cc.o"
+  "CMakeFiles/lhg_test.dir/lhg_test.cc.o.d"
+  "lhg_test"
+  "lhg_test.pdb"
+  "lhg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

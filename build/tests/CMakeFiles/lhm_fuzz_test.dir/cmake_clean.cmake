@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhm_fuzz_test.dir/lhm_fuzz_test.cc.o"
+  "CMakeFiles/lhm_fuzz_test.dir/lhm_fuzz_test.cc.o.d"
+  "lhm_fuzz_test"
+  "lhm_fuzz_test.pdb"
+  "lhm_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhm_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhm_lhs_test.dir/lhm_lhs_test.cc.o"
+  "CMakeFiles/lhm_lhs_test.dir/lhm_lhs_test.cc.o.d"
+  "lhm_lhs_test"
+  "lhm_lhs_test.pdb"
+  "lhm_lhs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhm_lhs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

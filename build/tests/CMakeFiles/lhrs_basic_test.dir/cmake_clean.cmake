@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhrs_basic_test.dir/lhrs_basic_test.cc.o"
+  "CMakeFiles/lhrs_basic_test.dir/lhrs_basic_test.cc.o.d"
+  "lhrs_basic_test"
+  "lhrs_basic_test.pdb"
+  "lhrs_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhrs_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

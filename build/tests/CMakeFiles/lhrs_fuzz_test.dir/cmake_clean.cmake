@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhrs_fuzz_test.dir/lhrs_fuzz_test.cc.o"
+  "CMakeFiles/lhrs_fuzz_test.dir/lhrs_fuzz_test.cc.o.d"
+  "lhrs_fuzz_test"
+  "lhrs_fuzz_test.pdb"
+  "lhrs_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhrs_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

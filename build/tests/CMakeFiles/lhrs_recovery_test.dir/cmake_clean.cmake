@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhrs_recovery_test.dir/lhrs_recovery_test.cc.o"
+  "CMakeFiles/lhrs_recovery_test.dir/lhrs_recovery_test.cc.o.d"
+  "lhrs_recovery_test"
+  "lhrs_recovery_test.pdb"
+  "lhrs_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhrs_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

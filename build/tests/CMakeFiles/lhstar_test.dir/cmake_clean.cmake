@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhstar_test.dir/lhstar_test.cc.o"
+  "CMakeFiles/lhstar_test.dir/lhstar_test.cc.o.d"
+  "lhstar_test"
+  "lhstar_test.pdb"
+  "lhstar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhstar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gf_test[1]_include.cmake")
+include("/root/repo/build/tests/rs_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/lh_math_test[1]_include.cmake")
+include("/root/repo/build/tests/lhstar_test[1]_include.cmake")
+include("/root/repo/build/tests/lhrs_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/lhrs_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/lhg_test[1]_include.cmake")
+include("/root/repo/build/tests/lhm_lhs_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_test[1]_include.cmake")
+include("/root/repo/build/tests/lhg1_test[1]_include.cmake")
+include("/root/repo/build/tests/lhrs_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/lhg_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/scrub_test[1]_include.cmake")
+include("/root/repo/build/tests/coordinator_restart_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/lhm_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/reconstruction_test[1]_include.cmake")
