@@ -12,12 +12,10 @@
 namespace lhrs::bench {
 namespace {
 
-void Run() {
-  std::puts(
-      "# F1 — access costs while the LH*RS file scales (m=4, k=1, b=20)");
-  PrintRow({"buckets", "records", "msgs/insert(win)", "search msgs",
-            "fwd rate", "new-client IAMs", "new-client search"});
-  PrintRule(7);
+void Run(BenchReport& r) {
+  r.BeginTable("F1 — access costs while the LH*RS file scales (m=4, k=1, b=20)",
+               {"buckets", "records", "msgs/insert(win)", "search msgs",
+                "fwd rate", "new-client IAMs", "new-client search"});
 
   LhrsFile::Options opts;
   opts.file.bucket_capacity = 20;
@@ -69,10 +67,10 @@ void Run() {
          ++i) {
       (void)file.SearchVia(fresh, rng.Next64());
     }
-    PrintRow({std::to_string(file.bucket_count()),
-              std::to_string(total_records), Fmt(per_insert),
-              Fmt(per_search), Fmt(fwd_rate, 3),
-              std::to_string(c.iam_count()), Fmt(first_search, 0)});
+    r.Row({std::to_string(file.bucket_count()),
+           std::to_string(total_records), Fmt(per_insert), Fmt(per_search),
+           Fmt(fwd_rate, 3), std::to_string(c.iam_count()),
+           Fmt(first_search, 0)});
 
     window_msgs_start = file.network().stats().total_messages();
     window_inserts = 0;
@@ -85,7 +83,10 @@ void Run() {
 }  // namespace
 }  // namespace lhrs::bench
 
-int main() {
-  lhrs::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  lhrs::bench::BenchReport report("f1_scaleup");
+  report.report().AddParam("seed", int64_t{77});
+  report.report().AddParam("bucket_capacity", int64_t{20});
+  lhrs::bench::Run(report);
+  return lhrs::bench::WriteReport(report.report(), argc, argv);
 }

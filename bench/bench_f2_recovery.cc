@@ -6,11 +6,17 @@
 // size b and with the number of failed columns f <= k; recovering a single
 // record during degraded mode is orders of magnitude cheaper/faster than
 // waiting for the full bucket rebuild.
+//
+// Telemetry showcase: every measured file runs with telemetry enabled; the
+// report aggregates the recovery and recovery-phase latency histograms
+// across all runs, and the F2c scenario leaves a Chrome-loadable trace
+// (about://tracing) of its crash -> degraded read -> group rebuild.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "lhrs/lhrs_file.h"
+#include "telemetry/metrics.h"
 
 namespace lhrs::bench {
 namespace {
@@ -21,16 +27,37 @@ struct RecoveryCost {
   SimTime sim_us = 0;
 };
 
+/// Recovery-latency histograms folded across every measured run.
+struct RecoveryHistograms {
+  telemetry::Histogram total;
+  telemetry::Histogram read_phase;
+  telemetry::Histogram decode_install_phase;
+
+  void MergeFrom(const telemetry::MetricsRegistry& m) {
+    if (const auto* h = m.FindHistogram("recovery_latency_us")) {
+      total.Merge(*h);
+    }
+    if (const auto* h = m.FindHistogram("recovery_phase_read_us")) {
+      read_phase.Merge(*h);
+    }
+    if (const auto* h = m.FindHistogram("recovery_phase_decode_install_us")) {
+      decode_install_phase.Merge(*h);
+    }
+  }
+};
+
 /// Builds a file of ~`records` records, crashes `failures` columns of
 /// group 0 (data buckets first), runs recovery, returns its cost.
 RecoveryCost MeasureBucketRecovery(size_t bucket_capacity, uint32_t k,
-                                   uint32_t failures, int records) {
+                                   uint32_t failures, int records,
+                                   RecoveryHistograms* histograms) {
   LhrsFile::Options opts;
   opts.file.bucket_capacity = bucket_capacity;
   opts.file.initial_buckets = 4;  // One full group; no splits below cap.
   opts.group_size = 4;
   opts.policy.base_k = k;
   LhrsFile file(opts);
+  auto* telemetry = file.network().EnableTelemetry();
   Rng rng(500 + k * 10 + failures);
   for (int i = 0; i < records; ++i) {
     (void)file.Insert(rng.Next64(), rng.RandomBytes(64));
@@ -48,40 +75,41 @@ RecoveryCost MeasureBucketRecovery(size_t bucket_capacity, uint32_t k,
   cost.bytes = file.network().stats().total().bytes - bytes_before;
   cost.sim_us = file.network().now() - t_before;
   LHRS_CHECK(file.VerifyParityInvariants().ok());
+  histograms->MergeFrom(telemetry->metrics());
   return cost;
 }
 
-void Run() {
-  std::puts("# F2a — bucket recovery cost vs bucket size b (m=4, k=1, 1 failure)");
-  PrintRow({"b (records/bucket)", "messages", "KB moved", "sim time (ms)"});
-  PrintRule(4);
+void Run(BenchReport& r, const std::string& trace_path) {
+  RecoveryHistograms histograms;
+  r.BeginTable("F2a — bucket recovery cost vs bucket size b (m=4, k=1, 1 failure)",
+               {"b (records/bucket)", "messages", "KB moved",
+                "sim time (ms)"});
   for (size_t b : {25, 50, 100, 200, 400}) {
     const RecoveryCost c =
         MeasureBucketRecovery(b + 10, /*k=*/1, /*failures=*/1,
-                              static_cast<int>(4 * b * 7 / 10));
-    PrintRow({std::to_string(b), std::to_string(c.messages),
-              Fmt(c.bytes / 1024.0, 1), Fmt(c.sim_us / 1000.0, 2)});
+                              static_cast<int>(4 * b * 7 / 10), &histograms);
+    r.Row({std::to_string(b), std::to_string(c.messages),
+           Fmt(c.bytes / 1024.0, 1), Fmt(c.sim_us / 1000.0, 2)});
   }
 
   std::puts("");
-  std::puts("# F2b — recovery cost vs simultaneous failures f (m=4, b=100)");
-  PrintRow({"k", "f", "messages", "KB moved", "sim time (ms)"});
-  PrintRule(5);
+  r.BeginTable("F2b — recovery cost vs simultaneous failures f (m=4, b=100)",
+               {"k", "f", "messages", "KB moved", "sim time (ms)"});
   for (uint32_t k : {1u, 2u, 3u}) {
     for (uint32_t f = 1; f <= k; ++f) {
-      const RecoveryCost c = MeasureBucketRecovery(110, k, f, 280);
-      PrintRow({std::to_string(k), std::to_string(f),
-                std::to_string(c.messages), Fmt(c.bytes / 1024.0, 1),
-                Fmt(c.sim_us / 1000.0, 2)});
+      const RecoveryCost c = MeasureBucketRecovery(110, k, f, 280,
+                                                   &histograms);
+      r.Row({std::to_string(k), std::to_string(f),
+             std::to_string(c.messages), Fmt(c.bytes / 1024.0, 1),
+             Fmt(c.sim_us / 1000.0, 2)});
     }
   }
 
   std::puts("");
-  std::puts(
-      "# F2c — record recovery vs bucket recovery (m=4, k=2, b=2000): the "
-      "degraded mode serves reads long before the bucket rebuild would");
-  PrintRow({"operation", "messages", "sim time (ms)"});
-  PrintRule(3);
+  r.BeginTable(
+      "F2c — record recovery vs bucket recovery (m=4, k=2, b=2000): the "
+      "degraded mode serves reads long before the bucket rebuild would",
+      {"operation", "messages", "sim time (ms)"});
   {
     LhrsFile::Options opts;
     opts.file.bucket_capacity = 2100;
@@ -90,6 +118,12 @@ void Run() {
     opts.policy.base_k = 2;
     opts.auto_recover = false;  // Isolate the record-recovery path.
     LhrsFile file(opts);
+    // Trace only the structural events here: the load phase alone is
+    // ~10k messages and would flush everything interesting out of the
+    // ring long before the failure drill starts.
+    telemetry::TelemetryConfig tcfg;
+    tcfg.trace_messages = false;
+    auto* telemetry = file.network().EnableTelemetry(tcfg);
     Rng rng(900);
     std::vector<Key> keys;
     for (int i = 0; i < 5600; ++i) {
@@ -108,26 +142,46 @@ void Run() {
     uint64_t before = file.network().stats().total_messages();
     SimTime t_before = file.network().now();
     LHRS_CHECK(file.Search(victim_key).ok());
-    PrintRow({"record recovery (degraded search)",
-              std::to_string(file.network().stats().total_messages() -
-                             before),
-              Fmt((file.network().now() - t_before) / 1000.0, 2)});
+    r.Row({"record recovery (degraded search)",
+           std::to_string(file.network().stats().total_messages() - before),
+           Fmt((file.network().now() - t_before) / 1000.0, 2)});
 
     before = file.network().stats().total_messages();
     t_before = file.network().now();
     file.rs_coordinator().RecoverGroup(0);
     file.network().RunUntilIdle();
-    PrintRow({"full bucket recovery",
-              std::to_string(file.network().stats().total_messages() -
-                             before),
-              Fmt((file.network().now() - t_before) / 1000.0, 2)});
+    r.Row({"full bucket recovery",
+           std::to_string(file.network().stats().total_messages() - before),
+           Fmt((file.network().now() - t_before) / 1000.0, 2)});
+
+    histograms.MergeFrom(telemetry->metrics());
+    if (WriteTextFile(trace_path, telemetry->tracer().ToChromeTrace())) {
+      std::fprintf(stderr, "trace: %s (load in chrome://tracing)\n",
+                   trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+    }
   }
+
+  // Aggregated latency distributions across every recovery measured above.
+  r.report().AddHistogram("recovery_latency_us", histograms.total);
+  r.report().AddHistogram("recovery_phase_read_us", histograms.read_phase);
+  r.report().AddHistogram("recovery_phase_decode_install_us",
+                          histograms.decode_install_phase);
 }
 
 }  // namespace
 }  // namespace lhrs::bench
 
-int main() {
-  lhrs::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  lhrs::bench::BenchReport report("f2_recovery");
+  report.report().AddParam("m", int64_t{4});
+  report.report().AddParam("value_bytes", int64_t{64});
+  std::string trace_path = "f2_recovery.trace.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
+  }
+  lhrs::bench::Run(report, trace_path);
+  return lhrs::bench::WriteReport(report.report(), argc, argv);
 }

@@ -13,14 +13,13 @@
 namespace lhrs::bench {
 namespace {
 
-void Run() {
+void Run(BenchReport& r) {
   const double p = 0.99;
-  std::puts("# F3 — file availability P(M), per-bucket availability p=0.99");
-  PrintRow({"M", "LH* (k=0)", "LH*g k_g=4", "LH*s k_s=4", "LH*m",
-            "LH*RS m=4 k=1", "LH*RS k=2", "LH*RS k=3"});
-  PrintRule(8);
+  r.BeginTable("F3 — file availability P(M), per-bucket availability p=0.99",
+               {"M", "LH* (k=0)", "LH*g k_g=4", "LH*s k_s=4", "LH*m",
+                "LH*RS m=4 k=1", "LH*RS k=2", "LH*RS k=3"});
   for (uint32_t m_size : {1u, 8u, 32u, 100u, 256u, 1000u, 4096u}) {
-    PrintRow({std::to_string(m_size),
+    r.Row({std::to_string(m_size),
               FmtSci(PlainAvailability(m_size, p)),
               FmtSci(LhgAvailability(m_size, 4, std::max(1u, m_size / 4), p)),
               FmtSci(LhsAvailability(std::max(1u, m_size / 4), 4, p)),
@@ -31,9 +30,8 @@ void Run() {
   }
 
   std::puts("");
-  std::puts("# F3b — Monte-Carlo cross-check (100k trials)");
-  PrintRow({"scheme", "M", "closed form", "Monte-Carlo"});
-  PrintRule(4);
+  r.BeginTable("F3b — Monte-Carlo cross-check (100k trials)",
+               {"scheme", "M", "closed form", "Monte-Carlo"});
   Rng rng(123);
   {
     const uint32_t M = 100;
@@ -44,8 +42,8 @@ void Run() {
           }
           return true;
         });
-    PrintRow({"LH*", std::to_string(M), FmtSci(PlainAvailability(M, p)),
-              FmtSci(mc)});
+    r.Row({"LH*", std::to_string(M), FmtSci(PlainAvailability(M, p)),
+           FmtSci(mc)});
   }
   {
     const uint32_t M = 128, m = 4, k = 2;
@@ -62,14 +60,13 @@ void Run() {
           }
           return true;
         });
-    PrintRow({"LH*RS m=4 k=2", std::to_string(M),
-              FmtSci(LhrsAvailability(M, m, k, p)), FmtSci(mc)});
+    r.Row({"LH*RS m=4 k=2", std::to_string(M),
+           FmtSci(LhrsAvailability(M, m, k, p)), FmtSci(mc)});
   }
 
   std::puts("");
-  std::puts("# F3c — scalable availability holds P flat (thresholds 64, 512)");
-  PrintRow({"M", "fixed k=1", "scalable k", "k of newest group"});
-  PrintRule(4);
+  r.BeginTable("F3c — scalable availability holds P flat (thresholds 64, 512)",
+               {"M", "fixed k=1", "scalable k", "k of newest group"});
   auto k_for_group = [](uint32_t group) {
     // Group g was created when the file had ~4g buckets.
     const uint32_t buckets_at_creation = 4 * group;
@@ -79,17 +76,20 @@ void Run() {
     return k;
   };
   for (uint32_t m_size : {16u, 64u, 256u, 1024u, 4096u}) {
-    PrintRow({std::to_string(m_size),
-              FmtSci(LhrsAvailability(m_size, 4, 1, p)),
-              FmtSci(LhrsScalableAvailability(m_size, 4, k_for_group, p)),
-              std::to_string(k_for_group((m_size - 1) / 4))});
+    r.Row({std::to_string(m_size),
+           FmtSci(LhrsAvailability(m_size, 4, 1, p)),
+           FmtSci(LhrsScalableAvailability(m_size, 4, k_for_group, p)),
+           std::to_string(k_for_group((m_size - 1) / 4))});
   }
 }
 
 }  // namespace
 }  // namespace lhrs::bench
 
-int main() {
-  lhrs::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  lhrs::bench::BenchReport report("f3_availability");
+  report.report().AddParam("p", 0.99);
+  report.report().AddParam("mc_trials", int64_t{100000});
+  lhrs::bench::Run(report);
+  return lhrs::bench::WriteReport(report.report(), argc, argv);
 }

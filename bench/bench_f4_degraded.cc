@@ -82,21 +82,19 @@ double MeasureLhg(BucketNo target_buckets, BucketNo* parity_buckets) {
                              before);
 }
 
-void Run() {
-  std::puts(
-      "# F4 — degraded-mode key search cost vs file size (victim bucket "
-      "down)");
-  PrintRow({"data buckets", "LH*RS msgs/search", "model O(m+k)",
-            "LH*g msgs/search", "model O(M2)", "LH*g parity bkts"});
-  PrintRule(6);
+void Run(BenchReport& r) {
+  r.BeginTable(
+      "F4 — degraded-mode key search cost vs file size (victim bucket "
+      "down)",
+      {"data buckets", "LH*RS msgs/search", "model O(m+k)",
+       "LH*g msgs/search", "model O(M2)", "LH*g parity bkts"});
   for (BucketNo target : {8u, 16u, 32u, 64u, 128u}) {
     const double lhrs_cost = MeasureLhrs(target);
     BucketNo m2 = 0;
     const double lhg_cost = MeasureLhg(target, &m2);
-    PrintRow({std::to_string(target), Fmt(lhrs_cost),
-              Fmt(CostModel::LhrsRecordRecovery(4)), Fmt(lhg_cost),
-              Fmt(CostModel::LhgRecordRecovery(m2, 4)),
-              std::to_string(m2)});
+    r.Row({std::to_string(target), Fmt(lhrs_cost),
+           Fmt(CostModel::LhrsRecordRecovery(4)), Fmt(lhg_cost),
+           Fmt(CostModel::LhgRecordRecovery(m2, 4)), std::to_string(m2)});
   }
   std::puts("");
   std::puts(
@@ -107,7 +105,10 @@ void Run() {
 }  // namespace
 }  // namespace lhrs::bench
 
-int main() {
-  lhrs::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  lhrs::bench::BenchReport report("f4_degraded");
+  report.report().AddParam("seed", int64_t{4242});
+  report.report().AddParam("value_bytes", int64_t{64});
+  lhrs::bench::Run(report);
+  return lhrs::bench::WriteReport(report.report(), argc, argv);
 }

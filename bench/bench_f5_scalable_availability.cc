@@ -16,14 +16,13 @@
 namespace lhrs::bench {
 namespace {
 
-void Run() {
+void Run(BenchReport& r) {
   const double p = 0.99;
-  std::puts(
-      "# F5 — uncoordinated scalable availability (m=4, k0=1, thresholds "
-      "M>=16 and M>=64)");
-  PrintRow({"buckets", "groups", "newest k", "overhead", "P(scalable)",
-            "P(fixed k=1)"});
-  PrintRule(6);
+  r.BeginTable(
+      "F5 — uncoordinated scalable availability (m=4, k0=1, thresholds "
+      "M>=16 and M>=64)",
+      {"buckets", "groups", "newest k", "overhead", "P(scalable)",
+       "P(fixed k=1)"});
 
   LhrsFile::Options opts;
   opts.file.bucket_capacity = 16;
@@ -46,10 +45,10 @@ void Run() {
         file.bucket_count(), 4,
         [&](uint32_t g) { return coord.group_info(g).k; }, p);
     const double fixed = LhrsAvailability(file.bucket_count(), 4, 1, p);
-    PrintRow({std::to_string(file.bucket_count()), std::to_string(groups),
-              std::to_string(coord.group_info(groups - 1).k),
-              Fmt(100.0 * file.GetStorageStats().ParityOverhead(), 1) + "%",
-              FmtSci(scalable), FmtSci(fixed)});
+    r.Row({std::to_string(file.bucket_count()), std::to_string(groups),
+           std::to_string(coord.group_info(groups - 1).k),
+           Fmt(100.0 * file.GetStorageStats().ParityOverhead(), 1) + "%",
+           FmtSci(scalable), FmtSci(fixed)});
   }
 
   LHRS_CHECK(file.VerifyParityInvariants().ok());
@@ -62,7 +61,10 @@ void Run() {
 }  // namespace
 }  // namespace lhrs::bench
 
-int main() {
-  lhrs::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  lhrs::bench::BenchReport report("f5_scalable_availability");
+  report.report().AddParam("seed", int64_t{555});
+  report.report().AddParam("p", 0.99);
+  lhrs::bench::Run(report);
+  return lhrs::bench::WriteReport(report.report(), argc, argv);
 }

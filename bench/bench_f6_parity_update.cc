@@ -13,11 +13,10 @@
 namespace lhrs::bench {
 namespace {
 
-void InsertUpdateVsK() {
-  std::puts("# F6a — LH*RS write costs vs availability level k (m=4)");
-  PrintRow({"k", "parity msgs/insert", "parity msgs/update",
-            "parity bytes/insert"});
-  PrintRule(4);
+void InsertUpdateVsK(BenchReport& r) {
+  r.BeginTable("F6a — LH*RS write costs vs availability level k (m=4)",
+               {"k", "parity msgs/insert", "parity msgs/update",
+                "parity bytes/insert"});
   for (uint32_t k = 1; k <= 4; ++k) {
     LhrsFile::Options opts;
     opts.file.bucket_capacity = 100000;  // No splits.
@@ -40,21 +39,20 @@ void InsertUpdateVsK() {
       (void)file.Update(keys[i % keys.size()], rng.RandomBytes(64));
     }
     auto after = file.network().stats().ForKind(LhrsMsg::kParityDelta);
-    PrintRow({std::to_string(k),
-              Fmt((mid.messages - before.messages) / 200.0),
-              Fmt((after.messages - mid.messages) / 200.0),
-              Fmt((mid.bytes - before.bytes) / 200.0, 0)});
+    r.Row({std::to_string(k),
+           Fmt((mid.messages - before.messages) / 200.0),
+           Fmt((after.messages - mid.messages) / 200.0),
+           Fmt((mid.bytes - before.bytes) / 200.0, 0)});
   }
 }
 
-void SplitCost() {
+void SplitCost(BenchReport& r) {
   std::puts("");
-  std::puts(
-      "# F6b — parity traffic per split: LH*RS pays O(b) deltas, LH*g pays "
-      "none");
-  PrintRow({"scheme", "records", "splits", "parity msgs", "parity msgs/split",
-            "parity KB/split"});
-  PrintRule(6);
+  r.BeginTable(
+      "F6b — parity traffic per split: LH*RS pays O(b) deltas, LH*g pays "
+      "none",
+      {"scheme", "records", "splits", "parity msgs", "parity msgs/split",
+       "parity KB/split"});
 
   constexpr int kRecords = 1500;
   constexpr size_t kCapacity = 25;
@@ -73,10 +71,10 @@ void SplitCost() {
     const auto batches =
         file.network().stats().ForKind(LhrsMsg::kParityDeltaBatch);
     const uint64_t splits = file.coordinator().splits_performed();
-    PrintRow({"LH*RS m=4 k=1", std::to_string(kRecords),
-              std::to_string(splits), std::to_string(batches.messages),
-              Fmt(static_cast<double>(batches.messages) / splits),
-              Fmt(batches.bytes / 1024.0 / splits, 1)});
+    r.Row({"LH*RS m=4 k=1", std::to_string(kRecords),
+           std::to_string(splits), std::to_string(batches.messages),
+           Fmt(static_cast<double>(batches.messages) / splits),
+           Fmt(batches.bytes / 1024.0 / splits, 1)});
   }
   {
     lhg::LhgFile::Options opts;
@@ -95,10 +93,10 @@ void SplitCost() {
     // (forwarded updates count extra hops; report the excess).
     const uint64_t split_induced =
         updates.messages - kRecords * updates_per_insert;
-    PrintRow({"LH*g k_g=4", std::to_string(kRecords), std::to_string(splits),
-              std::to_string(split_induced) + " (excess, incl. A2 hops)",
-              Fmt(static_cast<double>(split_induced) / splits),
-              "0.0 (by design)"});
+    r.Row({"LH*g k_g=4", std::to_string(kRecords), std::to_string(splits),
+           std::to_string(split_induced) + " (excess, incl. A2 hops)",
+           Fmt(static_cast<double>(split_induced) / splits),
+           "0.0 (by design)"});
   }
   std::puts("");
   std::puts(
@@ -109,8 +107,10 @@ void SplitCost() {
 }  // namespace
 }  // namespace lhrs::bench
 
-int main() {
-  lhrs::bench::InsertUpdateVsK();
-  lhrs::bench::SplitCost();
-  return 0;
+int main(int argc, char** argv) {
+  lhrs::bench::BenchReport report("f6_parity_update");
+  report.report().AddParam("value_bytes", int64_t{64});
+  lhrs::bench::InsertUpdateVsK(report);
+  lhrs::bench::SplitCost(report);
+  return lhrs::bench::WriteReport(report.report(), argc, argv);
 }

@@ -15,11 +15,10 @@
 namespace lhrs::bench {
 namespace {
 
-void RankReuseAblation() {
-  std::puts("# F7a — rank reuse vs monotone ranks (m=4, k=1, churn)");
-  PrintRow({"variant", "records", "parity records", "avg group fill",
-            "parity overhead"});
-  PrintRule(5);
+void RankReuseAblation(BenchReport& r) {
+  r.BeginTable("F7a — rank reuse vs monotone ranks (m=4, k=1, churn)",
+               {"variant", "records", "parity records", "avg group fill",
+                "parity overhead"});
   for (bool reuse : {true, false}) {
     LhrsFile::Options opts;
     opts.file.bucket_capacity = 100000;
@@ -51,19 +50,18 @@ void RankReuseAblation() {
       }
     }
     const StorageStats stats = file.GetStorageStats();
-    PrintRow({reuse ? "reuse (paper 4.3)" : "monotone",
-              std::to_string(stats.record_count),
-              std::to_string(parity_records),
-              Fmt(static_cast<double>(members) / parity_records),
-              Fmt(100.0 * stats.ParityOverhead(), 1) + "%"});
+    r.Row({reuse ? "reuse (paper 4.3)" : "monotone",
+           std::to_string(stats.record_count),
+           std::to_string(parity_records),
+           Fmt(static_cast<double>(members) / parity_records),
+           Fmt(100.0 * stats.ParityOverhead(), 1) + "%"});
   }
 }
 
-void MulticastAblation() {
+void MulticastAblation(BenchReport& r) {
   std::puts("");
-  std::puts("# F7b — hardware multicast vs unicast fan-out (scan cost)");
-  PrintRow({"multicast", "buckets", "scan msgs", "degraded-read msgs"});
-  PrintRule(4);
+  r.BeginTable("F7b — hardware multicast vs unicast fan-out (scan cost)",
+               {"multicast", "buckets", "scan msgs", "degraded-read msgs"});
   for (bool multicast : {true, false}) {
     LhrsFile::Options opts;
     opts.file.bucket_capacity = 12;
@@ -96,18 +94,16 @@ void MulticastAblation() {
     LHRS_CHECK(file.Search(victim_key).ok());
     const uint64_t degraded_msgs =
         file.network().stats().total_messages() - before;
-    PrintRow({multicast ? "yes" : "no",
-              std::to_string(file.bucket_count()),
-              std::to_string(scan_msgs), std::to_string(degraded_msgs)});
+    r.Row({multicast ? "yes" : "no", std::to_string(file.bucket_count()),
+           std::to_string(scan_msgs), std::to_string(degraded_msgs)});
   }
 }
 
-void Lhg1Ablation() {
+void Lhg1Ablation(BenchReport& r) {
   std::puts("");
-  std::puts("# F7c — LH*g vs LH*g1 (group-key reassignment on split)");
-  PrintRow({"variant", "parity msgs total", "A4 recovery msgs",
-            "dual-group failure"});
-  PrintRule(4);
+  r.BeginTable("F7c — LH*g vs LH*g1 (group-key reassignment on split)",
+               {"variant", "parity msgs total", "A4 recovery msgs",
+                "dual-group failure"});
   for (bool g1 : {false, true}) {
     lhg::LhgFile::Options opts;
     opts.file.bucket_capacity = 10;
@@ -155,9 +151,9 @@ void Lhg1Ablation() {
         }
       }
     }
-    PrintRow({g1 ? "LH*g1" : "LH*g", std::to_string(parity_total),
-              std::to_string(recovery_msgs),
-              dual_ok ? "recovered" : "DATA LOSS"});
+    r.Row({g1 ? "LH*g1" : "LH*g", std::to_string(parity_total),
+           std::to_string(recovery_msgs),
+           dual_ok ? "recovered" : "DATA LOSS"});
   }
   std::puts("");
   std::puts(
@@ -169,9 +165,10 @@ void Lhg1Ablation() {
 }  // namespace
 }  // namespace lhrs::bench
 
-int main() {
-  lhrs::bench::RankReuseAblation();
-  lhrs::bench::MulticastAblation();
-  lhrs::bench::Lhg1Ablation();
-  return 0;
+int main(int argc, char** argv) {
+  lhrs::bench::BenchReport report("f7_ablations");
+  lhrs::bench::RankReuseAblation(report);
+  lhrs::bench::MulticastAblation(report);
+  lhrs::bench::Lhg1Ablation(report);
+  return lhrs::bench::WriteReport(report.report(), argc, argv);
 }

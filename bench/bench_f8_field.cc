@@ -60,20 +60,18 @@ RunResult RunWorkload(FieldChoice field) {
   return out;
 }
 
-void Run() {
-  std::puts(
-      "# F8 — GF(2^8) vs GF(2^16) at the protocol level (m=4, k=2, dual "
-      "failure recovery)");
-  PrintRow({"field", "total msgs", "total KB", "parity KB stored",
-            "recovery msgs", "all data recovered"});
-  PrintRule(6);
+void Run(BenchReport& rep) {
+  rep.BeginTable(
+      "F8 — GF(2^8) vs GF(2^16) at the protocol level (m=4, k=2, dual "
+      "failure recovery)",
+      {"field", "total msgs", "total KB", "parity KB stored",
+       "recovery msgs", "all data recovered"});
   for (FieldChoice field : {FieldChoice::kGf256, FieldChoice::kGf65536}) {
     const RunResult r = RunWorkload(field);
-    PrintRow({FieldChoiceName(field), std::to_string(r.total_messages),
-              Fmt(r.total_bytes / 1024.0, 1),
-              Fmt(r.parity_bytes / 1024.0, 1),
-              std::to_string(r.recovery_messages),
-              r.all_recovered ? "yes" : "NO"});
+    rep.Row({FieldChoiceName(field), std::to_string(r.total_messages),
+             Fmt(r.total_bytes / 1024.0, 1), Fmt(r.parity_bytes / 1024.0, 1),
+             std::to_string(r.recovery_messages),
+             r.all_recovered ? "yes" : "NO"});
   }
   std::puts("");
   std::puts(
@@ -85,7 +83,9 @@ void Run() {
 }  // namespace
 }  // namespace lhrs::bench
 
-int main() {
-  lhrs::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  lhrs::bench::BenchReport report("f8_field");
+  report.report().AddParam("seed", int64_t{31337});
+  lhrs::bench::Run(report);
+  return lhrs::bench::WriteReport(report.report(), argc, argv);
 }

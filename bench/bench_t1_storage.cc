@@ -20,20 +20,20 @@ constexpr int kRecords = 2000;
 constexpr size_t kValueBytes = 128;
 constexpr size_t kCapacity = 40;
 
-void Report(const std::string& scheme, const std::string& params,
-            const StorageStats& stats, double ideal) {
-  PrintRow({scheme, params, std::to_string(stats.record_count),
-            std::to_string(stats.data_buckets),
-            std::to_string(stats.parity_buckets),
-            Fmt(100.0 * stats.ParityOverhead(), 1) + "%",
-            Fmt(100.0 * ideal, 1) + "%", Fmt(stats.load_factor, 2)});
+void Report(BenchReport& r, const std::string& scheme,
+            const std::string& params, const StorageStats& stats,
+            double ideal) {
+  r.Row({scheme, params, std::to_string(stats.record_count),
+         std::to_string(stats.data_buckets),
+         std::to_string(stats.parity_buckets),
+         Fmt(100.0 * stats.ParityOverhead(), 1) + "%",
+         Fmt(100.0 * ideal, 1) + "%", Fmt(stats.load_factor, 2)});
 }
 
-void Run() {
-  std::puts("# T1 — storage overhead (2000 records x 128 B)");
-  PrintRow({"scheme", "params", "records", "data bkts", "parity bkts",
-            "overhead", "ideal", "load"});
-  PrintRule(8);
+void Run(BenchReport& r) {
+  r.BeginTable("T1 — storage overhead (2000 records x 128 B)",
+               {"scheme", "params", "records", "data bkts", "parity bkts",
+                "overhead", "ideal", "load"});
 
   for (uint32_t m : {2u, 4u, 8u, 16u}) {
     for (uint32_t k : {1u, 2u, 3u}) {
@@ -46,7 +46,7 @@ void Run() {
       for (int i = 0; i < kRecords; ++i) {
         (void)file.Insert(rng.Next64(), rng.RandomBytes(kValueBytes));
       }
-      Report("LH*RS", "m=" + std::to_string(m) + " k=" + std::to_string(k),
+      Report(r, "LH*RS", "m=" + std::to_string(m) + " k=" + std::to_string(k),
              file.GetStorageStats(), static_cast<double>(k) / m);
     }
   }
@@ -60,7 +60,7 @@ void Run() {
     for (int i = 0; i < kRecords; ++i) {
       (void)file.Insert(rng.Next64(), rng.RandomBytes(kValueBytes));
     }
-    Report("LH*g", "k=" + std::to_string(k), file.GetStorageStats(),
+    Report(r, "LH*g", "k=" + std::to_string(k), file.GetStorageStats(),
            1.0 / k);
   }
 
@@ -72,7 +72,7 @@ void Run() {
     for (int i = 0; i < kRecords; ++i) {
       (void)file.Insert(rng.Next64(), rng.RandomBytes(kValueBytes));
     }
-    Report("LH*m", "mirror", file.GetStorageStats(), 1.0);
+    Report(r, "LH*m", "mirror", file.GetStorageStats(), 1.0);
   }
 
   for (uint32_t k : {2u, 4u}) {
@@ -84,7 +84,7 @@ void Run() {
     for (int i = 0; i < kRecords; ++i) {
       (void)file.Insert(rng.Next64(), rng.RandomBytes(kValueBytes));
     }
-    Report("LH*s", "k=" + std::to_string(k), file.GetStorageStats(),
+    Report(r, "LH*s", "k=" + std::to_string(k), file.GetStorageStats(),
            1.0 / k);
   }
 }
@@ -92,7 +92,10 @@ void Run() {
 }  // namespace
 }  // namespace lhrs::bench
 
-int main() {
-  lhrs::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  lhrs::bench::BenchReport report("t1_storage");
+  report.report().AddParam("records", int64_t{2000});
+  report.report().AddParam("value_bytes", int64_t{128});
+  lhrs::bench::Run(report);
+  return lhrs::bench::WriteReport(report.report(), argc, argv);
 }

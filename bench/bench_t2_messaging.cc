@@ -74,26 +74,26 @@ Measured Measure(File& file, Network& net, uint64_t seed) {
   return out;
 }
 
-void Report(const std::string& scheme, const std::string& params,
-            const Measured& m, double model_search, double model_insert) {
-  PrintRow({scheme, params, Fmt(m.search), Fmt(model_search), Fmt(m.insert),
-            Fmt(model_insert), Fmt(m.update), Fmt(m.del)});
+void Report(BenchReport& r, const std::string& scheme,
+            const std::string& params, const Measured& m, double model_search,
+            double model_insert) {
+  r.Row({scheme, params, Fmt(m.search), Fmt(model_search), Fmt(m.insert),
+         Fmt(model_insert), Fmt(m.update), Fmt(m.del)});
 }
 
-void Run() {
-  std::puts(
-      "# T2 — messages per operation, failure-free mode (request+reply "
-      "counted; splits amortised in)");
-  PrintRow({"scheme", "params", "search", "model", "insert", "model",
-            "update", "delete"});
-  PrintRule(8);
+void Run(BenchReport& r) {
+  r.BeginTable(
+      "T2 — messages per operation, failure-free mode (request+reply "
+      "counted; splits amortised in)",
+      {"scheme", "params", "search", "model", "insert", "model", "update",
+       "delete"});
 
   {
     LhStarFile::Options opts;
     opts.file.bucket_capacity = 50;
     LhStarFile file(opts);
     const Measured m = Measure(file, file.network(), 11);
-    Report("LH* (k=0)", "-", m, CostModel::kLhStarSearch,
+    Report(r, "LH* (k=0)", "-", m, CostModel::kLhStarSearch,
            CostModel::kLhStarInsert);
   }
   for (uint32_t k : {1u, 2u, 3u}) {
@@ -103,7 +103,7 @@ void Run() {
     opts.policy.base_k = k;
     LhrsFile file(opts);
     const Measured m = Measure(file, file.network(), 12 + k);
-    Report("LH*RS", "m=4 k=" + std::to_string(k), m, CostModel::kLhrsSearch,
+    Report(r, "LH*RS", "m=4 k=" + std::to_string(k), m, CostModel::kLhrsSearch,
            CostModel::LhrsInsert(k));
   }
   {
@@ -112,7 +112,7 @@ void Run() {
     opts.group_size = 3;
     lhg::LhgFile file(opts);
     const Measured m = Measure(file, file.network(), 16);
-    Report("LH*g", "k=3", m, CostModel::kLhStarSearch, CostModel::kLhgInsert);
+    Report(r, "LH*g", "k=3", m, CostModel::kLhStarSearch, CostModel::kLhgInsert);
   }
   {
     lhg::LhgFile::Options opts;
@@ -121,7 +121,7 @@ void Run() {
     opts.reassign_group_keys_on_split = true;
     lhg::LhgFile file(opts);
     const Measured m = Measure(file, file.network(), 16);
-    Report("LH*g1", "k=3 (4.4)", m, CostModel::kLhStarSearch,
+    Report(r, "LH*g1", "k=3 (4.4)", m, CostModel::kLhStarSearch,
            CostModel::kLhgInsert);
   }
   {
@@ -129,7 +129,7 @@ void Run() {
     opts.file.bucket_capacity = 50;
     lhm::LhmFile file(opts);
     const Measured m = Measure(file, file.network(), 17);
-    Report("LH*m", "mirror", m, CostModel::kLhStarSearch,
+    Report(r, "LH*m", "mirror", m, CostModel::kLhStarSearch,
            CostModel::kLhmInsert);
   }
   for (uint32_t k : {2u, 4u}) {
@@ -138,7 +138,7 @@ void Run() {
     opts.stripe_count = k;
     lhs::LhsFile file(opts);
     const Measured m = Measure(file, file.network(), 18 + k);
-    Report("LH*s", "k=" + std::to_string(k), m, CostModel::LhsSearch(k),
+    Report(r, "LH*s", "k=" + std::to_string(k), m, CostModel::LhsSearch(k),
            CostModel::LhsInsert(k));
   }
 }
@@ -146,7 +146,10 @@ void Run() {
 }  // namespace
 }  // namespace lhrs::bench
 
-int main() {
-  lhrs::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  lhrs::bench::BenchReport report("t2_messaging");
+  report.report().AddParam("warmup_ops", int64_t{1500});
+  report.report().AddParam("measured_ops", int64_t{500});
+  lhrs::bench::Run(report);
+  return lhrs::bench::WriteReport(report.report(), argc, argv);
 }

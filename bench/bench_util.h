@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "lh/lh_math.h"
+#include "telemetry/run_report.h"
 
 namespace lhrs::bench {
 
@@ -37,6 +39,64 @@ inline std::string FmtSci(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.2e", v);
   return buf;
+}
+
+/// Console + report dual writer. Every experiment binary drives one of
+/// these: tables print in the usual markdown format (EXPERIMENTS.md quotes
+/// stdout directly) and are simultaneously recorded into a
+/// telemetry::RunReport, which main() writes as <name>.report.json via
+/// WriteReport. Runs are seeded, so reports are byte-identical across
+/// identical invocations and can be diffed as bench trajectories.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : report_(std::move(name)) {}
+
+  telemetry::RunReport& report() { return report_; }
+
+  /// Prints "# <title>" plus the header row and rule, and opens the
+  /// matching table in the report.
+  void BeginTable(const std::string& title, std::vector<std::string> header) {
+    std::puts(("# " + title).c_str());
+    PrintRow(header);
+    PrintRule(header.size());
+    report_.BeginTable(title, std::move(header));
+  }
+
+  /// Appends a row to both the console table and the report table.
+  void Row(std::vector<std::string> cells) {
+    PrintRow(cells);
+    report_.AddTableRow(std::move(cells));
+  }
+
+ private:
+  telemetry::RunReport report_;
+};
+
+/// Writes `report` to "<name>.report.json" (overridable with
+/// --report=<path>), status line on stderr so stdout stays quotable.
+/// Returns the process exit code for main().
+inline int WriteReport(const telemetry::RunReport& report, int argc,
+                       char** argv) {
+  std::string path = report.name() + ".report.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--report=", 0) == 0) path = arg.substr(9);
+  }
+  if (!report.WriteFile(path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "report: %s\n", path.c_str());
+  return 0;
+}
+
+/// Writes raw text (typically a Chrome trace) to `path`.
+inline bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size();
+  return (std::fclose(f) == 0) && ok;
 }
 
 /// Generates `n` distinct random keys.

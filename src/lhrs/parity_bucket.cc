@@ -68,18 +68,33 @@ void ParityBucketNode::HandleMessage(const Message& msg) {
   Dispatch(msg);
 }
 
+void ParityBucketNode::RecordUpdateRound(size_t deltas) {
+  auto* t = network()->telemetry();
+  if (t == nullptr) return;
+  t->metrics().GetCounter("parity.update_rounds").Add();
+  t->metrics().GetCounter("parity.deltas_applied").Add(deltas);
+  if (t->trace_messages()) {
+    t->tracer().Record({network()->now(),
+                        telemetry::TraceEventType::kParityUpdateRound, id(),
+                        -1, -1, static_cast<int32_t>(group_),
+                        static_cast<int64_t>(deltas)});
+  }
+}
+
 void ParityBucketNode::Dispatch(const Message& msg) {
   switch (msg.body->kind()) {
     case LhrsMsg::kParityDelta: {
       const auto& m = static_cast<const ParityDeltaMsg&>(*msg.body);
       LHRS_CHECK_EQ(m.group, group_);
       ApplyDelta(m.delta);
+      RecordUpdateRound(1);
       return;
     }
     case LhrsMsg::kParityDeltaBatch: {
       const auto& m = static_cast<const ParityDeltaBatchMsg&>(*msg.body);
       LHRS_CHECK_EQ(m.group, group_);
       for (const auto& d : m.deltas) ApplyDelta(d);
+      RecordUpdateRound(m.deltas.size());
       return;
     }
     case LhrsMsg::kFindRankRequest: {

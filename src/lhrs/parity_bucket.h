@@ -73,6 +73,9 @@ class ParityBucketNode : public Node {
  private:
   void Dispatch(const Message& msg);
   void ApplyDelta(const ParityDelta& delta);
+  /// Telemetry for one applied delta round (a kParityDelta message or one
+  /// kParityDeltaBatch of `deltas` updates).
+  void RecordUpdateRound(size_t deltas);
   WireParityRecord ToWire(Rank rank, const ParityRecord& rec) const;
   void InstallColumn(const InstallParityColumnMsg& install);
 

@@ -177,6 +177,7 @@ void RsCoordinatorNode::StartRecovery(uint32_t g) {
 
   // Abort any in-flight task for this group (its survivor set is stale).
   if (auto it = group_task_.find(g); it != group_task_.end()) {
+    TraceTaskAborted(tasks_.at(it->second));
     tasks_.erase(it->second);
     group_task_.erase(it);
   }
@@ -253,6 +254,46 @@ void RsCoordinatorNode::StartRecovery(uint32_t g) {
   // cannot happen: missing data requires a parity read, and missing parity
   // with no alive data means existing == 0, impossible.
   LHRS_CHECK(!tasks_.at(id).awaiting_reads.empty());
+
+  if (auto* t = net()->telemetry()) {
+    const uint64_t now = net()->now();
+    RecoveryTask& tk = tasks_.at(id);
+    // The plan phase (classify, allocate spares, push config) runs
+    // synchronously inside this call, so it begins and ends at `now`; the
+    // read phase opens immediately after.
+    tk.started_us = now;
+    tk.read_started_us = now;
+    t->metrics().GetCounter("recovery.started").Add();
+    const auto g32 = static_cast<int32_t>(g);
+    const int32_t self = this->id();  // Local `id` shadows Node::id().
+    auto& tracer = t->tracer();
+    tracer.Record({now, telemetry::TraceEventType::kRecoveryBegin, self, -1,
+                   -1, g32, static_cast<int64_t>(id)});
+    using P = telemetry::RecoveryPhase;
+    tracer.Record({now, telemetry::TraceEventType::kRecoveryPhaseBegin,
+                   self, -1, -1, g32, static_cast<int64_t>(P::kPlan)});
+    tracer.Record({now, telemetry::TraceEventType::kRecoveryPhaseEnd, self,
+                   -1, -1, g32, static_cast<int64_t>(P::kPlan)});
+    tracer.Record({now, telemetry::TraceEventType::kRecoveryPhaseBegin,
+                   self, -1, -1, g32, static_cast<int64_t>(P::kRead)});
+  }
+}
+
+void RsCoordinatorNode::TraceTaskAborted(const RecoveryTask& task) {
+  auto* t = net()->telemetry();
+  if (t == nullptr || task.started_us == 0) return;
+  const uint64_t now = net()->now();
+  const auto g32 = static_cast<int32_t>(task.group);
+  // The read phase is open until every dump arrived; afterwards the
+  // decode+install phase is.
+  const auto phase = task.awaiting_reads.empty()
+                         ? telemetry::RecoveryPhase::kDecodeInstall
+                         : telemetry::RecoveryPhase::kRead;
+  t->tracer().Record({now, telemetry::TraceEventType::kRecoveryPhaseEnd,
+                      id(), -1, -1, g32, static_cast<int64_t>(phase)});
+  t->tracer().Record({now, telemetry::TraceEventType::kRecoveryEnd, id(),
+                      -1, -1, g32, /*detail=*/1});
+  t->metrics().GetCounter("recovery.aborted").Add();
 }
 
 void RsCoordinatorNode::MarkGroupLost(uint32_t g) {
@@ -260,10 +301,14 @@ void RsCoordinatorNode::MarkGroupLost(uint32_t g) {
   if (info.lost) return;
   info.lost = true;
   ++groups_lost_;
+  if (auto* t = net()->telemetry()) {
+    t->metrics().GetCounter("recovery.groups_lost").Add();
+  }
   LHRS_LOG(Warning) << "bucket group " << g
                     << " lost: more failures than availability level k="
                     << info.k;
   if (auto it = group_task_.find(g); it != group_task_.end()) {
+    TraceTaskAborted(tasks_.at(it->second));
     tasks_.erase(it->second);
     group_task_.erase(it);
   }
@@ -356,6 +401,24 @@ void RsCoordinatorNode::OnColumnRead(const ColumnReadReplyMsg& reply,
 }
 
 void RsCoordinatorNode::TryDecodeAndInstall(RecoveryTask& task) {
+  if (auto* t = net()->telemetry()) {
+    // All survivor dumps are in: the read phase closes and decode+install
+    // opens. If the decode below fails, MarkGroupLost closes the open
+    // phase via TraceTaskAborted.
+    const uint64_t now = net()->now();
+    const auto g32 = static_cast<int32_t>(task.group);
+    task.install_started_us = now;
+    t->metrics()
+        .GetHistogram("recovery_phase_read_us")
+        .Record(now - task.read_started_us);
+    using P = telemetry::RecoveryPhase;
+    t->tracer().Record({now, telemetry::TraceEventType::kRecoveryPhaseEnd,
+                        id(), -1, -1, g32,
+                        static_cast<int64_t>(P::kRead)});
+    t->tracer().Record({now, telemetry::TraceEventType::kRecoveryPhaseBegin,
+                        id(), -1, -1, g32,
+                        static_cast<int64_t>(P::kDecodeInstall)});
+  }
   const GroupInfo& info = groups_[task.group];
   ReconstructionRequest req;
   req.m = lhrs_ctx_->m;
@@ -427,6 +490,23 @@ void RsCoordinatorNode::FinishTask(RecoveryTask& task) {
   }
   ++recoveries_completed_;
   const uint32_t g = task.group;
+  if (auto* t = net()->telemetry()) {
+    const uint64_t now = net()->now();
+    const auto g32 = static_cast<int32_t>(g);
+    t->metrics().GetCounter("recovery.completed").Add();
+    t->metrics()
+        .GetHistogram("recovery_phase_decode_install_us")
+        .Record(now - task.install_started_us);
+    t->metrics()
+        .GetHistogram("recovery_latency_us")
+        .Record(now - task.started_us);
+    t->tracer().Record({now, telemetry::TraceEventType::kRecoveryPhaseEnd,
+                        id(), -1, -1, g32,
+                        static_cast<int64_t>(
+                            telemetry::RecoveryPhase::kDecodeInstall)});
+    t->tracer().Record({now, telemetry::TraceEventType::kRecoveryEnd, id(),
+                        -1, -1, g32, /*detail=*/0});
+  }
   group_task_.erase(g);
   tasks_.erase(task.id);  // `task` is dead after this line.
   for (const auto& op : to_replay) DeliverViaState(op);
@@ -820,6 +900,7 @@ void RsCoordinatorNode::StartDegradedRead(
   DegradedReadTask task;
   task.id = next_task_id_++;
   task.op = op;
+  task.started_us = net()->now();
   task.group = g;
   task.target_slot = SlotOf(a, lhrs_ctx_->m);
   task.used_parity.insert(j);
@@ -968,6 +1049,12 @@ void RsCoordinatorNode::MaybeFinishDegradedRead(DegradedReadTask& task) {
   reply->value = std::move(value);
   Send(task.op.client, std::move(reply));
   ++degraded_reads_served_;
+  if (auto* t = net()->telemetry()) {
+    t->metrics().GetCounter("degraded_read.served").Add();
+    t->metrics()
+        .GetHistogram("degraded_read_latency_us")
+        .Record(net()->now() - task.started_us);
+  }
   degraded_.erase(task.id);
 }
 

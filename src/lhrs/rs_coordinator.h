@@ -132,6 +132,10 @@ class RsCoordinatorNode : public CoordinatorNode {
     std::set<uint32_t> awaiting_reads;        // columns not yet dumped.
     std::vector<ColumnDump> dumps;
     std::set<uint32_t> awaiting_installs;
+    // Telemetry timestamps (SimTime; meaningful only when telemetry is on).
+    uint64_t started_us = 0;
+    uint64_t read_started_us = 0;
+    uint64_t install_started_us = 0;
   };
 
   struct ScrubTask {
@@ -152,6 +156,7 @@ class RsCoordinatorNode : public CoordinatorNode {
     std::set<uint32_t> awaiting;              // columns requested.
     std::map<uint32_t, Bytes> columns;        // collected column payloads.
     std::set<uint32_t> used_parity;           // parity indexes consumed.
+    uint64_t started_us = 0;                  // Telemetry timestamp.
   };
 
   /// Data buckets of group g that exist right now: [g*m, min((g+1)*m, M)).
@@ -165,6 +170,9 @@ class RsCoordinatorNode : public CoordinatorNode {
 
   void StartRecovery(uint32_t g);
   void MarkGroupLost(uint32_t g);
+  /// Closes the open trace slices of a task being abandoned (stale survivor
+  /// set or group loss), so Chrome-trace B/E pairs stay balanced.
+  void TraceTaskAborted(const RecoveryTask& task);
   void OnColumnRead(const ColumnReadReplyMsg& reply, NodeId from);
   void TryDecodeAndInstall(RecoveryTask& task);
   void OnInstallDone(const InstallDoneMsg& done);

@@ -31,6 +31,15 @@ void CoordinatorNode::HandleMessage(const Message& msg) {
     }
     case LhStarMsg::kSplitDone: {
       restructure_in_progress_ = false;
+      if (auto* t = net()->telemetry()) {
+        t->metrics().GetCounter("split.completed").Add();
+        t->metrics()
+            .GetHistogram("split_latency_us")
+            .Record(net()->now() - split_started_us_);
+        t->tracer().Record({net()->now(),
+                            telemetry::TraceEventType::kSplitEnd, id(), -1,
+                            -1, -1, 0});
+      }
       MaybeStartSplit();
       MaybeStartMerge();
       return;
@@ -160,6 +169,13 @@ void CoordinatorNode::StartSplit() {
 
   restructure_in_progress_ = true;
   ++splits_performed_;
+  if (auto* t = net()->telemetry()) {
+    t->metrics().GetCounter("split.started").Add();
+    split_started_us_ = net()->now();
+    t->tracer().Record({net()->now(), telemetry::TraceEventType::kSplitBegin,
+                        id(), new_node, -1, -1,
+                        static_cast<int64_t>(new_bucket)});
+  }
 }
 
 void CoordinatorNode::OnBucketCreated(BucketNo, NodeId, Level) {}

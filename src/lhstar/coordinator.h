@@ -130,6 +130,8 @@ class CoordinatorNode : public Node {
   bool merge_requested_ = false;
   uint64_t splits_performed_ = 0;
   uint64_t merges_performed_ = 0;
+  /// Start of the in-flight split (at most one restructure runs at a time).
+  SimTime split_started_us_ = 0;
 };
 
 }  // namespace lhrs

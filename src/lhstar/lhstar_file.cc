@@ -3,8 +3,29 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "telemetry/probe.h"
 
 namespace lhrs {
+
+namespace {
+
+/// Histogram name for a client-visible op; constants so the probe path does
+/// not build label strings per call.
+std::string_view OpLatencyHistogram(OpType op) {
+  switch (op) {
+    case OpType::kInsert:
+      return "op_latency_us{op=insert}";
+    case OpType::kSearch:
+      return "op_latency_us{op=search}";
+    case OpType::kUpdate:
+      return "op_latency_us{op=update}";
+    case OpType::kDelete:
+      return "op_latency_us{op=delete}";
+  }
+  return "op_latency_us{op=unknown}";
+}
+
+}  // namespace
 
 LhStarFile::LhStarFile(Options options, DeferInit)
     : options_(std::move(options)),
@@ -51,6 +72,7 @@ ClientNode& LhStarFile::client(size_t index) {
 Result<OpOutcome> LhStarFile::RunOp(size_t client_index, OpType op, Key key,
                                     Bytes value) {
   ClientNode& c = client(client_index);
+  telemetry::ScopedProbe probe(network_.telemetry(), OpLatencyHistogram(op));
   const uint64_t op_id = c.StartOp(op, key, std::move(value));
   network_.RunUntilIdle();
   if (!c.IsDone(op_id)) {
@@ -93,6 +115,8 @@ Status LhStarFile::Delete(Key key) {
 Result<std::vector<WireRecord>> LhStarFile::Scan(ScanPredicate predicate,
                                                  bool deterministic) {
   ClientNode& c = client(0);
+  telemetry::ScopedProbe probe(network_.telemetry(),
+                               "op_latency_us{op=scan}");
   const uint64_t op_id = c.StartScan(std::move(predicate), deterministic);
   network_.RunUntilIdle();
   if (!c.IsDone(op_id)) {

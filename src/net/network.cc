@@ -14,6 +14,21 @@ constexpr uint64_t kEventBudget = 200'000'000;
 
 Network::Network(NetworkConfig config) : config_(config) {}
 
+telemetry::Telemetry* Network::EnableTelemetry(
+    telemetry::TelemetryConfig config) {
+  if (telemetry_ != nullptr) return telemetry_.get();
+  telemetry_ = std::make_unique<telemetry::Telemetry>(config);
+  telemetry_->set_clock([this] { return now_; });
+  telemetry::MetricsRegistry& m = telemetry_->metrics();
+  tm_.sent_messages = &m.GetCounter("net.sent_messages");
+  tm_.sent_bytes = &m.GetCounter("net.sent_bytes");
+  tm_.deliveries = &m.GetCounter("net.deliveries");
+  tm_.delivery_failures = &m.GetCounter("net.delivery_failures");
+  tm_.nodes_unavailable = &m.GetGauge("net.nodes_unavailable");
+  tm_.delivery_latency_us = &m.GetHistogram("net.delivery_latency_us");
+  return telemetry_.get();
+}
+
 NodeId Network::AddNode(std::unique_ptr<Node> node) {
   LHRS_CHECK(node != nullptr);
   LHRS_CHECK(node->network_ == nullptr) << "node already registered";
@@ -46,7 +61,16 @@ void Network::Enqueue(std::unique_ptr<MessageBody> body, NodeId from,
   LHRS_CHECK(to >= 0 && static_cast<size_t>(to) < nodes_.size())
       << "send to unknown node " << to;
   const size_t bytes = body->ByteSize();
-  stats_.RecordSend(body->kind(), bytes, !multicast_member);
+  stats_.RecordSend(body->kind(), bytes, !multicast_member, from);
+  if (telemetry_ != nullptr) {
+    tm_.sent_messages->Add();
+    tm_.sent_bytes->Add(bytes);
+    if (telemetry_->trace_messages()) {
+      telemetry_->tracer().Record(
+          {now_, telemetry::TraceEventType::kSend, from, to, body->kind(),
+           -1, static_cast<int64_t>(bytes)});
+    }
+  }
 
   auto msg = std::make_shared<Message>();
   msg->id = next_message_id_++;
@@ -62,6 +86,14 @@ void Network::Enqueue(std::unique_ptr<MessageBody> body, NodeId from,
 
 void Network::SetAvailable(NodeId id, bool available) {
   LHRS_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  if (telemetry_ != nullptr && nodes_[id].available != available) {
+    telemetry_->tracer().Record({now_,
+                                 available
+                                     ? telemetry::TraceEventType::kRestore
+                                     : telemetry::TraceEventType::kCrash,
+                                 id, -1, -1, -1, 0});
+    tm_.nodes_unavailable->Add(available ? -1 : 1);
+  }
   nodes_[id].available = available;
 }
 
@@ -87,17 +119,35 @@ void Network::RunUntilIdle() {
           // Destination is down: the sender times out. An unavailable
           // sender gets nothing (it crashed too).
           stats_.RecordDeliveryFailure();
+          if (telemetry_ != nullptr) tm_.delivery_failures->Add();
           if (msg.from != kInvalidNode && nodes_[msg.from].available) {
             events_.push(Event{now_ + config_.timeout_us, next_seq_++,
                                EventType::kDeliveryFailure, ev.message});
           }
           break;
         }
+        const size_t bytes = msg.body->ByteSize();
+        stats_.RecordReceive(msg.to, bytes);
+        if (telemetry_ != nullptr) {
+          tm_.deliveries->Add();
+          tm_.delivery_latency_us->Record(now_ - msg.send_time);
+          if (telemetry_->trace_messages()) {
+            telemetry_->tracer().Record(
+                {now_, telemetry::TraceEventType::kDeliver, msg.to, msg.from,
+                 msg.body->kind(), -1, static_cast<int64_t>(bytes)});
+          }
+        }
         nodes_[msg.to].node->HandleMessage(msg);
         break;
       }
       case EventType::kDeliveryFailure: {
         if (msg.from != kInvalidNode && nodes_[msg.from].available) {
+          if (telemetry_ != nullptr && telemetry_->trace_messages()) {
+            telemetry_->tracer().Record(
+                {now_, telemetry::TraceEventType::kDeliveryFailure, msg.from,
+                 msg.to, msg.body->kind(), -1,
+                 static_cast<int64_t>(msg.body->ByteSize())});
+          }
           nodes_[msg.from].node->HandleDeliveryFailure(msg);
         }
         break;

@@ -11,6 +11,7 @@
 #include "net/message.h"
 #include "net/node.h"
 #include "net/stats.h"
+#include "telemetry/telemetry.h"
 
 namespace lhrs {
 
@@ -86,6 +87,17 @@ class Network {
   const MessageStats& stats() const { return stats_; }
   const NetworkConfig& config() const { return config_; }
 
+  /// Turns observability on: the network owns a Telemetry instance, wires
+  /// its clock to the simulated time, and from here on feeds counters, the
+  /// delivery-latency histogram and (config-dependent) per-message trace
+  /// events. Returns the instance so callers can add their own series.
+  /// Idempotent; the config of the first call wins.
+  telemetry::Telemetry* EnableTelemetry(telemetry::TelemetryConfig config = {});
+
+  /// The attached telemetry, or nullptr when disabled. Every instrumented
+  /// layer gates on this pointer, so the disabled path costs one branch.
+  telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
+
   /// Total messages processed since construction (safety valve for tests).
   uint64_t processed_events() const { return processed_events_; }
 
@@ -112,7 +124,10 @@ class Network {
   };
 
   SimTime DeliveryLatency(size_t bytes) const {
-    return config_.unicast_latency_us + config_.per_kb_us * (bytes / 1024);
+    // Ceiling division: a sub-KiB payload still pays one KB quantum of
+    // serialisation cost (flooring would make short messages free).
+    return config_.unicast_latency_us +
+           config_.per_kb_us * ((bytes + 1023) / 1024);
   }
 
   void Enqueue(std::unique_ptr<MessageBody> body, NodeId from, NodeId to,
@@ -126,6 +141,19 @@ class Network {
   uint64_t next_seq_ = 1;
   uint64_t processed_events_ = 0;
   MessageStats stats_;
+
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
+  /// Cached metric handles so the enabled per-message path does no name
+  /// lookups (resolved once in EnableTelemetry).
+  struct TelemetryHandles {
+    telemetry::Counter* sent_messages = nullptr;
+    telemetry::Counter* sent_bytes = nullptr;
+    telemetry::Counter* deliveries = nullptr;
+    telemetry::Counter* delivery_failures = nullptr;
+    telemetry::Gauge* nodes_unavailable = nullptr;
+    telemetry::Histogram* delivery_latency_us = nullptr;
+  };
+  TelemetryHandles tm_;
 };
 
 }  // namespace lhrs

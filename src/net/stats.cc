@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "telemetry/metrics.h"
+
 namespace lhrs {
 
 namespace {
@@ -22,6 +24,30 @@ std::string MessageKindName(int kind) {
   auto it = names.find(kind);
   if (it != names.end()) return it->second;
   return "kind" + std::to_string(kind);
+}
+
+void MessageStats::ExportTo(telemetry::MetricsRegistry* registry) const {
+  using telemetry::Labeled;
+  for (const auto& [kind, c] : per_kind_) {
+    registry->GetCounter(Labeled("net.sent.messages", "kind",
+                                 MessageKindName(kind)))
+        .Add(c.messages);
+    registry->GetCounter(Labeled("net.sent.bytes", "kind",
+                                 MessageKindName(kind)))
+        .Add(c.bytes);
+  }
+  for (const auto& [node, c] : per_node_sent_) {
+    registry->GetCounter(Labeled("net.node_sent.messages", "node", node))
+        .Add(c.messages);
+    registry->GetCounter(Labeled("net.node_sent.bytes", "node", node))
+        .Add(c.bytes);
+  }
+  for (const auto& [node, c] : per_node_received_) {
+    registry->GetCounter(Labeled("net.node_received.messages", "node", node))
+        .Add(c.messages);
+    registry->GetCounter(Labeled("net.node_received.bytes", "node", node))
+        .Add(c.bytes);
+  }
 }
 
 std::string MessageStats::ToString() const {

@@ -1,0 +1,62 @@
+#include "telemetry/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lhrs::telemetry {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  AppendJsonString(&out, s);
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan.
+  // Shortest representation from a fixed precision ladder that round-trips
+  // to the same double — deterministic and human-readable.
+  char buf[40];
+  for (int precision : {6, 9, 12, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+}  // namespace lhrs::telemetry

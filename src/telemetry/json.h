@@ -1,0 +1,27 @@
+#ifndef LHRS_TELEMETRY_JSON_H_
+#define LHRS_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lhrs::telemetry {
+
+/// Minimal deterministic JSON emission helpers shared by the telemetry
+/// exporters. Determinism matters more than speed here: two identical
+/// seeded runs must serialize byte-identically, so formatting never
+/// consults locale, pointers or wall-clock state.
+
+/// Appends `s` as a quoted, escaped JSON string literal.
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// Formats a double with enough digits to round-trip, without locale
+/// dependence ("%.17g" collapses to the shortest of a fixed ladder).
+std::string JsonNumber(double v);
+
+/// Convenience: quoted, escaped copy of `s`.
+std::string JsonString(std::string_view s);
+
+}  // namespace lhrs::telemetry
+
+#endif  // LHRS_TELEMETRY_JSON_H_

@@ -1,0 +1,50 @@
+#ifndef LHRS_TELEMETRY_PROBE_H_
+#define LHRS_TELEMETRY_PROBE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "telemetry/telemetry.h"
+
+namespace lhrs::telemetry {
+
+/// RAII timer for a client-visible operation (insert, lookup, scan, split,
+/// recovery): captures the simulated clock at construction and records the
+/// elapsed time into the named latency histogram at destruction.
+///
+/// Constructed with a null Telemetry it is a complete no-op: no clock read,
+/// no histogram lookup, no allocation — the disabled-telemetry hot path
+/// costs one branch.
+class ScopedProbe {
+ public:
+  ScopedProbe(Telemetry* telemetry, std::string_view histogram) {
+    if (telemetry == nullptr) return;
+    telemetry_ = telemetry;
+    histogram_ = &telemetry->metrics().GetHistogram(histogram);
+    start_us_ = telemetry->now();
+  }
+  ~ScopedProbe() { Finish(); }
+
+  ScopedProbe(const ScopedProbe&) = delete;
+  ScopedProbe& operator=(const ScopedProbe&) = delete;
+
+  /// Records now() - start into the histogram (idempotent; the destructor
+  /// calls it too). Use to time a sub-span without a nested scope.
+  void Finish() {
+    if (telemetry_ == nullptr) return;
+    histogram_->Record(telemetry_->now() - start_us_);
+    telemetry_ = nullptr;
+  }
+
+  /// Abandons the measurement (e.g. the operation was a no-op).
+  void Cancel() { telemetry_ = nullptr; }
+
+ private:
+  Telemetry* telemetry_ = nullptr;
+  Histogram* histogram_ = nullptr;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace lhrs::telemetry
+
+#endif  // LHRS_TELEMETRY_PROBE_H_

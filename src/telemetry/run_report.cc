@@ -1,0 +1,137 @@
+#include "telemetry/run_report.h"
+
+#include <cstdio>
+
+#include "telemetry/json.h"
+
+namespace lhrs::telemetry {
+
+void RunReport::AddParam(std::string_view key, std::string_view value) {
+  params_.emplace_back(std::string(key), JsonString(value));
+}
+
+void RunReport::AddParam(std::string_view key, int64_t value) {
+  params_.emplace_back(std::string(key), std::to_string(value));
+}
+
+void RunReport::AddParam(std::string_view key, double value) {
+  params_.emplace_back(std::string(key), JsonNumber(value));
+}
+
+void RunReport::AddMetric(std::string_view key, uint64_t value) {
+  metrics_.emplace_back(std::string(key), std::to_string(value));
+}
+
+void RunReport::AddMetric(std::string_view key, int64_t value) {
+  metrics_.emplace_back(std::string(key), std::to_string(value));
+}
+
+void RunReport::AddMetric(std::string_view key, double value) {
+  metrics_.emplace_back(std::string(key), JsonNumber(value));
+}
+
+void RunReport::AddHistogram(std::string_view key,
+                             const Histogram& histogram) {
+  std::string json = "{\"count\":" + std::to_string(histogram.count());
+  json += ",\"sum\":" + std::to_string(histogram.sum());
+  json += ",\"min\":" + std::to_string(histogram.min());
+  json += ",\"max\":" + std::to_string(histogram.max());
+  json += ",\"mean\":" + JsonNumber(histogram.mean());
+  json += ",\"p50\":" + std::to_string(histogram.p50());
+  json += ",\"p95\":" + std::to_string(histogram.p95());
+  json += ",\"p99\":" + std::to_string(histogram.p99());
+  json += "}";
+  histograms_.emplace_back(std::string(key), std::move(json));
+}
+
+void RunReport::AddRegistry(const MetricsRegistry& registry) {
+  registry_json_ = registry.ToJson();
+}
+
+void RunReport::BeginTable(std::string_view title,
+                           std::vector<std::string> header) {
+  Table table;
+  table.title = std::string(title);
+  table.header = std::move(header);
+  tables_.push_back(std::move(table));
+}
+
+void RunReport::AddTableRow(std::vector<std::string> cells) {
+  if (tables_.empty()) BeginTable("", {});
+  tables_.back().rows.push_back(std::move(cells));
+}
+
+namespace {
+
+void AppendSection(
+    std::string* out, const char* section,
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  *out += ",\"";
+  *out += section;
+  *out += "\":{";
+  bool first = true;
+  for (const auto& [key, value_json] : entries) {
+    if (!first) *out += ",";
+    first = false;
+    AppendJsonString(out, key);
+    *out += ":" + value_json;
+  }
+  *out += "}";
+}
+
+void AppendStringArray(std::string* out,
+                       const std::vector<std::string>& cells) {
+  *out += "[";
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) *out += ",";
+    first = false;
+    AppendJsonString(out, c);
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\"report\":";
+  AppendJsonString(&out, name_);
+  AppendSection(&out, "params", params_);
+  AppendSection(&out, "metrics", metrics_);
+  AppendSection(&out, "histograms", histograms_);
+  out += ",\"tables\":[";
+  bool first_table = true;
+  for (const Table& table : tables_) {
+    if (!first_table) out += ",";
+    first_table = false;
+    out += "{\"title\":";
+    AppendJsonString(&out, table.title);
+    out += ",\"header\":";
+    AppendStringArray(&out, table.header);
+    out += ",\"rows\":[";
+    bool first_row = true;
+    for (const auto& row : table.rows) {
+      if (!first_row) out += ",";
+      first_row = false;
+      AppendStringArray(&out, row);
+    }
+    out += "]}";
+  }
+  out += "]";
+  if (!registry_json_.empty()) {
+    out += ",\"metrics_registry\":" + registry_json_;
+  }
+  out += "}";
+  return out;
+}
+
+bool RunReport::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size()
+                  && std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace lhrs::telemetry

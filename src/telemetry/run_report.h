@@ -1,0 +1,66 @@
+#ifndef LHRS_TELEMETRY_RUN_REPORT_H_
+#define LHRS_TELEMETRY_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace lhrs::telemetry {
+
+/// Machine-readable report of one experiment run: named parameters, scalar
+/// metrics, histogram summaries, the experiment's result tables and
+/// (optionally) a full metrics-registry snapshot. Serializes to JSON with
+/// strictly insertion-ordered sections so that two identical seeded runs
+/// produce byte-identical files — reports are meant to be diffed across
+/// commits as bench trajectories.
+class RunReport {
+ public:
+  explicit RunReport(std::string name) : name_(std::move(name)) {}
+
+  void AddParam(std::string_view key, std::string_view value);
+  void AddParam(std::string_view key, int64_t value);
+  void AddParam(std::string_view key, double value);
+
+  void AddMetric(std::string_view key, uint64_t value);
+  void AddMetric(std::string_view key, int64_t value);
+  void AddMetric(std::string_view key, double value);
+
+  /// count/sum/min/max/mean/p50/p95/p99 summary under `key`.
+  void AddHistogram(std::string_view key, const Histogram& histogram);
+
+  /// Embeds a full registry snapshot under "metrics_registry".
+  void AddRegistry(const MetricsRegistry& registry);
+
+  /// Starts a new result table; subsequent AddTableRow calls append to it.
+  void BeginTable(std::string_view title, std::vector<std::string> header);
+  void AddTableRow(std::vector<std::string> cells);
+
+  const std::string& name() const { return name_; }
+
+  std::string ToJson() const;
+
+  /// Writes ToJson() (plus a trailing newline) to `path`; false on I/O
+  /// error.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  struct Table {
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> params_;   // key, json.
+  std::vector<std::pair<std::string, std::string>> metrics_;  // key, json.
+  std::vector<std::pair<std::string, std::string>> histograms_;
+  std::vector<Table> tables_;
+  std::string registry_json_;
+};
+
+}  // namespace lhrs::telemetry
+
+#endif  // LHRS_TELEMETRY_RUN_REPORT_H_

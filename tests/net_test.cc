@@ -81,8 +81,9 @@ TEST(NetworkTest, EchoRoundTripAdvancesClock) {
   net.RunUntilIdle();
   ASSERT_EQ(a->received.size(), 1u);
   EXPECT_EQ(a->received[0], -42);
-  // Two hops at 100us base latency each.
-  EXPECT_EQ(net.now(), 200u);
+  // Two hops, each 100us base latency plus one 80us KB quantum (the 16-byte
+  // payload rounds up to one KiB of serialisation cost).
+  EXPECT_EQ(net.now(), 360u);
 }
 
 TEST(NetworkTest, LargeMessagesTakeLonger) {
@@ -118,7 +119,8 @@ TEST(NetworkTest, UnavailableDestinationBouncesAfterTimeout) {
   EXPECT_TRUE(b->received.empty());
   ASSERT_EQ(a->failures.size(), 1u);
   EXPECT_EQ(a->failures[0], 7);
-  EXPECT_EQ(a->failure_times[0], 100u + 2000u);
+  // Delivery time (100us base + one KB quantum) plus the detection timeout.
+  EXPECT_EQ(a->failure_times[0], 180u + 2000u);
   EXPECT_EQ(net.stats().delivery_failures(), 1u);
 }
 

@@ -205,8 +205,9 @@ TEST(SelfCheckTest, RestartedBucketKeepsServingWhenNotReplaced) {
 }
 
 TEST(SimulatedTimeTest, OperationLatencyMatchesLatencyModel) {
-  // Two plain messages (request + reply) at 100 us each: a converged
-  // search takes 200 us of simulated time, independent of file size.
+  // Two short messages (request + reply) at 100 us base + one 80 us KB
+  // quantum each: a converged search takes 360 us of simulated time,
+  // independent of file size.
   LhrsFile::Options opts;
   opts.group_size = 4;
   opts.policy.base_k = 2;
@@ -220,8 +221,8 @@ TEST(SimulatedTimeTest, OperationLatencyMatchesLatencyModel) {
     const SimTime before = file.network().now();
     (void)file.Search(probe.Next64());
     const SimTime elapsed = file.network().now() - before;
-    EXPECT_GE(elapsed, 200u);
-    EXPECT_LE(elapsed, 600u);  // At most two forwarding hops more.
+    EXPECT_GE(elapsed, 360u);
+    EXPECT_LE(elapsed, 1080u);  // At most two forwarding hops more.
   }
 }
 
