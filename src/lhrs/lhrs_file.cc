@@ -93,6 +93,24 @@ void LhrsFile::RestoreNode(NodeId node) {
   }
 }
 
+chaos::ChaosEngine::GroupResolver LhrsFile::ChaosGroupResolver() {
+  return [this](uint32_t g) {
+    std::vector<NodeId> members;
+    if (g >= rs_coordinator_->group_count()) return members;
+    const uint32_t m = lhrs_ctx_->m;
+    const BucketNo bucket_count = coordinator_->state().bucket_count();
+    for (uint32_t j = 0; j < m; ++j) {
+      const BucketNo b = g * m + j;
+      if (b >= bucket_count) break;
+      members.push_back(ctx_->allocation.Lookup(b));
+    }
+    for (NodeId p : rs_coordinator_->group_info(g).parity_nodes) {
+      members.push_back(p);
+    }
+    return members;
+  };
+}
+
 void LhrsFile::DetectAndRecover(NodeId node) {
   rs_coordinator_->NotifyUnavailable(node);
   network_.RunUntilIdle();

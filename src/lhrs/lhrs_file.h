@@ -89,6 +89,12 @@ class LhrsFile : public LhStarFile {
   /// Internal error on the first mismatch.
   Status VerifyParityInvariants() const;
 
+ protected:
+  /// Chaos: a bucket group's members are its live data buckets plus its
+  /// parity buckets — the unit of correlated failure (FaultKind::
+  /// kCrashGroup picks victims among them).
+  chaos::ChaosEngine::GroupResolver ChaosGroupResolver() override;
+
  private:
   std::shared_ptr<LhrsContext> lhrs_ctx_;
   RsCoordinatorNode* rs_coordinator_ = nullptr;  // Owned by network_.

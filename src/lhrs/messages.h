@@ -60,6 +60,11 @@ struct ParityDelta {
 /// Data bucket -> parity bucket: one record's parity maintenance.
 struct ParityDeltaMsg : MessageBody {
   uint32_t group = 0;
+  /// Retransmission count (chaos hardening): a delivery failure under an
+  /// active fault injector re-sends the delta a bounded number of times
+  /// before falling back to the unavailable-report path. Not on the wire
+  /// (a real stack's transport header), so it does not count in ByteSize.
+  uint32_t attempt = 0;
   ParityDelta delta;
 
   int kind() const override { return LhrsMsg::kParityDelta; }
@@ -70,6 +75,7 @@ struct ParityDeltaMsg : MessageBody {
 /// all moved records into one transfer per parity bucket).
 struct ParityDeltaBatchMsg : MessageBody {
   uint32_t group = 0;
+  uint32_t attempt = 0;  ///< See ParityDeltaMsg::attempt.
   std::vector<ParityDelta> deltas;
 
   int kind() const override { return LhrsMsg::kParityDeltaBatch; }
@@ -86,6 +92,7 @@ struct GroupConfigMsg : MessageBody {
   uint32_t group = 0;
   uint32_t k = 1;
   std::vector<NodeId> parity_nodes;  ///< size k.
+  uint32_t attempt = 0;  ///< Transport metadata (resends); not in ByteSize.
 
   int kind() const override { return LhrsMsg::kGroupConfig; }
   size_t ByteSize() const override { return 16 + 8 * parity_nodes.size(); }
@@ -133,6 +140,8 @@ struct ColumnReadReplyMsg : MessageBody {
   std::vector<WireParityRecord> parity_records;
   Level level = 0;  ///< Data columns: the bucket's level j.
 
+  uint32_t attempt = 0;  ///< Transport metadata (resends); not in ByteSize.
+
   int kind() const override { return LhrsMsg::kColumnReadReply; }
   size_t ByteSize() const override {
     size_t n = 24;
@@ -176,6 +185,7 @@ struct InstallParityColumnMsg : MessageBody {
 struct InstallDoneMsg : MessageBody {
   uint64_t task_id = 0;
   uint32_t column = 0;
+  uint32_t attempt = 0;  ///< Transport metadata (resends); not in ByteSize.
 
   int kind() const override { return LhrsMsg::kInstallDone; }
   size_t ByteSize() const override { return 16; }

@@ -55,6 +55,11 @@ size_t ParityBucketNode::StorageBytes() const {
 }
 
 void ParityBucketNode::HandleMessage(const Message& msg) {
+  const int kind = msg.body->kind();
+  if ((kind == LhrsMsg::kParityDelta || kind == LhrsMsg::kParityDeltaBatch) &&
+      network()->fault_injection_active() && dedup_.SeenBefore(msg.id)) {
+    return;  // Duplicated delivery: applying the delta twice would corrupt.
+  }
   if (!initialized_ && msg.body->kind() != LhrsMsg::kInstallParityColumn &&
       msg.body->kind() != LhrsMsg::kPingRequest &&
       msg.body->kind() != LhStarMsg::kSurveyRequest) {
@@ -66,6 +71,37 @@ void ParityBucketNode::HandleMessage(const Message& msg) {
     return;
   }
   Dispatch(msg);
+}
+
+void ParityBucketNode::HandleDeliveryFailure(const Message& msg) {
+  // Recovery-protocol replies to the coordinator. A drop (fault injection;
+  // the coordinator itself does not crash) would wedge the recovery task,
+  // so re-send a bounded number of times. Everything else stays ignored:
+  // degraded-read replies are re-driven by client retries.
+  if (!network()->fault_injection_active()) return;
+  constexpr uint32_t kMaxReplyAttempts = 4;
+  switch (msg.body->kind()) {
+    case LhrsMsg::kColumnReadReply: {
+      const auto& reply = static_cast<const ColumnReadReplyMsg&>(*msg.body);
+      if (reply.attempt + 1 < kMaxReplyAttempts) {
+        auto resend = std::make_unique<ColumnReadReplyMsg>(reply);
+        ++resend->attempt;
+        Send(msg.to, std::move(resend));
+      }
+      return;
+    }
+    case LhrsMsg::kInstallDone: {
+      const auto& done = static_cast<const InstallDoneMsg&>(*msg.body);
+      if (done.attempt + 1 < kMaxReplyAttempts) {
+        auto resend = std::make_unique<InstallDoneMsg>(done);
+        ++resend->attempt;
+        Send(msg.to, std::move(resend));
+      }
+      return;
+    }
+    default:
+      return;
+  }
 }
 
 void ParityBucketNode::RecordUpdateRound(size_t deltas) {
@@ -180,8 +216,43 @@ void ParityBucketNode::Dispatch(const Message& msg) {
 }
 
 void ParityBucketNode::ApplyDelta(const ParityDelta& delta) {
+  if (TryApplyDelta(delta)) {
+    DrainPendingDeltas(delta.rank, delta.slot);
+    return;
+  }
+  // The registration this op depends on has not arrived — only chaos
+  // reordering can produce that; in a healthy network it is a protocol bug.
+  LHRS_CHECK(network()->fault_injection_active())
+      << "out-of-order parity delta (g=" << group_ << ", r=" << delta.rank
+      << ", slot=" << delta.slot << ") without fault injection";
+  pending_deltas_[{delta.rank, delta.slot}].push_back(delta);
+  if (auto* t = network()->telemetry(); t != nullptr) {
+    t->metrics().GetCounter("parity.deltas_buffered").Add();
+  }
+}
+
+bool ParityBucketNode::TryApplyDelta(const ParityDelta& delta) {
   const uint32_t m = ctx_->m;
   LHRS_CHECK_LT(delta.slot, m);
+
+  // Precondition check before touching any state: kSet may not overwrite a
+  // different live key, kNone/kClear need a registered member.
+  auto existing = records_.find(delta.rank);
+  const std::optional<Key>* cur =
+      existing == records_.end() ? nullptr
+                                 : &existing->second.keys[delta.slot];
+  switch (delta.key_op) {
+    case ParityDelta::KeyOp::kSet:
+      if (cur != nullptr && cur->has_value() && **cur != delta.key) {
+        return false;
+      }
+      break;
+    case ParityDelta::KeyOp::kNone:
+    case ParityDelta::KeyOp::kClear:
+      if (cur == nullptr || !cur->has_value()) return false;
+      break;
+  }
+
   auto [it, created] = records_.try_emplace(delta.rank, ParityRecord(m));
   ParityRecord& rec = it->second;
 
@@ -190,22 +261,16 @@ void ParityBucketNode::ApplyDelta(const ParityDelta& delta) {
 
   switch (delta.key_op) {
     case ParityDelta::KeyOp::kNone:
-      LHRS_CHECK(rec.keys[delta.slot].has_value())
-          << "value update for an unregistered group member";
       rec.lengths[delta.slot] = delta.new_length;
       break;
     case ParityDelta::KeyOp::kSet:
-      if (rec.keys[delta.slot].has_value()) {
-        LHRS_CHECK_EQ(*rec.keys[delta.slot], delta.key)
-            << "record group slot collision";
-      } else {
+      if (!rec.keys[delta.slot].has_value()) {
         rec.keys[delta.slot] = delta.key;
         key_index_[delta.key] = delta.rank;
       }
       rec.lengths[delta.slot] = delta.new_length;
       break;
     case ParityDelta::KeyOp::kClear:
-      LHRS_CHECK(rec.keys[delta.slot].has_value());
       key_index_.erase(*rec.keys[delta.slot]);
       rec.keys[delta.slot].reset();
       rec.lengths[delta.slot] = 0;
@@ -220,6 +285,27 @@ void ParityBucketNode::ApplyDelta(const ParityDelta& delta) {
         << ", r=" << delta.rank << ")";
     records_.erase(it);
   }
+  return true;
+}
+
+void ParityBucketNode::DrainPendingDeltas(Rank rank, uint32_t slot) {
+  auto it = pending_deltas_.find({rank, slot});
+  if (it == pending_deltas_.end()) return;
+  // Each successful apply can unblock the next buffered op (a scrambled
+  // set/clear/set chain resolves one alternation at a time), so keep
+  // sweeping the arrival-ordered list until a pass makes no progress.
+  bool progress = true;
+  while (progress && !it->second.empty()) {
+    progress = false;
+    for (size_t i = 0; i < it->second.size(); ++i) {
+      if (TryApplyDelta(it->second[i])) {
+        it->second.erase(it->second.begin() + static_cast<long>(i));
+        progress = true;
+        break;
+      }
+    }
+  }
+  if (it->second.empty()) pending_deltas_.erase(it);
 }
 
 WireParityRecord ParityBucketNode::ToWire(Rank rank,
@@ -237,6 +323,7 @@ void ParityBucketNode::InstallColumn(const InstallParityColumnMsg& install) {
   LHRS_CHECK_EQ(install.parity_index, parity_index_);
   records_.clear();
   key_index_.clear();
+  pending_deltas_.clear();  // An install supersedes anything buffered.
   for (const auto& wire : install.parity_records) {
     ParityRecord rec(ctx_->m);
     rec.keys = wire.keys;

@@ -5,11 +5,13 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
 #include "lhrs/messages.h"
 #include "lhrs/shared.h"
+#include "net/dedup.h"
 #include "net/node.h"
 
 namespace lhrs {
@@ -48,6 +50,7 @@ class ParityBucketNode : public Node {
                    uint32_t parity_index, uint32_t k, bool pre_initialized);
 
   void HandleMessage(const Message& msg) override;
+  void HandleDeliveryFailure(const Message& msg) override;
   const char* role() const override { return "parity-bucket"; }
 
   uint32_t group() const { return group_; }
@@ -73,6 +76,14 @@ class ParityBucketNode : public Node {
  private:
   void Dispatch(const Message& msg);
   void ApplyDelta(const ParityDelta& delta);
+  /// Applies `delta` unless its metadata precondition has not arrived yet
+  /// (kSet onto a foreign key / kClear of an empty slot — possible only
+  /// when chaos reordering swaps deltas in flight). Returns false without
+  /// touching any state when the delta must wait.
+  bool TryApplyDelta(const ParityDelta& delta);
+  /// Re-attempts buffered deltas for (rank, slot) after a successful apply
+  /// unblocked them, in arrival order.
+  void DrainPendingDeltas(Rank rank, uint32_t slot);
   /// Telemetry for one applied delta round (a kParityDelta message or one
   /// kParityDeltaBatch of `deltas` updates).
   void RecordUpdateRound(size_t deltas);
@@ -80,6 +91,9 @@ class ParityBucketNode : public Node {
   void InstallColumn(const InstallParityColumnMsg& install);
 
   std::shared_ptr<LhrsContext> ctx_;
+  /// Delta application XORs into the column — not idempotent, so network
+  /// duplicates (chaos) must be filtered by message id on arrival.
+  DuplicateFilter dedup_;
   uint32_t group_;
   uint32_t parity_index_;
   uint32_t k_;
@@ -88,6 +102,12 @@ class ParityBucketNode : public Node {
   /// Degraded-read index: key -> rank (keys are unique across the group).
   std::unordered_map<Key, Rank> key_index_;
   std::vector<std::shared_ptr<Message>> queued_;  // Pre-install traffic.
+  /// Deltas that overtook the registration they depend on (chaos reorder
+  /// only). The XOR parity bytes commute, but the key/length metadata does
+  /// not — so an early arrival waits here, per (rank, slot), and drains in
+  /// arrival order once the blocking registration lands.
+  std::map<std::pair<Rank, uint32_t>, std::vector<ParityDelta>>
+      pending_deltas_;
 };
 
 }  // namespace lhrs

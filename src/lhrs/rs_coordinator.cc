@@ -279,6 +279,14 @@ void RsCoordinatorNode::StartRecovery(uint32_t g) {
   }
 }
 
+void RsCoordinatorNode::AbortTaskIfActive(uint64_t task_id, uint32_t g) {
+  auto it = group_task_.find(g);
+  if (it == group_task_.end() || it->second != task_id) return;
+  TraceTaskAborted(tasks_.at(task_id));
+  tasks_.erase(task_id);
+  group_task_.erase(it);
+}
+
 void RsCoordinatorNode::TraceTaskAborted(const RecoveryTask& task) {
   auto* t = net()->telemetry();
   if (t == nullptr || task.started_us == 0) return;
@@ -547,6 +555,18 @@ void RsCoordinatorNode::OnSplitOrderDeliveryFailure(const SplitOrderMsg& order,
 }
 
 void RsCoordinatorNode::OnOrphanedMoveRecords(const MoveRecordsMsg& move) {
+  // Under fault injection the move may simply have been *dropped* with the
+  // target alive and waiting uninitialized; recovery would find nothing
+  // missing and the records would stay parked forever. Relay directly
+  // instead (the target's duplicate filter makes this safe).
+  if (net()->fault_injection_active() &&
+      ctx_->allocation.Knows(move.bucket)) {
+    const NodeId target = ctx_->allocation.Lookup(move.bucket);
+    if (NodeUp(target)) {
+      Send(target, std::make_unique<MoveRecordsMsg>(move));
+      return;
+    }
+  }
   // The split target died holding no state; the moved records live only in
   // this message. Recover the (empty) target, then deliver the move.
   pending_move_records_[move.bucket] = move;
@@ -556,6 +576,15 @@ void RsCoordinatorNode::OnOrphanedMoveRecords(const MoveRecordsMsg& move) {
 }
 
 void RsCoordinatorNode::OnOrphanedMergeRecords(const MergeRecordsMsg& merge) {
+  // Same dropped-not-dead relay as OnOrphanedMoveRecords.
+  if (net()->fault_injection_active() &&
+      ctx_->allocation.Knows(merge.parent_bucket)) {
+    const NodeId parent = ctx_->allocation.Lookup(merge.parent_bucket);
+    if (NodeUp(parent)) {
+      Send(parent, std::make_unique<MergeRecordsMsg>(merge));
+      return;
+    }
+  }
   pending_merge_records_[merge.parent_bucket] = merge;
   if (!IsRecoveringData(merge.parent_bucket)) {
     StartRecovery(GroupOf(merge.parent_bucket, lhrs_ctx_->m));
@@ -1170,20 +1199,26 @@ void RsCoordinatorNode::HandleSubclassDeliveryFailure(const Message& msg) {
       return;
     }
     case LhrsMsg::kColumnReadRequest: {
-      // A survivor died mid-recovery: re-plan with the remaining columns.
+      // A survivor died mid-recovery (or, under fault injection, the read
+      // was dropped with the survivor alive): abort the broken task and
+      // re-plan with the remaining columns.
       const auto& req = static_cast<const ColumnReadRequestMsg&>(*msg.body);
+      AbortTaskIfActive(req.task_id, req.group);
       StartRecovery(req.group);
       return;
     }
     case LhrsMsg::kInstallDataColumn: {
       const auto& install =
           static_cast<const InstallDataColumnMsg&>(*msg.body);
-      StartRecovery(GroupOf(install.bucket, lhrs_ctx_->m));
+      const uint32_t g = GroupOf(install.bucket, lhrs_ctx_->m);
+      AbortTaskIfActive(install.task_id, g);
+      StartRecovery(g);
       return;
     }
     case LhrsMsg::kInstallParityColumn: {
       const auto& install =
           static_cast<const InstallParityColumnMsg&>(*msg.body);
+      AbortTaskIfActive(install.task_id, install.group);
       StartRecovery(install.group);
       return;
     }
@@ -1232,12 +1267,38 @@ void RsCoordinatorNode::HandleSubclassDeliveryFailure(const Message& msg) {
       if (--it->second.awaiting == 0) FinishSurvey(it->second);
       return;
     }
-    case LhStarMsg::kSplitOrder:
     case LhrsMsg::kGroupConfig: {
+      // A split target without its group configuration parks incoming
+      // records forever — under fault injection a bounce can mean a
+      // *dropped* message, so re-send a bounded number of times before
+      // treating it as a node death.
+      if (network()->fault_injection_active()) {
+        const auto& cfg = static_cast<const GroupConfigMsg&>(*msg.body);
+        constexpr uint32_t kMaxGroupConfigAttempts = 4;
+        if (cfg.attempt + 1 < kMaxGroupConfigAttempts) {
+          auto resend = std::make_unique<GroupConfigMsg>(cfg);
+          ++resend->attempt;
+          Send(msg.to, std::move(resend));
+          return;
+        }
+      }
+      NotifyUnavailable(msg.to);
+      return;
+    }
+    case LhStarMsg::kSplitOrder: {
       // The target died; its group recovery will rebuild it consistently.
       NotifyUnavailable(msg.to);
       return;
     }
+    case LhStarMsg::kMoveRecords:
+      // Our own relay of orphaned records bounced; re-enter the orphan
+      // path, which relays again (live target) or parks and recovers.
+      OnOrphanedMoveRecords(static_cast<const MoveRecordsMsg&>(*msg.body));
+      return;
+    case LhStarMsg::kMergeRecords:
+      OnOrphanedMergeRecords(
+          static_cast<const MergeRecordsMsg&>(*msg.body));
+      return;
     default:
       CoordinatorNode::HandleSubclassDeliveryFailure(msg);
   }

@@ -170,6 +170,11 @@ class RsCoordinatorNode : public CoordinatorNode {
 
   void StartRecovery(uint32_t g);
   void MarkGroupLost(uint32_t g);
+  /// Drops group `g`'s in-flight recovery task if it is `task_id`. Used
+  /// when one of the task's own messages bounced: the task can never
+  /// finish, and StartRecovery's identical-missing-set guard would
+  /// otherwise keep the broken task waiting forever.
+  void AbortTaskIfActive(uint64_t task_id, uint32_t g);
   /// Closes the open trace slices of a task being abandoned (stale survivor
   /// set or group loss), so Chrome-trace B/E pairs stay balanced.
   void TraceTaskAborted(const RecoveryTask& task);

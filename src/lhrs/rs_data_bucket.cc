@@ -126,9 +126,17 @@ void RsDataBucketNode::OnRecordsMovedOut(std::vector<WireRecord>& moved) {
 
 void RsDataBucketNode::OnRecordsMovedIn(const std::vector<WireRecord>& moved) {
   if (moved.empty()) return;
-  LHRS_CHECK(has_group_config())
-      << "split target " << bucket_no() << " received records before its "
-      << "group configuration";
+  if (!has_group_config()) {
+    // Only possible under fault injection: the coordinator's GroupConfig
+    // was dropped or reordered behind the parent's record move. Park the
+    // records; the (re-sent) GroupConfig replays them.
+    LHRS_CHECK(network()->fault_injection_active())
+        << "split target " << bucket_no() << " received records before "
+        << "its group configuration";
+    pending_moved_in_.insert(pending_moved_in_.end(), moved.begin(),
+                             moved.end());
+    return;
+  }
   std::vector<ParityDelta> deltas;
   deltas.reserve(moved.size());
   for (const auto& rec : moved) {
@@ -165,6 +173,11 @@ void RsDataBucketNode::HandleSubclassMessage(const Message& msg) {
       LHRS_CHECK_EQ(cfg.group, group());
       parity_nodes_ = cfg.parity_nodes;
       k_ = cfg.k;
+      if (!pending_moved_in_.empty()) {
+        const std::vector<WireRecord> parked = std::move(pending_moved_in_);
+        pending_moved_in_.clear();
+        OnRecordsMovedIn(parked);
+      }
       return;
     }
     case LhrsMsg::kColumnReadRequest: {
@@ -219,8 +232,57 @@ void RsDataBucketNode::HandleSubclassMessage(const Message& msg) {
 
 void RsDataBucketNode::HandleSubclassDeliveryFailure(const Message& msg) {
   switch (msg.body->kind()) {
+    case LhrsMsg::kColumnReadReply:
+    case LhrsMsg::kInstallDone: {
+      // Recovery-protocol replies to the coordinator. A drop (fault
+      // injection; the coordinator itself does not crash) would wedge the
+      // recovery task, so re-send a bounded number of times.
+      if (!network()->fault_injection_active()) return;
+      constexpr uint32_t kMaxReplyAttempts = 4;
+      if (msg.body->kind() == LhrsMsg::kColumnReadReply) {
+        const auto& reply = static_cast<const ColumnReadReplyMsg&>(*msg.body);
+        if (reply.attempt + 1 < kMaxReplyAttempts) {
+          auto resend = std::make_unique<ColumnReadReplyMsg>(reply);
+          ++resend->attempt;
+          Send(msg.to, std::move(resend));
+        }
+      } else {
+        const auto& done = static_cast<const InstallDoneMsg&>(*msg.body);
+        if (done.attempt + 1 < kMaxReplyAttempts) {
+          auto resend = std::make_unique<InstallDoneMsg>(done);
+          ++resend->attempt;
+          Send(msg.to, std::move(resend));
+        }
+      }
+      return;
+    }
     case LhrsMsg::kParityDelta:
     case LhrsMsg::kParityDeltaBatch: {
+      // Under fault injection a bounce can mean a *dropped* message, not a
+      // dead parity bucket — and the coordinator's ping verification would
+      // find the bucket alive and dismiss our report, leaving its column
+      // silently stale. Re-send a bounded number of times first.
+      if (network()->fault_injection_active()) {
+        constexpr uint32_t kMaxParityDeltaAttempts = 4;
+        if (msg.body->kind() == LhrsMsg::kParityDelta) {
+          const auto& delta = static_cast<const ParityDeltaMsg&>(*msg.body);
+          if (delta.attempt + 1 < kMaxParityDeltaAttempts) {
+            auto resend = std::make_unique<ParityDeltaMsg>(delta);
+            ++resend->attempt;
+            Send(msg.to, std::move(resend));
+            return;
+          }
+        } else {
+          const auto& batch =
+              static_cast<const ParityDeltaBatchMsg&>(*msg.body);
+          if (batch.attempt + 1 < kMaxParityDeltaAttempts) {
+            auto resend = std::make_unique<ParityDeltaBatchMsg>(batch);
+            ++resend->attempt;
+            Send(msg.to, std::move(resend));
+            return;
+          }
+        }
+      }
       // A parity bucket of our group is down: report it so the coordinator
       // recovers it. The delta itself is not lost information — the parity
       // column is rebuilt from the data columns, which include this change.

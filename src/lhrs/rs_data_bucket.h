@@ -60,6 +60,9 @@ class RsDataBucketNode : public DataBucketNode {
   std::shared_ptr<LhrsContext> lhrs_ctx_;
   std::vector<NodeId> parity_nodes_;  ///< Local copy, fed by GroupConfig.
   uint32_t k_ = 0;
+  /// Records moved in before GroupConfig arrived (chaos reorder/drop);
+  /// replayed when the configuration lands.
+  std::vector<WireRecord> pending_moved_in_;
 
   Rank next_rank_ = 1;
   std::priority_queue<Rank, std::vector<Rank>, std::greater<Rank>>

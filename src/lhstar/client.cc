@@ -1,9 +1,11 @@
 #include "lhstar/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
 #include "net/network.h"
+#include "telemetry/metrics.h"
 
 namespace lhrs {
 
@@ -28,17 +30,119 @@ NodeId ClientNode::ResolveNode(BucketNo bucket) {
 uint64_t ClientNode::StartOp(OpType op, Key key, Bytes value) {
   const uint64_t op_id = next_op_id_++;
   const BucketNo a = image_.Address(key);  // Algorithm (A1) on the image.
-  pending_[op_id] = PendingOp{op, key, value, a};
+  PendingOp& pending = pending_[op_id];
+  pending = PendingOp{op, key, std::move(value), a};
+  SendDirect(op_id, pending);
+  if (retry_.enabled) ArmOpTimer(op_id, pending);
+  return op_id;
+}
 
+void ClientNode::SetRetryPolicy(ClientRetryPolicy policy) {
+  retry_ = policy;
+  retry_rng_.emplace(policy.seed);
+}
+
+void ClientNode::SendDirect(uint64_t op_id, PendingOp& op) {
+  // Re-derive the address each attempt: an IAM that arrived since the
+  // first send may have advanced the image.
+  const BucketNo a = image_.Address(op.key);
+  op.sent_to_bucket = a;
   auto req = std::make_unique<OpRequestMsg>();
-  req->op = op;
+  req->op = op.op;
   req->op_id = op_id;
   req->client = id();
   req->intended_bucket = a;
-  req->key = key;
-  req->value = std::move(value);
+  req->key = op.key;
+  req->value = op.value;
   Send(ResolveNode(a), std::move(req));
-  return op_id;
+}
+
+void ClientNode::SendViaCoordinator(uint64_t op_id, const PendingOp& op) {
+  auto bounce = std::make_unique<ClientOpViaCoordinatorMsg>();
+  bounce->op = op.op;
+  bounce->op_id = op_id;
+  bounce->client = id();
+  bounce->intended_bucket = op.sent_to_bucket;
+  bounce->key = op.key;
+  bounce->value = op.value;
+  Send(ctx_->coordinator, std::move(bounce));
+}
+
+SimTime ClientNode::Backoff(uint32_t attempt) {
+  if (attempt <= 1) return 0;
+  SimTime backoff = retry_.base_backoff_us;
+  for (uint32_t i = 2; i < attempt && backoff < retry_.max_backoff_us; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, retry_.max_backoff_us);
+  if (retry_.jitter > 0 && retry_rng_.has_value()) {
+    const auto spread = static_cast<SimTime>(
+        static_cast<double>(backoff) * retry_.jitter);
+    if (spread > 0) {
+      backoff = backoff - spread + retry_rng_->Uniform(2 * spread + 1);
+    }
+  }
+  return backoff;
+}
+
+void ClientNode::ArmOpTimer(uint64_t op_id, PendingOp& op) {
+  const SimTime delay = retry_.request_timeout_us + Backoff(op.attempts + 1);
+  op.deadline = network()->now() + delay;
+  ScheduleTimer(delay, op_id);
+}
+
+void ClientNode::HandleTimer(uint64_t timer_id) {
+  if (!retry_.enabled) return;
+  auto it = pending_.find(timer_id);
+  if (it == pending_.end()) return;  // Completed; timer is stale.
+  // A bounce-triggered resend moved the deadline past this (uncancellable)
+  // timer: the newer timer owns the attempt.
+  if (network()->now() < it->second.deadline) return;
+  RetryOp(timer_id, it->second);
+}
+
+void ClientNode::RetryOp(uint64_t op_id, PendingOp& op) {
+  if (op.attempts >= retry_.max_total_attempts) {
+    OpOutcome outcome;
+    outcome.status = Status::Unavailable("retries exhausted after " +
+                                         std::to_string(op.attempts) +
+                                         " attempts");
+    CompleteOp(op_id, std::move(outcome));
+    return;
+  }
+  ++op.attempts;
+  CountRetry();
+  if (op.attempts <= retry_.max_direct_attempts) {
+    SendDirect(op_id, op);
+  } else {
+    ++escalations_;
+    if (escalations_counter_ != nullptr) escalations_counter_->Add();
+    SendViaCoordinator(op_id, op);
+  }
+  ArmOpTimer(op_id, op);
+}
+
+void ClientNode::CountRetry() {
+  ResolveCounters();
+  ++retries_;
+  if (retries_counter_ != nullptr) retries_counter_->Add();
+}
+
+void ClientNode::CountDuplicate() {
+  ResolveCounters();
+  ++duplicates_suppressed_;
+  if (duplicates_counter_ != nullptr) duplicates_counter_->Add();
+}
+
+void ClientNode::ResolveCounters() {
+  if (retries_counter_ != nullptr || network() == nullptr ||
+      network()->telemetry() == nullptr) {
+    return;
+  }
+  telemetry::MetricsRegistry& m = network()->telemetry()->metrics();
+  retries_counter_ = &m.GetCounter("client.retries");
+  escalations_counter_ = &m.GetCounter("client.escalations");
+  duplicates_counter_ = &m.GetCounter("client.duplicates_suppressed");
 }
 
 uint64_t ClientNode::StartScan(ScanPredicate predicate, bool deterministic) {
@@ -63,7 +167,13 @@ uint64_t ClientNode::StartScan(ScanPredicate predicate, bool deterministic) {
     // group membership); key-addressed ops use the cache.
     batch.emplace_back(ctx_->allocation.Lookup(a), std::move(req));
   }
-  network()->Multicast(id(), std::move(batch));
+  if (network()->config().multicast_available) {
+    network()->Multicast(id(), std::move(batch));
+  } else {
+    // No hardware multicast: the client sends one true unicast per bucket
+    // (section 2.1's fallback), each paying full per-message cost.
+    for (auto& [to, body] : batch) Send(to, std::move(body));
+  }
   return op_id;
 }
 
@@ -104,11 +214,28 @@ void ClientNode::HandleMessage(const Message& msg) {
   switch (msg.body->kind()) {
     case LhStarMsg::kOpReply: {
       const auto& reply = static_cast<const OpReplyMsg&>(*msg.body);
-      if (!pending_.contains(reply.op_id)) return;  // Late duplicate.
+      auto it = pending_.find(reply.op_id);
+      if (it == pending_.end()) {  // Late duplicate (chaos or a retry).
+        CountDuplicate();
+        return;
+      }
+      StatusCode code = reply.code;
+      if (retry_.enabled && it->second.attempts > 1) {
+        // At-least-once semantics: if an earlier attempt landed, its
+        // effect shows up as a constraint error on the retry — fold it
+        // back into success.
+        if (it->second.op == OpType::kInsert &&
+            code == StatusCode::kAlreadyExists) {
+          code = StatusCode::kOk;
+        }
+        if (it->second.op == OpType::kDelete &&
+            code == StatusCode::kNotFound) {
+          code = StatusCode::kOk;
+        }
+      }
       OpOutcome outcome;
-      outcome.status = reply.code == StatusCode::kOk
-                           ? Status::OK()
-                           : Status(reply.code, reply.error);
+      outcome.status = code == StatusCode::kOk ? Status::OK()
+                                               : Status(code, reply.error);
       outcome.value = reply.value;
       if (reply.iam.has_value()) {
         // Algorithm (A3) plus address-cache refresh.
@@ -154,6 +281,10 @@ void ClientNode::HandleMessage(const Message& msg) {
         return;
       }
       PendingScan& scan = it->second;
+      if (scan.replied.contains(reply.bucket)) {
+        CountDuplicate();  // A duplicated reply must not double records.
+        return;
+      }
       scan.replied[reply.bucket] = reply.level;
       for (const auto& rec : reply.records) scan.records.push_back(rec);
       if (!scan.deterministic) return;  // Completed via time-out upstream.
@@ -206,7 +337,8 @@ void ClientNode::HandleDeliveryFailure(const Message& msg) {
       // coordinator, which completes the operation (recovering first when
       // the file has an availability layer).
       const auto& req = static_cast<const OpRequestMsg&>(*msg.body);
-      if (!pending_.contains(req.op_id)) return;
+      auto it = pending_.find(req.op_id);
+      if (it == pending_.end()) return;
       // Evict the stale cache entry; the next attempt re-resolves.
       if (req.intended_bucket < cached_nodes_.size()) {
         cached_nodes_[req.intended_bucket] = kInvalidNode;
@@ -215,6 +347,14 @@ void ClientNode::HandleDeliveryFailure(const Message& msg) {
       report->node = msg.to;
       report->bucket = req.intended_bucket;
       Send(ctx_->coordinator, std::move(report));
+
+      if (retry_.enabled) {
+        // The bounce is a definite loss signal: retry immediately rather
+        // than waiting out the attempt timer (RetryOp re-arms the
+        // deadline, superseding it).
+        RetryOp(req.op_id, it->second);
+        return;
+      }
 
       auto bounce = std::make_unique<ClientOpViaCoordinatorMsg>();
       bounce->op = req.op;

@@ -3,17 +3,47 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "lh/lh_math.h"
 #include "lhstar/messages.h"
 #include "lhstar/system.h"
 #include "net/node.h"
 
 namespace lhrs {
+
+namespace telemetry {
+class Counter;
+}  // namespace telemetry
+
+/// Client-side resilience knobs for lossy networks (the chaos engine's
+/// territory). Disabled by default: in a fault-free simulation the only
+/// failure signal is the delivery-failure bounce, which the base protocol
+/// already handles, and retry timers would change message counts.
+///
+/// With the policy enabled a key-addressed operation becomes at-least-once:
+/// attempts 1..max_direct_attempts go straight to the addressed bucket
+/// (each armed with a timeout of request_timeout_us plus exponential
+/// backoff with +/- jitter), later attempts escalate to the coordinator,
+/// whose degraded-read path answers even with the data bucket down. The
+/// duplicate deliveries that retries can produce are suppressed by op id on
+/// the reply path, and retried inserts/deletes map kAlreadyExists/kNotFound
+/// back to success (the earlier attempt landed).
+struct ClientRetryPolicy {
+  bool enabled = false;
+  uint32_t max_direct_attempts = 3;  ///< Sends to the bucket itself.
+  uint32_t max_total_attempts = 6;   ///< Including coordinator escalations.
+  SimTime request_timeout_us = 6000; ///< Lost-reply detection per attempt.
+  SimTime base_backoff_us = 500;     ///< Backoff before attempt 2.
+  SimTime max_backoff_us = 8000;     ///< Exponential growth cap.
+  double jitter = 0.5;               ///< Backoff spread: b * (1 +/- jitter).
+  uint64_t seed = 42;                ///< Jitter stream (deterministic).
+};
 
 /// Completed outcome of a client operation.
 struct OpOutcome {
@@ -70,12 +100,25 @@ class ClientNode : public Node {
   /// Number of operations that needed at least one forwarding hop.
   uint64_t forwarded_ops() const { return forwarded_ops_; }
 
+  /// Installs (or, with policy.enabled false, removes) the retry layer.
+  /// Applies to operations started afterwards.
+  void SetRetryPolicy(ClientRetryPolicy policy);
+  const ClientRetryPolicy& retry_policy() const { return retry_; }
+
+  /// Resilience counters (mirrored to telemetry when enabled, as
+  /// client.retries / client.escalations / client.duplicates_suppressed).
+  uint64_t retries() const { return retries_; }
+  uint64_t escalations() const { return escalations_; }
+  uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+
  private:
   struct PendingOp {
     OpType op;
     Key key = 0;
     Bytes value;
     BucketNo sent_to_bucket = 0;
+    uint32_t attempts = 1;
+    SimTime deadline = 0;  ///< Current attempt's timeout instant.
   };
 
   struct PendingScan {
@@ -92,6 +135,28 @@ class ClientNode : public Node {
   void CompleteOp(uint64_t op_id, OpOutcome outcome);
   bool ScanCoverageComplete(const PendingScan& scan) const;
 
+  /// Timer callback (HandleTimer): attempts are tracked by op id.
+  void HandleTimer(uint64_t timer_id) override;
+
+  /// Re-sends a timed-out / bounced operation: directly while direct
+  /// attempts remain, then via the coordinator, then gives up.
+  void RetryOp(uint64_t op_id, PendingOp& op);
+
+  /// Arms the current attempt's timeout timer and records its deadline
+  /// (stale timers from superseded attempts check the deadline and bail —
+  /// the simulator has no timer cancellation).
+  void ArmOpTimer(uint64_t op_id, PendingOp& op);
+
+  /// Backoff before attempt `attempt` (0 for the first attempt):
+  /// exponential in the attempt number, capped, with +/- jitter.
+  SimTime Backoff(uint32_t attempt);
+
+  void SendDirect(uint64_t op_id, PendingOp& op);
+  void SendViaCoordinator(uint64_t op_id, const PendingOp& op);
+  void CountRetry();
+  void CountDuplicate();
+  void ResolveCounters();
+
   std::shared_ptr<SystemContext> ctx_;
   ClientImage image_;
   uint64_t next_op_id_ = 1;
@@ -101,6 +166,15 @@ class ClientNode : public Node {
   std::vector<NodeId> cached_nodes_;
   uint64_t iam_count_ = 0;
   uint64_t forwarded_ops_ = 0;
+
+  ClientRetryPolicy retry_;
+  std::optional<Rng> retry_rng_;
+  uint64_t retries_ = 0;
+  uint64_t escalations_ = 0;
+  uint64_t duplicates_suppressed_ = 0;
+  telemetry::Counter* retries_counter_ = nullptr;
+  telemetry::Counter* escalations_counter_ = nullptr;
+  telemetry::Counter* duplicates_counter_ = nullptr;
 };
 
 }  // namespace lhrs

@@ -24,6 +24,12 @@ size_t DataBucketNode::StorageBytes() const {
 }
 
 void DataBucketNode::HandleMessage(const Message& msg) {
+  const int k = msg.body->kind();
+  if ((k == LhStarMsg::kSplitOrder || k == LhStarMsg::kMoveRecords ||
+       k == LhStarMsg::kMergeOut || k == LhStarMsg::kMergeRecords) &&
+      network()->fault_injection_active() && dedup_.SeenBefore(msg.id)) {
+    return;  // Duplicated restructuring message (not idempotent).
+  }
   switch (msg.body->kind()) {
     case LhStarMsg::kOpRequest:
       HandleOpRequest(msg);
@@ -258,11 +264,24 @@ void DataBucketNode::HandleSplitOrder(const SplitOrderMsg& order) {
 void DataBucketNode::HandleMoveRecords(const MoveRecordsMsg& move) {
   LHRS_CHECK_EQ(move.bucket, bucket_no_);
   LHRS_CHECK_EQ(move.level, level_);
+  std::vector<WireRecord> fresh;
+  fresh.reserve(move.records.size());
   for (const auto& rec : move.records) {
     auto [it, inserted] = records_.try_emplace(rec.key, rec.value);
-    LHRS_CHECK(inserted) << "duplicate key in split move";
+    if (!inserted) {
+      // Chaos duplication (of the move itself, or of its orphan-relay via
+      // the coordinator) redelivers records we already hold; applying them
+      // twice would corrupt parity.
+      LHRS_CHECK(network()->fault_injection_active())
+          << "duplicate key in split move";
+      continue;
+    }
+    fresh.push_back(rec);
   }
-  OnRecordsMovedIn(move.records);
+  if (fresh.empty() && initialized_ && !move.records.empty()) {
+    return;  // Pure redelivery: everything already applied and acked.
+  }
+  OnRecordsMovedIn(fresh);
   initialized_ = true;
 
   auto done = std::make_unique<SplitDoneMsg>();

@@ -9,6 +9,7 @@
 #include "lh/lh_math.h"
 #include "lhstar/messages.h"
 #include "lhstar/system.h"
+#include "net/dedup.h"
 #include "net/node.h"
 
 namespace lhrs {
@@ -98,6 +99,11 @@ class DataBucketNode : public Node {
   std::map<Key, Bytes> records_;  // Ordered: deterministic split movement.
 
  private:
+  /// Restructuring messages (split orders, record moves/merges) are not
+  /// idempotent; duplicated deliveries under fault injection are dropped
+  /// by message id here.
+  DuplicateFilter dedup_;
+
   void HandleOpRequest(const Message& msg);
   void ExecuteLocalOp(const OpRequestMsg& req);
   void HandleSplitOrder(const SplitOrderMsg& order);

@@ -137,6 +137,32 @@ DataBucketNode* LhStarFile::bucket(BucketNo b) const {
   return network_.node_as<DataBucketNode>(ctx_->allocation.Lookup(b));
 }
 
+chaos::ChaosEngine& LhStarFile::AttachChaos(chaos::FaultPlan plan) {
+  chaos_.reset();  // Detach first: the engine registers a network hook.
+  chaos_ = std::make_unique<chaos::ChaosEngine>(
+      &network_, std::move(plan), ChaosGroupResolver(), ChaosRestoreHook());
+  return *chaos_;
+}
+
+void LhStarFile::DetachChaos() { chaos_.reset(); }
+
+void LhStarFile::PlayOutChaos() {
+  if (chaos_ == nullptr) return;
+  network_.RunUntil(chaos_->Horizon());
+  network_.RunUntilIdle();
+}
+
+chaos::ChaosEngine::RestoreHook LhStarFile::ChaosRestoreHook() {
+  // Must not pump the event loop: it runs inside event processing. The
+  // self-check messages play out in the surrounding run.
+  return [this](NodeId node) {
+    network_.SetAvailable(node, true);
+    if (auto* bucket = dynamic_cast<DataBucketNode*>(network_.node(node))) {
+      bucket->SelfCheck();
+    }
+  };
+}
+
 StorageStats LhStarFile::GetStorageStats() const {
   StorageStats stats;
   stats.data_buckets = bucket_count();

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "common/bytes.h"
 #include "common/result.h"
 #include "lhstar/client.h"
@@ -75,7 +76,31 @@ class LhStarFile {
 
   virtual StorageStats GetStorageStats() const;
 
+  // --- Chaos / fault injection --------------------------------------------
+  /// Arms a scripted fault scenario against this file's network: message
+  /// faults apply from now on, scheduled faults fire at their offsets from
+  /// now. Replaces any previously attached engine. The file stays attached
+  /// until DetachChaos (faults keep applying across operations).
+  chaos::ChaosEngine& AttachChaos(chaos::FaultPlan plan);
+  void DetachChaos();
+  bool chaos_attached() const { return chaos_ != nullptr; }
+  chaos::ChaosEngine* chaos() { return chaos_.get(); }
+
+  /// Runs the simulation until the attached plan's last scheduled fault
+  /// has fired and the system is idle again (workload-independent tail of
+  /// a drill: restores, late recoveries).
+  void PlayOutChaos();
+
  protected:
+  /// Chaos hooks a subclass can specialise: how to map a bucket group to
+  /// node ids (plain LH* has no parity groups — no resolver) and how to
+  /// restore a crashed node (default: mark available + self-check so a
+  /// replaced bucket stands down).
+  virtual chaos::ChaosEngine::GroupResolver ChaosGroupResolver() {
+    return nullptr;
+  }
+  virtual chaos::ChaosEngine::RestoreHook ChaosRestoreHook();
+
   /// Subclass constructor hook: builds the network/context but defers node
   /// creation to the subclass (which installs its own coordinator and
   /// factory).
@@ -90,6 +115,8 @@ class LhStarFile {
   std::shared_ptr<SystemContext> ctx_;
   CoordinatorNode* coordinator_ = nullptr;  // Owned by network_.
   std::vector<ClientNode*> clients_;        // Owned by network_.
+  /// Declared after network_ so it detaches before the network dies.
+  std::unique_ptr<chaos::ChaosEngine> chaos_;
 };
 
 }  // namespace lhrs

@@ -1,0 +1,46 @@
+#ifndef LHRS_NET_DEDUP_H_
+#define LHRS_NET_DEDUP_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace lhrs {
+
+/// Bounded receiver-side duplicate detector, keyed on Message::id (a
+/// duplicated delivery carries the same id as the original — see
+/// FaultActions::duplicates). Nodes whose handlers are not idempotent
+/// (parity-delta application, record moves) consult it when a fault
+/// injector is active; in a fault-free simulation the network never
+/// duplicates, so the filter stays empty.
+///
+/// The window is FIFO-bounded: after `capacity` further messages a
+/// duplicate would be forgotten. Simulated duplicates arrive at the same
+/// latency as their originals, so a window of thousands is far beyond any
+/// achievable reorder distance.
+class DuplicateFilter {
+ public:
+  explicit DuplicateFilter(size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Records `msg_id` and reports whether it was already in the window.
+  bool SeenBefore(uint64_t msg_id) {
+    if (!seen_.insert(msg_id).second) return true;
+    order_.push_back(msg_id);
+    if (order_.size() > capacity_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+    }
+    return false;
+  }
+
+  size_t size() const { return order_.size(); }
+
+ private:
+  size_t capacity_;
+  std::unordered_set<uint64_t> seen_;
+  std::deque<uint64_t> order_;
+};
+
+}  // namespace lhrs
+
+#endif  // LHRS_NET_DEDUP_H_

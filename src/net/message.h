@@ -55,6 +55,11 @@ struct Message {
   NodeId to = kInvalidNode;
   SimTime send_time = 0;
   bool multicast_member = false;  ///< Part of a 1-counted multicast batch.
+  /// Crash epoch of the destination at send time. A crash increments the
+  /// destination's epoch, so a message in flight across a crash bounces
+  /// even when the node is back up by delivery time — the crash lost the
+  /// in-flight state.
+  uint64_t to_epoch = 0;
   std::unique_ptr<MessageBody> body;
 };
 

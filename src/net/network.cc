@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace lhrs {
@@ -55,6 +56,11 @@ void Network::Multicast(
   }
 }
 
+void Network::Push(Event event) {
+  if (event.wake) ++wake_events_;
+  events_.push(std::move(event));
+}
+
 void Network::Enqueue(std::unique_ptr<MessageBody> body, NodeId from,
                       NodeId to, bool multicast_member) {
   LHRS_CHECK(body != nullptr);
@@ -78,10 +84,47 @@ void Network::Enqueue(std::unique_ptr<MessageBody> body, NodeId from,
   msg->to = to;
   msg->send_time = now_;
   msg->multicast_member = multicast_member;
+  msg->to_epoch = nodes_[to].epoch;
   msg->body = std::move(body);
 
-  events_.push(Event{now_ + DeliveryLatency(bytes), next_seq_++,
-                     EventType::kDeliver, std::move(msg)});
+  SimTime latency = DeliveryLatency(bytes);
+  if (injector_ != nullptr) {
+    const FaultActions actions = injector_->OnMessage(*msg, now_);
+    if (actions.latency_factor != 1.0) {
+      latency = static_cast<SimTime>(static_cast<double>(latency) *
+                                     actions.latency_factor);
+    }
+    latency += actions.extra_delay_us;
+    if (actions.drop) {
+      // The loss is indistinguishable from a crashed destination for the
+      // sender: its RPC times out and HandleDeliveryFailure fires.
+      stats_.RecordDeliveryFailure();
+      if (telemetry_ != nullptr) tm_.delivery_failures->Add();
+      if (msg->from != kInvalidNode) {
+        Push(Event{now_ + latency + config_.timeout_us, next_seq_++,
+                   EventType::kDeliveryFailure, std::move(msg)});
+      }
+      return;
+    }
+    for (uint32_t d = 0; d < actions.duplicates; ++d) {
+      // Copies share the Message object: same id, same body — exactly what
+      // receiver-side duplicate suppression must cope with.
+      Push(Event{now_ + latency, next_seq_++, EventType::kDeliver, msg});
+    }
+  }
+
+  Push(Event{now_ + latency, next_seq_++, EventType::kDeliver,
+             std::move(msg)});
+}
+
+void Network::ScheduleTimer(NodeId node, SimTime delay, uint64_t timer_id,
+                            bool wake) {
+  LHRS_CHECK(node >= 0 && static_cast<size_t>(node) < nodes_.size());
+  Event ev{now_ + delay, next_seq_++, EventType::kTimer, nullptr};
+  ev.timer_node = node;
+  ev.timer_id = timer_id;
+  ev.wake = wake;
+  Push(std::move(ev));
 }
 
 void Network::SetAvailable(NodeId id, bool available) {
@@ -94,6 +137,7 @@ void Network::SetAvailable(NodeId id, bool available) {
                                  id, -1, -1, -1, 0});
     tm_.nodes_unavailable->Add(available ? -1 : 1);
   }
+  if (nodes_[id].available && !available) ++nodes_[id].epoch;
   nodes_[id].available = available;
 }
 
@@ -103,56 +147,82 @@ bool Network::available(NodeId id) const {
 }
 
 void Network::RunUntilIdle() {
-  while (!events_.empty()) {
+  while (wake_events_ > 0) {
+    LHRS_CHECK(!events_.empty());
     Event ev = std::move(const_cast<Event&>(events_.top()));
     events_.pop();
-    LHRS_CHECK_GE(ev.time, now_);
-    now_ = ev.time;
-    ++processed_events_;
-    LHRS_CHECK_LT(processed_events_, kEventBudget)
-        << "event budget exhausted — protocol loop?";
+    ProcessEvent(std::move(ev));
+  }
+}
 
-    Message& msg = *ev.message;
-    switch (ev.type) {
-      case EventType::kDeliver: {
-        if (!nodes_[msg.to].available) {
-          // Destination is down: the sender times out. An unavailable
-          // sender gets nothing (it crashed too).
-          stats_.RecordDeliveryFailure();
-          if (telemetry_ != nullptr) tm_.delivery_failures->Add();
-          if (msg.from != kInvalidNode && nodes_[msg.from].available) {
-            events_.push(Event{now_ + config_.timeout_us, next_seq_++,
-                               EventType::kDeliveryFailure, ev.message});
-          }
-          break;
-        }
-        const size_t bytes = msg.body->ByteSize();
-        stats_.RecordReceive(msg.to, bytes);
-        if (telemetry_ != nullptr) {
-          tm_.deliveries->Add();
-          tm_.delivery_latency_us->Record(now_ - msg.send_time);
-          if (telemetry_->trace_messages()) {
-            telemetry_->tracer().Record(
-                {now_, telemetry::TraceEventType::kDeliver, msg.to, msg.from,
-                 msg.body->kind(), -1, static_cast<int64_t>(bytes)});
-          }
-        }
-        nodes_[msg.to].node->HandleMessage(msg);
-        break;
-      }
-      case EventType::kDeliveryFailure: {
-        if (msg.from != kInvalidNode && nodes_[msg.from].available) {
-          if (telemetry_ != nullptr && telemetry_->trace_messages()) {
-            telemetry_->tracer().Record(
-                {now_, telemetry::TraceEventType::kDeliveryFailure, msg.from,
-                 msg.to, msg.body->kind(), -1,
-                 static_cast<int64_t>(msg.body->ByteSize())});
-          }
-          nodes_[msg.from].node->HandleDeliveryFailure(msg);
-        }
-        break;
-      }
+void Network::RunUntil(SimTime t) {
+  while (!events_.empty() && events_.top().time <= t) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    ProcessEvent(std::move(ev));
+  }
+  now_ = std::max(now_, t);
+}
+
+void Network::ProcessEvent(Event ev) {
+  LHRS_CHECK_GE(ev.time, now_);
+  now_ = ev.time;
+  if (ev.wake) --wake_events_;
+  ++processed_events_;
+  LHRS_CHECK_LT(processed_events_, kEventBudget)
+      << "event budget exhausted — protocol loop?";
+
+  if (ev.type == EventType::kTimer) {
+    if (nodes_[ev.timer_node].available) {
+      nodes_[ev.timer_node].node->HandleTimer(ev.timer_id);
     }
+    return;
+  }
+
+  Message& msg = *ev.message;
+  switch (ev.type) {
+    case EventType::kDeliver: {
+      if (!nodes_[msg.to].available ||
+          nodes_[msg.to].epoch != msg.to_epoch) {
+        // Destination is down — or crashed while the message was in
+        // flight (the crash lost it even if the node is back): the sender
+        // times out. An unavailable sender gets nothing (it crashed too).
+        stats_.RecordDeliveryFailure();
+        if (telemetry_ != nullptr) tm_.delivery_failures->Add();
+        if (msg.from != kInvalidNode && nodes_[msg.from].available) {
+          Push(Event{now_ + config_.timeout_us, next_seq_++,
+                     EventType::kDeliveryFailure, ev.message});
+        }
+        break;
+      }
+      const size_t bytes = msg.body->ByteSize();
+      stats_.RecordReceive(msg.to, bytes);
+      if (telemetry_ != nullptr) {
+        tm_.deliveries->Add();
+        tm_.delivery_latency_us->Record(now_ - msg.send_time);
+        if (telemetry_->trace_messages()) {
+          telemetry_->tracer().Record(
+              {now_, telemetry::TraceEventType::kDeliver, msg.to, msg.from,
+               msg.body->kind(), -1, static_cast<int64_t>(bytes)});
+        }
+      }
+      nodes_[msg.to].node->HandleMessage(msg);
+      break;
+    }
+    case EventType::kDeliveryFailure: {
+      if (msg.from != kInvalidNode && nodes_[msg.from].available) {
+        if (telemetry_ != nullptr && telemetry_->trace_messages()) {
+          telemetry_->tracer().Record(
+              {now_, telemetry::TraceEventType::kDeliveryFailure, msg.from,
+               msg.to, msg.body->kind(), -1,
+               static_cast<int64_t>(msg.body->ByteSize())});
+        }
+        nodes_[msg.from].node->HandleDeliveryFailure(msg);
+      }
+      break;
+    }
+    case EventType::kTimer:
+      break;  // Handled above.
   }
 }
 

@@ -25,6 +25,25 @@ struct NetworkConfig {
   bool multicast_available = true;    ///< Hardware multicast for scans.
 };
 
+/// What a fault injector tells the network to do with one message about to
+/// be scheduled for delivery. The default value is "deliver normally".
+struct FaultActions {
+  bool drop = false;           ///< Lose the message (sender times out).
+  uint32_t duplicates = 0;     ///< Extra copies delivered alongside.
+  SimTime extra_delay_us = 0;  ///< Added to the computed latency.
+  double latency_factor = 1.0; ///< Multiplies the computed latency.
+};
+
+/// Hook between the network and its delivery queue. When attached, every
+/// enqueued message is offered to the injector, which can drop, duplicate,
+/// delay or slow it (see src/chaos for the scripted implementation). The
+/// injector must be deterministic for replays to be byte-identical.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultActions OnMessage(const Message& msg, SimTime now) = 0;
+};
+
 /// Discrete-event message-passing simulator of a share-nothing
 /// multicomputer.
 ///
@@ -71,14 +90,32 @@ class Network {
       std::vector<std::pair<NodeId, std::unique_ptr<MessageBody>>> batch);
 
   /// Crash / restore a node. An unavailable node receives nothing; senders
-  /// get HandleDeliveryFailure after the timeout.
+  /// get HandleDeliveryFailure after the timeout. A crash also increments
+  /// the node's crash epoch: messages already in flight towards it bounce
+  /// even if the node is restored before their delivery time.
   void SetAvailable(NodeId id, bool available);
   bool available(NodeId id) const;
 
-  /// Runs the event loop until no events remain. Every client-visible
-  /// operation in this codebase completes within one call (the protocols
-  /// contain no unbounded retries).
+  /// Schedules `node`'s HandleTimer(timer_id) to fire after `delay`.
+  /// Timers to a node that is unavailable at fire time are silently
+  /// dropped. With `wake` false the timer does not keep RunUntilIdle
+  /// going: it fires only if protocol traffic carries simulated time past
+  /// it (the chaos engine schedules its fault script this way, so an idle
+  /// file does not fast-forward through the whole schedule).
+  void ScheduleTimer(NodeId node, SimTime delay, uint64_t timer_id,
+                     bool wake = true);
+
+  /// Runs the event loop until no *wake* events remain (messages, delivery
+  /// failures and ordinary timers). Every client-visible operation in this
+  /// codebase completes within one call (the protocols' retries are
+  /// bounded). Non-wake timers scheduled beyond the quiescent time stay
+  /// queued.
   void RunUntilIdle();
+
+  /// Processes every event (wake or not) with time <= t, then advances the
+  /// clock to `t`. Lets a driver play out the remainder of a scripted
+  /// fault schedule after the workload went idle.
+  void RunUntil(SimTime t);
 
   /// Current simulated time (microseconds).
   SimTime now() const { return now_; }
@@ -98,17 +135,29 @@ class Network {
   /// layer gates on this pointer, so the disabled path costs one branch.
   telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
 
+  /// Attaches (or with nullptr detaches) a fault injector. Not owned; the
+  /// caller keeps it alive while attached.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// True while a fault injector is attached. Protocol layers use this to
+  /// turn on retransmissions that would be dead weight in a fault-free
+  /// simulation.
+  bool fault_injection_active() const { return injector_ != nullptr; }
+
   /// Total messages processed since construction (safety valve for tests).
   uint64_t processed_events() const { return processed_events_; }
 
  private:
-  enum class EventType { kDeliver, kDeliveryFailure };
+  enum class EventType { kDeliver, kDeliveryFailure, kTimer };
 
   struct Event {
     SimTime time;
     uint64_t seq;  // FIFO tiebreak.
     EventType type;
-    std::shared_ptr<Message> message;
+    std::shared_ptr<Message> message;  // null for kTimer.
+    NodeId timer_node = kInvalidNode;
+    uint64_t timer_id = 0;
+    bool wake = true;  ///< Keeps RunUntilIdle going (see ScheduleTimer).
   };
 
   struct EventLater {
@@ -121,6 +170,7 @@ class Network {
   struct NodeSlot {
     std::unique_ptr<Node> node;
     bool available = true;
+    uint64_t epoch = 0;  ///< Incremented on each crash (see Message).
   };
 
   SimTime DeliveryLatency(size_t bytes) const {
@@ -132,6 +182,8 @@ class Network {
 
   void Enqueue(std::unique_ptr<MessageBody> body, NodeId from, NodeId to,
                bool multicast_member);
+  void Push(Event event);
+  void ProcessEvent(Event ev);
 
   NetworkConfig config_;
   std::vector<NodeSlot> nodes_;
@@ -140,7 +192,9 @@ class Network {
   uint64_t next_message_id_ = 1;
   uint64_t next_seq_ = 1;
   uint64_t processed_events_ = 0;
+  size_t wake_events_ = 0;  ///< Queued events with wake == true.
   MessageStats stats_;
+  FaultInjector* injector_ = nullptr;
 
   std::unique_ptr<telemetry::Telemetry> telemetry_;
   /// Cached metric handles so the enabled per-message path does no name

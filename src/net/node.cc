@@ -8,9 +8,18 @@ void Node::HandleDeliveryFailure(const Message& msg) {
   (void)msg;  // Default: losses are ignored; protocol nodes override.
 }
 
+void Node::HandleTimer(uint64_t timer_id) {
+  (void)timer_id;  // Default: spurious timers are ignored.
+}
+
 void Node::Send(NodeId to, std::unique_ptr<MessageBody> body) {
   LHRS_CHECK(network_ != nullptr) << "node not registered on a network";
   network_->Send(id_, to, std::move(body));
+}
+
+void Node::ScheduleTimer(SimTime delay, uint64_t timer_id) {
+  LHRS_CHECK(network_ != nullptr) << "node not registered on a network";
+  network_->ScheduleTimer(id_, delay, timer_id);
 }
 
 }  // namespace lhrs

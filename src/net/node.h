@@ -31,12 +31,19 @@ class Node {
   /// simulator's model of an RPC timeout. Default: ignore.
   virtual void HandleDeliveryFailure(const Message& msg);
 
+  /// Invoked when a timer armed with ScheduleTimer fires (and this node is
+  /// still available). Default: ignore.
+  virtual void HandleTimer(uint64_t timer_id);
+
   /// Human-readable role tag for logs ("bucket", "client", ...).
   virtual const char* role() const { return "node"; }
 
  protected:
   /// Sends a message to `to`. Valid only after registration on a network.
   void Send(NodeId to, std::unique_ptr<MessageBody> body);
+
+  /// Arms HandleTimer(timer_id) to fire after `delay` simulated us.
+  void ScheduleTimer(SimTime delay, uint64_t timer_id);
 
   Network* network() const { return network_; }
 

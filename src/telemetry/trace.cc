@@ -32,6 +32,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "recovery_end";
     case TraceEventType::kParityUpdateRound:
       return "parity_update_round";
+    case TraceEventType::kFaultInjected:
+      return "fault_injected";
   }
   return "unknown";
 }

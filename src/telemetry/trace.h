@@ -25,6 +25,9 @@ enum class TraceEventType : uint8_t {
   kRecoveryEnd,          ///< Task finished (detail: 0 ok, 1 aborted/lost).
   kParityUpdateRound,    ///< Parity bucket applied a delta round
                          ///< (detail = deltas in the round).
+  kFaultInjected,        ///< Chaos engine acted on a message or node
+                         ///< (detail = chaos::FaultKind; node/peer =
+                         ///< from/to, kind = message kind when applicable).
 };
 
 const char* TraceEventTypeName(TraceEventType type);

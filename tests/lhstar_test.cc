@@ -173,6 +173,49 @@ TEST(LhStarFileTest, ScanFindsEverythingDeterministically) {
   EXPECT_EQ(seen, keys);
 }
 
+TEST(LhStarFileTest, ScanFallsBackToUnicastWithoutMulticast) {
+  // Section 2.1: without a hardware multicast service the client sends one
+  // point-to-point ScanRequest per image bucket, each paying full message
+  // cost; with the service, a scan counts as a single multicast message.
+  LhStarFile::Options opts = SmallFile(7);
+  opts.net.multicast_available = false;
+  LhStarFile file(opts);
+  Rng rng(41);
+  std::set<Key> keys;
+  while (keys.size() < 200) keys.insert(rng.Next64());
+  for (Key k : keys) ASSERT_TRUE(file.Insert(k, Val("scanme")).ok());
+
+  const uint64_t image_buckets =
+      file.client(0).image().presumed_bucket_count();
+  const uint64_t before =
+      file.network().stats().ForKind(LhStarMsg::kScanRequest).messages;
+  auto result = file.Scan();
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::set<Key> seen;
+  for (const auto& rec : *result) seen.insert(rec.key);
+  EXPECT_EQ(seen, keys);
+  const uint64_t sent =
+      file.network().stats().ForKind(LhStarMsg::kScanRequest).messages -
+      before;
+  // One true unicast per image bucket (server-side coverage forwarding may
+  // add more for buckets the image does not know).
+  EXPECT_GE(sent, image_buckets);
+  EXPECT_GT(sent, 1u);
+
+  // Contrast: the multicast path books the client's fan-out as a single
+  // message (only server-side coverage forwards remain unicast), so the
+  // same scan over the same file costs strictly fewer messages.
+  LhStarFile mfile(SmallFile(7));
+  for (Key k : keys) ASSERT_TRUE(mfile.Insert(k, Val("scanme")).ok());
+  const uint64_t mbefore =
+      mfile.network().stats().ForKind(LhStarMsg::kScanRequest).messages;
+  ASSERT_TRUE(mfile.Scan().ok());
+  const uint64_t msent =
+      mfile.network().stats().ForKind(LhStarMsg::kScanRequest).messages -
+      mbefore;
+  EXPECT_LT(msent, sent);
+}
+
 TEST(LhStarFileTest, ScanWithPredicateSelectsSubset) {
   LhStarFile file(SmallFile(9));
   for (Key k = 0; k < 100; ++k) {
