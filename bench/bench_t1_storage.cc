@@ -12,6 +12,7 @@
 #include "baselines/lhs/lhs_file.h"
 #include "bench/bench_util.h"
 #include "lhrs/lhrs_file.h"
+#include "store/bucket_store.h"
 
 namespace lhrs::bench {
 namespace {
@@ -89,6 +90,50 @@ void Run(BenchReport& r) {
   }
 }
 
+/// Measured throughput of the BucketStore engine itself (no network, no
+/// parity): the arena's single-ingestion-copy insert path, O(1) handle
+/// lookups, overwrite churn with tombstoning, and a full repack.
+void RunEngineThroughput(BenchReport& r) {
+  constexpr size_t kEngineRecords = 100'000;
+  constexpr size_t kEngineValueBytes = 256;
+  constexpr uint64_t kEngineBytes = kEngineRecords * kEngineValueBytes;
+
+  r.BeginTable("T1b — BucketStore engine throughput (100k x 256 B)",
+               {"operation", "ops", "bytes", "ops/s", "bytes/s"});
+
+  Rng rng(5000);
+  std::vector<Bytes> values;
+  values.reserve(kEngineRecords);
+  for (size_t i = 0; i < kEngineRecords; ++i) {
+    values.push_back(rng.RandomBytes(kEngineValueBytes));
+  }
+
+  store::BucketStore store;
+  WallTimer timer;
+  for (size_t i = 0; i < kEngineRecords; ++i) {
+    store.Insert(i, values[i]);
+  }
+  r.ThroughputRow("insert", kEngineRecords, kEngineBytes, timer.Seconds());
+
+  timer.Reset();
+  uint64_t found_bytes = 0;
+  for (size_t i = 0; i < kEngineRecords; ++i) {
+    found_bytes += store.Find(i)->size();
+  }
+  r.ThroughputRow("find", kEngineRecords, found_bytes, timer.Seconds());
+
+  timer.Reset();
+  for (size_t i = 0; i < kEngineRecords; ++i) {
+    store.Put(i, BufferView(values[kEngineRecords - 1 - i]));
+  }
+  r.ThroughputRow("overwrite", kEngineRecords, kEngineBytes, timer.Seconds());
+
+  timer.Reset();
+  store.Compact();
+  r.ThroughputRow("compact", store.size(), store.payload_bytes(),
+                  timer.Seconds());
+}
+
 }  // namespace
 }  // namespace lhrs::bench
 
@@ -97,5 +142,6 @@ int main(int argc, char** argv) {
   report.report().AddParam("records", int64_t{2000});
   report.report().AddParam("value_bytes", int64_t{128});
   lhrs::bench::Run(report);
+  lhrs::bench::RunEngineThroughput(report);
   return lhrs::bench::WriteReport(report.report(), argc, argv);
 }

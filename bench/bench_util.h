@@ -1,6 +1,7 @@
 #ifndef LHRS_BENCH_BENCH_UTIL_H_
 #define LHRS_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <set>
 #include <string>
@@ -41,12 +42,48 @@ inline std::string FmtSci(double v) {
   return buf;
 }
 
+/// Formats a rate with a K/M/G suffix, e.g. 1.53M ops/s or 37.6G B/s.
+inline std::string FmtRate(double per_sec, const char* unit) {
+  const char* suffix = "";
+  if (per_sec >= 1e9) {
+    per_sec /= 1e9;
+    suffix = "G";
+  } else if (per_sec >= 1e6) {
+    per_sec /= 1e6;
+    suffix = "M";
+  } else if (per_sec >= 1e3) {
+    per_sec /= 1e3;
+    suffix = "K";
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.2f%s %s", per_sec, suffix, unit);
+  return buf;
+}
+
+/// Wall-clock stopwatch for measured-throughput tables (as opposed to the
+/// simulated-cost tables, which count messages and simulated time).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// Console + report dual writer. Every experiment binary drives one of
 /// these: tables print in the usual markdown format (EXPERIMENTS.md quotes
 /// stdout directly) and are simultaneously recorded into a
 /// telemetry::RunReport, which main() writes as <name>.report.json via
-/// WriteReport. Runs are seeded, so reports are byte-identical across
-/// identical invocations and can be diffed as bench trajectories.
+/// WriteReport. Runs are seeded, so simulated-cost tables are
+/// byte-identical across identical invocations and can be diffed as bench
+/// trajectories; ThroughputRow tables are wall-clock measurements and are
+/// not (diff those with a tolerance).
 class BenchReport {
  public:
   explicit BenchReport(std::string name) : report_(std::move(name)) {}
@@ -66,6 +103,19 @@ class BenchReport {
   void Row(std::vector<std::string> cells) {
     PrintRow(cells);
     report_.AddTableRow(std::move(cells));
+  }
+
+  /// Appends a measured-throughput row: the operation label, counts, and
+  /// the derived ops/sec and bytes/sec. Use under a table whose header
+  /// ends with {"ops", "bytes", "ops/s", "bytes/s"}. Unlike the
+  /// simulated-cost rows, these rates come from wall-clock timing and
+  /// vary run to run; regression gates on them need a tolerance.
+  void ThroughputRow(const std::string& label, uint64_t ops, uint64_t bytes,
+                     double seconds) {
+    const double s = seconds > 0 ? seconds : 1e-9;
+    Row({label, std::to_string(ops), std::to_string(bytes),
+         FmtRate(static_cast<double>(ops) / s, "ops/s"),
+         FmtRate(static_cast<double>(bytes) / s, "B/s")});
   }
 
  private:

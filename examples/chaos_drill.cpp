@@ -177,12 +177,16 @@ DrillOutcome RunDrill(uint64_t seed, bool verbose) {
 
 int main(int argc, char** argv) {
   uint64_t seed = 42;
+  std::string trace_out;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
     } else {
-      std::fprintf(stderr, "usage: %s [--seed=N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--seed=N] [--trace-out=PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -200,6 +204,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(second.faults_injected),
               identical ? "byte-identical" : "DIVERGED",
               first.trace_json.size());
+
+  if (!trace_out.empty()) {
+    // The trace is the drill's deterministic fingerprint: dumping it lets
+    // external tooling diff replays across builds, not just within one run.
+    std::FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 2;
+    }
+    std::fwrite(first.trace_json.data(), 1, first.trace_json.size(), f);
+    std::fclose(f);
+  }
 
   const bool ok = first.converged && second.converged && identical &&
                   first.faults_injected > 0;

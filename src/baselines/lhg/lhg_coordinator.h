@@ -78,7 +78,7 @@ class LhgCoordinatorNode : public CoordinatorNode {
     size_t awaiting_replies = 0;
     std::map<uint64_t, ParityRecordG> parity;      // gkey -> record.
     std::map<uint64_t, Key> target_member;          // gkey -> key in bucket.
-    std::map<uint64_t, std::map<Key, Bytes>> member_values;  // by gkey.
+    std::map<uint64_t, std::map<Key, BufferView>> member_values;  // by gkey.
     size_t awaiting_searches = 0;
     bool installing = false;
   };
@@ -102,7 +102,7 @@ class LhgCoordinatorNode : public CoordinatorNode {
     size_t awaiting_finds = 0;
     bool found = false;
     ParityRecordG record;
-    std::map<Key, Bytes> member_values;
+    std::map<Key, BufferView> member_values;
     size_t awaiting_searches = 0;
   };
 

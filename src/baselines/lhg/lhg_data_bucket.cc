@@ -27,7 +27,7 @@ GroupKey LhgDataBucketNode::group_key_of(Key key) const {
 
 void LhgDataBucketNode::SendParityUpdate(GroupKey gk, ParityUpdateMsg::Op op,
                                          Key member, uint32_t new_length,
-                                         Bytes delta) {
+                                         BufferView delta) {
   const uint64_t packed = gk.Packed();
   const BucketNo a = f2_image_.Address(packed);  // A1 on the F2 image.
   auto update = std::make_unique<ParityUpdateMsg>();
@@ -41,23 +41,23 @@ void LhgDataBucketNode::SendParityUpdate(GroupKey gk, ParityUpdateMsg::Op op,
   Send(f2_ctx_->allocation.Lookup(a), std::move(update));
 }
 
-void LhgDataBucketNode::OnInsertCommitted(Key key, const Bytes& value) {
+void LhgDataBucketNode::OnInsertCommitted(Key key, const BufferView& value) {
   const GroupKey gk{bucket_group(), ++counter_};
   group_keys_[key] = gk.Packed();
   SendParityUpdate(gk, ParityUpdateMsg::Op::kAddMember, key,
                    static_cast<uint32_t>(value.size()), value);
 }
 
-void LhgDataBucketNode::OnUpdateCommitted(Key key, const Bytes& old_value,
-                                          const Bytes& new_value) {
-  Bytes delta = old_value;
-  XorAssignPadded(delta, new_value);
+void LhgDataBucketNode::OnUpdateCommitted(Key key,
+                                          const BufferView& old_value,
+                                          const BufferView& new_value) {
   SendParityUpdate(group_key_of(key), ParityUpdateMsg::Op::kValueUpdate, key,
                    static_cast<uint32_t>(new_value.size()),
-                   std::move(delta));
+                   MakeXorDelta(old_value, new_value));
 }
 
-void LhgDataBucketNode::OnDeleteCommitted(Key key, const Bytes& old_value) {
+void LhgDataBucketNode::OnDeleteCommitted(Key key,
+                                          const BufferView& old_value) {
   const GroupKey gk = group_key_of(key);
   group_keys_.erase(key);
   SendParityUpdate(gk, ParityUpdateMsg::Op::kRemoveMember, key, 0,
@@ -149,23 +149,23 @@ void LhgDataBucketNode::HandleCollectForParity(const CollectForParityMsg& req,
   auto reply = std::make_unique<CollectForParityReplyMsg>();
   reply->task_id = req.task_id;
   reply->from_bucket = bucket_no();
-  for (const auto& [key, value] : records_) {
+  records_.ForEachOrdered([&](Key key, const BufferView& value) {
     const uint64_t packed = group_keys_.at(key);
     const BucketNo a = f2_state.Address(packed);
     if (a == req.parity_bucket || a == req.also_bucket) {
       reply->records.push_back(TaggedRecord{packed, key, value});
     }
-  }
+  });
   Send(from, std::move(reply));
 }
 
 void LhgDataBucketNode::HandleInstallData(const InstallDataMsg& install,
                                           NodeId from) {
   LHRS_CHECK_EQ(install.bucket, bucket_no());
-  std::map<Key, Bytes> records;
+  store::BucketStore records;
   group_keys_.clear();
   for (const auto& rec : install.records) {
-    records[rec.key] = rec.value;
+    records.InsertShared(rec.key, rec.value);
     group_keys_[rec.key] = rec.gkey;
   }
   counter_ = install.counter;

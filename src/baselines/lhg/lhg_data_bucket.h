@@ -40,10 +40,10 @@ class LhgDataBucketNode : public DataBucketNode {
   GroupKey group_key_of(Key key) const;
 
  protected:
-  void OnInsertCommitted(Key key, const Bytes& value) override;
-  void OnUpdateCommitted(Key key, const Bytes& old_value,
-                         const Bytes& new_value) override;
-  void OnDeleteCommitted(Key key, const Bytes& old_value) override;
+  void OnInsertCommitted(Key key, const BufferView& value) override;
+  void OnUpdateCommitted(Key key, const BufferView& old_value,
+                         const BufferView& new_value) override;
+  void OnDeleteCommitted(Key key, const BufferView& old_value) override;
   void OnRecordsMovedOut(std::vector<WireRecord>& moved) override;
   void OnRecordsMovedIn(const std::vector<WireRecord>& moved) override;
   void OnDecommissioned() override;
@@ -52,7 +52,7 @@ class LhgDataBucketNode : public DataBucketNode {
 
  private:
   void SendParityUpdate(GroupKey gk, ParityUpdateMsg::Op op, Key member,
-                        uint32_t new_length, Bytes delta);
+                        uint32_t new_length, BufferView delta);
   void HandleCollectForParity(const CollectForParityMsg& req, NodeId from);
   void HandleInstallData(const InstallDataMsg& install, NodeId from);
 

@@ -125,15 +125,18 @@ Status LhgFile::VerifyParityInvariants() const {
   std::map<uint64_t, ParityRecordG> expected;
   for (BucketNo b = 0; b < bucket_count(); ++b) {
     const LhgDataBucketNode* bucket = lhg_bucket(b);
-    for (const auto& [key, value] : bucket->records()) {
+    Status status = Status::OK();
+    bucket->records().ForEachOrdered([&](Key key, const BufferView& value) {
       const uint64_t gkey = bucket->group_key_of(key).Packed();
       auto [it, unused] = expected.try_emplace(gkey);
       if (it->second.HasMember(key)) {
-        return Status::Internal("duplicate member in record group");
+        status = Status::Internal("duplicate member in record group");
+        return;
       }
       it->second.AddMember(key, static_cast<uint32_t>(value.size()));
       XorAssignPadded(it->second.parity, value);
-    }
+    });
+    if (!status.ok()) return status;
   }
   // Compare with F2 contents.
   std::map<uint64_t, ParityRecordG> actual;

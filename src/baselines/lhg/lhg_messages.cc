@@ -1,5 +1,7 @@
 #include "baselines/lhg/lhg_messages.h"
 
+#include <span>
+
 #include <algorithm>
 #include <cstring>
 
@@ -28,7 +30,7 @@ Bytes ParityRecordG::Serialize() const {
   return out;
 }
 
-ParityRecordG ParityRecordG::Deserialize(const Bytes& data) {
+ParityRecordG ParityRecordG::Deserialize(std::span<const uint8_t> data) {
   ParityRecordG out;
   size_t pos = 0;
   auto get_u32 = [&data, &pos] {

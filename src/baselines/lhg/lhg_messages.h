@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "lh/lh_math.h"
 #include "lhstar/messages.h"
@@ -46,7 +48,7 @@ struct ParityRecordG {
   Bytes parity;
 
   Bytes Serialize() const;
-  static ParityRecordG Deserialize(const Bytes& data);
+  static ParityRecordG Deserialize(std::span<const uint8_t> data);
   /// Index of member `c`, or -1.
   int FindMember(Key c) const;
   bool HasMember(Key c) const { return FindMember(c) >= 0; }
@@ -81,7 +83,7 @@ struct ParityUpdateMsg : MessageBody {
   Op op = Op::kAddMember;
   Key member = 0;
   uint32_t new_length = 0;  ///< Value length after the change.
-  Bytes delta;  ///< XORed into the parity bits (zero-padded).
+  BufferView delta;  ///< XORed into the parity bits (zero-padded).
   NodeId reply_to = kInvalidNode;  ///< The F1 bucket, for IAMs.
   BucketNo intended_bucket = 0;
   int hops = 0;
@@ -117,7 +119,7 @@ struct CollectForDataMsg : MessageBody {
 
 struct SerializedParityRecord {
   uint64_t gkey = 0;
-  Bytes data;  ///< ParityRecordG::Serialize form.
+  BufferView data;  ///< ParityRecordG::Serialize form.
 
   size_t ByteSize() const { return 8 + data.size(); }
 };
@@ -156,7 +158,7 @@ struct CollectForParityMsg : MessageBody {
 struct TaggedRecord {
   uint64_t gkey = 0;
   Key key = 0;
-  Bytes value;
+  BufferView value;
 
   size_t ByteSize() const { return 16 + value.size(); }
 };
@@ -228,7 +230,7 @@ struct FindParityReplyMsg : MessageBody {
   BucketNo from_bucket = 0;
   bool found = false;
   uint64_t gkey = 0;
-  Bytes record;  ///< Serialized ParityRecordG when found.
+  BufferView record;  ///< Serialized ParityRecordG when found.
 
   int kind() const override { return LhgMsg::kFindParityReply; }
   size_t ByteSize() const override { return 24 + record.size(); }

@@ -39,9 +39,9 @@ std::vector<std::pair<GroupKey, ParityRecordG>>
 LhgParityBucketNode::DecodedRecords() const {
   std::vector<std::pair<GroupKey, ParityRecordG>> out;
   out.reserve(records_.size());
-  for (const auto& [key, value] : records_) {
+  records_.ForEachOrdered([&](Key key, const BufferView& value) {
     out.emplace_back(GroupKey::Unpack(key), ParityRecordG::Deserialize(value));
-  }
+  });
   return out;
 }
 
@@ -90,9 +90,9 @@ void LhgParityBucketNode::ApplyParityUpdate(const ParityUpdateMsg& update) {
     return;
   }
 
-  auto it = records_.find(update.gkey);
+  const BufferView* existing = records_.Find(update.gkey);
   ParityRecordG record;
-  if (it != records_.end()) record = ParityRecordG::Deserialize(it->second);
+  if (existing != nullptr) record = ParityRecordG::Deserialize(*existing);
 
   switch (update.op) {
     case ParityUpdateMsg::Op::kAddMember:
@@ -111,10 +111,10 @@ void LhgParityBucketNode::ApplyParityUpdate(const ParityUpdateMsg& update) {
     // Empty group: its parity must have cancelled to zero.
     LHRS_CHECK(AllZero(record.parity))
         << "non-zero parity for empty LH*g record group";
-    if (it != records_.end()) records_.erase(it);
+    if (existing != nullptr) records_.Erase(update.gkey);
   } else {
-    const bool fresh = (it == records_.end());
-    records_[update.gkey] = record.Serialize();
+    const bool fresh = (existing == nullptr);
+    records_.Put(update.gkey, record.Serialize());
     if (fresh) ReportOverflowIfNeeded();
   }
 
@@ -132,7 +132,7 @@ void LhgParityBucketNode::HandleCollectForData(const CollectForDataMsg& req,
   auto reply = std::make_unique<CollectForDataReplyMsg>();
   reply->task_id = req.task_id;
   reply->from_bucket = bucket_no();
-  for (const auto& [gkey, serialized] : records_) {
+  records_.ForEachOrdered([&](Key gkey, const BufferView& serialized) {
     // No group-number filter here: splits move records *out of* their
     // origin group's buckets, so the failed bucket holds records with
     // foreign group numbers. (The g = m/k filter in A4's step 2 serves
@@ -150,7 +150,7 @@ void LhgParityBucketNode::HandleCollectForData(const CollectForDataMsg& req,
     if (relevant) {
       reply->records.push_back(SerializedParityRecord{gkey, serialized});
     }
-  }
+  });
   Send(from, std::move(reply));
 }
 
@@ -159,23 +159,23 @@ void LhgParityBucketNode::HandleFindParity(const FindParityMsg& req,
   auto reply = std::make_unique<FindParityReplyMsg>();
   reply->task_id = req.task_id;
   reply->from_bucket = bucket_no();
-  for (const auto& [gkey, serialized] : records_) {
+  records_.ForEachOrdered([&](Key gkey, const BufferView& serialized) {
+    if (reply->found) return;
     const ParityRecordG record = ParityRecordG::Deserialize(serialized);
     if (record.HasMember(req.key)) {
       reply->found = true;
       reply->gkey = gkey;
       reply->record = serialized;
-      break;
     }
-  }
+  });
   Send(from, std::move(reply));
 }
 
 void LhgParityBucketNode::HandleInstall(const InstallParityMsg& install,
                                         NodeId from) {
   LHRS_CHECK_EQ(install.bucket, bucket_no());
-  std::map<Key, Bytes> records;
-  for (const auto& r : install.records) records[r.gkey] = r.data;
+  store::BucketStore records;
+  for (const auto& r : install.records) records.Put(r.gkey, r.data);
   InstallRecoveredState(std::move(records), install.level);  // -> OnActivated.
   auto ack = std::make_unique<InstallAckMsg>();
   ack->task_id = install.task_id;

@@ -26,18 +26,18 @@ void LhmBucketNode::HandleSubclassMessage(const Message& msg) {
       auto reply = std::make_unique<MirrorReadReplyMsg>();
       reply->task_id = req.task_id;
       reply->level = level();
-      for (const auto& [key, value] : records_) {
+      records_.ForEachOrdered([&](Key key, const BufferView& value) {
         reply->records.push_back(WireRecord{key, 0, value});
-      }
+      });
       Send(msg.from, std::move(reply));
       return;
     }
     case LhmMsg::kMirrorInstall: {
       const auto& install = static_cast<const MirrorInstallMsg&>(*msg.body);
       LHRS_CHECK_EQ(install.bucket, bucket_no());
-      std::map<Key, Bytes> records;
+      store::BucketStore records;
       for (const auto& rec : install.records) {
-        records[rec.key] = rec.value;
+        records.InsertShared(rec.key, rec.value);
       }
       InstallRecoveredState(std::move(records), install.level);
       auto ack = std::make_unique<MirrorAckMsg>();
@@ -282,7 +282,7 @@ Status LhmFile::Insert(Key key, Bytes value) {
 Result<Bytes> LhmFile::Search(Key key) {
   LHRS_ASSIGN_OR_RETURN(OpOutcome out, RunOn(0, OpType::kSearch, key, {}));
   if (!out.status.ok()) return out.status;
-  return std::move(out.value);
+  return out.value.ToBytes();
 }
 
 Status LhmFile::Update(Key key, Bytes value) {
@@ -336,15 +336,15 @@ StorageStats LhmFile::GetStorageStats() const {
 }
 
 Status LhmFile::VerifyMirrorInvariant() const {
-  std::map<Key, Bytes> contents[2];
+  std::map<Key, BufferView> contents[2];
   for (int f = 0; f < 2; ++f) {
     const BucketNo count = coordinators_[f]->state().bucket_count();
     for (BucketNo b = 0; b < count; ++b) {
       const auto* bucket = network_.node_as<DataBucketNode>(
           replicas_[f].ctx->allocation.Lookup(b));
-      for (const auto& [key, value] : bucket->records()) {
+      bucket->records().ForEachOrdered([&](Key key, const BufferView& value) {
         contents[f][key] = value;
-      }
+      });
     }
   }
   if (contents[0] != contents[1]) {

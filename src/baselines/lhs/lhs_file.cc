@@ -74,9 +74,9 @@ Bytes LhsFile::AssembleValue(const std::vector<Bytes>& stripes,
 }
 
 Bytes LhsFile::ReconstructStripe(const std::vector<const Bytes*>& present,
-                                 const Bytes& parity, uint32_t stripe_count,
-                                 uint32_t missing) {
-  Bytes out = parity;  // Prefix carries the length already.
+                                 std::span<const uint8_t> parity,
+                                 uint32_t stripe_count, uint32_t missing) {
+  Bytes out(parity.begin(), parity.end());  // Prefix carries the length.
   for (uint32_t s = 0; s < stripe_count; ++s) {
     if (s == missing) continue;
     const Bytes* stripe = present[s];
@@ -135,9 +135,9 @@ void LhsBucketNode::HandleSubclassMessage(const Message& msg) {
       if (decommissioned() || req.bucket != bucket_no()) {
         reply->failed = true;
       } else {
-        for (const auto& [key, value] : records_) {
+        records_.ForEachOrdered([&](Key key, const BufferView& value) {
           reply->records.push_back(WireRecord{key, 0, value});
-        }
+        });
       }
       Send(msg.from, std::move(reply));
       return;
@@ -145,8 +145,10 @@ void LhsBucketNode::HandleSubclassMessage(const Message& msg) {
     case LhsMsg::kStripeInstall: {
       const auto& install = static_cast<const StripeInstallMsg&>(*msg.body);
       LHRS_CHECK_EQ(install.bucket, bucket_no());
-      std::map<Key, Bytes> records;
-      for (const auto& rec : install.records) records[rec.key] = rec.value;
+      store::BucketStore records;
+      for (const auto& rec : install.records) {
+        records.InsertShared(rec.key, rec.value);
+      }
       InstallRecoveredState(std::move(records), install.level);
       auto ack = std::make_unique<StripeAckMsg>();
       ack->task_id = install.task_id;
@@ -261,11 +263,13 @@ void LhsCoordinatorNode::HandleSubclassMessage(const Message& msg) {
         auto [acc, fresh] = task.accumulator.try_emplace(rec.key, rec.value);
         if (fresh) continue;
         // XOR the chunk parts; the 4-byte length prefix is identical in
-        // every stripe and must not be XORed away.
+        // every stripe and must not be XORed away. MutableData detaches
+        // the accumulator from the first reply's shared buffer before the
+        // in-place fold.
         LHRS_CHECK_EQ(acc->second.size(), rec.value.size());
-        for (size_t i = kLengthPrefix; i < rec.value.size(); ++i) {
-          acc->second[i] ^= rec.value[i];
-        }
+        uint8_t* dst = acc->second.MutableData();
+        XorBuffer(dst + kLengthPrefix, rec.value.data() + kLengthPrefix,
+                  rec.value.size() - kLengthPrefix);
       }
       LHRS_CHECK_GT(task.awaiting, 0u);
       if (--task.awaiting > 0) return;
@@ -274,7 +278,7 @@ void LhsCoordinatorNode::HandleSubclassMessage(const Message& msg) {
       install->bucket = task.bucket;
       install->level = task.level;
       for (auto& [key, stripe] : task.accumulator) {
-        install->records.push_back(WireRecord{key, 0, std::move(stripe)});
+        install->records.push_back(WireRecord{key, 0, stripe});
       }
       Send(task.spare, std::move(install));
       return;
@@ -331,7 +335,7 @@ Result<Bytes> LhsFile::Search(Key key) {
   for (uint32_t s = 0; s < stripe_count_; ++s) {
     LHRS_ASSIGN_OR_RETURN(OpOutcome out, RunOn(s, OpType::kSearch, key, {}));
     if (out.status.ok()) {
-      stripes[s] = std::move(out.value);
+      stripes[s] = out.value.ToBytes();
       have[s] = true;
     } else if (out.status.IsNotFound()) {
       return out.status;  // Key absent everywhere.

@@ -114,7 +114,7 @@ class LhsCoordinatorNode : public CoordinatorNode {
     Level level = 0;
     size_t awaiting = 0;
     /// key -> XOR of the sibling stripes seen so far.
-    std::map<Key, Bytes> accumulator;
+    std::map<Key, BufferView> accumulator;
   };
 
   uint32_t file_index_;
@@ -173,8 +173,8 @@ class LhsFile {
                              uint32_t stripe_count);
   /// Reconstructs data stripe `missing` from the others plus parity.
   static Bytes ReconstructStripe(const std::vector<const Bytes*>& present,
-                                 const Bytes& parity, uint32_t stripe_count,
-                                 uint32_t missing);
+                                 std::span<const uint8_t> parity,
+                                 uint32_t stripe_count, uint32_t missing);
 
  private:
   struct StripeFile {

@@ -20,8 +20,14 @@ std::string ToHex(std::span<const uint8_t> data) {
 }
 
 void XorAssignPadded(Bytes& dst, std::span<const uint8_t> src) {
-  if (dst.size() < src.size()) dst.resize(src.size(), 0);
-  for (size_t i = 0; i < src.size(); ++i) dst[i] ^= src[i];
+  // One pass: XOR the overlap word-wise, then append src's tail directly —
+  // zero-filling the extension first and XORing over it again would touch
+  // the tail bytes twice.
+  const size_t common = std::min(dst.size(), src.size());
+  XorBuffer(dst.data(), src.data(), common);
+  if (src.size() > common) {
+    dst.insert(dst.end(), src.begin() + common, src.end());
+  }
 }
 
 Bytes PadTo(std::span<const uint8_t> b, size_t n) {

@@ -20,8 +20,24 @@ Bytes BytesFromString(std::string_view s);
 /// Renders a buffer as lowercase hex, e.g. {0xde, 0xad} -> "dead".
 std::string ToHex(std::span<const uint8_t> data);
 
-/// XORs `src` into `dst` elementwise. `dst` is grown (zero-padded) to
-/// `src.size()` first if shorter: XOR against an implicit zero pad, as the
+/// dst[i] ^= src[i] for i in [0, n) — GF(2^w) addition for every field.
+///
+/// Word-wise kernel: processes `uint64_t` words (4-way unrolled, 32 bytes
+/// per iteration) with scalar head/tail. Loads and stores go through
+/// memcpy, so the kernel is correct for any alignment; it is fastest on
+/// the 64-byte-aligned `Buffer` slices the storage layer hands out (the
+/// aligned-kernel contract, DESIGN.md §10). `dst` and `src` must not
+/// partially overlap (dst == src is fine).
+void XorBuffer(uint8_t* dst, const uint8_t* src, size_t n);
+
+/// The original byte-at-a-time XOR loop, pinned against auto-vectorization.
+/// Kept as the checked reference for the word-wise kernel: tests assert
+/// equivalence, and bench_t3 reports the word/byte throughput ratio.
+void XorBufferByteReference(uint8_t* dst, const uint8_t* src, size_t n);
+
+/// XORs `src` into `dst` elementwise in one pass. `dst` grows to
+/// `src.size()` if shorter: the overlap is XORed word-wise and `src`'s
+/// tail is appended directly (XOR against an implicit zero pad), as the
 /// parity schemes require for variable-length records.
 void XorAssignPadded(Bytes& dst, std::span<const uint8_t> src);
 

@@ -27,7 +27,19 @@ concept GaloisField = requires(typename F::Symbol a, typename F::Symbol b,
 };
 
 /// dst[i] ^= src[i] for i in [0, n). Field-independent GF(2^w) addition.
+///
+/// Word-wise kernel: processes `uint64_t` words (4-way unrolled, 32 bytes
+/// per iteration) with scalar head/tail. Loads and stores go through
+/// memcpy, so the kernel is correct for any alignment; it is fastest on
+/// the 64-byte-aligned `Buffer` slices the storage layer hands out (the
+/// aligned-kernel contract, DESIGN.md §10). `dst` and `src` must not
+/// partially overlap (dst == src is fine).
 void XorBuffer(uint8_t* dst, const uint8_t* src, size_t n);
+
+/// The original byte-at-a-time XOR loop, pinned against auto-vectorization.
+/// Kept as the checked reference for the word-wise kernel: tests assert
+/// equivalence, and bench_t3 reports the word/byte throughput ratio.
+void XorBufferByteReference(uint8_t* dst, const uint8_t* src, size_t n);
 
 }  // namespace lhrs
 

@@ -1,5 +1,7 @@
 #include "gf/gf256.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 #include "gf/gf.h"
 
@@ -40,6 +42,18 @@ uint32_t GF256::Log(Symbol a) {
   return tables().log[a];
 }
 
+namespace {
+
+/// Eight product-row lookups packed into one little-endian word.
+inline uint64_t GatherRow8(const uint8_t* src, const uint8_t* row) {
+  return uint64_t{row[src[0]]} | uint64_t{row[src[1]]} << 8 |
+         uint64_t{row[src[2]]} << 16 | uint64_t{row[src[3]]} << 24 |
+         uint64_t{row[src[4]]} << 32 | uint64_t{row[src[5]]} << 40 |
+         uint64_t{row[src[6]]} << 48 | uint64_t{row[src[7]]} << 56;
+}
+
+}  // namespace
+
 void GF256::MulAddBuffer(uint8_t* dst, const uint8_t* src, size_t n,
                          Symbol coeff) {
   if (coeff == 0 || n == 0) return;
@@ -48,6 +62,44 @@ void GF256::MulAddBuffer(uint8_t* dst, const uint8_t* src, size_t n,
     return;
   }
   // Materialise the product row for this coefficient: row[b] = coeff * b.
+  // It stays L1-resident across the whole buffer.
+  uint8_t row[256];
+  row[0] = 0;
+  const Tables& t = tables();
+  const uint32_t lc = t.log[coeff];
+  for (uint32_t b = 1; b < 256; ++b) row[b] = t.exp[lc + t.log[b]];
+  size_t i = 0;
+  // The gathers are inherently byte lookups, but accumulating them into a
+  // word halves the loads/stores on dst: one read-xor-write of 8 bytes
+  // instead of eight.
+  for (; i + 16 <= n; i += 16) {
+    uint64_t d0, d1;
+    std::memcpy(&d0, dst + i, 8);
+    std::memcpy(&d1, dst + i + 8, 8);
+    d0 ^= GatherRow8(src + i, row);
+    d1 ^= GatherRow8(src + i + 8, row);
+    std::memcpy(dst + i, &d0, 8);
+    std::memcpy(dst + i + 8, &d1, 8);
+  }
+  for (; i + 8 <= n; i += 8) {
+    uint64_t d;
+    std::memcpy(&d, dst + i, 8);
+    d ^= GatherRow8(src + i, row);
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#endif
+void GF256::MulAddBufferByteReference(uint8_t* dst, const uint8_t* src,
+                                      size_t n, Symbol coeff) {
+  if (coeff == 0 || n == 0) return;
+  if (coeff == 1) {
+    XorBufferByteReference(dst, src, n);
+    return;
+  }
   uint8_t row[256];
   row[0] = 0;
   const Tables& t = tables();
@@ -73,24 +125,6 @@ void GF256::MulBuffer(uint8_t* dst, const uint8_t* src, size_t n,
   const uint32_t lc = t.log[coeff];
   for (uint32_t b = 1; b < 256; ++b) row[b] = t.exp[lc + t.log[b]];
   for (size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
-}
-
-void XorBuffer(uint8_t* dst, const uint8_t* src, size_t n) {
-  size_t i = 0;
-  // Word-at-a-time XOR; payload buffers come from std::vector and are
-  // sufficiently aligned for uint64_t access via memcpy-free word loop only
-  // when alignment holds, so do the safe byte loop with manual unrolling.
-  for (; i + 8 <= n; i += 8) {
-    dst[i] ^= src[i];
-    dst[i + 1] ^= src[i + 1];
-    dst[i + 2] ^= src[i + 2];
-    dst[i + 3] ^= src[i + 3];
-    dst[i + 4] ^= src[i + 4];
-    dst[i + 5] ^= src[i + 5];
-    dst[i + 6] ^= src[i + 6];
-    dst[i + 7] ^= src[i + 7];
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
 }
 
 }  // namespace lhrs

@@ -43,9 +43,15 @@ class GF256 {
   /// dst[i] += coeff * src[i] over GF(2^8), for n bytes. The workhorse of
   /// parity encoding; uses a per-coefficient product row for long buffers and
   /// falls back to plain XOR when coeff == 1 (the LH*RS "first parity column
-  /// is XOR" fast path).
+  /// is XOR" fast path). Word-wise: gathers eight product bytes and XORs
+  /// them into dst as one uint64_t (alignment-agnostic via memcpy).
   static void MulAddBuffer(uint8_t* dst, const uint8_t* src, size_t n,
                            Symbol coeff);
+
+  /// The original byte-at-a-time MulAdd loop, pinned against
+  /// auto-vectorization; checked reference for the word-wise kernel.
+  static void MulAddBufferByteReference(uint8_t* dst, const uint8_t* src,
+                                        size_t n, Symbol coeff);
 
   /// dst[i] = coeff * src[i] over GF(2^8), for n bytes.
   static void MulBuffer(uint8_t* dst, const uint8_t* src, size_t n,

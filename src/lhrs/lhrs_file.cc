@@ -18,10 +18,11 @@ LhStarFile::Options ToBaseOptions(const LhrsFile::Options& options) {
 }
 
 /// Compares two byte strings modulo trailing zero padding.
-bool EqualModuloPadding(const Bytes& a, const Bytes& b) {
+bool EqualModuloPadding(std::span<const uint8_t> a,
+                        std::span<const uint8_t> b) {
   const size_t n = std::min(a.size(), b.size());
   if (!std::equal(a.begin(), a.begin() + n, b.begin())) return false;
-  const Bytes& longer = a.size() >= b.size() ? a : b;
+  std::span<const uint8_t> longer = a.size() >= b.size() ? a : b;
   for (size_t i = n; i < longer.size(); ++i) {
     if (longer[i] != 0) return false;
   }
@@ -181,7 +182,7 @@ Status LhrsFile::VerifyParityInvariants() const {
     struct Truth {
       std::vector<std::optional<Key>> keys;
       std::vector<uint32_t> lengths;
-      std::vector<Bytes> values;
+      std::vector<BufferView> values;
       explicit Truth(uint32_t m)
           : keys(m), lengths(m, 0), values(m) {}
     };

@@ -52,7 +52,9 @@ struct ParityDelta {
   KeyOp key_op = KeyOp::kNone;
   Key key = 0;
   uint32_t new_length = 0;
-  Bytes delta;  ///< old XOR new (zero-padded); the parity-side change.
+  /// old XOR new (zero-padded); the parity-side change. A shared view:
+  /// fanning one delta out to k parity buckets copies no payload bytes.
+  BufferView delta;
 
   size_t ByteSize() const { return 24 + delta.size(); }
 };
@@ -102,7 +104,7 @@ struct GroupConfigMsg : MessageBody {
 struct RankedRecord {
   Rank rank = 0;
   Key key = 0;
-  Bytes value;
+  BufferView value;  ///< Shares the dumping bucket's segment bytes.
 
   size_t ByteSize() const { return 16 + value.size(); }
 };
@@ -114,7 +116,7 @@ struct WireParityRecord {
   /// member in this record group.
   std::vector<std::optional<Key>> keys;
   std::vector<uint32_t> lengths;
-  Bytes parity;
+  BufferView parity;  ///< Snapshot view of the column's parity bytes.
 
   size_t ByteSize() const {
     return 8 + keys.size() * 12 + parity.size();

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "lhrs/messages.h"
 #include "lhrs/shared.h"
@@ -22,7 +23,10 @@ namespace lhrs {
 struct ParityRecord {
   std::vector<std::optional<Key>> keys;  ///< size m.
   std::vector<uint32_t> lengths;         ///< size m; 0 when no member.
-  Bytes parity;
+  /// Copy-on-write view: delta application mutates in place while this
+  /// record is the sole owner, and detaches automatically when a ToWire
+  /// snapshot still shares the buffer (DESIGN.md section 10).
+  BufferView parity;
 
   explicit ParityRecord(uint32_t m) : keys(m), lengths(m, 0) {}
 

@@ -4,8 +4,10 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <utility>
 
+#include "common/buffer.h"
 #include "common/logging.h"
 
 namespace lhrs {
@@ -17,8 +19,10 @@ namespace {
 struct RankState {
   std::vector<std::optional<Key>> keys;     // size m; merged metadata.
   std::vector<uint32_t> lengths;            // size m.
-  std::map<uint32_t, const Bytes*> data;    // survivor data col -> value.
-  std::map<uint32_t, const Bytes*> parity;  // survivor parity col -> bytes.
+  // Shared views into the survivors' dump messages — collation never
+  // copies a payload byte.
+  std::map<uint32_t, const BufferView*> data;    // survivor data column.
+  std::map<uint32_t, const BufferView*> parity;  // survivor parity column.
   bool have_parity_meta = false;
 
   explicit RankState(uint32_t m) : keys(m), lengths(m, 0) {}
@@ -102,7 +106,7 @@ Result<std::vector<ReconstructedColumn>> ReconstructColumns(
   }
   for (auto& col : out) out_by_col[col.column] = &col;
 
-  const Bytes kEmpty;
+  const BufferView kEmpty;
   for (auto& [rank, st] : table) {
     // Which of the missing data slots actually hold a member here?
     std::vector<size_t> wanted;
@@ -112,7 +116,7 @@ Result<std::vector<ReconstructedColumn>> ReconstructColumns(
 
     std::vector<Bytes> decoded;
     if (!wanted.empty()) {
-      std::vector<std::pair<size_t, Bytes>> available;
+      std::vector<std::pair<size_t, BufferView>> available;
       // Survivor data columns (absent record == empty == zero column).
       for (const auto& s : req.survivors) {
         if (s.is_parity(m)) continue;
@@ -153,29 +157,29 @@ Result<std::vector<ReconstructedColumn>> ReconstructColumns(
     if (!missing_parity.empty()) {
       // Assemble the full data row (survivor values + freshly decoded) and
       // re-encode the missing parity columns.
-      std::vector<const Bytes*> row(m, nullptr);
+      std::vector<std::span<const uint8_t>> row(m);
+      bool any_member = false;
       for (uint32_t slot = 0; slot < req.existing_slots; ++slot) {
         if (!st.keys[slot].has_value()) continue;
+        any_member = true;
         auto it = st.data.find(slot);
         if (it != st.data.end()) {
-          row[slot] = it->second;
+          row[slot] = *it->second;
           continue;
         }
         auto w = std::find(wanted.begin(), wanted.end(), slot);
         LHRS_CHECK(w != wanted.end())
             << "member value for slot " << slot << " is neither a survivor "
             << "nor reconstructible";
-        row[slot] = &decoded[w - wanted.begin()];
+        row[slot] = decoded[w - wanted.begin()];
       }
-      bool any_member = false;
-      for (const Bytes* v : row) any_member |= (v != nullptr);
       if (any_member) {
         for (uint32_t col : missing_parity) {
           const uint32_t j = col - m;
-          Bytes parity;
+          BufferView parity;
           for (uint32_t slot = 0; slot < m; ++slot) {
-            if (row[slot] == nullptr) continue;
-            req.coder->ApplyDelta(slot, *row[slot], j, &parity);
+            if (row[slot].empty()) continue;
+            req.coder->ApplyDelta(slot, row[slot], j, &parity);
           }
           WireParityRecord pr;
           pr.rank = rank;

@@ -741,7 +741,7 @@ void RsCoordinatorNode::FinishScrub(ScrubTask& task) {
   struct Truth {
     std::vector<std::optional<Key>> keys;
     std::vector<uint32_t> lengths;
-    std::vector<const Bytes*> values;
+    std::vector<const BufferView*> values;
     explicit Truth(uint32_t m) : keys(m), lengths(m, 0), values(m) {}
   };
   std::map<Rank, Truth> truth;
@@ -756,10 +756,11 @@ void RsCoordinatorNode::FinishScrub(ScrubTask& task) {
     }
   }
 
-  auto equal_mod_padding = [](const Bytes& a, const Bytes& b) {
+  auto equal_mod_padding = [](std::span<const uint8_t> a,
+                              std::span<const uint8_t> b) {
     const size_t n = std::min(a.size(), b.size());
     if (!std::equal(a.begin(), a.begin() + n, b.begin())) return false;
-    const Bytes& longer = a.size() >= b.size() ? a : b;
+    std::span<const uint8_t> longer = a.size() >= b.size() ? a : b;
     for (size_t i = n; i < longer.size(); ++i) {
       if (longer[i] != 0) return false;
     }
@@ -1022,7 +1023,8 @@ void RsCoordinatorNode::ContinueDegradedRead(DegradedReadTask& task) {
 }
 
 void RsCoordinatorNode::OnDegradedColumn(uint64_t task_id, uint32_t column,
-                                         bool found, const Bytes& payload) {
+                                         bool found,
+                                         const BufferView& payload) {
   auto it = degraded_.find(task_id);
   if (it == degraded_.end()) return;
   DegradedReadTask& task = it->second;
@@ -1046,11 +1048,11 @@ void RsCoordinatorNode::MaybeFinishDegradedRead(DegradedReadTask& task) {
   const uint32_t existing = ExistingSlots(task.group);
   const GroupInfo& info = groups_[task.group];
 
-  std::vector<std::pair<size_t, Bytes>> available;
+  std::vector<std::pair<size_t, BufferView>> available;
   for (const auto& [col, payload] : task.columns) {
     available.emplace_back(col, payload);
   }
-  const Bytes kEmpty;
+  const BufferView kEmpty;
   for (uint32_t slot = 0; slot < existing; ++slot) {
     if (slot == task.target_slot) continue;
     if (!task.meta.keys[slot].has_value() && !task.columns.contains(slot)) {

@@ -154,7 +154,7 @@ class RsCoordinatorNode : public CoordinatorNode {
     bool have_meta = false;
     WireParityRecord meta;
     std::set<uint32_t> awaiting;              // columns requested.
-    std::map<uint32_t, Bytes> columns;        // collected column payloads.
+    std::map<uint32_t, BufferView> columns;   // shared column payloads.
     std::set<uint32_t> used_parity;           // parity indexes consumed.
     uint64_t started_us = 0;                  // Telemetry timestamp.
   };
@@ -192,7 +192,7 @@ class RsCoordinatorNode : public CoordinatorNode {
   void ContinueDegradedRead(DegradedReadTask& task);
   void OnFindRankReply(const FindRankReplyMsg& reply);
   void OnDegradedColumn(uint64_t task_id, uint32_t column, bool found,
-                        const Bytes& payload);
+                        const BufferView& payload);
   void MaybeFinishDegradedRead(DegradedReadTask& task);
   void FailDegradedRead(DegradedReadTask& task, Status status);
 

@@ -1,5 +1,6 @@
 #include "lhrs/rs_data_bucket.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -23,7 +24,7 @@ std::vector<RankedRecord> RsDataBucketNode::RankedRecords() const {
   std::vector<RankedRecord> out;
   out.reserve(rank_key_.size());
   for (const auto& [rank, key] : rank_key_) {
-    out.push_back(RankedRecord{rank, key, records_.at(key)});
+    out.push_back(RankedRecord{rank, key, *records_.Find(key)});
   }
   return out;
 }
@@ -49,15 +50,15 @@ void RsDataBucketNode::BindRank(Key key, Rank r) {
 void RsDataBucketNode::SendDelta(ParityDelta delta) {
   LHRS_CHECK(!parity_nodes_.empty())
       << "bucket " << bucket_no() << " has no group configuration";
-  for (NodeId parity_node : parity_nodes_) {
+  for (size_t i = 0; i < parity_nodes_.size(); ++i) {
     auto msg = std::make_unique<ParityDeltaMsg>();
     msg->group = group();
-    msg->delta = delta;
-    Send(parity_node, std::move(msg));
+    msg->delta = i + 1 == parity_nodes_.size() ? std::move(delta) : delta;
+    Send(parity_nodes_[i], std::move(msg));
   }
 }
 
-void RsDataBucketNode::OnInsertCommitted(Key key, const Bytes& value) {
+void RsDataBucketNode::OnInsertCommitted(Key key, const BufferView& value) {
   const Rank r = AllocRank();
   BindRank(key, r);
   ParityDelta d;
@@ -70,11 +71,12 @@ void RsDataBucketNode::OnInsertCommitted(Key key, const Bytes& value) {
   SendDelta(std::move(d));
 }
 
-void RsDataBucketNode::OnUpdateCommitted(Key key, const Bytes& old_value,
-                                         const Bytes& new_value) {
-  // Delta = old XOR new, zero-padded to the longer of the two.
-  Bytes delta = old_value;
-  XorAssignPadded(delta, new_value);
+void RsDataBucketNode::OnUpdateCommitted(Key key,
+                                         const BufferView& old_value,
+                                         const BufferView& new_value) {
+  // Delta = old XOR new, zero-padded to the longer of the two — built once
+  // in one pass; the k parity buckets then share the same delta buffer.
+  BufferView delta = MakeXorDelta(old_value, new_value);
   ParityDelta d;
   d.rank = RankOf(key);
   d.slot = slot();
@@ -85,7 +87,8 @@ void RsDataBucketNode::OnUpdateCommitted(Key key, const Bytes& old_value,
   SendDelta(std::move(d));
 }
 
-void RsDataBucketNode::OnDeleteCommitted(Key key, const Bytes& old_value) {
+void RsDataBucketNode::OnDeleteCommitted(Key key,
+                                         const BufferView& old_value) {
   const Rank r = RankOf(key);
   key_rank_.erase(key);
   rank_key_.erase(r);
@@ -116,12 +119,7 @@ void RsDataBucketNode::OnRecordsMovedOut(std::vector<WireRecord>& moved) {
     d.delta = rec.value;
     deltas.push_back(std::move(d));
   }
-  for (NodeId parity_node : parity_nodes_) {
-    auto msg = std::make_unique<ParityDeltaBatchMsg>();
-    msg->group = group();
-    msg->deltas = deltas;
-    Send(parity_node, std::move(msg));
-  }
+  SendDeltaBatch(std::move(deltas));
 }
 
 void RsDataBucketNode::OnRecordsMovedIn(const std::vector<WireRecord>& moved) {
@@ -151,11 +149,15 @@ void RsDataBucketNode::OnRecordsMovedIn(const std::vector<WireRecord>& moved) {
     d.delta = rec.value;
     deltas.push_back(std::move(d));
   }
-  for (NodeId parity_node : parity_nodes_) {
+  SendDeltaBatch(std::move(deltas));
+}
+
+void RsDataBucketNode::SendDeltaBatch(std::vector<ParityDelta> deltas) {
+  for (size_t i = 0; i < parity_nodes_.size(); ++i) {
     auto msg = std::make_unique<ParityDeltaBatchMsg>();
     msg->group = group();
-    msg->deltas = deltas;
-    Send(parity_node, std::move(msg));
+    msg->deltas = i + 1 == parity_nodes_.size() ? std::move(deltas) : deltas;
+    Send(parity_nodes_[i], std::move(msg));
   }
 }
 
@@ -189,7 +191,9 @@ void RsDataBucketNode::HandleSubclassMessage(const Message& msg) {
       reply->level = level();
       reply->records.reserve(rank_key_.size());
       for (const auto& [rank, key] : rank_key_) {
-        reply->records.push_back(RankedRecord{rank, key, records_.at(key)});
+        // Views into the store's segments: the whole column dump ships
+        // without copying a single payload byte.
+        reply->records.push_back(RankedRecord{rank, key, *records_.Find(key)});
       }
       Send(msg.from, std::move(reply));
       return;
@@ -203,7 +207,7 @@ void RsDataBucketNode::HandleSubclassMessage(const Message& msg) {
       if (it != rank_key_.end()) {
         reply->found = true;
         reply->record =
-            RankedRecord{req.rank, it->second, records_.at(it->second)};
+            RankedRecord{req.rank, it->second, *records_.Find(it->second)};
       }
       Send(msg.from, std::move(reply));
       return;
@@ -303,13 +307,15 @@ void RsDataBucketNode::HandleSubclassDeliveryFailure(const Message& msg) {
 
 void RsDataBucketNode::InstallDataColumn(const InstallDataColumnMsg& install) {
   LHRS_CHECK_EQ(install.bucket, bucket_no());
-  std::map<Key, Bytes> records;
+  store::BucketStore records;
   key_rank_.clear();
   rank_key_.clear();
   while (!free_ranks_.empty()) free_ranks_.pop();
   Rank max_rank = 0;
   for (const auto& rec : install.records) {
-    records.emplace(rec.key, rec.value);
+    // Adopt the install message's views — the reconstructed column lands
+    // without a per-record copy.
+    records.InsertShared(rec.key, rec.value);
     BindRank(rec.key, rec.rank);
     max_rank = std::max(max_rank, rec.rank);
   }

@@ -38,10 +38,10 @@ class RsDataBucketNode : public DataBucketNode {
   std::vector<RankedRecord> RankedRecords() const;
 
  protected:
-  void OnInsertCommitted(Key key, const Bytes& value) override;
-  void OnUpdateCommitted(Key key, const Bytes& old_value,
-                         const Bytes& new_value) override;
-  void OnDeleteCommitted(Key key, const Bytes& old_value) override;
+  void OnInsertCommitted(Key key, const BufferView& value) override;
+  void OnUpdateCommitted(Key key, const BufferView& old_value,
+                         const BufferView& new_value) override;
+  void OnDeleteCommitted(Key key, const BufferView& old_value) override;
   void OnRecordsMovedOut(std::vector<WireRecord>& moved) override;
   void OnRecordsMovedIn(const std::vector<WireRecord>& moved) override;
   void OnDecommissioned() override;
@@ -55,6 +55,9 @@ class RsDataBucketNode : public DataBucketNode {
   void BindRank(Key key, Rank r);
   /// Sends one delta to all k parity buckets of this bucket's group.
   void SendDelta(ParityDelta delta);
+  /// Sends a delta batch to all k parity buckets (one bulk message each;
+  /// the last send steals the batch instead of copying it).
+  void SendDeltaBatch(std::vector<ParityDelta> deltas);
   void InstallDataColumn(const InstallDataColumnMsg& install);
 
   std::shared_ptr<LhrsContext> lhrs_ctx_;

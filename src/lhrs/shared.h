@@ -39,9 +39,15 @@ class ErasureCoder {
   virtual void ApplyDelta(size_t slot, std::span<const uint8_t> delta,
                           size_t parity_index, Bytes* parity) const = 0;
 
-  /// Reconstructs the requested data columns from >= m available columns.
+  /// Copy-on-write form: in place when the view is sole owner, detaching
+  /// when a snapshot shares the buffer.
+  virtual void ApplyDelta(size_t slot, std::span<const uint8_t> delta,
+                          size_t parity_index, BufferView* parity) const = 0;
+
+  /// Reconstructs the requested data columns from >= m available columns
+  /// (shared views of the survivors' dumps; no payload copies).
   virtual Result<std::vector<Bytes>> DecodeData(
-      const std::vector<std::pair<size_t, Bytes>>& available,
+      const std::vector<std::pair<size_t, BufferView>>& available,
       const std::vector<size_t>& missing_data) const = 0;
 };
 
@@ -59,8 +65,13 @@ class TypedErasureCoder final : public ErasureCoder {
     impl_.ApplyDelta(slot, delta, parity_index, parity);
   }
 
+  void ApplyDelta(size_t slot, std::span<const uint8_t> delta,
+                  size_t parity_index, BufferView* parity) const override {
+    impl_.ApplyDelta(slot, delta, parity_index, parity);
+  }
+
   Result<std::vector<Bytes>> DecodeData(
-      const std::vector<std::pair<size_t, Bytes>>& available,
+      const std::vector<std::pair<size_t, BufferView>>& available,
       const std::vector<size_t>& missing_data) const override {
     return impl_.DecodeData(available, missing_data);
   }

@@ -27,7 +27,7 @@ NodeId ClientNode::ResolveNode(BucketNo bucket) {
   return node;
 }
 
-uint64_t ClientNode::StartOp(OpType op, Key key, Bytes value) {
+uint64_t ClientNode::StartOp(OpType op, Key key, BufferView value) {
   const uint64_t op_id = next_op_id_++;
   const BucketNo a = image_.Address(key);  // Algorithm (A1) on the image.
   PendingOp& pending = pending_[op_id];

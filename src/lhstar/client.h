@@ -48,7 +48,7 @@ struct ClientRetryPolicy {
 /// Completed outcome of a client operation.
 struct OpOutcome {
   Status status;
-  Bytes value;                       ///< Search result payload.
+  BufferView value;                  ///< Search result payload (shared).
   std::vector<WireRecord> scan_records;
   bool was_forwarded = false;        ///< An IAM arrived with the reply.
 };
@@ -72,7 +72,7 @@ class ClientNode : public Node {
   const char* role() const override { return "client"; }
 
   /// Starts a key-addressed operation; value applies to insert/update.
-  uint64_t StartOp(OpType op, Key key, Bytes value = {});
+  uint64_t StartOp(OpType op, Key key, BufferView value = {});
 
   /// Starts a parallel scan. With `deterministic` termination every bucket
   /// replies and the client verifies full coverage; otherwise only
@@ -115,7 +115,7 @@ class ClientNode : public Node {
   struct PendingOp {
     OpType op;
     Key key = 0;
-    Bytes value;
+    BufferView value;  ///< Shared across attempts; never re-copied.
     BucketNo sent_to_bucket = 0;
     uint32_t attempts = 1;
     SimTime deadline = 0;  ///< Current attempt's timeout instant.

@@ -16,11 +16,7 @@ DataBucketNode::DataBucketNode(std::shared_ptr<SystemContext> ctx,
       initialized_(pre_initialized) {}
 
 size_t DataBucketNode::StorageBytes() const {
-  size_t n = 0;
-  for (const auto& [key, value] : records_) {
-    n += sizeof(Key) + value.size();
-  }
-  return n;
+  return records_.size() * sizeof(Key) + records_.payload_bytes();
 }
 
 void DataBucketNode::HandleMessage(const Message& msg) {
@@ -74,7 +70,7 @@ void DataBucketNode::HandleMessage(const Message& msg) {
       const auto& reply = static_cast<const SelfCheckReplyMsg&>(*msg.body);
       if (!reply.still_owner && !decommissioned_) {
         decommissioned_ = true;
-        records_.clear();
+        records_.Clear();
         // Traffic buffered while waiting for an installation that will
         // never come goes back to the coordinator / clients.
         std::vector<std::unique_ptr<OpRequestMsg>> queued =
@@ -148,46 +144,47 @@ void DataBucketNode::HandleOpRequest(const Message& msg) {
 void DataBucketNode::ExecuteLocalOp(const OpRequestMsg& req) {
   switch (req.op) {
     case OpType::kInsert: {
-      auto [it, inserted] = records_.try_emplace(req.key, req.value);
-      if (!inserted) {
+      // The request's view is adopted as the stored payload: the bytes
+      // ingested at the client flow into the store without another copy.
+      if (!records_.InsertShared(req.key, req.value)) {
         ReplyToClient(req, StatusCode::kAlreadyExists, "duplicate key", {});
         return;
       }
       ++ctx_->total_records;
-      OnInsertCommitted(req.key, it->second);
+      OnInsertCommitted(req.key, *records_.Find(req.key));
       ReplyToClient(req, StatusCode::kOk, {}, {});
       ReportOverflowIfNeeded();
       return;
     }
     case OpType::kSearch: {
-      auto it = records_.find(req.key);
-      if (it == records_.end()) {
+      const BufferView* value = records_.Find(req.key);
+      if (value == nullptr) {
         ReplyToClient(req, StatusCode::kNotFound, "no such key", {});
       } else {
-        ReplyToClient(req, StatusCode::kOk, {}, it->second);
+        ReplyToClient(req, StatusCode::kOk, {}, *value);
       }
       return;
     }
     case OpType::kUpdate: {
-      auto it = records_.find(req.key);
-      if (it == records_.end()) {
+      const BufferView* found = records_.Find(req.key);
+      if (found == nullptr) {
         ReplyToClient(req, StatusCode::kNotFound, "no such key", {});
         return;
       }
-      const Bytes old_value = std::move(it->second);
-      it->second = req.value;
-      OnUpdateCommitted(req.key, old_value, it->second);
+      const BufferView old_value = *found;  // Shares; survives the Put.
+      records_.Put(req.key, req.value);
+      OnUpdateCommitted(req.key, old_value, req.value);
       ReplyToClient(req, StatusCode::kOk, {}, {});
       return;
     }
     case OpType::kDelete: {
-      auto it = records_.find(req.key);
-      if (it == records_.end()) {
+      const BufferView* found = records_.Find(req.key);
+      if (found == nullptr) {
         ReplyToClient(req, StatusCode::kNotFound, "no such key", {});
         return;
       }
-      const Bytes old_value = std::move(it->second);
-      records_.erase(it);
+      const BufferView old_value = *found;  // Shares; survives the erase.
+      records_.Erase(req.key);
       if (ctx_->total_records > 0) --ctx_->total_records;
       OnDeleteCommitted(req.key, old_value);
       ReplyToClient(req, StatusCode::kOk, {}, {});
@@ -204,7 +201,7 @@ void DataBucketNode::ExecuteLocalOp(const OpRequestMsg& req) {
 }
 
 void DataBucketNode::ReplyToClient(const OpRequestMsg& req, StatusCode code,
-                                   std::string error, Bytes value) {
+                                   std::string error, BufferView value) {
   auto reply = std::make_unique<OpReplyMsg>();
   reply->op_id = req.op_id;
   reply->code = code;
@@ -244,14 +241,14 @@ void DataBucketNode::HandleSplitOrder(const SplitOrderMsg& order) {
   level_ = order.new_level;
 
   std::vector<WireRecord> moved;
-  for (auto it = records_.begin(); it != records_.end();) {
-    if (HashL(it->first, level_, ctx_->config.initial_buckets) != bucket_no_) {
-      moved.push_back(WireRecord{it->first, 0, std::move(it->second)});
-      it = records_.erase(it);
-    } else {
-      ++it;
+  records_.ForEachOrdered([&](uint64_t key, const BufferView& value) {
+    if (HashL(key, level_, ctx_->config.initial_buckets) != bucket_no_) {
+      // The wire record shares the stored segment bytes; the erase below
+      // only tombstones the slot, the view keeps the payload alive.
+      moved.push_back(WireRecord{key, 0, value});
     }
-  }
+  });
+  for (const auto& rec : moved) records_.Erase(rec.key);
   OnRecordsMovedOut(moved);
 
   auto move = std::make_unique<MoveRecordsMsg>();
@@ -267,8 +264,9 @@ void DataBucketNode::HandleMoveRecords(const MoveRecordsMsg& move) {
   std::vector<WireRecord> fresh;
   fresh.reserve(move.records.size());
   for (const auto& rec : move.records) {
-    auto [it, inserted] = records_.try_emplace(rec.key, rec.value);
-    if (!inserted) {
+    // Zero-copy adoption: the store shares the wire message's payload
+    // buffer until the next compaction localizes it.
+    if (!records_.InsertShared(rec.key, rec.value)) {
       // Chaos duplication (of the move itself, or of its orphan-relay via
       // the coordinator) redelivers records we already hold; applying them
       // twice would corrupt parity.
@@ -314,10 +312,10 @@ void DataBucketNode::HandleMergeOut(const MergeOutMsg& order) {
   // from their groups exactly as they would for a split.
   std::vector<WireRecord> moved;
   moved.reserve(records_.size());
-  for (auto& [key, value] : records_) {
-    moved.push_back(WireRecord{key, 0, std::move(value)});
-  }
-  records_.clear();
+  records_.ForEachOrdered([&](uint64_t key, const BufferView& value) {
+    moved.push_back(WireRecord{key, 0, value});
+  });
+  records_.Clear();
   OnRecordsMovedOut(moved);
 
   auto merge = std::make_unique<MergeRecordsMsg>();
@@ -340,9 +338,8 @@ void DataBucketNode::HandleMergeRecords(const MergeRecordsMsg& merge) {
              merge.parent_new_level == level_);
   level_ = merge.parent_new_level;
   for (const auto& rec : merge.records) {
-    auto [it, inserted] = records_.try_emplace(rec.key, rec.value);
-    LHRS_CHECK(inserted) << "duplicate key in merge";
-    (void)it;
+    LHRS_CHECK(records_.InsertShared(rec.key, rec.value))
+        << "duplicate key in merge";
   }
   OnRecordsMovedIn(merge.records);
 
@@ -370,11 +367,11 @@ void DataBucketNode::HandleScanRequest(const ScanRequestMsg& scan) {
   }
 
   std::vector<WireRecord> matches;
-  for (const auto& [key, value] : records_) {
+  records_.ForEachOrdered([&](uint64_t key, const BufferView& value) {
     if (scan.predicate.Matches(key, value)) {
       matches.push_back(WireRecord{key, 0, value});
     }
-  }
+  });
   if (scan.deterministic || !matches.empty()) {
     auto reply = std::make_unique<ScanReplyMsg>();
     reply->op_id = scan.op_id;
@@ -444,7 +441,7 @@ void DataBucketNode::SelfCheck() {
   Send(ctx_->coordinator, std::move(req));
 }
 
-void DataBucketNode::InstallRecoveredState(std::map<Key, Bytes> records,
+void DataBucketNode::InstallRecoveredState(store::BucketStore records,
                                            Level level) {
   records_ = std::move(records);
   level_ = level;
@@ -453,9 +450,10 @@ void DataBucketNode::InstallRecoveredState(std::map<Key, Bytes> records,
   FlushQueuedTraffic();
 }
 
-void DataBucketNode::OnInsertCommitted(Key, const Bytes&) {}
-void DataBucketNode::OnUpdateCommitted(Key, const Bytes&, const Bytes&) {}
-void DataBucketNode::OnDeleteCommitted(Key, const Bytes&) {}
+void DataBucketNode::OnInsertCommitted(Key, const BufferView&) {}
+void DataBucketNode::OnUpdateCommitted(Key, const BufferView&,
+                                       const BufferView&) {}
+void DataBucketNode::OnDeleteCommitted(Key, const BufferView&) {}
 void DataBucketNode::OnRecordsMovedOut(std::vector<WireRecord>&) {}
 void DataBucketNode::OnRecordsMovedIn(const std::vector<WireRecord>&) {}
 void DataBucketNode::OnDecommissioned() {}

@@ -1,16 +1,17 @@
 #ifndef LHRS_LHSTAR_DATA_BUCKET_H_
 #define LHRS_LHSTAR_DATA_BUCKET_H_
 
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "lh/lh_math.h"
 #include "lhstar/messages.h"
 #include "lhstar/system.h"
 #include "net/dedup.h"
 #include "net/node.h"
+#include "store/bucket_store.h"
 
 namespace lhrs {
 
@@ -42,7 +43,7 @@ class DataBucketNode : public Node {
   bool decommissioned() const { return decommissioned_; }
 
   /// Local inspection for tests / storage statistics (not a protocol path).
-  const std::map<Key, Bytes>& records() const { return records_; }
+  const store::BucketStore& records() const { return records_; }
 
   /// Approximate local storage in bytes (records + per-record overhead).
   size_t StorageBytes() const;
@@ -55,13 +56,13 @@ class DataBucketNode : public Node {
  protected:
   // --- Hooks for availability layers -------------------------------------
 
-  /// A new record was stored (insert path).
-  virtual void OnInsertCommitted(Key key, const Bytes& value);
+  /// A new record was stored (insert path). Views share the stored bytes.
+  virtual void OnInsertCommitted(Key key, const BufferView& value);
   /// An existing record's value changed (update path).
-  virtual void OnUpdateCommitted(Key key, const Bytes& old_value,
-                                 const Bytes& new_value);
+  virtual void OnUpdateCommitted(Key key, const BufferView& old_value,
+                                 const BufferView& new_value);
   /// A record was removed (delete path).
-  virtual void OnDeleteCommitted(Key key, const Bytes& old_value);
+  virtual void OnDeleteCommitted(Key key, const BufferView& old_value);
   /// Records are about to leave this bucket because of a split. The
   /// vector is mutable so layers can attach per-record tags that must
   /// travel with the move.
@@ -87,7 +88,7 @@ class DataBucketNode : public Node {
 
   /// Directly installs state (recovery path; bypasses the insert hooks)
   /// and replays any traffic queued while uninitialized.
-  void InstallRecoveredState(std::map<Key, Bytes> records, Level level);
+  void InstallRecoveredState(store::BucketStore records, Level level);
 
   /// Replays ops and scans buffered while this bucket was uninitialized.
   void FlushQueuedTraffic();
@@ -96,7 +97,9 @@ class DataBucketNode : public Node {
   /// (also used by subclasses that insert through non-OpRequest paths).
   void ReportOverflowIfNeeded();
 
-  std::map<Key, Bytes> records_;  // Ordered: deterministic split movement.
+  /// Record storage: payloads packed in arena segments, handles O(1),
+  /// iteration in ascending key order (deterministic split movement).
+  store::BucketStore records_;
 
  private:
   /// Restructuring messages (split orders, record moves/merges) are not
@@ -112,7 +115,7 @@ class DataBucketNode : public Node {
   void HandleMergeRecords(const MergeRecordsMsg& merge);
   void HandleScanRequest(const ScanRequestMsg& scan);
   void ReplyToClient(const OpRequestMsg& req, StatusCode code,
-                     std::string error, Bytes value);
+                     std::string error, BufferView value);
   /// Hands an op the server cannot place to the coordinator (displaced
   /// bucket / spare, section 2.8).
   void BounceToCoordinator(const OpRequestMsg& req);

@@ -98,7 +98,7 @@ Result<Bytes> LhStarFile::SearchVia(size_t client_index, Key key) {
   LHRS_ASSIGN_OR_RETURN(OpOutcome out,
                         RunOp(client_index, OpType::kSearch, key, {}));
   if (!out.status.ok()) return out.status;
-  return std::move(out.value);
+  return out.value.ToBytes();
 }
 
 Status LhStarFile::Update(Key key, Bytes value) {

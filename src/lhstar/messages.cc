@@ -50,7 +50,7 @@ void RegisterLhStarMessageNames() {
   RegisterMessageKindName(LhStarMsg::kImageReset, "lhstar.ImageReset");
 }
 
-bool ScanPredicate::Matches(Key key, const Bytes& value) const {
+bool ScanPredicate::Matches(Key key, std::span<const uint8_t> value) const {
   if (custom) return custom(key, value);
   if (contains.empty()) return true;
   return std::search(value.begin(), value.end(), contains.begin(),

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/status.h"
 #include "lh/lh_math.h"
@@ -22,11 +24,13 @@ const char* OpTypeName(OpType op);
 /// A record as shipped between nodes (splits, recovery, scan replies).
 /// `tag` is an opaque per-record attachment for availability layers that
 /// must travel with moved records (LH*g carries the immutable record-group
-/// key in it); 0 when unused.
+/// key in it); 0 when unused. The payload is a shared view: moving a
+/// bucketful of records copies no bytes, only references into the sender's
+/// segments.
 struct WireRecord {
   Key key = 0;
   uint64_t tag = 0;
-  Bytes value;
+  BufferView value;
 
   size_t ByteSize() const { return sizeof(Key) + value.size(); }
   bool operator==(const WireRecord&) const = default;
@@ -71,7 +75,7 @@ struct OpRequestMsg : MessageBody {
   NodeId client = kInvalidNode;   ///< Where the final reply goes.
   BucketNo intended_bucket = 0;
   Key key = 0;
-  Bytes value;                    ///< Insert/update payload.
+  BufferView value;               ///< Insert/update payload (shared view).
   int hops = 0;                   ///< Forwarding count; >0 triggers an IAM.
 
   int kind() const override { return LhStarMsg::kOpRequest; }
@@ -91,7 +95,7 @@ struct OpReplyMsg : MessageBody {
   uint64_t op_id = 0;
   StatusCode code = StatusCode::kOk;
   std::string error;
-  Bytes value;                    ///< Search result payload.
+  BufferView value;               ///< Search result payload (shared view).
   std::optional<IamInfo> iam;
 
   int kind() const override { return LhStarMsg::kOpReply; }
@@ -147,9 +151,9 @@ struct SplitDoneMsg : MessageBody {
 /// experiments exercise.
 struct ScanPredicate {
   Bytes contains;
-  std::function<bool(Key key, const Bytes& value)> custom;
+  std::function<bool(Key key, std::span<const uint8_t> value)> custom;
 
-  bool Matches(Key key, const Bytes& value) const;
+  bool Matches(Key key, std::span<const uint8_t> value) const;
   size_t ByteSize() const { return 16 + contains.size(); }
 };
 
@@ -196,7 +200,7 @@ struct ClientOpViaCoordinatorMsg : MessageBody {
   NodeId client = kInvalidNode;
   BucketNo intended_bucket = 0;
   Key key = 0;
-  Bytes value;
+  BufferView value;
 
   int kind() const override { return LhStarMsg::kClientOpViaCoordinator; }
   size_t ByteSize() const override { return 40 + value.size(); }

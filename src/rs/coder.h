@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/logging.h"
 #include "common/result.h"
@@ -71,6 +72,27 @@ class GroupCoder {
     return parity;
   }
 
+  /// Incremental parity maintenance into a copy-on-write view: the parity
+  /// bytes are updated in place when no snapshot (wire dump, recovery
+  /// read) shares them, and detached onto a fresh buffer first when one
+  /// does — snapshots never observe later deltas.
+  void ApplyDelta(size_t data_slot, std::span<const uint8_t> delta,
+                  size_t parity_idx, BufferView* parity) const {
+    LHRS_CHECK_LT(data_slot, m_);
+    LHRS_CHECK_LT(parity_idx, k_);
+    const size_t len = PaddedLength(delta.size());
+    const size_t target = std::max(parity->size(), len);
+    uint8_t* dst = parity->MutableResized(target);
+    if (delta.size() == len) {
+      F::MulAddBuffer(dst, delta.data(), len,
+                      Coefficient(data_slot, parity_idx));
+    } else {
+      const Bytes padded = PadTo(delta, len);
+      F::MulAddBuffer(dst, padded.data(), len,
+                      Coefficient(data_slot, parity_idx));
+    }
+  }
+
   /// Incremental parity maintenance: folds `coeff(i, j) * delta` into
   /// `parity`, growing it (zero padding) as needed. `delta` is
   /// old_payload XOR new_payload (with the shorter one zero-padded), which
@@ -104,6 +126,19 @@ class GroupCoder {
   Result<std::vector<Bytes>> DecodeData(
       const std::vector<std::pair<size_t, Bytes>>& available,
       const std::vector<size_t>& missing_data) const {
+    std::vector<std::pair<size_t, BufferView>> views;
+    views.reserve(available.size());
+    for (const auto& [col, payload] : available) {
+      views.emplace_back(col, BufferView(payload));
+    }
+    return DecodeData(views, missing_data);
+  }
+
+  /// Zero-copy overload: survivor columns come in as shared views (straight
+  /// out of recovery dumps); only the decode work buffers are allocated.
+  Result<std::vector<Bytes>> DecodeData(
+      const std::vector<std::pair<size_t, BufferView>>& available,
+      const std::vector<size_t>& missing_data) const {
     if (available.size() < m_) {
       return Status::DataLoss(
           "unrecoverable record group: " + std::to_string(available.size()) +
@@ -114,7 +149,7 @@ class GroupCoder {
     }
     // Use exactly m of the available columns, preferring data columns (they
     // carry identity rows, keeping the decode matrix mostly trivial).
-    std::vector<std::pair<size_t, const Bytes*>> use;
+    std::vector<std::pair<size_t, const BufferView*>> use;
     use.reserve(m_);
     for (const auto& [col, payload] : available) {
       if (col < m_ && use.size() < m_) use.emplace_back(col, &payload);
@@ -157,9 +192,16 @@ class GroupCoder {
       // d_want = sum_t values_t * Ainv[t][want].
       for (size_t t = 0; t < m_; ++t) {
         const Symbol coeff = inv->At(t, want);
-        if (coeff == 0 || use[t].second->empty()) continue;
-        const Bytes padded = PadTo(*use[t].second, len);
-        F::MulAddBuffer(rec.data(), padded.data(), len, coeff);
+        const BufferView& col = *use[t].second;
+        if (coeff == 0 || col.empty()) continue;
+        if (col.size() == len) {
+          // Aligned full-length survivor: feed the shared view straight to
+          // the kernel, no padding copy.
+          F::MulAddBuffer(rec.data(), col.data(), len, coeff);
+        } else {
+          const Bytes padded = PadTo(col, len);
+          F::MulAddBuffer(rec.data(), padded.data(), len, coeff);
+        }
       }
       out.push_back(std::move(rec));
     }

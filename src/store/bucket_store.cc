@@ -1,0 +1,146 @@
+#include "store/bucket_store.h"
+
+#include <cstring>
+#include <utility>
+
+namespace lhrs::store {
+
+namespace {
+
+/// Slots are 8-byte aligned inside a segment so word-wise kernels start on
+/// a word boundary.
+constexpr size_t kSlotAlign = 8;
+
+size_t AlignSlot(size_t n) {
+  return (n + kSlotAlign - 1) & ~(kSlotAlign - 1);
+}
+
+/// Compact once tombstones exceed this fraction of the touched bytes (and
+/// a floor, so tiny stores don't churn).
+constexpr size_t kCompactMinDeadBytes = 16 * 1024;
+
+}  // namespace
+
+BufferView BucketStore::Intern(std::span<const uint8_t> value) {
+  if (value.empty()) return BufferView{};
+  if (value.size() > segment_capacity_) {
+    // Oversized record: dedicated segment, so the common segments stay
+    // uniform and a huge record never strands half a segment of slack.
+    auto seg = Buffer::Allocate(value.size());
+    std::memcpy(seg->data(), value.data(), value.size());
+    BufferView view(seg, 0, value.size());
+    // Marking the head full steers the next small record into a fresh
+    // uniform segment instead of bump-allocating over this one.
+    head_used_ = seg->capacity();
+    segments_.push_back(std::move(seg));
+    return view;
+  }
+  const size_t need = AlignSlot(value.size());
+  if (segments_.empty() || head_used_ + need > segments_.back()->capacity()) {
+    segments_.push_back(Buffer::Allocate(segment_capacity_));
+    head_used_ = 0;
+  }
+  auto& seg = segments_.back();
+  std::memcpy(seg->data() + head_used_, value.data(), value.size());
+  BufferView view(seg, head_used_, value.size());
+  head_used_ += need;
+  return view;
+}
+
+bool BucketStore::Insert(uint64_t key, std::span<const uint8_t> value) {
+  if (index_.contains(key)) return false;
+  BufferView view = Intern(value);
+  live_bytes_ += view.size();
+  index_.emplace(key, std::move(view));
+  return true;
+}
+
+bool BucketStore::InsertShared(uint64_t key, BufferView value) {
+  if (index_.contains(key)) return false;
+  live_bytes_ += value.size();
+  index_.emplace(key, std::move(value));
+  return true;
+}
+
+void BucketStore::Put(uint64_t key, BufferView value) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    live_bytes_ += value.size();
+    index_.emplace(key, std::move(value));
+    return;
+  }
+  NoteDead(it->second.size());
+  live_bytes_ += value.size();
+  it->second = std::move(value);
+  MaybeCompact();
+}
+
+bool BucketStore::Erase(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  NoteDead(it->second.size());
+  index_.erase(it);
+  MaybeCompact();
+  return true;
+}
+
+void BucketStore::NoteDead(size_t bytes) {
+  live_bytes_ -= bytes;
+  dead_bytes_ += bytes;
+}
+
+void BucketStore::MaybeCompact() {
+  // Tombstoned bytes dominate: repack. The threshold is byte-based (not
+  // record-based) so a few huge deletes trigger as readily as many small
+  // ones.
+  if (dead_bytes_ >= kCompactMinDeadBytes && dead_bytes_ >= live_bytes_) {
+    Compact();
+  }
+}
+
+void BucketStore::Compact() {
+  std::vector<std::shared_ptr<Buffer>> old_segments;
+  old_segments.swap(segments_);
+  head_used_ = 0;
+  live_bytes_ = 0;
+  // Ascending key order: the packed layout (and therefore any future
+  // whole-segment stream) is deterministic.
+  for (uint64_t key : SortedKeys()) {
+    auto it = index_.find(key);
+    BufferView packed = Intern(it->second.span());
+    live_bytes_ += packed.size();
+    it->second = std::move(packed);
+  }
+  // old_segments dies here unless outstanding views still pin entries.
+  dead_bytes_ = 0;
+  ++compactions_;
+}
+
+BucketStore::Stats BucketStore::GetStats() const {
+  Stats s;
+  s.live_records = index_.size();
+  s.live_bytes = live_bytes_;
+  s.dead_bytes = dead_bytes_;
+  for (const auto& seg : segments_) s.arena_bytes += seg->capacity();
+  s.segments = segments_.size();
+  s.compactions = compactions_;
+  return s;
+}
+
+void BucketStore::Clear() {
+  index_.clear();
+  segments_.clear();
+  head_used_ = 0;
+  live_bytes_ = 0;
+  dead_bytes_ = 0;
+}
+
+std::vector<uint64_t> BucketStore::SortedKeys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(index_.size());
+  for (const auto& [key, view] : index_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace lhrs::store

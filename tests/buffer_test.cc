@@ -1,0 +1,142 @@
+// Unit tests for the ref-counted aligned Buffer and the copy-on-write
+// BufferView: ownership, slicing, detach-on-shared-mutation, and the
+// one-pass padded XOR delta builder.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/buffer.h"
+#include "common/bytes.h"
+
+namespace lhrs {
+namespace {
+
+TEST(BufferTest, AllocateAlignedAndZeroed) {
+  auto buf = Buffer::Allocate(100);
+  ASSERT_NE(buf, nullptr);
+  EXPECT_GE(buf->capacity(), 100u);
+  EXPECT_EQ(buf->capacity() % Buffer::kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf->data()) % Buffer::kAlignment,
+            0u);
+  for (size_t i = 0; i < buf->capacity(); ++i) {
+    ASSERT_EQ(buf->data()[i], 0) << "byte " << i;
+  }
+}
+
+TEST(BufferViewTest, DefaultIsEmpty) {
+  BufferView v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.data(), nullptr);
+  EXPECT_EQ(v.ToBytes(), Bytes{});
+}
+
+TEST(BufferViewTest, IngestsBytesWithOneCopy) {
+  const Bytes src = {1, 2, 3, 4};
+  BufferView v(src);
+  EXPECT_EQ(v.ToBytes(), src);
+  // The view owns its own aligned buffer, not the vector's storage.
+  EXPECT_NE(v.data(), src.data());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.buffer()->data()) %
+                Buffer::kAlignment,
+            0u);
+}
+
+TEST(BufferViewTest, CopySharesTheBuffer) {
+  BufferView a(Bytes{9, 8, 7});
+  BufferView b = a;
+  EXPECT_EQ(a.data(), b.data());  // Same underlying bytes, no copy.
+  EXPECT_EQ(a, b);
+}
+
+TEST(BufferViewTest, ContentEqualityAcrossDistinctBuffers) {
+  BufferView a(Bytes{1, 2, 3});
+  BufferView b(Bytes{1, 2, 3});
+  BufferView c(Bytes{1, 2, 4});
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BufferViewTest, SliceSharesAndOffsets) {
+  BufferView v(Bytes{0, 1, 2, 3, 4, 5});
+  BufferView mid = v.Slice(2, 3);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.ToBytes(), (Bytes{2, 3, 4}));
+  EXPECT_EQ(mid.data(), v.data() + 2);  // Shared storage.
+  EXPECT_EQ(mid.buffer(), v.buffer());
+}
+
+TEST(BufferViewTest, MutableResizedInPlaceWhenSoleOwner) {
+  BufferView v(Bytes{1, 2, 3});
+  const uint8_t* before = v.data();
+  uint8_t* p = v.MutableResized(3);
+  EXPECT_EQ(p, before);  // Unique owner with capacity: no detach.
+  p[0] = 42;
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(BufferViewTest, MutationDetachesWhenShared) {
+  BufferView a(Bytes{1, 2, 3});
+  BufferView snapshot = a;
+  uint8_t* p = a.MutableData();
+  EXPECT_NE(p, snapshot.data());  // Copy-on-write: fresh buffer.
+  p[0] = 99;
+  // The snapshot still sees the original bytes.
+  EXPECT_EQ(snapshot[0], 1);
+  EXPECT_EQ(a[0], 99);
+}
+
+TEST(BufferViewTest, MutableResizedGrowsWithZeroFill) {
+  BufferView v(Bytes{5, 6});
+  uint8_t* p = v.MutableResized(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(p[0], 5);
+  EXPECT_EQ(p[1], 6);
+  EXPECT_EQ(p[2], 0);
+  EXPECT_EQ(p[3], 0);
+  EXPECT_EQ(p[4], 0);
+}
+
+TEST(BufferViewTest, MutableResizedShrinks) {
+  BufferView v(Bytes{1, 2, 3, 4});
+  v.MutableResized(2);
+  EXPECT_EQ(v.ToBytes(), (Bytes{1, 2}));
+}
+
+TEST(BufferViewTest, FromString) {
+  BufferView v = BufferView::FromString("ab");
+  EXPECT_EQ(v.ToBytes(), (Bytes{'a', 'b'}));
+}
+
+TEST(MakeXorDeltaTest, EqualLengths) {
+  BufferView d = MakeXorDelta(Bytes{0xF0, 0x0F}, Bytes{0xFF, 0xFF});
+  EXPECT_EQ(d.ToBytes(), (Bytes{0x0F, 0xF0}));
+}
+
+TEST(MakeXorDeltaTest, FirstShorterPadsWithZero) {
+  // a zero-extended: delta tail equals b's tail.
+  BufferView d = MakeXorDelta(Bytes{0x01}, Bytes{0x03, 0xAA, 0xBB});
+  EXPECT_EQ(d.ToBytes(), (Bytes{0x02, 0xAA, 0xBB}));
+}
+
+TEST(MakeXorDeltaTest, SecondShorterPadsWithZero) {
+  BufferView d = MakeXorDelta(Bytes{0x03, 0xAA, 0xBB}, Bytes{0x01});
+  EXPECT_EQ(d.ToBytes(), (Bytes{0x02, 0xAA, 0xBB}));
+}
+
+TEST(MakeXorDeltaTest, DeltaIsItsOwnInverse) {
+  const Bytes old_value = {1, 2, 3, 4, 5};
+  const Bytes new_value = {9, 9};
+  BufferView delta = MakeXorDelta(old_value, new_value);
+  // old XOR delta == new (padded); new XOR delta == old.
+  Bytes check = old_value;
+  XorAssignPadded(check, delta);
+  Bytes padded_new = new_value;
+  padded_new.resize(old_value.size(), 0);
+  EXPECT_EQ(check, padded_new);
+}
+
+}  // namespace
+}  // namespace lhrs

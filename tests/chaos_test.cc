@@ -161,7 +161,9 @@ TEST(ChaosEngineTest, DropRateWithRetriesStillConverges) {
     ASSERT_TRUE(got.ok()) << got.status();
     EXPECT_EQ(*got, Val("v" + std::to_string(k)));
   }
-  EXPECT_GT(engine.injected(FaultKind::kDrop), 0u);
+  // DetachChaos destroys the engine; read its counter first.
+  const uint64_t drops_injected = engine.injected(FaultKind::kDrop);
+  EXPECT_GT(drops_injected, 0u);
   file.DetachChaos();
 
   // Retries/backoffs surface as telemetry counters.
@@ -172,7 +174,7 @@ TEST(ChaosEngineTest, DropRateWithRetriesStillConverges) {
   EXPECT_EQ(m.GetCounter(telemetry::Labeled("chaos.faults_injected", "kind",
                                             "drop"))
                 .value(),
-            engine.injected(FaultKind::kDrop));
+            drops_injected);
 
   for (Key k : keys) {
     auto got = file.Search(k);

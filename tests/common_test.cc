@@ -116,6 +116,52 @@ TEST(BytesTest, XorAssignPaddedGrowsDestination) {
   EXPECT_EQ(dst, (Bytes{0x01, 0x00, 0x00}));
 }
 
+TEST(BytesTest, XorAssignPaddedEqualLengths) {
+  Bytes dst = {0xF0, 0x0F, 0xAA};
+  XorAssignPadded(dst, Bytes{0xFF, 0xFF, 0xAA});
+  EXPECT_EQ(dst, (Bytes{0x0F, 0xF0, 0x00}));
+}
+
+TEST(BytesTest, XorAssignPaddedLongerDestinationKeepsTail) {
+  // src is zero-extended to dst's length: the tail is untouched.
+  Bytes dst = {0x01, 0x02, 0x03, 0x04};
+  XorAssignPadded(dst, Bytes{0xFF});
+  EXPECT_EQ(dst, (Bytes{0xFE, 0x02, 0x03, 0x04}));
+}
+
+TEST(BytesTest, XorAssignPaddedShorterDestinationGrows) {
+  Bytes dst = {0x10, 0x20};
+  XorAssignPadded(dst, Bytes{0x01, 0x02, 0x30, 0x40});
+  // Overlap XORed, src's tail appended (XOR against the implicit zero pad).
+  EXPECT_EQ(dst, (Bytes{0x11, 0x22, 0x30, 0x40}));
+}
+
+TEST(BytesTest, XorAssignPaddedEmptySourceIsNoop) {
+  Bytes dst = {0x11, 0x22};
+  XorAssignPadded(dst, Bytes{});
+  EXPECT_EQ(dst, (Bytes{0x11, 0x22}));
+}
+
+TEST(BytesTest, WordWiseXorMatchesByteReference) {
+  // The word-wise kernel must agree with the pinned byte loop across
+  // sizes that exercise the unrolled body, the word tail, and the scalar
+  // tail — and across unaligned starting offsets.
+  Rng rng(0xC0FFEE);
+  for (size_t n : {0u, 1u, 7u, 8u, 31u, 32u, 33u, 100u, 4096u, 4101u}) {
+    for (size_t offset : {0u, 1u, 3u}) {
+      Bytes src(n + offset), a(n + offset), b(n + offset);
+      for (auto& x : src) x = static_cast<uint8_t>(rng.Next64());
+      for (size_t i = 0; i < a.size(); ++i) {
+        a[i] = static_cast<uint8_t>(rng.Next64());
+        b[i] = a[i];
+      }
+      XorBuffer(a.data() + offset, src.data() + offset, n);
+      XorBufferByteReference(b.data() + offset, src.data() + offset, n);
+      EXPECT_EQ(a, b) << "n=" << n << " offset=" << offset;
+    }
+  }
+}
+
 TEST(BytesTest, PadToAndAllZero) {
   EXPECT_EQ(PadTo(Bytes{1, 2}, 4), (Bytes{1, 2, 0, 0}));
   EXPECT_EQ(PadTo(Bytes{1, 2, 3}, 2), (Bytes{1, 2}));

@@ -43,7 +43,7 @@ TEST(Lhg1FileTest, GroupLocalityHoldsAfterGrowth) {
   ASSERT_GT(file.bucket_count(), 9u);
   for (BucketNo b = 0; b < file.bucket_count(); ++b) {
     const LhgDataBucketNode* bucket = file.lhg_bucket(b);
-    for (const auto& [key, value] : bucket->records()) {
+    for (Key key : bucket->records().SortedKeys()) {
       EXPECT_EQ(bucket->group_key_of(key).g, b / 3)
           << "key " << key << " in bucket " << b;
     }
@@ -60,7 +60,7 @@ TEST(Lhg1FileTest, BasicLhgHasNoGroupLocality) {
   bool found_foreign = false;
   for (BucketNo b = 0; b < file.bucket_count() && !found_foreign; ++b) {
     const LhgDataBucketNode* bucket = file.lhg_bucket(b);
-    for (const auto& [key, value] : bucket->records()) {
+    for (Key key : bucket->records().SortedKeys()) {
       if (bucket->group_key_of(key).g != b / 3) {
         found_foreign = true;
         break;

@@ -91,7 +91,7 @@ TEST(LhStarFileTest, NoRecordEverInWrongBucket) {
   for (BucketNo b = 0; b < file.bucket_count(); ++b) {
     const DataBucketNode* bucket = file.bucket(b);
     EXPECT_EQ(bucket->level(), state.BucketLevel(b));
-    for (const auto& [key, value] : bucket->records()) {
+    for (Key key : bucket->records().SortedKeys()) {
       EXPECT_EQ(state.Address(key), b) << "key " << key;
       ++total;
     }

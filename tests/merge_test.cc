@@ -47,7 +47,7 @@ TEST(MergeTest, PlainFileShrinksAfterDeletions) {
   }
   const FileState& state = file.coordinator().state();
   for (BucketNo b = 0; b < file.bucket_count(); ++b) {
-    for (const auto& [key, value] : file.bucket(b)->records()) {
+    for (Key key : file.bucket(b)->records().SortedKeys()) {
       EXPECT_EQ(state.Address(key), b);
     }
   }

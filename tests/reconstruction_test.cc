@@ -114,8 +114,8 @@ TEST(ReconstructionTest, MixedDataAndParityLoss) {
       for (size_t i = 0; i < expected.size(); ++i) {
         EXPECT_EQ(col.parity_records[i].keys, expected[i].keys);
         EXPECT_EQ(col.parity_records[i].lengths, expected[i].lengths);
-        const Bytes& a = col.parity_records[i].parity;
-        const Bytes& b = expected[i].parity;
+        const BufferView& a = col.parity_records[i].parity;
+        const BufferView& b = expected[i].parity;
         const size_t n = std::max(a.size(), b.size());
         EXPECT_EQ(PadTo(a, n), PadTo(b, n));
       }
@@ -181,8 +181,8 @@ TEST(ReconstructionTest, ParityOnlyRebuildNeedsNoParitySurvivor) {
     const auto& expected = fx.parity_dumps[col.column - 4].parity_records;
     ASSERT_EQ(col.parity_records.size(), expected.size());
     for (size_t i = 0; i < expected.size(); ++i) {
-      const Bytes& a = col.parity_records[i].parity;
-      const Bytes& b = expected[i].parity;
+      const BufferView& a = col.parity_records[i].parity;
+      const BufferView& b = expected[i].parity;
       const size_t n = std::max(a.size(), b.size());
       EXPECT_EQ(PadTo(a, n), PadTo(b, n)) << "column " << col.column;
     }

@@ -45,7 +45,7 @@ TEST(ScrubTest, DetectsFlippedParityBits) {
   ParityRecord* record = bucket->MutableParityRecordForTest(rank);
   ASSERT_NE(record, nullptr);
   ASSERT_FALSE(record->parity.empty());
-  record->parity[0] ^= 0xFF;
+  record->parity.MutableData()[0] ^= 0xFF;
 
   const auto report = file.Scrub(/*repair=*/false);
   EXPECT_EQ(report.mismatched_parity_records, 1u);
@@ -75,7 +75,7 @@ TEST(ScrubTest, RepairRestoresCorruptedColumns) {
     for (const auto& [rank, unused] : bucket->parity_records()) {
       ParityRecord* record = bucket->MutableParityRecordForTest(rank);
       if (!record->parity.empty()) {
-        record->parity.back() ^= 0x5A;
+        record->parity.MutableData()[record->parity.size() - 1] ^= 0x5A;
         if (++corrupted == 3) break;
       }
     }
@@ -120,7 +120,7 @@ TEST(ScrubTest, RepairedFileStillRecoversFromFailures) {
   }
   auto* bucket = file.parity_bucket(0, 0);
   const Rank rank = bucket->parity_records().begin()->first;
-  bucket->MutableParityRecordForTest(rank)->parity[0] ^= 0x42;
+  bucket->MutableParityRecordForTest(rank)->parity.MutableData()[0] ^= 0x42;
   (void)file.Scrub(/*repair=*/true);
 
   const NodeId d1 = file.CrashDataBucket(0);

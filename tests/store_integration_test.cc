@@ -1,0 +1,187 @@
+// Integration tests for the BucketStore-backed buckets under the real
+// protocols: split movement out of churned (compacted) stores, parity
+// consistency across tombstone churn, degraded reads and column recovery
+// served from buckets whose arenas have been repacked, and oversized
+// records that live in dedicated segments.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lhrs/lhrs_file.h"
+#include "lhstar/lhstar_file.h"
+
+namespace lhrs {
+namespace {
+
+/// A deterministic payload large enough that a few dozen overwrites push a
+/// bucket past the compaction threshold (16 KiB dead and dead >= live).
+Bytes BigVal(Key key, int round, size_t n = 1024) {
+  Bytes v(n);
+  Rng rng(key * 1000003 + static_cast<uint64_t>(round));
+  for (auto& x : v) x = static_cast<uint8_t>(rng.Next64());
+  return v;
+}
+
+LhrsFile::Options RsOpts(uint32_t m, uint32_t k, size_t capacity) {
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = capacity;
+  opts.group_size = m;
+  opts.policy.base_k = k;
+  return opts;
+}
+
+/// Total compactions across every LH*RS data bucket.
+uint64_t TotalCompactions(const LhrsFile& file) {
+  uint64_t total = 0;
+  for (BucketNo b = 0; b < file.bucket_count(); ++b) {
+    total += file.rs_bucket(b)->records().GetStats().compactions;
+  }
+  return total;
+}
+
+TEST(StoreIntegrationTest, SplitMovesRecordsOutOfCompactedStores) {
+  // Churn a small LH* file until stores compact, then keep inserting so
+  // splits move records out of repacked arenas. Every key must surface
+  // with its latest value regardless of which segment generation held it.
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = 8;
+  LhStarFile file(opts);
+
+  std::map<Key, Bytes> expected;
+  std::vector<Key> keys;
+  for (Key k = 1; k <= 24; ++k) keys.push_back(k * 7919);
+  for (Key k : keys) ASSERT_TRUE(file.Insert(k, BigVal(k, 0)).ok());
+  for (int round = 1; round <= 24; ++round) {
+    for (Key k : keys) ASSERT_TRUE(file.Update(k, BigVal(k, round)).ok());
+  }
+  for (Key k : keys) expected[k] = BigVal(k, 24);
+
+  uint64_t compactions = 0;
+  for (BucketNo b = 0; b < file.bucket_count(); ++b) {
+    compactions += file.bucket(b)->records().GetStats().compactions;
+  }
+  ASSERT_GT(compactions, 0u) << "churn never triggered a compaction; the "
+                                "scenario is not exercising repacking";
+
+  // Grow the file: splits now stream records out of compacted stores.
+  const size_t buckets_before = file.bucket_count();
+  for (Key k = 1; k <= 64; ++k) {
+    Key fresh = k * 104729 + 1;
+    ASSERT_TRUE(file.Insert(fresh, BigVal(fresh, 0)).ok());
+    expected[fresh] = BigVal(fresh, 0);
+  }
+  EXPECT_GT(file.bucket_count(), buckets_before);
+
+  for (const auto& [k, want] : expected) {
+    auto got = file.Search(k);
+    ASSERT_TRUE(got.ok()) << "key " << k << ": " << got.status();
+    EXPECT_EQ(*got, want) << "key " << k;
+  }
+}
+
+TEST(StoreIntegrationTest, ParityStaysConsistentAcrossCompactionChurn) {
+  LhrsFile file(RsOpts(4, 1, /*capacity=*/8));
+  std::vector<Key> keys;
+  for (Key k = 1; k <= 32; ++k) keys.push_back(k * 6151);
+  for (Key k : keys) ASSERT_TRUE(file.Insert(k, BigVal(k, 0)).ok());
+  for (int round = 1; round <= 24; ++round) {
+    for (Key k : keys) ASSERT_TRUE(file.Update(k, BigVal(k, round)).ok());
+  }
+  ASSERT_GT(TotalCompactions(file), 0u);
+  // Deletes tombstone too; parity must track them through the repack.
+  for (size_t i = 0; i < keys.size(); i += 4) {
+    ASSERT_TRUE(file.Delete(keys[i]).ok());
+  }
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto got = file.Search(keys[i]);
+    if (i % 4 == 0) {
+      EXPECT_TRUE(got.status().IsNotFound());
+    } else {
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(*got, BigVal(keys[i], 24));
+    }
+  }
+}
+
+TEST(StoreIntegrationTest, DegradedReadsServeChurnCompactedRecords) {
+  // Degraded reads re-encode the lost column from surviving columns whose
+  // stores have been compacted: the served record must be the latest
+  // value, not a stale pre-repack slot.
+  LhrsFile::Options opts = RsOpts(4, 2, /*capacity=*/8);
+  opts.auto_recover = false;
+  LhrsFile file(opts);
+  std::vector<Key> keys;
+  for (Key k = 1; k <= 48; ++k) keys.push_back(k * 4099);
+  for (Key k : keys) ASSERT_TRUE(file.Insert(k, BigVal(k, 0)).ok());
+  for (int round = 1; round <= 24; ++round) {
+    for (Key k : keys) ASSERT_TRUE(file.Update(k, BigVal(k, round)).ok());
+  }
+  ASSERT_GT(TotalCompactions(file), 0u);
+  ASSERT_GT(file.bucket_count(), 1u);
+
+  file.CrashDataBucket(1);
+  for (Key k : keys) {
+    auto got = file.Search(k);
+    ASSERT_TRUE(got.ok()) << "key " << k << ": " << got.status();
+    EXPECT_EQ(*got, BigVal(k, 24)) << "key " << k;
+  }
+  EXPECT_GT(file.rs_coordinator().degraded_reads_served(), 0u);
+  EXPECT_EQ(file.rs_coordinator().recoveries_completed(), 0u);
+}
+
+TEST(StoreIntegrationTest, RecoveryRebuildsColumnFromCompactedSurvivors) {
+  // Full column recovery: survivors dump views of compacted arenas, the
+  // spare installs them into a fresh store. Contents and parity must both
+  // come back exact.
+  LhrsFile file(RsOpts(4, 1, /*capacity=*/8));
+  std::vector<Key> keys;
+  for (Key k = 1; k <= 48; ++k) keys.push_back(k * 2741);
+  for (Key k : keys) ASSERT_TRUE(file.Insert(k, BigVal(k, 0)).ok());
+  for (int round = 1; round <= 24; ++round) {
+    for (Key k : keys) ASSERT_TRUE(file.Update(k, BigVal(k, round)).ok());
+  }
+  ASSERT_GT(TotalCompactions(file), 0u);
+  ASSERT_GT(file.bucket_count(), 2u);
+
+  NodeId dead = file.CrashDataBucket(2);
+  file.DetectAndRecover(dead);
+  EXPECT_GE(file.rs_coordinator().recoveries_completed(), 1u);
+  for (Key k : keys) {
+    auto got = file.Search(k);
+    ASSERT_TRUE(got.ok()) << "key " << k << ": " << got.status();
+    EXPECT_EQ(*got, BigVal(k, 24));
+  }
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+}
+
+TEST(StoreIntegrationTest, OversizedRecordsFlowThroughEveryPath) {
+  // Records larger than a store segment (64 KiB) live in dedicated
+  // segments; they must survive parity encoding, degraded reads and
+  // recovery like any other record.
+  LhrsFile file(RsOpts(4, 1, /*capacity=*/1000));
+  const size_t big = 100 * 1024;
+  std::vector<Key> keys = {3, 5, 6, 7};  // All in bucket 0 (no splits).
+  for (Key k : keys) ASSERT_TRUE(file.Insert(k, BigVal(k, 0, big)).ok());
+  ASSERT_TRUE(file.Update(5, BigVal(5, 1, big)).ok());
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+
+  file.CrashDataBucket(0);
+  auto got = file.Search(5);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, BigVal(5, 1, big));
+  EXPECT_GE(file.rs_coordinator().recoveries_completed(), 1u);
+  for (Key k : keys) {
+    auto after = file.Search(k);
+    ASSERT_TRUE(after.ok()) << "key " << k << ": " << after.status();
+  }
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+}
+
+}  // namespace
+}  // namespace lhrs
