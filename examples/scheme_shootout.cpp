@@ -5,8 +5,18 @@
 // LH*s striping) — and prints the trade-off table an operator would use:
 // storage overhead, write cost, read cost, degraded-read behaviour, and
 // the modelled availability at fleet scale.
+//
+// Every scheme is exercised through the scheme-agnostic sdds::SddsFile
+// facade, so the workload is written exactly once; only construction and
+// the crash trigger are per-scheme. With --pipelined the measured phase
+// runs open-loop through the session layer (4 clients, window 4) instead
+// of the closed-loop synchronous API — message costs stay put while the
+// simulated wall-clock collapses.
 
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +26,7 @@
 #include "baselines/lhs/lhs_file.h"
 #include "common/rng.h"
 #include "lhrs/lhrs_file.h"
+#include "sdds/session.h"
 
 namespace {
 
@@ -23,6 +34,7 @@ using namespace lhrs;
 
 constexpr int kRecords = 800;
 constexpr size_t kValueBytes = 96;
+constexpr int kMeasuredOps = 200;
 
 struct Row {
   std::string scheme;
@@ -33,9 +45,24 @@ struct Row {
   double availability_1k = 0;  // Modelled at 1000 buckets, p = 0.99.
 };
 
-template <typename File>
-Row Exercise(const std::string& name, File& file, Network& net,
-             double availability) {
+/// Runs `ops` through the session layer (4 clients, window 4) and returns
+/// messages per op.
+double RunPipelined(sdds::SddsFile& file, const std::vector<sdds::SddsOp>& ops) {
+  const uint64_t before = file.network().stats().total_messages();
+  sdds::PipelinedRunner runner(file, sdds::RunnerOptions{4, 4, 0});
+  size_t next = 0;
+  (void)runner.Run([&](size_t) -> std::optional<sdds::SddsOp> {
+    if (next >= ops.size()) return std::nullopt;
+    return ops[next++];
+  });
+  return (file.network().stats().total_messages() - before) /
+         static_cast<double>(ops.size());
+}
+
+/// The shared workload: grow to kRecords, then measure write and read
+/// message costs over kMeasuredOps ops each.
+Row Exercise(const std::string& name, sdds::SddsFile& file,
+             double availability, bool pipelined) {
   Row row;
   row.scheme = name;
   Rng rng(99);
@@ -44,17 +71,43 @@ Row Exercise(const std::string& name, File& file, Network& net,
     const Key k = rng.Next64();
     if (file.Insert(k, rng.RandomBytes(kValueBytes)).ok()) keys.push_back(k);
   }
-  uint64_t before = net.stats().total_messages();
-  for (int i = 0; i < 200; ++i) {
-    (void)file.Insert(rng.Next64(), rng.RandomBytes(kValueBytes));
+  std::vector<sdds::SddsOp> writes, reads;
+  for (int i = 0; i < kMeasuredOps; ++i) {
+    writes.push_back(sdds::SddsOp{OpType::kInsert, rng.Next64(),
+                                  rng.RandomBytes(kValueBytes)});
+    reads.push_back(sdds::SddsOp{OpType::kSearch, keys[i], {}});
   }
-  row.write_msgs = (net.stats().total_messages() - before) / 200.0;
-  before = net.stats().total_messages();
-  for (int i = 0; i < 200; ++i) (void)file.Search(keys[i]);
-  row.read_msgs = (net.stats().total_messages() - before) / 200.0;
+  if (pipelined) {
+    row.write_msgs = RunPipelined(file, writes);
+    row.read_msgs = RunPipelined(file, reads);
+  } else {
+    uint64_t before = file.network().stats().total_messages();
+    for (const auto& op : writes) (void)file.Insert(op.key, op.value);
+    row.write_msgs = (file.network().stats().total_messages() - before) /
+                     static_cast<double>(kMeasuredOps);
+    before = file.network().stats().total_messages();
+    for (const auto& op : reads) (void)file.Search(op.key);
+    row.read_msgs = (file.network().stats().total_messages() - before) /
+                    static_cast<double>(kMeasuredOps);
+  }
   row.overhead = file.GetStorageStats().ParityOverhead();
   row.availability_1k = availability;
   return row;
+}
+
+/// Shared degraded-read check: after the caller crashed a node, the first
+/// `count` inserted keys must still be readable (NotFound tolerated only
+/// for keys the grow phase dropped).
+bool DegradedReadsOk(sdds::SddsFile& file, size_t count) {
+  Rng rng(99);  // Same seed as Exercise: replays the inserted keys.
+  bool ok = true;
+  for (size_t i = 0; i < count; ++i) {
+    const Key k = rng.Next64();
+    rng.RandomBytes(kValueBytes);  // Keep the stream aligned.
+    auto got = file.Search(k);
+    if (!got.ok() && !got.status().IsNotFound()) ok = false;
+  }
+  return ok;
 }
 
 void Print(const Row& row) {
@@ -66,11 +119,17 @@ void Print(const Row& row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool pipelined = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pipelined") == 0) pipelined = true;
+  }
   const double p = 0.99;
-  std::printf("workload: %d x %zu B records + 200 writes + 200 reads per "
-              "scheme\n\n",
-              kRecords, kValueBytes);
+  std::printf("workload: %d x %zu B records + %d writes + %d reads per "
+              "scheme (%s)\n\n",
+              kRecords, kValueBytes, kMeasuredOps, kMeasuredOps,
+              pipelined ? "open-loop: 4 clients, window 4"
+                        : "closed-loop; rerun with --pipelined");
   std::printf("| %-14s | %8s | %6s | %6s | %-12s | %8s |\n", "scheme",
               "overhead", "write", "read", "degraded-rd", "P(M=1000)");
   std::printf("|----------------|----------|--------|--------|--------------|----------|\n");
@@ -81,15 +140,10 @@ int main() {
     o.group_size = 4;
     o.policy.base_k = 2;
     LhrsFile f(o);
-    Row row = Exercise("LH*RS m=4 k=2", f, f.network(),
-                       LhrsAvailability(1000, 4, 2, p));
-    // Degraded read check.
+    Row row = Exercise("LH*RS m=4 k=2", f, LhrsAvailability(1000, 4, 2, p),
+                       pipelined);
     f.CrashDataBucket(2);
-    row.degraded_read_ok = true;
-    for (Key k = 0; k < 50; ++k) {
-      auto got = f.Search(k);
-      if (!got.ok() && !got.status().IsNotFound()) row.degraded_read_ok = false;
-    }
+    row.degraded_read_ok = DegradedReadsOk(f, 50);
     Print(row);
   }
   {
@@ -97,28 +151,20 @@ int main() {
     o.file.bucket_capacity = 32;
     o.group_size = 4;
     lhg::LhgFile f(o);
-    Row row = Exercise("LH*g k=4", f, f.network(),
-                       LhgAvailability(1000, 4, 250, p));
+    Row row = Exercise("LH*g k=4", f, LhgAvailability(1000, 4, 250, p),
+                       pipelined);
     f.CrashDataBucket(2);
-    row.degraded_read_ok = true;
-    for (Key k = 0; k < 50; ++k) {
-      auto got = f.Search(k);
-      if (!got.ok() && !got.status().IsNotFound()) row.degraded_read_ok = false;
-    }
+    row.degraded_read_ok = DegradedReadsOk(f, 50);
     Print(row);
   }
   {
     lhm::LhmFile::Options o;
     o.file.bucket_capacity = 32;
     lhm::LhmFile f(o);
-    Row row =
-        Exercise("LH*m mirror", f, f.network(), MirrorAvailability(1000, p));
+    Row row = Exercise("LH*m mirror", f, MirrorAvailability(1000, p),
+                       pipelined);
     f.CrashPrimaryBucket(1);
-    row.degraded_read_ok = true;
-    for (Key k = 0; k < 50; ++k) {
-      auto got = f.Search(k);
-      if (!got.ok() && !got.status().IsNotFound()) row.degraded_read_ok = false;
-    }
+    row.degraded_read_ok = DegradedReadsOk(f, 50);
     Print(row);
   }
   {
@@ -126,14 +172,9 @@ int main() {
     o.file.bucket_capacity = 32;
     o.stripe_count = 4;
     lhs::LhsFile f(o);
-    Row row = Exercise("LH*s k=4", f, f.network(),
-                       LhsAvailability(250, 4, p));
+    Row row = Exercise("LH*s k=4", f, LhsAvailability(250, 4, p), pipelined);
     f.CrashStripeBucketOf(1, 12345);
-    row.degraded_read_ok = true;
-    for (Key k = 0; k < 20; ++k) {
-      auto got = f.Search(k);
-      if (!got.ok() && !got.status().IsNotFound()) row.degraded_read_ok = false;
-    }
+    row.degraded_read_ok = DegradedReadsOk(f, 20);
     Print(row);
   }
 

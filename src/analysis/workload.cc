@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <set>
 #include <sstream>
+#include <utility>
 
 namespace lhrs {
 
@@ -32,6 +35,101 @@ bool WorkloadSpec::Valid() const {
   return sum > 0.999 && sum < 1.001 && insert_fraction >= 0 &&
          search_fraction >= 0 && update_fraction >= 0 &&
          delete_fraction >= 0 && value_min <= value_max;
+}
+
+OpenLoopResult RunOpenLoopWorkload(sdds::SddsFile& file,
+                                   const WorkloadSpec& spec, uint64_t ops,
+                                   const OpenLoopOptions& options, Rng& rng) {
+  LHRS_CHECK(spec.Valid()) << "workload fractions must sum to 1";
+  OpenLoopResult result;
+  WorkloadStats& stats = result.stats;
+  std::vector<Key> live;
+  std::set<Key> phantoms;  ///< Searched keys that were never inserted.
+  ZipfSampler zipf(1, spec.zipf_theta);
+  uint64_t generated = 0;
+
+  auto pick_existing = [&]() -> size_t {
+    if (spec.skew == WorkloadSpec::Skew::kZipfian) {
+      if (zipf.n() != live.size()) {
+        zipf = ZipfSampler(live.size(), spec.zipf_theta);
+      }
+      return zipf.Sample(rng);
+    }
+    return static_cast<size_t>(rng.Uniform(live.size()));
+  };
+  auto value = [&] {
+    return rng.RandomBytes(spec.value_min +
+                           rng.Uniform(spec.value_max - spec.value_min + 1));
+  };
+
+  // Called from inside event processing in completion order: a single rng
+  // stream drawn in a deterministic order, whatever N and W are.
+  auto source = [&](size_t /*session*/) -> std::optional<sdds::SddsOp> {
+    if (generated >= ops) return std::nullopt;
+    ++generated;
+    sdds::SddsOp op;
+    const double roll = rng.NextDouble();
+    if (roll < spec.insert_fraction || live.empty()) {
+      op.op = OpType::kInsert;
+      op.key = rng.Next64();
+      op.value = value();
+      ++stats.inserts;
+      live.push_back(op.key);  // Optimistic: live the moment it is sent.
+    } else if (roll < spec.insert_fraction + spec.search_fraction) {
+      op.op = OpType::kSearch;
+      ++stats.searches;
+      if (rng.Flip(0.9)) {
+        op.key = live[pick_existing()];
+      } else {
+        op.key = rng.Next64();
+        phantoms.insert(op.key);
+      }
+    } else if (roll < spec.insert_fraction + spec.search_fraction +
+                          spec.update_fraction) {
+      op.op = OpType::kUpdate;
+      op.key = live[pick_existing()];
+      op.value = value();
+      ++stats.updates;
+    } else {
+      op.op = OpType::kDelete;
+      const size_t at = pick_existing();
+      op.key = live[at];
+      ++stats.deletes;
+      live[at] = live.back();  // Optimistic: dead the moment it is sent.
+      live.pop_back();
+    }
+    return op;
+  };
+
+  auto on_complete = [&](size_t /*session*/, const sdds::SddsOp& op,
+                         const OpOutcome& outcome) {
+    if (op.op == OpType::kSearch) {
+      const auto phantom = phantoms.find(op.key);
+      if (phantom != phantoms.end()) {
+        phantoms.erase(phantom);
+        if (outcome.status.ok()) ++stats.failures;  // Phantom read.
+        else if (outcome.status.IsNotFound()) ++stats.not_found;
+        else ++stats.failures;
+        return;
+      }
+    }
+    if (outcome.status.ok()) return;
+    if (outcome.status.IsNotFound() || outcome.status.IsAlreadyExists()) {
+      // A race with the op that made this key live/dead — expected with
+      // W > 1 — or an insert landing on a key the driver already retired.
+      ++stats.not_found;
+      return;
+    }
+    ++stats.failures;
+  };
+
+  sdds::RunnerOptions runner_options;
+  runner_options.sessions = options.sessions;
+  runner_options.window = options.window;
+  sdds::PipelinedRunner runner(file, runner_options);
+  result.report = runner.Run(source, on_complete);
+  stats.live_keys = live.size();
+  return result;
 }
 
 std::string WorkloadStats::ToString() const {

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "lh/lh_math.h"
+#include "sdds/session.h"
 
 namespace lhrs {
 
@@ -137,6 +138,31 @@ WorkloadStats RunWorkload(File& file, const WorkloadSpec& spec, int ops,
   stats.live_keys = live.size();
   return stats;
 }
+
+/// Configuration of the open-loop workload driver.
+struct OpenLoopOptions {
+  size_t sessions = 4;  ///< Concurrent client sessions (N).
+  size_t window = 4;    ///< Outstanding ops per session (W).
+};
+
+/// What one open-loop run produced: the op-mix counters plus the runner's
+/// throughput/latency report (simulated time).
+struct OpenLoopResult {
+  WorkloadStats stats;
+  sdds::RunnerReport report;
+};
+
+/// Drives `ops` operations of the spec against `file` through the
+/// pipelined session layer: N sessions, each keeping up to W operations in
+/// flight, refilled from inside the completion path. The generator keeps
+/// the live-key set *optimistically* (inserts join / deletes leave at
+/// submit time), so with W > 1 an operation can race the one that made its
+/// key live or dead — kNotFound on search/update/delete therefore counts
+/// as `not_found`, never as a failure. With sessions == 1 and window == 1
+/// this reduces exactly to the closed-loop RunWorkload execution model.
+OpenLoopResult RunOpenLoopWorkload(sdds::SddsFile& file,
+                                   const WorkloadSpec& spec, uint64_t ops,
+                                   const OpenLoopOptions& options, Rng& rng);
 
 }  // namespace lhrs
 

@@ -56,12 +56,18 @@ LhgFile::LhgFile(Options options)
     auto node = std::make_unique<LhgDataBucketNode>(
         ctx_, f2_ctx_, group_size_, bucket, level, /*pre_initialized=*/false,
         g1);
-    return network_.AddNode(std::move(node));
+    LhgDataBucketNode* ptr = node.get();
+    const NodeId id = network_.AddNode(std::move(node));
+    RegisterDataBucket(id, ptr);
+    return id;
   });
   auto parity_factory = [this](BucketNo bucket, Level level) {
     auto node = std::make_unique<LhgParityBucketNode>(
         f2_ctx_, bucket, level, /*pre_initialized=*/false);
-    return network_.AddNode(std::move(node));
+    LhgParityBucketNode* ptr = node.get();
+    const NodeId id = network_.AddNode(std::move(node));
+    parity_nodes_.Register(id, ptr);
+    return id;
   };
   f2_coordinator_->SetBucketFactory(parity_factory);
   lhg_coordinator_->SetParityFactory(parity_factory);
@@ -70,11 +76,17 @@ LhgFile::LhgFile(Options options)
     auto node = std::make_unique<LhgDataBucketNode>(
         ctx_, f2_ctx_, group_size_, b, /*level=*/0, /*pre_initialized=*/true,
         g1);
-    ctx_->allocation.Set(b, network_.AddNode(std::move(node)));
+    LhgDataBucketNode* ptr = node.get();
+    const NodeId id = network_.AddNode(std::move(node));
+    RegisterDataBucket(id, ptr);
+    ctx_->allocation.Set(b, id);
   }
   auto parity0 = std::make_unique<LhgParityBucketNode>(
       f2_ctx_, /*bucket_no=*/0, /*level=*/0, /*pre_initialized=*/true);
-  f2_ctx_->allocation.Set(0, network_.AddNode(std::move(parity0)));
+  LhgParityBucketNode* parity0_ptr = parity0.get();
+  const NodeId parity0_id = network_.AddNode(std::move(parity0));
+  parity_nodes_.Register(parity0_id, parity0_ptr);
+  f2_ctx_->allocation.Set(0, parity0_id);
 
   AddClient();
 }
@@ -102,12 +114,15 @@ void LhgFile::RecoverParityBucket(BucketNo f2_bucket) {
 }
 
 LhgDataBucketNode* LhgFile::lhg_bucket(BucketNo b) const {
-  return network_.node_as<LhgDataBucketNode>(ctx_->allocation.Lookup(b));
+  // Every data bucket of an LH*g file is an LhgDataBucketNode, so the
+  // registered base pointer downcasts statically.
+  DataBucketNode* node = data_node(ctx_->allocation.Lookup(b));
+  LHRS_CHECK(node != nullptr) << "bucket " << b << " not registered";
+  return static_cast<LhgDataBucketNode*>(node);
 }
 
 LhgParityBucketNode* LhgFile::parity_bucket(BucketNo f2_bucket) const {
-  return network_.node_as<LhgParityBucketNode>(
-      f2_ctx_->allocation.Lookup(f2_bucket));
+  return parity_nodes_.At(f2_ctx_->allocation.Lookup(f2_bucket));
 }
 
 StorageStats LhgFile::GetStorageStats() const {

@@ -64,6 +64,9 @@ class LhgFile : public LhStarFile {
   LhgCoordinatorNode* lhg_coordinator_ = nullptr;  // Owned by network_.
   CoordinatorNode* f2_coordinator_ = nullptr;      // Owned by network_.
   uint32_t group_size_;
+  /// Typed registry of F2 parity buckets (F1 data buckets live in the
+  /// base's registry), filled by the parity factory.
+  sdds::NodeIndex<LhgParityBucketNode> parity_nodes_;
 };
 
 }  // namespace lhrs::lhg

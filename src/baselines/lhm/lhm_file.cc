@@ -245,60 +245,112 @@ LhmFile::LhmFile(Options options) : network_(options.net) {
         [this, ctx](BucketNo bucket, Level level) {
           auto node = std::make_unique<LhmBucketNode>(
               ctx, bucket, level, /*pre_initialized=*/false);
-          return network_.AddNode(std::move(node));
+          LhmBucketNode* ptr = node.get();
+          const NodeId id = network_.AddNode(std::move(node));
+          buckets_.Register(id, ptr);
+          return id;
         });
     for (BucketNo b = 0; b < ctx->config.initial_buckets; ++b) {
       auto node = std::make_unique<LhmBucketNode>(ctx, b, /*level=*/0,
                                                   /*pre_initialized=*/true);
-      ctx->allocation.Set(b, network_.AddNode(std::move(node)));
+      LhmBucketNode* ptr = node.get();
+      const NodeId id = network_.AddNode(std::move(node));
+      buckets_.Register(id, ptr);
+      ctx->allocation.Set(b, id);
     }
-    auto client = std::make_unique<ClientNode>(ctx);
-    replicas_[f].client = client.get();
-    network_.AddNode(std::move(client));
+    AddReplicaClient(f, 0);
   }
   coordinators_[0]->SetSibling(coordinators_[1], replicas_[1].ctx);
   coordinators_[1]->SetSibling(coordinators_[0], replicas_[0].ctx);
 }
 
-Result<OpOutcome> LhmFile::RunOn(size_t replica, OpType op, Key key,
-                                 Bytes value) {
-  ClientNode& c = *replicas_[replica].client;
+ClientNode* LhmFile::AddReplicaClient(size_t replica, size_t session) {
+  auto client = std::make_unique<ClientNode>(replicas_[replica].ctx);
+  ClientNode* ptr = client.get();
+  network_.AddNode(std::move(client));
+  replicas_[replica].clients.push_back(ptr);
+  replicas_[replica].subops.emplace_back();
+  ptr->SetOnOpComplete([this, replica, session](uint64_t op_id) {
+    OnSubOpComplete(replica, session, op_id);
+  });
+  return ptr;
+}
+
+size_t LhmFile::AddSession() {
+  const size_t session = replicas_[0].clients.size();
+  for (int f = 0; f < 2; ++f) AddReplicaClient(f, session);
+  return session;
+}
+
+void LhmFile::StartSubOp(size_t replica, size_t session,
+                         sdds::OpToken token, OpType op, Key key,
+                         BufferView value) {
+  ClientNode& c = *replicas_[replica].clients[session];
   const uint64_t op_id = c.StartOp(op, key, std::move(value));
-  network_.RunUntilIdle();
-  if (!c.IsDone(op_id)) return Status::Internal("operation did not complete");
-  return c.TakeResult(op_id);
+  replicas_[replica].subops[session][op_id] = token;
 }
 
-Status LhmFile::Insert(Key key, Bytes value) {
-  // Mirroring: the client writes both replicas (2 messages + acks).
-  LHRS_ASSIGN_OR_RETURN(OpOutcome primary,
-                        RunOn(0, OpType::kInsert, key, value));
-  LHRS_ASSIGN_OR_RETURN(OpOutcome mirror,
-                        RunOn(1, OpType::kInsert, key, std::move(value)));
-  if (!primary.status.ok()) return primary.status;
-  return mirror.status;
+sdds::OpToken LhmFile::Submit(size_t session, OpType op, Key key,
+                              Bytes value) {
+  LHRS_CHECK_LT(session, session_count());
+  const sdds::OpToken token = NextToken();
+  LogicalOp lop;
+  lop.session = session;
+  lop.op = op;
+  lop.key = key;
+  lop.value = BufferView(std::move(value));
+  // The primary sub-op starts immediately; writes chain the mirror sub-op
+  // from the primary's completion callback.
+  StartSubOp(0, session, token, op, key, lop.value);
+  inflight_.emplace(token, std::move(lop));
+  return token;
 }
 
-Result<Bytes> LhmFile::Search(Key key) {
-  LHRS_ASSIGN_OR_RETURN(OpOutcome out, RunOn(0, OpType::kSearch, key, {}));
-  if (!out.status.ok()) return out.status;
-  return out.value.ToBytes();
+void LhmFile::OnSubOpComplete(size_t replica, size_t session,
+                              uint64_t op_id) {
+  auto& sub = replicas_[replica].subops[session];
+  auto it = sub.find(op_id);
+  if (it == sub.end()) return;  // Direct client use outside the facade.
+  const sdds::OpToken token = it->second;
+  sub.erase(it);
+  Result<OpOutcome> res =
+      replicas_[replica].clients[session]->TakeResult(op_id);
+  LHRS_CHECK(res.ok());
+  auto lit = inflight_.find(token);
+  LHRS_CHECK(lit != inflight_.end());
+  LogicalOp& lop = lit->second;
+  if (lop.op == OpType::kSearch) {
+    // Searches touch the primary replica only.
+    FinishOp(token, std::move(*res));
+    return;
+  }
+  if (!lop.have_primary) {
+    // Mirroring: the mirror write always runs, whatever the primary said
+    // (the original synchronous semantics).
+    lop.have_primary = true;
+    lop.primary = std::move(*res);
+    StartSubOp(1, lop.session, token, lop.op, lop.key, lop.value);
+    return;
+  }
+  OpOutcome combined = std::move(lop.primary);
+  if (combined.status.ok()) combined.status = std::move(res->status);
+  FinishOp(token, std::move(combined));
 }
 
-Status LhmFile::Update(Key key, Bytes value) {
-  LHRS_ASSIGN_OR_RETURN(OpOutcome primary,
-                        RunOn(0, OpType::kUpdate, key, value));
-  LHRS_ASSIGN_OR_RETURN(OpOutcome mirror,
-                        RunOn(1, OpType::kUpdate, key, std::move(value)));
-  if (!primary.status.ok()) return primary.status;
-  return mirror.status;
+void LhmFile::FinishOp(sdds::OpToken token, OpOutcome outcome) {
+  inflight_.erase(token);
+  done_[token] = std::move(outcome);
+  NotifyComplete(token);
 }
 
-Status LhmFile::Delete(Key key) {
-  LHRS_ASSIGN_OR_RETURN(OpOutcome primary, RunOn(0, OpType::kDelete, key, {}));
-  LHRS_ASSIGN_OR_RETURN(OpOutcome mirror, RunOn(1, OpType::kDelete, key, {}));
-  if (!primary.status.ok()) return primary.status;
-  return mirror.status;
+Result<OpOutcome> LhmFile::Take(sdds::OpToken token) {
+  auto it = done_.find(token);
+  if (it == done_.end()) {
+    return Status::Internal("operation not finished");
+  }
+  OpOutcome out = std::move(it->second);
+  done_.erase(it);
+  return out;
 }
 
 NodeId LhmFile::CrashPrimaryBucket(BucketNo b) {
@@ -317,8 +369,8 @@ StorageStats LhmFile::GetStorageStats() const {
   for (int f = 0; f < 2; ++f) {
     const BucketNo count = coordinators_[f]->state().bucket_count();
     for (BucketNo b = 0; b < count; ++b) {
-      const auto* bucket = network_.node_as<DataBucketNode>(
-          replicas_[f].ctx->allocation.Lookup(b));
+      const DataBucketNode* bucket =
+          buckets_.At(replicas_[f].ctx->allocation.Lookup(b));
       if (f == 0) {
         stats.record_count += bucket->record_count();
         stats.data_bytes += bucket->StorageBytes();
@@ -340,8 +392,8 @@ Status LhmFile::VerifyMirrorInvariant() const {
   for (int f = 0; f < 2; ++f) {
     const BucketNo count = coordinators_[f]->state().bucket_count();
     for (BucketNo b = 0; b < count; ++b) {
-      const auto* bucket = network_.node_as<DataBucketNode>(
-          replicas_[f].ctx->allocation.Lookup(b));
+      const DataBucketNode* bucket =
+          buckets_.At(replicas_[f].ctx->allocation.Lookup(b));
       bucket->records().ForEachOrdered([&](Key key, const BufferView& value) {
         contents[f][key] = value;
       });

@@ -135,7 +135,14 @@ class LhmCoordinatorNode : public CoordinatorNode {
 /// simplest 1-available scheme, at 100% storage overhead and 2x write
 /// messaging, with instant degraded reads (the mirror answers directly)
 /// and bulk-copy recovery.
-class LhmFile {
+///
+/// Implements the SddsFile facade. A logical write is a two-step chain:
+/// the primary sub-op runs first, the mirror sub-op starts the instant the
+/// primary completes (both always run, matching the original synchronous
+/// semantics), and the combined status is the primary's error if any, else
+/// the mirror's. Searches touch the primary replica only. A session owns
+/// one client per replica.
+class LhmFile : public sdds::SddsFile {
  public:
   struct Options {
     FileConfig file;
@@ -144,18 +151,25 @@ class LhmFile {
 
   explicit LhmFile(Options options);
 
-  Status Insert(Key key, Bytes value);
-  Result<Bytes> Search(Key key);
-  Status Update(Key key, Bytes value);
-  Status Delete(Key key);
+  // --- SddsFile ------------------------------------------------------------
+  size_t AddSession() override;
+  size_t session_count() const override {
+    return replicas_[0].clients.size();
+  }
+  sdds::OpToken Submit(size_t session, OpType op, Key key,
+                       Bytes value) override;
+  bool Poll(sdds::OpToken token) const override {
+    return done_.contains(token);
+  }
+  Result<OpOutcome> Take(sdds::OpToken token) override;
+  Network& network() override { return network_; }
+  StorageStats GetStorageStats() const override;
 
   NodeId CrashPrimaryBucket(BucketNo b);
   void RecoverPrimaryBucket(BucketNo b);
 
-  Network& network() { return network_; }
   BucketNo bucket_count() const { return coordinators_[0]->state().bucket_count(); }
   LhmCoordinatorNode& primary_coordinator() { return *coordinators_[0]; }
-  StorageStats GetStorageStats() const;
 
   /// Both replicas must hold identical record sets.
   Status VerifyMirrorInvariant() const;
@@ -163,14 +177,34 @@ class LhmFile {
  private:
   struct Replica {
     std::shared_ptr<SystemContext> ctx;
-    ClientNode* client = nullptr;
+    std::vector<ClientNode*> clients;  ///< One per session.
+    /// Per session: client op id -> facade token of the logical op.
+    std::vector<std::map<uint64_t, sdds::OpToken>> subops;
   };
 
-  Result<OpOutcome> RunOn(size_t replica, OpType op, Key key, Bytes value);
+  /// State of one logical op between its primary and mirror sub-ops.
+  struct LogicalOp {
+    size_t session = 0;
+    OpType op = OpType::kSearch;
+    Key key = 0;
+    BufferView value;  ///< Shared by both sub-ops.
+    bool have_primary = false;
+    OpOutcome primary;
+  };
+
+  void StartSubOp(size_t replica, size_t session, sdds::OpToken token,
+                  OpType op, Key key, BufferView value);
+  void OnSubOpComplete(size_t replica, size_t session, uint64_t op_id);
+  void FinishOp(sdds::OpToken token, OpOutcome outcome);
+  ClientNode* AddReplicaClient(size_t replica, size_t session);
 
   Network network_;
   Replica replicas_[2];
   LhmCoordinatorNode* coordinators_[2] = {nullptr, nullptr};
+  std::map<sdds::OpToken, LogicalOp> inflight_;
+  std::map<sdds::OpToken, OpOutcome> done_;
+  /// Typed registry of every bucket node of both replicas.
+  sdds::NodeIndex<DataBucketNode> buckets_;
 };
 
 }  // namespace lhrs::lhm

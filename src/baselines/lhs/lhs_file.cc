@@ -109,20 +109,43 @@ LhsFile::LhsFile(Options options)
         [this, ctx](BucketNo bucket, Level level) {
           auto node = std::make_unique<LhsBucketNode>(
               ctx, bucket, level, /*pre_initialized=*/false);
-          return network_.AddNode(std::move(node));
+          LhsBucketNode* ptr = node.get();
+          const NodeId id = network_.AddNode(std::move(node));
+          buckets_.Register(id, ptr);
+          return id;
         });
     for (BucketNo b = 0; b < ctx->config.initial_buckets; ++b) {
       auto node = std::make_unique<LhsBucketNode>(ctx, b, /*level=*/0,
                                                   /*pre_initialized=*/true);
-      ctx->allocation.Set(b, network_.AddNode(std::move(node)));
+      LhsBucketNode* ptr = node.get();
+      const NodeId id = network_.AddNode(std::move(node));
+      buckets_.Register(id, ptr);
+      ctx->allocation.Set(b, id);
     }
-    auto client = std::make_unique<ClientNode>(ctx);
-    file.client = client.get();
-    network_.AddNode(std::move(client));
   }
   for (auto& file : files_) {
     static_cast<LhsCoordinatorNode*>(file.coordinator)->SetFleet(fleet);
   }
+  AddSession();
+}
+
+size_t LhsFile::AddSession() {
+  const size_t session = files_[0].clients.size();
+  for (uint32_t f = 0; f <= stripe_count_; ++f) AddStripeClient(f, session);
+  return session;
+}
+
+void LhsFile::AddStripeClient(uint32_t file_index, size_t session) {
+  StripeFile& file = files_[file_index];
+  LHRS_CHECK_EQ(file.clients.size(), session);
+  auto client = std::make_unique<ClientNode>(file.ctx);
+  ClientNode* ptr = client.get();
+  network_.AddNode(std::move(client));
+  file.clients.push_back(ptr);
+  file.subops.emplace_back();
+  ptr->SetOnOpComplete([this, file_index, session](uint64_t op_id) {
+    OnSubOpComplete(file_index, session, op_id);
+  });
 }
 
 void LhsBucketNode::HandleSubclassMessage(const Message& msg) {
@@ -306,79 +329,146 @@ void LhsCoordinatorNode::HandleSubclassMessage(const Message& msg) {
   }
 }
 
-Result<OpOutcome> LhsFile::RunOn(size_t file_index, OpType op, Key key,
-                                 Bytes value) {
-  ClientNode& c = *files_[file_index].client;
+void LhsFile::StartSubOp(uint32_t file_index, size_t session,
+                         sdds::OpToken token, OpType op, Key key,
+                         BufferView value) {
+  ClientNode& c = *files_[file_index].clients[session];
   const uint64_t op_id = c.StartOp(op, key, std::move(value));
-  network_.RunUntilIdle();
-  if (!c.IsDone(op_id)) return Status::Internal("operation did not complete");
-  return c.TakeResult(op_id);
+  files_[file_index].subops[session][op_id] = token;
 }
 
-Status LhsFile::Insert(Key key, Bytes value) {
-  std::vector<Bytes> stripes = StripeValue(value, stripe_count_);
-  // k + 1 inserts, one per stripe site (the LH*s insert cost).
-  for (uint32_t s = 0; s <= stripe_count_; ++s) {
-    LHRS_ASSIGN_OR_RETURN(OpOutcome out,
-                          RunOn(s, OpType::kInsert, key,
-                                std::move(stripes[s])));
-    if (!out.status.ok()) return out.status;
+sdds::OpToken LhsFile::Submit(size_t session, OpType op, Key key,
+                              Bytes value) {
+  LHRS_CHECK_LT(session, session_count());
+  const sdds::OpToken token = NextToken();
+  LogicalOp lop;
+  lop.session = session;
+  lop.op = op;
+  lop.key = key;
+  lop.missing = stripe_count_;
+  if (op == OpType::kInsert || op == OpType::kUpdate) {
+    lop.stripes = StripeValue(value, stripe_count_);
+  } else if (op == OpType::kSearch) {
+    lop.stripes.resize(stripe_count_);
+    lop.have.assign(stripe_count_, false);
   }
-  return Status::OK();
+  // The stripe-0 sub-op starts immediately; each completion chains the
+  // next stripe file, reproducing the synchronous loops' message schedule.
+  BufferView first;
+  if (op == OpType::kInsert || op == OpType::kUpdate) {
+    first = BufferView(lop.stripes[0]);
+  }
+  auto [it, inserted] = inflight_.emplace(token, std::move(lop));
+  LHRS_CHECK(inserted);
+  StartSubOp(0, session, token, op, key, std::move(first));
+  return token;
 }
 
-Result<Bytes> LhsFile::Search(Key key) {
-  // Gather the k data stripes (k messages — the striping read penalty).
-  std::vector<Bytes> stripes(stripe_count_);
-  std::vector<bool> have(stripe_count_, false);
-  uint32_t missing = stripe_count_;
-  for (uint32_t s = 0; s < stripe_count_; ++s) {
-    LHRS_ASSIGN_OR_RETURN(OpOutcome out, RunOn(s, OpType::kSearch, key, {}));
-    if (out.status.ok()) {
-      stripes[s] = out.value.ToBytes();
-      have[s] = true;
-    } else if (out.status.IsNotFound()) {
-      return out.status;  // Key absent everywhere.
-    } else if (missing == stripe_count_) {
-      missing = s;  // First unavailable stripe: parity can cover it.
-    } else {
-      return Status::DataLoss(
-          "two stripes unavailable: beyond LH*s 1-availability");
+void LhsFile::OnSubOpComplete(uint32_t file_index, size_t session,
+                              uint64_t op_id) {
+  auto& sub = files_[file_index].subops[session];
+  auto it = sub.find(op_id);
+  if (it == sub.end()) return;  // Not started through the facade.
+  const sdds::OpToken token = it->second;
+  sub.erase(it);
+  Result<OpOutcome> res =
+      files_[file_index].clients[session]->TakeResult(op_id);
+  LHRS_CHECK(res.ok());
+  auto in = inflight_.find(token);
+  LHRS_CHECK(in != inflight_.end());
+  LogicalOp& lop = in->second;
+  if (lop.op == OpType::kSearch) {
+    AdvanceSearch(token, lop, std::move(*res));
+  } else {
+    AdvanceWrite(token, lop, std::move(*res));
+  }
+}
+
+void LhsFile::AdvanceWrite(sdds::OpToken token, LogicalOp& lop,
+                           OpOutcome sub) {
+  // k + 1 writes, one per stripe site (the LH*s write cost), fail-fast.
+  if (!sub.status.ok()) {
+    FinishOp(token, std::move(sub));
+    return;
+  }
+  ++lop.next;
+  if (lop.next <= stripe_count_) {
+    BufferView value;
+    if (lop.op != OpType::kDelete) value = BufferView(lop.stripes[lop.next]);
+    StartSubOp(lop.next, lop.session, token, lop.op, lop.key,
+               std::move(value));
+    return;
+  }
+  FinishOp(token, OpOutcome{Status::OK(), {}});
+}
+
+void LhsFile::AdvanceSearch(sdds::OpToken token, LogicalOp& lop,
+                            OpOutcome sub) {
+  if (lop.parity_fetch) {
+    // Degraded read: reconstruct the missing stripe from parity.
+    if (!sub.status.ok()) {
+      FinishOp(token, OpOutcome{std::move(sub.status), {}});
+      return;
     }
+    std::vector<const Bytes*> present(stripe_count_, nullptr);
+    for (uint32_t s = 0; s < stripe_count_; ++s) {
+      if (lop.have[s]) present[s] = &lop.stripes[s];
+    }
+    lop.stripes[lop.missing] =
+        ReconstructStripe(present, sub.value, stripe_count_, lop.missing);
+    Bytes assembled = AssembleValue(lop.stripes, stripe_count_);
+    FinishOp(token, OpOutcome{Status::OK(), BufferView(assembled)});
+    return;
   }
-  if (missing == stripe_count_) {
-    return AssembleValue(stripes, stripe_count_);
+  // Gathering the k data stripes (k messages — the striping read penalty).
+  const uint32_t s = lop.next;
+  if (sub.status.ok()) {
+    lop.stripes[s] = sub.value.ToBytes();
+    lop.have[s] = true;
+  } else if (sub.status.IsNotFound()) {
+    // Key absent everywhere: identical split schedules mean no stripe file
+    // holds it, so the remaining fetches are skipped.
+    FinishOp(token, OpOutcome{std::move(sub.status), {}});
+    return;
+  } else if (lop.missing == stripe_count_) {
+    lop.missing = s;  // First unavailable stripe: parity can cover it.
+  } else {
+    FinishOp(token,
+             OpOutcome{Status::DataLoss(
+                           "two stripes unavailable: beyond LH*s "
+                           "1-availability"),
+                       {}});
+    return;
   }
-  // Degraded read: fetch the parity stripe and reconstruct.
-  LHRS_ASSIGN_OR_RETURN(OpOutcome parity,
-                        RunOn(stripe_count_, OpType::kSearch, key, {}));
-  if (!parity.status.ok()) return parity.status;
-  std::vector<const Bytes*> present(stripe_count_, nullptr);
-  for (uint32_t s = 0; s < stripe_count_; ++s) {
-    if (have[s]) present[s] = &stripes[s];
+  ++lop.next;
+  if (lop.next < stripe_count_) {
+    StartSubOp(lop.next, lop.session, token, OpType::kSearch, lop.key, {});
+    return;
   }
-  stripes[missing] =
-      ReconstructStripe(present, parity.value, stripe_count_, missing);
-  return AssembleValue(stripes, stripe_count_);
+  if (lop.missing == stripe_count_) {
+    Bytes assembled = AssembleValue(lop.stripes, stripe_count_);
+    FinishOp(token, OpOutcome{Status::OK(), BufferView(assembled)});
+    return;
+  }
+  lop.parity_fetch = true;
+  StartSubOp(stripe_count_, lop.session, token, OpType::kSearch, lop.key,
+             {});
 }
 
-Status LhsFile::Update(Key key, Bytes value) {
-  std::vector<Bytes> stripes = StripeValue(value, stripe_count_);
-  for (uint32_t s = 0; s <= stripe_count_; ++s) {
-    LHRS_ASSIGN_OR_RETURN(OpOutcome out,
-                          RunOn(s, OpType::kUpdate, key,
-                                std::move(stripes[s])));
-    if (!out.status.ok()) return out.status;
-  }
-  return Status::OK();
+void LhsFile::FinishOp(sdds::OpToken token, OpOutcome outcome) {
+  inflight_.erase(token);
+  done_[token] = std::move(outcome);
+  NotifyComplete(token);
 }
 
-Status LhsFile::Delete(Key key) {
-  for (uint32_t s = 0; s <= stripe_count_; ++s) {
-    LHRS_ASSIGN_OR_RETURN(OpOutcome out, RunOn(s, OpType::kDelete, key, {}));
-    if (!out.status.ok()) return out.status;
+Result<OpOutcome> LhsFile::Take(sdds::OpToken token) {
+  auto it = done_.find(token);
+  if (it == done_.end()) {
+    return Status::Internal("operation did not complete");
   }
-  return Status::OK();
+  OpOutcome out = std::move(it->second);
+  done_.erase(it);
+  return out;
 }
 
 NodeId LhsFile::CrashStripeBucketOf(uint32_t stripe, Key key) {
@@ -395,8 +485,8 @@ StorageStats LhsFile::GetStorageStats() const {
     const StripeFile& file = files_[f];
     const BucketNo count = file.coordinator->state().bucket_count();
     for (BucketNo b = 0; b < count; ++b) {
-      const auto* bucket = network_.node_as<DataBucketNode>(
-          file.ctx->allocation.Lookup(b));
+      const DataBucketNode* bucket =
+          buckets_.At(file.ctx->allocation.Lookup(b));
       if (f < stripe_count_) {
         stats.record_count += bucket->record_count();
         stats.data_bytes += bucket->StorageBytes();

@@ -140,7 +140,14 @@ class LhsCoordinatorNode : public CoordinatorNode {
 /// LH*RS(k=1), but *every* key search must gather k stripes (k messages
 /// where LH*RS pays 1) — the striping drawback the LH*g and LH*RS papers
 /// both highlight. Inserts cost k+1 messages.
-class LhsFile {
+///
+/// Implements the SddsFile facade. A logical op is a chain of sequential
+/// sub-ops, one per stripe file, each started the moment the previous one
+/// completes — the exact message schedule of the original synchronous
+/// loops (writes fail fast; searches stop at the first kNotFound, fall
+/// back to the parity stripe on one unavailable column, and reconstruct).
+/// A session owns one client per stripe file.
+class LhsFile : public sdds::SddsFile {
  public:
   struct Options {
     FileConfig file;       ///< Config of each stripe file.
@@ -150,17 +157,22 @@ class LhsFile {
 
   explicit LhsFile(Options options);
 
-  Status Insert(Key key, Bytes value);
-  Result<Bytes> Search(Key key);
-  Status Update(Key key, Bytes value);
-  Status Delete(Key key);
+  // --- SddsFile ------------------------------------------------------------
+  size_t AddSession() override;
+  size_t session_count() const override { return files_[0].clients.size(); }
+  sdds::OpToken Submit(size_t session, OpType op, Key key,
+                       Bytes value) override;
+  bool Poll(sdds::OpToken token) const override {
+    return done_.contains(token);
+  }
+  Result<OpOutcome> Take(sdds::OpToken token) override;
+  Network& network() override { return network_; }
+  StorageStats GetStorageStats() const override;
 
   /// Crashes the bucket of stripe file `stripe` that holds `key`'s stripe.
   NodeId CrashStripeBucketOf(uint32_t stripe, Key key);
 
-  Network& network() { return network_; }
   uint32_t stripe_count() const { return stripe_count_; }
-  StorageStats GetStorageStats() const;
 
   /// Splits `value` into `stripe_count` equal chunks (zero-padded) plus an
   /// XOR parity chunk; element i is stripe i's payload, element
@@ -180,14 +192,38 @@ class LhsFile {
   struct StripeFile {
     std::shared_ptr<SystemContext> ctx;
     CoordinatorNode* coordinator = nullptr;
-    ClientNode* client = nullptr;
+    std::vector<ClientNode*> clients;  ///< One per session.
+    /// Per session: client op id -> facade token of the logical op.
+    std::vector<std::map<uint64_t, sdds::OpToken>> subops;
   };
 
-  Result<OpOutcome> RunOn(size_t file_index, OpType op, Key key, Bytes value);
+  /// State of one logical op across its per-stripe sub-op chain.
+  struct LogicalOp {
+    size_t session = 0;
+    OpType op = OpType::kSearch;
+    Key key = 0;
+    uint32_t next = 0;           ///< Stripe file of the current sub-op.
+    std::vector<Bytes> stripes;  ///< Write payloads / gathered read stripes.
+    std::vector<bool> have;      ///< Which data stripes a search gathered.
+    uint32_t missing = 0;        ///< First unavailable stripe (== k: none).
+    bool parity_fetch = false;   ///< Current sub-op reads the parity file.
+  };
+
+  void StartSubOp(uint32_t file_index, size_t session, sdds::OpToken token,
+                  OpType op, Key key, BufferView value);
+  void OnSubOpComplete(uint32_t file_index, size_t session, uint64_t op_id);
+  void AdvanceSearch(sdds::OpToken token, LogicalOp& lop, OpOutcome sub);
+  void AdvanceWrite(sdds::OpToken token, LogicalOp& lop, OpOutcome sub);
+  void FinishOp(sdds::OpToken token, OpOutcome outcome);
+  void AddStripeClient(uint32_t file_index, size_t session);
 
   Network network_;
   uint32_t stripe_count_;
   std::vector<StripeFile> files_;  ///< k stripes + 1 parity.
+  std::map<sdds::OpToken, LogicalOp> inflight_;
+  std::map<sdds::OpToken, OpOutcome> done_;
+  /// Typed registry of every bucket node of all stripe files.
+  sdds::NodeIndex<DataBucketNode> buckets_;
 };
 
 }  // namespace lhrs::lhs

@@ -52,19 +52,28 @@ LhrsFile::LhrsFile(Options options)
   rs_coordinator_->SetBucketFactory([this](BucketNo bucket, Level level) {
     auto node = std::make_unique<RsDataBucketNode>(
         lhrs_ctx_, bucket, level, /*pre_initialized=*/false);
-    return network_.AddNode(std::move(node));
+    RsDataBucketNode* ptr = node.get();
+    const NodeId id = network_.AddNode(std::move(node));
+    RegisterDataBucket(id, ptr);
+    return id;
   });
   rs_coordinator_->SetParityFactory(
       [this](uint32_t group, uint32_t parity_index, uint32_t k, bool spare) {
         auto node = std::make_unique<ParityBucketNode>(
             lhrs_ctx_, group, parity_index, k, /*pre_initialized=*/!spare);
-        return network_.AddNode(std::move(node));
+        ParityBucketNode* ptr = node.get();
+        const NodeId id = network_.AddNode(std::move(node));
+        parity_nodes_.Register(id, ptr);
+        return id;
       });
 
   for (BucketNo b = 0; b < ctx_->config.initial_buckets; ++b) {
     auto node = std::make_unique<RsDataBucketNode>(lhrs_ctx_, b, /*level=*/0,
                                                    /*pre_initialized=*/true);
-    ctx_->allocation.Set(b, network_.AddNode(std::move(node)));
+    RsDataBucketNode* ptr = node.get();
+    const NodeId id = network_.AddNode(std::move(node));
+    RegisterDataBucket(id, ptr);
+    ctx_->allocation.Set(b, id);
   }
   rs_coordinator_->InitializeGroups();
   AddClient();
@@ -88,7 +97,7 @@ void LhrsFile::RestoreNode(NodeId node) {
   network_.SetAvailable(node, true);
   // Self-detected recovery (section 2.5.4): the node checks with the
   // coordinator whether it still carries its bucket.
-  if (auto* bucket = dynamic_cast<DataBucketNode*>(network_.node(node))) {
+  if (DataBucketNode* bucket = data_node(node)) {
     bucket->SelfCheck();
     network_.RunUntilIdle();
   }
@@ -149,12 +158,16 @@ Result<FileState> LhrsFile::RecoverFileState() {
 }
 
 RsDataBucketNode* LhrsFile::rs_bucket(BucketNo b) const {
-  return network_.node_as<RsDataBucketNode>(ctx_->allocation.Lookup(b));
+  // Every data bucket of an LH*RS file is an RsDataBucketNode, so the
+  // registered base pointer downcasts statically.
+  DataBucketNode* node = data_node(ctx_->allocation.Lookup(b));
+  LHRS_CHECK(node != nullptr) << "bucket " << b << " not registered";
+  return static_cast<RsDataBucketNode*>(node);
 }
 
 ParityBucketNode* LhrsFile::parity_bucket(uint32_t g,
                                           uint32_t parity_index) const {
-  return network_.node_as<ParityBucketNode>(
+  return parity_nodes_.At(
       rs_coordinator_->group_info(g).parity_nodes.at(parity_index));
 }
 

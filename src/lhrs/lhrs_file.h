@@ -98,6 +98,9 @@ class LhrsFile : public LhStarFile {
  private:
   std::shared_ptr<LhrsContext> lhrs_ctx_;
   RsCoordinatorNode* rs_coordinator_ = nullptr;  // Owned by network_.
+  /// Typed registry of parity buckets (data buckets live in the base's
+  /// registry), filled by the parity factory.
+  sdds::NodeIndex<ParityBucketNode> parity_nodes_;
 };
 
 }  // namespace lhrs

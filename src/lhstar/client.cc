@@ -32,6 +32,7 @@ uint64_t ClientNode::StartOp(OpType op, Key key, BufferView value) {
   const BucketNo a = image_.Address(key);  // Algorithm (A1) on the image.
   PendingOp& pending = pending_[op_id];
   pending = PendingOp{op, key, std::move(value), a};
+  pending.start_us = network()->now();
   SendDirect(op_id, pending);
   if (retry_.enabled) ArmOpTimer(op_id, pending);
   return op_id;
@@ -147,7 +148,7 @@ void ClientNode::ResolveCounters() {
 
 uint64_t ClientNode::StartScan(ScanPredicate predicate, bool deterministic) {
   const uint64_t op_id = next_op_id_++;
-  pending_scans_[op_id] = PendingScan{deterministic, {}, {}};
+  pending_scans_[op_id] = PendingScan{deterministic, {}, {}, network()->now()};
 
   // One copy to every bucket of the client's image, each tagged with the
   // level the image presumes for it; server-side forwarding covers buckets
@@ -205,9 +206,36 @@ void ClientNode::ResetImage() {
 }
 
 void ClientNode::CompleteOp(uint64_t op_id, OpOutcome outcome) {
+  RecordOpLatency(op_id);
   pending_.erase(op_id);
   pending_scans_.erase(op_id);
   done_[op_id] = std::move(outcome);
+  // Last: the callback may re-enter StartOp / TakeResult.
+  if (on_op_complete_) on_op_complete_(op_id);
+}
+
+void ClientNode::RecordOpLatency(uint64_t op_id) {
+  if (network() == nullptr || network()->telemetry() == nullptr) return;
+  size_t slot;
+  SimTime start;
+  if (auto it = pending_.find(op_id); it != pending_.end()) {
+    slot = static_cast<size_t>(it->second.op);
+    start = it->second.start_us;
+  } else if (auto sit = pending_scans_.find(op_id);
+             sit != pending_scans_.end()) {
+    slot = 4;
+    start = sit->second.start_us;
+  } else {
+    return;
+  }
+  if (latency_histograms_[slot] == nullptr) {
+    static constexpr const char* kLabels[5] = {"insert", "search", "update",
+                                               "delete", "scan"};
+    telemetry::MetricsRegistry& m = network()->telemetry()->metrics();
+    latency_histograms_[slot] = &m.GetHistogram(
+        telemetry::Labeled("op_latency_us", "op", kLabels[slot]));
+  }
+  latency_histograms_[slot]->Record(network()->now() - start);
 }
 
 void ClientNode::HandleMessage(const Message& msg) {

@@ -1,6 +1,7 @@
 #ifndef LHRS_LHSTAR_CLIENT_H_
 #define LHRS_LHSTAR_CLIENT_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -19,6 +20,7 @@ namespace lhrs {
 
 namespace telemetry {
 class Counter;
+class Histogram;
 }  // namespace telemetry
 
 /// Client-side resilience knobs for lossy networks (the chaos engine's
@@ -111,6 +113,16 @@ class ClientNode : public Node {
   uint64_t escalations() const { return escalations_; }
   uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
 
+  /// Invoked with the op id as the last action of every op completion
+  /// (replies, retries-exhausted, scan termination alike). The callback
+  /// runs inside event processing and may start new operations; it must
+  /// not destroy the client. One callback per client; facades use it to
+  /// surface completions to open-loop drivers.
+  using OpCompleteCallback = std::function<void(uint64_t op_id)>;
+  void SetOnOpComplete(OpCompleteCallback callback) {
+    on_op_complete_ = std::move(callback);
+  }
+
  private:
   struct PendingOp {
     OpType op;
@@ -119,12 +131,14 @@ class ClientNode : public Node {
     BucketNo sent_to_bucket = 0;
     uint32_t attempts = 1;
     SimTime deadline = 0;  ///< Current attempt's timeout instant.
+    SimTime start_us = 0;  ///< Send time of the first attempt.
   };
 
   struct PendingScan {
     bool deterministic = true;
     std::map<BucketNo, Level> replied;
     std::vector<WireRecord> records;
+    SimTime start_us = 0;
   };
 
   /// Physical address the client uses for `bucket`: its cached entry if it
@@ -157,6 +171,12 @@ class ClientNode : public Node {
   void CountDuplicate();
   void ResolveCounters();
 
+  /// Records op_latency_us{op=...} for a completing op: simulated time
+  /// from the StartOp/StartScan send to this completion — the client's
+  /// view of one operation, independent of any background work (splits,
+  /// parity traffic) the drain to idle would otherwise fold in.
+  void RecordOpLatency(uint64_t op_id);
+
   std::shared_ptr<SystemContext> ctx_;
   ClientImage image_;
   uint64_t next_op_id_ = 1;
@@ -175,6 +195,11 @@ class ClientNode : public Node {
   telemetry::Counter* retries_counter_ = nullptr;
   telemetry::Counter* escalations_counter_ = nullptr;
   telemetry::Counter* duplicates_counter_ = nullptr;
+  /// Cached op_latency_us{op=...} handles, indexed by OpType; the last
+  /// slot is the scan histogram. Resolved lazily like the counters.
+  telemetry::Histogram* latency_histograms_[5] = {};
+
+  OpCompleteCallback on_op_complete_;
 };
 
 }  // namespace lhrs

@@ -3,29 +3,8 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "telemetry/probe.h"
 
 namespace lhrs {
-
-namespace {
-
-/// Histogram name for a client-visible op; constants so the probe path does
-/// not build label strings per call.
-std::string_view OpLatencyHistogram(OpType op) {
-  switch (op) {
-    case OpType::kInsert:
-      return "op_latency_us{op=insert}";
-    case OpType::kSearch:
-      return "op_latency_us{op=search}";
-    case OpType::kUpdate:
-      return "op_latency_us{op=update}";
-    case OpType::kDelete:
-      return "op_latency_us{op=delete}";
-  }
-  return "op_latency_us{op=unknown}";
-}
-
-}  // namespace
 
 LhStarFile::LhStarFile(Options options, DeferInit)
     : options_(std::move(options)),
@@ -44,13 +23,19 @@ LhStarFile::LhStarFile(Options options)
   coordinator_->SetBucketFactory([this](BucketNo bucket, Level level) {
     auto node = std::make_unique<DataBucketNode>(ctx_, bucket, level,
                                                  /*pre_initialized=*/false);
-    return network_.AddNode(std::move(node));
+    DataBucketNode* ptr = node.get();
+    const NodeId id = network_.AddNode(std::move(node));
+    RegisterDataBucket(id, ptr);
+    return id;
   });
 
   for (BucketNo b = 0; b < ctx_->config.initial_buckets; ++b) {
     auto node = std::make_unique<DataBucketNode>(ctx_, b, /*level=*/0,
                                                  /*pre_initialized=*/true);
-    ctx_->allocation.Set(b, network_.AddNode(std::move(node)));
+    DataBucketNode* ptr = node.get();
+    const NodeId id = network_.AddNode(std::move(node));
+    RegisterDataBucket(id, ptr);
+    ctx_->allocation.Set(b, id);
   }
 
   AddClient();
@@ -61,7 +46,11 @@ size_t LhStarFile::AddClient() {
   ClientNode* ptr = client.get();
   network_.AddNode(std::move(client));
   clients_.push_back(ptr);
-  return clients_.size() - 1;
+  op_tokens_.emplace_back();
+  const size_t session = clients_.size() - 1;
+  ptr->SetOnOpComplete(
+      [this, session](uint64_t op_id) { OnClientOpComplete(session, op_id); });
+  return session;
 }
 
 ClientNode& LhStarFile::client(size_t index) {
@@ -69,54 +58,58 @@ ClientNode& LhStarFile::client(size_t index) {
   return *clients_[index];
 }
 
-Result<OpOutcome> LhStarFile::RunOp(size_t client_index, OpType op, Key key,
-                                    Bytes value) {
-  ClientNode& c = client(client_index);
-  telemetry::ScopedProbe probe(network_.telemetry(), OpLatencyHistogram(op));
+sdds::OpToken LhStarFile::Submit(size_t session, OpType op, Key key,
+                                 Bytes value) {
+  ClientNode& c = client(session);
+  const sdds::OpToken token = NextToken();
   const uint64_t op_id = c.StartOp(op, key, std::move(value));
-  network_.RunUntilIdle();
-  if (!c.IsDone(op_id)) {
-    return Status::Internal("operation did not complete");
-  }
-  return c.TakeResult(op_id);
+  tokens_[token] = TokenEntry{session, op_id};
+  op_tokens_[session][op_id] = token;
+  return token;
 }
 
-Status LhStarFile::Insert(Key key, Bytes value) {
-  return InsertVia(0, key, std::move(value));
+bool LhStarFile::Poll(sdds::OpToken token) const {
+  auto it = tokens_.find(token);
+  if (it == tokens_.end()) return false;
+  return clients_[it->second.session]->IsDone(it->second.op_id);
+}
+
+Result<OpOutcome> LhStarFile::Take(sdds::OpToken token) {
+  auto it = tokens_.find(token);
+  if (it == tokens_.end()) {
+    return Status::Internal("unknown operation token");
+  }
+  const TokenEntry entry = it->second;
+  Result<OpOutcome> outcome = clients_[entry.session]->TakeResult(entry.op_id);
+  if (!outcome.ok()) return outcome;  // Still in flight: token stays live.
+  tokens_.erase(it);
+  op_tokens_[entry.session].erase(entry.op_id);
+  return outcome;
+}
+
+void LhStarFile::OnClientOpComplete(size_t session, uint64_t op_id) {
+  auto it = op_tokens_[session].find(op_id);
+  if (it == op_tokens_[session].end()) return;  // Not started via Submit.
+  NotifyComplete(it->second);
 }
 
 Status LhStarFile::InsertVia(size_t client_index, Key key, Bytes value) {
   LHRS_ASSIGN_OR_RETURN(OpOutcome out,
-                        RunOp(client_index, OpType::kInsert, key,
-                              std::move(value)));
+                        RunSync(client_index, OpType::kInsert, key,
+                                std::move(value)));
   return out.status;
 }
-
-Result<Bytes> LhStarFile::Search(Key key) { return SearchVia(0, key); }
 
 Result<Bytes> LhStarFile::SearchVia(size_t client_index, Key key) {
   LHRS_ASSIGN_OR_RETURN(OpOutcome out,
-                        RunOp(client_index, OpType::kSearch, key, {}));
+                        RunSync(client_index, OpType::kSearch, key, {}));
   if (!out.status.ok()) return out.status;
   return out.value.ToBytes();
-}
-
-Status LhStarFile::Update(Key key, Bytes value) {
-  LHRS_ASSIGN_OR_RETURN(OpOutcome out,
-                        RunOp(0, OpType::kUpdate, key, std::move(value)));
-  return out.status;
-}
-
-Status LhStarFile::Delete(Key key) {
-  LHRS_ASSIGN_OR_RETURN(OpOutcome out, RunOp(0, OpType::kDelete, key, {}));
-  return out.status;
 }
 
 Result<std::vector<WireRecord>> LhStarFile::Scan(ScanPredicate predicate,
                                                  bool deterministic) {
   ClientNode& c = client(0);
-  telemetry::ScopedProbe probe(network_.telemetry(),
-                               "op_latency_us{op=scan}");
   const uint64_t op_id = c.StartScan(std::move(predicate), deterministic);
   network_.RunUntilIdle();
   if (!c.IsDone(op_id)) {
@@ -134,7 +127,7 @@ Result<std::vector<WireRecord>> LhStarFile::Scan(ScanPredicate predicate,
 }
 
 DataBucketNode* LhStarFile::bucket(BucketNo b) const {
-  return network_.node_as<DataBucketNode>(ctx_->allocation.Lookup(b));
+  return data_nodes_.At(ctx_->allocation.Lookup(b));
 }
 
 chaos::ChaosEngine& LhStarFile::AttachChaos(chaos::FaultPlan plan) {
@@ -157,7 +150,7 @@ chaos::ChaosEngine::RestoreHook LhStarFile::ChaosRestoreHook() {
   // self-check messages play out in the surrounding run.
   return [this](NodeId node) {
     network_.SetAvailable(node, true);
-    if (auto* bucket = dynamic_cast<DataBucketNode*>(network_.node(node))) {
+    if (DataBucketNode* bucket = data_node(node)) {
       bucket->SelfCheck();
     }
   };

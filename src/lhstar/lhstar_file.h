@@ -1,6 +1,7 @@
 #ifndef LHRS_LHSTAR_LHSTAR_FILE_H_
 #define LHRS_LHSTAR_LHSTAR_FILE_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -12,32 +13,19 @@
 #include "lhstar/data_bucket.h"
 #include "lhstar/system.h"
 #include "net/network.h"
+#include "sdds/facade.h"
 
 namespace lhrs {
-
-/// Aggregate storage statistics of a simulated file.
-struct StorageStats {
-  size_t record_count = 0;
-  size_t data_bytes = 0;        ///< Primary record payloads incl. keys.
-  size_t parity_bytes = 0;      ///< Availability overhead (0 for plain LH*).
-  size_t data_buckets = 0;
-  size_t parity_buckets = 0;
-  double load_factor = 0.0;     ///< records / (buckets * capacity).
-
-  /// parity_bytes / data_bytes — the paper's storage-overhead metric.
-  double ParityOverhead() const {
-    return data_bytes == 0 ? 0.0
-                           : static_cast<double>(parity_bytes) / data_bytes;
-  }
-};
 
 /// A plain LH* file on a simulated multicomputer: the substrate and the
 /// zero-availability comparison point of every experiment.
 ///
-/// Owns the network, coordinator, server and client nodes. The public calls
-/// are synchronous: each starts the asynchronous protocol and runs the
-/// simulation until it settles.
-class LhStarFile {
+/// Owns the network, coordinator, server and client nodes. Implements the
+/// scheme-agnostic SddsFile facade: the inherited synchronous calls run
+/// each operation to quiescence; Submit/Poll/Take expose the asynchronous
+/// protocol directly for pipelined drivers. A session maps 1:1 onto an
+/// autonomous ClientNode.
+class LhStarFile : public sdds::SddsFile {
  public:
   struct Options {
     FileConfig file;
@@ -45,17 +33,17 @@ class LhStarFile {
   };
 
   explicit LhStarFile(Options options);
-  virtual ~LhStarFile() = default;
-  LhStarFile(const LhStarFile&) = delete;
-  LhStarFile& operator=(const LhStarFile&) = delete;
 
-  // --- Client operations (via the default client 0) ----------------------
-  Status Insert(Key key, Bytes value);
-  Result<Bytes> Search(Key key);
-  Status Update(Key key, Bytes value);
-  Status Delete(Key key);
   Result<std::vector<WireRecord>> Scan(ScanPredicate predicate = {},
-                                       bool deterministic = true);
+                                       bool deterministic = true) override;
+
+  // --- SddsFile async interface -------------------------------------------
+  size_t AddSession() override { return AddClient(); }
+  size_t session_count() const override { return clients_.size(); }
+  sdds::OpToken Submit(size_t session, OpType op, Key key,
+                       Bytes value) override;
+  bool Poll(sdds::OpToken token) const override;
+  Result<OpOutcome> Take(sdds::OpToken token) override;
 
   // --- Multi-client access ------------------------------------------------
   /// Adds another autonomous client; returns its index.
@@ -67,14 +55,14 @@ class LhStarFile {
   Result<Bytes> SearchVia(size_t client_index, Key key);
 
   // --- Introspection ------------------------------------------------------
-  Network& network() { return network_; }
+  Network& network() override { return network_; }
   const Network& network() const { return network_; }
   CoordinatorNode& coordinator() { return *coordinator_; }
   SystemContext& context() { return *ctx_; }
   BucketNo bucket_count() const { return coordinator_->state().bucket_count(); }
   DataBucketNode* bucket(BucketNo b) const;
 
-  virtual StorageStats GetStorageStats() const;
+  StorageStats GetStorageStats() const override;
 
   // --- Chaos / fault injection --------------------------------------------
   /// Arms a scripted fault scenario against this file's network: message
@@ -107,8 +95,14 @@ class LhStarFile {
   struct DeferInit {};
   LhStarFile(Options options, DeferInit);
 
-  Result<OpOutcome> RunOp(size_t client_index, OpType op, Key key,
-                          Bytes value);
+  /// Every data-bucket creation point (initial buckets, split factories —
+  /// base and subclass alike) registers the typed pointer here, replacing
+  /// per-call dynamic_cast lookups on hot paths.
+  void RegisterDataBucket(NodeId id, DataBucketNode* node) {
+    data_nodes_.Register(id, node);
+  }
+  /// The registered data bucket at `id`, or nullptr for other roles.
+  DataBucketNode* data_node(NodeId id) const { return data_nodes_.Find(id); }
 
   Options options_;
   Network network_;
@@ -117,6 +111,22 @@ class LhStarFile {
   std::vector<ClientNode*> clients_;        // Owned by network_.
   /// Declared after network_ so it detaches before the network dies.
   std::unique_ptr<chaos::ChaosEngine> chaos_;
+
+ private:
+  /// ClientNode completion callback: resolves the client op back to its
+  /// facade token (ops started outside Submit — scans, direct client use —
+  /// have none and are ignored) and notifies the listener.
+  void OnClientOpComplete(size_t session, uint64_t op_id);
+
+  struct TokenEntry {
+    size_t session = 0;
+    uint64_t op_id = 0;
+  };
+  std::map<sdds::OpToken, TokenEntry> tokens_;
+  /// Per session: client op id -> token (reverse index for the callback).
+  std::vector<std::map<uint64_t, sdds::OpToken>> op_tokens_;
+
+  sdds::NodeIndex<DataBucketNode> data_nodes_;
 };
 
 }  // namespace lhrs

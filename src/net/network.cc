@@ -147,11 +147,21 @@ bool Network::available(NodeId id) const {
 }
 
 void Network::RunUntilIdle() {
-  while (wake_events_ > 0) {
-    LHRS_CHECK(!events_.empty());
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    ProcessEvent(std::move(ev));
+  while (Step()) {
+  }
+}
+
+bool Network::Step() {
+  if (wake_events_ == 0) return false;
+  LHRS_CHECK(!events_.empty());
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  ProcessEvent(std::move(ev));
+  return true;
+}
+
+void Network::RunUntil(const std::function<bool()>& done) {
+  while (!done() && Step()) {
   }
 }
 

@@ -112,6 +112,19 @@ class Network {
   /// queued.
   void RunUntilIdle();
 
+  /// Processes exactly one event — the next one in (time, seq) order — and
+  /// returns true; returns false without touching the queue when no wake
+  /// events remain (the RunUntilIdle stopping condition). N calls to Step()
+  /// process the identical event sequence RunUntilIdle would, so a driver
+  /// can interleave issuing new operations with event processing without
+  /// perturbing determinism.
+  bool Step();
+
+  /// Steps until `done()` returns true or the network is idle. The
+  /// predicate is evaluated before each event, so the event that makes it
+  /// true is not followed by further processing.
+  void RunUntil(const std::function<bool()>& done);
+
   /// Processes every event (wake or not) with time <= t, then advances the
   /// clock to `t`. Lets a driver play out the remainder of a scripted
   /// fault schedule after the workload went idle.

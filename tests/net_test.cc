@@ -358,6 +358,130 @@ TEST(NetworkTest, InjectedDelayAndSlowdownStackOnLatency) {
   net.SetFaultInjector(nullptr);
 }
 
+TEST(NetworkTest, StepProcessesExactlyOneEvent) {
+  Network net;
+  auto* a = new EchoNode(false);
+  auto* b = new EchoNode(false);
+  const NodeId ida = net.AddNode(std::unique_ptr<Node>(a));
+  const NodeId idb = net.AddNode(std::unique_ptr<Node>(b));
+  for (int i = 0; i < 3; ++i) {
+    auto msg = std::make_unique<TestMsg>();
+    msg->payload = i;
+    net.Send(ida, idb, std::move(msg));
+  }
+  for (size_t expect = 1; expect <= 3; ++expect) {
+    EXPECT_TRUE(net.Step());
+    EXPECT_EQ(b->received.size(), expect);
+  }
+  EXPECT_FALSE(net.Step());  // Idle: nothing left to process.
+  EXPECT_EQ(b->received, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(NetworkTest, StepSequenceMatchesRunUntilIdle) {
+  // N x Step() must pop the identical event sequence RunUntilIdle does —
+  // the property that makes open-loop runs trace-identical to closed-loop
+  // ones. Drive two identical topologies, one per mode, and compare.
+  auto drive = [](bool stepped, std::vector<int>& received,
+                  std::vector<SimTime>& times, SimTime& end) {
+    Network net;
+    auto* a = new EchoNode(false);
+    auto* b = new EchoNode(true);
+    const NodeId ida = net.AddNode(std::unique_ptr<Node>(a));
+    const NodeId idb = net.AddNode(std::unique_ptr<Node>(b));
+    for (int i = 1; i <= 4; ++i) {
+      auto msg = std::make_unique<TestMsg>();
+      msg->payload = i;
+      msg->size = static_cast<size_t>(512 * i);
+      net.Send(ida, idb, std::move(msg));
+    }
+    if (stepped) {
+      while (net.Step()) {
+      }
+    } else {
+      net.RunUntilIdle();
+    }
+    received = b->received;
+    received.insert(received.end(), a->received.begin(), a->received.end());
+    times = b->receive_times;
+    times.insert(times.end(), a->receive_times.begin(),
+                 a->receive_times.end());
+    end = net.now();
+  };
+  std::vector<int> run_received, step_received;
+  std::vector<SimTime> run_times, step_times;
+  SimTime run_end = 0, step_end = 0;
+  drive(false, run_received, run_times, run_end);
+  drive(true, step_received, step_times, step_end);
+  EXPECT_EQ(step_received, run_received);
+  EXPECT_EQ(step_times, run_times);
+  EXPECT_EQ(step_end, run_end);
+}
+
+TEST(NetworkTest, RunUntilPredicateStopsMidDrain) {
+  Network net;
+  auto* a = new EchoNode(false);
+  auto* b = new EchoNode(false);
+  const NodeId ida = net.AddNode(std::unique_ptr<Node>(a));
+  const NodeId idb = net.AddNode(std::unique_ptr<Node>(b));
+  for (int i = 0; i < 5; ++i) {
+    auto msg = std::make_unique<TestMsg>();
+    msg->payload = i;
+    net.Send(ida, idb, std::move(msg));
+  }
+  net.RunUntil([&] { return b->received.size() >= 2; });
+  EXPECT_EQ(b->received.size(), 2u);  // Stopped exactly at the predicate.
+  net.RunUntilIdle();                 // The rest is still deliverable.
+  EXPECT_EQ(b->received.size(), 5u);
+}
+
+TEST(NetworkTest, NonWakeTimerSurvivesStepBoundaries) {
+  // A wake=false timer (the chaos engine's fault script) must neither be
+  // popped by Step() on an otherwise idle file nor be lost by stepping —
+  // the same contract NonWakeTimerNeedsRunUntil pins for RunUntilIdle.
+  Network net;
+  auto* t = new TimerNode();
+  auto* a = new EchoNode(false);
+  const NodeId idt = net.AddNode(std::unique_ptr<Node>(t));
+  const NodeId ida = net.AddNode(std::unique_ptr<Node>(a));
+  net.ScheduleTimer(idt, 1000, 7, /*wake=*/false);
+  net.Send(idt, ida, std::make_unique<TestMsg>());
+  EXPECT_TRUE(net.Step());   // Delivers the message (t=180).
+  EXPECT_FALSE(net.Step());  // The non-wake timer alone does not wake.
+  EXPECT_TRUE(t->fired.empty());
+  net.RunUntil(2000);  // Fast-forward plays the timer out.
+  EXPECT_EQ(t->fired, std::vector<uint64_t>{7});
+  EXPECT_EQ(net.now(), 2000u);
+}
+
+TEST(NetworkTest, CrashEpochBetweenStepsBouncesInFlightMessage) {
+  // A crash/restore epoch bump between two Step() calls must kill the
+  // messages then in flight, exactly as it does inside a RunUntilIdle
+  // drain — open-loop drivers crash nodes between steps all the time.
+  Network net;
+  auto* a = new EchoNode(false);
+  auto* b = new EchoNode(false);
+  const NodeId ida = net.AddNode(std::unique_ptr<Node>(a));
+  const NodeId idb = net.AddNode(std::unique_ptr<Node>(b));
+  auto m1 = std::make_unique<TestMsg>();
+  m1->payload = 21;
+  net.Send(ida, idb, std::move(m1));  // Delivery due at t=180.
+  net.SetAvailable(idb, false);       // Crash between steps...
+  net.SetAvailable(idb, true);        // ...and bounce back immediately.
+  while (net.Step()) {
+  }
+  EXPECT_TRUE(b->received.empty());
+  ASSERT_EQ(a->failures.size(), 1u);
+  EXPECT_EQ(a->failures[0], 21);
+  EXPECT_EQ(a->failure_times[0], 180u + 2000u);
+  // The restored node is reachable again in subsequent steps.
+  auto m2 = std::make_unique<TestMsg>();
+  m2->payload = 22;
+  net.Send(ida, idb, std::move(m2));
+  while (net.Step()) {
+  }
+  EXPECT_EQ(b->received, std::vector<int>{22});
+}
+
 TEST(NetworkTest, NodesAddedDuringRunReceiveMessages) {
   // Models split-time server allocation: a node created by a handler can
   // be messaged immediately.
