@@ -16,9 +16,11 @@
 // and exits non-zero when they break.
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "baselines/lhg/lhg_file.h"
@@ -27,7 +29,10 @@
 #include "bench/bench_util.h"
 #include "lhrs/lhrs_file.h"
 #include "lhstar/lhstar_file.h"
+#include "lhrs/messages.h"
 #include "sdds/session.h"
+#include "transport/cluster.h"
+#include "transport/wire.h"
 
 namespace lhrs::bench {
 namespace {
@@ -275,10 +280,128 @@ bool Run(BenchReport& r) {
   return ok;
 }
 
+// --transport=udp: the same open-loop concurrency story, but measured over
+// the real-socket cluster backend instead of the simulator — an in-process
+// coordinator + servers + clients, each with its own runtime, exchanging
+// UDP requests / parity deltas and TCP recovery bulk on the loopback.
+// Wall-clock numbers vary run to run, so this mode is reported (committed
+// as BENCH_f9_cluster.json for trajectory eyeballing) but never gated.
+bool RunCluster(BenchReport& r) {
+  using transport::ClusterClient;
+  using transport::ClusterCoordinator;
+  using transport::ClusterLayout;
+  using transport::ClusterMemberOptions;
+  using transport::ClusterServer;
+  using transport::ControlListener;
+
+  // Pre-register the global registries single-threaded; the member
+  // threads' own registration calls then find everything in place.
+  RegisterLhStarMessageNames();
+  RegisterLhrsMessageNames();
+  transport::RegisterAllWireCodecs();
+
+  ClusterLayout layout;  // 3 servers + 2 clients, as in examples/cluster.
+  layout.file.initial_buckets = 4;
+  layout.file.bucket_capacity = 32;
+  layout.group_size = 4;
+  layout.base_k = 1;
+  constexpr uint32_t kClusterKeys = 120;
+
+  ControlListener probe;
+  if (!probe.Open(0).ok()) {
+    std::fprintf(stderr, "FAIL: cannot allocate control port\n");
+    return false;
+  }
+  const uint16_t port = probe.port();
+  probe.Close();
+
+  const auto member_options = [&](int /*rank*/) {
+    ClusterMemberOptions options;
+    options.layout = layout;
+    options.control_port = port;
+    options.deadline_ms = 60'000;
+    return options;
+  };
+
+  ClusterCoordinator::Options coord_options;
+  static_cast<ClusterMemberOptions&>(coord_options) = member_options(0);
+  coord_options.crash_bucket = 1;
+  ClusterCoordinator coordinator(coord_options);
+
+  std::vector<int> codes(layout.total_ranks(), -1);
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] { codes[0] = coordinator.Run(); });
+  for (uint32_t s = 0; s < layout.server_ranks; ++s) {
+    const int rank = 1 + static_cast<int>(s);
+    threads.emplace_back([&, rank] {
+      ClusterServer server(member_options(rank), rank);
+      codes[rank] = server.Run();
+    });
+  }
+  for (uint32_t c = 0; c < layout.client_ranks; ++c) {
+    const int rank = 1 + static_cast<int>(layout.server_ranks + c);
+    threads.emplace_back([&, rank] {
+      ClusterClient client(member_options(rank), rank, kClusterKeys);
+      codes[rank] = client.Run();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  bool ok = true;
+  for (size_t rank = 0; rank < codes.size(); ++rank) {
+    if (codes[rank] != 0) {
+      std::fprintf(stderr, "FAIL: cluster rank %zu exited %d\n", rank,
+                   codes[rank]);
+      ok = false;
+    }
+  }
+
+  r.BeginTable(
+      "F9 — cluster mode (udp transport; 3 servers + 2 clients on the "
+      "loopback; phase 1 = mixed workload with splits, then a bucket crash "
+      "+ RS recovery, phase 2 = verification reads)",
+      {"phase", "client rank", "ops", "failures", "elapsed ms", "ops/s",
+       "p50 us", "p95 us", "p99 us"});
+  for (const auto& [key, result] : coordinator.results()) {
+    const double secs =
+        static_cast<double>(result.elapsed_us) / 1e6;
+    r.Row({std::to_string(key.first), std::to_string(key.second),
+           std::to_string(result.ops), std::to_string(result.failures),
+           Fmt(static_cast<double>(result.elapsed_us) / 1e3),
+           Fmt(secs > 0 ? static_cast<double>(result.ops) / secs : 0.0),
+           std::to_string(result.p50_us), std::to_string(result.p95_us),
+           std::to_string(result.p99_us)});
+    if (!result.ok || result.failures != 0) {
+      std::fprintf(stderr, "FAIL: phase %u rank %d had failures\n",
+                   key.first, key.second);
+      ok = false;
+    }
+  }
+  std::puts("");
+  std::puts(
+      "shape check: both phases finish on every client with 0 failures "
+      "across a real-socket split and recovery.");
+  return ok;
+}
+
 }  // namespace
 }  // namespace lhrs::bench
 
 int main(int argc, char** argv) {
+  bool cluster = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport=udp") == 0) cluster = true;
+  }
+  if (cluster) {
+    lhrs::bench::BenchReport report("f9_cluster");
+    report.report().AddParam("transport", "udp");
+    report.report().AddParam("servers", int64_t{3});
+    report.report().AddParam("clients", int64_t{2});
+    report.report().AddParam("keys_per_session", int64_t{120});
+    const bool ok = lhrs::bench::RunCluster(report);
+    const int write_rc = lhrs::bench::WriteReport(report.report(), argc, argv);
+    return ok ? write_rc : 1;
+  }
   lhrs::bench::BenchReport report("f9_concurrency");
   report.report().AddParam("keys", int64_t{lhrs::bench::kKeys});
   report.report().AddParam("key_seed", int64_t{lhrs::bench::kKeySeed});

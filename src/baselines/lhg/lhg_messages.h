@@ -121,7 +121,8 @@ struct SerializedParityRecord {
   uint64_t gkey = 0;
   BufferView data;  ///< ParityRecordG::Serialize form.
 
-  size_t ByteSize() const { return 8 + data.size(); }
+  /// gkey + length prefix + payload, matching the transport codec.
+  size_t ByteSize() const { return 12 + data.size(); }
 };
 
 struct CollectForDataReplyMsg : MessageBody {
@@ -160,7 +161,8 @@ struct TaggedRecord {
   Key key = 0;
   BufferView value;
 
-  size_t ByteSize() const { return 16 + value.size(); }
+  /// gkey + key + length prefix + payload, matching the transport codec.
+  size_t ByteSize() const { return 20 + value.size(); }
 };
 
 struct CollectForParityReplyMsg : MessageBody {
@@ -233,7 +235,7 @@ struct FindParityReplyMsg : MessageBody {
   BufferView record;  ///< Serialized ParityRecordG when found.
 
   int kind() const override { return LhgMsg::kFindParityReply; }
-  size_t ByteSize() const override { return 24 + record.size(); }
+  size_t ByteSize() const override { return 28 + record.size(); }
 };
 
 }  // namespace lhrs::lhg

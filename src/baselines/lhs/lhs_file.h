@@ -41,7 +41,7 @@ struct StripeReadReplyMsg : MessageBody {
 
   int kind() const override { return LhsMsg::kStripeReadReply; }
   size_t ByteSize() const override {
-    size_t n = 20;
+    size_t n = 24;  // task + file index + level + failed flag + count.
     for (const auto& r : records) n += r.ByteSize();
     return n;
   }

@@ -56,7 +56,9 @@ struct ParityDelta {
   /// fanning one delta out to k parity buckets copies no payload bytes.
   BufferView delta;
 
-  size_t ByteSize() const { return 24 + delta.size(); }
+  /// rank + slot + key_op (+pad) + key + new_length + length prefix +
+  /// payload, matching the transport codec byte for byte.
+  size_t ByteSize() const { return 28 + delta.size(); }
 };
 
 /// Data bucket -> parity bucket: one record's parity maintenance.
@@ -82,7 +84,7 @@ struct ParityDeltaBatchMsg : MessageBody {
 
   int kind() const override { return LhrsMsg::kParityDeltaBatch; }
   size_t ByteSize() const override {
-    size_t n = 8;
+    size_t n = 12;  // group + delta count (+ padding).
     for (const auto& d : deltas) n += d.ByteSize();
     return n;
   }
@@ -97,7 +99,7 @@ struct GroupConfigMsg : MessageBody {
   uint32_t attempt = 0;  ///< Transport metadata (resends); not in ByteSize.
 
   int kind() const override { return LhrsMsg::kGroupConfig; }
-  size_t ByteSize() const override { return 16 + 8 * parity_nodes.size(); }
+  size_t ByteSize() const override { return 16 + 4 * parity_nodes.size(); }
 };
 
 /// One data record with its rank, as shipped in recovery dumps.
@@ -118,8 +120,10 @@ struct WireParityRecord {
   std::vector<uint32_t> lengths;
   BufferView parity;  ///< Snapshot view of the column's parity bytes.
 
+  /// rank + slot count + per-slot (presence + key + length) + parity
+  /// length prefix + parity bytes, matching the transport codec.
   size_t ByteSize() const {
-    return 8 + keys.size() * 12 + parity.size();
+    return 12 + keys.size() * 13 + parity.size();
   }
 };
 

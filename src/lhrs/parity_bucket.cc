@@ -237,7 +237,12 @@ bool ParityBucketNode::TryApplyDelta(const ParityDelta& delta) {
   LHRS_CHECK_LT(delta.slot, m);
 
   // Precondition check before touching any state: kSet may not overwrite a
-  // different live key, kNone/kClear need a registered member.
+  // different live key, kNone needs a registered member, and kClear must
+  // name the key it removes. The key match matters under real-transport
+  // reordering: ranks are reused smallest-first, so a retransmit-delayed
+  // clear(old key) can arrive after set(new key) for the same (rank, slot)
+  // — applied blindly it would remove the new member and let the buffered
+  // old set resurrect a deleted key in the parity metadata.
   auto existing = records_.find(delta.rank);
   const std::optional<Key>* cur =
       existing == records_.end() ? nullptr
@@ -249,8 +254,12 @@ bool ParityBucketNode::TryApplyDelta(const ParityDelta& delta) {
       }
       break;
     case ParityDelta::KeyOp::kNone:
-    case ParityDelta::KeyOp::kClear:
       if (cur == nullptr || !cur->has_value()) return false;
+      break;
+    case ParityDelta::KeyOp::kClear:
+      if (cur == nullptr || !cur->has_value() || **cur != delta.key) {
+        return false;
+      }
       break;
   }
 

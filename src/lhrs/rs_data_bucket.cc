@@ -47,9 +47,23 @@ void RsDataBucketNode::BindRank(Key key, Rank r) {
   (void)it;
 }
 
+void RsDataBucketNode::ParkDelta(ParityDelta delta) {
+  // Only possible on a lossy transport (or under fault injection): the
+  // coordinator's GroupConfig was dropped or reordered behind a record
+  // move or a forwarded client op. The delta waits; the (retransmitted)
+  // GroupConfig flushes it. Ranks were already bound, so ordering per
+  // record group is preserved.
+  LHRS_CHECK(network()->fault_injection_active())
+      << "bucket " << bucket_no()
+      << " mutated before its group configuration";
+  pending_deltas_.push_back(std::move(delta));
+}
+
 void RsDataBucketNode::SendDelta(ParityDelta delta) {
-  LHRS_CHECK(!parity_nodes_.empty())
-      << "bucket " << bucket_no() << " has no group configuration";
+  if (!has_group_config()) {
+    ParkDelta(std::move(delta));
+    return;
+  }
   for (size_t i = 0; i < parity_nodes_.size(); ++i) {
     auto msg = std::make_unique<ParityDeltaMsg>();
     msg->group = group();
@@ -97,6 +111,7 @@ void RsDataBucketNode::OnDeleteCommitted(Key key,
   d.rank = r;
   d.slot = slot();
   d.key_op = ParityDelta::KeyOp::kClear;
+  d.key = key;  // The parity bucket refuses to clear any other key.
   d.delta = old_value;  // Folding the value out zeroes its contribution.
   SendDelta(std::move(d));
 }
@@ -116,6 +131,7 @@ void RsDataBucketNode::OnRecordsMovedOut(std::vector<WireRecord>& moved) {
     d.rank = r;
     d.slot = slot();
     d.key_op = ParityDelta::KeyOp::kClear;
+    d.key = rec.key;
     d.delta = rec.value;
     deltas.push_back(std::move(d));
   }
@@ -124,17 +140,6 @@ void RsDataBucketNode::OnRecordsMovedOut(std::vector<WireRecord>& moved) {
 
 void RsDataBucketNode::OnRecordsMovedIn(const std::vector<WireRecord>& moved) {
   if (moved.empty()) return;
-  if (!has_group_config()) {
-    // Only possible under fault injection: the coordinator's GroupConfig
-    // was dropped or reordered behind the parent's record move. Park the
-    // records; the (re-sent) GroupConfig replays them.
-    LHRS_CHECK(network()->fault_injection_active())
-        << "split target " << bucket_no() << " received records before "
-        << "its group configuration";
-    pending_moved_in_.insert(pending_moved_in_.end(), moved.begin(),
-                             moved.end());
-    return;
-  }
   std::vector<ParityDelta> deltas;
   deltas.reserve(moved.size());
   for (const auto& rec : moved) {
@@ -153,6 +158,10 @@ void RsDataBucketNode::OnRecordsMovedIn(const std::vector<WireRecord>& moved) {
 }
 
 void RsDataBucketNode::SendDeltaBatch(std::vector<ParityDelta> deltas) {
+  if (!has_group_config()) {
+    for (ParityDelta& d : deltas) ParkDelta(std::move(d));
+    return;
+  }
   for (size_t i = 0; i < parity_nodes_.size(); ++i) {
     auto msg = std::make_unique<ParityDeltaBatchMsg>();
     msg->group = group();
@@ -175,10 +184,9 @@ void RsDataBucketNode::HandleSubclassMessage(const Message& msg) {
       LHRS_CHECK_EQ(cfg.group, group());
       parity_nodes_ = cfg.parity_nodes;
       k_ = cfg.k;
-      if (!pending_moved_in_.empty()) {
-        const std::vector<WireRecord> parked = std::move(pending_moved_in_);
-        pending_moved_in_.clear();
-        OnRecordsMovedIn(parked);
+      if (!pending_deltas_.empty()) {
+        SendDeltaBatch(std::move(pending_deltas_));
+        pending_deltas_.clear();
       }
       return;
     }

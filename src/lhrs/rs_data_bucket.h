@@ -55,6 +55,9 @@ class RsDataBucketNode : public DataBucketNode {
   void BindRank(Key key, Rank r);
   /// Sends one delta to all k parity buckets of this bucket's group.
   void SendDelta(ParityDelta delta);
+  /// Holds a delta generated before GroupConfig arrived (only possible on
+  /// a lossy transport or under fault injection).
+  void ParkDelta(ParityDelta delta);
   /// Sends a delta batch to all k parity buckets (one bulk message each;
   /// the last send steals the batch instead of copying it).
   void SendDeltaBatch(std::vector<ParityDelta> deltas);
@@ -63,9 +66,11 @@ class RsDataBucketNode : public DataBucketNode {
   std::shared_ptr<LhrsContext> lhrs_ctx_;
   std::vector<NodeId> parity_nodes_;  ///< Local copy, fed by GroupConfig.
   uint32_t k_ = 0;
-  /// Records moved in before GroupConfig arrived (chaos reorder/drop);
-  /// replayed when the configuration lands.
-  std::vector<WireRecord> pending_moved_in_;
+  /// Deltas generated before GroupConfig arrived (chaos reorder/drop, or
+  /// real-transport retransmit delay); flushed when the configuration
+  /// lands. Ranks are bound at generation time, so replay order within a
+  /// record group is preserved.
+  std::vector<ParityDelta> pending_deltas_;
 
   Rank next_rank_ = 1;
   std::priority_queue<Rank, std::vector<Rank>, std::greater<Rank>>

@@ -19,6 +19,10 @@ NodeId ClientNode::ResolveNode(BucketNo bucket) {
       cached_nodes_[bucket] != kInvalidNode) {
     return cached_nodes_[bucket];
   }
+  // Cluster mode: this client's allocation replica may lag the
+  // coordinator's table right after a split or recovery. An unknown
+  // bucket is not an error — the caller routes via the coordinator.
+  if (!ctx_->allocation.Knows(bucket)) return kInvalidNode;
   const NodeId node = ctx_->allocation.Lookup(bucket);
   if (bucket >= cached_nodes_.size()) {
     cached_nodes_.resize(bucket + 1, kInvalidNode);
@@ -55,7 +59,15 @@ void ClientNode::SendDirect(uint64_t op_id, PendingOp& op) {
   req->intended_bucket = a;
   req->key = op.key;
   req->value = op.value;
-  Send(ResolveNode(a), std::move(req));
+  const NodeId node = ResolveNode(a);
+  if (node == kInvalidNode) {
+    // The image points at a bucket this process has not learned the
+    // address of yet (stale allocation replica): let the coordinator
+    // place the operation.
+    SendViaCoordinator(op_id, op);
+    return;
+  }
+  Send(node, std::move(req));
 }
 
 void ClientNode::SendViaCoordinator(uint64_t op_id, const PendingOp& op) {
@@ -158,6 +170,9 @@ uint64_t ClientNode::StartScan(ScanPredicate predicate, bool deterministic) {
   std::vector<std::pair<NodeId, std::unique_ptr<MessageBody>>> batch;
   batch.reserve(extent);
   for (BucketNo a = 0; a < extent; ++a) {
+    // Cluster mode: buckets the local allocation replica cannot place yet
+    // are skipped; the deterministic-coverage check reports the gap.
+    if (!ctx_->allocation.Knows(a)) continue;
     auto req = std::make_unique<ScanRequestMsg>();
     req->op_id = op_id;
     req->client = id();

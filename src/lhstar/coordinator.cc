@@ -24,13 +24,18 @@ void CoordinatorNode::HandleMessage(const Message& msg) {
                             capacity_total;
         if (load <= ctx_->config.split_load_threshold) return;
       }
-      (void)report;
+      if (ctx_->config.dedup_overflow_reports &&
+          !overflow_reported_.insert(report.bucket).second) {
+        return;  // This bucket already has a split queued for it.
+      }
       ++pending_splits_;
       MaybeStartSplit();
       return;
     }
     case LhStarMsg::kSplitDone: {
       restructure_in_progress_ = false;
+      // Still-overflowing buckets re-report on their next insert.
+      overflow_reported_.clear();
       if (auto* t = net()->telemetry()) {
         t->metrics().GetCounter("split.completed").Add();
         t->metrics()

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
 
 #include "lh/lh_math.h"
 #include "lhstar/messages.h"
@@ -127,6 +128,8 @@ class CoordinatorNode : public Node {
   BucketFactory bucket_factory_;
   bool restructure_in_progress_ = false;  ///< A split or merge is running.
   uint32_t pending_splits_ = 0;
+  /// Buckets with an un-acted-on overflow report (dedup_overflow_reports).
+  std::set<BucketNo> overflow_reported_;
   bool merge_requested_ = false;
   uint64_t splits_performed_ = 0;
   uint64_t merges_performed_ = 0;

@@ -130,6 +130,13 @@ void DataBucketNode::HandleOpRequest(const Message& msg) {
   const BucketNo target =
       ForwardAddress(bucket_no_, level_, req.key, ctx_->config.initial_buckets);
   if (target != bucket_no_) {
+    if (!ctx_->allocation.Knows(target)) {
+      // Cluster mode: this server's allocation replica has not caught up
+      // with the split that created `target` yet. The coordinator always
+      // has the authoritative address.
+      BounceToCoordinator(req);
+      return;
+    }
     auto fwd = std::make_unique<OpRequestMsg>(req);
     fwd->intended_bucket = target;
     fwd->hops = req.hops + 1;
@@ -361,6 +368,9 @@ void DataBucketNode::HandleScanRequest(const ScanRequestMsg& scan) {
     const BucketNo child =
         bucket_no_ +
         (static_cast<BucketNo>(ctx_->config.initial_buckets) << (l - 1));
+    // Cluster mode: a stale allocation replica cannot route the copy; the
+    // client's deterministic-coverage check reports the gap.
+    if (!ctx_->allocation.Knows(child)) continue;
     auto fwd = std::make_unique<ScanRequestMsg>(scan);
     fwd->attached_level = l;
     Send(ctx_->allocation.Lookup(child), std::move(fwd));

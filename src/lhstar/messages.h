@@ -32,7 +32,9 @@ struct WireRecord {
   uint64_t tag = 0;
   BufferView value;
 
-  size_t ByteSize() const { return sizeof(Key) + value.size(); }
+  /// key + tag + length prefix + payload, matching the transport codec
+  /// (see src/transport/wire_lhstar.cc) byte for byte.
+  size_t ByteSize() const { return 20 + value.size(); }
   bool operator==(const WireRecord&) const = default;
 };
 
@@ -99,7 +101,9 @@ struct OpReplyMsg : MessageBody {
   std::optional<IamInfo> iam;
 
   int kind() const override { return LhStarMsg::kOpReply; }
-  size_t ByteSize() const override { return 24 + value.size(); }
+  size_t ByteSize() const override {
+    return 24 + value.size() + error.size() + (iam.has_value() ? 8 : 0);
+  }
 };
 
 /// Server->coordinator: bucket exceeded its capacity.

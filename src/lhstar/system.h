@@ -23,6 +23,14 @@ struct FileConfig {
   bool use_load_control = false;
   double split_load_threshold = 0.8;
 
+  /// Collapses repeat overflow reports from the same bucket into one
+  /// queued split (re-armed when a split completes). In the simulator a
+  /// split lands within a few events of the report, so this barely
+  /// matters; over a real transport dozens of reports from one overflowing
+  /// bucket arrive before the first split finishes, and without damping
+  /// each would queue another split — cluster mode turns this on.
+  bool dedup_overflow_reports = false;
+
   /// File shrinking by bucket merge (paper section 4.3): when enabled,
   /// deletions that leave the file's load factor below
   /// `merge_load_threshold` merge the last bucket back into its parent.
@@ -46,6 +54,7 @@ class AllocationTable {
   void Set(BucketNo bucket, NodeId node) {
     if (bucket >= table_.size()) table_.resize(bucket + 1, kInvalidNode);
     table_[bucket] = node;
+    ++version_;
   }
 
   NodeId Lookup(BucketNo bucket) const {
@@ -58,12 +67,30 @@ class AllocationTable {
   }
 
   /// Forgets every mapping (coordinator soft-state loss simulation).
-  void Clear() { table_.clear(); }
+  void Clear() {
+    table_.clear();
+    ++version_;
+  }
 
   size_t size() const { return table_.size(); }
 
+  /// Monotone change counter. Cluster mode broadcasts a fresh snapshot of
+  /// the coordinator's authoritative table whenever the version moves, so
+  /// worker/client replicas converge without per-entry messages.
+  uint64_t version() const { return version_; }
+
+  /// The raw bucket -> node vector (for snapshotting onto the wire).
+  const std::vector<NodeId>& entries() const { return table_; }
+
+  /// Replaces the whole table with a received snapshot.
+  void Restore(std::vector<NodeId> entries, uint64_t version) {
+    table_ = std::move(entries);
+    version_ = version;
+  }
+
  private:
   std::vector<NodeId> table_;
+  uint64_t version_ = 0;
 };
 
 /// Shared wiring of one LH* file instance, handed to every node of that

@@ -33,6 +33,11 @@ class DuplicateFilter {
     return false;
   }
 
+  /// Peek without recording. The socket transport records a sequence only
+  /// once its delivery is accepted, so a rejected frame's retransmit is
+  /// judged afresh instead of being mistaken for a lost-ack duplicate.
+  bool Contains(uint64_t msg_id) const { return seen_.contains(msg_id); }
+
   size_t size() const { return order_.size(); }
 
  private:

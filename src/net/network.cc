@@ -40,6 +40,15 @@ NodeId Network::AddNode(std::unique_ptr<Node> node) {
   return id;
 }
 
+void Network::ReplaceNode(NodeId id, std::unique_ptr<Node> node) {
+  LHRS_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  LHRS_CHECK(node != nullptr);
+  LHRS_CHECK(node->network_ == nullptr) << "node already registered";
+  node->network_ = this;
+  node->id_ = id;
+  nodes_[id].node = std::move(node);  // Availability and epoch persist.
+}
+
 void Network::Send(NodeId from, NodeId to,
                    std::unique_ptr<MessageBody> body) {
   Enqueue(std::move(body), from, to, /*multicast_member=*/false);
@@ -78,6 +87,11 @@ void Network::Enqueue(std::unique_ptr<MessageBody> body, NodeId from,
     }
   }
 
+  if (router_ != nullptr && router_->IsRemote(to)) {
+    router_->RouteRemote(from, to, std::move(body));
+    return;
+  }
+
   auto msg = std::make_shared<Message>();
   msg->id = next_message_id_++;
   msg->from = from;
@@ -114,6 +128,40 @@ void Network::Enqueue(std::unique_ptr<MessageBody> body, NodeId from,
   }
 
   Push(Event{now_ + latency, next_seq_++, EventType::kDeliver,
+             std::move(msg)});
+}
+
+void Network::Inject(NodeId from, NodeId to,
+                     std::unique_ptr<MessageBody> body) {
+  LHRS_CHECK(body != nullptr);
+  LHRS_CHECK(to >= 0 && static_cast<size_t>(to) < nodes_.size())
+      << "inject to unknown node " << to;
+  auto msg = std::make_shared<Message>();
+  msg->id = next_message_id_++;
+  msg->from = from;
+  msg->to = to;
+  msg->send_time = now_;
+  msg->to_epoch = nodes_[to].epoch;
+  msg->body = std::move(body);
+  // Delivered through the ordinary event path so the crash-epoch check,
+  // receive statistics and tracing behave exactly as for local traffic.
+  Push(Event{now_, next_seq_++, EventType::kDeliver, std::move(msg)});
+}
+
+void Network::NotifyDeliveryFailure(NodeId from, NodeId to,
+                                    std::unique_ptr<MessageBody> body) {
+  LHRS_CHECK(body != nullptr);
+  stats_.RecordDeliveryFailure();
+  if (telemetry_ != nullptr) tm_.delivery_failures->Add();
+  if (from == kInvalidNode) return;
+  LHRS_CHECK(static_cast<size_t>(from) < nodes_.size());
+  auto msg = std::make_shared<Message>();
+  msg->id = next_message_id_++;
+  msg->from = from;
+  msg->to = to;
+  msg->send_time = now_;
+  msg->body = std::move(body);
+  Push(Event{now_, next_seq_++, EventType::kDeliveryFailure,
              std::move(msg)});
 }
 

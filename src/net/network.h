@@ -44,6 +44,25 @@ class FaultInjector {
   virtual FaultActions OnMessage(const Message& msg, SimTime now) = 0;
 };
 
+/// Egress hook for cluster mode. In a multi-process deployment every
+/// process runs its own Network whose node table spans the *global* id
+/// space; ids resident elsewhere hold stub nodes. A router attached via
+/// SetRemoteRouter intercepts sends to such ids before they reach the
+/// event queue and hands them to a real transport (src/transport). Traffic
+/// statistics are still recorded by the local network, so per-node
+/// messaging costs keep their simulator semantics.
+class RemoteRouter {
+ public:
+  virtual ~RemoteRouter() = default;
+
+  /// True when `to` is not resident in this process.
+  virtual bool IsRemote(NodeId to) const = 0;
+
+  /// Takes ownership of the body and moves it across the wire.
+  virtual void RouteRemote(NodeId from, NodeId to,
+                           std::unique_ptr<MessageBody> body) = 0;
+};
+
 /// Discrete-event message-passing simulator of a share-nothing
 /// multicomputer.
 ///
@@ -60,6 +79,11 @@ class Network {
   /// Registers a node and assigns its NodeId. May be called while the
   /// event loop runs (splits and recoveries allocate servers on the fly).
   NodeId AddNode(std::unique_ptr<Node> node);
+
+  /// Replaces the node object at an existing id, keeping availability and
+  /// crash epoch. Cluster mode uses this to swap a remote stub for the
+  /// real node when a spare slot is activated in this process.
+  void ReplaceNode(NodeId id, std::unique_ptr<Node> node);
 
   /// The node object at `id` (never null for a valid id).
   Node* node(NodeId id) const {
@@ -152,10 +176,35 @@ class Network {
   /// caller keeps it alive while attached.
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
-  /// True while a fault injector is attached. Protocol layers use this to
-  /// turn on retransmissions that would be dead weight in a fault-free
-  /// simulation.
-  bool fault_injection_active() const { return injector_ != nullptr; }
+  /// True while a fault injector is attached — or while the network sits on
+  /// a real, lossy transport. Protocol layers use this to turn on
+  /// retransmissions that would be dead weight in a fault-free simulation.
+  bool fault_injection_active() const {
+    return injector_ != nullptr || lossy_transport_;
+  }
+
+  /// Declares that this network's traffic crosses a real transport that
+  /// may lose or duplicate messages, so the protocol hardening gated on
+  /// fault_injection_active() must stay armed.
+  void SetLossyTransport(bool lossy) { lossy_transport_ = lossy; }
+
+  /// Attaches (or with nullptr detaches) the cluster egress router. Not
+  /// owned. While attached, Send/Multicast to ids the router claims are
+  /// remote bypass the event queue (statistics are still recorded).
+  void SetRemoteRouter(RemoteRouter* router) { router_ = router; }
+
+  /// Ingress path for cluster mode: delivers `body` to local node `to` as
+  /// if it had just arrived from `from`, at the current time. The message
+  /// gets a fresh local id (transport-level retransmits deliver at most
+  /// once, so ids stay unique) and is processed through the ordinary
+  /// delivery event so telemetry, stats and crash-epoch checks all apply.
+  void Inject(NodeId from, NodeId to, std::unique_ptr<MessageBody> body);
+
+  /// Ingress path for transport-detected send failures: invokes `from`'s
+  /// HandleDeliveryFailure with a synthesized bounced message, mirroring
+  /// the simulator's RPC-timeout model (recorded in stats/telemetry).
+  void NotifyDeliveryFailure(NodeId from, NodeId to,
+                             std::unique_ptr<MessageBody> body);
 
   /// Total messages processed since construction (safety valve for tests).
   uint64_t processed_events() const { return processed_events_; }
@@ -208,6 +257,8 @@ class Network {
   size_t wake_events_ = 0;  ///< Queued events with wake == true.
   MessageStats stats_;
   FaultInjector* injector_ = nullptr;
+  RemoteRouter* router_ = nullptr;
+  bool lossy_transport_ = false;
 
   std::unique_ptr<telemetry::Telemetry> telemetry_;
   /// Cached metric handles so the enabled per-message path does no name

@@ -1,0 +1,1073 @@
+#include "transport/cluster.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "lhrs/parity_bucket.h"
+#include "lhrs/rs_coordinator.h"
+#include "lhrs/rs_data_bucket.h"
+#include "lhstar/messages.h"
+#include "telemetry/run_report.h"
+#include "transport/wire.h"
+
+namespace lhrs::transport {
+
+namespace {
+
+/// Placeholder for a node resident in another process. Receives nothing:
+/// the RemoteRouter intercepts sends to it, and incoming frames for a
+/// not-yet-activated local id are stashed before injection.
+class StubNode : public Node {
+ public:
+  void HandleMessage(const Message& msg) override {
+    LHRS_LOG(Warning) << "stub node " << id() << " received message kind "
+                      << msg.body->kind() << " (dropped)";
+  }
+  const char* role() const override { return "stub"; }
+};
+
+uint64_t NowUs() { return SocketTransport::MonotonicMicros(); }
+
+/// A peer process dying mid-write must surface as an error return, not a
+/// SIGPIPE kill — every member calls this before touching sockets.
+void IgnoreSigpipe() { signal(SIGPIPE, SIG_IGN); }
+
+struct MemberContexts {
+  std::shared_ptr<SystemContext> ctx;
+  std::shared_ptr<LhrsContext> lhrs;
+};
+
+/// Every process builds the same context replica: file config, coordinator
+/// id 0, and the initial-bucket allocation. Later allocation changes
+/// arrive as kAllocUpdate snapshots.
+MemberContexts MakeContexts(const ClusterLayout& layout) {
+  MemberContexts out;
+  out.ctx = std::make_shared<SystemContext>();
+  out.ctx->config = layout.file;
+  // Real wire latency widens the window between a bucket's first overflow
+  // report and the split that relieves it; without damping every insert in
+  // that window queues another split.
+  out.ctx->config.dedup_overflow_reports = true;
+  out.ctx->coordinator = 0;
+  for (uint32_t b = 0; b < layout.file.initial_buckets; ++b) {
+    out.ctx->allocation.Set(b, static_cast<NodeId>(1 + b));
+  }
+  out.lhrs = std::make_shared<LhrsContext>();
+  out.lhrs->base = out.ctx;
+  out.lhrs->m = layout.group_size;
+  out.lhrs->coders =
+      std::make_shared<CoderCache>(layout.group_size, FieldChoice::kGf256);
+  out.lhrs->policy.base_k = layout.base_k;
+  out.lhrs->auto_recover = true;
+  return out;
+}
+
+/// Pumps until the transport is quiescent and nothing got delivered for
+/// `quiet_iters` consecutive iterations, or `budget_ms` elapses.
+/// `service` is invoked each iteration (control-plane upkeep); returning
+/// false aborts the wait.
+void PumpUntilQuiet(ClusterRuntime& runtime, uint64_t budget_ms,
+                    int quiet_iters,
+                    const std::function<bool()>& service = {}) {
+  const uint64_t deadline = NowUs() + budget_ms * 1000;
+  int calm = 0;
+  while (NowUs() < deadline && calm < quiet_iters) {
+    const size_t activity = runtime.Pump(2);
+    if (service && !service()) return;
+    if (activity == 0 && runtime.TransportQuiescent()) {
+      ++calm;
+    } else {
+      calm = 0;
+    }
+  }
+}
+
+/// Members may start before the coordinator's listener is bound (forked
+/// children, in-process test threads); retry briefly before declaring the
+/// coordinator missing.
+Status ConnectControl(uint16_t port, ControlConn* out, uint64_t deadline) {
+  for (;;) {
+    Status status = ControlConn::Connect(port, out);
+    if (status.ok() || NowUs() + 100'000 > deadline) return status;
+    usleep(100'000);
+  }
+}
+
+/// Installs the deterministic lossy shim requested by the member options:
+/// the full-stack duplicate/drop resilience test (client retry +
+/// DuplicateFilter above, ack + bounded retransmit below).
+void InstallLossShim(ClusterRuntime& runtime,
+                     const ClusterMemberOptions& options) {
+  if (options.loss_drop_every == 0 && options.loss_dup_every == 0) return;
+  runtime.transport().SetLossShim(
+      [n = uint64_t{0}, drop = options.loss_drop_every,
+       dup = options.loss_dup_every](bool is_ack, uint64_t) mutable {
+        LossAction action;
+        if (is_ack) return action;
+        ++n;
+        if (drop != 0 && n % drop == 0) action.drop = true;
+        if (dup != 0 && n % dup == 0) action.duplicates = 1;
+        return action;
+      });
+}
+
+uint64_t Percentile(std::vector<uint64_t>& sorted_latencies, int p) {
+  if (sorted_latencies.empty()) return 0;
+  const size_t idx = std::min(
+      sorted_latencies.size() - 1,
+      static_cast<size_t>(static_cast<double>(sorted_latencies.size()) * p /
+                          100.0));
+  return sorted_latencies[idx];
+}
+
+/// Writes the member's telemetry RunReport. The report must be complete
+/// valid JSON even when the member is shutting down on SIGTERM — the
+/// graceful-shutdown test parses it back.
+bool WriteMemberReport(ClusterRuntime& runtime,
+                       const ClusterMemberOptions& options,
+                       const std::string& role, int rank, bool ok) {
+  if (options.report_path.empty()) return true;
+  telemetry::RunReport report("cluster_" + role);
+  report.AddParam("role", role);
+  report.AddParam("rank", static_cast<int64_t>(rank));
+  report.AddParam("transport", runtime.transport().name());
+  report.AddParam("clean_shutdown", ok ? "true" : "false");
+  const SocketTransportStats& ts = runtime.transport().stats();
+  report.AddMetric("transport.udp_datagrams_sent", ts.udp_datagrams_sent);
+  report.AddMetric("transport.udp_bytes_sent", ts.udp_bytes_sent);
+  report.AddMetric("transport.udp_datagrams_received",
+                   ts.udp_datagrams_received);
+  report.AddMetric("transport.retransmits", ts.retransmits);
+  report.AddMetric("transport.send_failures", ts.send_failures);
+  report.AddMetric("transport.dup_suppressed", ts.dup_suppressed);
+  report.AddMetric("transport.tcp_frames_sent", ts.tcp_frames_sent);
+  report.AddMetric("transport.tcp_bytes_sent", ts.tcp_bytes_sent);
+  report.AddMetric("transport.tcp_frames_received", ts.tcp_frames_received);
+  report.AddMetric("transport.decode_failures", ts.decode_failures);
+  report.AddMetric("sim.messages", runtime.network().stats().total_messages());
+  if (telemetry::Telemetry* t = runtime.network().telemetry()) {
+    report.AddRegistry(t->metrics());
+  }
+  return report.WriteFile(options.report_path);
+}
+
+/// The drain half of a graceful shutdown: in-flight operations finish
+/// (bounded), the transport empties its retransmit queues, and only then
+/// does the caller write its report and exit.
+void DrainRuntime(ClusterRuntime& runtime, uint64_t budget_ms) {
+  PumpUntilQuiet(runtime, budget_ms, /*quiet_iters=*/25);
+}
+
+/// Answers a coordinator kQuiesce barrier: pump until this process's
+/// transport has nothing in flight (bounded), then ack with our rank.
+void QuiesceAndAck(ClusterRuntime& runtime, ControlConn& ctrl, int rank) {
+  PumpUntilQuiet(runtime, /*budget_ms=*/2000, /*quiet_iters=*/10);
+  CtrlMsg ack;
+  ack.type = CtrlType::kQuiesced;
+  ack.rank = static_cast<uint32_t>(rank);
+  ctrl.SendMsg(ack);
+}
+
+void LogVerbose(const ClusterMemberOptions& options, const std::string& who,
+                const std::string& what) {
+  if (!options.verbose) return;
+  std::fprintf(stderr, "[%s] %s\n", who.c_str(), what.c_str());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ClusterLayout
+
+int ClusterLayout::RankOf(NodeId id) const {
+  if (id < 0) return -1;
+  if (id == 0) return 0;
+  uint32_t u = static_cast<uint32_t>(id) - 1;
+  if (u < file.initial_buckets) return ServerRankOfBucket(u);
+  u -= file.initial_buckets;
+  if (u < server_ranks * spares_per_server) {
+    return 1 + static_cast<int>(u / spares_per_server);
+  }
+  u -= server_ranks * spares_per_server;
+  if (u < client_ranks * sessions_per_client) {
+    return 1 + static_cast<int>(server_ranks) +
+           static_cast<int>(u / sessions_per_client);
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// ClusterRuntime
+
+ClusterRuntime::ClusterRuntime(const ClusterLayout& layout, int my_rank,
+                               NetworkConfig net_config)
+    : layout_(layout), my_rank_(my_rank), network_(net_config) {
+  RegisterAllWireCodecs();
+  transport_.set_my_rank(my_rank);
+  transport_.SetNodeRank([this](NodeId id) { return layout_.RankOf(id); });
+  transport_.SetDeliverFn(
+      [this](NodeId from, NodeId to, std::unique_ptr<MessageBody> body) {
+        if (layout_.RankOf(to) != my_rank_) return false;  // Misrouted.
+        if (!network_.available(to)) return false;  // Crashed: never ack.
+        if (!resident_.contains(to)) {
+          // Activation race: the data plane outran the control plane.
+          // Accept (and ack) now, inject once the node exists.
+          stash_[to].push_back(Stashed{from, std::move(body)});
+          return true;
+        }
+        network_.Inject(from, to, std::move(body));
+        return true;
+      });
+  transport_.SetFailFn(
+      [this](NodeId from, NodeId to, std::unique_ptr<MessageBody> body) {
+        // Retransmits exhausted: the peer process is dead or the node is
+        // crashed over there. Mirror the coordinator's liveness oracle
+        // locally and surface the simulator's RPC-timeout signal.
+        if (to >= 0 && static_cast<size_t>(to) < network_.node_count() &&
+            network_.available(to)) {
+          network_.SetAvailable(to, false);
+        }
+        if (body != nullptr) {
+          network_.NotifyDeliveryFailure(from, to, std::move(body));
+        }
+      });
+  network_.SetRemoteRouter(this);
+  // Real sockets lose and duplicate: keep the protocol hardening from the
+  // chaos PR (client retries, server-side duplicate filters) armed.
+  network_.SetLossyTransport(true);
+}
+
+ClusterRuntime::~ClusterRuntime() { network_.SetRemoteRouter(nullptr); }
+
+Status ClusterRuntime::OpenTransport() { return transport_.Open(); }
+
+void ClusterRuntime::SetEndpoints(const std::vector<Endpoint>& endpoints) {
+  for (size_t rank = 0; rank < endpoints.size(); ++rank) {
+    if (static_cast<int>(rank) == my_rank_) continue;
+    transport_.SetPeer(static_cast<int>(rank), endpoints[rank]);
+  }
+}
+
+void ClusterRuntime::BuildStubs() {
+  for (size_t i = network_.node_count(); i < layout_.total_nodes(); ++i) {
+    network_.AddNode(std::make_unique<StubNode>());
+  }
+}
+
+void ClusterRuntime::MakeResident(NodeId id, std::unique_ptr<Node> node) {
+  LHRS_CHECK(layout_.RankOf(id) == my_rank_)
+      << "node " << id << " is not resident on rank " << my_rank_;
+  network_.ReplaceNode(id, std::move(node));
+  resident_.insert(id);
+  auto it = stash_.find(id);
+  if (it != stash_.end()) {
+    for (Stashed& s : it->second) {
+      network_.Inject(s.from, id, std::move(s.body));
+    }
+    stash_.erase(it);
+  }
+}
+
+size_t ClusterRuntime::Pump(int timeout_ms) {
+  const uint64_t events_before = network_.processed_events();
+  const size_t delivered = transport_.Pump(timeout_ms);
+  const uint64_t wall = NowUs();
+  if (epoch_us_ == 0) epoch_us_ = wall;
+  network_.RunUntil(static_cast<SimTime>(wall - epoch_us_));
+  return delivered +
+         static_cast<size_t>(network_.processed_events() - events_before);
+}
+
+void ClusterRuntime::RouteRemote(NodeId from, NodeId to,
+                                 std::unique_ptr<MessageBody> body) {
+  // The local liveness view gates the wire: once a destination is known
+  // dead here (crash broadcast or exhausted retransmits), further sends
+  // bounce immediately — same signal the simulator's timeout model gives,
+  // without burning a full retransmit cycle per message.
+  if (to >= 0 && static_cast<size_t>(to) < network_.node_count() &&
+      !network_.available(to)) {
+    network_.NotifyDeliveryFailure(from, to, std::move(body));
+    return;
+  }
+  transport_.Send(from, to, std::move(body));
+}
+
+// ---------------------------------------------------------------------------
+// ClusterServer
+
+ClusterServer::ClusterServer(ClusterMemberOptions options, int rank)
+    : options_(std::move(options)), rank_(rank) {}
+
+int ClusterServer::Run() {
+  const std::string who = "server" + std::to_string(rank_);
+  const uint64_t deadline = NowUs() + options_.deadline_ms * 1000;
+  IgnoreSigpipe();
+  RegisterLhStarMessageNames();
+  RegisterLhrsMessageNames();
+
+  ClusterRuntime runtime(options_.layout, rank_, options_.net);
+  if (!runtime.OpenTransport().ok()) return 2;
+  InstallLossShim(runtime, options_);
+  ControlConn ctrl;
+  if (!ConnectControl(options_.control_port, &ctrl, deadline).ok()) return 2;
+
+  CtrlMsg hello;
+  hello.type = CtrlType::kHello;
+  hello.rank = static_cast<uint32_t>(rank_);
+  hello.endpoint = runtime.local();
+  ctrl.SendMsg(hello);
+
+  // Wait for the Welcome carrying every rank's data-plane endpoints.
+  std::vector<Endpoint> endpoints;
+  while (NowUs() < deadline) {
+    if (std::optional<CtrlMsg> m = ctrl.Poll();
+        m.has_value() && m->type == CtrlType::kWelcome) {
+      endpoints = m->endpoints;
+      break;
+    }
+    if (ctrl.closed()) return 3;
+    usleep(1000);
+  }
+  if (endpoints.empty()) return 3;
+
+  runtime.SetEndpoints(endpoints);
+  runtime.BuildStubs();
+  MemberContexts m = MakeContexts(options_.layout);
+  telemetry::Telemetry* telemetry = runtime.network().EnableTelemetry();
+  runtime.transport().AttachTelemetry(telemetry);
+
+  // The initial buckets striped onto this rank exist from the start,
+  // pre-initialized — exactly as in the single-process facade.
+  for (uint32_t b = 0; b < options_.layout.file.initial_buckets; ++b) {
+    if (options_.layout.ServerRankOfBucket(b) != rank_) continue;
+    runtime.MakeResident(
+        static_cast<NodeId>(1 + b),
+        std::make_unique<RsDataBucketNode>(m.lhrs, b, /*level=*/0,
+                                           /*pre_initialized=*/true));
+  }
+
+  CtrlMsg ready;
+  ready.type = CtrlType::kReady;
+  ctrl.SendMsg(ready);
+  LogVerbose(options_, who, "ready");
+
+  bool stop = false;
+  int exit_code = 0;
+  while (!stop) {
+    if (NowUs() > deadline) {
+      exit_code = 4;
+      break;
+    }
+    runtime.Pump(2);
+    ctrl.Flush();
+    while (std::optional<CtrlMsg> msg = ctrl.Poll()) {
+      switch (msg->type) {
+        case CtrlType::kActivateNode: {
+          std::unique_ptr<Node> node;
+          if (msg->is_parity) {
+            node = std::make_unique<ParityBucketNode>(
+                m.lhrs, msg->bucket, msg->level, msg->k,
+                msg->pre_initialized);
+          } else {
+            node = std::make_unique<RsDataBucketNode>(
+                m.lhrs, msg->bucket, msg->level, msg->pre_initialized);
+          }
+          runtime.MakeResident(msg->node, std::move(node));
+          LogVerbose(options_, who,
+                     "activated node " + std::to_string(msg->node));
+          break;
+        }
+        case CtrlType::kAllocUpdate:
+          m.ctx->allocation.Restore(msg->entries, msg->version);
+          break;
+        case CtrlType::kSetAvailable:
+          runtime.network().SetAvailable(msg->node, msg->up);
+          break;
+        case CtrlType::kQuiesce:
+          QuiesceAndAck(runtime, ctrl, rank_);
+          break;
+        case CtrlType::kStop:
+          stop = true;
+          break;
+        default:
+          break;
+      }
+    }
+    if (ctrl.closed()) stop = true;  // Coordinator gone: drain and exit.
+    if (stop_requested_.load()) stop = true;
+  }
+
+  LogVerbose(options_, who, "draining");
+  DrainRuntime(runtime, /*budget_ms=*/500);
+  const bool wrote =
+      WriteMemberReport(runtime, options_, "server", rank_, exit_code == 0);
+  CtrlMsg bye;
+  bye.type = CtrlType::kGoodbye;
+  ctrl.SendMsg(bye);
+  ctrl.Flush();
+  return wrote ? exit_code : 5;
+}
+
+// ---------------------------------------------------------------------------
+// ClusterClient
+
+namespace {
+
+/// One scripted client operation plus its expected outcome.
+struct ScriptOp {
+  OpType op = OpType::kInsert;
+  Key key = 0;
+  uint32_t version = 1;        ///< Which deterministic payload to write.
+  uint32_t expect_version = 0; ///< Search: payload to expect (0 = none).
+  bool expect_missing = false; ///< Search: key must be gone.
+};
+
+/// Deterministic payload for (key, version): reproducible on any process,
+/// so verification needs no shared state.
+Bytes ValueFor(Key key, uint32_t version) {
+  Rng rng(0x6c75737465725250ULL ^ (key * 0x9E3779B97F4A7C15ULL) ^ version);
+  return rng.RandomBytes(24 + static_cast<size_t>(key % 17));
+}
+
+bool OutcomeMatches(const ScriptOp& op, const OpOutcome& out) {
+  switch (op.op) {
+    case OpType::kInsert:
+      // A transport-level duplicate of an acked insert surfaces as
+      // kAlreadyExists; the retry policy maps it back, but accept it
+      // defensively too.
+      return out.status.ok() || out.status.IsAlreadyExists();
+    case OpType::kUpdate:
+      return out.status.ok();
+    case OpType::kDelete:
+      return out.status.ok() || out.status.IsNotFound();
+    case OpType::kSearch: {
+      if (op.expect_missing) return out.status.IsNotFound();
+      if (!out.status.ok()) return false;
+      const Bytes expected = ValueFor(op.key, op.expect_version);
+      if (out.value.size() != expected.size()) return false;
+      return std::equal(expected.begin(), expected.end(),
+                        out.value.data());
+    }
+  }
+  return false;
+}
+
+/// The phase-1 script for one session: inserts (sized to overflow buckets
+/// and force splits), a full search sweep, updates of every even key and
+/// deletes of every fifth — four passes with a barrier between them so
+/// same-key operations never race inside the open-loop window.
+std::vector<std::vector<ScriptOp>> MixedScript(Key base, uint32_t keys) {
+  std::vector<std::vector<ScriptOp>> passes(4);
+  for (uint32_t i = 0; i < keys; ++i) {
+    const Key key = base + i;
+    passes[0].push_back({OpType::kInsert, key, 1, 0, false});
+    passes[1].push_back({OpType::kSearch, key, 0, 1, false});
+    if (i % 2 == 0) {
+      passes[2].push_back({OpType::kUpdate, key, 2, 0, false});
+    }
+    if (i % 5 == 0) {
+      passes[3].push_back({OpType::kDelete, key, 0, 0, false});
+    }
+  }
+  return passes;
+}
+
+/// The phase-2 script: verify every key phase 1 left live (and that the
+/// deleted ones stay gone) — including the records that lived on the
+/// crashed-and-recovered bucket.
+std::vector<std::vector<ScriptOp>> VerifyScript(Key base, uint32_t keys) {
+  std::vector<std::vector<ScriptOp>> passes(1);
+  for (uint32_t i = 0; i < keys; ++i) {
+    const Key key = base + i;
+    ScriptOp op{OpType::kSearch, key, 0, 0, false};
+    if (i % 5 == 0) {
+      op.expect_missing = true;
+    } else {
+      op.expect_version = i % 2 == 0 ? 2 : 1;
+    }
+    passes[0].push_back(op);
+  }
+  return passes;
+}
+
+/// Runs scripted passes across this process's sessions, open-loop with a
+/// bounded per-session window. `service` keeps the control plane alive
+/// mid-phase (allocation updates, crash notices); returning false aborts.
+PhaseResult RunPasses(ClusterRuntime& runtime,
+                      std::vector<ClientNode*>& sessions,
+                      const std::vector<std::vector<ScriptOp>>& passes,
+                      size_t window, uint64_t deadline,
+                      const std::function<bool()>& service) {
+  PhaseResult result;
+  std::vector<uint64_t> latencies;
+  const uint64_t phase_start = NowUs();
+  for (const std::vector<ScriptOp>& pass : passes) {
+    // Deal the pass round-robin across sessions.
+    struct SessionState {
+      std::vector<const ScriptOp*> ops;
+      size_t next = 0;
+      struct Inflight {
+        const ScriptOp* op;
+        uint64_t start_us;
+      };
+      std::map<uint64_t, Inflight> inflight;
+    };
+    std::vector<SessionState> state(sessions.size());
+    for (size_t i = 0; i < pass.size(); ++i) {
+      state[i % sessions.size()].ops.push_back(&pass[i]);
+    }
+    bool done = false;
+    while (!done) {
+      if (NowUs() > deadline) {
+        result.ok = false;
+        result.failures += pass.size();
+        return result;
+      }
+      done = true;
+      for (size_t s = 0; s < sessions.size(); ++s) {
+        SessionState& ss = state[s];
+        while (ss.inflight.size() < window && ss.next < ss.ops.size()) {
+          const ScriptOp* op = ss.ops[ss.next++];
+          BufferView value;
+          if (op->op == OpType::kInsert || op->op == OpType::kUpdate) {
+            value = BufferView(ValueFor(op->key, op->version));
+          }
+          const uint64_t op_id =
+              sessions[s]->StartOp(op->op, op->key, std::move(value));
+          ss.inflight.emplace(op_id,
+                              SessionState::Inflight{op, NowUs()});
+        }
+        if (ss.next < ss.ops.size() || !ss.inflight.empty()) done = false;
+      }
+      runtime.Pump(1);
+      if (service && !service()) {
+        result.ok = false;
+        return result;
+      }
+      for (size_t s = 0; s < sessions.size(); ++s) {
+        SessionState& ss = state[s];
+        for (auto it = ss.inflight.begin(); it != ss.inflight.end();) {
+          if (!sessions[s]->IsDone(it->first)) {
+            ++it;
+            continue;
+          }
+          Result<OpOutcome> outcome = sessions[s]->TakeResult(it->first);
+          ++result.ops;
+          latencies.push_back(NowUs() - it->second.start_us);
+          if (!outcome.ok() ||
+              !OutcomeMatches(*it->second.op, outcome.value())) {
+            ++result.failures;
+          }
+          it = ss.inflight.erase(it);
+        }
+      }
+    }
+  }
+  result.elapsed_us = NowUs() - phase_start;
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_us = Percentile(latencies, 50);
+  result.p95_us = Percentile(latencies, 95);
+  result.p99_us = Percentile(latencies, 99);
+  result.ok = result.ok && result.failures == 0;
+  return result;
+}
+
+}  // namespace
+
+ClusterClient::ClusterClient(ClusterMemberOptions options, int rank,
+                             uint32_t keys_per_session)
+    : options_(std::move(options)),
+      rank_(rank),
+      keys_per_session_(keys_per_session) {}
+
+int ClusterClient::Run() {
+  const std::string who = "client" + std::to_string(rank_);
+  const uint64_t deadline = NowUs() + options_.deadline_ms * 1000;
+  IgnoreSigpipe();
+  RegisterLhStarMessageNames();
+  RegisterLhrsMessageNames();
+
+  const ClusterLayout& layout = options_.layout;
+  const int client_index = rank_ - 1 - static_cast<int>(layout.server_ranks);
+  LHRS_CHECK(client_index >= 0 &&
+             client_index < static_cast<int>(layout.client_ranks));
+
+  ClusterRuntime runtime(layout, rank_, options_.net);
+  if (!runtime.OpenTransport().ok()) return 2;
+  InstallLossShim(runtime, options_);
+  ControlConn ctrl;
+  if (!ConnectControl(options_.control_port, &ctrl, deadline).ok()) return 2;
+
+  CtrlMsg hello;
+  hello.type = CtrlType::kHello;
+  hello.rank = static_cast<uint32_t>(rank_);
+  hello.endpoint = runtime.local();
+  ctrl.SendMsg(hello);
+
+  std::vector<Endpoint> endpoints;
+  while (NowUs() < deadline) {
+    if (std::optional<CtrlMsg> m = ctrl.Poll();
+        m.has_value() && m->type == CtrlType::kWelcome) {
+      endpoints = m->endpoints;
+      break;
+    }
+    if (ctrl.closed()) return 3;
+    usleep(1000);
+  }
+  if (endpoints.empty()) return 3;
+
+  runtime.SetEndpoints(endpoints);
+  runtime.BuildStubs();
+  MemberContexts m = MakeContexts(layout);
+  telemetry::Telemetry* telemetry = runtime.network().EnableTelemetry();
+  runtime.transport().AttachTelemetry(telemetry);
+
+  // Resident client sessions, each with the at-least-once retry layer on:
+  // a real transport loses and duplicates, and the bounded-resend /
+  // coordinator-escalation machinery is what absorbs it.
+  std::vector<ClientNode*> sessions;
+  for (uint32_t s = 0; s < layout.sessions_per_client; ++s) {
+    auto client = std::make_unique<ClientNode>(m.ctx);
+    ClientNode* ptr = client.get();
+    ClientRetryPolicy policy;
+    policy.enabled = true;
+    policy.request_timeout_us = 50'000;  // Wall-clock now; loopback is fast.
+    policy.max_backoff_us = 100'000;
+    policy.seed = 42 + static_cast<uint64_t>(rank_) * 100 + s;
+    runtime.MakeResident(
+        layout.first_client_id(static_cast<uint32_t>(client_index)) +
+            static_cast<NodeId>(s),
+        std::move(client));
+    ptr->SetRetryPolicy(policy);
+    sessions.push_back(ptr);
+  }
+
+  CtrlMsg ready;
+  ready.type = CtrlType::kReady;
+  ctrl.SendMsg(ready);
+  LogVerbose(options_, who, "ready");
+
+  const Key key_base =
+      (static_cast<Key>(client_index) + 1) * 1'000'000ULL;
+  const uint32_t total_keys =
+      keys_per_session_ * layout.sessions_per_client;
+
+  bool stop = false;
+  int exit_code = 0;
+  // Mid-phase control upkeep; Stop or a dead coordinator aborts the phase.
+  const auto service = [&]() {
+    ctrl.Flush();
+    while (std::optional<CtrlMsg> msg = ctrl.Poll()) {
+      switch (msg->type) {
+        case CtrlType::kAllocUpdate:
+          m.ctx->allocation.Restore(msg->entries, msg->version);
+          break;
+        case CtrlType::kSetAvailable:
+          runtime.network().SetAvailable(msg->node, msg->up);
+          break;
+        case CtrlType::kStop:
+          stop = true;
+          break;
+        default:
+          break;
+      }
+    }
+    if (ctrl.closed()) stop = true;
+    if (stop_requested_.load()) stop = true;
+    return !stop;
+  };
+
+  while (!stop) {
+    if (NowUs() > deadline) {
+      exit_code = 4;
+      break;
+    }
+    runtime.Pump(2);
+    ctrl.Flush();
+    std::optional<uint32_t> run_phase;
+    while (std::optional<CtrlMsg> msg = ctrl.Poll()) {
+      if (msg->type == CtrlType::kRunPhase) {
+        run_phase = msg->phase;
+      } else if (msg->type == CtrlType::kAllocUpdate) {
+        m.ctx->allocation.Restore(msg->entries, msg->version);
+      } else if (msg->type == CtrlType::kSetAvailable) {
+        runtime.network().SetAvailable(msg->node, msg->up);
+      } else if (msg->type == CtrlType::kQuiesce) {
+        QuiesceAndAck(runtime, ctrl, rank_);
+      } else if (msg->type == CtrlType::kStop) {
+        stop = true;
+      }
+    }
+    if (ctrl.closed() || stop_requested_.load()) stop = true;
+    if (stop || !run_phase.has_value()) continue;
+
+    LogVerbose(options_, who, "phase " + std::to_string(*run_phase));
+    const auto passes = *run_phase == 1
+                            ? MixedScript(key_base, total_keys)
+                            : VerifyScript(key_base, total_keys);
+    PhaseResult result = RunPasses(runtime, sessions, passes,
+                                   /*window=*/4, deadline, service);
+    CtrlMsg done;
+    done.type = CtrlType::kPhaseDone;
+    done.phase = *run_phase;
+    done.ok = result.ok;
+    done.ops = result.ops;
+    done.failures = result.failures;
+    done.elapsed_us = result.elapsed_us;
+    done.p50_us = result.p50_us;
+    done.p95_us = result.p95_us;
+    done.p99_us = result.p99_us;
+    ctrl.SendMsg(done);
+    LogVerbose(options_, who,
+               "phase " + std::to_string(*run_phase) + " done: " +
+                   std::to_string(result.ops) + " ops, " +
+                   std::to_string(result.failures) + " failures");
+  }
+
+  LogVerbose(options_, who, "draining");
+  DrainRuntime(runtime, /*budget_ms=*/500);
+  const bool wrote =
+      WriteMemberReport(runtime, options_, "client", rank_, exit_code == 0);
+  CtrlMsg bye;
+  bye.type = CtrlType::kGoodbye;
+  ctrl.SendMsg(bye);
+  ctrl.Flush();
+  return wrote ? exit_code : 5;
+}
+
+// ---------------------------------------------------------------------------
+// ClusterCoordinator
+
+ClusterCoordinator::ClusterCoordinator(Options options)
+    : options_(std::move(options)) {}
+
+int ClusterCoordinator::Run() {
+  const std::string who = "coord";
+  const uint64_t deadline = NowUs() + options_.deadline_ms * 1000;
+  IgnoreSigpipe();
+  RegisterLhStarMessageNames();
+  RegisterLhrsMessageNames();
+
+  const ClusterLayout& layout = options_.layout;
+  ControlListener listener;
+  if (!listener.Open(options_.control_port).ok()) return 2;
+  options_.control_port = listener.port();
+
+  ClusterRuntime runtime(layout, /*my_rank=*/0, options_.net);
+  if (!runtime.OpenTransport().ok()) return 2;
+  InstallLossShim(runtime, options_);
+
+  // Accept and identify every member.
+  std::map<int, ControlConn> members;       // rank -> control connection.
+  std::map<int, Endpoint> member_endpoints; // rank -> data-plane address.
+  std::vector<ControlConn> unidentified;
+  const size_t expected = layout.total_ranks() - 1;
+  while (members.size() < expected) {
+    if (NowUs() > deadline) return 3;
+    if (std::optional<ControlConn> conn = listener.Accept()) {
+      unidentified.push_back(std::move(*conn));
+    }
+    for (auto it = unidentified.begin(); it != unidentified.end();) {
+      std::optional<CtrlMsg> msg = it->Poll();
+      if (msg.has_value() && msg->type == CtrlType::kHello) {
+        const int rank = static_cast<int>(msg->rank);
+        member_endpoints[rank] = msg->endpoint;
+        members.emplace(rank, std::move(*it));
+        it = unidentified.erase(it);
+      } else if (it->closed()) {
+        it = unidentified.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    usleep(1000);
+  }
+  LogVerbose(options_, who, "all members connected");
+
+  // Welcome everyone with the full endpoint table.
+  std::vector<Endpoint> endpoints(layout.total_ranks());
+  endpoints[0] = runtime.local();
+  for (const auto& [rank, ep] : member_endpoints) {
+    endpoints[static_cast<size_t>(rank)] = ep;
+  }
+  CtrlMsg welcome;
+  welcome.type = CtrlType::kWelcome;
+  welcome.endpoints = endpoints;
+  for (auto& [rank, conn] : members) conn.SendMsg(welcome);
+
+  runtime.SetEndpoints(endpoints);
+  runtime.BuildStubs();
+  MemberContexts m = MakeContexts(layout);
+  telemetry::Telemetry* telemetry = runtime.network().EnableTelemetry();
+  runtime.transport().AttachTelemetry(telemetry);
+
+  // Spare-slot allocator: round-robin across the server ranks' pools.
+  std::vector<uint32_t> spare_used(layout.server_ranks, 0);
+  uint32_t next_server = 0;
+  const auto pop_spare = [&]() -> std::pair<NodeId, int> {
+    for (uint32_t tries = 0; tries < layout.server_ranks; ++tries) {
+      const uint32_t s = next_server;
+      next_server = (next_server + 1) % layout.server_ranks;
+      if (spare_used[s] < layout.spares_per_server) {
+        const NodeId id =
+            layout.first_spare(s) + static_cast<NodeId>(spare_used[s]++);
+        return {id, 1 + static_cast<int>(s)};
+      }
+    }
+    LHRS_LOG(Fatal) << "cluster spare pool exhausted";
+    return {kInvalidNode, -1};
+  };
+
+  auto coordinator = std::make_unique<RsCoordinatorNode>(m.lhrs);
+  RsCoordinatorNode* rs = coordinator.get();
+  rs->SetBucketFactory([&](BucketNo bucket, Level level) {
+    const auto [id, rank] = pop_spare();
+    CtrlMsg activate;
+    activate.type = CtrlType::kActivateNode;
+    activate.node = id;
+    activate.is_parity = false;
+    activate.pre_initialized = false;
+    activate.bucket = bucket;
+    activate.level = level;
+    members.at(rank).SendMsg(activate);
+    return id;
+  });
+  rs->SetParityFactory(
+      [&](uint32_t group, uint32_t parity_index, uint32_t k, bool spare) {
+        const auto [id, rank] = pop_spare();
+        CtrlMsg activate;
+        activate.type = CtrlType::kActivateNode;
+        activate.node = id;
+        activate.is_parity = true;
+        activate.pre_initialized = !spare;
+        activate.bucket = group;
+        activate.level = parity_index;
+        activate.k = k;
+        members.at(rank).SendMsg(activate);
+        return id;
+      });
+  runtime.MakeResident(0, std::move(coordinator));
+
+  // Wait for every member's Ready before any data-plane traffic.
+  std::set<int> ready;
+  while (ready.size() < expected) {
+    if (NowUs() > deadline) return 3;
+    for (auto& [rank, conn] : members) {
+      while (std::optional<CtrlMsg> msg = conn.Poll()) {
+        if (msg->type == CtrlType::kReady) ready.insert(rank);
+      }
+    }
+    usleep(1000);
+  }
+  LogVerbose(options_, who, "all members ready");
+
+  // Initial parity groups: allocates parity buckets from the spare pools
+  // (ActivateNode to their owners) and pushes group configs on the wire.
+  rs->InitializeGroups();
+
+  // Control upkeep run every pump: forward allocation changes the moment
+  // the coordinator's authoritative table moves (splits, recoveries), and
+  // collect phase reports.
+  uint64_t last_alloc_version = 0;
+  const auto broadcast_alloc = [&]() {
+    CtrlMsg update;
+    update.type = CtrlType::kAllocUpdate;
+    update.version = m.ctx->allocation.version();
+    update.entries = m.ctx->allocation.entries();
+    for (auto& [rank, conn] : members) conn.SendMsg(update);
+    last_alloc_version = update.version;
+  };
+  std::set<int> quiesced;
+  const auto service = [&]() {
+    if (m.ctx->allocation.version() != last_alloc_version) {
+      broadcast_alloc();
+    }
+    for (auto& [rank, conn] : members) {
+      conn.Flush();
+      while (std::optional<CtrlMsg> msg = conn.Poll()) {
+        if (msg->type == CtrlType::kQuiesced) {
+          quiesced.insert(rank);
+        } else if (msg->type == CtrlType::kPhaseDone) {
+          PhaseResult r;
+          r.ok = msg->ok;
+          r.ops = msg->ops;
+          r.failures = msg->failures;
+          r.elapsed_us = msg->elapsed_us;
+          r.p50_us = msg->p50_us;
+          r.p95_us = msg->p95_us;
+          r.p99_us = msg->p99_us;
+          results_[{msg->phase, rank}] = r;
+        } else if (msg->type == CtrlType::kGoodbye) {
+          goodbyes_.insert(rank);
+        }
+      }
+    }
+    return !stop_requested_.load();
+  };
+  broadcast_alloc();
+
+  // Data-plane barrier: every member drains its transport (all in-flight
+  // datagrams delivered or abandoned), then acks. Phase completion only
+  // proves the clients' replies arrived — parity deltas trail behind on
+  // their own datagrams, and a crash injected while one is still in
+  // flight orphans the update (the recovered column then misses it). The
+  // simulator injects crashes at protocol quiescence; this is the
+  // cluster-mode equivalent.
+  const auto quiesce_members = [&]() {
+    quiesced.clear();
+    CtrlMsg q;
+    q.type = CtrlType::kQuiesce;
+    for (auto& [rank, conn] : members) conn.SendMsg(q);
+    while (NowUs() < deadline && !stop_requested_.load()) {
+      runtime.Pump(2);
+      if (!service()) return false;
+      if (quiesced.size() == members.size() &&
+          runtime.TransportQuiescent()) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Let the group configuration settle before opening the workload.
+  PumpUntilQuiet(runtime, /*budget_ms=*/2000, /*quiet_iters=*/25, service);
+
+  const auto client_ranks = [&]() {
+    std::vector<int> ranks;
+    for (uint32_t c = 0; c < layout.client_ranks; ++c) {
+      ranks.push_back(1 + static_cast<int>(layout.server_ranks) +
+                      static_cast<int>(c));
+    }
+    return ranks;
+  }();
+  const auto run_phase = [&](uint32_t phase) {
+    CtrlMsg msg;
+    msg.type = CtrlType::kRunPhase;
+    msg.phase = phase;
+    for (int rank : client_ranks) members.at(rank).SendMsg(msg);
+    while (NowUs() < deadline && !stop_requested_.load()) {
+      runtime.Pump(2);
+      if (!service()) break;
+      bool all = true;
+      for (int rank : client_ranks) {
+        if (!results_.contains({phase, rank})) all = false;
+      }
+      if (all) return true;
+    }
+    return false;
+  };
+
+  bool ok = true;
+
+  // Phase 1: the mixed workload — inserts sized to overflow buckets, so
+  // at least one split runs over the real transport mid-phase.
+  LogVerbose(options_, who, "phase 1");
+  const BucketNo buckets_before = rs->state().bucket_count();
+  if (!run_phase(1)) ok = false;
+  const bool split_happened = rs->state().bucket_count() > buckets_before;
+  if (!split_happened) {
+    std::fprintf(stderr, "[coord] FAIL: no split during phase 1\n");
+    ok = false;
+  }
+
+  // The crash drill: kill the server slot of one data bucket everywhere,
+  // then run the coordinator's k-availability recovery over the wire.
+  bool recovered = false;
+  if (ok && options_.crash_bucket >= 0 && !quiesce_members()) {
+    std::fprintf(stderr, "[coord] FAIL: pre-crash quiesce barrier\n");
+    ok = false;
+  }
+  if (ok && options_.crash_bucket >= 0) {
+    const BucketNo victim_bucket =
+        static_cast<BucketNo>(options_.crash_bucket);
+    const NodeId victim = m.ctx->allocation.Lookup(victim_bucket);
+    LogVerbose(options_, who,
+               "crashing bucket " + std::to_string(victim_bucket) +
+                   " (node " + std::to_string(victim) + ")");
+    CtrlMsg crash;
+    crash.type = CtrlType::kSetAvailable;
+    crash.node = victim;
+    crash.up = false;
+    for (auto& [rank, conn] : members) conn.SendMsg(crash);
+    runtime.network().SetAvailable(victim, false);
+
+    const uint64_t recoveries_before = rs->recoveries_completed();
+    rs->NotifyUnavailable(victim);
+    while (NowUs() < deadline && !stop_requested_.load()) {
+      runtime.Pump(2);
+      if (!service()) break;
+      if (rs->recoveries_completed() > recoveries_before) {
+        recovered = true;
+        break;
+      }
+    }
+    if (!recovered) {
+      std::fprintf(stderr, "[coord] FAIL: recovery did not complete\n");
+      ok = false;
+    }
+    // Post-recovery barrier: the spare's install and the refreshed group
+    // configs must land everywhere before verification reads begin.
+    if (ok && !quiesce_members()) {
+      std::fprintf(stderr, "[coord] FAIL: post-recovery quiesce barrier\n");
+      ok = false;
+    }
+  }
+
+  // Phase 2: every surviving key must read back, including the recovered
+  // bucket's records.
+  if (ok) {
+    LogVerbose(options_, who, "phase 2");
+    if (!run_phase(2)) ok = false;
+  }
+  for (const auto& [key, result] : results_) {
+    if (!result.ok || result.failures != 0) ok = false;
+  }
+
+  // Stop everyone, wait for the goodbyes (members drain + write reports).
+  CtrlMsg stop;
+  stop.type = CtrlType::kStop;
+  for (auto& [rank, conn] : members) conn.SendMsg(stop);
+  const uint64_t bye_deadline = std::min(deadline, NowUs() + 5'000'000);
+  while (goodbyes_.size() < expected && NowUs() < bye_deadline) {
+    runtime.Pump(2);
+    service();
+  }
+
+  DrainRuntime(runtime, /*budget_ms=*/300);
+  if (!options_.report_path.empty()) {
+    telemetry::RunReport report("cluster_coordinator");
+    report.AddParam("transport", runtime.transport().name());
+    report.AddParam("server_ranks", static_cast<int64_t>(layout.server_ranks));
+    report.AddParam("client_ranks", static_cast<int64_t>(layout.client_ranks));
+    report.AddParam("group_size", static_cast<int64_t>(layout.group_size));
+    report.AddParam("base_k", static_cast<int64_t>(layout.base_k));
+    report.AddMetric("buckets_final",
+                     static_cast<uint64_t>(rs->state().bucket_count()));
+    report.AddMetric("split_happened", split_happened ? uint64_t{1} : 0);
+    report.AddMetric("recoveries_completed", rs->recoveries_completed());
+    report.AddMetric("columns_recovered", rs->columns_recovered());
+    report.AddMetric("degraded_reads_served", rs->degraded_reads_served());
+    for (const auto& [key, result] : results_) {
+      const std::string prefix = "phase" + std::to_string(key.first) +
+                                 ".rank" + std::to_string(key.second) + ".";
+      report.AddMetric(prefix + "ops", result.ops);
+      report.AddMetric(prefix + "failures", result.failures);
+      report.AddMetric(prefix + "elapsed_us", result.elapsed_us);
+      report.AddMetric(prefix + "p99_us", result.p99_us);
+    }
+    if (telemetry != nullptr) report.AddRegistry(telemetry->metrics());
+    report.AddParam("clean_shutdown", ok ? "true" : "false");
+    if (!report.WriteFile(options_.report_path)) ok = false;
+  }
+  LogVerbose(options_, who, ok ? "success" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace lhrs::transport

@@ -1,0 +1,321 @@
+#include "transport/cluster_proto.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "transport/wire.h"
+
+namespace lhrs::transport {
+
+namespace {
+
+constexpr uint32_t kCtrlMagic = 0x4C43544C;  // "LCTL"
+
+void PutEndpoint(WireWriter& w, const Endpoint& ep) {
+  w.U32(ep.ip);
+  w.U16(ep.udp_port);
+  w.U16(ep.tcp_port);
+}
+
+bool GetEndpoint(WireReader& r, Endpoint* ep) {
+  return r.U32(&ep->ip) && r.U16(&ep->udp_port) && r.U16(&ep->tcp_port);
+}
+
+void SetNonBlockingFd(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  LHRS_CHECK(flags >= 0);
+  LHRS_CHECK(fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+}  // namespace
+
+Bytes EncodeCtrl(const CtrlMsg& msg) {
+  WireWriter w;
+  w.U32(kCtrlMagic);
+  w.U32(static_cast<uint32_t>(msg.type));
+  switch (msg.type) {
+    case CtrlType::kHello:
+      w.U32(msg.rank);
+      PutEndpoint(w, msg.endpoint);
+      break;
+    case CtrlType::kWelcome:
+      w.U32(static_cast<uint32_t>(msg.endpoints.size()));
+      for (const Endpoint& ep : msg.endpoints) PutEndpoint(w, ep);
+      break;
+    case CtrlType::kReady:
+    case CtrlType::kStop:
+    case CtrlType::kGoodbye:
+    case CtrlType::kQuiesce:
+      break;
+    case CtrlType::kQuiesced:
+      w.U32(msg.rank);
+      break;
+    case CtrlType::kActivateNode:
+      w.I32(msg.node);
+      w.Bool(msg.is_parity);
+      w.Bool(msg.pre_initialized);
+      w.U32(msg.bucket);
+      w.U32(msg.level);
+      w.U32(msg.k);
+      break;
+    case CtrlType::kAllocUpdate:
+      w.U64(msg.version);
+      w.U32(static_cast<uint32_t>(msg.entries.size()));
+      for (NodeId id : msg.entries) w.I32(id);
+      break;
+    case CtrlType::kSetAvailable:
+      w.I32(msg.node);
+      w.Bool(msg.up);
+      break;
+    case CtrlType::kRunPhase:
+      w.U32(msg.phase);
+      break;
+    case CtrlType::kPhaseDone:
+      w.U32(msg.phase);
+      w.Bool(msg.ok);
+      w.U64(msg.ops);
+      w.U64(msg.failures);
+      w.U64(msg.elapsed_us);
+      w.U64(msg.p50_us);
+      w.U64(msg.p95_us);
+      w.U64(msg.p99_us);
+      break;
+  }
+  const Bytes payload = w.Flatten();
+  Bytes frame(4);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame[i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::optional<CtrlMsg> DecodeCtrl(const uint8_t* data, size_t size) {
+  WireReader r(BufferView(data, size));
+  uint32_t magic = 0;
+  uint32_t type = 0;
+  if (!r.U32(&magic) || magic != kCtrlMagic || !r.U32(&type)) {
+    return std::nullopt;
+  }
+  CtrlMsg msg;
+  msg.type = static_cast<CtrlType>(type);
+  switch (msg.type) {
+    case CtrlType::kHello:
+      r.U32(&msg.rank);
+      GetEndpoint(r, &msg.endpoint);
+      break;
+    case CtrlType::kWelcome: {
+      uint32_t n = 0;
+      if (!r.U32(&n) || n > 4096) return std::nullopt;
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        Endpoint ep;
+        if (GetEndpoint(r, &ep)) msg.endpoints.push_back(ep);
+      }
+      break;
+    }
+    case CtrlType::kReady:
+    case CtrlType::kStop:
+    case CtrlType::kGoodbye:
+    case CtrlType::kQuiesce:
+      break;
+    case CtrlType::kQuiesced:
+      r.U32(&msg.rank);
+      break;
+    case CtrlType::kActivateNode:
+      r.I32(&msg.node);
+      r.Bool(&msg.is_parity);
+      r.Bool(&msg.pre_initialized);
+      r.U32(&msg.bucket);
+      r.U32(&msg.level);
+      r.U32(&msg.k);
+      break;
+    case CtrlType::kAllocUpdate: {
+      uint32_t n = 0;
+      if (!r.U64(&msg.version) || !r.U32(&n) || n > (1u << 20)) {
+        return std::nullopt;
+      }
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        NodeId id = kInvalidNode;
+        if (r.I32(&id)) msg.entries.push_back(id);
+      }
+      break;
+    }
+    case CtrlType::kSetAvailable:
+      r.I32(&msg.node);
+      r.Bool(&msg.up);
+      break;
+    case CtrlType::kRunPhase:
+      r.U32(&msg.phase);
+      break;
+    case CtrlType::kPhaseDone:
+      r.U32(&msg.phase);
+      r.Bool(&msg.ok);
+      r.U64(&msg.ops);
+      r.U64(&msg.failures);
+      r.U64(&msg.elapsed_us);
+      r.U64(&msg.p50_us);
+      r.U64(&msg.p95_us);
+      r.U64(&msg.p99_us);
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!r.ok() || !r.AtEnd()) return std::nullopt;
+  return msg;
+}
+
+ControlConn::ControlConn(int fd) : fd_(fd) {
+  if (fd_ >= 0) SetNonBlockingFd(fd_);
+}
+
+ControlConn::~ControlConn() { Close(); }
+
+ControlConn::ControlConn(ControlConn&& other) noexcept
+    : fd_(other.fd_),
+      closed_(other.closed_),
+      in_(std::move(other.in_)),
+      out_(std::move(other.out_)),
+      out_offset_(other.out_offset_) {
+  other.fd_ = -1;
+}
+
+ControlConn& ControlConn::operator=(ControlConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    closed_ = other.closed_;
+    in_ = std::move(other.in_);
+    out_ = std::move(other.out_);
+    out_offset_ = other.out_offset_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status ControlConn::Connect(uint16_t port, ControlConn* out) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("control socket failed");
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  // Blocking connect: the listener is opened before members launch, so a
+  // refused connection means a genuinely missing coordinator.
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Status::Unavailable("control connect failed: " +
+                               std::string(strerror(errno)));
+  }
+  *out = ControlConn(fd);
+  return Status::OK();
+}
+
+void ControlConn::SendMsg(const CtrlMsg& msg) {
+  if (fd_ < 0) return;
+  out_.push_back(EncodeCtrl(msg));
+  Flush();
+}
+
+void ControlConn::Flush() {
+  while (fd_ >= 0 && !out_.empty()) {
+    Bytes& front = out_.front();
+    const ssize_t n =
+        write(fd_, front.data() + out_offset_, front.size() - out_offset_);
+    if (n <= 0) {
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+          errno != EINTR) {
+        closed_ = true;
+      }
+      return;
+    }
+    out_offset_ += static_cast<size_t>(n);
+    if (out_offset_ == front.size()) {
+      out_.pop_front();
+      out_offset_ = 0;
+    }
+  }
+}
+
+std::optional<CtrlMsg> ControlConn::Poll() {
+  if (fd_ < 0) return std::nullopt;
+  Flush();
+  uint8_t buf[16384];
+  for (;;) {
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      closed_ = true;
+      break;
+    }
+    if (n < 0) break;
+    in_.insert(in_.end(), buf, buf + n);
+  }
+  if (in_.size() < 4) return std::nullopt;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(in_[i]) << (8 * i);
+  if (len > (16u << 20)) {  // Corrupted stream.
+    closed_ = true;
+    return std::nullopt;
+  }
+  if (in_.size() < 4 + len) return std::nullopt;
+  std::optional<CtrlMsg> msg = DecodeCtrl(in_.data() + 4, len);
+  in_.erase(in_.begin(), in_.begin() + 4 + len);
+  if (!msg.has_value()) closed_ = true;
+  return msg;
+}
+
+void ControlConn::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+}
+
+ControlListener::~ControlListener() { Close(); }
+
+Status ControlListener::Open(uint16_t port) {
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Internal("control listener socket failed");
+  SetNonBlockingFd(fd_);
+  const int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::Internal("control listener bind failed");
+  }
+  if (listen(fd_, 64) != 0) {
+    return Status::Internal("control listener listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+std::optional<ControlConn> ControlListener::Accept() {
+  if (fd_ < 0) return std::nullopt;
+  const int fd = accept(fd_, nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return ControlConn(fd);
+}
+
+void ControlListener::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace lhrs::transport

@@ -1,0 +1,74 @@
+#ifndef LHRS_TRANSPORT_TRANSPORT_H_
+#define LHRS_TRANSPORT_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "net/message.h"
+#include "net/network.h"
+
+namespace lhrs::transport {
+
+/// Delivery backend of one node-to-node message stream.
+///
+/// Two implementations exist:
+///  - `SimTransport` — the discrete-event simulator unchanged: messages go
+///    through `Network::Send`, time is simulated, replays are
+///    byte-identical from a seed (the chaos oracle).
+///  - `SocketTransport` — real loopback/LAN sockets: UDP for
+///    request/reply/parity-delta traffic, TCP for recovery bulk transfer,
+///    wall-clock time, genuine loss and duplication absorbed by the
+///    protocol hardening from the chaos PR.
+///
+/// The interface is intentionally small: protocol code never talks to a
+/// Transport directly (it talks to its Network); transports sit *under*
+/// networks — SimTransport is the identity, SocketTransport is driven by
+/// the ClusterRuntime's RemoteRouter hook.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues one message for delivery. Ownership of the body transfers.
+  virtual void Send(NodeId from, NodeId to,
+                    std::unique_ptr<MessageBody> body) = 0;
+
+  /// Makes progress: polls sockets / steps the simulator. Returns the
+  /// number of messages delivered to local nodes during the call.
+  virtual size_t Pump(int timeout_ms) = 0;
+
+  /// True when nothing is in flight (no pending acks, empty queues).
+  virtual bool Quiescent() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// The simulator as a Transport: Send enqueues on the wrapped Network,
+/// Pump steps it. Used by transport-agnostic drivers (bench_f9's
+/// `--transport=sim` path) and as the conformance baseline in the
+/// transport tests.
+class SimTransport : public Transport {
+ public:
+  explicit SimTransport(Network* network) : network_(network) {}
+
+  void Send(NodeId from, NodeId to,
+            std::unique_ptr<MessageBody> body) override {
+    network_->Send(from, to, std::move(body));
+  }
+
+  size_t Pump(int /*timeout_ms*/) override {
+    size_t steps = 0;
+    while (network_->Step()) ++steps;
+    return steps;
+  }
+
+  bool Quiescent() const override { return true; }
+
+  const char* name() const override { return "sim"; }
+
+ private:
+  Network* network_;
+};
+
+}  // namespace lhrs::transport
+
+#endif  // LHRS_TRANSPORT_TRANSPORT_H_

@@ -1,0 +1,508 @@
+// Wire codecs of the three baseline schemes: LH*g (range [300, 400)),
+// LH*m ([400, 500)) and LH*s ([500, 600)). The composite LH*m / LH*s
+// facades remain simulator-only deployments, but their messages get full
+// codecs so the wire format covers every registered kind and the composite
+// schemes could be distributed later without protocol changes.
+
+#include <memory>
+#include <utility>
+
+#include "baselines/lhg/lhg_messages.h"
+#include "baselines/lhm/lhm_file.h"
+#include "baselines/lhs/lhs_file.h"
+#include "transport/wire.h"
+#include "transport/wire_internal.h"
+
+namespace lhrs::transport {
+namespace {
+
+#define RD(expr)                 \
+  do {                           \
+    if (!(expr)) return nullptr; \
+  } while (0)
+
+// --- LH*g -------------------------------------------------------------------
+
+// SerializedParityRecord: 12 + payload.
+void PutSerializedParityRecord(const lhg::SerializedParityRecord& rec,
+                               WireWriter& w) {
+  w.U64(rec.gkey);
+  w.View(rec.data);
+}
+
+bool GetSerializedParityRecord(WireReader& r,
+                               lhg::SerializedParityRecord* rec) {
+  return r.U64(&rec->gkey) && r.View(&rec->data);
+}
+
+constexpr size_t kSerializedParityRecordMinSize = 12;
+
+// TaggedRecord: 20 + payload.
+void PutTaggedRecord(const lhg::TaggedRecord& rec, WireWriter& w) {
+  w.U64(rec.gkey);
+  w.U64(rec.key);
+  w.View(rec.value);
+}
+
+bool GetTaggedRecord(WireReader& r, lhg::TaggedRecord* rec) {
+  return r.U64(&rec->gkey) && r.U64(&rec->key) && r.View(&rec->value);
+}
+
+constexpr size_t kTaggedRecordMinSize = 20;
+
+bool SerParityUpdate(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhg::ParityUpdateMsg>(body);
+  w.U64(m.gkey);
+  w.U8(static_cast<uint8_t>(m.op));
+  w.Pad(3);
+  w.U64(m.member);
+  w.U32(m.new_length);
+  w.I32(m.reply_to);
+  w.U32(m.intended_bucket);
+  w.I32(m.hops);
+  w.View(m.delta);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeParityUpdate(WireReader& r) {
+  auto m = std::make_unique<lhg::ParityUpdateMsg>();
+  RD(r.U64(&m->gkey));
+  uint8_t op;
+  RD(r.U8(&op) && op <= 2);
+  m->op = static_cast<lhg::ParityUpdateMsg::Op>(op);
+  RD(r.Skip(3));
+  RD(r.U64(&m->member));
+  RD(r.U32(&m->new_length));
+  RD(r.I32(&m->reply_to));
+  RD(r.U32(&m->intended_bucket));
+  int32_t hops;
+  RD(r.I32(&hops));
+  m->hops = hops;
+  RD(r.View(&m->delta));
+  return m;
+}
+
+bool SerParityIam(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhg::ParityIamMsg>(body);
+  w.U32(m.bucket);
+  w.U32(m.level);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeParityIam(WireReader& r) {
+  auto m = std::make_unique<lhg::ParityIamMsg>();
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->level));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerCollectForData(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhg::CollectForDataMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.bucket);
+  w.U32(m.file_level);
+  w.U32(m.group_size);
+  w.U32(m.initial_buckets);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeCollectForData(WireReader& r) {
+  auto m = std::make_unique<lhg::CollectForDataMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->file_level));
+  RD(r.U32(&m->group_size));
+  RD(r.U32(&m->initial_buckets));
+  return m;
+}
+
+bool SerCollectForDataReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhg::CollectForDataReplyMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.from_bucket);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  for (const lhg::SerializedParityRecord& rec : m.records) {
+    PutSerializedParityRecord(rec, w);
+  }
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeCollectForDataReply(WireReader& r) {
+  auto m = std::make_unique<lhg::CollectForDataReplyMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->from_bucket));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(PlausibleCount(r, count, kSerializedParityRecordMinSize));
+  m->records.resize(count);
+  for (lhg::SerializedParityRecord& rec : m->records) {
+    RD(GetSerializedParityRecord(r, &rec));
+  }
+  return m;
+}
+
+bool SerCollectForParity(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhg::CollectForParityMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.parity_bucket);
+  w.U32(m.also_bucket);
+  w.U32(m.i2);
+  w.U32(m.n2);
+  w.U32(m.f2_initial_buckets);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeCollectForParity(WireReader& r) {
+  auto m = std::make_unique<lhg::CollectForParityMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->parity_bucket));
+  RD(r.U32(&m->also_bucket));
+  RD(r.U32(&m->i2));
+  RD(r.U32(&m->n2));
+  RD(r.U32(&m->f2_initial_buckets));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerCollectForParityReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhg::CollectForParityReplyMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.from_bucket);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  for (const lhg::TaggedRecord& rec : m.records) PutTaggedRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeCollectForParityReply(WireReader& r) {
+  auto m = std::make_unique<lhg::CollectForParityReplyMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->from_bucket));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(PlausibleCount(r, count, kTaggedRecordMinSize));
+  m->records.resize(count);
+  for (lhg::TaggedRecord& rec : m->records) RD(GetTaggedRecord(r, &rec));
+  return m;
+}
+
+bool SerInstallParity(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhg::InstallParityMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.bucket);
+  w.U32(m.level);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  w.Pad(4);
+  for (const lhg::SerializedParityRecord& rec : m.records) {
+    PutSerializedParityRecord(rec, w);
+  }
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeInstallParity(WireReader& r) {
+  auto m = std::make_unique<lhg::InstallParityMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->level));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(r.Skip(4));
+  RD(PlausibleCount(r, count, kSerializedParityRecordMinSize));
+  m->records.resize(count);
+  for (lhg::SerializedParityRecord& rec : m->records) {
+    RD(GetSerializedParityRecord(r, &rec));
+  }
+  return m;
+}
+
+bool SerInstallData(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhg::InstallDataMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.bucket);
+  w.U32(m.level);
+  w.U32(m.counter);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  w.Pad(4);
+  for (const lhg::TaggedRecord& rec : m.records) PutTaggedRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeInstallData(WireReader& r) {
+  auto m = std::make_unique<lhg::InstallDataMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->level));
+  RD(r.U32(&m->counter));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(r.Skip(4));
+  RD(PlausibleCount(r, count, kTaggedRecordMinSize));
+  m->records.resize(count);
+  for (lhg::TaggedRecord& rec : m->records) RD(GetTaggedRecord(r, &rec));
+  return m;
+}
+
+bool SerInstallAck(const MessageBody& body, WireWriter& w) {
+  w.U64(BodyAs<lhg::InstallAckMsg>(body).task_id);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeInstallAck(WireReader& r) {
+  auto m = std::make_unique<lhg::InstallAckMsg>();
+  RD(r.U64(&m->task_id));
+  return m;
+}
+
+bool SerFindParity(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhg::FindParityMsg>(body);
+  w.U64(m.task_id);
+  w.U64(m.key);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeFindParity(WireReader& r) {
+  auto m = std::make_unique<lhg::FindParityMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U64(&m->key));
+  return m;
+}
+
+bool SerFindParityReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhg::FindParityReplyMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.from_bucket);
+  w.Bool(m.found);
+  w.Pad(3);
+  w.U64(m.gkey);
+  w.View(m.record);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeFindParityReply(WireReader& r) {
+  auto m = std::make_unique<lhg::FindParityReplyMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->from_bucket));
+  RD(r.Bool(&m->found));
+  RD(r.Skip(3));
+  RD(r.U64(&m->gkey));
+  RD(r.View(&m->record));
+  return m;
+}
+
+// --- LH*m -------------------------------------------------------------------
+
+bool SerMirrorRead(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhm::MirrorReadMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.bucket);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeMirrorRead(WireReader& r) {
+  auto m = std::make_unique<lhm::MirrorReadMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->bucket));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerMirrorReadReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhm::MirrorReadReplyMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.level);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  for (const WireRecord& rec : m.records) PutWireRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeMirrorReadReply(WireReader& r) {
+  auto m = std::make_unique<lhm::MirrorReadReplyMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->level));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(PlausibleCount(r, count, kWireRecordMinSize));
+  m->records.resize(count);
+  for (WireRecord& rec : m->records) RD(GetWireRecord(r, &rec));
+  return m;
+}
+
+bool SerMirrorInstall(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhm::MirrorInstallMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.bucket);
+  w.U32(m.level);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  w.Pad(4);
+  for (const WireRecord& rec : m.records) PutWireRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeMirrorInstall(WireReader& r) {
+  auto m = std::make_unique<lhm::MirrorInstallMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->level));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(r.Skip(4));
+  RD(PlausibleCount(r, count, kWireRecordMinSize));
+  m->records.resize(count);
+  for (WireRecord& rec : m->records) RD(GetWireRecord(r, &rec));
+  return m;
+}
+
+bool SerMirrorAck(const MessageBody& body, WireWriter& w) {
+  w.U64(BodyAs<lhm::MirrorAckMsg>(body).task_id);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeMirrorAck(WireReader& r) {
+  auto m = std::make_unique<lhm::MirrorAckMsg>();
+  RD(r.U64(&m->task_id));
+  return m;
+}
+
+// --- LH*s -------------------------------------------------------------------
+
+bool SerStripeRead(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhs::StripeReadMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.bucket);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeStripeRead(WireReader& r) {
+  auto m = std::make_unique<lhs::StripeReadMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->bucket));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerStripeReadReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhs::StripeReadReplyMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.file_index);
+  w.U32(m.level);
+  w.Bool(m.failed);
+  w.Pad(3);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  for (const WireRecord& rec : m.records) PutWireRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeStripeReadReply(WireReader& r) {
+  auto m = std::make_unique<lhs::StripeReadReplyMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->file_index));
+  RD(r.U32(&m->level));
+  RD(r.Bool(&m->failed));
+  RD(r.Skip(3));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(PlausibleCount(r, count, kWireRecordMinSize));
+  m->records.resize(count);
+  for (WireRecord& rec : m->records) RD(GetWireRecord(r, &rec));
+  return m;
+}
+
+bool SerStripeInstall(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<lhs::StripeInstallMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.bucket);
+  w.U32(m.level);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  w.Pad(4);
+  for (const WireRecord& rec : m.records) PutWireRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeStripeInstall(WireReader& r) {
+  auto m = std::make_unique<lhs::StripeInstallMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->level));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(r.Skip(4));
+  RD(PlausibleCount(r, count, kWireRecordMinSize));
+  m->records.resize(count);
+  for (WireRecord& rec : m->records) RD(GetWireRecord(r, &rec));
+  return m;
+}
+
+bool SerStripeAck(const MessageBody& body, WireWriter& w) {
+  w.U64(BodyAs<lhs::StripeAckMsg>(body).task_id);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeStripeAck(WireReader& r) {
+  auto m = std::make_unique<lhs::StripeAckMsg>();
+  RD(r.U64(&m->task_id));
+  return m;
+}
+
+#undef RD
+
+}  // namespace
+
+void RegisterBaselinesWire() {
+  static const bool once = [] {
+    RegisterWireCodec(lhg::LhgMsg::kParityUpdate,
+                      {"ParityUpdate", SerParityUpdate, DeParityUpdate});
+    RegisterWireCodec(lhg::LhgMsg::kParityIam,
+                      {"ParityIam", SerParityIam, DeParityIam});
+    RegisterWireCodec(
+        lhg::LhgMsg::kCollectForData,
+        {"CollectForData", SerCollectForData, DeCollectForData});
+    RegisterWireCodec(lhg::LhgMsg::kCollectForDataReply,
+                      {"CollectForDataReply", SerCollectForDataReply,
+                       DeCollectForDataReply});
+    RegisterWireCodec(
+        lhg::LhgMsg::kCollectForParity,
+        {"CollectForParity", SerCollectForParity, DeCollectForParity});
+    RegisterWireCodec(lhg::LhgMsg::kCollectForParityReply,
+                      {"CollectForParityReply", SerCollectForParityReply,
+                       DeCollectForParityReply});
+    RegisterWireCodec(lhg::LhgMsg::kInstallParity,
+                      {"InstallParity", SerInstallParity, DeInstallParity});
+    RegisterWireCodec(lhg::LhgMsg::kInstallData,
+                      {"InstallData", SerInstallData, DeInstallData});
+    RegisterWireCodec(lhg::LhgMsg::kInstallAck,
+                      {"InstallAck", SerInstallAck, DeInstallAck});
+    RegisterWireCodec(lhg::LhgMsg::kFindParity,
+                      {"FindParity", SerFindParity, DeFindParity});
+    RegisterWireCodec(
+        lhg::LhgMsg::kFindParityReply,
+        {"FindParityReply", SerFindParityReply, DeFindParityReply});
+
+    RegisterWireCodec(lhm::LhmMsg::kMirrorRead,
+                      {"MirrorRead", SerMirrorRead, DeMirrorRead});
+    RegisterWireCodec(
+        lhm::LhmMsg::kMirrorReadReply,
+        {"MirrorReadReply", SerMirrorReadReply, DeMirrorReadReply});
+    RegisterWireCodec(lhm::LhmMsg::kMirrorInstall,
+                      {"MirrorInstall", SerMirrorInstall, DeMirrorInstall});
+    RegisterWireCodec(lhm::LhmMsg::kMirrorAck,
+                      {"MirrorAck", SerMirrorAck, DeMirrorAck});
+
+    RegisterWireCodec(lhs::LhsMsg::kStripeRead,
+                      {"StripeRead", SerStripeRead, DeStripeRead});
+    RegisterWireCodec(
+        lhs::LhsMsg::kStripeReadReply,
+        {"StripeReadReply", SerStripeReadReply, DeStripeReadReply});
+    RegisterWireCodec(lhs::LhsMsg::kStripeInstall,
+                      {"StripeInstall", SerStripeInstall, DeStripeInstall});
+    RegisterWireCodec(lhs::LhsMsg::kStripeAck,
+                      {"StripeAck", SerStripeAck, DeStripeAck});
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace lhrs::transport

@@ -1,0 +1,44 @@
+#ifndef LHRS_TRANSPORT_WIRE_INTERNAL_H_
+#define LHRS_TRANSPORT_WIRE_INTERNAL_H_
+
+#include <memory>
+
+#include "lhstar/messages.h"
+#include "transport/wire.h"
+
+// Shared helpers of the per-layer codec translation units. Every decoder
+// follows the same discipline: bounds-checked reads, enum range checks,
+// vector counts validated against the bytes actually remaining (a
+// corrupted count must not trigger a giant allocation), and nullptr on the
+// first inconsistency.
+
+namespace lhrs::transport {
+
+template <typename T>
+const T& BodyAs(const MessageBody& body) {
+  return static_cast<const T&>(body);
+}
+
+/// True when `count` elements of at least `min_elem_size` bytes each could
+/// still follow in `r` — the pre-allocation sanity check for vectors.
+inline bool PlausibleCount(const WireReader& r, uint32_t count,
+                           size_t min_elem_size) {
+  return min_elem_size == 0 || count <= r.remaining() / min_elem_size;
+}
+
+/// WireRecord: key + tag + length-prefixed payload (20 + n bytes).
+inline void PutWireRecord(const WireRecord& rec, WireWriter& w) {
+  w.U64(rec.key);
+  w.U64(rec.tag);
+  w.View(rec.value);
+}
+
+inline bool GetWireRecord(WireReader& r, WireRecord* rec) {
+  return r.U64(&rec->key) && r.U64(&rec->tag) && r.View(&rec->value);
+}
+
+constexpr size_t kWireRecordMinSize = 20;
+
+}  // namespace lhrs::transport
+
+#endif  // LHRS_TRANSPORT_WIRE_INTERNAL_H_

@@ -1,0 +1,454 @@
+// Wire codecs of the LH*RS parity / recovery layer (kind range [200, 300)).
+//
+// `attempt` fields are transport metadata (retransmission counters) and do
+// not travel: a real stack carries them in its transport header, and the
+// declared ByteSize() values exclude them for the same reason.
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "lhrs/messages.h"
+#include "transport/wire.h"
+#include "transport/wire_internal.h"
+
+namespace lhrs::transport {
+namespace {
+
+#define RD(expr)                 \
+  do {                           \
+    if (!(expr)) return nullptr; \
+  } while (0)
+
+// ParityDelta: 28 + delta payload.
+void PutParityDelta(const ParityDelta& d, WireWriter& w) {
+  w.U32(d.rank);
+  w.U32(d.slot);
+  w.U8(static_cast<uint8_t>(d.key_op));
+  w.Pad(3);
+  w.U64(d.key);
+  w.U32(d.new_length);
+  w.View(d.delta);
+}
+
+bool GetParityDelta(WireReader& r, ParityDelta* d) {
+  if (!r.U32(&d->rank) || !r.U32(&d->slot)) return false;
+  uint8_t key_op;
+  if (!r.U8(&key_op) || key_op > 2) return false;
+  d->key_op = static_cast<ParityDelta::KeyOp>(key_op);
+  return r.Skip(3) && r.U64(&d->key) && r.U32(&d->new_length) &&
+         r.View(&d->delta);
+}
+
+constexpr size_t kParityDeltaMinSize = 28;
+
+// RankedRecord: 16 + value payload.
+void PutRankedRecord(const RankedRecord& rec, WireWriter& w) {
+  w.U32(rec.rank);
+  w.U64(rec.key);
+  w.View(rec.value);
+}
+
+bool GetRankedRecord(WireReader& r, RankedRecord* rec) {
+  return r.U32(&rec->rank) && r.U64(&rec->key) && r.View(&rec->value);
+}
+
+constexpr size_t kRankedRecordMinSize = 16;
+
+// WireParityRecord: 12 + 13 per slot + parity payload.
+void PutWireParityRecord(const WireParityRecord& rec, WireWriter& w) {
+  LHRS_CHECK_EQ(rec.keys.size(), rec.lengths.size());
+  w.U32(rec.rank);
+  w.U32(static_cast<uint32_t>(rec.keys.size()));
+  for (size_t i = 0; i < rec.keys.size(); ++i) {
+    w.Bool(rec.keys[i].has_value());
+    w.U64(rec.keys[i].value_or(0));
+    w.U32(rec.lengths[i]);
+  }
+  w.View(rec.parity);
+}
+
+bool GetWireParityRecord(WireReader& r, WireParityRecord* rec) {
+  uint32_t slots;
+  if (!r.U32(&rec->rank) || !r.U32(&slots)) return false;
+  if (!PlausibleCount(r, slots, 13)) return false;
+  rec->keys.resize(slots);
+  rec->lengths.resize(slots);
+  for (uint32_t i = 0; i < slots; ++i) {
+    bool has;
+    uint64_t key;
+    if (!r.Bool(&has) || !r.U64(&key) || !r.U32(&rec->lengths[i])) {
+      return false;
+    }
+    if (has) rec->keys[i] = key;
+  }
+  return r.View(&rec->parity);
+}
+
+constexpr size_t kWireParityRecordMinSize = 12;
+
+bool SerParityDelta(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<ParityDeltaMsg>(body);
+  w.U32(m.group);
+  w.Pad(4);
+  PutParityDelta(m.delta, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeParityDelta(WireReader& r) {
+  auto m = std::make_unique<ParityDeltaMsg>();
+  RD(r.U32(&m->group));
+  RD(r.Skip(4));
+  RD(GetParityDelta(r, &m->delta));
+  return m;
+}
+
+bool SerParityDeltaBatch(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<ParityDeltaBatchMsg>(body);
+  w.U32(m.group);
+  w.U32(static_cast<uint32_t>(m.deltas.size()));
+  w.Pad(4);
+  for (const ParityDelta& d : m.deltas) PutParityDelta(d, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeParityDeltaBatch(WireReader& r) {
+  auto m = std::make_unique<ParityDeltaBatchMsg>();
+  RD(r.U32(&m->group));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(r.Skip(4));
+  RD(PlausibleCount(r, count, kParityDeltaMinSize));
+  m->deltas.resize(count);
+  for (ParityDelta& d : m->deltas) RD(GetParityDelta(r, &d));
+  return m;
+}
+
+bool SerGroupConfig(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<GroupConfigMsg>(body);
+  w.U32(m.group);
+  w.U32(m.k);
+  w.U32(static_cast<uint32_t>(m.parity_nodes.size()));
+  w.Pad(4);
+  for (NodeId node : m.parity_nodes) w.I32(node);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeGroupConfig(WireReader& r) {
+  auto m = std::make_unique<GroupConfigMsg>();
+  RD(r.U32(&m->group));
+  RD(r.U32(&m->k));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(r.Skip(4));
+  RD(PlausibleCount(r, count, 4));
+  m->parity_nodes.resize(count);
+  for (NodeId& node : m->parity_nodes) RD(r.I32(&node));
+  return m;
+}
+
+bool SerColumnReadRequest(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<ColumnReadRequestMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.group);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeColumnReadRequest(WireReader& r) {
+  auto m = std::make_unique<ColumnReadRequestMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->group));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerColumnReadReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<ColumnReadReplyMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.column);
+  w.U32(m.level);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  w.U32(static_cast<uint32_t>(m.parity_records.size()));
+  for (const RankedRecord& rec : m.records) PutRankedRecord(rec, w);
+  for (const WireParityRecord& rec : m.parity_records) {
+    PutWireParityRecord(rec, w);
+  }
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeColumnReadReply(WireReader& r) {
+  auto m = std::make_unique<ColumnReadReplyMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->column));
+  RD(r.U32(&m->level));
+  uint32_t records, parity_records;
+  RD(r.U32(&records));
+  RD(r.U32(&parity_records));
+  RD(PlausibleCount(r, records, kRankedRecordMinSize));
+  m->records.resize(records);
+  for (RankedRecord& rec : m->records) RD(GetRankedRecord(r, &rec));
+  RD(PlausibleCount(r, parity_records, kWireParityRecordMinSize));
+  m->parity_records.resize(parity_records);
+  for (WireParityRecord& rec : m->parity_records) {
+    RD(GetWireParityRecord(r, &rec));
+  }
+  return m;
+}
+
+bool SerInstallDataColumn(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<InstallDataColumnMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.bucket);
+  w.U32(m.level);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  w.Pad(4);
+  for (const RankedRecord& rec : m.records) PutRankedRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeInstallDataColumn(WireReader& r) {
+  auto m = std::make_unique<InstallDataColumnMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->level));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(r.Skip(4));
+  RD(PlausibleCount(r, count, kRankedRecordMinSize));
+  m->records.resize(count);
+  for (RankedRecord& rec : m->records) RD(GetRankedRecord(r, &rec));
+  return m;
+}
+
+bool SerInstallParityColumn(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<InstallParityColumnMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.group);
+  w.U32(m.parity_index);
+  w.U32(static_cast<uint32_t>(m.parity_records.size()));
+  w.Pad(4);
+  for (const WireParityRecord& rec : m.parity_records) {
+    PutWireParityRecord(rec, w);
+  }
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeInstallParityColumn(WireReader& r) {
+  auto m = std::make_unique<InstallParityColumnMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->group));
+  RD(r.U32(&m->parity_index));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(r.Skip(4));
+  RD(PlausibleCount(r, count, kWireParityRecordMinSize));
+  m->parity_records.resize(count);
+  for (WireParityRecord& rec : m->parity_records) {
+    RD(GetWireParityRecord(r, &rec));
+  }
+  return m;
+}
+
+bool SerInstallDone(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<InstallDoneMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.column);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeInstallDone(WireReader& r) {
+  auto m = std::make_unique<InstallDoneMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->column));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerFindRankRequest(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<FindRankRequestMsg>(body);
+  w.U64(m.task_id);
+  w.U64(m.key);
+  w.U32(m.slot);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeFindRankRequest(WireReader& r) {
+  auto m = std::make_unique<FindRankRequestMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U64(&m->key));
+  RD(r.U32(&m->slot));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerFindRankReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<FindRankReplyMsg>(body);
+  w.U64(m.task_id);
+  w.Bool(m.found);
+  w.Pad(3);
+  w.U32(m.parity_index);
+  PutWireParityRecord(m.record, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeFindRankReply(WireReader& r) {
+  auto m = std::make_unique<FindRankReplyMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.Bool(&m->found));
+  RD(r.Skip(3));
+  RD(r.U32(&m->parity_index));
+  RD(GetWireParityRecord(r, &m->record));
+  return m;
+}
+
+bool SerRecordReadRequest(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<RecordReadRequestMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.rank);
+  w.U32(m.column);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeRecordReadRequest(WireReader& r) {
+  auto m = std::make_unique<RecordReadRequestMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->rank));
+  RD(r.U32(&m->column));
+  return m;
+}
+
+bool SerRecordReadReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<RecordReadReplyMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.column);
+  w.Bool(m.found);
+  w.Pad(11);
+  PutRankedRecord(m.record, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeRecordReadReply(WireReader& r) {
+  auto m = std::make_unique<RecordReadReplyMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->column));
+  RD(r.Bool(&m->found));
+  RD(r.Skip(11));
+  RD(GetRankedRecord(r, &m->record));
+  return m;
+}
+
+bool SerParityRecordRequest(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<ParityRecordRequestMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.rank);
+  w.U32(m.column);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeParityRecordRequest(WireReader& r) {
+  auto m = std::make_unique<ParityRecordRequestMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->rank));
+  RD(r.U32(&m->column));
+  return m;
+}
+
+bool SerParityRecordReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<ParityRecordReplyMsg>(body);
+  w.U64(m.task_id);
+  w.U32(m.column);
+  w.Bool(m.found);
+  w.Pad(11);
+  PutWireParityRecord(m.record, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeParityRecordReply(WireReader& r) {
+  auto m = std::make_unique<ParityRecordReplyMsg>();
+  RD(r.U64(&m->task_id));
+  RD(r.U32(&m->column));
+  RD(r.Bool(&m->found));
+  RD(r.Skip(11));
+  RD(GetWireParityRecord(r, &m->record));
+  return m;
+}
+
+bool SerPingRequest(const MessageBody& body, WireWriter& w) {
+  w.U64(BodyAs<PingRequestMsg>(body).probe_id);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DePingRequest(WireReader& r) {
+  auto m = std::make_unique<PingRequestMsg>();
+  RD(r.U64(&m->probe_id));
+  return m;
+}
+
+bool SerPongReply(const MessageBody& body, WireWriter& w) {
+  w.U64(BodyAs<PongReplyMsg>(body).probe_id);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DePongReply(WireReader& r) {
+  auto m = std::make_unique<PongReplyMsg>();
+  RD(r.U64(&m->probe_id));
+  return m;
+}
+
+#undef RD
+
+}  // namespace
+
+void RegisterLhrsWire() {
+  static const bool once = [] {
+    RegisterWireCodec(LhrsMsg::kParityDelta,
+                      {"ParityDelta", SerParityDelta, DeParityDelta});
+    RegisterWireCodec(
+        LhrsMsg::kParityDeltaBatch,
+        {"ParityDeltaBatch", SerParityDeltaBatch, DeParityDeltaBatch});
+    RegisterWireCodec(LhrsMsg::kGroupConfig,
+                      {"GroupConfig", SerGroupConfig, DeGroupConfig});
+    RegisterWireCodec(
+        LhrsMsg::kColumnReadRequest,
+        {"ColumnReadRequest", SerColumnReadRequest, DeColumnReadRequest});
+    RegisterWireCodec(
+        LhrsMsg::kColumnReadReply,
+        {"ColumnReadReply", SerColumnReadReply, DeColumnReadReply});
+    RegisterWireCodec(
+        LhrsMsg::kInstallDataColumn,
+        {"InstallDataColumn", SerInstallDataColumn, DeInstallDataColumn});
+    RegisterWireCodec(LhrsMsg::kInstallParityColumn,
+                      {"InstallParityColumn", SerInstallParityColumn,
+                       DeInstallParityColumn});
+    RegisterWireCodec(LhrsMsg::kInstallDone,
+                      {"InstallDone", SerInstallDone, DeInstallDone});
+    RegisterWireCodec(
+        LhrsMsg::kFindRankRequest,
+        {"FindRankRequest", SerFindRankRequest, DeFindRankRequest});
+    RegisterWireCodec(LhrsMsg::kFindRankReply,
+                      {"FindRankReply", SerFindRankReply, DeFindRankReply});
+    RegisterWireCodec(
+        LhrsMsg::kRecordReadRequest,
+        {"RecordReadRequest", SerRecordReadRequest, DeRecordReadRequest});
+    RegisterWireCodec(
+        LhrsMsg::kRecordReadReply,
+        {"RecordReadReply", SerRecordReadReply, DeRecordReadReply});
+    RegisterWireCodec(LhrsMsg::kParityRecordRequest,
+                      {"ParityRecordRequest", SerParityRecordRequest,
+                       DeParityRecordRequest});
+    RegisterWireCodec(
+        LhrsMsg::kParityRecordReply,
+        {"ParityRecordReply", SerParityRecordReply, DeParityRecordReply});
+    RegisterWireCodec(LhrsMsg::kPingRequest,
+                      {"PingRequest", SerPingRequest, DePingRequest});
+    RegisterWireCodec(LhrsMsg::kPongReply,
+                      {"PongReply", SerPongReply, DePongReply});
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace lhrs::transport

@@ -1,0 +1,521 @@
+// Wire codecs of the LH* substrate (kind range [100, 200)).
+//
+// Field layouts mirror each message's declared ByteSize() exactly; the
+// wire tests assert serialized length == ByteSize() for every kind, so a
+// drift in either place fails loudly.
+
+#include <memory>
+#include <utility>
+
+#include "lhstar/messages.h"
+#include "transport/wire.h"
+#include "transport/wire_internal.h"
+
+namespace lhrs::transport {
+namespace {
+
+// Aborts the decoder on the first failed read.
+#define RD(expr)                 \
+  do {                           \
+    if (!(expr)) return nullptr; \
+  } while (0)
+
+bool SerOpRequest(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<OpRequestMsg>(body);
+  w.U8(static_cast<uint8_t>(m.op));
+  w.Pad(3);
+  w.U64(m.op_id);
+  w.I32(m.client);
+  w.U32(m.intended_bucket);
+  w.U64(m.key);
+  w.I32(m.hops);
+  w.View(m.value);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeOpRequest(WireReader& r) {
+  auto m = std::make_unique<OpRequestMsg>();
+  uint8_t op;
+  RD(r.U8(&op) && op <= 3);
+  m->op = static_cast<OpType>(op);
+  RD(r.Skip(3));
+  RD(r.U64(&m->op_id));
+  RD(r.I32(&m->client));
+  RD(r.U32(&m->intended_bucket));
+  RD(r.U64(&m->key));
+  int32_t hops;
+  RD(r.I32(&hops));
+  m->hops = hops;
+  RD(r.View(&m->value));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerOpReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<OpReplyMsg>(body);
+  w.U64(m.op_id);
+  w.U8(static_cast<uint8_t>(m.code));
+  w.Bool(m.iam.has_value());
+  w.Pad(2);
+  if (m.iam.has_value()) {
+    w.U32(m.iam->bucket);
+    w.U32(m.iam->level);
+  }
+  w.Str(m.error);
+  w.View(m.value);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeOpReply(WireReader& r) {
+  auto m = std::make_unique<OpReplyMsg>();
+  RD(r.U64(&m->op_id));
+  uint8_t code;
+  RD(r.U8(&code) && code <= static_cast<uint8_t>(StatusCode::kTimeout));
+  m->code = static_cast<StatusCode>(code);
+  bool has_iam;
+  RD(r.Bool(&has_iam));
+  RD(r.Skip(2));
+  if (has_iam) {
+    IamInfo iam;
+    RD(r.U32(&iam.bucket));
+    RD(r.U32(&iam.level));
+    m->iam = iam;
+  }
+  RD(r.Str(&m->error));
+  RD(r.View(&m->value));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerOverflowReport(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<OverflowReportMsg>(body);
+  w.U32(m.bucket);
+  w.U64(m.record_count);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeOverflowReport(WireReader& r) {
+  auto m = std::make_unique<OverflowReportMsg>();
+  RD(r.U32(&m->bucket));
+  uint64_t count;
+  RD(r.U64(&count));
+  m->record_count = count;
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerSplitOrder(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<SplitOrderMsg>(body);
+  w.U32(m.new_bucket);
+  w.I32(m.new_node);
+  w.U32(m.new_level);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeSplitOrder(WireReader& r) {
+  auto m = std::make_unique<SplitOrderMsg>();
+  RD(r.U32(&m->new_bucket));
+  RD(r.I32(&m->new_node));
+  RD(r.U32(&m->new_level));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerMoveRecords(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<MoveRecordsMsg>(body);
+  w.U32(m.bucket);
+  w.U32(m.level);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  w.Pad(4);
+  for (const WireRecord& rec : m.records) PutWireRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeMoveRecords(WireReader& r) {
+  auto m = std::make_unique<MoveRecordsMsg>();
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->level));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(r.Skip(4));
+  RD(PlausibleCount(r, count, kWireRecordMinSize));
+  m->records.resize(count);
+  for (WireRecord& rec : m->records) RD(GetWireRecord(r, &rec));
+  return m;
+}
+
+bool SerSplitDone(const MessageBody& body, WireWriter& w) {
+  w.U32(BodyAs<SplitDoneMsg>(body).bucket);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeSplitDone(WireReader& r) {
+  auto m = std::make_unique<SplitDoneMsg>();
+  RD(r.U32(&m->bucket));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerScanRequest(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<ScanRequestMsg>(body);
+  // A predicate carrying native selection code cannot travel; scans with
+  // custom predicates stay a simulator-only feature.
+  if (m.predicate.custom != nullptr) return false;
+  w.U64(m.op_id);
+  w.I32(m.client);
+  w.U32(m.attached_level);
+  w.Bool(m.deterministic);
+  w.Pad(7);
+  w.BytesField(m.predicate.contains);
+  w.Pad(12);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeScanRequest(WireReader& r) {
+  auto m = std::make_unique<ScanRequestMsg>();
+  RD(r.U64(&m->op_id));
+  RD(r.I32(&m->client));
+  RD(r.U32(&m->attached_level));
+  RD(r.Bool(&m->deterministic));
+  RD(r.Skip(7));
+  RD(r.BytesField(&m->predicate.contains));
+  RD(r.Skip(12));
+  return m;
+}
+
+bool SerScanReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<ScanReplyMsg>(body);
+  w.U64(m.op_id);
+  w.U32(m.bucket);
+  w.U32(m.level);
+  w.Bool(m.coverage_failed);
+  w.Pad(3);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  for (const WireRecord& rec : m.records) PutWireRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeScanReply(WireReader& r) {
+  auto m = std::make_unique<ScanReplyMsg>();
+  RD(r.U64(&m->op_id));
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->level));
+  RD(r.Bool(&m->coverage_failed));
+  RD(r.Skip(3));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(PlausibleCount(r, count, kWireRecordMinSize));
+  m->records.resize(count);
+  for (WireRecord& rec : m->records) RD(GetWireRecord(r, &rec));
+  return m;
+}
+
+bool SerClientOpViaCoordinator(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<ClientOpViaCoordinatorMsg>(body);
+  w.U8(static_cast<uint8_t>(m.op));
+  w.Pad(3);
+  w.U64(m.op_id);
+  w.I32(m.client);
+  w.U32(m.intended_bucket);
+  w.U64(m.key);
+  w.View(m.value);
+  w.Pad(8);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeClientOpViaCoordinator(WireReader& r) {
+  auto m = std::make_unique<ClientOpViaCoordinatorMsg>();
+  uint8_t op;
+  RD(r.U8(&op) && op <= 3);
+  m->op = static_cast<OpType>(op);
+  RD(r.Skip(3));
+  RD(r.U64(&m->op_id));
+  RD(r.I32(&m->client));
+  RD(r.U32(&m->intended_bucket));
+  RD(r.U64(&m->key));
+  RD(r.View(&m->value));
+  RD(r.Skip(8));
+  return m;
+}
+
+bool SerUnavailableReport(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<UnavailableReportMsg>(body);
+  w.I32(m.node);
+  w.U32(m.bucket);
+  w.Bool(m.is_parity);
+  w.Pad(3);
+  w.U32(m.group);
+  w.U32(m.parity_index);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeUnavailableReport(WireReader& r) {
+  auto m = std::make_unique<UnavailableReportMsg>();
+  RD(r.I32(&m->node));
+  RD(r.U32(&m->bucket));
+  RD(r.Bool(&m->is_parity));
+  RD(r.Skip(3));
+  RD(r.U32(&m->group));
+  RD(r.U32(&m->parity_index));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerStateScanRequest(const MessageBody& body, WireWriter& w) {
+  w.U64(BodyAs<StateScanRequestMsg>(body).op_id);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeStateScanRequest(WireReader& r) {
+  auto m = std::make_unique<StateScanRequestMsg>();
+  RD(r.U64(&m->op_id));
+  return m;
+}
+
+bool SerStateScanReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<StateScanReplyMsg>(body);
+  w.U64(m.op_id);
+  w.U32(m.bucket);
+  w.U32(m.level);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeStateScanReply(WireReader& r) {
+  auto m = std::make_unique<StateScanReplyMsg>();
+  RD(r.U64(&m->op_id));
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->level));
+  return m;
+}
+
+bool SerUnderflowReport(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<UnderflowReportMsg>(body);
+  w.U32(m.bucket);
+  w.U64(m.record_count);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeUnderflowReport(WireReader& r) {
+  auto m = std::make_unique<UnderflowReportMsg>();
+  RD(r.U32(&m->bucket));
+  uint64_t count;
+  RD(r.U64(&count));
+  m->record_count = count;
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerMergeOut(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<MergeOutMsg>(body);
+  w.U32(m.parent_bucket);
+  w.I32(m.parent_node);
+  w.U32(m.parent_new_level);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeMergeOut(WireReader& r) {
+  auto m = std::make_unique<MergeOutMsg>();
+  RD(r.U32(&m->parent_bucket));
+  RD(r.I32(&m->parent_node));
+  RD(r.U32(&m->parent_new_level));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerMergeRecords(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<MergeRecordsMsg>(body);
+  w.U32(m.parent_bucket);
+  w.U32(m.parent_new_level);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  w.Pad(4);
+  for (const WireRecord& rec : m.records) PutWireRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeMergeRecords(WireReader& r) {
+  auto m = std::make_unique<MergeRecordsMsg>();
+  RD(r.U32(&m->parent_bucket));
+  RD(r.U32(&m->parent_new_level));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(r.Skip(4));
+  RD(PlausibleCount(r, count, kWireRecordMinSize));
+  m->records.resize(count);
+  for (WireRecord& rec : m->records) RD(GetWireRecord(r, &rec));
+  return m;
+}
+
+bool SerMergeDone(const MessageBody& body, WireWriter& w) {
+  w.U32(BodyAs<MergeDoneMsg>(body).bucket);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeMergeDone(WireReader& r) {
+  auto m = std::make_unique<MergeDoneMsg>();
+  RD(r.U32(&m->bucket));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerImageReset(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<ImageResetMsg>(body);
+  w.U32(m.i);
+  w.U32(m.n);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeImageReset(WireReader& r) {
+  auto m = std::make_unique<ImageResetMsg>();
+  RD(r.U32(&m->i));
+  RD(r.U32(&m->n));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerSurveyRequest(const MessageBody& body, WireWriter& w) {
+  w.U64(BodyAs<SurveyRequestMsg>(body).survey_id);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeSurveyRequest(WireReader& r) {
+  auto m = std::make_unique<SurveyRequestMsg>();
+  RD(r.U64(&m->survey_id));
+  return m;
+}
+
+bool SerSurveyReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<SurveyReplyMsg>(body);
+  w.U64(m.survey_id);
+  w.U8(static_cast<uint8_t>(m.role));
+  w.Bool(m.decommissioned);
+  w.Pad(2);
+  w.U32(m.bucket);
+  w.U32(m.level);
+  w.U64(m.record_count);
+  w.U32(m.group);
+  w.U32(m.parity_index);
+  w.U32(m.k);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeSurveyReply(WireReader& r) {
+  auto m = std::make_unique<SurveyReplyMsg>();
+  RD(r.U64(&m->survey_id));
+  uint8_t role;
+  RD(r.U8(&role) && role <= 2);
+  m->role = static_cast<SurveyReplyMsg::Role>(role);
+  RD(r.Bool(&m->decommissioned));
+  RD(r.Skip(2));
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->level));
+  RD(r.U64(&m->record_count));
+  RD(r.U32(&m->group));
+  RD(r.U32(&m->parity_index));
+  RD(r.U32(&m->k));
+  return m;
+}
+
+bool SerSelfCheckRequest(const MessageBody& body, WireWriter& w) {
+  w.U32(BodyAs<SelfCheckRequestMsg>(body).bucket);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeSelfCheckRequest(WireReader& r) {
+  auto m = std::make_unique<SelfCheckRequestMsg>();
+  RD(r.U32(&m->bucket));
+  RD(r.Skip(4));
+  return m;
+}
+
+bool SerSelfCheckReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<SelfCheckReplyMsg>(body);
+  w.U32(m.bucket);
+  w.Bool(m.still_owner);
+  w.Pad(3);
+  w.I32(m.replacement);
+  w.Pad(4);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeSelfCheckReply(WireReader& r) {
+  auto m = std::make_unique<SelfCheckReplyMsg>();
+  RD(r.U32(&m->bucket));
+  RD(r.Bool(&m->still_owner));
+  RD(r.Skip(3));
+  RD(r.I32(&m->replacement));
+  RD(r.Skip(4));
+  return m;
+}
+
+#undef RD
+
+}  // namespace
+
+void RegisterLhStarWire() {
+  static const bool once = [] {
+    RegisterWireCodec(LhStarMsg::kOpRequest,
+                      {"OpRequest", SerOpRequest, DeOpRequest});
+    RegisterWireCodec(LhStarMsg::kOpReply,
+                      {"OpReply", SerOpReply, DeOpReply});
+    RegisterWireCodec(
+        LhStarMsg::kOverflowReport,
+        {"OverflowReport", SerOverflowReport, DeOverflowReport});
+    RegisterWireCodec(LhStarMsg::kSplitOrder,
+                      {"SplitOrder", SerSplitOrder, DeSplitOrder});
+    RegisterWireCodec(LhStarMsg::kMoveRecords,
+                      {"MoveRecords", SerMoveRecords, DeMoveRecords});
+    RegisterWireCodec(LhStarMsg::kSplitDone,
+                      {"SplitDone", SerSplitDone, DeSplitDone});
+    RegisterWireCodec(LhStarMsg::kScanRequest,
+                      {"ScanRequest", SerScanRequest, DeScanRequest});
+    RegisterWireCodec(LhStarMsg::kScanReply,
+                      {"ScanReply", SerScanReply, DeScanReply});
+    RegisterWireCodec(LhStarMsg::kClientOpViaCoordinator,
+                      {"ClientOpViaCoordinator", SerClientOpViaCoordinator,
+                       DeClientOpViaCoordinator});
+    RegisterWireCodec(
+        LhStarMsg::kUnavailableReport,
+        {"UnavailableReport", SerUnavailableReport, DeUnavailableReport});
+    RegisterWireCodec(
+        LhStarMsg::kStateScanRequest,
+        {"StateScanRequest", SerStateScanRequest, DeStateScanRequest});
+    RegisterWireCodec(LhStarMsg::kStateScanReply,
+                      {"StateScanReply", SerStateScanReply, DeStateScanReply});
+    RegisterWireCodec(
+        LhStarMsg::kSelfCheckRequest,
+        {"SelfCheckRequest", SerSelfCheckRequest, DeSelfCheckRequest});
+    RegisterWireCodec(
+        LhStarMsg::kSelfCheckReply,
+        {"SelfCheckReply", SerSelfCheckReply, DeSelfCheckReply});
+    RegisterWireCodec(
+        LhStarMsg::kUnderflowReport,
+        {"UnderflowReport", SerUnderflowReport, DeUnderflowReport});
+    RegisterWireCodec(LhStarMsg::kMergeOut,
+                      {"MergeOut", SerMergeOut, DeMergeOut});
+    RegisterWireCodec(LhStarMsg::kMergeRecords,
+                      {"MergeRecords", SerMergeRecords, DeMergeRecords});
+    RegisterWireCodec(LhStarMsg::kMergeDone,
+                      {"MergeDone", SerMergeDone, DeMergeDone});
+    RegisterWireCodec(LhStarMsg::kImageReset,
+                      {"ImageReset", SerImageReset, DeImageReset});
+    RegisterWireCodec(LhStarMsg::kSurveyRequest,
+                      {"SurveyRequest", SerSurveyRequest, DeSurveyRequest});
+    RegisterWireCodec(LhStarMsg::kSurveyReply,
+                      {"SurveyReply", SerSurveyReply, DeSurveyReply});
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace lhrs::transport

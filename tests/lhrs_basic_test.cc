@@ -209,6 +209,44 @@ TEST(LhrsBasicTest, InsertCostsOnePlusKParityMessages) {
   }
 }
 
+TEST(LhrsBasicTest, ReorderedClearOnlyRemovesItsOwnKey) {
+  // Ranks are reused smallest-first, so one (rank, slot) sees the history
+  // set(A), clear(A), set(B) — and a real transport can deliver it as
+  // set(B), clear(A), set(A) (a retransmit delays the first two). The
+  // stale clear must wait for its own key instead of removing B; the
+  // displaced pair then cancels out once B's own clear drains it.
+  LhrsFile file(SmallOptions(/*m=*/4, /*k=*/1));
+  ParityBucketNode* pb = file.parity_bucket(0, 0);
+  const Rank rank = 900;  // Far above anything real traffic allocates.
+  const auto deliver = [&](ParityDelta::KeyOp op, Key key,
+                           const std::string& xor_bytes) {
+    auto body = std::make_unique<ParityDeltaMsg>();
+    body->group = 0;
+    body->delta.rank = rank;
+    body->delta.slot = 2;
+    body->delta.key_op = op;
+    body->delta.key = key;
+    body->delta.new_length = static_cast<uint32_t>(xor_bytes.size());
+    body->delta.delta = BufferView::FromString(xor_bytes);
+    Message msg;
+    msg.to = pb->id();
+    msg.body = std::move(body);
+    pb->HandleMessage(msg);
+  };
+  deliver(ParityDelta::KeyOp::kSet, 222, "BBBB");
+  deliver(ParityDelta::KeyOp::kClear, 111, "AAAA");  // Stale: buffers.
+  deliver(ParityDelta::KeyOp::kSet, 111, "AAAA");    // Stale: buffers.
+  {
+    const auto& records = pb->parity_records();
+    ASSERT_TRUE(records.contains(rank));
+    EXPECT_EQ(records.at(rank).keys[2], Key{222});
+    EXPECT_EQ(records.at(rank).parity, Val("BBBB"));
+  }
+  deliver(ParityDelta::KeyOp::kClear, 222, "BBBB");
+  EXPECT_FALSE(pb->parity_records().contains(rank))
+      << "the buffered stale set/clear pair must cancel to empty";
+}
+
 TEST(LhrsBasicTest, SearchTouchesNoParityBuckets) {
   LhrsFile file(SmallOptions(/*m=*/4, /*k=*/2, /*capacity=*/10));
   Rng rng(353);
