@@ -1,0 +1,212 @@
+// Experiment F11 — locality scaling of the parallel execution engine.
+//
+// The claim this measures: with server buckets sharded across L worker
+// localities and each delivery charging real handler occupancy to its
+// destination locality's virtual clock (service_us_per_task +
+// service_us_per_kb·KiB), an overloaded open-loop workload completes in
+// ~1/L the *simulated* time — the multicomputer scale-out story of the
+// paper, measured end-to-end through the session layer on a single host.
+//
+// The gated table reports simulated cost (sim us/op, sim total ms): these
+// come from the virtual locality clocks, so they are stable run to run
+// (parallel mode is convergence-equivalent, not trace-identical — small
+// interleaving jitter is far inside the checker's 20% tolerance). The
+// wall-clock table is measured throughput ("/s" columns), which the
+// checker only warns on: this container may have a single physical core,
+// so wall-clock gains are not expected — simulated time is the metric.
+//
+// The binary self-checks the headline shape — ≥2x fewer sim us/op at 4
+// localities than at 1 — and exits non-zero when it breaks.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "lhrs/lhrs_file.h"
+#include "sdds/session.h"
+
+namespace lhrs::bench {
+namespace {
+
+using sdds::PipelinedRunner;
+using sdds::RunnerOptions;
+using sdds::RunnerReport;
+using sdds::SddsOp;
+
+constexpr size_t kKeys = 400;
+constexpr size_t kValueBytes = 64;
+constexpr uint64_t kKeySeed = 2011;
+constexpr size_t kSessions = 8;
+constexpr size_t kWindow = 8;
+// Handler occupancy per delivered message on the destination locality.
+constexpr SimTime kServiceUsPerTask = 60;
+constexpr SimTime kServiceUsPerKb = 20;
+
+LhrsFile::Options F11Options(size_t localities) {
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 16;
+  opts.group_size = 4;
+  opts.policy.base_k = 1;
+  opts.net.localities = localities;
+  opts.net.service_us_per_task = kServiceUsPerTask;
+  opts.net.service_us_per_kb = kServiceUsPerKb;
+  return opts;
+}
+
+/// The measured script: a search pass, an update pass (which also drives
+/// the parity-delta traffic through the worker localities), and a second
+/// search pass over the updated values. Growth happens before measurement
+/// so the bucket population — and its shard placement — is identical at
+/// every L.
+std::vector<SddsOp> MakeScript(const std::vector<Key>& keys, size_t passes) {
+  Rng rng(kKeySeed + 2);
+  std::vector<SddsOp> script;
+  script.reserve((2 * passes + 1) * keys.size());
+  for (size_t p = 0; p < passes; ++p) {
+    for (Key k : keys) script.push_back(SddsOp{OpType::kSearch, k, {}});
+    for (Key k : keys) {
+      script.push_back(
+          SddsOp{OpType::kUpdate, k, rng.RandomBytes(kValueBytes)});
+    }
+  }
+  for (Key k : keys) script.push_back(SddsOp{OpType::kSearch, k, {}});
+  return script;
+}
+
+struct Cell {
+  RunnerReport report;
+  double sim_us_per_op = 0.0;
+  double wall_seconds = 0.0;
+};
+
+Cell RunAtLocalities(size_t localities, const std::vector<Key>& keys,
+                     const std::vector<SddsOp>& script) {
+  LhrsFile file(F11Options(localities));
+  Rng rng(kKeySeed + 1);
+  for (Key k : keys) {
+    const Status s = file.Insert(k, rng.RandomBytes(kValueBytes));
+    LHRS_CHECK(s.ok()) << "grow insert failed: " << s.ToString();
+  }
+
+  auto next = std::make_shared<size_t>(0);
+  PipelinedRunner runner(file, RunnerOptions{kSessions, kWindow, 0});
+  WallTimer timer;
+  Cell cell;
+  cell.report = runner.Run([&](size_t /*session*/) -> std::optional<SddsOp> {
+    if (*next >= script.size()) return std::nullopt;
+    return script[(*next)++];
+  });
+  cell.wall_seconds = timer.Seconds();
+  cell.sim_us_per_op = static_cast<double>(cell.report.elapsed_us()) /
+                       static_cast<double>(cell.report.completed);
+  return cell;
+}
+
+bool Run(BenchReport& r, size_t passes) {
+  bool ok = true;
+  const std::vector<Key> keys = RandomKeys(kKeys, kKeySeed);
+  const std::vector<SddsOp> script = MakeScript(keys, passes);
+  const std::vector<size_t> locality_counts = {1, 2, 4, 8};
+
+  std::vector<Cell> cells;
+  for (size_t localities : locality_counts) {
+    cells.push_back(RunAtLocalities(localities, keys, script));
+  }
+  const double base_us_per_op = cells.front().sim_us_per_op;
+
+  // Gated simulated-cost table: both columns come from the virtual
+  // locality clocks. The speedup cell carries an "x" suffix so the
+  // regression checker treats it as a label (a *rising* speedup must not
+  // trip a higher-is-worse cost gate).
+  r.BeginTable(
+      "F11 — locality scaling (LH*RS m=4 k=1; " +
+          std::to_string(script.size()) + " ops, N=" +
+          std::to_string(kSessions) + " W=" + std::to_string(kWindow) +
+          ", service " + std::to_string(kServiceUsPerTask) + "us/task + " +
+          std::to_string(kServiceUsPerKb) + "us/KiB)",
+      {"localities", "ops", "sim us/op", "sim total ms", "speedup vs L=1",
+       "failures"});
+  for (size_t i = 0; i < locality_counts.size(); ++i) {
+    const Cell& cell = cells[i];
+    r.Row({std::to_string(locality_counts[i]),
+           std::to_string(cell.report.completed), Fmt(cell.sim_us_per_op),
+           Fmt(static_cast<double>(cell.report.elapsed_us()) / 1e3),
+           Fmt(base_us_per_op / cell.sim_us_per_op) + "x",
+           std::to_string(cell.report.failures)});
+    if (cell.report.completed != script.size() || cell.report.failures != 0) {
+      std::fprintf(stderr, "FAIL: L=%zu lost ops (%llu/%zu, %llu failed)\n",
+                   locality_counts[i],
+                   static_cast<unsigned long long>(cell.report.completed),
+                   script.size(),
+                   static_cast<unsigned long long>(cell.report.failures));
+      ok = false;
+    }
+  }
+  std::puts("");
+
+  // Wall-clock view, warn-only ("/s" columns): latency percentiles ride
+  // here too, since completion-order jitter moves the tail more than the
+  // aggregate clocks. On a single-core host the ops/s column is flat —
+  // the engine's parallelism is *simulated* cores, not host threads.
+  r.BeginTable(
+      "F11 — locality scaling, wall clock + latency (not gated)",
+      {"localities", "ops/s", "wall ms", "p50 us", "p95 us", "p99 us"});
+  for (size_t i = 0; i < locality_counts.size(); ++i) {
+    const Cell& cell = cells[i];
+    const double s = cell.wall_seconds > 0 ? cell.wall_seconds : 1e-9;
+    r.Row({std::to_string(locality_counts[i]),
+           FmtRate(static_cast<double>(cell.report.completed) / s, "ops/s"),
+           Fmt(cell.wall_seconds * 1e3),
+           std::to_string(cell.report.LatencyPercentileUs(50)),
+           std::to_string(cell.report.LatencyPercentileUs(95)),
+           std::to_string(cell.report.LatencyPercentileUs(99))});
+  }
+  std::puts("");
+
+  // Headline shape: 4 localities must at least halve the simulated cost
+  // per op relative to 1 (the acceptance bar; the ideal is 4x minus
+  // placement imbalance and the home-locality client path).
+  const double speedup4 = base_us_per_op / cells[2].sim_us_per_op;
+  if (speedup4 < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: sim speedup at 4 localities is %.2fx (< 2.0x): "
+                 "%.2f us/op vs %.2f us/op at L=1\n",
+                 speedup4, cells[2].sim_us_per_op, base_us_per_op);
+    ok = false;
+  }
+  std::printf("shape check: sim us/op shrinks with localities; "
+              "4 localities = %.2fx over 1 (threshold 2.0x).\n",
+              speedup4);
+  return ok;
+}
+
+}  // namespace
+}  // namespace lhrs::bench
+
+int main(int argc, char** argv) {
+  size_t passes = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--passes=", 9) == 0) {
+      passes = static_cast<size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
+      if (passes == 0) passes = 1;
+    }
+  }
+  lhrs::bench::BenchReport report("f11_scaling");
+  report.report().AddParam("keys", int64_t{lhrs::bench::kKeys});
+  report.report().AddParam("key_seed", int64_t{lhrs::bench::kKeySeed});
+  report.report().AddParam("value_bytes", int64_t{lhrs::bench::kValueBytes});
+  report.report().AddParam("sessions", int64_t{lhrs::bench::kSessions});
+  report.report().AddParam("window", int64_t{lhrs::bench::kWindow});
+  report.report().AddParam("service_us_per_task",
+                           int64_t{lhrs::bench::kServiceUsPerTask});
+  report.report().AddParam("service_us_per_kb",
+                           int64_t{lhrs::bench::kServiceUsPerKb});
+  report.report().AddParam("passes", static_cast<int64_t>(passes));
+  const bool ok = lhrs::bench::Run(report, passes);
+  const int write_rc = lhrs::bench::WriteReport(report.report(), argc, argv);
+  return ok ? write_rc : 1;
+}

@@ -43,12 +43,12 @@ LhgFile::LhgFile(Options options)
       ctx_, f2_ctx_, group_size_);
   lhg_coordinator_ = lhg_coordinator.get();
   coordinator_ = lhg_coordinator_;
-  ctx_->coordinator = network_.AddNode(std::move(lhg_coordinator));
+  ctx_->coordinator = network_->AddNode(std::move(lhg_coordinator));
 
   auto f2_coordinator = std::make_unique<LhgParityCoordinatorNode>(f2_ctx_);
   f2_coordinator->SetMainCoordinator(lhg_coordinator_);
   f2_coordinator_ = f2_coordinator.get();
-  f2_ctx_->coordinator = network_.AddNode(std::move(f2_coordinator));
+  f2_ctx_->coordinator = network_->AddNode(std::move(f2_coordinator));
   lhg_coordinator_->SetParityCoordinator(f2_coordinator_);
 
   lhg_coordinator_->SetBucketFactory([this, g1](BucketNo bucket,
@@ -57,7 +57,7 @@ LhgFile::LhgFile(Options options)
         ctx_, f2_ctx_, group_size_, bucket, level, /*pre_initialized=*/false,
         g1);
     LhgDataBucketNode* ptr = node.get();
-    const NodeId id = network_.AddNode(std::move(node));
+    const NodeId id = network_->AddNode(std::move(node));
     RegisterDataBucket(id, ptr);
     return id;
   });
@@ -65,7 +65,7 @@ LhgFile::LhgFile(Options options)
     auto node = std::make_unique<LhgParityBucketNode>(
         f2_ctx_, bucket, level, /*pre_initialized=*/false);
     LhgParityBucketNode* ptr = node.get();
-    const NodeId id = network_.AddNode(std::move(node));
+    const NodeId id = network_->AddNode(std::move(node));
     parity_nodes_.Register(id, ptr);
     return id;
   };
@@ -77,14 +77,14 @@ LhgFile::LhgFile(Options options)
         ctx_, f2_ctx_, group_size_, b, /*level=*/0, /*pre_initialized=*/true,
         g1);
     LhgDataBucketNode* ptr = node.get();
-    const NodeId id = network_.AddNode(std::move(node));
+    const NodeId id = network_->AddNode(std::move(node));
     RegisterDataBucket(id, ptr);
     ctx_->allocation.Set(b, id);
   }
   auto parity0 = std::make_unique<LhgParityBucketNode>(
       f2_ctx_, /*bucket_no=*/0, /*level=*/0, /*pre_initialized=*/true);
   LhgParityBucketNode* parity0_ptr = parity0.get();
-  const NodeId parity0_id = network_.AddNode(std::move(parity0));
+  const NodeId parity0_id = network_->AddNode(std::move(parity0));
   parity_nodes_.Register(parity0_id, parity0_ptr);
   f2_ctx_->allocation.Set(0, parity0_id);
 
@@ -93,24 +93,24 @@ LhgFile::LhgFile(Options options)
 
 NodeId LhgFile::CrashDataBucket(BucketNo b) {
   const NodeId node = ctx_->allocation.Lookup(b);
-  network_.SetAvailable(node, false);
+  network_->SetAvailable(node, false);
   return node;
 }
 
 NodeId LhgFile::CrashParityBucket(BucketNo f2_bucket) {
   const NodeId node = f2_ctx_->allocation.Lookup(f2_bucket);
-  network_.SetAvailable(node, false);
+  network_->SetAvailable(node, false);
   return node;
 }
 
 void LhgFile::RecoverDataBucket(BucketNo b) {
   lhg_coordinator_->RecoverDataBucket(b);
-  network_.RunUntilIdle();
+  network_->RunUntilIdle();
 }
 
 void LhgFile::RecoverParityBucket(BucketNo f2_bucket) {
   lhg_coordinator_->RecoverParityBucket(f2_bucket);
-  network_.RunUntilIdle();
+  network_->RunUntilIdle();
 }
 
 LhgDataBucketNode* LhgFile::lhg_bucket(BucketNo b) const {

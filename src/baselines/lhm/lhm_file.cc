@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "exec/parallel_network.h"
 #include "net/stats.h"
 
 namespace lhrs::lhm {
@@ -230,7 +231,7 @@ void LhmCoordinatorNode::HandleSubclassMessage(const Message& msg) {
 
 // --- Facade ------------------------------------------------------------------
 
-LhmFile::LhmFile(Options options) : network_(options.net) {
+LhmFile::LhmFile(Options options) : network_(exec::MakeNetwork(options.net)) {
   RegisterLhStarMessageNames();
   RegisterNames();
   for (int f = 0; f < 2; ++f) {
@@ -239,14 +240,14 @@ LhmFile::LhmFile(Options options) : network_(options.net) {
     auto coordinator =
         std::make_unique<LhmCoordinatorNode>(replicas_[f].ctx);
     coordinators_[f] = coordinator.get();
-    replicas_[f].ctx->coordinator = network_.AddNode(std::move(coordinator));
+    replicas_[f].ctx->coordinator = network_->AddNode(std::move(coordinator));
     auto ctx = replicas_[f].ctx;
     coordinators_[f]->SetBucketFactory(
         [this, ctx](BucketNo bucket, Level level) {
           auto node = std::make_unique<LhmBucketNode>(
               ctx, bucket, level, /*pre_initialized=*/false);
           LhmBucketNode* ptr = node.get();
-          const NodeId id = network_.AddNode(std::move(node));
+          const NodeId id = network_->AddNode(std::move(node));
           buckets_.Register(id, ptr);
           return id;
         });
@@ -254,7 +255,7 @@ LhmFile::LhmFile(Options options) : network_(options.net) {
       auto node = std::make_unique<LhmBucketNode>(ctx, b, /*level=*/0,
                                                   /*pre_initialized=*/true);
       LhmBucketNode* ptr = node.get();
-      const NodeId id = network_.AddNode(std::move(node));
+      const NodeId id = network_->AddNode(std::move(node));
       buckets_.Register(id, ptr);
       ctx->allocation.Set(b, id);
     }
@@ -267,7 +268,7 @@ LhmFile::LhmFile(Options options) : network_(options.net) {
 ClientNode* LhmFile::AddReplicaClient(size_t replica, size_t session) {
   auto client = std::make_unique<ClientNode>(replicas_[replica].ctx);
   ClientNode* ptr = client.get();
-  network_.AddNode(std::move(client));
+  network_->AddNode(std::move(client));
   replicas_[replica].clients.push_back(ptr);
   replicas_[replica].subops.emplace_back();
   ptr->SetOnOpComplete([this, replica, session](uint64_t op_id) {
@@ -355,13 +356,13 @@ Result<OpOutcome> LhmFile::Take(sdds::OpToken token) {
 
 NodeId LhmFile::CrashPrimaryBucket(BucketNo b) {
   const NodeId node = replicas_[0].ctx->allocation.Lookup(b);
-  network_.SetAvailable(node, false);
+  network_->SetAvailable(node, false);
   return node;
 }
 
 void LhmFile::RecoverPrimaryBucket(BucketNo b) {
   coordinators_[0]->RecoverBucket(b);
-  network_.RunUntilIdle();
+  network_->RunUntilIdle();
 }
 
 StorageStats LhmFile::GetStorageStats() const {

@@ -162,7 +162,7 @@ class LhmFile : public sdds::SddsFile {
     return done_.contains(token);
   }
   Result<OpOutcome> Take(sdds::OpToken token) override;
-  Network& network() override { return network_; }
+  Network& network() override { return *network_; }
   StorageStats GetStorageStats() const override;
 
   NodeId CrashPrimaryBucket(BucketNo b);
@@ -198,7 +198,7 @@ class LhmFile : public sdds::SddsFile {
   void FinishOp(sdds::OpToken token, OpOutcome outcome);
   ClientNode* AddReplicaClient(size_t replica, size_t session);
 
-  Network network_;
+  std::unique_ptr<Network> network_;  ///< exec::MakeNetwork(options.net).
   Replica replicas_[2];
   LhmCoordinatorNode* coordinators_[2] = {nullptr, nullptr};
   std::map<sdds::OpToken, LogicalOp> inflight_;

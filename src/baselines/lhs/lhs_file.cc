@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "exec/parallel_network.h"
 
 namespace lhrs::lhs {
 
@@ -90,7 +91,8 @@ Bytes LhsFile::ReconstructStripe(const std::vector<const Bytes*>& present,
 }
 
 LhsFile::LhsFile(Options options)
-    : network_(options.net), stripe_count_(options.stripe_count) {
+    : network_(exec::MakeNetwork(options.net)),
+      stripe_count_(options.stripe_count) {
   RegisterLhStarMessageNames();
   RegisterLhsNames();
   files_.resize(stripe_count_ + 1);
@@ -103,14 +105,14 @@ LhsFile::LhsFile(Options options)
     auto coordinator =
         std::make_unique<LhsCoordinatorNode>(file.ctx, f, stripe_count_);
     file.coordinator = coordinator.get();
-    file.ctx->coordinator = network_.AddNode(std::move(coordinator));
+    file.ctx->coordinator = network_->AddNode(std::move(coordinator));
     auto ctx = file.ctx;
     file.coordinator->SetBucketFactory(
         [this, ctx](BucketNo bucket, Level level) {
           auto node = std::make_unique<LhsBucketNode>(
               ctx, bucket, level, /*pre_initialized=*/false);
           LhsBucketNode* ptr = node.get();
-          const NodeId id = network_.AddNode(std::move(node));
+          const NodeId id = network_->AddNode(std::move(node));
           buckets_.Register(id, ptr);
           return id;
         });
@@ -118,7 +120,7 @@ LhsFile::LhsFile(Options options)
       auto node = std::make_unique<LhsBucketNode>(ctx, b, /*level=*/0,
                                                   /*pre_initialized=*/true);
       LhsBucketNode* ptr = node.get();
-      const NodeId id = network_.AddNode(std::move(node));
+      const NodeId id = network_->AddNode(std::move(node));
       buckets_.Register(id, ptr);
       ctx->allocation.Set(b, id);
     }
@@ -140,7 +142,7 @@ void LhsFile::AddStripeClient(uint32_t file_index, size_t session) {
   LHRS_CHECK_EQ(file.clients.size(), session);
   auto client = std::make_unique<ClientNode>(file.ctx);
   ClientNode* ptr = client.get();
-  network_.AddNode(std::move(client));
+  network_->AddNode(std::move(client));
   file.clients.push_back(ptr);
   file.subops.emplace_back();
   ptr->SetOnOpComplete([this, file_index, session](uint64_t op_id) {
@@ -475,7 +477,7 @@ NodeId LhsFile::CrashStripeBucketOf(uint32_t stripe, Key key) {
   const StripeFile& file = files_.at(stripe);
   const BucketNo a = file.coordinator->state().Address(key);
   const NodeId node = file.ctx->allocation.Lookup(a);
-  network_.SetAvailable(node, false);
+  network_->SetAvailable(node, false);
   return node;
 }
 

@@ -166,7 +166,7 @@ class LhsFile : public sdds::SddsFile {
     return done_.contains(token);
   }
   Result<OpOutcome> Take(sdds::OpToken token) override;
-  Network& network() override { return network_; }
+  Network& network() override { return *network_; }
   StorageStats GetStorageStats() const override;
 
   /// Crashes the bucket of stripe file `stripe` that holds `key`'s stripe.
@@ -217,7 +217,7 @@ class LhsFile : public sdds::SddsFile {
   void FinishOp(sdds::OpToken token, OpOutcome outcome);
   void AddStripeClient(uint32_t file_index, size_t session);
 
-  Network network_;
+  std::unique_ptr<Network> network_;  ///< exec::MakeNetwork(options.net).
   uint32_t stripe_count_;
   std::vector<StripeFile> files_;  ///< k stripes + 1 parity.
   std::map<sdds::OpToken, LogicalOp> inflight_;

@@ -1,0 +1,80 @@
+#ifndef LHRS_EXEC_MPSC_MAILBOX_H_
+#define LHRS_EXEC_MPSC_MAILBOX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace lhrs::exec {
+
+/// Multi-producer single-consumer mailbox: the cross-locality message
+/// channel of the parallel execution engine. Any locality pushes; only the
+/// owning locality's thread pops.
+///
+/// A mutex-guarded vector with whole-batch swap-out on the consumer side:
+/// producers contend only for the time of one push_back, the consumer takes
+/// the lock once per batch however large the backlog, and batches preserve
+/// global arrival order — which implies the FIFO-per-sender ordering the
+/// node protocols rely on. (A lock-free Vyukov-style stack would shave the
+/// producer lock but reverses or complicates ordering; with handler
+/// execution dominating each task, the mutex is not the bottleneck.)
+template <typename T>
+class MpscMailbox {
+ public:
+  void Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Appends every queued item to `out` (oldest first) and returns how many
+  /// were taken. When the mailbox is empty, blocks up to `wait` for a Push
+  /// or NotifyAll, then drains whatever is there (possibly nothing).
+  size_t PopAll(std::vector<T>* out, std::chrono::microseconds wait) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty() && wait.count() > 0) {
+      cv_.wait_for(lock, wait, [this] { return !items_.empty(); });
+    }
+    return DrainLocked(out);
+  }
+
+  /// Non-blocking drain.
+  size_t PopAllNow(std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return DrainLocked(out);
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
+  /// Wakes a consumer blocked in PopAll even though no item arrived — used
+  /// for stop requests and "global state changed, re-check" nudges.
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  size_t DrainLocked(std::vector<T>* out) {
+    const size_t n = items_.size();
+    if (n == 0) return 0;
+    if (out->empty()) {
+      out->swap(items_);
+    } else {
+      for (T& item : items_) out->push_back(std::move(item));
+      items_.clear();
+    }
+    return n;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> items_;
+};
+
+}  // namespace lhrs::exec
+
+#endif  // LHRS_EXEC_MPSC_MAILBOX_H_

@@ -1,0 +1,190 @@
+#ifndef LHRS_EXEC_PARALLEL_NETWORK_H_
+#define LHRS_EXEC_PARALLEL_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/mpsc_mailbox.h"
+#include "exec/timer_wheel.h"
+#include "net/locality.h"
+#include "net/network.h"
+
+namespace lhrs::exec {
+
+/// Locality-sharded parallel execution engine behind the Network surface.
+///
+/// The simulated multicomputer's node handlers are scheduled as
+/// non-blocking run-to-completion tasks across `config.localities` worker
+/// threads plus the *home* locality (id 0), which is pumped exclusively by
+/// the driver thread through Step / RunUntil / RunUntilIdle. Every node has
+/// a stable locality affinity: server nodes (role containing "bucket") hash
+/// across the workers, everything else — clients, coordinators, the chaos
+/// controller, stubs — lives home. Because all of a node's handlers run on
+/// its own locality's single thread, node state needs no locking; because
+/// the home locality is the driver thread, the facade/session layer above
+/// (token maps, completion callbacks, SessionPool) runs unchanged and
+/// unsynchronized.
+///
+/// Time: each locality carries a virtual clock modelling one simulated
+/// core. A delivery charges `service_us_per_task + service_us_per_kb·KiB`
+/// occupancy to the destination locality's clock (start = max(clock,
+/// arrival); clock = start + service), so with servers sharded over L
+/// localities an overloaded workload completes in ~1/L the simulated time —
+/// the quantity bench_f11_scaling measures. With the service knobs at 0 the
+/// clocks degenerate to pure latency propagation, matching the
+/// deterministic simulator's cost model.
+///
+/// Determinism contract: parallel runs are *convergence-equivalent* to the
+/// single-threaded Network, not trace-identical. The same seeded workload
+/// reaches the same logical file contents, parity invariants and
+/// client-visible results, but event interleavings, split timings and
+/// message counts may differ. Chaos replays that must be byte-identical use
+/// the deterministic engine (localities = 0); the cross-mode equivalence
+/// tests assert the convergence half.
+///
+/// Threading rules (checked where cheap): AddNode / ReplaceNode /
+/// SetAvailable / Step / RunUntil / stats() are driver-thread-only;
+/// Send / Multicast / ScheduleTimer / now() may be called from any
+/// locality. stats() and telemetry merges assume the engine is quiescent
+/// (between Steps or after the workload drained).
+class ParallelNetwork : public Network {
+ public:
+  explicit ParallelNetwork(NetworkConfig config);
+  ~ParallelNetwork() override;
+
+  NodeId AddNode(std::unique_ptr<Node> node) override;
+  void ReplaceNode(NodeId id, std::unique_ptr<Node> node) override;
+  void Send(NodeId from, NodeId to,
+            std::unique_ptr<MessageBody> body) override;
+  void Multicast(NodeId from,
+                 std::vector<std::pair<NodeId, std::unique_ptr<MessageBody>>>
+                     batch) override;
+  void SetAvailable(NodeId id, bool available) override;
+  bool available(NodeId id) const override;
+  void ScheduleTimer(NodeId node, SimTime delay, uint64_t timer_id,
+                     bool wake = true) override;
+  bool Step() override;
+  void RunUntil(SimTime t) override;
+  using Network::RunUntil;  // RunUntil(pred) and RunUntilIdle build on Step.
+  SimTime now() const override;
+  MessageStats& stats() override;
+  telemetry::Telemetry* EnableTelemetry(
+      telemetry::TelemetryConfig config = {}) override;
+  void Inject(NodeId from, NodeId to,
+              std::unique_ptr<MessageBody> body) override;
+  void NotifyDeliveryFailure(NodeId from, NodeId to,
+                             std::unique_ptr<MessageBody> body) override;
+
+  /// Worker-locality count (home excluded).
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Locality a node's handlers run on (kHomeLocality or 1..worker_count).
+  size_t LocalityOf(NodeId id) const;
+
+  /// Overrides the role-hash placement. Call before any traffic reaches
+  /// the node; driver thread only.
+  void SetAffinity(NodeId id, size_t locality);
+
+  /// Graceful shutdown: workers drain their mailboxes, execute what they
+  /// drained, and join. Idempotent; invoked by the destructor. Call from
+  /// the driver thread when the workload is quiescent — pending wake
+  /// timers are abandoned, queued tasks are not.
+  void Stop();
+
+ private:
+  struct Task {
+    enum class Kind : uint8_t { kDeliver, kFailure, kTimer };
+    Kind kind = Kind::kDeliver;
+    SimTime time = 0;  ///< Arrival / fire time on the destination locality.
+    std::shared_ptr<Message> message;  // null for kTimer.
+    NodeId timer_node = kInvalidNode;
+    uint64_t timer_id = 0;
+    bool timer_wake = true;
+  };
+
+  struct Worker {
+    size_t locality = 0;  ///< 1-based locality id.
+    std::thread thread;
+    MpscMailbox<Task> mailbox;
+    std::mutex wheel_mu;
+    TimerWheel wheel;
+    std::atomic<SimTime> clock{0};
+    MessageStats stats;  ///< Written only by this worker (merged on read).
+    telemetry::Histogram* delivery_latency_us = nullptr;  ///< Shard handle.
+    uint64_t processed = 0;
+  };
+
+  bool OnDriverThread() const {
+    return std::this_thread::get_id() == driver_thread_;
+  }
+  SimTime LocalNow(size_t locality) const;
+  /// Handler occupancy charged to a locality clock per delivered message.
+  SimTime ServiceUs(size_t bytes) const;
+  MessageStats& ShardStats(size_t locality);
+  size_t DefaultLocality(NodeId id, const Node& node) const;
+
+  /// The parallel twin of Network::Enqueue: stamps the message with the
+  /// sender locality's clock, runs the fault injector, and dispatches
+  /// deliver/failure tasks to the destination's locality.
+  void EnqueueParallel(std::unique_ptr<MessageBody> body, NodeId from,
+                       NodeId to, bool multicast_member);
+  void Dispatch(Task task, size_t locality);
+
+  /// Moves everything in the home inbox into the deterministic event queue
+  /// (stamped no earlier than now_). Returns how many tasks moved.
+  size_t DrainHomeInbox();
+  bool IdleLocked() const;
+  /// True when the top home event is a timer that must wait for worker
+  /// quiescence before firing (time-order substitute; see the .cc).
+  bool HoldHomeEvent() const;
+
+  void WorkerMain(Worker* w);
+  void ExecuteTask(Worker* w, const Task& task);
+  /// Fires every timer of `w` due at or before `t` (ahead of the task that
+  /// carried time forward). Assumes the caller is w's thread.
+  void FireTimersUpTo(Worker* w, SimTime t);
+  void RunTimer(Worker* w, const TimerEntry& entry);
+  /// Idle-locality time jump: with no task in flight anywhere, advance this
+  /// worker's clock to its next wake timer and fire it.
+  void MaybeFastForward(Worker* w);
+  /// Driver-side catch-up for RunUntil(t): pops every worker timer due at
+  /// or before `t` and re-dispatches it as a mailbox task. Returns true
+  /// when anything fired. Requires tasks_in_flight_ == 0.
+  bool AdvanceWorkersTo(SimTime t);
+
+  std::thread::id driver_thread_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  MpscMailbox<Task> home_inbox_;
+  std::vector<Task> home_scratch_;  ///< Driver-only drain buffer.
+  std::atomic<bool> running_{true};
+
+  /// Deliver/failure/timer tasks queued or executing outside the home
+  /// event queue (home-inbox entries count until drained). Together with
+  /// the base wake_events_ and pending wake timers this defines idle.
+  std::atomic<int64_t> tasks_in_flight_{0};
+  /// Wake timers resident in worker wheels.
+  std::atomic<int64_t> pending_wake_timers_{0};
+
+  std::atomic<uint64_t> next_parallel_message_id_{1};
+
+  // Node attribute mirrors sized config.max_nodes so worker threads index
+  // without touching the (driver-mutated) base vectors.
+  std::unique_ptr<std::atomic<Node*>[]> node_ptr_;
+  std::unique_ptr<std::atomic<uint32_t>[]> node_locality_;
+  std::unique_ptr<std::atomic<uint8_t>[]> node_available_;
+  std::unique_ptr<std::atomic<uint64_t>[]> node_epoch_;
+  std::atomic<size_t> published_nodes_{0};
+};
+
+/// Builds the engine the config asks for: the classic single-threaded
+/// deterministic Network when `config.localities == 0` (the chaos-replay /
+/// test oracle), a ParallelNetwork otherwise.
+std::unique_ptr<Network> MakeNetwork(const NetworkConfig& config);
+
+}  // namespace lhrs::exec
+
+#endif  // LHRS_EXEC_PARALLEL_NETWORK_H_

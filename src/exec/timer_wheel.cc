@@ -1,0 +1,112 @@
+#include "exec/timer_wheel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lhrs::exec {
+
+TimerWheel::TimerWheel(SimTime slot_us, size_t slots)
+    : slot_us_(std::max<SimTime>(slot_us, 1)),
+      slots_(std::max<size_t>(slots, 2)) {}
+
+void TimerWheel::Schedule(SimTime time, NodeId node, uint64_t timer_id,
+                          bool wake) {
+  TimerEntry entry{std::max(time, cursor_time_), next_seq_++, node, timer_id,
+                   wake};
+  if (wake) ++wake_count_;
+  ++size_;
+  Insert(std::move(entry));
+}
+
+void TimerWheel::Insert(TimerEntry entry) {
+  if (entry.time >= Horizon()) {
+    overflow_.emplace(entry.time, std::move(entry));
+    return;
+  }
+  slots_[SlotIndex(entry.time)].push_back(std::move(entry));
+  ++wheel_count_;
+}
+
+void TimerWheel::Refill() {
+  const SimTime horizon = Horizon();
+  while (!overflow_.empty() && overflow_.begin()->first < horizon) {
+    TimerEntry entry = std::move(overflow_.begin()->second);
+    overflow_.erase(overflow_.begin());
+    slots_[SlotIndex(entry.time)].push_back(std::move(entry));
+    ++wheel_count_;
+  }
+}
+
+void TimerWheel::PopDue(SimTime t, std::vector<TimerEntry>* out) {
+  const size_t first_out = out->size();
+  while (cursor_time_ <= t) {
+    if (size_ == 0) {
+      // Nothing anywhere: jump the cursor in one step.
+      cursor_time_ = t + 1;
+      break;
+    }
+    if (wheel_count_ == 0) {
+      // Only overflow entries remain; skip ahead lap by lap until the
+      // earliest one cascades in (or t is reached).
+      const SimTime next = overflow_.begin()->first;
+      if (next > t) {
+        cursor_time_ = t + 1;
+        break;
+      }
+      // Land the cursor at the start of next's lap so Refill picks it up.
+      const SimTime lap = slot_us_ * static_cast<SimTime>(slots_.size());
+      while (next >= Horizon()) cursor_time_ += lap;
+      Refill();
+      continue;
+    }
+    const SimTime slot_base = (cursor_time_ / slot_us_) * slot_us_;
+    std::vector<TimerEntry>& bucket = slots_[SlotIndex(cursor_time_)];
+    for (size_t i = 0; i < bucket.size();) {
+      if (bucket[i].time <= t) {
+        out->push_back(std::move(bucket[i]));
+        bucket[i] = std::move(bucket.back());
+        bucket.pop_back();
+        --wheel_count_;
+        --size_;
+      } else {
+        ++i;
+      }
+    }
+    const SimTime slot_end = slot_base + slot_us_;  // Exclusive.
+    if (slot_end > t) {
+      cursor_time_ = t + 1;
+      break;
+    }
+    LHRS_CHECK(bucket.empty()) << "timer left behind a passed slot";
+    cursor_time_ = slot_end;
+    Refill();
+  }
+  std::sort(out->begin() + first_out, out->end(),
+            [](const TimerEntry& a, const TimerEntry& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  for (size_t i = first_out; i < out->size(); ++i) {
+    if ((*out)[i].wake) --wake_count_;
+  }
+}
+
+std::optional<SimTime> TimerWheel::NextWakeTime() const {
+  if (wake_count_ == 0) return std::nullopt;
+  std::optional<SimTime> best;
+  for (const std::vector<TimerEntry>& bucket : slots_) {
+    for (const TimerEntry& entry : bucket) {
+      if (entry.wake && (!best || entry.time < *best)) best = entry.time;
+    }
+  }
+  for (const auto& [time, entry] : overflow_) {
+    if (!entry.wake) continue;
+    // Overflow is time-sorted, so the first wake entry is its minimum.
+    if (!best || time < *best) best = time;
+    break;
+  }
+  return best;
+}
+
+}  // namespace lhrs::exec

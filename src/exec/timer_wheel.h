@@ -1,0 +1,83 @@
+#ifndef LHRS_EXEC_TIMER_WHEEL_H_
+#define LHRS_EXEC_TIMER_WHEEL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/message.h"
+
+namespace lhrs::exec {
+
+/// One armed timer: fire `node`'s HandleTimer(timer_id) at simulated time
+/// `time`. `seq` breaks ties so same-instant timers fire in arming order,
+/// mirroring the (time, seq) discipline of the deterministic event loop.
+struct TimerEntry {
+  SimTime time = 0;
+  uint64_t seq = 0;
+  NodeId node = kInvalidNode;
+  uint64_t timer_id = 0;
+  bool wake = true;
+};
+
+/// Single-level timer wheel with an overflow map, one per locality of the
+/// parallel execution engine.
+///
+/// The wheel proper is a ring of `slots` buckets of `slot_us` simulated
+/// microseconds each, so arming and firing a timer within the horizon
+/// (slots * slot_us) is O(1) amortized — the common case: RPC timeouts and
+/// retry timers land a few hundred to a few thousand us out. Entries beyond
+/// the horizon wait in a sorted overflow map and cascade into the wheel as
+/// the cursor advances past their lap (the chaos engine arms fault
+/// schedules seconds ahead this way).
+///
+/// Not internally synchronized: each locality guards its wheel with the
+/// locality's own lock (timers are armed by the owning thread in the common
+/// case, cross-locality only by the driver's RunUntil catch-up).
+class TimerWheel {
+ public:
+  explicit TimerWheel(SimTime slot_us = 128, size_t slots = 1024);
+
+  /// Arms a timer. Entries in the past (time < the last PopDue bound) fire
+  /// on the next PopDue call.
+  void Schedule(SimTime time, NodeId node, uint64_t timer_id, bool wake);
+
+  /// Moves every entry with time <= t into `out` in (time, seq) order and
+  /// advances the cursor to t + 1. Entries already popped never reappear.
+  void PopDue(SimTime t, std::vector<TimerEntry>* out);
+
+  /// Earliest pending wake-flagged fire time, or nullopt when none. Used by
+  /// an idle locality to fast-forward its virtual clock, the parallel
+  /// analogue of the deterministic loop's time jump to the next wake event.
+  std::optional<SimTime> NextWakeTime() const;
+
+  size_t size() const { return size_; }
+  size_t wake_count() const { return wake_count_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  SimTime Horizon() const {
+    return cursor_time_ + slot_us_ * static_cast<SimTime>(slots_.size());
+  }
+  size_t SlotIndex(SimTime time) const {
+    return static_cast<size_t>((time / slot_us_) %
+                               static_cast<SimTime>(slots_.size()));
+  }
+  void Insert(TimerEntry entry);
+  /// Cascades overflow entries that fell inside the horizon into the wheel.
+  void Refill();
+
+  SimTime slot_us_;
+  std::vector<std::vector<TimerEntry>> slots_;
+  std::multimap<SimTime, TimerEntry> overflow_;
+  SimTime cursor_time_ = 0;  ///< Every entry with time < cursor has fired.
+  uint64_t next_seq_ = 1;
+  size_t size_ = 0;        ///< Wheel + overflow entries.
+  size_t wheel_count_ = 0; ///< Entries resident in the wheel slots.
+  size_t wake_count_ = 0;
+};
+
+}  // namespace lhrs::exec
+
+#endif  // LHRS_EXEC_TIMER_WHEEL_H_

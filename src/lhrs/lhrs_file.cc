@@ -47,13 +47,13 @@ LhrsFile::LhrsFile(Options options)
   auto coordinator = std::make_unique<RsCoordinatorNode>(lhrs_ctx_);
   rs_coordinator_ = coordinator.get();
   coordinator_ = rs_coordinator_;
-  ctx_->coordinator = network_.AddNode(std::move(coordinator));
+  ctx_->coordinator = network_->AddNode(std::move(coordinator));
 
   rs_coordinator_->SetBucketFactory([this](BucketNo bucket, Level level) {
     auto node = std::make_unique<RsDataBucketNode>(
         lhrs_ctx_, bucket, level, /*pre_initialized=*/false);
     RsDataBucketNode* ptr = node.get();
-    const NodeId id = network_.AddNode(std::move(node));
+    const NodeId id = network_->AddNode(std::move(node));
     RegisterDataBucket(id, ptr);
     return id;
   });
@@ -62,7 +62,7 @@ LhrsFile::LhrsFile(Options options)
         auto node = std::make_unique<ParityBucketNode>(
             lhrs_ctx_, group, parity_index, k, /*pre_initialized=*/!spare);
         ParityBucketNode* ptr = node.get();
-        const NodeId id = network_.AddNode(std::move(node));
+        const NodeId id = network_->AddNode(std::move(node));
         parity_nodes_.Register(id, ptr);
         return id;
       });
@@ -71,35 +71,35 @@ LhrsFile::LhrsFile(Options options)
     auto node = std::make_unique<RsDataBucketNode>(lhrs_ctx_, b, /*level=*/0,
                                                    /*pre_initialized=*/true);
     RsDataBucketNode* ptr = node.get();
-    const NodeId id = network_.AddNode(std::move(node));
+    const NodeId id = network_->AddNode(std::move(node));
     RegisterDataBucket(id, ptr);
     ctx_->allocation.Set(b, id);
   }
   rs_coordinator_->InitializeGroups();
   AddClient();
-  network_.RunUntilIdle();  // Deliver the initial group configurations.
+  network_->RunUntilIdle();  // Deliver the initial group configurations.
 }
 
 NodeId LhrsFile::CrashDataBucket(BucketNo b) {
   const NodeId node = ctx_->allocation.Lookup(b);
-  network_.SetAvailable(node, false);
+  network_->SetAvailable(node, false);
   return node;
 }
 
 NodeId LhrsFile::CrashParityBucket(uint32_t g, uint32_t parity_index) {
   const NodeId node = rs_coordinator_->group_info(g).parity_nodes.at(
       parity_index);
-  network_.SetAvailable(node, false);
+  network_->SetAvailable(node, false);
   return node;
 }
 
 void LhrsFile::RestoreNode(NodeId node) {
-  network_.SetAvailable(node, true);
+  network_->SetAvailable(node, true);
   // Self-detected recovery (section 2.5.4): the node checks with the
   // coordinator whether it still carries its bucket.
   if (DataBucketNode* bucket = data_node(node)) {
     bucket->SelfCheck();
-    network_.RunUntilIdle();
+    network_->RunUntilIdle();
   }
 }
 
@@ -123,28 +123,28 @@ chaos::ChaosEngine::GroupResolver LhrsFile::ChaosGroupResolver() {
 
 void LhrsFile::DetectAndRecover(NodeId node) {
   rs_coordinator_->NotifyUnavailable(node);
-  network_.RunUntilIdle();
+  network_->RunUntilIdle();
 }
 
 void LhrsFile::RecoverAll() {
   for (uint32_t g = 0; g < rs_coordinator_->group_count(); ++g) {
     rs_coordinator_->RecoverGroup(g);
   }
-  network_.RunUntilIdle();
+  network_->RunUntilIdle();
 }
 
 RsCoordinatorNode::ScrubReport LhrsFile::Scrub(bool repair) {
   rs_coordinator_->ResetScrubReport();
   for (uint32_t g = 0; g < rs_coordinator_->group_count(); ++g) {
     rs_coordinator_->StartScrub(g, repair);
-    network_.RunUntilIdle();
+    network_->RunUntilIdle();
   }
   return rs_coordinator_->scrub_report();
 }
 
 Status LhrsFile::SimulateCoordinatorRestart() {
   rs_coordinator_->WipeSoftStateAndResurvey();
-  network_.RunUntilIdle();
+  network_->RunUntilIdle();
   if (!rs_coordinator_->survey_rebuilt()) {
     return Status::Internal("survey did not complete");
   }
@@ -153,7 +153,7 @@ Status LhrsFile::SimulateCoordinatorRestart() {
 
 Result<FileState> LhrsFile::RecoverFileState() {
   rs_coordinator_->StartFileStateRecovery();
-  network_.RunUntilIdle();
+  network_->RunUntilIdle();
   return rs_coordinator_->FinishFileStateRecovery();
 }
 
@@ -202,7 +202,7 @@ Status LhrsFile::VerifyParityInvariants() const {
     std::map<Rank, Truth> truth;
     for (uint32_t slot = 0; slot < existing; ++slot) {
       const BucketNo b = g * m + slot;
-      if (!network_.available(ctx_->allocation.Lookup(b))) {
+      if (!network_->available(ctx_->allocation.Lookup(b))) {
         return Status::Internal("cannot verify: data bucket " +
                                 std::to_string(b) + " is down");
       }

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -109,7 +110,11 @@ class CoderCache {
   uint32_t m() const { return m_; }
   FieldChoice field() const { return field_; }
 
+  /// Get-or-create; the returned coder lives as long as the cache. Guarded
+  /// so parity buckets on different localities can resolve concurrently
+  /// (coders themselves are immutable once built).
   const ErasureCoder& ForK(uint32_t k) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = coders_.find(k);
     if (it == coders_.end()) {
       std::unique_ptr<ErasureCoder> coder;
@@ -124,6 +129,7 @@ class CoderCache {
   }
 
  private:
+  std::mutex mu_;
   uint32_t m_;
   FieldChoice field_;
   std::map<uint32_t, std::unique_ptr<ErasureCoder>> coders_;

@@ -3,12 +3,13 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "exec/parallel_network.h"
 
 namespace lhrs {
 
 LhStarFile::LhStarFile(Options options, DeferInit)
     : options_(std::move(options)),
-      network_(options_.net),
+      network_(exec::MakeNetwork(options_.net)),
       ctx_(std::make_shared<SystemContext>()) {
   RegisterLhStarMessageNames();
   ctx_->config = options_.file;
@@ -18,13 +19,13 @@ LhStarFile::LhStarFile(Options options)
     : LhStarFile(std::move(options), DeferInit{}) {
   auto coordinator = std::make_unique<CoordinatorNode>(ctx_);
   coordinator_ = coordinator.get();
-  ctx_->coordinator = network_.AddNode(std::move(coordinator));
+  ctx_->coordinator = network_->AddNode(std::move(coordinator));
 
   coordinator_->SetBucketFactory([this](BucketNo bucket, Level level) {
     auto node = std::make_unique<DataBucketNode>(ctx_, bucket, level,
                                                  /*pre_initialized=*/false);
     DataBucketNode* ptr = node.get();
-    const NodeId id = network_.AddNode(std::move(node));
+    const NodeId id = network_->AddNode(std::move(node));
     RegisterDataBucket(id, ptr);
     return id;
   });
@@ -33,7 +34,7 @@ LhStarFile::LhStarFile(Options options)
     auto node = std::make_unique<DataBucketNode>(ctx_, b, /*level=*/0,
                                                  /*pre_initialized=*/true);
     DataBucketNode* ptr = node.get();
-    const NodeId id = network_.AddNode(std::move(node));
+    const NodeId id = network_->AddNode(std::move(node));
     RegisterDataBucket(id, ptr);
     ctx_->allocation.Set(b, id);
   }
@@ -44,7 +45,7 @@ LhStarFile::LhStarFile(Options options)
 size_t LhStarFile::AddClient() {
   auto client = std::make_unique<ClientNode>(ctx_);
   ClientNode* ptr = client.get();
-  network_.AddNode(std::move(client));
+  network_->AddNode(std::move(client));
   clients_.push_back(ptr);
   op_tokens_.emplace_back();
   const size_t session = clients_.size() - 1;
@@ -111,7 +112,7 @@ Result<std::vector<WireRecord>> LhStarFile::Scan(ScanPredicate predicate,
                                                  bool deterministic) {
   ClientNode& c = client(0);
   const uint64_t op_id = c.StartScan(std::move(predicate), deterministic);
-  network_.RunUntilIdle();
+  network_->RunUntilIdle();
   if (!c.IsDone(op_id)) {
     if (!deterministic) {
       // Probabilistic termination: the simulation going idle is the
@@ -133,7 +134,8 @@ DataBucketNode* LhStarFile::bucket(BucketNo b) const {
 chaos::ChaosEngine& LhStarFile::AttachChaos(chaos::FaultPlan plan) {
   chaos_.reset();  // Detach first: the engine registers a network hook.
   chaos_ = std::make_unique<chaos::ChaosEngine>(
-      &network_, std::move(plan), ChaosGroupResolver(), ChaosRestoreHook());
+      network_.get(), std::move(plan), ChaosGroupResolver(),
+      ChaosRestoreHook());
   return *chaos_;
 }
 
@@ -141,15 +143,15 @@ void LhStarFile::DetachChaos() { chaos_.reset(); }
 
 void LhStarFile::PlayOutChaos() {
   if (chaos_ == nullptr) return;
-  network_.RunUntil(chaos_->Horizon());
-  network_.RunUntilIdle();
+  network_->RunUntil(chaos_->Horizon());
+  network_->RunUntilIdle();
 }
 
 chaos::ChaosEngine::RestoreHook LhStarFile::ChaosRestoreHook() {
   // Must not pump the event loop: it runs inside event processing. The
   // self-check messages play out in the surrounding run.
   return [this](NodeId node) {
-    network_.SetAvailable(node, true);
+    network_->SetAvailable(node, true);
     if (DataBucketNode* bucket = data_node(node)) {
       bucket->SelfCheck();
     }

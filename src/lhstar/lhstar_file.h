@@ -55,8 +55,8 @@ class LhStarFile : public sdds::SddsFile {
   Result<Bytes> SearchVia(size_t client_index, Key key);
 
   // --- Introspection ------------------------------------------------------
-  Network& network() override { return network_; }
-  const Network& network() const { return network_; }
+  Network& network() override { return *network_; }
+  const Network& network() const { return *network_; }
   CoordinatorNode& coordinator() { return *coordinator_; }
   SystemContext& context() { return *ctx_; }
   BucketNo bucket_count() const { return coordinator_->state().bucket_count(); }
@@ -105,7 +105,10 @@ class LhStarFile : public sdds::SddsFile {
   DataBucketNode* data_node(NodeId id) const { return data_nodes_.Find(id); }
 
   Options options_;
-  Network network_;
+  /// exec::MakeNetwork — the classic deterministic engine when
+  /// options_.net.localities == 0, the locality-sharded ParallelNetwork
+  /// otherwise. Facade code is engine-agnostic.
+  std::unique_ptr<Network> network_;
   std::shared_ptr<SystemContext> ctx_;
   CoordinatorNode* coordinator_ = nullptr;  // Owned by network_.
   std::vector<ClientNode*> clients_;        // Owned by network_.

@@ -1,0 +1,13 @@
+#include "net/locality.h"
+
+namespace lhrs {
+
+namespace {
+thread_local size_t current_locality = kHomeLocality;
+}  // namespace
+
+size_t CurrentLocality() { return current_locality; }
+
+void SetCurrentLocality(size_t locality) { current_locality = locality; }
+
+}  // namespace lhrs

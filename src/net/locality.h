@@ -1,0 +1,32 @@
+#ifndef LHRS_NET_LOCALITY_H_
+#define LHRS_NET_LOCALITY_H_
+
+#include <cstddef>
+
+namespace lhrs {
+
+/// Locality ids of the parallel execution engine (src/exec). A locality is
+/// one run-to-completion executor with stable per-node affinity: every
+/// handler of a node runs on that node's locality, so node state needs no
+/// locks. Locality 0 — the *home* locality — is special: it is pumped by
+/// the driver thread through the Network::Step/RunUntil surface (never by a
+/// worker thread), and it is where clients, coordinators and the chaos
+/// controller live, so facade bookkeeping and completion callbacks stay
+/// single-threaded exactly as in the deterministic simulator.
+inline constexpr size_t kHomeLocality = 0;
+
+/// The locality whose executor is running on this thread. Worker threads
+/// are pinned to their locality for life; the driver thread executes home
+/// tasks, so it reads 0 — which is also what every thread outside the
+/// engine (single-threaded simulations, tests, tools) reads. Components
+/// that keep per-locality shards (chaos RNG streams, telemetry) index them
+/// with this.
+size_t CurrentLocality();
+
+/// Engine-internal: binds this thread to `locality` (workers call it once
+/// at startup). Public so tests can simulate worker threads.
+void SetCurrentLocality(size_t locality);
+
+}  // namespace lhrs
+
+#endif  // LHRS_NET_LOCALITY_H_

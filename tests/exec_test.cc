@@ -1,0 +1,470 @@
+// Tests for the locality-sharded parallel execution engine: mailbox
+// ordering, timer-wheel behaviour, stable task affinity, virtual
+// service-time clocks, idle detection and graceful shutdown.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/mpsc_mailbox.h"
+#include "exec/parallel_network.h"
+#include "exec/timer_wheel.h"
+#include "net/locality.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "net/node.h"
+
+namespace lhrs {
+namespace {
+
+using exec::MakeNetwork;
+using exec::MpscMailbox;
+using exec::ParallelNetwork;
+using exec::TimerEntry;
+using exec::TimerWheel;
+
+// --- MpscMailbox ------------------------------------------------------------
+
+TEST(MpscMailboxTest, FifoPerSenderUnderConcurrentProducers) {
+  MpscMailbox<std::pair<int, int>> mailbox;  // (sender, sequence).
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 2000;
+
+  std::vector<std::thread> producers;
+  for (int s = 0; s < kSenders; ++s) {
+    producers.emplace_back([&mailbox, s] {
+      for (int i = 0; i < kPerSender; ++i) mailbox.Push({s, i});
+    });
+  }
+
+  std::vector<std::pair<int, int>> drained;
+  std::vector<std::pair<int, int>> batch;
+  while (drained.size() < size_t{kSenders} * kPerSender) {
+    batch.clear();
+    mailbox.PopAll(&batch, std::chrono::microseconds(1000));
+    drained.insert(drained.end(), batch.begin(), batch.end());
+  }
+  for (std::thread& t : producers) t.join();
+
+  // Each sender's items appear in push order, however the threads raced.
+  std::vector<int> next(kSenders, 0);
+  for (const auto& [sender, seq] : drained) {
+    EXPECT_EQ(seq, next[sender]) << "sender " << sender << " reordered";
+    ++next[sender];
+  }
+  for (int s = 0; s < kSenders; ++s) EXPECT_EQ(next[s], kPerSender);
+  EXPECT_TRUE(mailbox.empty());
+}
+
+TEST(MpscMailboxTest, PopAllBlocksUntilPush) {
+  MpscMailbox<int> mailbox;
+  std::thread producer([&mailbox] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    mailbox.Push(42);
+  });
+  std::vector<int> batch;
+  // Generous timeout: the wait must end on the push, not the deadline.
+  while (batch.empty()) {
+    mailbox.PopAll(&batch, std::chrono::microseconds(100000));
+  }
+  producer.join();
+  EXPECT_EQ(batch, std::vector<int>{42});
+}
+
+// --- TimerWheel -------------------------------------------------------------
+
+std::vector<uint64_t> PopIds(TimerWheel& wheel, SimTime t) {
+  std::vector<TimerEntry> due;
+  wheel.PopDue(t, &due);
+  std::vector<uint64_t> ids;
+  for (const TimerEntry& e : due) ids.push_back(e.timer_id);
+  return ids;
+}
+
+TEST(TimerWheelTest, PopsInTimeThenInsertionOrder) {
+  TimerWheel wheel;
+  wheel.Schedule(500, 1, /*timer_id=*/3, true);
+  wheel.Schedule(100, 1, /*timer_id=*/1, true);
+  wheel.Schedule(500, 1, /*timer_id=*/4, true);  // Same time: seq breaks tie.
+  wheel.Schedule(300, 1, /*timer_id=*/2, true);
+  EXPECT_EQ(PopIds(wheel, 400), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(PopIds(wheel, 1000), (std::vector<uint64_t>{3, 4}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, OverflowBeyondHorizonCascadesBack) {
+  TimerWheel wheel(/*slot_us=*/16, /*slots=*/8);  // Horizon: 128us.
+  // Far beyond the horizon (lands in overflow), inside it, and in between.
+  wheel.Schedule(10'000, 1, 30, true);
+  wheel.Schedule(50, 1, 10, true);
+  wheel.Schedule(400, 1, 20, true);
+  EXPECT_EQ(PopIds(wheel, 60), std::vector<uint64_t>{10});
+  EXPECT_EQ(PopIds(wheel, 401), std::vector<uint64_t>{20});
+  EXPECT_EQ(PopIds(wheel, 9'999), std::vector<uint64_t>{});
+  EXPECT_EQ(PopIds(wheel, 20'000), std::vector<uint64_t>{30});
+}
+
+TEST(TimerWheelTest, PastDeadlineClampsToCursor) {
+  TimerWheel wheel;
+  std::vector<TimerEntry> due;
+  wheel.PopDue(1000, &due);  // Advances the cursor past 1000.
+  wheel.Schedule(200, 1, 7, true);  // Already overdue: fires immediately.
+  EXPECT_EQ(PopIds(wheel, 1001), std::vector<uint64_t>{7});
+}
+
+TEST(TimerWheelTest, ManyTimersFireInOrderUnderLoad) {
+  TimerWheel wheel(/*slot_us=*/32, /*slots=*/64);
+  // Deterministic scatter across several horizons, with collisions.
+  constexpr uint64_t kCount = 5000;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    wheel.Schedule((i * 2654435761u) % 40'000, 1, i, i % 3 == 0);
+  }
+  EXPECT_EQ(wheel.size(), kCount);
+  std::vector<TimerEntry> due;
+  SimTime last = 0;
+  size_t popped = 0;
+  for (SimTime t = 1000; t <= 40'000; t += 1000) {
+    due.clear();
+    wheel.PopDue(t, &due);
+    for (const TimerEntry& e : due) {
+      EXPECT_GE(e.time, last);
+      EXPECT_LE(e.time, t);
+      last = e.time;
+    }
+    popped += due.size();
+  }
+  EXPECT_EQ(popped, kCount);
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.wake_count(), 0u);
+}
+
+TEST(TimerWheelTest, NextWakeTimeSkipsNonWakeEntries) {
+  TimerWheel wheel;
+  wheel.Schedule(100, 1, 1, /*wake=*/false);
+  wheel.Schedule(900, 1, 2, /*wake=*/true);
+  ASSERT_TRUE(wheel.NextWakeTime().has_value());
+  EXPECT_EQ(*wheel.NextWakeTime(), 900u);
+  EXPECT_EQ(wheel.wake_count(), 1u);
+}
+
+// --- ParallelNetwork --------------------------------------------------------
+
+constexpr int kProbeMsgKind = 91;
+
+struct ProbeMsg : MessageBody {
+  int payload = 0;
+  size_t size = 16;
+
+  int kind() const override { return kProbeMsgKind; }
+  size_t ByteSize() const override { return size; }
+};
+
+/// Records the locality every handler invocation runs on. The recording
+/// mutex also hands the contents to the driver thread with proper
+/// happens-before for post-quiescence asserts.
+class ProbeNode : public Node {
+ public:
+  explicit ProbeNode(const char* role, NodeId reply_to = kInvalidNode)
+      : role_(role), reply_to_(reply_to) {}
+
+  void HandleMessage(const Message& msg) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    message_localities_.push_back(CurrentLocality());
+    payloads_.push_back(static_cast<const ProbeMsg&>(*msg.body).payload);
+    receive_times_.push_back(network()->now());
+    if (reply_to_ != kInvalidNode) {
+      auto reply = std::make_unique<ProbeMsg>();
+      reply->payload = -static_cast<const ProbeMsg&>(*msg.body).payload;
+      Send(reply_to_, std::move(reply));
+    }
+  }
+
+  void HandleTimer(uint64_t timer_id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    timer_localities_.push_back(CurrentLocality());
+    fired_.push_back(timer_id);
+    fire_times_.push_back(network()->now());
+  }
+
+  const char* role() const override { return role_; }
+
+  std::vector<size_t> message_localities() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return message_localities_;
+  }
+  std::vector<size_t> timer_localities() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return timer_localities_;
+  }
+  std::vector<int> payloads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return payloads_;
+  }
+  std::vector<uint64_t> fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_;
+  }
+  std::vector<SimTime> fire_times() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fire_times_;
+  }
+  std::vector<SimTime> receive_times() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return receive_times_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  const char* role_;
+  NodeId reply_to_;
+  std::vector<size_t> message_localities_;
+  std::vector<size_t> timer_localities_;
+  std::vector<int> payloads_;
+  std::vector<uint64_t> fired_;
+  std::vector<SimTime> fire_times_;
+  std::vector<SimTime> receive_times_;
+};
+
+NetworkConfig ParallelConfig(size_t localities) {
+  NetworkConfig cfg;
+  cfg.localities = localities;
+  return cfg;
+}
+
+TEST(MakeNetworkTest, LocalityCountSelectsEngine) {
+  auto classic = MakeNetwork(ParallelConfig(0));
+  EXPECT_EQ(dynamic_cast<ParallelNetwork*>(classic.get()), nullptr);
+  auto parallel = MakeNetwork(ParallelConfig(3));
+  auto* p = dynamic_cast<ParallelNetwork*>(parallel.get());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->worker_count(), 3u);
+}
+
+TEST(ParallelNetworkTest, BucketRolesShardAcrossWorkersOthersStayHome) {
+  ParallelNetwork net(ParallelConfig(4));
+  const NodeId client = net.AddNode(std::make_unique<ProbeNode>("client"));
+  const NodeId coord = net.AddNode(std::make_unique<ProbeNode>("coordinator"));
+  std::vector<NodeId> buckets;
+  std::set<size_t> used;
+  for (int i = 0; i < 32; ++i) {
+    buckets.push_back(net.AddNode(std::make_unique<ProbeNode>("data-bucket")));
+    const size_t loc = net.LocalityOf(buckets.back());
+    EXPECT_GE(loc, 1u);
+    EXPECT_LE(loc, 4u);
+    used.insert(loc);
+  }
+  EXPECT_EQ(net.LocalityOf(client), kHomeLocality);
+  EXPECT_EQ(net.LocalityOf(coord), kHomeLocality);
+  EXPECT_GT(used.size(), 1u);  // Hash placement actually shards.
+}
+
+TEST(ParallelNetworkTest, EveryHandlerRunsOnTheNodesAffinity) {
+  ParallelNetwork net(ParallelConfig(3));
+  std::vector<ProbeNode*> probes;
+  const NodeId home = net.AddNode(std::make_unique<ProbeNode>("client"));
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 12; ++i) {
+    auto probe = std::make_unique<ProbeNode>("data-bucket", home);
+    probes.push_back(probe.get());
+    ids.push_back(net.AddNode(std::move(probe)));
+  }
+  constexpr int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto msg = std::make_unique<ProbeMsg>();
+      msg->payload = round;
+      net.Send(home, ids[i], std::move(msg));
+    }
+    net.RunUntilIdle();
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const size_t expected = net.LocalityOf(ids[i]);
+    const std::vector<size_t> seen = probes[i]->message_localities();
+    ASSERT_EQ(seen.size(), size_t{kRounds});
+    for (size_t loc : seen) EXPECT_EQ(loc, expected);
+  }
+  net.Stop();
+}
+
+TEST(ParallelNetworkTest, SetAffinityPinsPlacement) {
+  ParallelNetwork net(ParallelConfig(4));
+  const NodeId home = net.AddNode(std::make_unique<ProbeNode>("client"));
+  auto probe = std::make_unique<ProbeNode>("data-bucket");
+  ProbeNode* p = probe.get();
+  const NodeId id = net.AddNode(std::move(probe));
+  net.SetAffinity(id, 2);
+  EXPECT_EQ(net.LocalityOf(id), 2u);
+  for (int i = 0; i < 5; ++i) {
+    net.Send(home, id, std::make_unique<ProbeMsg>());
+  }
+  net.RunUntilIdle();
+  const std::vector<size_t> seen = p->message_localities();
+  ASSERT_EQ(seen.size(), 5u);
+  for (size_t loc : seen) EXPECT_EQ(loc, 2u);
+}
+
+TEST(ParallelNetworkTest, RepliesFlowBackToTheHomeLocality) {
+  ParallelNetwork net(ParallelConfig(2));
+  auto sink = std::make_unique<ProbeNode>("client");
+  ProbeNode* sink_ptr = sink.get();
+  const NodeId home = net.AddNode(std::move(sink));
+  auto probe = std::make_unique<ProbeNode>("data-bucket", home);
+  ProbeNode* p = probe.get();
+  const NodeId id = net.AddNode(std::move(probe));
+  constexpr int kCount = 50;
+  for (int i = 0; i < kCount; ++i) {
+    auto msg = std::make_unique<ProbeMsg>();
+    msg->payload = i + 1;
+    net.Send(home, id, std::move(msg));
+  }
+  net.RunUntilIdle();
+  EXPECT_EQ(p->payloads().size(), size_t{kCount});
+  std::vector<int> replies = sink_ptr->payloads();
+  ASSERT_EQ(replies.size(), size_t{kCount});
+  std::sort(replies.begin(), replies.end());
+  EXPECT_EQ(replies.front(), -kCount);
+  EXPECT_EQ(replies.back(), -1);
+  // Home handlers run on the driver thread's locality.
+  for (size_t loc : sink_ptr->message_localities()) {
+    EXPECT_EQ(loc, kHomeLocality);
+  }
+}
+
+TEST(ParallelNetworkTest, ServiceTimeChargesTheDestinationClock) {
+  NetworkConfig cfg = ParallelConfig(2);
+  cfg.service_us_per_task = 100;
+  ParallelNetwork net(cfg);
+  const NodeId home = net.AddNode(std::make_unique<ProbeNode>("client"));
+  auto probe = std::make_unique<ProbeNode>("data-bucket");
+  ProbeNode* p = probe.get();
+  const NodeId id = net.AddNode(std::move(probe));
+  constexpr int kCount = 10;
+  for (int i = 0; i < kCount; ++i) {
+    net.Send(home, id, std::make_unique<ProbeMsg>());
+  }
+  net.RunUntilIdle();
+  const std::vector<SimTime> times = p->receive_times();
+  ASSERT_EQ(times.size(), size_t{kCount});
+  // All arrive at the same simulated instant but queue on the bucket's
+  // core: each handler sees the clock at least one service quantum past
+  // its predecessor — the occupancy model bench_f11_scaling relies on.
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i], times[i - 1] + 100);
+  }
+}
+
+TEST(ParallelNetworkTest, WorkerWakeTimersFireUnderMessageLoad) {
+  ParallelNetwork net(ParallelConfig(2));
+  const NodeId home = net.AddNode(std::make_unique<ProbeNode>("client"));
+  auto probe = std::make_unique<ProbeNode>("data-bucket");
+  ProbeNode* p = probe.get();
+  const NodeId id = net.AddNode(std::move(probe));
+  for (uint64_t t = 1; t <= 20; ++t) {
+    net.ScheduleTimer(id, t * 50, t, /*wake=*/true);
+  }
+  for (int i = 0; i < 30; ++i) {
+    net.Send(home, id, std::make_unique<ProbeMsg>());
+  }
+  net.RunUntilIdle();
+  std::vector<uint64_t> fired = p->fired();
+  std::sort(fired.begin(), fired.end());
+  ASSERT_EQ(fired.size(), 20u);
+  EXPECT_EQ(fired.front(), 1u);
+  EXPECT_EQ(fired.back(), 20u);
+  const std::vector<SimTime> times = p->fire_times();
+  for (SimTime t : times) EXPECT_GE(t, 50u);
+  for (size_t loc : p->timer_localities()) {
+    EXPECT_EQ(loc, net.LocalityOf(id));
+  }
+  EXPECT_EQ(p->payloads().size(), 30u);
+}
+
+TEST(ParallelNetworkTest, RunUntilPlaysOutNonWakeWorkerTimers) {
+  ParallelNetwork net(ParallelConfig(2));
+  auto probe = std::make_unique<ProbeNode>("data-bucket");
+  ProbeNode* p = probe.get();
+  const NodeId id = net.AddNode(std::move(probe));
+  net.ScheduleTimer(id, 1000, 7, /*wake=*/false);
+  net.RunUntilIdle();
+  EXPECT_TRUE(p->fired().empty());  // Non-wake: idle run leaves it armed.
+  net.RunUntil(2000);
+  EXPECT_EQ(p->fired(), std::vector<uint64_t>{7});
+  EXPECT_GE(net.now(), 2000u);
+}
+
+TEST(ParallelNetworkTest, StepReturnsFalseOnlyWhenEverythingDrained) {
+  ParallelNetwork net(ParallelConfig(2));
+  const NodeId home = net.AddNode(std::make_unique<ProbeNode>("client"));
+  auto probe = std::make_unique<ProbeNode>("data-bucket");
+  ProbeNode* p = probe.get();
+  const NodeId id = net.AddNode(std::move(probe));
+  EXPECT_FALSE(net.Step());  // Nothing queued anywhere.
+  net.Send(home, id, std::make_unique<ProbeMsg>());
+  // Step must not report idle while the delivery is queued or running on
+  // the worker; once it reports false the message has been handled.
+  while (net.Step()) {
+  }
+  EXPECT_EQ(p->payloads().size(), 1u);
+}
+
+TEST(ParallelNetworkTest, UnavailableBucketBouncesToWorkerSender) {
+  NetworkConfig cfg = ParallelConfig(2);
+  cfg.timeout_us = 500;
+  ParallelNetwork net(cfg);
+  const NodeId home = net.AddNode(std::make_unique<ProbeNode>("client"));
+  auto probe = std::make_unique<ProbeNode>("data-bucket");
+  const NodeId id = net.AddNode(std::move(probe));
+  net.SetAvailable(id, false);
+  net.Send(home, id, std::make_unique<ProbeMsg>());
+  net.RunUntilIdle();
+  EXPECT_FALSE(net.available(id));
+  EXPECT_EQ(net.stats().delivery_failures(), 1u);
+  net.SetAvailable(id, true);
+  EXPECT_TRUE(net.available(id));
+}
+
+TEST(ParallelNetworkTest, StopDrainsQueuedWork) {
+  ParallelNetwork net(ParallelConfig(4));
+  const NodeId home = net.AddNode(std::make_unique<ProbeNode>("client"));
+  std::vector<ProbeNode*> probes;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto probe = std::make_unique<ProbeNode>("data-bucket");
+    probes.push_back(probe.get());
+    ids.push_back(net.AddNode(std::move(probe)));
+  }
+  constexpr int kPerBucket = 25;
+  for (int round = 0; round < kPerBucket; ++round) {
+    for (NodeId id : ids) net.Send(home, id, std::make_unique<ProbeMsg>());
+  }
+  net.Stop();  // No pump: the graceful drain must execute everything queued.
+  size_t total = 0;
+  for (ProbeNode* p : probes) total += p->payloads().size();
+  EXPECT_EQ(total, size_t{kPerBucket} * ids.size());
+}
+
+TEST(ParallelNetworkTest, StatsMergeShardsOnce) {
+  ParallelNetwork net(ParallelConfig(2));
+  const NodeId home = net.AddNode(std::make_unique<ProbeNode>("client"));
+  const NodeId id = net.AddNode(std::make_unique<ProbeNode>("data-bucket"));
+  constexpr int kCount = 12;
+  for (int i = 0; i < kCount; ++i) {
+    net.Send(home, id, std::make_unique<ProbeMsg>());
+  }
+  net.RunUntilIdle();
+  EXPECT_EQ(net.stats().total_messages(), size_t{kCount});
+  EXPECT_EQ(net.stats().deliveries(), size_t{kCount});
+  // A second read must not double-count the merged worker shards.
+  EXPECT_EQ(net.stats().deliveries(), size_t{kCount});
+}
+
+}  // namespace
+}  // namespace lhrs
