@@ -24,6 +24,9 @@ namespace {
 struct RecoveryCost {
   uint64_t messages = 0;
   uint64_t bytes = 0;
+  /// Survivor-column payload actually read for the rebuild (the
+  /// recovery.repair_bytes_moved counter) — the number an LRC shrinks.
+  uint64_t repair_bytes = 0;
   SimTime sim_us = 0;
 };
 
@@ -32,6 +35,7 @@ struct RecoveryHistograms {
   telemetry::Histogram total;
   telemetry::Histogram read_phase;
   telemetry::Histogram decode_install_phase;
+  telemetry::Histogram degraded_read;
 
   void MergeFrom(const telemetry::MetricsRegistry& m) {
     if (const auto* h = m.FindHistogram("recovery_latency_us")) {
@@ -42,6 +46,9 @@ struct RecoveryHistograms {
     }
     if (const auto* h = m.FindHistogram("recovery_phase_decode_install_us")) {
       decode_install_phase.Merge(*h);
+    }
+    if (const auto* h = m.FindHistogram("degraded_read_latency_us")) {
+      degraded_read.Merge(*h);
     }
   }
 };
@@ -73,6 +80,10 @@ RecoveryCost MeasureBucketRecovery(size_t bucket_capacity, uint32_t k,
   RecoveryCost cost;
   cost.messages = file.network().stats().total_messages() - msgs_before;
   cost.bytes = file.network().stats().total().bytes - bytes_before;
+  if (const auto* c =
+          telemetry->metrics().FindCounter("recovery.repair_bytes_moved")) {
+    cost.repair_bytes = c->value();
+  }
   cost.sim_us = file.network().now() - t_before;
   LHRS_CHECK(file.VerifyParityInvariants().ok());
   histograms->MergeFrom(telemetry->metrics());
@@ -83,25 +94,27 @@ void Run(BenchReport& r, const std::string& trace_path) {
   RecoveryHistograms histograms;
   r.BeginTable("F2a — bucket recovery cost vs bucket size b (m=4, k=1, 1 failure)",
                {"b (records/bucket)", "messages", "KB moved",
-                "sim time (ms)"});
+                "repair KB read", "sim time (ms)"});
   for (size_t b : {25, 50, 100, 200, 400}) {
     const RecoveryCost c =
         MeasureBucketRecovery(b + 10, /*k=*/1, /*failures=*/1,
                               static_cast<int>(4 * b * 7 / 10), &histograms);
     r.Row({std::to_string(b), std::to_string(c.messages),
-           Fmt(c.bytes / 1024.0, 1), Fmt(c.sim_us / 1000.0, 2)});
+           Fmt(c.bytes / 1024.0, 1), Fmt(c.repair_bytes / 1024.0, 1),
+           Fmt(c.sim_us / 1000.0, 2)});
   }
 
   std::puts("");
   r.BeginTable("F2b — recovery cost vs simultaneous failures f (m=4, b=100)",
-               {"k", "f", "messages", "KB moved", "sim time (ms)"});
+               {"k", "f", "messages", "KB moved", "repair KB read",
+                "sim time (ms)"});
   for (uint32_t k : {1u, 2u, 3u}) {
     for (uint32_t f = 1; f <= k; ++f) {
       const RecoveryCost c = MeasureBucketRecovery(110, k, f, 280,
                                                    &histograms);
       r.Row({std::to_string(k), std::to_string(f),
              std::to_string(c.messages), Fmt(c.bytes / 1024.0, 1),
-             Fmt(c.sim_us / 1000.0, 2)});
+             Fmt(c.repair_bytes / 1024.0, 1), Fmt(c.sim_us / 1000.0, 2)});
     }
   }
 
@@ -168,6 +181,8 @@ void Run(BenchReport& r, const std::string& trace_path) {
   r.report().AddHistogram("recovery_phase_read_us", histograms.read_phase);
   r.report().AddHistogram("recovery_phase_decode_install_us",
                           histograms.decode_install_phase);
+  r.report().AddHistogram("degraded_read_latency_us",
+                          histograms.degraded_read);
 }
 
 }  // namespace

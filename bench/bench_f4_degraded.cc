@@ -13,21 +13,31 @@
 #include "baselines/lhg/lhg_file.h"
 #include "bench/bench_util.h"
 #include "lhrs/lhrs_file.h"
+#include "telemetry/metrics.h"
 
 namespace lhrs::bench {
 namespace {
 
 constexpr size_t kValueBytes = 64;
 
-/// Returns (messages per degraded search) after growing the file to at
-/// least `target_buckets` data buckets.
-double MeasureLhrs(BucketNo target_buckets) {
+/// Per-search cost of a degraded LH*RS read (messages, survivor payload
+/// moved, simulated latency).
+struct DegradedReadCost {
+  double messages = 0;
+  double kb_moved = 0;
+  double latency_ms = 0;  ///< Mean of the degraded_read_latency_us histogram.
+};
+
+/// Measures degraded searches after growing the file to at least
+/// `target_buckets` data buckets.
+DegradedReadCost MeasureLhrs(BucketNo target_buckets) {
   LhrsFile::Options opts;
   opts.file.bucket_capacity = 16;
   opts.group_size = 4;
   opts.policy.base_k = 2;
   opts.auto_recover = false;  // Stay in degraded mode.
   LhrsFile file(opts);
+  auto* telemetry = file.network().EnableTelemetry();
   Rng rng(4242);
   std::vector<Key> keys;
   while (file.bucket_count() < target_buckets) {
@@ -46,9 +56,19 @@ double MeasureLhrs(BucketNo target_buckets) {
   for (Key k : victims) {
     LHRS_CHECK(file.Search(k).ok());
   }
-  return static_cast<double>(file.network().stats().total_messages() -
-                             before) /
-         victims.size();
+  DegradedReadCost cost;
+  cost.messages = static_cast<double>(
+                      file.network().stats().total_messages() - before) /
+                  victims.size();
+  if (const auto* c =
+          telemetry->metrics().FindCounter("degraded_read.bytes_moved")) {
+    cost.kb_moved = c->value() / 1024.0 / victims.size();
+  }
+  if (const auto* h =
+          telemetry->metrics().FindHistogram("degraded_read_latency_us")) {
+    cost.latency_ms = h->mean() / 1000.0;
+  }
+  return cost;
 }
 
 double MeasureLhg(BucketNo target_buckets, BucketNo* parity_buckets) {
@@ -86,13 +106,15 @@ void Run(BenchReport& r) {
   r.BeginTable(
       "F4 — degraded-mode key search cost vs file size (victim bucket "
       "down)",
-      {"data buckets", "LH*RS msgs/search", "model O(m+k)",
-       "LH*g msgs/search", "model O(M2)", "LH*g parity bkts"});
+      {"data buckets", "LH*RS msgs/search", "LH*RS KB/search",
+       "LH*RS latency (ms)", "model O(m+k)", "LH*g msgs/search",
+       "model O(M2)", "LH*g parity bkts"});
   for (BucketNo target : {8u, 16u, 32u, 64u, 128u}) {
-    const double lhrs_cost = MeasureLhrs(target);
+    const DegradedReadCost lhrs_cost = MeasureLhrs(target);
     BucketNo m2 = 0;
     const double lhg_cost = MeasureLhg(target, &m2);
-    r.Row({std::to_string(target), Fmt(lhrs_cost),
+    r.Row({std::to_string(target), Fmt(lhrs_cost.messages),
+           Fmt(lhrs_cost.kb_moved), Fmt(lhrs_cost.latency_ms),
            Fmt(CostModel::LhrsRecordRecovery(4)), Fmt(lhg_cost),
            Fmt(CostModel::LhgRecordRecovery(m2, 4)), std::to_string(m2)});
   }

@@ -13,6 +13,7 @@
 //                ./build/examples/cluster
 //
 // Useful flags:  --servers=3 --clients=2 --keys=120 --verbose
+//                --code=rs | --code=lrc2 | --code=rs+prog (parity scheme)
 //                --reports=/tmp/lhrs-cluster   (per-member RunReport JSON)
 //
 // Each role can also be launched by hand for debugging:
@@ -24,6 +25,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -54,6 +56,7 @@ struct Args {
   int crash_bucket = 1;
   uint64_t deadline_ms = 60'000;
   std::string reports;
+  std::string code = "rs";  ///< Parity scheme: rs, lrcR, either "+prog".
   bool verbose = false;
 };
 
@@ -85,6 +88,8 @@ Args ParseArgs(int argc, char** argv) {
       args.deadline_ms = static_cast<uint64_t>(atoll(v));
     } else if (const char* v = value("--reports=")) {
       args.reports = v;
+    } else if (const char* v = value("--code=")) {
+      args.code = v;
     } else if (arg == "--verbose") {
       args.verbose = true;
     } else {
@@ -106,6 +111,19 @@ ClusterLayout MakeLayout(const Args& args) {
   layout.file.bucket_capacity = 32;
   layout.group_size = 4;
   layout.base_k = 1;
+  auto code = lhrs::parity::CodeSpec::Parse(args.code);
+  if (!code.ok()) {
+    std::fprintf(stderr, "bad --code=%s: %s\n", args.code.c_str(),
+                 code.status().ToString().c_str());
+    exit(2);
+  }
+  layout.code = *code;
+  if (layout.code.kind == lhrs::parity::CodeKind::kLrc) {
+    // An LRC needs at least one parity column per local group.
+    const uint32_t locals =
+        (layout.group_size + layout.code.locality - 1) / layout.code.locality;
+    layout.base_k = std::max(layout.base_k, locals);
+  }
   return layout;
 }
 

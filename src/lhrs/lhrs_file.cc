@@ -38,8 +38,8 @@ LhrsFile::LhrsFile(Options options)
   lhrs_ctx_ = std::make_shared<LhrsContext>();
   lhrs_ctx_->base = ctx_;
   lhrs_ctx_->m = options.group_size;
-  lhrs_ctx_->coders =
-      std::make_shared<CoderCache>(options.group_size, options.field);
+  lhrs_ctx_->coders = std::make_shared<CoderCache>(
+      options.group_size, options.field, options.code);
   lhrs_ctx_->policy = options.policy;
   lhrs_ctx_->auto_recover = options.auto_recover;
   lhrs_ctx_->reuse_ranks = options.reuse_ranks;

@@ -2,6 +2,7 @@
 #define LHRS_LHRS_LHRS_FILE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "lhrs/parity_bucket.h"
@@ -39,6 +40,10 @@ class LhrsFile : public LhStarFile {
     bool auto_recover = true;   ///< Recover buckets on failure detection.
     bool reuse_ranks = true;    ///< Ablation: see LhrsContext::reuse_ranks.
     FieldChoice field = FieldChoice::kGf256;  ///< Parity symbol width.
+    /// Parity scheme: RS (the paper's code), LRC, progressive decoding.
+    /// See parity::CodeSpec::Parse for the flag syntax ("rs", "lrc2",
+    /// "rs+prog", ...).
+    parity::CodeSpec code;
   };
 
   explicit LhrsFile(Options options);
@@ -82,6 +87,10 @@ class LhrsFile : public LhStarFile {
   ParityBucketNode* parity_bucket(uint32_t g, uint32_t parity_index) const;
 
   StorageStats GetStorageStats() const override;
+
+  std::string code_name() const override {
+    return lhrs_ctx_->coders->code().Name();
+  }
 
   /// Recomputes every group's parity from the data buckets and compares it
   /// (and the key/length metadata) against the parity buckets' contents.

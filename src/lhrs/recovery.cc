@@ -42,13 +42,20 @@ Result<std::vector<ReconstructedColumn>> ReconstructColumns(
     (col < m ? missing_data : missing_parity).push_back(col);
   }
 
-  // Feasibility: survivors + known-zero slots must reach m columns.
-  const uint32_t zero_slots = m - req.existing_slots;
-  if (req.survivors.size() + zero_slots < m) {
+  // Feasibility in column-identity space: the survivors (plus known-zero
+  // slots) must determine every missing data column. For an MDS code this
+  // is the classic >= m columns bound; non-MDS codes rank-check.
+  std::vector<uint32_t> have;
+  for (const auto& s : req.survivors) have.push_back(s.column);
+  for (uint32_t slot = req.existing_slots; slot < m; ++slot) {
+    have.push_back(slot);
+  }
+  if (!req.coder->CanDecodeFrom(have, missing_data)) {
     return Status::DataLoss("group unrecoverable: " +
                             std::to_string(req.survivors.size()) +
-                            " survivors + " + std::to_string(zero_slots) +
-                            " empty slots < m=" + std::to_string(m));
+                            " survivors + " +
+                            std::to_string(m - req.existing_slots) +
+                            " empty slots do not determine the lost columns");
   }
   bool have_parity_survivor = false;
   for (const auto& s : req.survivors) {
@@ -57,6 +64,21 @@ Result<std::vector<ReconstructedColumn>> ReconstructColumns(
   if (!missing_data.empty() && !have_parity_survivor) {
     return Status::DataLoss(
         "data columns lost and no parity survivor holds their keys");
+  }
+  if (!missing_parity.empty()) {
+    // Re-encoding a parity column needs every existing data slot's value:
+    // as a survivor, as a freshly decoded missing column, or known-zero.
+    for (uint32_t slot = 0; slot < req.existing_slots; ++slot) {
+      const bool covered =
+          std::find(have.begin(), have.end(), slot) != have.end() ||
+          std::find(missing_data.begin(), missing_data.end(), slot) !=
+              missing_data.end();
+      if (!covered) {
+        return Status::DataLoss(
+            "parity column lost and data slot " + std::to_string(slot) +
+            " is neither a survivor nor being rebuilt");
+      }
+    }
   }
 
   // Collate survivors per rank.
@@ -136,9 +158,24 @@ Result<std::vector<ReconstructedColumn>> ReconstructColumns(
         available.emplace_back(s.column,
                                it == st.parity.end() ? kEmpty : *it->second);
       }
-      auto result = req.coder->DecodeData(available, wanted);
-      if (!result.ok()) return result.status();
-      decoded = std::move(result).value();
+      if (req.progressive) {
+        // Feed the code's incremental decoder column by column and stop as
+        // soon as the rank suffices: the record group decodes from the
+        // earliest sufficient survivor subset.
+        std::vector<uint32_t> wanted32(wanted.begin(), wanted.end());
+        auto decoder = req.coder->NewProgressiveDecoder(wanted32, {});
+        for (const auto& [col, payload] : available) {
+          if (decoder->Ready()) break;
+          decoder->AddColumn(static_cast<uint32_t>(col), payload);
+        }
+        auto result = decoder->Decode();
+        if (!result.ok()) return result.status();
+        decoded = std::move(result).value();
+      } else {
+        auto result = req.coder->DecodeData(available, wanted);
+        if (!result.ok()) return result.status();
+        decoded = std::move(result).value();
+      }
       // Trim each reconstructed value to its recorded length; the padding
       // beyond it must be zero, a strong end-to-end decode check.
       for (size_t i = 0; i < wanted.size(); ++i) {

@@ -31,6 +31,10 @@ struct ReconstructionRequest {
   uint32_t existing_slots = 0;
   std::vector<ColumnDump> survivors;
   std::vector<uint32_t> missing_columns;
+  /// Decode each record group through the code's incremental decoder,
+  /// consuming survivor columns in arrival order and stopping as soon as
+  /// the rank suffices (instead of the one-shot all-columns decode).
+  bool progressive = false;
 };
 
 /// One rebuilt column, ready to install at a spare.

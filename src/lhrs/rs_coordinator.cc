@@ -133,7 +133,6 @@ void RsCoordinatorNode::StartRecovery(uint32_t g) {
 
   const uint32_t m = lhrs_ctx_->m;
   const uint32_t existing = ExistingSlots(g);
-  const uint32_t zero_slots = m - existing;
 
   // Classify columns.
   std::vector<uint32_t> missing;
@@ -166,11 +165,22 @@ void RsCoordinatorNode::StartRecovery(uint32_t g) {
   }
 
   bool missing_has_data = false;
-  for (uint32_t col : missing) missing_has_data |= (col < m);
+  bool missing_has_parity = false;
+  for (uint32_t col : missing) {
+    (col < m ? missing_has_data : missing_has_parity) = true;
+  }
 
-  // Feasibility (MDS bound + key metadata).
-  if (alive_data.size() + zero_slots + alive_parity.size() < m ||
-      (missing_has_data && alive_parity.empty())) {
+  // The group's code plans the repair: which survivors to read, and
+  // whether decode may start before every reply. A failed plan means the
+  // surviving columns cannot determine the lost ones.
+  const ErasureCoder& code = lhrs_ctx_->coders->ForK(info.k);
+  parity::RepairContext repair_ctx;
+  repair_ctx.existing_slots = existing;
+  repair_ctx.alive_data = alive_data;
+  repair_ctx.alive_parity = alive_parity;
+  repair_ctx.missing = missing;
+  auto plan = code.PlanRepair(repair_ctx);
+  if (!plan.ok()) {
     MarkGroupLost(g);
     return;
   }
@@ -221,30 +231,29 @@ void RsCoordinatorNode::StartRecovery(uint32_t g) {
   // table already points at them.
   SendGroupConfig(g);
 
-  // Read set: every alive data column, plus enough parity columns for the
-  // decode (at least one when data is missing, for the key metadata).
-  size_t parity_reads =
-      m > zero_slots + alive_data.size()
-          ? m - zero_slots - alive_data.size()
-          : 0;
-  if (missing_has_data && parity_reads == 0) parity_reads = 1;
-  LHRS_CHECK_LE(parity_reads, alive_parity.size());
-
-  for (uint32_t slot : alive_data) {
-    const BucketNo b = g * m + slot;
-    auto read = std::make_unique<ColumnReadRequestMsg>();
-    read->task_id = task.id;
-    read->group = g;
-    task.awaiting_reads.insert(slot);
-    Send(ctx_->allocation.Lookup(b), std::move(read));
+  // Issue the planned reads. Early decode (progressive) only applies when
+  // no parity column is missing: re-encoding one needs the full data row,
+  // i.e. every planned data read.
+  task.progressive = plan->progressive && !missing_has_parity;
+  if (task.progressive) {
+    std::vector<uint32_t> wanted_data;
+    for (uint32_t col : missing) {
+      if (col < m) wanted_data.push_back(col);
+    }
+    std::vector<uint32_t> known_zero;
+    for (uint32_t slot = existing; slot < m; ++slot) {
+      known_zero.push_back(slot);
+    }
+    task.rank_tracker = code.NewProgressiveDecoder(wanted_data, known_zero);
   }
-  for (size_t i = 0; i < parity_reads; ++i) {
-    const uint32_t j = alive_parity[i];
+  for (uint32_t col : plan->read_columns) {
     auto read = std::make_unique<ColumnReadRequestMsg>();
     read->task_id = task.id;
     read->group = g;
-    task.awaiting_reads.insert(m + j);
-    Send(info.parity_nodes[j], std::move(read));
+    task.awaiting_reads.insert(col);
+    Send(col < m ? ctx_->allocation.Lookup(g * m + col)
+                 : info.parity_nodes[col - m],
+         std::move(read));
   }
 
   group_task_[g] = task.id;
@@ -400,11 +409,34 @@ void RsCoordinatorNode::OnColumnRead(const ColumnReadReplyMsg& reply,
   if (it == tasks_.end()) return;  // Stale task.
   RecoveryTask& task = it->second;
   if (!task.awaiting_reads.erase(reply.column)) return;
+  if (auto* t = net()->telemetry()) {
+    t->metrics()
+        .GetCounter("recovery.repair_bytes_moved")
+        .Add(reply.ByteSize());
+  }
   ColumnDump dump;
   dump.column = reply.column;
   dump.records = reply.records;
   dump.parity_records = reply.parity_records;
+  const bool got_parity = dump.is_parity(lhrs_ctx_->m);
   task.dumps.push_back(std::move(dump));
+  if (task.rank_tracker != nullptr) {
+    task.rank_tracker->AddColumn(reply.column, BufferView());
+    task.have_parity_dump |= got_parity;
+    // Progressive decode: reconstruction starts on the earliest reply set
+    // whose column identities determine the missing data (the key/length
+    // directory additionally needs one parity dump). Outstanding reads
+    // keep draining into the ignore path above.
+    if (!task.awaiting_reads.empty() && task.have_parity_dump &&
+        task.rank_tracker->Ready()) {
+      if (auto* t = net()->telemetry()) {
+        t->metrics()
+            .GetCounter("recovery.progressive_early_decodes")
+            .Add();
+      }
+      task.awaiting_reads.clear();
+    }
+  }
   if (task.awaiting_reads.empty()) TryDecodeAndInstall(task);
 }
 
@@ -435,6 +467,7 @@ void RsCoordinatorNode::TryDecodeAndInstall(RecoveryTask& task) {
   req.existing_slots = ExistingSlots(task.group);
   req.survivors = task.dumps;
   req.missing_columns = task.missing_columns;
+  req.progressive = task.progressive;
 
   auto result = ReconstructColumns(req);
   if (!result.ok()) {
@@ -909,8 +942,13 @@ void RsCoordinatorNode::StartDegradedRead(
 
   // Find a live parity bucket to resolve key -> record group. Unlike the
   // LH*g baseline, no scan is needed: the group's parity buckets are known.
+  // Ask in the code's preference order for the target slot — for a locally
+  // repairable code that is the slot's own local parity, whose payload then
+  // double-duties as a decode column.
+  const uint32_t target_slot = SlotOf(a, lhrs_ctx_->m);
+  const ErasureCoder& code = lhrs_ctx_->coders->ForK(info.k);
   uint32_t j = info.k;
-  for (uint32_t cand = 0; cand < info.k; ++cand) {
+  for (uint32_t cand : code.ParityPreference(target_slot)) {
     if (!recovering_parity_.contains({g, cand}) &&
         NodeUp(info.parity_nodes[cand])) {
       j = cand;
@@ -932,7 +970,7 @@ void RsCoordinatorNode::StartDegradedRead(
   task.op = op;
   task.started_us = net()->now();
   task.group = g;
-  task.target_slot = SlotOf(a, lhrs_ctx_->m);
+  task.target_slot = target_slot;
   task.used_parity.insert(j);
   const uint64_t id = task.id;
   degraded_.emplace(id, std::move(task));
@@ -940,7 +978,7 @@ void RsCoordinatorNode::StartDegradedRead(
   auto find = std::make_unique<FindRankRequestMsg>();
   find->task_id = id;
   find->key = op.key;
-  find->slot = SlotOf(a, lhrs_ctx_->m);
+  find->slot = target_slot;
   Send(info.parity_nodes[j], std::move(find));
 }
 
@@ -956,6 +994,11 @@ void RsCoordinatorNode::OnFindRankReply(const FindRankReplyMsg& reply) {
   }
   task.have_meta = true;
   task.meta = reply.record;
+  if (auto* t = net()->telemetry()) {
+    t->metrics()
+        .GetCounter("degraded_read.bytes_moved")
+        .Add(reply.record.parity.size());
+  }
   task.columns[lhrs_ctx_->m + reply.parity_index] = reply.record.parity;
   ContinueDegradedRead(task);
 }
@@ -965,58 +1008,98 @@ void RsCoordinatorNode::ContinueDegradedRead(DegradedReadTask& task) {
   const uint32_t g = task.group;
   const GroupInfo& info = groups_[g];
   const uint32_t existing = ExistingSlots(g);
+  const ErasureCoder& code = lhrs_ctx_->coders->ForK(info.k);
 
-  // Request the sibling records (alive member slots other than the target).
-  size_t free_columns = m - existing;  // Non-existing slots: known zero.
-  std::vector<uint32_t> dead_members;
+  // A rank tracker over column identities answers "do the columns in hand
+  // (or in flight) determine the target slot?". Known-zero columns — slots
+  // beyond the file edge and slots with no member at this rank — come free.
+  std::vector<uint32_t> known_zero;
   for (uint32_t slot = 0; slot < existing; ++slot) {
-    if (slot == task.target_slot) continue;
-    if (!task.meta.keys[slot].has_value()) {
-      ++free_columns;  // No member here: known-zero column.
-      continue;
+    if (slot != task.target_slot && !task.meta.keys[slot].has_value() &&
+        !task.columns.contains(slot)) {
+      known_zero.push_back(slot);
     }
+  }
+  for (uint32_t slot = existing; slot < m; ++slot) known_zero.push_back(slot);
+  auto tracker =
+      code.NewProgressiveDecoder({task.target_slot}, known_zero);
+  for (const auto& [col, payload] : task.columns) {
+    tracker->AddColumn(col, BufferView());
+  }
+  for (uint32_t col : task.awaiting) tracker->AddColumn(col, BufferView());
+
+  // Collect candidate columns until the rank suffices, cheapest first:
+  // alive member siblings in slot order, then parity columns in the
+  // code's preference order for the target. Columns that do not raise the
+  // rank are never considered.
+  struct Candidate {
+    uint32_t column;
+    NodeId node;
+  };
+  std::vector<Candidate> candidates;
+  for (uint32_t slot = 0; slot < existing && !tracker->Ready(); ++slot) {
+    if (slot == task.target_slot) continue;
+    if (!task.meta.keys[slot].has_value()) continue;
     if (task.columns.contains(slot) || task.awaiting.contains(slot)) {
       continue;
     }
     const BucketNo b = g * m + slot;
     const NodeId node = ctx_->allocation.Lookup(b);
-    if (IsRecoveringData(b) || !NodeUp(node)) {
-      dead_members.push_back(slot);
+    if (IsRecoveringData(b) || !NodeUp(node)) continue;
+    if (!tracker->AddColumn(slot, BufferView())) continue;
+    candidates.push_back({slot, node});
+  }
+  for (uint32_t j : code.ParityPreference(task.target_slot)) {
+    if (tracker->Ready()) break;
+    if (task.used_parity.contains(j)) continue;
+    if (recovering_parity_.contains({g, j}) ||
+        !NodeUp(info.parity_nodes[j])) {
       continue;
     }
-    auto read = std::make_unique<RecordReadRequestMsg>();
-    read->task_id = task.id;
-    read->rank = task.meta.rank;
-    read->column = slot;
-    task.awaiting.insert(slot);
-    Send(node, std::move(read));
+    if (!tracker->AddColumn(m + j, BufferView())) continue;
+    candidates.push_back({m + j, info.parity_nodes[j]});
+  }
+  if (!tracker->Ready()) {
+    FailDegradedRead(task,
+                     Status::DataLoss("not enough live columns to "
+                                      "reconstruct the record"));
+    return;
   }
 
-  // Top up with extra parity columns until m columns are in hand.
-  const size_t have = free_columns + task.columns.size() +
-                      task.awaiting.size();
-  if (have < m) {
-    size_t need = m - have;
-    for (uint32_t j = 0; j < info.k && need > 0; ++j) {
-      if (task.used_parity.contains(j)) continue;
-      if (recovering_parity_.contains({g, j}) ||
-          !NodeUp(info.parity_nodes[j])) {
-        continue;
-      }
+  // Prune, least-preferred first: a candidate whose remaining peers still
+  // determine the target is never read. An MDS code keeps every
+  // rank-raising column (its read set is already minimal), but an LRC
+  // drops the siblings outside the target's local group.
+  std::vector<uint32_t> in_hand = known_zero;
+  for (const auto& [col, payload] : task.columns) in_hand.push_back(col);
+  for (uint32_t col : task.awaiting) in_hand.push_back(col);
+  std::vector<bool> dropped(candidates.size(), false);
+  for (size_t i = candidates.size(); i-- > 0;) {
+    std::vector<uint32_t> cols = in_hand;
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      if (!dropped[j] && j != i) cols.push_back(candidates[j].column);
+    }
+    if (code.CanDecodeFrom(cols, {task.target_slot})) dropped[i] = true;
+  }
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (dropped[i]) continue;
+    const auto& [column, node] = candidates[i];
+    if (column < m) {
+      auto read = std::make_unique<RecordReadRequestMsg>();
+      read->task_id = task.id;
+      read->rank = task.meta.rank;
+      read->column = column;
+      task.awaiting.insert(column);
+      Send(node, std::move(read));
+    } else {
       auto read = std::make_unique<ParityRecordRequestMsg>();
       read->task_id = task.id;
       read->rank = task.meta.rank;
-      read->column = m + j;
-      task.awaiting.insert(m + j);
-      task.used_parity.insert(j);
-      Send(info.parity_nodes[j], std::move(read));
-      --need;
-    }
-    if (need > 0) {
-      FailDegradedRead(task,
-                       Status::DataLoss("not enough live columns to "
-                                        "reconstruct the record"));
-      return;
+      read->column = column;
+      task.awaiting.insert(column);
+      task.used_parity.insert(column - m);
+      Send(node, std::move(read));
     }
   }
   MaybeFinishDegradedRead(task);
@@ -1029,6 +1112,9 @@ void RsCoordinatorNode::OnDegradedColumn(uint64_t task_id, uint32_t column,
   if (it == degraded_.end()) return;
   DegradedReadTask& task = it->second;
   if (!task.awaiting.erase(column)) return;
+  if (auto* t = net()->telemetry()) {
+    t->metrics().GetCounter("degraded_read.bytes_moved").Add(payload.size());
+  }
   // A sibling data bucket must hold the record its parity metadata lists;
   // an absent parity record means a zero column (no members at this rank
   // from that parity bucket's perspective cannot happen here, but zero is
@@ -1205,6 +1291,12 @@ void RsCoordinatorNode::HandleSubclassDeliveryFailure(const Message& msg) {
       // was dropped with the survivor alive): abort the broken task and
       // re-plan with the remaining columns.
       const auto& req = static_cast<const ColumnReadRequestMsg&>(*msg.body);
+      // A progressive task that already decoded does not care about its
+      // surplus outstanding reads bouncing — it is in the install phase.
+      if (auto it = tasks_.find(req.task_id);
+          it != tasks_.end() && it->second.awaiting_reads.empty()) {
+        return;
+      }
       AbortTaskIfActive(req.task_id, req.group);
       StartRecovery(req.group);
       return;

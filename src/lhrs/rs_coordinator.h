@@ -132,6 +132,13 @@ class RsCoordinatorNode : public CoordinatorNode {
     std::set<uint32_t> awaiting_reads;        // columns not yet dumped.
     std::vector<ColumnDump> dumps;
     std::set<uint32_t> awaiting_installs;
+    /// Progressive repair: decode as soon as the received columns' rank
+    /// suffices instead of waiting for every requested read.
+    bool progressive = false;
+    /// Tracks the rank of the received column set (column ids only; the
+    /// per-rank byte decode happens later in ReconstructColumns).
+    std::unique_ptr<parity::ProgressiveDecoder> rank_tracker;
+    bool have_parity_dump = false;  ///< A parity dump (key metadata) arrived.
     // Telemetry timestamps (SimTime; meaningful only when telemetry is on).
     uint64_t started_us = 0;
     uint64_t read_started_us = 0;

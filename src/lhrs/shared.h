@@ -9,77 +9,16 @@
 #include <vector>
 
 #include "common/logging.h"
-#include "gf/gf256.h"
-#include "gf/gf65536.h"
 #include "lh/lh_math.h"
 #include "lhstar/system.h"
-#include "rs/coder.h"
+#include "parity/parity_code.h"
 
 namespace lhrs {
 
-/// Galois field used by a file's parity subsystem. GF(2^8) treats every
-/// payload byte as a symbol (the SIGMOD-era choice); GF(2^16) halves the
-/// table lookups per byte at the cost of 256 KiB tables (the choice the
-/// LH*RS line of work later moved to). Selected per file at creation.
-enum class FieldChoice { kGf256, kGf65536 };
-
-inline const char* FieldChoiceName(FieldChoice f) {
-  return f == FieldChoice::kGf256 ? "GF(2^8)" : "GF(2^16)";
-}
-
-/// Field-erased view of a GroupCoder, so the protocol nodes (parity
-/// buckets, recovery, degraded reads) are independent of the symbol width.
-class ErasureCoder {
- public:
-  virtual ~ErasureCoder() = default;
-
-  virtual uint32_t m() const = 0;
-  virtual uint32_t k() const = 0;
-
-  /// Folds coeff(slot, parity_index) * delta into parity (grows it).
-  virtual void ApplyDelta(size_t slot, std::span<const uint8_t> delta,
-                          size_t parity_index, Bytes* parity) const = 0;
-
-  /// Copy-on-write form: in place when the view is sole owner, detaching
-  /// when a snapshot shares the buffer.
-  virtual void ApplyDelta(size_t slot, std::span<const uint8_t> delta,
-                          size_t parity_index, BufferView* parity) const = 0;
-
-  /// Reconstructs the requested data columns from >= m available columns
-  /// (shared views of the survivors' dumps; no payload copies).
-  virtual Result<std::vector<Bytes>> DecodeData(
-      const std::vector<std::pair<size_t, BufferView>>& available,
-      const std::vector<size_t>& missing_data) const = 0;
-};
-
-/// ErasureCoder over a concrete field.
-template <GaloisField F>
-class TypedErasureCoder final : public ErasureCoder {
- public:
-  TypedErasureCoder(uint32_t m, uint32_t k) : impl_(m, k) {}
-
-  uint32_t m() const override { return static_cast<uint32_t>(impl_.m()); }
-  uint32_t k() const override { return static_cast<uint32_t>(impl_.k()); }
-
-  void ApplyDelta(size_t slot, std::span<const uint8_t> delta,
-                  size_t parity_index, Bytes* parity) const override {
-    impl_.ApplyDelta(slot, delta, parity_index, parity);
-  }
-
-  void ApplyDelta(size_t slot, std::span<const uint8_t> delta,
-                  size_t parity_index, BufferView* parity) const override {
-    impl_.ApplyDelta(slot, delta, parity_index, parity);
-  }
-
-  Result<std::vector<Bytes>> DecodeData(
-      const std::vector<std::pair<size_t, BufferView>>& available,
-      const std::vector<size_t>& missing_data) const override {
-    return impl_.DecodeData(available, missing_data);
-  }
-
- private:
-  GroupCoder<F> impl_;
-};
+/// The protocol nodes (parity buckets, recovery, degraded reads) are
+/// written against the field- and scheme-erased parity-code interface;
+/// the historical name survives as an alias.
+using ErasureCoder = parity::ParityCode;
 
 /// Scalable-availability policy (paper section on n-availability /
 /// uncoordinated scalable availability): the availability level k assigned
@@ -99,31 +38,31 @@ struct AvailabilityPolicy {
   }
 };
 
-/// Shares one coder per availability level k (the generator matrix for
-/// (m, k2) embeds the one for (m, k1 < k2) column-wise only after the same
-/// normalisation, so each k gets its own coder; they are tiny).
+/// Shares one parity code per availability level k (the generator matrix
+/// for (m, k2) embeds the one for (m, k1 < k2) column-wise only after the
+/// same normalisation, so each k gets its own code; they are tiny).
 class CoderCache {
  public:
-  explicit CoderCache(uint32_t m, FieldChoice field = FieldChoice::kGf256)
-      : m_(m), field_(field) {}
+  explicit CoderCache(uint32_t m, FieldChoice field = FieldChoice::kGf256,
+                      parity::CodeSpec code = {})
+      : m_(m), field_(field), code_(code) {}
 
   uint32_t m() const { return m_; }
   FieldChoice field() const { return field_; }
+  const parity::CodeSpec& code() const { return code_; }
 
-  /// Get-or-create; the returned coder lives as long as the cache. Guarded
+  /// Get-or-create; the returned code lives as long as the cache. Guarded
   /// so parity buckets on different localities can resolve concurrently
-  /// (coders themselves are immutable once built).
+  /// (codes themselves are immutable once built). CHECK-fails on a
+  /// geometry the configured code cannot express — validate the spec
+  /// against the availability policy at file creation.
   const ErasureCoder& ForK(uint32_t k) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = coders_.find(k);
     if (it == coders_.end()) {
-      std::unique_ptr<ErasureCoder> coder;
-      if (field_ == FieldChoice::kGf256) {
-        coder = std::make_unique<TypedErasureCoder<GF256>>(m_, k);
-      } else {
-        coder = std::make_unique<TypedErasureCoder<GF65536>>(m_, k);
-      }
-      it = coders_.emplace(k, std::move(coder)).first;
+      auto coder = parity::MakeParityCode(code_, m_, k, field_);
+      LHRS_CHECK(coder.ok()) << coder.status();
+      it = coders_.emplace(k, std::move(coder).value()).first;
     }
     return *it->second;
   }
@@ -132,6 +71,7 @@ class CoderCache {
   std::mutex mu_;
   uint32_t m_;
   FieldChoice field_;
+  parity::CodeSpec code_;
   std::map<uint32_t, std::unique_ptr<ErasureCoder>> coders_;
 };
 

@@ -155,10 +155,19 @@ struct SplitDoneMsg : MessageBody {
 /// experiments exercise.
 struct ScanPredicate {
   Bytes contains;
+  /// Structured key-range selection (inclusive bounds). Unlike `custom`
+  /// this travels on the wire: the request frame carries a predicate
+  /// version byte, so old decoders still read new contains-only frames and
+  /// new decoders read old frames (which simply have no range).
+  bool has_key_range = false;
+  Key key_min = 0;
+  Key key_max = 0;
   std::function<bool(Key key, std::span<const uint8_t> value)> custom;
 
   bool Matches(Key key, std::span<const uint8_t> value) const;
-  size_t ByteSize() const { return 16 + contains.size(); }
+  size_t ByteSize() const {
+    return 16 + contains.size() + (has_key_range ? 16 : 0);
+  }
 };
 
 /// Client->server (multicast) and server->server (coverage forwarding).

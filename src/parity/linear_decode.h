@@ -1,0 +1,235 @@
+#ifndef LHRS_PARITY_LINEAR_DECODE_H_
+#define LHRS_PARITY_LINEAR_DECODE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/result.h"
+#include "parity/parity_code.h"
+#include "rs/matrix.h"
+
+namespace lhrs::parity {
+
+/// Incremental Gauss-Jordan elimination over the m data unknowns of a
+/// linear parity code, shared by the progressive decoder and the
+/// feasibility/plan checks.
+///
+/// Every codeword column contributes one equation over the data unknowns
+/// x_0..x_{m-1}: a data column i is the unit equation x_i = payload(i)
+/// (known-zero slots are unit equations with an empty payload), and parity
+/// column m+j is sum_i P[i][j] * x_i = payload(m+j). Equations are kept in
+/// reduced row-echelon form; each row also carries the combination of
+/// absorbed payloads that produced it, so solving for a column is a single
+/// pass of MulAdd kernels at Decode() time.
+template <GaloisField F>
+class IncrementalSolver {
+ public:
+  using Symbol = typename F::Symbol;
+
+  /// `pmat` is the m x k parity-coefficient matrix; it must outlive the
+  /// solver.
+  IncrementalSolver(const Matrix<F>* pmat, uint32_t m, uint32_t k)
+      : pmat_(pmat), m_(m), k_(k), pivot_row_(m, kNoRow) {}
+
+  uint32_t m() const { return m_; }
+
+  /// Absorbs one codeword column. Returns true when it raised the rank
+  /// (the payload view is retained for Decode), false when redundant.
+  bool AddColumn(uint32_t column, BufferView payload) {
+    LHRS_CHECK_LT(column, m_ + k_);
+    std::vector<Symbol> row(m_, 0);
+    if (column < m_) {
+      row[column] = 1;
+    } else {
+      for (uint32_t i = 0; i < m_; ++i) {
+        row[i] = pmat_->At(i, column - m_);
+      }
+    }
+    // New equation's payload combination: the unit vector on the payload
+    // slot it would occupy.
+    std::vector<Symbol> comb(payloads_.size() + 1, 0);
+    comb.back() = 1;
+
+    // Reduce against the existing pivot rows.
+    for (uint32_t c = 0; c < m_; ++c) {
+      if (row[c] == 0 || pivot_row_[c] == kNoRow) continue;
+      const size_t r = pivot_row_[c];
+      const Symbol f = row[c];
+      AddScaled(&row, rows_[r], f);
+      AddScaled(&comb, combs_[r], f);
+    }
+    uint32_t pivot = m_;
+    for (uint32_t c = 0; c < m_; ++c) {
+      if (row[c] != 0) {
+        pivot = c;
+        break;
+      }
+    }
+    if (pivot == m_) return false;  // Dependent on absorbed columns.
+
+    // Normalize and back-eliminate the new pivot from every older row so
+    // the system stays fully reduced.
+    const Symbol inv = F::Inv(row[pivot]);
+    Scale(&row, inv);
+    Scale(&comb, inv);
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      const Symbol f = rows_[r][pivot];
+      if (f == 0) continue;
+      AddScaled(&rows_[r], row, f);
+      AddScaled(&combs_[r], comb, f);
+    }
+    pivot_row_[pivot] = rows_.size();
+    rows_.push_back(std::move(row));
+    combs_.push_back(std::move(comb));
+    payloads_.push_back(std::move(payload));
+    return true;
+  }
+
+  size_t rank() const { return rows_.size(); }
+
+  /// True when data column `col` is fully determined: its pivot row exists
+  /// and involves no other unknown.
+  bool Solved(uint32_t col) const {
+    LHRS_CHECK_LT(col, m_);
+    if (pivot_row_[col] == kNoRow) return false;
+    const auto& row = rows_[pivot_row_[col]];
+    for (uint32_t c = 0; c < m_; ++c) {
+      if (c != col && row[c] != 0) return false;
+    }
+    return true;
+  }
+
+  /// Solves data column `col` from the absorbed payloads, padded to a
+  /// whole number of field symbols. Requires Solved(col).
+  Bytes Solve(uint32_t col) const {
+    LHRS_CHECK(Solved(col));
+    const auto& comb = combs_[pivot_row_[col]];
+    size_t len = 0;
+    for (size_t i = 0; i < comb.size(); ++i) {
+      if (comb[i] != 0) len = std::max(len, payloads_[i].size());
+    }
+    len = (len + F::kSymbolBytes - 1) / F::kSymbolBytes * F::kSymbolBytes;
+    Bytes out(len, 0);
+    for (size_t i = 0; i < comb.size(); ++i) {
+      if (comb[i] == 0 || payloads_[i].empty()) continue;
+      const BufferView& p = payloads_[i];
+      if (p.size() == len) {
+        F::MulAddBuffer(out.data(), p.data(), len, comb[i]);
+      } else {
+        Bytes padded(len, 0);
+        std::copy(p.data(), p.data() + p.size(), padded.begin());
+        F::MulAddBuffer(out.data(), padded.data(), len, comb[i]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  static constexpr size_t kNoRow = ~size_t{0};
+
+  static void Scale(std::vector<Symbol>* v, Symbol f) {
+    for (Symbol& x : *v) x = F::Mul(x, f);
+  }
+  /// v += f * w (GF(2^x): subtraction is addition), padding v with zeros
+  /// when w is longer (older rows have shorter combination vectors).
+  static void AddScaled(std::vector<Symbol>* v, const std::vector<Symbol>& w,
+                        Symbol f) {
+    if (v->size() < w.size()) v->resize(w.size(), 0);
+    for (size_t i = 0; i < w.size(); ++i) {
+      (*v)[i] = F::Add((*v)[i], F::Mul(f, w[i]));
+    }
+  }
+
+  const Matrix<F>* pmat_;
+  uint32_t m_;
+  uint32_t k_;
+  std::vector<size_t> pivot_row_;           // data column -> row, or kNoRow.
+  std::vector<std::vector<Symbol>> rows_;   // RREF coefficient rows.
+  std::vector<std::vector<Symbol>> combs_;  // payload combination per row.
+  std::vector<BufferView> payloads_;        // shared survivor payloads.
+};
+
+/// ProgressiveDecoder over a concrete field and parity matrix.
+template <GaloisField F>
+class ProgressiveDecoderT final : public ProgressiveDecoder {
+ public:
+  ProgressiveDecoderT(const Matrix<F>* pmat, uint32_t m, uint32_t k,
+                      std::vector<uint32_t> wanted_data,
+                      std::vector<uint32_t> known_zero_data)
+      : solver_(pmat, m, k), wanted_(std::move(wanted_data)) {
+    for (uint32_t col : wanted_) LHRS_CHECK_LT(col, m);
+    for (uint32_t col : known_zero_data) {
+      solver_.AddColumn(col, BufferView());
+    }
+  }
+
+  bool AddColumn(uint32_t column, BufferView payload) override {
+    if (!solver_.AddColumn(column, std::move(payload))) return false;
+    ++columns_used_;
+    return true;
+  }
+
+  bool Ready() const override {
+    return std::all_of(wanted_.begin(), wanted_.end(),
+                       [&](uint32_t col) { return solver_.Solved(col); });
+  }
+
+  size_t columns_used() const override { return columns_used_; }
+
+  Result<std::vector<Bytes>> Decode() const override {
+    if (!Ready()) {
+      return Status::DataLoss(
+          "progressive decode: absorbed columns do not determine every "
+          "wanted column");
+    }
+    std::vector<Bytes> out;
+    out.reserve(wanted_.size());
+    for (uint32_t col : wanted_) out.push_back(solver_.Solve(col));
+    return out;
+  }
+
+ private:
+  IncrementalSolver<F> solver_;
+  std::vector<uint32_t> wanted_;
+  size_t columns_used_ = 0;
+};
+
+/// One-shot generalized decode for non-MDS linear codes: feeds the
+/// available columns (data first, so survivor payloads are preferred over
+/// parity recombination) into a solver and solves the wanted columns.
+template <GaloisField F>
+Result<std::vector<Bytes>> DecodeLinear(
+    const Matrix<F>& pmat, uint32_t m, uint32_t k,
+    const std::vector<std::pair<size_t, BufferView>>& available,
+    const std::vector<size_t>& missing_data) {
+  for (size_t col : missing_data) {
+    LHRS_CHECK_LT(col, m) << "only data columns can be requested";
+  }
+  IncrementalSolver<F> solver(&pmat, m, k);
+  for (const auto& [col, payload] : available) {
+    if (col < m) solver.AddColumn(static_cast<uint32_t>(col), payload);
+  }
+  for (const auto& [col, payload] : available) {
+    if (col >= m) solver.AddColumn(static_cast<uint32_t>(col), payload);
+  }
+  std::vector<Bytes> out;
+  out.reserve(missing_data.size());
+  for (size_t col : missing_data) {
+    if (!solver.Solved(static_cast<uint32_t>(col))) {
+      return Status::DataLoss(
+          "unrecoverable record group: available columns do not determine "
+          "data column " + std::to_string(col));
+    }
+    out.push_back(solver.Solve(static_cast<uint32_t>(col)));
+  }
+  return out;
+}
+
+}  // namespace lhrs::parity
+
+#endif  // LHRS_PARITY_LINEAR_DECODE_H_

@@ -41,6 +41,16 @@ class GroupCoder {
           return std::move(p).value();
         }())) {}
 
+  /// Builds the coder around a caller-supplied m x k parity-coefficient
+  /// matrix (e.g. an LRC layout). The encode/delta machinery works for any
+  /// linear code; DecodeData's any-m-columns contract only holds when the
+  /// matrix is MDS, so non-MDS callers must decode through a rank-aware
+  /// solver instead.
+  explicit GroupCoder(Matrix<F> parity_matrix)
+      : m_(parity_matrix.rows()),
+        k_(parity_matrix.cols()),
+        parity_matrix_(std::move(parity_matrix)) {}
+
   size_t m() const { return m_; }
   size_t k() const { return k_; }
   const Matrix<F>& parity_matrix() const { return parity_matrix_; }
@@ -80,6 +90,10 @@ class GroupCoder {
                   size_t parity_idx, BufferView* parity) const {
     LHRS_CHECK_LT(data_slot, m_);
     LHRS_CHECK_LT(parity_idx, k_);
+    // Zero coefficient (non-MDS layouts): the slot does not feed this
+    // parity column, and the buffer must not grow for it — a local parity
+    // stores only its own group's extent.
+    if (Coefficient(data_slot, parity_idx) == 0) return;
     const size_t len = PaddedLength(delta.size());
     const size_t target = std::max(parity->size(), len);
     uint8_t* dst = parity->MutableResized(target);
@@ -101,6 +115,7 @@ class GroupCoder {
                   size_t parity_idx, Bytes* parity) const {
     LHRS_CHECK_LT(data_slot, m_);
     LHRS_CHECK_LT(parity_idx, k_);
+    if (Coefficient(data_slot, parity_idx) == 0) return;
     const size_t len = PaddedLength(delta.size());
     if (parity->size() < len) parity->resize(len, 0);
     if (delta.size() == len) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -96,6 +97,12 @@ class SddsFile {
   virtual Network& network() = 0;
 
   virtual StorageStats GetStorageStats() const = 0;
+
+  /// Identifier of the availability code this file runs with — "none" for
+  /// schemes without parity; LH*RS reports its parity::CodeSpec spelling
+  /// ("rs", "lrc2", "rs+prog", ...). Drivers label reports with it without
+  /// knowing the scheme.
+  virtual std::string code_name() const { return "none"; }
 
   /// Installs (or with nullptr removes) the completion listener: called
   /// with the token as the last action of every logical-op completion,

@@ -62,11 +62,24 @@ MemberContexts MakeContexts(const ClusterLayout& layout) {
   out.lhrs = std::make_shared<LhrsContext>();
   out.lhrs->base = out.ctx;
   out.lhrs->m = layout.group_size;
-  out.lhrs->coders =
-      std::make_shared<CoderCache>(layout.group_size, FieldChoice::kGf256);
+  out.lhrs->coders = std::make_shared<CoderCache>(layout.group_size,
+                                                  layout.field, layout.code);
   out.lhrs->policy.base_k = layout.base_k;
   out.lhrs->auto_recover = true;
   return out;
+}
+
+/// Adopts the coordinator's authoritative erasure-code choice from a
+/// Welcome frame (a member must not guess the scheme from its own flags —
+/// mixed codes would corrupt every parity column it hosts).
+void ApplyWelcomeCode(const CtrlMsg& welcome, ClusterLayout* layout) {
+  layout->field = static_cast<FieldChoice>(welcome.field_choice);
+  if (auto spec = parity::CodeSpec::Parse(welcome.code); spec.ok()) {
+    layout->code = *spec;
+  } else {
+    LHRS_LOG(Warning) << "unparseable code spec in Welcome: '" << welcome.code
+                      << "', keeping local default";
+  }
 }
 
 /// Pumps until the transport is quiescent and nothing got delivered for
@@ -324,12 +337,14 @@ int ClusterServer::Run() {
   hello.endpoint = runtime.local();
   ctrl.SendMsg(hello);
 
-  // Wait for the Welcome carrying every rank's data-plane endpoints.
+  // Wait for the Welcome carrying every rank's data-plane endpoints and
+  // the authoritative erasure-code choice.
   std::vector<Endpoint> endpoints;
   while (NowUs() < deadline) {
     if (std::optional<CtrlMsg> m = ctrl.Poll();
         m.has_value() && m->type == CtrlType::kWelcome) {
       endpoints = m->endpoints;
+      ApplyWelcomeCode(*m, &options_.layout);
       break;
     }
     if (ctrl.closed()) return 3;
@@ -594,7 +609,7 @@ int ClusterClient::Run() {
   RegisterLhStarMessageNames();
   RegisterLhrsMessageNames();
 
-  const ClusterLayout& layout = options_.layout;
+  ClusterLayout layout = options_.layout;  // Code choice patched by Welcome.
   const int client_index = rank_ - 1 - static_cast<int>(layout.server_ranks);
   LHRS_CHECK(client_index >= 0 &&
              client_index < static_cast<int>(layout.client_ranks));
@@ -616,6 +631,7 @@ int ClusterClient::Run() {
     if (std::optional<CtrlMsg> m = ctrl.Poll();
         m.has_value() && m->type == CtrlType::kWelcome) {
       endpoints = m->endpoints;
+      ApplyWelcomeCode(*m, &layout);
       break;
     }
     if (ctrl.closed()) return 3;
@@ -800,6 +816,8 @@ int ClusterCoordinator::Run() {
   CtrlMsg welcome;
   welcome.type = CtrlType::kWelcome;
   welcome.endpoints = endpoints;
+  welcome.field_choice = static_cast<uint32_t>(layout.field);
+  welcome.code = layout.code.Name();
   for (auto& [rank, conn] : members) conn.SendMsg(welcome);
 
   runtime.SetEndpoints(endpoints);
@@ -1048,6 +1066,7 @@ int ClusterCoordinator::Run() {
     report.AddParam("client_ranks", static_cast<int64_t>(layout.client_ranks));
     report.AddParam("group_size", static_cast<int64_t>(layout.group_size));
     report.AddParam("base_k", static_cast<int64_t>(layout.base_k));
+    report.AddParam("code", layout.code.Name());
     report.AddMetric("buckets_final",
                      static_cast<uint64_t>(rs->state().bucket_count()));
     report.AddMetric("split_happened", split_happened ? uint64_t{1} : 0);

@@ -47,6 +47,11 @@ struct ClusterLayout {
   FileConfig file;
   uint32_t group_size = 4;  ///< LH*RS m.
   uint32_t base_k = 1;      ///< Parity buckets per group.
+  FieldChoice field = FieldChoice::kGf256;  ///< Parity symbol width.
+  /// Parity scheme ("rs", "lrc2", "rs+prog", ...). The coordinator's
+  /// choice is authoritative: it rides in the Welcome frame, so every
+  /// member encodes and decodes with the same code.
+  parity::CodeSpec code;
 
   uint32_t total_ranks() const { return 1 + server_ranks + client_ranks; }
 

@@ -50,6 +50,8 @@ Bytes EncodeCtrl(const CtrlMsg& msg) {
     case CtrlType::kWelcome:
       w.U32(static_cast<uint32_t>(msg.endpoints.size()));
       for (const Endpoint& ep : msg.endpoints) PutEndpoint(w, ep);
+      w.U32(msg.field_choice);
+      w.Str(msg.code);
       break;
     case CtrlType::kReady:
     case CtrlType::kStop:
@@ -121,6 +123,8 @@ std::optional<CtrlMsg> DecodeCtrl(const uint8_t* data, size_t size) {
         Endpoint ep;
         if (GetEndpoint(r, &ep)) msg.endpoints.push_back(ep);
       }
+      r.U32(&msg.field_choice);
+      r.Str(&msg.code);
       break;
     }
     case CtrlType::kReady:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -41,8 +42,12 @@ struct CtrlMsg {
   uint32_t rank = 0;
   Endpoint endpoint;
 
-  // kWelcome: data-plane endpoints indexed by rank.
+  // kWelcome: data-plane endpoints indexed by rank, plus the coordinator's
+  // authoritative erasure-code choice (decoded via parity::CodeSpec::Parse;
+  // a member must not guess the scheme from its own CLI flags).
   std::vector<Endpoint> endpoints;
+  uint32_t field_choice = 0;  ///< static_cast<uint32_t>(FieldChoice).
+  std::string code;           ///< parity::CodeSpec::Name() spelling.
 
   // kActivateNode:
   NodeId node = kInvalidNode;

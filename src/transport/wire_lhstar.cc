@@ -170,9 +170,17 @@ bool SerScanRequest(const MessageBody& body, WireWriter& w) {
   w.I32(m.client);
   w.U32(m.attached_level);
   w.Bool(m.deterministic);
-  w.Pad(7);
+  // Predicate wire version, carved out of what used to be zero padding:
+  // 0 = contains-only (byte-identical to the legacy frame), 1 = an
+  // inclusive key range appended after the legacy fields.
+  w.U8(m.predicate.has_key_range ? 1 : 0);
+  w.Pad(6);
   w.BytesField(m.predicate.contains);
   w.Pad(12);
+  if (m.predicate.has_key_range) {
+    w.U64(m.predicate.key_min);
+    w.U64(m.predicate.key_max);
+  }
   return true;
 }
 
@@ -182,9 +190,19 @@ std::unique_ptr<MessageBody> DeScanRequest(WireReader& r) {
   RD(r.I32(&m->client));
   RD(r.U32(&m->attached_level));
   RD(r.Bool(&m->deterministic));
-  RD(r.Skip(7));
+  uint8_t version = 0;
+  RD(r.U8(&version));
+  RD(r.Skip(6));
   RD(r.BytesField(&m->predicate.contains));
   RD(r.Skip(12));
+  if (version >= 1) {
+    m->predicate.has_key_range = true;
+    RD(r.U64(&m->predicate.key_min));
+    RD(r.U64(&m->predicate.key_max));
+  }
+  // A newer sender may append predicate fields this build does not know;
+  // the known prefix decodes and the remainder is ignored.
+  if (version > 1) RD(r.Skip(r.remaining()));
   return m;
 }
 

@@ -339,6 +339,106 @@ TEST(LhrsRecoveryTest, FileKeepsScalingAfterRecovery) {
   ExpectAllFindable(file, more);
 }
 
+// ---------------------------------------------------------------------------
+// Code-parameterized drills: the same failure scenarios run under the RS
+// code, progressive RS, and the LRC code, and must yield identical
+// client-visible contents. Geometry m = 4, k = 3 is valid for all of them
+// (lrc2 splits the four slots into two local groups + one global parity),
+// and every failure pattern used here is recoverable under the non-MDS
+// LRC too.
+
+class CodedRecoveryTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  LhrsFile::Options CodedOpts(uint32_t m, uint32_t k, size_t capacity = 8) {
+    LhrsFile::Options opts = Opts(m, k, capacity);
+    auto spec = parity::CodeSpec::Parse(GetParam());
+    EXPECT_TRUE(spec.ok()) << spec.status();
+    if (spec.ok()) opts.code = *spec;
+    return opts;
+  }
+};
+
+TEST_P(CodedRecoveryTest, CrashedBucketRecoversIdenticalContents) {
+  LhrsFile file(CodedOpts(4, 3));
+  std::vector<Key> keys = Populate(file, 120, 61);
+  ASSERT_GT(file.bucket_count(), 4u);
+  EXPECT_EQ(file.code_name(), GetParam());
+
+  const NodeId dead = file.CrashDataBucket(2);
+  file.DetectAndRecover(dead);
+  EXPECT_GE(file.rs_coordinator().recoveries_completed(), 1u);
+  EXPECT_EQ(file.rs_coordinator().groups_lost(), 0u);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+  ExpectAllFindable(file, keys);
+}
+
+TEST_P(CodedRecoveryTest, ParityBucketRecoversFromDataColumns) {
+  LhrsFile file(CodedOpts(4, 3));
+  std::vector<Key> keys = Populate(file, 100, 62);
+  const size_t before = file.parity_bucket(0, 2)->parity_record_count();
+  ASSERT_GT(before, 0u);
+  const NodeId dead = file.CrashParityBucket(0, 2);
+  file.DetectAndRecover(dead);
+  EXPECT_EQ(file.parity_bucket(0, 2)->parity_record_count(), before);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+  ExpectAllFindable(file, keys);
+}
+
+TEST_P(CodedRecoveryTest, FailuresInDistinctLocalGroupsRecover) {
+  // Data buckets 0 and 2 sit in different lrc2 local groups, so even the
+  // locality-limited code repairs both (each from its own group).
+  LhrsFile file(CodedOpts(4, 3, /*capacity=*/10));
+  std::vector<Key> keys = Populate(file, 200, 63);
+  ASSERT_GE(file.bucket_count(), 4u);
+  const NodeId dead1 = file.CrashDataBucket(0);
+  const NodeId dead2 = file.CrashDataBucket(2);
+  file.DetectAndRecover(dead1);
+  file.DetectAndRecover(dead2);
+  EXPECT_EQ(file.rs_coordinator().groups_lost(), 0u);
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+  ExpectAllFindable(file, keys);
+}
+
+TEST_P(CodedRecoveryTest, DegradedReadsServeIdenticalContents) {
+  LhrsFile::Options opts = CodedOpts(4, 3, /*capacity=*/10);
+  opts.auto_recover = false;
+  LhrsFile file(opts);
+  std::vector<Key> keys = Populate(file, 150, 64);
+  ASSERT_GE(file.bucket_count(), 4u);
+  file.CrashDataBucket(1);
+  ExpectAllFindable(file, keys);
+  EXPECT_EQ(file.rs_coordinator().recoveries_completed(), 0u);
+  EXPECT_GT(file.rs_coordinator().degraded_reads_served(), 0u);
+}
+
+TEST_P(CodedRecoveryTest, WritesDuringOutageHealIdentically) {
+  LhrsFile file(CodedOpts(4, 3, /*capacity=*/1000));
+  ASSERT_TRUE(file.Insert(0, Val("value-0")).ok());
+  ASSERT_TRUE(file.Insert(1, Val("value-1")).ok());
+  file.CrashDataBucket(0);
+  ASSERT_TRUE(file.Insert(4, Val("value-4")).ok());
+  ASSERT_TRUE(file.Update(1, Val("fresh")).ok());
+  EXPECT_GE(file.rs_coordinator().recoveries_completed(), 1u);
+  auto got = file.Search(4);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, Val("value-4"));
+  got = file.Search(1);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(*got, Val("fresh"));
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, CodedRecoveryTest,
+                         ::testing::Values("rs", "rs+prog", "lrc2",
+                                           "lrc2+prog"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '+') c = '_';
+                           }
+                           return name;
+                         });
+
 // Pure-logic reconstruction tests (no network).
 TEST(ReconstructColumnsTest, RejectsInsufficientSurvivors) {
   CoderCache coders(4);

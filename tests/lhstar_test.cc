@@ -230,6 +230,30 @@ TEST(LhStarFileTest, ScanWithPredicateSelectsSubset) {
   for (const auto& rec : *result) EXPECT_EQ(rec.key % 3, 0u);
 }
 
+TEST(LhStarFileTest, ScanWithKeyRangeSelectsInclusiveRange) {
+  LhStarFile file(SmallFile(9));
+  for (Key k = 0; k < 100; ++k) {
+    const char* tag = (k % 3 == 0) ? "red" : "blue";
+    ASSERT_TRUE(file.Insert(k, Val(tag)).ok());
+  }
+  ScanPredicate pred;
+  pred.has_key_range = true;
+  pred.key_min = 10;
+  pred.key_max = 20;
+  auto result = file.Scan(pred);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 11u);  // Inclusive bounds.
+  for (const auto& rec : *result) {
+    EXPECT_GE(rec.key, 10u);
+    EXPECT_LE(rec.key, 20u);
+  }
+  // Range composes with the substring selection.
+  pred.contains = Val("red");
+  result = file.Scan(pred);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);  // k = 12, 15, 18.
+}
+
 TEST(LhStarFileTest, ProbabilisticScanAlsoComplete) {
   LhStarFile file(SmallFile(9));
   for (Key k = 0; k < 120; ++k) {

@@ -3,14 +3,18 @@
 // (encode, incremental delta updates, erasure decode).
 
 #include <algorithm>
+#include <bit>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "gf/gf256.h"
 #include "gf/gf65536.h"
+#include "parity/parity_code.h"
 #include "rs/coder.h"
 #include "rs/generator.h"
 #include "rs/matrix.h"
@@ -289,6 +293,317 @@ TEST(GroupCoderTest65536, PadsOddLengthsToWholeSymbols) {
   ASSERT_EQ(parity[0].size(), 4u);
   EXPECT_EQ(parity[0][0], 0xAB);
   EXPECT_EQ(parity[0][3], 0x00);
+}
+
+// ---------------------------------------------------------------------------
+// ParityCode interface tests: the RsCode oracle, the MDS any-m-subset
+// property over random geometries, progressive decoding, and the LRC code.
+
+template <typename F>
+FieldChoice FieldChoiceOf();
+template <>
+FieldChoice FieldChoiceOf<GF256>() {
+  return FieldChoice::kGf256;
+}
+template <>
+FieldChoice FieldChoiceOf<GF65536>() {
+  return FieldChoice::kGf65536;
+}
+
+std::unique_ptr<parity::ParityCode> MakeCode(const char* name, uint32_t m,
+                                             uint32_t k, FieldChoice field) {
+  auto spec = parity::CodeSpec::Parse(name);
+  LHRS_CHECK(spec.ok());
+  auto code = parity::MakeParityCode(*spec, m, k, field);
+  LHRS_CHECK(code.ok());
+  return std::move(code).value();
+}
+
+// The MDS property, end to end: for random (m, k) geometries and random
+// variable-length payloads, EVERY m-subset of the m + k codeword columns
+// reconstructs every data column — through both the legacy GroupCoder and
+// the interface-built RsCode, which must agree byte for byte.
+TYPED_TEST(GroupCoderTest, AnyMSubsetReconstructsRandomGeometry) {
+  Rng rng(811);
+  for (int trial = 0; trial < 6; ++trial) {
+    const uint32_t m = 1 + static_cast<uint32_t>(rng.Uniform(7));
+    const uint32_t k = 1 + static_cast<uint32_t>(rng.Uniform(3));
+    const uint32_t n = m + k;  // <= 10, so subsets enumerate exhaustively.
+    GroupCoder<TypeParam> coder(m, k);
+    auto code = MakeCode("rs", m, k, FieldChoiceOf<TypeParam>());
+
+    std::vector<Bytes> data(m);
+    std::vector<const Bytes*> ptrs(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      data[i] = rng.RandomBytes(rng.Uniform(25));  // May be empty.
+      ptrs[i] = data[i].empty() ? nullptr : &data[i];
+    }
+    std::vector<Bytes> parity = coder.Encode(ptrs);
+    ASSERT_EQ(code->Encode(ptrs), parity)
+        << "RsCode must be byte-identical to GroupCoder";
+
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      if (std::popcount(mask) != static_cast<int>(m)) continue;
+      std::vector<std::pair<size_t, Bytes>> available;
+      std::vector<uint32_t> have;
+      std::vector<size_t> wanted;
+      for (uint32_t col = 0; col < n; ++col) {
+        if (mask & (1u << col)) {
+          available.emplace_back(col,
+                                 col < m ? data[col] : parity[col - m]);
+          have.push_back(col);
+        } else if (col < m) {
+          wanted.push_back(col);
+        }
+      }
+      if (wanted.empty()) continue;
+      EXPECT_TRUE(code->CanDecodeFrom(
+          have, std::vector<uint32_t>(wanted.begin(), wanted.end())));
+      auto decoded = code->DecodeData(available, wanted);
+      ASSERT_TRUE(decoded.ok())
+          << "m=" << m << " k=" << k << " mask=" << mask << ": "
+          << decoded.status();
+      auto legacy = coder.DecodeData(available, wanted);
+      ASSERT_TRUE(legacy.ok());
+      EXPECT_EQ(*decoded, *legacy) << "interface and legacy decode differ";
+      for (size_t i = 0; i < wanted.size(); ++i) {
+        EXPECT_EQ((*decoded)[i], PadTo(data[wanted[i]], (*decoded)[i].size()))
+            << "m=" << m << " k=" << k << " mask=" << mask << " slot "
+            << wanted[i];
+      }
+    }
+  }
+}
+
+TYPED_TEST(GroupCoderTest, ProgressiveDecoderFinishesEarly) {
+  const uint32_t m = 4, k = 2;
+  auto code = MakeCode("rs+prog", m, k, FieldChoiceOf<TypeParam>());
+  Rng rng(821);
+  std::vector<Bytes> data(m);
+  data[0] = rng.RandomBytes(16);
+  data[1] = rng.RandomBytes(16);
+  std::vector<const Bytes*> ptrs = {&data[0], &data[1], nullptr, nullptr};
+  std::vector<Bytes> parity = code->Encode(ptrs);
+
+  // Slot 1 lost; slots 2 and 3 never existed (known zero). Rank m is
+  // reached after only two survivor columns even though two parity
+  // columns are also alive.
+  auto dec = code->NewProgressiveDecoder({1}, {2, 3});
+  EXPECT_FALSE(dec->Ready());
+  EXPECT_TRUE(dec->AddColumn(0, BufferView(data[0])));
+  EXPECT_FALSE(dec->Ready());
+  EXPECT_TRUE(dec->AddColumn(m + 0, BufferView(parity[0])));
+  EXPECT_TRUE(dec->Ready());
+  EXPECT_EQ(dec->columns_used(), 2u);
+
+  // Surplus survivors past full rank are redundant and must be rejected.
+  EXPECT_FALSE(dec->AddColumn(m + 1, BufferView(parity[1])));
+  EXPECT_EQ(dec->columns_used(), 2u);
+
+  auto decoded = dec->Decode();
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0], PadTo(data[1], (*decoded)[0].size()));
+}
+
+TYPED_TEST(GroupCoderTest, ProgressiveDecoderAcceptsColumnsOutOfOrder) {
+  const uint32_t m = 4, k = 3;
+  auto code = MakeCode("rs+prog", m, k, FieldChoiceOf<TypeParam>());
+  Rng rng(823);
+  std::vector<Bytes> data(m);
+  std::vector<const Bytes*> ptrs(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    data[i] = rng.RandomBytes(12);
+    ptrs[i] = &data[i];
+  }
+  std::vector<Bytes> parity = code->Encode(ptrs);
+
+  // All parity first, then one data column: any arrival order works.
+  auto dec = code->NewProgressiveDecoder({0, 2}, {});
+  EXPECT_TRUE(dec->AddColumn(m + 2, BufferView(parity[2])));
+  EXPECT_TRUE(dec->AddColumn(m + 0, BufferView(parity[0])));
+  EXPECT_TRUE(dec->AddColumn(m + 1, BufferView(parity[1])));
+  EXPECT_FALSE(dec->Ready()) << "rank 3 of 4 cannot solve yet";
+  EXPECT_TRUE(dec->AddColumn(3, BufferView(data[3])));
+  EXPECT_TRUE(dec->Ready());
+
+  auto decoded = dec->Decode();
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0], PadTo(data[0], (*decoded)[0].size()));
+  EXPECT_EQ((*decoded)[1], PadTo(data[2], (*decoded)[1].size()));
+}
+
+TYPED_TEST(GroupCoderTest, ProgressiveDecoderInsufficientRankIsDataLoss) {
+  const uint32_t m = 4, k = 2;
+  auto code = MakeCode("rs+prog", m, k, FieldChoiceOf<TypeParam>());
+  Rng rng(827);
+  std::vector<Bytes> data(m);
+  std::vector<const Bytes*> ptrs(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    data[i] = rng.RandomBytes(8);
+    ptrs[i] = &data[i];
+  }
+  std::vector<Bytes> parity = code->Encode(ptrs);
+
+  auto dec = code->NewProgressiveDecoder({0, 1}, {});
+  EXPECT_TRUE(dec->AddColumn(2, BufferView(data[2])));
+  EXPECT_TRUE(dec->AddColumn(3, BufferView(data[3])));
+  EXPECT_TRUE(dec->AddColumn(m + 0, BufferView(parity[0])));
+  EXPECT_FALSE(dec->Ready()) << "three columns cannot solve two unknowns + "
+                                "two knowns over rank four";
+  auto decoded = dec->Decode();
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsDataLoss());
+
+  // The missing fourth column completes the rank.
+  EXPECT_TRUE(dec->AddColumn(m + 1, BufferView(parity[1])));
+  EXPECT_TRUE(dec->Ready());
+  EXPECT_TRUE(dec->Decode().ok());
+}
+
+// ---------------------------------------------------------------------------
+// LRC code tests (m = 4, locality 2, k = 3: two local XORs + one global).
+
+TYPED_TEST(GroupCoderTest, LrcLocalColumnsAreGroupXors) {
+  auto code = MakeCode("lrc2", 4, 3, FieldChoiceOf<TypeParam>());
+  Rng rng(829);
+  std::vector<Bytes> data(4);
+  std::vector<const Bytes*> ptrs(4);
+  for (uint32_t i = 0; i < 4; ++i) {
+    data[i] = rng.RandomBytes(32);
+    ptrs[i] = &data[i];
+  }
+  std::vector<Bytes> parity = code->Encode(ptrs);
+  ASSERT_EQ(parity.size(), 3u);
+  for (uint32_t l = 0; l < 2; ++l) {
+    Bytes expected(32, 0);
+    for (uint32_t s = 2 * l; s < 2 * l + 2; ++s) {
+      for (size_t i = 0; i < 32; ++i) expected[i] ^= data[s][i];
+    }
+    EXPECT_EQ(parity[l], expected) << "local parity " << l;
+  }
+}
+
+TYPED_TEST(GroupCoderTest, LrcSingleLossRepairsFromLocalGroupOnly) {
+  auto code = MakeCode("lrc2", 4, 3, FieldChoiceOf<TypeParam>());
+  parity::RepairContext ctx;
+  ctx.existing_slots = 4;
+  ctx.alive_data = {1, 2, 3};
+  ctx.alive_parity = {0, 1, 2};
+  ctx.missing = {0};
+  auto plan = code->PlanRepair(ctx);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Slot 0's local group is {0, 1} with local parity column 4: the repair
+  // touches r = 2 columns, not the RS code's m = 4.
+  EXPECT_EQ(plan->read_columns, (std::vector<uint32_t>{1, 4}));
+
+  // The slot's own local parity leads the preference order.
+  EXPECT_EQ(code->ParityPreference(0)[0], 0u);
+  EXPECT_EQ(code->ParityPreference(3)[0], 1u);
+}
+
+TYPED_TEST(GroupCoderTest, LrcRecoversDoubleLossViaGlobalParity) {
+  auto code = MakeCode("lrc2", 4, 3, FieldChoiceOf<TypeParam>());
+  Rng rng(839);
+  std::vector<Bytes> data(4);
+  std::vector<const Bytes*> ptrs(4);
+  for (uint32_t i = 0; i < 4; ++i) {
+    data[i] = rng.RandomBytes(20);
+    ptrs[i] = &data[i];
+  }
+  std::vector<Bytes> parity = code->Encode(ptrs);
+
+  // Both members of local group 0 lost: the local XOR alone cannot split
+  // them, but together with the global column the pair is determined.
+  std::vector<std::pair<size_t, Bytes>> available = {
+      {2, data[2]}, {3, data[3]}, {4, parity[0]}, {5, parity[1]},
+      {6, parity[2]}};
+  auto decoded = code->DecodeData(available, {0, 1});
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ((*decoded)[0], PadTo(data[0], (*decoded)[0].size()));
+  EXPECT_EQ((*decoded)[1], PadTo(data[1], (*decoded)[1].size()));
+}
+
+TYPED_TEST(GroupCoderTest, LrcNonMdsPatternIsDataLoss) {
+  auto code = MakeCode("lrc2", 4, 3, FieldChoiceOf<TypeParam>());
+  // Losing both members of a local group AND its local parity leaves one
+  // equation (the global) for two unknowns. An MDS code with k = 3 would
+  // survive any three losses; the LRC trades that away for locality.
+  EXPECT_FALSE(code->CanDecodeFrom({2, 3, 5, 6}, {0, 1}));
+
+  parity::RepairContext ctx;
+  ctx.existing_slots = 4;
+  ctx.alive_data = {2, 3};
+  ctx.alive_parity = {1, 2};
+  ctx.missing = {0, 1, 4};
+  auto plan = code->PlanRepair(ctx);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsDataLoss());
+
+  Rng rng(853);
+  std::vector<Bytes> data(4);
+  std::vector<const Bytes*> ptrs(4);
+  for (uint32_t i = 0; i < 4; ++i) {
+    data[i] = rng.RandomBytes(16);
+    ptrs[i] = &data[i];
+  }
+  std::vector<Bytes> parity = code->Encode(ptrs);
+  std::vector<std::pair<size_t, Bytes>> available = {
+      {2, data[2]}, {3, data[3]}, {5, parity[1]}, {6, parity[2]}};
+  auto decoded = code->DecodeData(available, {0, 1});
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsDataLoss());
+}
+
+TYPED_TEST(GroupCoderTest, LrcProgressiveDecoderStopsAtLocalGroup) {
+  auto code = MakeCode("lrc2+prog", 4, 3, FieldChoiceOf<TypeParam>());
+  Rng rng(857);
+  std::vector<Bytes> data(4);
+  std::vector<const Bytes*> ptrs(4);
+  for (uint32_t i = 0; i < 4; ++i) {
+    data[i] = rng.RandomBytes(24);
+    ptrs[i] = &data[i];
+  }
+  std::vector<Bytes> parity = code->Encode(ptrs);
+
+  // Rebuilding slot 2 needs only its sibling and the group-1 local parity:
+  // Ready() fires after two columns even though full rank would need four.
+  auto dec = code->NewProgressiveDecoder({2}, {});
+  EXPECT_TRUE(dec->AddColumn(3, BufferView(data[3])));
+  EXPECT_FALSE(dec->Ready());
+  EXPECT_TRUE(dec->AddColumn(4 + 1, BufferView(parity[1])));
+  EXPECT_TRUE(dec->Ready());
+  EXPECT_EQ(dec->columns_used(), 2u);
+
+  auto decoded = dec->Decode();
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ((*decoded)[0], PadTo(data[2], (*decoded)[0].size()));
+}
+
+TEST(CodeSpecTest, NameParseRoundTrips) {
+  for (const char* name : {"rs", "rs+prog", "lrc2", "lrc4+prog"}) {
+    auto spec = parity::CodeSpec::Parse(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_EQ(spec->Name(), name);
+  }
+  EXPECT_FALSE(parity::CodeSpec::Parse("raid5").ok());
+  EXPECT_FALSE(parity::CodeSpec::Parse("lrc").ok());
+  EXPECT_FALSE(parity::CodeSpec::Parse("lrcx").ok());
+}
+
+TEST(CodeSpecTest, MakeParityCodeRejectsBadGeometry) {
+  auto lrc = parity::CodeSpec::Parse("lrc2");
+  ASSERT_TRUE(lrc.ok());
+  // m = 4, locality 2 means two local groups; k = 1 cannot cover them.
+  EXPECT_FALSE(
+      parity::MakeParityCode(*lrc, 4, 1, FieldChoice::kGf256).ok());
+  EXPECT_TRUE(
+      parity::MakeParityCode(*lrc, 4, 2, FieldChoice::kGf256).ok());
+  auto rs = parity::CodeSpec::Parse("rs");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_FALSE(
+      parity::MakeParityCode(*rs, 200, 100, FieldChoice::kGf256).ok());
 }
 
 }  // namespace

@@ -1,6 +1,10 @@
 // Tests for parity scrubbing: detection and repair of silent parity
 // corruption (bit rot, lost updates) by auditing parity against the data
-// columns.
+// columns. The whole suite is parameterized over the parity code (RS and
+// LRC): scrubbing is scheme-agnostic and must behave identically.
+
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -10,13 +14,19 @@
 namespace lhrs {
 namespace {
 
-LhrsFile::Options Opts(uint32_t m = 4, uint32_t k = 2) {
-  LhrsFile::Options opts;
-  opts.file.bucket_capacity = 10;
-  opts.group_size = m;
-  opts.policy.base_k = k;
-  return opts;
-}
+class ScrubTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  LhrsFile::Options Opts(uint32_t m = 4, uint32_t k = 2) {
+    LhrsFile::Options opts;
+    opts.file.bucket_capacity = 10;
+    opts.group_size = m;
+    opts.policy.base_k = k;
+    auto spec = parity::CodeSpec::Parse(GetParam());
+    EXPECT_TRUE(spec.ok()) << spec.status();
+    if (spec.ok()) opts.code = *spec;
+    return opts;
+  }
+};
 
 void Populate(LhrsFile& file, int n, uint64_t seed) {
   Rng rng(seed);
@@ -25,7 +35,7 @@ void Populate(LhrsFile& file, int n, uint64_t seed) {
   }
 }
 
-TEST(ScrubTest, CleanFileHasNoMismatches) {
+TEST_P(ScrubTest, CleanFileHasNoMismatches) {
   LhrsFile file(Opts());
   Populate(file, 200, 61);
   const auto report = file.Scrub();
@@ -35,7 +45,7 @@ TEST(ScrubTest, CleanFileHasNoMismatches) {
   EXPECT_EQ(report.parity_columns_repaired, 0u);
 }
 
-TEST(ScrubTest, DetectsFlippedParityBits) {
+TEST_P(ScrubTest, DetectsFlippedParityBits) {
   LhrsFile file(Opts());
   Populate(file, 150, 62);
   // Silent bit rot in one parity record of group 0, column 1.
@@ -53,7 +63,7 @@ TEST(ScrubTest, DetectsFlippedParityBits) {
   EXPECT_FALSE(file.VerifyParityInvariants().ok());
 }
 
-TEST(ScrubTest, DetectsCorruptedMetadata) {
+TEST_P(ScrubTest, DetectsCorruptedMetadata) {
   LhrsFile file(Opts());
   Populate(file, 150, 63);
   auto* bucket = file.parity_bucket(0, 0);
@@ -65,7 +75,7 @@ TEST(ScrubTest, DetectsCorruptedMetadata) {
   EXPECT_GE(report.mismatched_parity_records, 1u);
 }
 
-TEST(ScrubTest, RepairRestoresCorruptedColumns) {
+TEST_P(ScrubTest, RepairRestoresCorruptedColumns) {
   LhrsFile file(Opts());
   Populate(file, 200, 64);
   // Corrupt several records across two parity columns of group 0.
@@ -92,7 +102,7 @@ TEST(ScrubTest, RepairRestoresCorruptedColumns) {
   EXPECT_EQ(again.mismatched_parity_records, 0u);
 }
 
-TEST(ScrubTest, DetectsDroppedParityRecord) {
+TEST_P(ScrubTest, DetectsDroppedParityRecord) {
   LhrsFile file(Opts());
   Populate(file, 150, 65);
   auto* bucket = file.parity_bucket(0, 1);
@@ -110,7 +120,7 @@ TEST(ScrubTest, DetectsDroppedParityRecord) {
   EXPECT_TRUE(file.VerifyParityInvariants().ok());
 }
 
-TEST(ScrubTest, RepairedFileStillRecoversFromFailures) {
+TEST_P(ScrubTest, RepairedFileStillRecoversFromFailures) {
   LhrsFile file(Opts());
   Rng rng(66);
   std::vector<Key> keys;
@@ -123,12 +133,19 @@ TEST(ScrubTest, RepairedFileStillRecoversFromFailures) {
   bucket->MutableParityRecordForTest(rank)->parity.MutableData()[0] ^= 0x42;
   (void)file.Scrub(/*repair=*/true);
 
+  // Buckets 0 and 2 sit in distinct lrc2 local groups, so the double
+  // failure is recoverable under both the MDS RS code and the LRC.
   const NodeId d1 = file.CrashDataBucket(0);
-  file.CrashDataBucket(1);
+  file.CrashDataBucket(2);
   file.DetectAndRecover(d1);
   EXPECT_EQ(file.rs_coordinator().groups_lost(), 0u);
   for (Key k : keys) EXPECT_TRUE(file.Search(k).ok());
 }
+
+INSTANTIATE_TEST_SUITE_P(Codes, ScrubTest, ::testing::Values("rs", "lrc2"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
 
 }  // namespace
 }  // namespace lhrs

@@ -126,6 +126,18 @@ std::vector<std::unique_ptr<MessageBody>> SampleBodies() {
     add(std::move(m));
   }
   {
+    // Predicate wire version 1: structured key range.
+    auto m = std::make_unique<ScanRequestMsg>();
+    m->op_id = 8;
+    m->client = 30;
+    m->attached_level = 2;
+    m->predicate.has_key_range = true;
+    m->predicate.key_min = 100;
+    m->predicate.key_max = 4'000'000'000'000ULL;
+    m->deterministic = false;
+    add(std::move(m));
+  }
+  {
     auto m = std::make_unique<ScanReplyMsg>();
     m->op_id = 7;
     m->bucket = 4;
@@ -576,6 +588,79 @@ TEST_F(WireTest, CustomScanPredicateIsUnserializable) {
   EXPECT_FALSE(SerializeBody(msg, w));
 }
 
+// The structured key-range predicate survives the wire with both bounds
+// and composes with `contains`.
+TEST_F(WireTest, ScanRequestKeyRangeRoundTrips) {
+  ScanRequestMsg msg;
+  msg.op_id = 11;
+  msg.client = 3;
+  msg.predicate.contains = BytesFromString("needle");
+  msg.predicate.has_key_range = true;
+  msg.predicate.key_min = 42;
+  msg.predicate.key_max = 1000;
+  WireWriter w;
+  ASSERT_TRUE(SerializeBody(msg, w));
+  const Bytes bytes = w.Flatten();
+
+  auto decoded = DeserializeBody(msg.kind(), BufferView(bytes));
+  ASSERT_NE(decoded, nullptr);
+  const auto& out = static_cast<const ScanRequestMsg&>(*decoded);
+  EXPECT_TRUE(out.predicate.has_key_range);
+  EXPECT_EQ(out.predicate.key_min, 42u);
+  EXPECT_EQ(out.predicate.key_max, 1000u);
+  EXPECT_EQ(out.predicate.contains, msg.predicate.contains);
+  // And the predicate actually selects on the decoded range.
+  const Bytes hit = BytesFromString("a needle here");
+  EXPECT_TRUE(out.predicate.Matches(500, hit));
+  EXPECT_FALSE(out.predicate.Matches(41, hit));
+  EXPECT_FALSE(out.predicate.Matches(1001, hit));
+}
+
+// A contains-only request encodes byte-identically to the pre-range frame
+// (the version byte occupies what used to be zero padding), so old
+// decoders keep reading new frames and vice versa.
+TEST_F(WireTest, LegacyScanRequestFrameDecodesWithoutRange) {
+  ScanRequestMsg msg;
+  msg.op_id = 12;
+  msg.predicate.contains = BytesFromString("x");
+  WireWriter w;
+  ASSERT_TRUE(SerializeBody(msg, w));
+  const Bytes bytes = w.Flatten();
+  // Version byte (offset 17: op_id 8 + client 4 + level 4 + bool 1) is 0 —
+  // indistinguishable from the legacy layout's padding.
+  ASSERT_GT(bytes.size(), 17u);
+  EXPECT_EQ(bytes[17], 0);
+
+  auto decoded = DeserializeBody(msg.kind(), BufferView(bytes));
+  ASSERT_NE(decoded, nullptr);
+  const auto& out = static_cast<const ScanRequestMsg&>(*decoded);
+  EXPECT_FALSE(out.predicate.has_key_range);
+  EXPECT_EQ(out.predicate.contains, msg.predicate.contains);
+}
+
+// Forward compatibility: a frame from a hypothetical newer build (higher
+// predicate version, extra trailing fields) decodes its known prefix
+// instead of bouncing the scan.
+TEST_F(WireTest, FutureScanPredicateVersionIsTolerated) {
+  ScanRequestMsg msg;
+  msg.op_id = 13;
+  msg.predicate.has_key_range = true;
+  msg.predicate.key_min = 7;
+  msg.predicate.key_max = 9;
+  WireWriter w;
+  ASSERT_TRUE(SerializeBody(msg, w));
+  Bytes bytes = w.Flatten();
+  bytes[17] = 2;                              // Pretend version 2...
+  bytes.insert(bytes.end(), {1, 2, 3, 4});    // ...with unknown fields.
+
+  auto decoded = DeserializeBody(msg.kind(), BufferView(bytes));
+  ASSERT_NE(decoded, nullptr);
+  const auto& out = static_cast<const ScanRequestMsg&>(*decoded);
+  EXPECT_TRUE(out.predicate.has_key_range);
+  EXPECT_EQ(out.predicate.key_min, 7u);
+  EXPECT_EQ(out.predicate.key_max, 9u);
+}
+
 TEST_F(WireTest, UnknownKindDeserializesToNull) {
   const Bytes bytes = {0, 1, 2, 3};
   EXPECT_EQ(DeserializeBody(9999, BufferView(bytes)), nullptr);
@@ -603,13 +688,16 @@ TEST_F(WireTest, TruncatedFramesAreRejected) {
 // Seeded corruption fuzz: flip random bytes in valid encodings and feed
 // random garbage to every codec. The decoder may reject or (for benign
 // flips) accept; it must never crash, and whatever it accepts must
-// re-serialize without crashing. Runs when LHRS_FUZZ_SEED is set —
-// randomized per CI run (see .github/workflows/ci.yml), reproducible
-// locally with LHRS_FUZZ_SEED=<seed>.
+// re-serialize without crashing. Runs when LHRS_WIRE_FUZZ_SEED (or the
+// shared LHRS_FUZZ_SEED) is set — randomized per CI run (see
+// .github/workflows/ci.yml), reproducible locally with
+// LHRS_WIRE_FUZZ_SEED=<seed>. The corpus includes the versioned scan
+// predicates, so the v0/v1 fallback path is fuzzed too.
 TEST_F(WireTest, SeededCorruptionNeverCrashesDecoder) {
-  const char* env = std::getenv("LHRS_FUZZ_SEED");
+  const char* env = std::getenv("LHRS_WIRE_FUZZ_SEED");
+  if (env == nullptr) env = std::getenv("LHRS_FUZZ_SEED");
   if (env == nullptr) {
-    GTEST_SKIP() << "set LHRS_FUZZ_SEED to run the corruption fuzz";
+    GTEST_SKIP() << "set LHRS_WIRE_FUZZ_SEED to run the corruption fuzz";
   }
   const uint64_t seed = std::strtoull(env, nullptr, 10);
   std::printf("wire corruption fuzz seed: %llu\n",
