@@ -290,7 +290,9 @@ void LhsCoordinatorNode::HandleSubclassMessage(const Message& msg) {
         // XOR the chunk parts; the 4-byte length prefix is identical in
         // every stripe and must not be XORed away. MutableData detaches
         // the accumulator from the first reply's shared buffer before the
-        // in-place fold.
+        // in-place fold. XorBuffer rides the runtime-dispatched kernel
+        // layer (gf/kernels.h), so the baseline's striping folds get the
+        // same SIMD tier as the LH*RS parity path.
         LHRS_CHECK_EQ(acc->second.size(), rec.value.size());
         uint8_t* dst = acc->second.MutableData();
         XorBuffer(dst + kLengthPrefix, rec.value.data() + kLengthPrefix,

@@ -22,17 +22,17 @@ std::string ToHex(std::span<const uint8_t> data);
 
 /// dst[i] ^= src[i] for i in [0, n) — GF(2^w) addition for every field.
 ///
-/// Word-wise kernel: processes `uint64_t` words (4-way unrolled, 32 bytes
-/// per iteration) with scalar head/tail. Loads and stores go through
-/// memcpy, so the kernel is correct for any alignment; it is fastest on
-/// the 64-byte-aligned `Buffer` slices the storage layer hands out (the
+/// Rides the runtime-dispatched kernel layer (gf/kernels.h, DESIGN.md
+/// §15): SSSE3/AVX2/NEON vectors when the CPU has them, the word-wise
+/// uint64 loop as the portable floor. Alignment-agnostic; fastest on the
+/// 64-byte-aligned `Buffer` slices the storage layer hands out (the
 /// aligned-kernel contract, DESIGN.md §10). `dst` and `src` must not
 /// partially overlap (dst == src is fine).
 void XorBuffer(uint8_t* dst, const uint8_t* src, size_t n);
 
 /// The original byte-at-a-time XOR loop, pinned against auto-vectorization.
-/// Kept as the checked reference for the word-wise kernel: tests assert
-/// equivalence, and bench_t3 reports the word/byte throughput ratio.
+/// Kept as the checked reference for every dispatched kernel: tests assert
+/// equivalence, and bench_t3 reports per-ISA/byte throughput ratios.
 void XorBufferByteReference(uint8_t* dst, const uint8_t* src, size_t n);
 
 /// XORs `src` into `dst` elementwise in one pass. `dst` grows to

@@ -1,53 +1,23 @@
 #include <cstdint>
-#include <cstring>
 
 #include "common/bytes.h"
+#include "gf/kernels.h"
 
 namespace lhrs {
 
+// Field-independent GF(2^w) addition, riding the runtime-dispatched kernel
+// layer (gf/kernels.h): word-wise on the portable floor, SSSE3/AVX2/NEON
+// vectors when the CPU has them. The word/byte implementations themselves
+// live in gf/kernels_portable.cc.
 void XorBuffer(uint8_t* dst, const uint8_t* src, size_t n) {
-  size_t i = 0;
-  // 4-way unrolled word loop: 32 bytes per iteration. memcpy compiles to
-  // plain (possibly unaligned) word loads/stores on every target we care
-  // about, so this is alignment-agnostic; the 64-byte-aligned buffers from
-  // the storage layer take the fast path end to end.
-  for (; i + 32 <= n; i += 32) {
-    uint64_t d0, d1, d2, d3, s0, s1, s2, s3;
-    std::memcpy(&d0, dst + i, 8);
-    std::memcpy(&d1, dst + i + 8, 8);
-    std::memcpy(&d2, dst + i + 16, 8);
-    std::memcpy(&d3, dst + i + 24, 8);
-    std::memcpy(&s0, src + i, 8);
-    std::memcpy(&s1, src + i + 8, 8);
-    std::memcpy(&s2, src + i + 16, 8);
-    std::memcpy(&s3, src + i + 24, 8);
-    d0 ^= s0;
-    d1 ^= s1;
-    d2 ^= s2;
-    d3 ^= s3;
-    std::memcpy(dst + i, &d0, 8);
-    std::memcpy(dst + i + 8, &d1, 8);
-    std::memcpy(dst + i + 16, &d2, 8);
-    std::memcpy(dst + i + 24, &d3, 8);
-  }
-  for (; i + 8 <= n; i += 8) {
-    uint64_t d, s;
-    std::memcpy(&d, dst + i, 8);
-    std::memcpy(&s, src + i, 8);
-    d ^= s;
-    std::memcpy(dst + i, &d, 8);
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
+  ActiveKernels().xor_buf(dst, src, n);
 }
 
-// Pinned scalar: without this, -O3 auto-vectorizes the byte loop and the
-// "reference" silently becomes another SIMD kernel, making the measured
-// word/byte ratio meaningless.
-#if defined(__GNUC__) && !defined(__clang__)
-__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
-#endif
+// The pinned byte-at-a-time reference — always the "scalar" tier,
+// regardless of the active selection, so tests and benches keep a stable
+// oracle/denominator.
 void XorBufferByteReference(uint8_t* dst, const uint8_t* src, size_t n) {
-  for (size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+  KernelsByName("scalar")->xor_buf(dst, src, n);
 }
 
 }  // namespace lhrs

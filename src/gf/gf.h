@@ -15,7 +15,9 @@ namespace lhrs {
 /// and the field only supplies multiplication machinery.
 template <typename F>
 concept GaloisField = requires(typename F::Symbol a, typename F::Symbol b,
-                               uint8_t* dst, const uint8_t* src, size_t n) {
+                               uint8_t* dst, const uint8_t* const* srcs,
+                               const typename F::Symbol* coeffs,
+                               const uint8_t* src, size_t n) {
   typename F::Symbol;
   { F::kOrder } -> std::convertible_to<uint32_t>;
   { F::kSymbolBytes } -> std::convertible_to<size_t>;
@@ -24,21 +26,22 @@ concept GaloisField = requires(typename F::Symbol a, typename F::Symbol b,
   { F::Div(a, b) } -> std::same_as<typename F::Symbol>;
   { F::Inv(a) } -> std::same_as<typename F::Symbol>;
   { F::MulAddBuffer(dst, src, n, a) };
+  { F::MulAddRow(dst, srcs, coeffs, n, n) };
 };
 
 /// dst[i] ^= src[i] for i in [0, n). Field-independent GF(2^w) addition.
 ///
-/// Word-wise kernel: processes `uint64_t` words (4-way unrolled, 32 bytes
-/// per iteration) with scalar head/tail. Loads and stores go through
-/// memcpy, so the kernel is correct for any alignment; it is fastest on
-/// the 64-byte-aligned `Buffer` slices the storage layer hands out (the
-/// aligned-kernel contract, DESIGN.md §10). `dst` and `src` must not
-/// partially overlap (dst == src is fine).
+/// Rides the runtime-dispatched kernel layer (gf/kernels.h, DESIGN.md
+/// §15): SSSE3/AVX2/NEON vectors when the CPU has them, the word-wise
+/// uint64 loop as the portable floor. Every tier is alignment-agnostic;
+/// all are fastest on the 64-byte-aligned `Buffer` slices the storage
+/// layer hands out (the aligned-kernel contract, DESIGN.md §10). `dst`
+/// and `src` must not partially overlap (dst == src is fine).
 void XorBuffer(uint8_t* dst, const uint8_t* src, size_t n);
 
 /// The original byte-at-a-time XOR loop, pinned against auto-vectorization.
-/// Kept as the checked reference for the word-wise kernel: tests assert
-/// equivalence, and bench_t3 reports the word/byte throughput ratio.
+/// Kept as the checked reference for every dispatched kernel: tests assert
+/// equivalence, and bench_t3 reports per-ISA/byte throughput ratios.
 void XorBufferByteReference(uint8_t* dst, const uint8_t* src, size_t n);
 
 }  // namespace lhrs

@@ -1,9 +1,8 @@
 #include "gf/gf256.h"
 
-#include <cstring>
-
 #include "common/logging.h"
 #include "gf/gf.h"
+#include "gf/kernels.h"
 
 namespace lhrs {
 
@@ -42,70 +41,27 @@ uint32_t GF256::Log(Symbol a) {
   return tables().log[a];
 }
 
-namespace {
-
-/// Eight product-row lookups packed into one little-endian word.
-inline uint64_t GatherRow8(const uint8_t* src, const uint8_t* row) {
-  return uint64_t{row[src[0]]} | uint64_t{row[src[1]]} << 8 |
-         uint64_t{row[src[2]]} << 16 | uint64_t{row[src[3]]} << 24 |
-         uint64_t{row[src[4]]} << 32 | uint64_t{row[src[5]]} << 40 |
-         uint64_t{row[src[6]]} << 48 | uint64_t{row[src[7]]} << 56;
-}
-
-}  // namespace
-
 void GF256::MulAddBuffer(uint8_t* dst, const uint8_t* src, size_t n,
                          Symbol coeff) {
   if (coeff == 0 || n == 0) return;
+  const GfKernels& k = ActiveKernels();
   if (coeff == 1) {  // XOR fast path (parity column 0).
-    XorBuffer(dst, src, n);
+    k.xor_buf(dst, src, n);
     return;
   }
-  // Materialise the product row for this coefficient: row[b] = coeff * b.
-  // It stays L1-resident across the whole buffer.
-  uint8_t row[256];
-  row[0] = 0;
-  const Tables& t = tables();
-  const uint32_t lc = t.log[coeff];
-  for (uint32_t b = 1; b < 256; ++b) row[b] = t.exp[lc + t.log[b]];
-  size_t i = 0;
-  // The gathers are inherently byte lookups, but accumulating them into a
-  // word halves the loads/stores on dst: one read-xor-write of 8 bytes
-  // instead of eight.
-  for (; i + 16 <= n; i += 16) {
-    uint64_t d0, d1;
-    std::memcpy(&d0, dst + i, 8);
-    std::memcpy(&d1, dst + i + 8, 8);
-    d0 ^= GatherRow8(src + i, row);
-    d1 ^= GatherRow8(src + i + 8, row);
-    std::memcpy(dst + i, &d0, 8);
-    std::memcpy(dst + i + 8, &d1, 8);
-  }
-  for (; i + 8 <= n; i += 8) {
-    uint64_t d;
-    std::memcpy(&d, dst + i, 8);
-    d ^= GatherRow8(src + i, row);
-    std::memcpy(dst + i, &d, 8);
-  }
-  for (; i < n; ++i) dst[i] ^= row[src[i]];
+  k.mul_add_8(dst, src, n, coeff);
 }
 
-#if defined(__GNUC__) && !defined(__clang__)
-__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
-#endif
 void GF256::MulAddBufferByteReference(uint8_t* dst, const uint8_t* src,
                                       size_t n, Symbol coeff) {
-  if (coeff == 0 || n == 0) return;
-  if (coeff == 1) {
-    XorBufferByteReference(dst, src, n);
-    return;
-  }
-  uint8_t row[256];
-  row[0] = 0;
-  const Tables& t = tables();
-  const uint32_t lc = t.log[coeff];
-  for (uint32_t b = 1; b < 256; ++b) row[b] = t.exp[lc + t.log[b]];
-  for (size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+  // Always the pinned "scalar" tier, independent of the active selection.
+  KernelsByName("scalar")->mul_add_8(dst, src, n, coeff);
+}
+
+void GF256::MulAddRow(uint8_t* dst, const uint8_t* const* srcs,
+                      const Symbol* coeffs, size_t num_srcs, size_t n) {
+  if (num_srcs == 0 || n == 0) return;
+  ActiveKernels().matrix_row_apply_8(dst, srcs, coeffs, num_srcs, n);
 }
 
 void GF256::MulBuffer(uint8_t* dst, const uint8_t* src, size_t n,

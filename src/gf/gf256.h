@@ -41,17 +41,26 @@ class GF256 {
   static uint32_t Log(Symbol a);
 
   /// dst[i] += coeff * src[i] over GF(2^8), for n bytes. The workhorse of
-  /// parity encoding; uses a per-coefficient product row for long buffers and
-  /// falls back to plain XOR when coeff == 1 (the LH*RS "first parity column
-  /// is XOR" fast path). Word-wise: gathers eight product bytes and XORs
-  /// them into dst as one uint64_t (alignment-agnostic via memcpy).
+  /// parity encoding; falls back to plain XOR when coeff == 1 (the LH*RS
+  /// "first parity column is XOR" fast path), otherwise rides the
+  /// runtime-dispatched kernel layer (gf/kernels.h): split-table
+  /// PSHUFB/VPSHUFB/TBL on SIMD-capable hosts, a word-wise product-row
+  /// gather on the portable floor. Alignment-agnostic.
   static void MulAddBuffer(uint8_t* dst, const uint8_t* src, size_t n,
                            Symbol coeff);
 
   /// The original byte-at-a-time MulAdd loop, pinned against
-  /// auto-vectorization; checked reference for the word-wise kernel.
+  /// auto-vectorization; checked reference for every dispatched kernel.
   static void MulAddBufferByteReference(uint8_t* dst, const uint8_t* src,
                                         size_t n, Symbol coeff);
+
+  /// Fused multi-source fold: dst[i] += sum_s coeffs[s] * srcs[s][i] in a
+  /// single pass over dst (one read-modify-write per block instead of one
+  /// per source). Every source must hold at least n bytes; zero
+  /// coefficients are skipped. Matrix decodes and full-group encodes ride
+  /// this so recovery folds all survivor columns per pass.
+  static void MulAddRow(uint8_t* dst, const uint8_t* const* srcs,
+                        const Symbol* coeffs, size_t num_srcs, size_t n);
 
   /// dst[i] = coeff * src[i] over GF(2^8), for n bytes.
   static void MulBuffer(uint8_t* dst, const uint8_t* src, size_t n,

@@ -1,9 +1,8 @@
 #include "gf/gf65536.h"
 
-#include <cstring>
-
 #include "common/logging.h"
 #include "gf/gf.h"
+#include "gf/kernels.h"
 
 namespace lhrs {
 
@@ -49,24 +48,25 @@ void GF65536::MulAddBuffer(uint8_t* dst, const uint8_t* src, size_t n,
                            Symbol coeff) {
   LHRS_CHECK_EQ(n % 2, 0u) << "GF65536 buffers must hold whole symbols";
   if (coeff == 0 || n == 0) return;
+  const GfKernels& k = ActiveKernels();
   if (coeff == 1) {
-    XorBuffer(dst, src, n);
+    k.xor_buf(dst, src, n);
     return;
   }
-  const Tables& t = tables();
-  const uint32_t lc = t.log[coeff];
-  for (size_t i = 0; i < n; i += 2) {
-    uint16_t s;
-    std::memcpy(&s, src + i, 2);
-    if (s == 0) continue;
-    uint32_t e = lc + t.log[s];
-    if (e >= 65535) e -= 65535;
-    uint16_t prod = t.exp[e];
-    uint16_t d;
-    std::memcpy(&d, dst + i, 2);
-    d ^= prod;
-    std::memcpy(dst + i, &d, 2);
-  }
+  k.mul_add_16(dst, src, n, coeff);
+}
+
+void GF65536::MulAddBufferByteReference(uint8_t* dst, const uint8_t* src,
+                                        size_t n, Symbol coeff) {
+  LHRS_CHECK_EQ(n % 2, 0u) << "GF65536 buffers must hold whole symbols";
+  KernelsByName("scalar")->mul_add_16(dst, src, n, coeff);
+}
+
+void GF65536::MulAddRow(uint8_t* dst, const uint8_t* const* srcs,
+                        const Symbol* coeffs, size_t num_srcs, size_t n) {
+  LHRS_CHECK_EQ(n % 2, 0u) << "GF65536 buffers must hold whole symbols";
+  if (num_srcs == 0 || n == 0) return;
+  ActiveKernels().matrix_row_apply_16(dst, srcs, coeffs, num_srcs, n);
 }
 
 }  // namespace lhrs

@@ -44,9 +44,24 @@ class GF65536 {
   /// Discrete log base alpha. a must be non-zero.
   static uint32_t Log(Symbol a);
 
-  /// dst += coeff * src over GF(2^16) for n bytes (n must be even).
+  /// dst += coeff * src over GF(2^16) for n bytes (n must be even — the
+  /// RS coder pads payloads to whole symbols; the dispatched kernels
+  /// assert this in debug builds). Rides the runtime-dispatched kernel
+  /// layer (gf/kernels.h): 4-bit split-table SIMD when available, an
+  /// 8-bit split-table word gather on the portable floor.
   static void MulAddBuffer(uint8_t* dst, const uint8_t* src, size_t n,
                            Symbol coeff);
+
+  /// The pinned symbol-at-a-time loop ("scalar" tier); checked reference
+  /// for every dispatched kernel. n must be even.
+  static void MulAddBufferByteReference(uint8_t* dst, const uint8_t* src,
+                                        size_t n, Symbol coeff);
+
+  /// Fused multi-source fold: dst += sum_s coeffs[s] * srcs[s] in a single
+  /// pass over dst. Every source must hold at least n bytes (n even); zero
+  /// coefficients are skipped.
+  static void MulAddRow(uint8_t* dst, const uint8_t* const* srcs,
+                        const Symbol* coeffs, size_t num_srcs, size_t n);
 
  private:
   struct Tables {

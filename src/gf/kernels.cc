@@ -1,0 +1,89 @@
+// Runtime kernel-tier selection (DESIGN.md §15).
+//
+// The tier list is assembled from what CMake compiled in (feature-checked
+// -m flags set LHRS_HAVE_KERNELS_*) filtered by what the running CPU
+// supports (__builtin_cpu_supports on x86; NEON is unconditional on
+// aarch64). Selection happens once, on first use, so the whole parity
+// path — encode, Δ-fold, degraded read, recovery decode — rides a single
+// indirect call with no per-call branching.
+
+#include "gf/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "gf/kernels_internal.h"
+
+namespace lhrs {
+namespace {
+
+using gfk::kKernelsScalar;
+using gfk::kKernelsWordwise;
+
+/// Compiled-in tiers usable on this CPU, worst to best.
+std::vector<const GfKernels*> DetectAvailable() {
+  std::vector<const GfKernels*> tiers = {&kKernelsScalar,
+                                         &kKernelsWordwise};
+#if defined(LHRS_HAVE_KERNELS_SSSE3)
+  if (__builtin_cpu_supports("ssse3")) tiers.push_back(&gfk::kKernelsSsse3);
+#endif
+#if defined(LHRS_HAVE_KERNELS_AVX2)
+  if (__builtin_cpu_supports("avx2")) tiers.push_back(&gfk::kKernelsAvx2);
+#endif
+#if defined(LHRS_HAVE_KERNELS_NEON)
+  tiers.push_back(&gfk::kKernelsNeon);
+#endif
+  return tiers;
+}
+
+const std::vector<const GfKernels*>& Available() {
+  static const std::vector<const GfKernels*> kTiers = DetectAvailable();
+  return kTiers;
+}
+
+/// Startup selection: LHRS_KERNEL_ISA if usable, else the best tier.
+/// "scalar" is honored but never auto-selected — it exists as the pinned
+/// floor, not a production path.
+const GfKernels* SelectAtStartup() {
+  const std::vector<const GfKernels*>& tiers = Available();
+  const GfKernels* best = tiers.back();
+  const char* env = std::getenv("LHRS_KERNEL_ISA");
+  if (env == nullptr || env[0] == '\0') return best;
+  const std::string_view want(env);
+  if (want == "native") return best;
+  for (const GfKernels* t : tiers) {
+    if (want == t->name) return t;
+  }
+  std::fprintf(stderr,
+               "lhrs: LHRS_KERNEL_ISA=%s is not a usable kernel tier on "
+               "this machine; using \"%s\"\n",
+               env, best->name);
+  return best;
+}
+
+std::atomic<const GfKernels*> g_forced{nullptr};
+
+}  // namespace
+
+const GfKernels& ActiveKernels() {
+  const GfKernels* forced = g_forced.load(std::memory_order_acquire);
+  if (forced != nullptr) return *forced;
+  static const GfKernels* const kActive = SelectAtStartup();
+  return *kActive;
+}
+
+const GfKernels* KernelsByName(std::string_view name) {
+  for (const GfKernels* t : Available()) {
+    if (name == t->name) return t;
+  }
+  return nullptr;
+}
+
+std::vector<const GfKernels*> AvailableKernels() { return Available(); }
+
+void ForceActiveKernelsForTesting(const GfKernels* kernels) {
+  g_forced.store(kernels, std::memory_order_release);
+}
+
+}  // namespace lhrs

@@ -1,0 +1,90 @@
+#ifndef LHRS_GF_KERNELS_H_
+#define LHRS_GF_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace lhrs {
+
+/// Runtime-dispatched buffer-kernel table for the whole parity path
+/// (DESIGN.md §15). One `GfKernels` instance per implementation tier:
+///
+///   "scalar"   — pinned byte-/symbol-wise loops. Never auto-selected; kept
+///                as the portable floor and the correctness oracle every
+///                other tier is property-tested against.
+///   "wordwise" — uint64-at-a-time kernels (PR 3's word loops plus a
+///                split-table GF(2^16) gather). Default when no SIMD tier
+///                is compiled in or supported by the CPU.
+///   "ssse3"    — 4-bit split-table PSHUFB multiply, 16-byte vectors.
+///   "avx2"     — 4-bit split-table VPSHUFB multiply, 32-byte vectors.
+///   "neon"     — 4-bit split-table TBL multiply (aarch64).
+///
+/// The active tier is chosen once, at first use, by runtime CPU detection
+/// (best compiled-in tier the host supports), overridable with the
+/// `LHRS_KERNEL_ISA` environment variable for testing. All tiers are
+/// byte-identical by contract; only throughput differs.
+///
+/// Kernel contracts (shared by every tier):
+///  - Buffers may have any alignment; `dst` and `src` must not partially
+///    overlap (`dst == src` is allowed for `xor_buf`).
+///  - `mul_add_16` / `matrix_row_apply_16` interpret buffers as
+///    little-endian uint16 symbols: `n` MUST be even (the RS coder pads
+///    payloads; see gf65536.h). Debug builds assert on odd `n`.
+///  - `matrix_row_apply_*` computes `dst[i] ^= sum_s coeffs[s]*srcs[s][i]`
+///    in one pass: every source buffer must hold at least `n` bytes, and
+///    zero coefficients are skipped. This is the fused kernel recovery
+///    decodes ride so k source columns fold per dst pass instead of k
+///    separate read-modify-writes of dst.
+struct GfKernels {
+  const char* name;
+
+  /// dst[i] ^= src[i] — GF(2^w) addition for every field.
+  void (*xor_buf)(uint8_t* dst, const uint8_t* src, size_t n);
+
+  /// dst[i] ^= coeff * src[i] over GF(2^8). Handles coeff 0 and 1
+  /// correctly (callers usually branch to a no-op / xor_buf first).
+  void (*mul_add_8)(uint8_t* dst, const uint8_t* src, size_t n,
+                    uint8_t coeff);
+
+  /// dst += coeff * src over GF(2^16), little-endian symbols, n even.
+  void (*mul_add_16)(uint8_t* dst, const uint8_t* src, size_t n,
+                     uint16_t coeff);
+
+  /// Fused multi-source fold over GF(2^8): one dst pass for all sources.
+  void (*matrix_row_apply_8)(uint8_t* dst, const uint8_t* const* srcs,
+                             const uint8_t* coeffs, size_t num_srcs,
+                             size_t n);
+
+  /// Fused multi-source fold over GF(2^16); n even.
+  void (*matrix_row_apply_16)(uint8_t* dst, const uint8_t* const* srcs,
+                              const uint16_t* coeffs, size_t num_srcs,
+                              size_t n);
+};
+
+/// The active kernel tier. Selected on first call: `LHRS_KERNEL_ISA` if set
+/// to the name of a compiled-in tier the CPU supports (an unusable name
+/// warns on stderr and falls through), otherwise the best supported tier.
+/// Thread-safe; the selection never changes after first use except through
+/// ForceActiveKernelsForTesting.
+const GfKernels& ActiveKernels();
+
+/// Looks a tier up by name. Returns nullptr when the tier is not compiled
+/// in or the running CPU does not support it. "scalar" and "wordwise" are
+/// always available.
+const GfKernels* KernelsByName(std::string_view name);
+
+/// Every tier usable on this machine, worst ("scalar") to best. Tests and
+/// bench_t3 iterate this to property-check / measure each tier in one
+/// process, independent of the env-selected active tier.
+std::vector<const GfKernels*> AvailableKernels();
+
+/// Test/bench hook: overrides ActiveKernels() until called again.
+/// nullptr restores the startup selection. Not for production code paths;
+/// callers must not race it against concurrent kernel users.
+void ForceActiveKernelsForTesting(const GfKernels* kernels);
+
+}  // namespace lhrs
+
+#endif  // LHRS_GF_KERNELS_H_

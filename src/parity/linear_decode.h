@@ -115,17 +115,27 @@ class IncrementalSolver {
     }
     len = (len + F::kSymbolBytes - 1) / F::kSymbolBytes * F::kSymbolBytes;
     Bytes out(len, 0);
+    if (len == 0) return out;
+    // Gather the contributing payloads (padding short ones once; full-length
+    // ones are shared views fed to the kernel in place), then fold them all
+    // into `out` with one fused row pass instead of one MulAdd per payload.
+    std::vector<Bytes> padded_storage;
+    std::vector<const uint8_t*> srcs;
+    std::vector<Symbol> coeffs;
     for (size_t i = 0; i < comb.size(); ++i) {
       if (comb[i] == 0 || payloads_[i].empty()) continue;
       const BufferView& p = payloads_[i];
       if (p.size() == len) {
-        F::MulAddBuffer(out.data(), p.data(), len, comb[i]);
+        srcs.push_back(p.data());
       } else {
         Bytes padded(len, 0);
         std::copy(p.data(), p.data() + p.size(), padded.begin());
-        F::MulAddBuffer(out.data(), padded.data(), len, comb[i]);
+        padded_storage.push_back(std::move(padded));
+        srcs.push_back(padded_storage.back().data());
       }
+      coeffs.push_back(comb[i]);
     }
+    F::MulAddRow(out.data(), srcs.data(), coeffs.data(), srcs.size(), len);
     return out;
   }
 

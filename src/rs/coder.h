@@ -71,13 +71,31 @@ class GroupCoder {
     }
     len = PaddedLength(len);
     std::vector<Bytes> parity(k_, Bytes(len, 0));
+    if (len == 0) return parity;
+    // Pad each present member once (full-length members are fed to the
+    // kernel in place), then fold every member into each parity column
+    // with one fused row pass: one read-modify-write of the parity buffer
+    // per column instead of one per member.
+    std::vector<Bytes> padded_storage;
+    std::vector<const uint8_t*> srcs;
+    std::vector<size_t> slots;
     for (size_t i = 0; i < m_; ++i) {
       if (data[i] == nullptr || data[i]->empty()) continue;
-      const Bytes padded = PadTo(*data[i], len);
-      for (size_t j = 0; j < k_; ++j) {
-        F::MulAddBuffer(parity[j].data(), padded.data(), len,
-                        Coefficient(i, j));
+      if (data[i]->size() == len) {
+        srcs.push_back(data[i]->data());
+      } else {
+        padded_storage.push_back(PadTo(*data[i], len));
+        srcs.push_back(padded_storage.back().data());
       }
+      slots.push_back(i);
+    }
+    std::vector<Symbol> coeffs(srcs.size());
+    for (size_t j = 0; j < k_; ++j) {
+      for (size_t t = 0; t < slots.size(); ++t) {
+        coeffs[t] = Coefficient(slots[t], j);
+      }
+      F::MulAddRow(parity[j].data(), srcs.data(), coeffs.data(),
+                   srcs.size(), len);
     }
     return parity;
   }
@@ -200,23 +218,35 @@ class GroupCoder {
                               inv.status().message());
     }
 
+    // Pad each survivor once (full-length survivors are shared views fed to
+    // the kernel in place), then reconstruct each wanted column with one
+    // fused row pass over all m survivors: d_want = sum_t values_t *
+    // Ainv[t][want]. Empty survivors are known-zero buffers; zeroing their
+    // coefficient lets the kernel skip them without a padded copy.
+    std::vector<Bytes> padded_storage;
+    std::vector<const uint8_t*> srcs(m_, nullptr);
+    std::vector<bool> known_zero(m_, false);
+    for (size_t t = 0; t < m_; ++t) {
+      const BufferView& col = *use[t].second;
+      if (col.empty() || len == 0) {
+        known_zero[t] = true;
+      } else if (col.size() == len) {
+        srcs[t] = col.data();
+      } else {
+        padded_storage.push_back(PadTo(col, len));
+        srcs[t] = padded_storage.back().data();
+      }
+    }
+    std::vector<Symbol> coeffs(m_);
     std::vector<Bytes> out;
     out.reserve(missing_data.size());
     for (size_t want : missing_data) {
       Bytes rec(len, 0);
-      // d_want = sum_t values_t * Ainv[t][want].
       for (size_t t = 0; t < m_; ++t) {
-        const Symbol coeff = inv->At(t, want);
-        const BufferView& col = *use[t].second;
-        if (coeff == 0 || col.empty()) continue;
-        if (col.size() == len) {
-          // Aligned full-length survivor: feed the shared view straight to
-          // the kernel, no padding copy.
-          F::MulAddBuffer(rec.data(), col.data(), len, coeff);
-        } else {
-          const Bytes padded = PadTo(col, len);
-          F::MulAddBuffer(rec.data(), padded.data(), len, coeff);
-        }
+        coeffs[t] = known_zero[t] ? 0 : inv->At(t, want);
+      }
+      if (len != 0) {
+        F::MulAddRow(rec.data(), srcs.data(), coeffs.data(), m_, len);
       }
       out.push_back(std::move(rec));
     }

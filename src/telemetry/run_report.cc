@@ -2,9 +2,14 @@
 
 #include <cstdio>
 
+#include "gf/kernels.h"
 #include "telemetry/json.h"
 
 namespace lhrs::telemetry {
+
+RunReport::RunReport(std::string name) : name_(std::move(name)) {
+  AddParam("kernel_isa", ActiveKernels().name);
+}
 
 void RunReport::AddParam(std::string_view key, std::string_view value) {
   params_.emplace_back(std::string(key), JsonString(value));

@@ -18,7 +18,11 @@ namespace lhrs::telemetry {
 /// commits as bench trajectories.
 class RunReport {
  public:
-  explicit RunReport(std::string name) : name_(std::move(name)) {}
+  /// Every report starts with a "kernel_isa" param recording which GF
+  /// kernel tier (gf/kernels.h) was selected for this process, so bench
+  /// trajectories are comparable across machines and LHRS_KERNEL_ISA
+  /// overrides.
+  explicit RunReport(std::string name);
 
   void AddParam(std::string_view key, std::string_view value);
   void AddParam(std::string_view key, int64_t value);

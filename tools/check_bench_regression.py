@@ -14,7 +14,11 @@ Tables whose header contains rate columns ("ops/s", "bytes/s") are
 measured wall-clock throughput, where higher is better and run-to-run
 noise is expected; those are checked in the opposite direction with a
 doubled tolerance, and only warn (throughput on shared CI runners is too
-noisy to gate a merge on).
+noisy to gate a merge on). Throughput rows are matched by their first
+cell (the op label) instead of by position: per-ISA kernel tables
+(bench_t3) contain one row per tier available on the machine, so the row
+set legitimately differs between the baseline host and the CI runner —
+rows present on only one side warn rather than fail.
 
 Exit code: 0 clean, 1 regression, 2 usage/IO error.
 """
@@ -57,15 +61,35 @@ def check_tables(baseline, fresh, tolerance):
         tol = tolerance * 2 if throughput else tolerance
         base_rows = base_table.get("rows", [])
         fresh_rows = fresh_table.get("rows", [])
-        if len(base_rows) != len(fresh_rows):
-            failures.append(
-                f"{title!r}: row count changed "
-                f"({len(base_rows)} -> {len(fresh_rows)}); refresh the "
-                f"committed baseline alongside the layout change")
-            continue
-        for idx, (base_row, fresh_row) in enumerate(zip(base_rows,
-                                                        fresh_rows)):
-            key = f"{idx} ({base_row[0]})" if base_row else str(idx)
+        if throughput:
+            # Match by op label: the machines' ISA tier sets may differ.
+            fresh_by_label = {r[0]: r for r in fresh_rows if r}
+            pairs = []
+            for base_row in base_rows:
+                if not base_row:
+                    continue
+                fresh_row = fresh_by_label.pop(base_row[0], None)
+                if fresh_row is None:
+                    warnings.append(
+                        f"{title!r}: row {base_row[0]!r} missing from fresh "
+                        f"report (ISA tier absent on this machine?)")
+                    continue
+                pairs.append((base_row[0], base_row, fresh_row))
+            for label in fresh_by_label:
+                warnings.append(
+                    f"{title!r}: row {label!r} not in baseline (new ISA "
+                    f"tier; refresh the committed baseline)")
+        else:
+            if len(base_rows) != len(fresh_rows):
+                failures.append(
+                    f"{title!r}: row count changed "
+                    f"({len(base_rows)} -> {len(fresh_rows)}); refresh the "
+                    f"committed baseline alongside the layout change")
+                continue
+            pairs = [(f"{idx} ({row[0]})" if row else str(idx), row, fresh)
+                     for idx, (row, fresh) in enumerate(zip(base_rows,
+                                                            fresh_rows))]
+        for key, base_row, fresh_row in pairs:
             for col, (b_cell, f_cell) in enumerate(zip(base_row, fresh_row)):
                 b = parse_cell(b_cell)
                 f = parse_cell(f_cell)
