@@ -1,0 +1,433 @@
+// Experiment F10 — production-shaped workloads over the session layer.
+//
+// Four scenarios, all on LH*RS (m=4, k=1) through the scheme-agnostic
+// facade:
+//
+//  - Mixed open-loop traffic: seeded uniform vs Zipfian (theta=0.99)
+//    read/RMW/insert streams through the PipelinedRunner, with per-bucket
+//    ops counters and queueing-depth histograms exposing the hot-bucket
+//    skew the Zipfian stream induces.
+//  - Bulk load: the batched insert path (InsertBatchMsg, one message per
+//    target bucket per sub-batch, parity deltas group-committed) against
+//    the per-record baseline — the messages/record gap is the point.
+//  - Parallel range scan: P disjoint partitions with client-side merge,
+//    over multicast and the unicast fallback alike.
+//  - File shrink: deletions drive the load under the merge threshold while
+//    ops are still in flight; the coordinator merges tail buckets back.
+//
+// Everything runs on the deterministic engine, so every table is
+// byte-identical across runs: cost columns gate via
+// tools/check_bench_regression.py, and the "(sim)" throughput columns are
+// deterministic too (label-matched, lower-is-regression in that checker).
+//
+// The binary self-checks each scenario's correctness claim (exact oracle
+// contents, zero lost records, skew ordering, merge actually happening)
+// and exits non-zero when one breaks.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "lhrs/lhrs_file.h"
+#include "sdds/session.h"
+#include "workload/bucket_load.h"
+#include "workload/bulk_load.h"
+#include "workload/generator.h"
+#include "workload/scan_driver.h"
+#include "workload/shrink.h"
+
+namespace lhrs::bench {
+namespace {
+
+using workload::BulkLoad;
+using workload::BulkLoadOptions;
+using workload::GeneratorOptions;
+using workload::ParallelScan;
+using workload::ParallelScanOptions;
+using workload::ShrinkByDeletion;
+using workload::ShrinkOptions;
+using workload::WorkloadGenerator;
+
+constexpr uint64_t kSeed = 2024;
+
+std::unique_ptr<LhrsFile> MakeFile(size_t bucket_capacity,
+                                   bool enable_merge = false,
+                                   bool multicast = true) {
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = bucket_capacity;
+  opts.file.enable_merge = enable_merge;
+  opts.net.multicast_available = multicast;
+  opts.group_size = 4;
+  opts.policy.base_k = 1;
+  return std::make_unique<LhrsFile>(opts);
+}
+
+std::vector<WireRecord> MakeRecords(const std::vector<Key>& keys,
+                                    size_t value_bytes, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WireRecord> records;
+  records.reserve(keys.size());
+  for (Key k : keys) {
+    records.push_back(WireRecord{k, 0, rng.RandomBytes(value_bytes)});
+  }
+  return records;
+}
+
+// --- Scenario 1: mixed uniform vs Zipfian streams -------------------------
+
+bool RunMixed(BenchReport& r) {
+  bool ok = true;
+  struct MixedCell {
+    sdds::RunnerReport report;
+    double msgs_per_op = 0.0;
+    double skew = 0.0;
+    std::vector<workload::BucketLoad> buckets;
+  };
+  std::map<const char*, MixedCell> cells;
+
+  for (const char* dist : {"uniform", "zipfian"}) {
+    GeneratorOptions gen_opts;
+    gen_opts.seed = kSeed;
+    gen_opts.sessions = 4;
+    gen_opts.ops_per_session = 500;
+    gen_opts.keyspace = 512;
+    gen_opts.dist = dist[0] == 'z' ? GeneratorOptions::KeyDist::kZipfian
+                                   : GeneratorOptions::KeyDist::kUniform;
+    WorkloadGenerator gen(gen_opts);
+
+    auto file = MakeFile(/*bucket_capacity=*/16);
+    telemetry::TelemetryConfig tcfg;
+    tcfg.trace_messages = false;
+    file->network().EnableTelemetry(tcfg);
+
+    const auto load = BulkLoad(
+        *file, MakeRecords(gen.preload_keys(), gen_opts.value_bytes,
+                           kSeed + 7),
+        BulkLoadOptions{});
+    if (load.failed != 0 || load.applied != gen.preload_keys().size()) {
+      std::fprintf(stderr, "FAIL: %s preload lost records\n", dist);
+      ok = false;
+    }
+
+    MixedCell cell;
+    const uint64_t msgs_before = file->network().stats().total_messages();
+    sdds::PipelinedRunner runner(
+        *file, sdds::RunnerOptions{gen_opts.sessions, 4, 0});
+    cell.report = runner.Run(
+        [&](size_t session) { return gen.Next(session); });
+    // Settle trailing parity deltas before counting messages and checking
+    // invariants (the runner returns at the last op completion).
+    file->network().RunUntilIdle();
+    cell.msgs_per_op =
+        static_cast<double>(file->network().stats().total_messages() -
+                            msgs_before) /
+        static_cast<double>(cell.report.completed);
+    cell.buckets = workload::SnapshotBucketLoad(*file);
+    cell.skew = workload::SkewRatio(cell.buckets);
+
+    const uint64_t expected = gen_opts.sessions * gen_opts.ops_per_session;
+    if (cell.report.completed != expected || cell.report.failures != 0) {
+      std::fprintf(stderr, "FAIL: %s stream lost ops (%llu/%llu, %llu bad)\n",
+                   dist,
+                   static_cast<unsigned long long>(cell.report.completed),
+                   static_cast<unsigned long long>(expected),
+                   static_cast<unsigned long long>(cell.report.failures));
+      ok = false;
+    }
+    if (!file->VerifyParityInvariants().ok()) {
+      std::fprintf(stderr, "FAIL: %s stream broke parity\n", dist);
+      ok = false;
+    }
+    cells[dist] = std::move(cell);
+  }
+
+  r.BeginTable(
+      "F10 — mixed open-loop streams (LH*RS m=4 k=1, b=16; 4 sessions x "
+      "500 ops, W=4, 512-key preload, 70/20/10 search/RMW/insert)",
+      {"workload", "ops", "sim us/op", "ops/s (sim)", "p50 us", "p95 us",
+       "p99 us", "msgs/op", "failures", "bucket skew"});
+  for (const char* dist : {"uniform", "zipfian"}) {
+    const MixedCell& cell = cells[dist];
+    const double us_per_op =
+        static_cast<double>(cell.report.elapsed_us()) /
+        static_cast<double>(cell.report.completed);
+    r.Row({dist, std::to_string(cell.report.completed), Fmt(us_per_op),
+           Fmt(cell.report.OpsPerSimSecond()),
+           std::to_string(cell.report.LatencyPercentileUs(50)),
+           std::to_string(cell.report.LatencyPercentileUs(95)),
+           std::to_string(cell.report.LatencyPercentileUs(99)),
+           Fmt(cell.msgs_per_op, 3),
+           std::to_string(cell.report.failures), Fmt(cell.skew)});
+  }
+  std::puts("");
+
+  // The per-bucket queueing picture behind the skew column: ops landed on
+  // each bucket plus the pending-delivery depth the bucket saw at each op
+  // arrival (p50/p95/max of the bucket.queue_depth{bucket=N} histogram).
+  r.BeginTable(
+      "F10 — per-bucket load and queueing depth (same runs; buckets with "
+      "ops only)",
+      {"workload", "bucket", "ops", "qdepth p50", "qdepth p95",
+       "qdepth max"});
+  for (const char* dist : {"uniform", "zipfian"}) {
+    for (const workload::BucketLoad& b : cells[dist].buckets) {
+      if (b.ops == 0) continue;
+      r.Row({dist, std::to_string(b.bucket), std::to_string(b.ops),
+             std::to_string(b.queue_depth_p50),
+             std::to_string(b.queue_depth_p95),
+             std::to_string(b.queue_depth_max)});
+    }
+  }
+  std::puts("");
+
+  // Shape check: the Zipfian stream must concentrate visibly harder on
+  // its hottest bucket than the uniform stream does.
+  if (cells["zipfian"].skew < cells["uniform"].skew * 1.5) {
+    std::fprintf(stderr, "FAIL: zipfian skew %.2f not above uniform %.2f\n",
+                 cells["zipfian"].skew, cells["uniform"].skew);
+    ok = false;
+  }
+  return ok;
+}
+
+// --- Scenario 2: bulk load, batched vs per-record -------------------------
+
+bool RunBulkLoad(BenchReport& r) {
+  bool ok = true;
+  const std::vector<Key> keys = RandomKeys(4000, kSeed + 11);
+  const std::vector<WireRecord> records = MakeRecords(keys, 32, kSeed + 13);
+
+  r.BeginTable(
+      "F10 — bulk load of 4000 records (LH*RS m=4 k=1, b=32; batches "
+      "group-commit parity deltas)",
+      {"mode", "records", "batches", "sim ms", "records/s (sim)",
+       "msgs/record", "failures"});
+
+  double per_record_msgs = 0.0;
+  double batched_msgs = 0.0;
+  for (const char* mode : {"per-record", "batched b=64", "batched b=256"}) {
+    auto file = MakeFile(/*bucket_capacity=*/32);
+    const uint64_t msgs_before = file->network().stats().total_messages();
+    uint64_t batches = 0;
+    uint64_t failures = 0;
+    const SimTime start_us = file->network().now();
+    if (mode[0] == 'p') {
+      for (const WireRecord& rec : records) {
+        if (!file->Insert(rec.key, rec.value.ToBytes()).ok()) ++failures;
+      }
+      batches = records.size();
+    } else {
+      BulkLoadOptions opts;
+      opts.batch_size = mode[10] == '6' ? 64 : 256;
+      opts.window = 2;
+      const auto report = BulkLoad(*file, records, opts);
+      batches = report.batches;
+      failures = report.failed;
+      if (report.applied != records.size()) {
+        std::fprintf(stderr, "FAIL: %s applied %llu of %zu\n", mode,
+                     static_cast<unsigned long long>(report.applied),
+                     records.size());
+        ok = false;
+      }
+    }
+    const SimTime elapsed = file->network().now() - start_us;
+    const double msgs_per_record =
+        static_cast<double>(file->network().stats().total_messages() -
+                            msgs_before) /
+        static_cast<double>(records.size());
+    if (mode[0] == 'p') {
+      per_record_msgs = msgs_per_record;
+    } else {
+      batched_msgs = msgs_per_record;
+    }
+    r.Row({mode, std::to_string(records.size()), std::to_string(batches),
+           Fmt(static_cast<double>(elapsed) / 1e3),
+           Fmt(static_cast<double>(records.size()) * 1e6 /
+               static_cast<double>(elapsed)),
+           Fmt(msgs_per_record, 3), std::to_string(failures)});
+
+    if (failures != 0 ||
+        file->GetStorageStats().record_count != records.size()) {
+      std::fprintf(stderr, "FAIL: %s lost records\n", mode);
+      ok = false;
+    }
+    if (!file->VerifyParityInvariants().ok()) {
+      std::fprintf(stderr, "FAIL: %s broke parity\n", mode);
+      ok = false;
+    }
+    // Contents oracle: a full scan returns exactly the loaded records.
+    auto scanned = file->Scan();
+    if (!scanned.ok() || scanned->size() != records.size()) {
+      std::fprintf(stderr, "FAIL: %s scan disagrees with load\n", mode);
+      ok = false;
+    }
+  }
+  std::puts("");
+
+  // Shape check: batching must beat the per-record message bill.
+  if (batched_msgs >= per_record_msgs) {
+    std::fprintf(stderr, "FAIL: batched %.3f msgs/record >= per-record %.3f\n",
+                 batched_msgs, per_record_msgs);
+    ok = false;
+  }
+  return ok;
+}
+
+// --- Scenario 3: parallel range scan --------------------------------------
+
+bool RunParallelScan(BenchReport& r) {
+  bool ok = true;
+  const std::vector<Key> keys = RandomKeys(2000, kSeed + 17);
+  const std::vector<WireRecord> records = MakeRecords(keys, 32, kSeed + 19);
+
+  r.BeginTable(
+      "F10 — parallel range scan with client-side merge (LH*RS m=4 k=1, "
+      "b=16, 2000 records; full key range)",
+      {"delivery", "partitions", "records", "sim ms", "msgs"});
+  for (const bool multicast : {true, false}) {
+    for (const size_t partitions : {size_t{1}, size_t{2}, size_t{4},
+                                    size_t{8}}) {
+      if (!multicast && partitions != 4) continue;  // One fallback point.
+      auto file = MakeFile(/*bucket_capacity=*/16, /*enable_merge=*/false,
+                           multicast);
+      const auto load = BulkLoad(*file, records, BulkLoadOptions{});
+      if (load.applied != records.size()) {
+        std::fprintf(stderr, "FAIL: scan preload lost records\n");
+        ok = false;
+      }
+      const uint64_t msgs_before = file->network().stats().total_messages();
+      ParallelScanOptions opts;
+      opts.partitions = partitions;
+      auto result = ParallelScan(*file, opts);
+      if (!result.ok()) {
+        std::fprintf(stderr, "FAIL: parallel scan errored: %s\n",
+                     result.status().ToString().c_str());
+        ok = false;
+        continue;
+      }
+      const uint64_t msgs =
+          file->network().stats().total_messages() - msgs_before;
+      r.Row({multicast ? "multicast" : "unicast", std::to_string(partitions),
+             std::to_string(result->records.size()),
+             Fmt(static_cast<double>(result->elapsed_us) / 1e3),
+             std::to_string(msgs)});
+
+      // Exactness: every loaded record, globally sorted, no duplicates.
+      if (result->records.size() != records.size()) {
+        std::fprintf(stderr, "FAIL: P=%zu returned %zu of %zu records\n",
+                     partitions, result->records.size(), records.size());
+        ok = false;
+      }
+      for (size_t i = 1; i < result->records.size(); ++i) {
+        if (result->records[i - 1].key >= result->records[i].key) {
+          std::fprintf(stderr, "FAIL: P=%zu merge not sorted at %zu\n",
+                       partitions, i);
+          ok = false;
+          break;
+        }
+      }
+    }
+  }
+  std::puts("");
+  return ok;
+}
+
+// --- Scenario 4: file shrink under load -----------------------------------
+
+bool RunShrink(BenchReport& r) {
+  bool ok = true;
+  const std::vector<Key> keys = RandomKeys(1500, kSeed + 23);
+  const std::vector<WireRecord> records = MakeRecords(keys, 32, kSeed + 29);
+
+  auto file = MakeFile(/*bucket_capacity=*/16, /*enable_merge=*/true);
+  const auto load = BulkLoad(*file, records, BulkLoadOptions{});
+  if (load.applied != records.size()) {
+    std::fprintf(stderr, "FAIL: shrink preload lost records\n");
+    ok = false;
+  }
+  const BucketNo grown = file->bucket_count();
+
+  ShrinkOptions opts;
+  opts.delete_fraction = 0.75;
+  opts.seed = kSeed + 31;
+  const auto shrink = ShrinkByDeletion(*file, keys, opts);
+
+  r.BeginTable(
+      "F10 — file shrink by merge under load (LH*RS m=4 k=1, b=16, merge "
+      "threshold 0.4; delete 75% of 1500 records, 2 sessions x W=4)",
+      {"phase", "buckets", "records", "merges", "sim ms"});
+  r.Row({"grown", std::to_string(grown), std::to_string(records.size()),
+         "0", Fmt(static_cast<double>(load.elapsed_us()) / 1e3)});
+  r.Row({"shrunk", std::to_string(shrink.buckets_after),
+         std::to_string(records.size() - shrink.deletes),
+         std::to_string(shrink.merges),
+         Fmt(static_cast<double>(shrink.runner.elapsed_us()) / 1e3)});
+  std::puts("");
+
+  if (shrink.runner.failures != 0) {
+    std::fprintf(stderr, "FAIL: shrink deletes failed\n");
+    ok = false;
+  }
+  if (shrink.merges == 0 || shrink.buckets_after >= shrink.buckets_before) {
+    std::fprintf(stderr, "FAIL: no merge happened (buckets %u -> %u)\n",
+                 shrink.buckets_before, shrink.buckets_after);
+    ok = false;
+  }
+  if (!file->VerifyParityInvariants().ok()) {
+    std::fprintf(stderr, "FAIL: shrink broke parity\n");
+    ok = false;
+  }
+  // Survivor oracle: exactly the undeleted records remain.
+  std::map<Key, bool> deleted;
+  for (Key k : shrink.deleted_keys) deleted[k] = true;
+  auto scanned = file->Scan();
+  if (!scanned.ok()) {
+    std::fprintf(stderr, "FAIL: post-shrink scan errored\n");
+    ok = false;
+  } else {
+    size_t expected = 0;
+    for (Key k : keys) {
+      if (!deleted.contains(k)) ++expected;
+    }
+    if (scanned->size() != expected) {
+      std::fprintf(stderr, "FAIL: post-shrink scan %zu != %zu survivors\n",
+                   scanned->size(), expected);
+      ok = false;
+    }
+    for (const WireRecord& rec : *scanned) {
+      if (deleted.contains(rec.key)) {
+        std::fprintf(stderr, "FAIL: deleted key survived shrink\n");
+        ok = false;
+        break;
+      }
+    }
+  }
+  return ok;
+}
+
+bool Run(BenchReport& r) {
+  bool ok = RunMixed(r);
+  ok = RunBulkLoad(r) && ok;
+  ok = RunParallelScan(r) && ok;
+  ok = RunShrink(r) && ok;
+  std::puts(
+      "shape check: zipfian skews harder than uniform; batching beats the "
+      "per-record message bill; parallel scans return the exact sorted "
+      "contents; deletions merge buckets back with parity intact.");
+  return ok;
+}
+
+}  // namespace
+}  // namespace lhrs::bench
+
+int main(int argc, char** argv) {
+  lhrs::bench::BenchReport report("f10_workloads");
+  report.report().AddParam("seed", int64_t{lhrs::bench::kSeed});
+  report.report().AddParam("scheme", "LH*RS m=4 k=1");
+  const bool ok = lhrs::bench::Run(report);
+  const int write_rc = lhrs::bench::WriteReport(report.report(), argc, argv);
+  return ok ? write_rc : 1;
+}

@@ -130,6 +130,11 @@ void RsCoordinatorNode::StartRecovery(uint32_t g) {
   EnsureGroup(g);
   GroupInfo& info = groups_[g];
   if (info.lost) return;
+  // A merge-driven shrink can retire every data bucket of a tail group;
+  // the group lingers in groups_ but holds nothing to repair.
+  if (static_cast<BucketNo>(g) * lhrs_ctx_->m >= state_.bucket_count()) {
+    return;
+  }
 
   const uint32_t m = lhrs_ctx_->m;
   const uint32_t existing = ExistingSlots(g);
@@ -736,6 +741,10 @@ void RsCoordinatorNode::StartScrub(uint32_t g, bool repair) {
   EnsureGroup(g);
   const GroupInfo& info = groups_[g];
   if (info.lost) return;
+  // Tail groups emptied by merges have no columns to scrub.
+  if (static_cast<BucketNo>(g) * lhrs_ctx_->m >= state_.bucket_count()) {
+    return;
+  }
   const uint32_t m = lhrs_ctx_->m;
 
   ScrubTask task;

@@ -60,6 +60,12 @@ void RsDataBucketNode::ParkDelta(ParityDelta delta) {
 }
 
 void RsDataBucketNode::SendDelta(ParityDelta delta) {
+  if (batching_deltas_) {
+    // Group commit (bulk load): coalesced into one batch message per
+    // parity bucket at OnBatchCommitEnd.
+    batch_deltas_.push_back(std::move(delta));
+    return;
+  }
   if (!has_group_config()) {
     ParkDelta(std::move(delta));
     return;
@@ -155,6 +161,18 @@ void RsDataBucketNode::OnRecordsMovedIn(const std::vector<WireRecord>& moved) {
     deltas.push_back(std::move(d));
   }
   SendDeltaBatch(std::move(deltas));
+}
+
+void RsDataBucketNode::OnBatchCommitBegin() {
+  batching_deltas_ = true;
+  batch_deltas_.clear();
+}
+
+void RsDataBucketNode::OnBatchCommitEnd() {
+  batching_deltas_ = false;
+  if (batch_deltas_.empty()) return;
+  SendDeltaBatch(std::move(batch_deltas_));
+  batch_deltas_.clear();  // Defined-empty after the move.
 }
 
 void RsDataBucketNode::SendDeltaBatch(std::vector<ParityDelta> deltas) {

@@ -45,6 +45,11 @@ class RsDataBucketNode : public DataBucketNode {
   void OnRecordsMovedOut(std::vector<WireRecord>& moved) override;
   void OnRecordsMovedIn(const std::vector<WireRecord>& moved) override;
   void OnDecommissioned() override;
+  /// Group commit for bulk loads: deltas generated between Begin and End
+  /// are buffered and flushed as one ParityDeltaBatchMsg per parity bucket
+  /// instead of one ParityDeltaMsg per record — k messages per sub-batch.
+  void OnBatchCommitBegin() override;
+  void OnBatchCommitEnd() override;
 
   void HandleSubclassMessage(const Message& msg) override;
   void HandleSubclassDeliveryFailure(const Message& msg) override;
@@ -71,6 +76,10 @@ class RsDataBucketNode : public DataBucketNode {
   /// lands. Ranks are bound at generation time, so replay order within a
   /// record group is preserved.
   std::vector<ParityDelta> pending_deltas_;
+  /// Group-commit buffer: while true, SendDelta accumulates here instead
+  /// of sending (see OnBatchCommitBegin/End).
+  bool batching_deltas_ = false;
+  std::vector<ParityDelta> batch_deltas_;
 
   Rank next_rank_ = 1;
   std::priority_queue<Rank, std::vector<Rank>, std::greater<Rank>>

@@ -158,6 +158,139 @@ void ClientNode::ResolveCounters() {
   duplicates_counter_ = &m.GetCounter("client.duplicates_suppressed");
 }
 
+uint64_t ClientNode::StartInsertBatch(std::vector<WireRecord> records) {
+  LHRS_CHECK(!records.empty()) << "empty insert batch";
+  const uint64_t op_id = next_op_id_++;
+  PendingBatch& batch = pending_batches_[op_id];
+  batch.total = records.size();
+  batch.start_us = network()->now();
+
+  // Group per target bucket under the image (algorithm A1 per record);
+  // map order makes the sub-batch sequence deterministic.
+  std::map<BucketNo, std::vector<WireRecord>> groups;
+  for (WireRecord& rec : records) {
+    groups[image_.Address(rec.key)].push_back(std::move(rec));
+  }
+  for (auto& [bucket, group] : groups) {
+    SendSubBatch(op_id, batch, bucket, std::move(group), /*attempt=*/1);
+  }
+  return op_id;
+}
+
+void ClientNode::SendSubBatch(uint64_t op_id, PendingBatch& batch,
+                              BucketNo bucket,
+                              std::vector<WireRecord> records,
+                              uint32_t attempt) {
+  const NodeId node = ResolveNode(bucket);
+  if (node == kInvalidNode) {
+    // Stale allocation replica: the coordinator places these per record.
+    for (const WireRecord& rec : records) {
+      SendBatchChildViaCoordinator(op_id, batch, rec);
+    }
+    return;
+  }
+  const uint64_t seq = next_batch_seq_++;
+  auto msg = std::make_unique<InsertBatchMsg>();
+  msg->op_id = op_id;
+  msg->seq = seq;
+  msg->client = id();
+  msg->intended_bucket = bucket;
+  msg->attempt = attempt;
+  msg->records = records;  // The pending copy shares the payload views.
+  batch.outstanding[seq] = PendingSubBatch{std::move(records), attempt};
+  Send(node, std::move(msg));
+}
+
+void ClientNode::SendBatchChildViaCoordinator(uint64_t batch_op_id,
+                                              PendingBatch& batch,
+                                              const WireRecord& rec) {
+  const uint64_t child_id = next_op_id_++;
+  batch_children_[child_id] = batch_op_id;
+  ++batch.outstanding_children;
+  auto bounce = std::make_unique<ClientOpViaCoordinatorMsg>();
+  bounce->op = OpType::kInsert;
+  bounce->op_id = child_id;
+  bounce->client = id();
+  bounce->intended_bucket = image_.Address(rec.key);
+  bounce->key = rec.key;
+  bounce->value = rec.value;
+  Send(ctx_->coordinator, std::move(bounce));
+}
+
+void ClientNode::HandleInsertBatchReply(const InsertBatchReplyMsg& reply) {
+  auto bit = pending_batches_.find(reply.op_id);
+  if (bit == pending_batches_.end()) {
+    CountDuplicate();
+    return;
+  }
+  PendingBatch& batch = bit->second;
+  auto oit = batch.outstanding.find(reply.seq);
+  if (oit == batch.outstanding.end()) {
+    CountDuplicate();  // Resent reply for a sub-batch already settled.
+    return;
+  }
+  PendingSubBatch sub = std::move(oit->second);
+  batch.outstanding.erase(oit);
+
+  if (reply.bounced) {
+    // Displaced bucket / spare: coordinator routing, per record.
+    for (const WireRecord& rec : sub.records) {
+      SendBatchChildViaCoordinator(reply.op_id, batch, rec);
+    }
+    MaybeCompleteBatch(reply.op_id);
+    return;
+  }
+
+  batch.applied += reply.applied;
+  batch.exists += reply.exists;
+  if (!reply.rejected.empty()) {
+    // The server's (bucket, level) is the IAM: adjust and re-group. The
+    // LH* image-convergence argument guarantees a rejected record never
+    // lands on the same wrong bucket twice, but merges can move the file
+    // under the client, so re-grouping is bounded and then handed over.
+    ++iam_count_;
+    image_.Adjust(reply.bucket, reply.level);
+    if (sub.attempt < 4) {
+      std::map<BucketNo, std::vector<WireRecord>> groups;
+      for (const WireRecord& rec : reply.rejected) {
+        groups[image_.Address(rec.key)].push_back(rec);
+      }
+      for (auto& [bucket, group] : groups) {
+        SendSubBatch(reply.op_id, batch, bucket, std::move(group),
+                     sub.attempt + 1);
+      }
+    } else {
+      for (const WireRecord& rec : reply.rejected) {
+        SendBatchChildViaCoordinator(reply.op_id, batch, rec);
+      }
+    }
+  }
+  MaybeCompleteBatch(reply.op_id);
+}
+
+void ClientNode::MaybeCompleteBatch(uint64_t op_id) {
+  auto it = pending_batches_.find(op_id);
+  if (it == pending_batches_.end()) return;
+  PendingBatch& batch = it->second;
+  if (!batch.outstanding.empty() || batch.outstanding_children > 0) return;
+  OpOutcome outcome;
+  const size_t settled = batch.applied + batch.exists + batch.failed;
+  if (settled < batch.total) {
+    // Records lost without a failure signal would be a protocol bug; a
+    // completed batch always accounts for every record.
+    batch.failed += static_cast<uint32_t>(batch.total - settled);
+  }
+  outcome.batch_applied = batch.applied;
+  outcome.batch_exists = batch.exists;
+  outcome.batch_failed = batch.failed;
+  outcome.status =
+      batch.failed == 0
+          ? Status::OK()
+          : Status::Internal(std::to_string(batch.failed) +
+                             " batch records failed");
+  CompleteOp(op_id, std::move(outcome));
+}
+
 uint64_t ClientNode::StartScan(ScanPredicate predicate, bool deterministic) {
   const uint64_t op_id = next_op_id_++;
   pending_scans_[op_id] = PendingScan{deterministic, {}, {}, network()->now()};
@@ -224,6 +357,7 @@ void ClientNode::CompleteOp(uint64_t op_id, OpOutcome outcome) {
   RecordOpLatency(op_id);
   pending_.erase(op_id);
   pending_scans_.erase(op_id);
+  pending_batches_.erase(op_id);
   done_[op_id] = std::move(outcome);
   // Last: the callback may re-enter StartOp / TakeResult.
   if (on_op_complete_) on_op_complete_(op_id);
@@ -240,12 +374,16 @@ void ClientNode::RecordOpLatency(uint64_t op_id) {
              sit != pending_scans_.end()) {
     slot = 4;
     start = sit->second.start_us;
+  } else if (auto bit = pending_batches_.find(op_id);
+             bit != pending_batches_.end()) {
+    slot = 5;
+    start = bit->second.start_us;
   } else {
     return;
   }
   if (latency_histograms_[slot] == nullptr) {
-    static constexpr const char* kLabels[5] = {"insert", "search", "update",
-                                               "delete", "scan"};
+    static constexpr const char* kLabels[6] = {"insert", "search", "update",
+                                               "delete", "scan", "batch"};
     telemetry::MetricsRegistry& m = network()->telemetry()->metrics();
     latency_histograms_[slot] = &m.GetHistogram(
         telemetry::Labeled("op_latency_us", "op", kLabels[slot]));
@@ -255,11 +393,39 @@ void ClientNode::RecordOpLatency(uint64_t op_id) {
 
 void ClientNode::HandleMessage(const Message& msg) {
   switch (msg.body->kind()) {
+    case LhStarMsg::kInsertBatchReply:
+      HandleInsertBatchReply(
+          static_cast<const InsertBatchReplyMsg&>(*msg.body));
+      return;
     case LhStarMsg::kOpReply: {
       const auto& reply = static_cast<const OpReplyMsg&>(*msg.body);
       auto it = pending_.find(reply.op_id);
-      if (it == pending_.end()) {  // Late duplicate (chaos or a retry).
-        CountDuplicate();
+      if (it == pending_.end()) {
+        // A child of a batch operation (coordinator fallback)?
+        if (auto cit = batch_children_.find(reply.op_id);
+            cit != batch_children_.end()) {
+          const uint64_t batch_op = cit->second;
+          batch_children_.erase(cit);
+          auto bit = pending_batches_.find(batch_op);
+          if (bit == pending_batches_.end()) return;
+          PendingBatch& batch = bit->second;
+          if (reply.iam.has_value()) {
+            image_.Adjust(reply.iam->bucket, reply.iam->level);
+          }
+          if (reply.code == StatusCode::kOk) {
+            ++batch.applied;
+          } else if (reply.code == StatusCode::kAlreadyExists) {
+            // An earlier attempt (a sub-batch applied just before its
+            // server crashed) landed this record.
+            ++batch.exists;
+          } else {
+            ++batch.failed;
+          }
+          if (batch.outstanding_children > 0) --batch.outstanding_children;
+          MaybeCompleteBatch(batch_op);
+          return;
+        }
+        CountDuplicate();  // Late duplicate (chaos or a retry).
         return;
       }
       StatusCode code = reply.code;
@@ -407,6 +573,31 @@ void ClientNode::HandleDeliveryFailure(const Message& msg) {
       bounce->key = req.key;
       bounce->value = req.value;
       Send(ctx_->coordinator, std::move(bounce));
+      return;
+    }
+    case LhStarMsg::kInsertBatch: {
+      // The whole sub-batch bounced (server crashed / unreachable):
+      // report it and fall back to per-record delivery via the
+      // coordinator, which recovers the bucket first when the scheme can.
+      const auto& batch_msg = static_cast<const InsertBatchMsg&>(*msg.body);
+      auto bit = pending_batches_.find(batch_msg.op_id);
+      if (bit == pending_batches_.end()) return;
+      PendingBatch& batch = bit->second;
+      auto oit = batch.outstanding.find(batch_msg.seq);
+      if (oit == batch.outstanding.end()) return;  // Already settled.
+      PendingSubBatch sub = std::move(oit->second);
+      batch.outstanding.erase(oit);
+      if (batch_msg.intended_bucket < cached_nodes_.size()) {
+        cached_nodes_[batch_msg.intended_bucket] = kInvalidNode;
+      }
+      auto report = std::make_unique<UnavailableReportMsg>();
+      report->node = msg.to;
+      report->bucket = batch_msg.intended_bucket;
+      Send(ctx_->coordinator, std::move(report));
+      for (const WireRecord& rec : sub.records) {
+        SendBatchChildViaCoordinator(batch_msg.op_id, batch, rec);
+      }
+      MaybeCompleteBatch(batch_msg.op_id);
       return;
     }
     case LhStarMsg::kScanRequest: {

@@ -53,6 +53,10 @@ struct OpOutcome {
   BufferView value;                  ///< Search result payload (shared).
   std::vector<WireRecord> scan_records;
   bool was_forwarded = false;        ///< An IAM arrived with the reply.
+  // Batch operations (StartInsertBatch) report per-record tallies.
+  uint32_t batch_applied = 0;
+  uint32_t batch_exists = 0;   ///< Duplicate keys (already resident).
+  uint32_t batch_failed = 0;
 };
 
 /// An LH* application client. Autonomous: carries its own image (i', n')
@@ -75,6 +79,16 @@ class ClientNode : public Node {
 
   /// Starts a key-addressed operation; value applies to insert/update.
   uint64_t StartOp(OpType op, Key key, BufferView value = {});
+
+  /// Starts a bulk-load batch: the records are grouped per target bucket
+  /// under the client's image and shipped as one InsertBatchMsg per
+  /// bucket. Records a stale image sent astray come back in the reply
+  /// (with the IAM) and are re-grouped and resent; sub-batches that bounce
+  /// off a displaced or crashed server fall back to per-record delivery
+  /// via the coordinator. Completes (one op id, one outcome carrying the
+  /// batch_* tallies) when every record is applied, a known duplicate, or
+  /// failed. `records` must be non-empty.
+  uint64_t StartInsertBatch(std::vector<WireRecord> records);
 
   /// Starts a parallel scan. With `deterministic` termination every bucket
   /// replies and the client verifies full coverage; otherwise only
@@ -141,6 +155,23 @@ class ClientNode : public Node {
     SimTime start_us = 0;
   };
 
+  struct PendingSubBatch {
+    std::vector<WireRecord> records;  ///< As sent (views; no copies).
+    uint32_t attempt = 1;
+  };
+
+  struct PendingBatch {
+    size_t total = 0;
+    uint32_t applied = 0;
+    uint32_t exists = 0;
+    uint32_t failed = 0;
+    /// In-flight sub-batches by seq; erased on first reply (dedup).
+    std::map<uint64_t, PendingSubBatch> outstanding;
+    /// Records re-routed per-record via the coordinator (children).
+    size_t outstanding_children = 0;
+    SimTime start_us = 0;
+  };
+
   /// Physical address the client uses for `bucket`: its cached entry if it
   /// has one, else the authoritative table (modelling the allocation-table
   /// propagation to new clients), which is then cached.
@@ -148,6 +179,18 @@ class ClientNode : public Node {
 
   void CompleteOp(uint64_t op_id, OpOutcome outcome);
   bool ScanCoverageComplete(const PendingScan& scan) const;
+
+  /// Ships one sub-batch of `op_id` to `bucket` (as addressed under the
+  /// current image).
+  void SendSubBatch(uint64_t op_id, PendingBatch& batch, BucketNo bucket,
+                    std::vector<WireRecord> records, uint32_t attempt);
+  /// Re-routes one record of a batch via the coordinator as an individual
+  /// child insert (crash / displaced-bucket fallback).
+  void SendBatchChildViaCoordinator(uint64_t batch_op_id, PendingBatch& batch,
+                                    const WireRecord& rec);
+  /// Completes the batch op when nothing is outstanding any more.
+  void MaybeCompleteBatch(uint64_t op_id);
+  void HandleInsertBatchReply(const InsertBatchReplyMsg& reply);
 
   /// Timer callback (HandleTimer): attempts are tracked by op id.
   void HandleTimer(uint64_t timer_id) override;
@@ -182,6 +225,10 @@ class ClientNode : public Node {
   uint64_t next_op_id_ = 1;
   std::map<uint64_t, PendingOp> pending_;
   std::map<uint64_t, PendingScan> pending_scans_;
+  std::map<uint64_t, PendingBatch> pending_batches_;
+  /// Child insert op id -> owning batch op id (coordinator fallback).
+  std::map<uint64_t, uint64_t> batch_children_;
+  uint64_t next_batch_seq_ = 1;
   std::map<uint64_t, OpOutcome> done_;
   std::vector<NodeId> cached_nodes_;
   uint64_t iam_count_ = 0;
@@ -195,9 +242,10 @@ class ClientNode : public Node {
   telemetry::Counter* retries_counter_ = nullptr;
   telemetry::Counter* escalations_counter_ = nullptr;
   telemetry::Counter* duplicates_counter_ = nullptr;
-  /// Cached op_latency_us{op=...} handles, indexed by OpType; the last
-  /// slot is the scan histogram. Resolved lazily like the counters.
-  telemetry::Histogram* latency_histograms_[5] = {};
+  /// Cached op_latency_us{op=...} handles, indexed by OpType; slot 4 is
+  /// the scan histogram, slot 5 the batch one. Resolved lazily like the
+  /// counters.
+  telemetry::Histogram* latency_histograms_[6] = {};
 
   OpCompleteCallback on_op_complete_;
 };

@@ -1,9 +1,11 @@
 #include "lhstar/data_bucket.h"
 
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
 #include "net/network.h"
+#include "telemetry/metrics.h"
 
 namespace lhrs {
 
@@ -22,13 +24,17 @@ size_t DataBucketNode::StorageBytes() const {
 void DataBucketNode::HandleMessage(const Message& msg) {
   const int k = msg.body->kind();
   if ((k == LhStarMsg::kSplitOrder || k == LhStarMsg::kMoveRecords ||
-       k == LhStarMsg::kMergeOut || k == LhStarMsg::kMergeRecords) &&
+       k == LhStarMsg::kMergeOut || k == LhStarMsg::kMergeRecords ||
+       k == LhStarMsg::kInsertBatch) &&
       network()->fault_injection_active() && dedup_.SeenBefore(msg.id)) {
-    return;  // Duplicated restructuring message (not idempotent).
+    return;  // Duplicated restructuring/batch message (not idempotent).
   }
   switch (msg.body->kind()) {
     case LhStarMsg::kOpRequest:
       HandleOpRequest(msg);
+      return;
+    case LhStarMsg::kInsertBatch:
+      HandleInsertBatch(static_cast<const InsertBatchMsg&>(*msg.body));
       return;
     case LhStarMsg::kSplitOrder:
       HandleSplitOrder(static_cast<const SplitOrderMsg&>(*msg.body));
@@ -87,6 +93,19 @@ void DataBucketNode::HandleMessage(const Message& msg) {
           fail->level = level_;
           fail->coverage_failed = true;
           Send(scan->client, std::move(fail));
+        }
+        std::vector<std::unique_ptr<InsertBatchMsg>> batches =
+            std::move(queued_batches_);
+        queued_batches_.clear();
+        for (const auto& batch : batches) {
+          auto bounce = std::make_unique<InsertBatchReplyMsg>();
+          bounce->op_id = batch->op_id;
+          bounce->seq = batch->seq;
+          bounce->bucket = bucket_no_;
+          bounce->level = level_;
+          bounce->bounced = true;
+          bounce->rejected = batch->records;
+          Send(batch->client, std::move(bounce));
         }
         OnDecommissioned();
       }
@@ -148,7 +167,79 @@ void DataBucketNode::HandleOpRequest(const Message& msg) {
   ExecuteLocalOp(req);
 }
 
+void DataBucketNode::HandleInsertBatch(const InsertBatchMsg& batch) {
+  if (!initialized_) {
+    // Mid-split: buffer and replay after the record move lands, exactly
+    // like single ops.
+    queued_batches_.push_back(std::make_unique<InsertBatchMsg>(batch));
+    return;
+  }
+
+  auto reply = std::make_unique<InsertBatchReplyMsg>();
+  reply->op_id = batch.op_id;
+  reply->seq = batch.seq;
+  reply->bucket = bucket_no_;
+  reply->level = level_;
+
+  if (decommissioned_ || batch.intended_bucket != bucket_no_) {
+    // Displaced bucket / spare (section 2.8): this server cannot judge the
+    // records; hand the whole sub-batch back for coordinator routing.
+    reply->bounced = true;
+    reply->rejected = batch.records;
+    Send(batch.client, std::move(reply));
+    return;
+  }
+
+  RecordOpTelemetry();
+  OnBatchCommitBegin();
+  for (const WireRecord& rec : batch.records) {
+    const BucketNo target = ForwardAddress(bucket_no_, level_, rec.key,
+                                           ctx_->config.initial_buckets);
+    if (target != bucket_no_) {
+      // Addressed under a stale image: goes back with the IAM instead of
+      // fanning out into per-record forwards.
+      reply->rejected.push_back(rec);
+      continue;
+    }
+    if (!records_.InsertShared(rec.key, rec.value)) {
+      ++reply->exists;
+      continue;
+    }
+    ++ctx_->total_records;
+    ++reply->applied;
+    OnInsertCommitted(rec.key, *records_.Find(rec.key));
+  }
+  OnBatchCommitEnd();
+
+  Send(batch.client, std::move(reply));
+  // One overflow report per sub-batch (vs one per record): the split
+  // amortization half of the bulk-load path.
+  ReportOverflowIfNeeded();
+}
+
+void DataBucketNode::RecordOpTelemetry() {
+  // Deterministic engine only: in parallel mode bucket handlers run on
+  // worker threads where the pending-delivery counters and the main metric
+  // registry are not theirs to touch; the skew/queue-depth series are a
+  // deterministic-simulation instrument.
+  if (network() == nullptr || network()->telemetry() == nullptr ||
+      network()->config().localities != 0) {
+    return;
+  }
+  if (ops_counter_ == nullptr) {
+    telemetry::MetricsRegistry& m = network()->telemetry()->metrics();
+    const std::string bucket = std::to_string(bucket_no_);
+    ops_counter_ =
+        &m.GetCounter(telemetry::Labeled("bucket.ops", "bucket", bucket));
+    queue_depth_histogram_ = &m.GetHistogram(
+        telemetry::Labeled("bucket.queue_depth", "bucket", bucket));
+  }
+  ops_counter_->Add();
+  queue_depth_histogram_->Record(network()->PendingTo(id()));
+}
+
 void DataBucketNode::ExecuteLocalOp(const OpRequestMsg& req) {
+  RecordOpTelemetry();
   switch (req.op) {
     case OpType::kInsert: {
       // The request's view is adopted as the stored payload: the bytes
@@ -311,6 +402,10 @@ void DataBucketNode::FlushQueuedTraffic() {
       std::move(queued_scans_);
   queued_scans_.clear();
   for (auto& scan : scans) HandleScanRequest(*scan);
+  std::vector<std::unique_ptr<InsertBatchMsg>> batches =
+      std::move(queued_batches_);
+  queued_batches_.clear();
+  for (auto& batch : batches) HandleInsertBatch(*batch);
 }
 
 void DataBucketNode::HandleMergeOut(const MergeOutMsg& order) {
@@ -427,6 +522,15 @@ void DataBucketNode::HandleDeliveryFailure(const Message& msg) {
       Send(ctx_->coordinator, std::make_unique<MergeRecordsMsg>(merge));
       return;
     }
+    case LhStarMsg::kInsertBatchReply: {
+      // A lossy network ate the reply; resend a bounded number of times so
+      // the client's batch can complete (it dedups by sub-batch seq).
+      if (!network()->fault_injection_active()) return;
+      const auto& reply = static_cast<const InsertBatchReplyMsg&>(*msg.body);
+      if (++batch_reply_resends_[reply.seq] > 3) return;
+      Send(msg.to, std::make_unique<InsertBatchReplyMsg>(reply));
+      return;
+    }
     case LhStarMsg::kScanRequest: {
       // Coverage forwarding hit a dead bucket: the deterministic scan
       // cannot terminate normally; tell the client.
@@ -467,6 +571,8 @@ void DataBucketNode::OnDeleteCommitted(Key, const BufferView&) {}
 void DataBucketNode::OnRecordsMovedOut(std::vector<WireRecord>&) {}
 void DataBucketNode::OnRecordsMovedIn(const std::vector<WireRecord>&) {}
 void DataBucketNode::OnDecommissioned() {}
+void DataBucketNode::OnBatchCommitBegin() {}
+void DataBucketNode::OnBatchCommitEnd() {}
 void DataBucketNode::OnActivated() {}
 
 }  // namespace lhrs

@@ -1,6 +1,7 @@
 #ifndef LHRS_LHSTAR_DATA_BUCKET_H_
 #define LHRS_LHSTAR_DATA_BUCKET_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -14,6 +15,11 @@
 #include "store/bucket_store.h"
 
 namespace lhrs {
+
+namespace telemetry {
+class Counter;
+class Histogram;
+}  // namespace telemetry
 
 /// A server carrying one LH* data bucket.
 ///
@@ -72,6 +78,14 @@ class DataBucketNode : public Node {
   /// This node was told it no longer carries its bucket (becomes a spare).
   virtual void OnDecommissioned();
 
+  /// Brackets the commit loop of one insert batch. Between the two calls
+  /// every OnInsertCommitted belongs to the same client sub-batch, so an
+  /// availability layer can group-commit its side effects (LH*RS coalesces
+  /// the per-record parity deltas into one batch message per parity
+  /// bucket). Base: no-op.
+  virtual void OnBatchCommitBegin();
+  virtual void OnBatchCommitEnd();
+
   /// The bucket just became initialized (split handover completed or
   /// recovered state installed); subclasses flush their own deferred
   /// traffic here.
@@ -109,6 +123,10 @@ class DataBucketNode : public Node {
 
   void HandleOpRequest(const Message& msg);
   void ExecuteLocalOp(const OpRequestMsg& req);
+  void HandleInsertBatch(const InsertBatchMsg& batch);
+  /// Records bucket.queue_depth{bucket=N} / bucket.ops{bucket=N} for one
+  /// executed op (deterministic engine only; see the .cc).
+  void RecordOpTelemetry();
   void HandleSplitOrder(const SplitOrderMsg& order);
   void HandleMoveRecords(const MoveRecordsMsg& move);
   void HandleMergeOut(const MergeOutMsg& order);
@@ -127,6 +145,13 @@ class DataBucketNode : public Node {
   bool decommissioned_ = false;
   std::vector<std::unique_ptr<OpRequestMsg>> queued_ops_;  // Pre-init ops.
   std::vector<std::unique_ptr<ScanRequestMsg>> queued_scans_;
+  std::vector<std::unique_ptr<InsertBatchMsg>> queued_batches_;
+  /// Bounded resends of batch replies lost on a lossy/chaotic network,
+  /// keyed by sub-batch seq (the client dedups by seq).
+  std::map<uint64_t, uint32_t> batch_reply_resends_;
+  /// Cached telemetry handles for the per-bucket skew/queue-depth series.
+  telemetry::Counter* ops_counter_ = nullptr;
+  telemetry::Histogram* queue_depth_histogram_ = nullptr;
 };
 
 }  // namespace lhrs

@@ -69,6 +69,16 @@ sdds::OpToken LhStarFile::Submit(size_t session, OpType op, Key key,
   return token;
 }
 
+sdds::OpToken LhStarFile::SubmitBatch(size_t session,
+                                      std::vector<WireRecord> records) {
+  ClientNode& c = client(session);
+  const sdds::OpToken token = NextToken();
+  const uint64_t op_id = c.StartInsertBatch(std::move(records));
+  tokens_[token] = TokenEntry{session, op_id};
+  op_tokens_[session][op_id] = token;
+  return token;
+}
+
 bool LhStarFile::Poll(sdds::OpToken token) const {
   auto it = tokens_.find(token);
   if (it == tokens_.end()) return false;

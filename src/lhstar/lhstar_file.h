@@ -45,6 +45,14 @@ class LhStarFile : public sdds::SddsFile {
   bool Poll(sdds::OpToken token) const override;
   Result<OpOutcome> Take(sdds::OpToken token) override;
 
+  /// Submits one bulk-load batch on `session` (see
+  /// ClientNode::StartInsertBatch): the records travel as one message per
+  /// target bucket and the availability layers group-commit their parity
+  /// deltas per sub-batch. Completes like any other token; the outcome's
+  /// batch_* fields carry the per-record tallies. `records` must be
+  /// non-empty.
+  sdds::OpToken SubmitBatch(size_t session, std::vector<WireRecord> records);
+
   // --- Multi-client access ------------------------------------------------
   /// Adds another autonomous client; returns its index.
   size_t AddClient();

@@ -48,6 +48,11 @@ void RegisterLhStarMessageNames() {
   RegisterMessageKindName(LhStarMsg::kMergeRecords, "lhstar.MergeRecords");
   RegisterMessageKindName(LhStarMsg::kMergeDone, "lhstar.MergeDone");
   RegisterMessageKindName(LhStarMsg::kImageReset, "lhstar.ImageReset");
+  RegisterMessageKindName(LhStarMsg::kSurveyRequest, "lhstar.SurveyRequest");
+  RegisterMessageKindName(LhStarMsg::kSurveyReply, "lhstar.SurveyReply");
+  RegisterMessageKindName(LhStarMsg::kInsertBatch, "lhstar.InsertBatch");
+  RegisterMessageKindName(LhStarMsg::kInsertBatchReply,
+                          "lhstar.InsertBatchReply");
 }
 
 bool ScanPredicate::Matches(Key key, std::span<const uint8_t> value) const {

@@ -62,6 +62,8 @@ struct LhStarMsg {
   static constexpr int kImageReset = MessageKindRange::kLhStarBase + 18;
   static constexpr int kSurveyRequest = MessageKindRange::kLhStarBase + 19;
   static constexpr int kSurveyReply = MessageKindRange::kLhStarBase + 20;
+  static constexpr int kInsertBatch = MessageKindRange::kLhStarBase + 21;
+  static constexpr int kInsertBatchReply = MessageKindRange::kLhStarBase + 22;
 };
 
 /// Registers display names for all LH* message kinds (idempotent).
@@ -331,6 +333,51 @@ struct SurveyReplyMsg : MessageBody {
 
   int kind() const override { return LhStarMsg::kSurveyReply; }
   size_t ByteSize() const override { return 40; }
+};
+
+/// Client -> server: one bulk-load sub-batch of inserts, all addressed to
+/// `intended_bucket` under the client's image. The server applies the
+/// records that hash to it and returns the rest in the reply, so a batch
+/// never fans out into per-record forwarding; the client re-groups
+/// rejected records under its (IAM-adjusted) image and resends. `seq`
+/// identifies the sub-batch within the client's batch operation `op_id`.
+struct InsertBatchMsg : MessageBody {
+  uint64_t op_id = 0;
+  uint64_t seq = 0;
+  NodeId client = kInvalidNode;
+  BucketNo intended_bucket = 0;
+  uint32_t attempt = 1;  ///< Re-group generation (bounded by the client).
+  std::vector<WireRecord> records;
+
+  int kind() const override { return LhStarMsg::kInsertBatch; }
+  size_t ByteSize() const override {
+    size_t n = 32;
+    for (const auto& r : records) n += r.ByteSize();
+    return n;
+  }
+};
+
+/// Server -> client: outcome of one bulk-load sub-batch. `bucket`/`level`
+/// double as the IAM of the replying bucket; `rejected` holds the records
+/// that hash elsewhere under the server's (authoritative) level. With
+/// `bounced` set the server is displaced or stood down and could not judge
+/// the records at all — the client re-routes them via the coordinator.
+struct InsertBatchReplyMsg : MessageBody {
+  uint64_t op_id = 0;
+  uint64_t seq = 0;
+  BucketNo bucket = 0;
+  Level level = 0;
+  uint32_t applied = 0;
+  uint32_t exists = 0;  ///< Duplicate keys (already resident).
+  bool bounced = false;
+  std::vector<WireRecord> rejected;
+
+  int kind() const override { return LhStarMsg::kInsertBatchReply; }
+  size_t ByteSize() const override {
+    size_t n = 40;
+    for (const auto& r : rejected) n += r.ByteSize();
+    return n;
+  }
 };
 
 /// Restored server -> coordinator: "am I still bucket m?" (self-detected

@@ -67,6 +67,11 @@ void Network::Multicast(
 
 void Network::Push(Event event) {
   if (event.wake) ++wake_events_;
+  if (event.type == EventType::kDeliver && event.message != nullptr) {
+    const auto to = static_cast<size_t>(event.message->to);
+    if (to >= pending_deliver_.size()) pending_deliver_.resize(to + 1, 0);
+    ++pending_deliver_[to];
+  }
   events_.push(std::move(event));
 }
 
@@ -240,6 +245,10 @@ void Network::ProcessEvent(Event ev) {
   Message& msg = *ev.message;
   switch (ev.type) {
     case EventType::kDeliver: {
+      if (static_cast<size_t>(msg.to) < pending_deliver_.size() &&
+          pending_deliver_[msg.to] > 0) {
+        --pending_deliver_[msg.to];
+      }
       if (!nodes_[msg.to].available ||
           nodes_[msg.to].epoch != msg.to_epoch) {
         // Destination is down — or crashed while the message was in

@@ -236,6 +236,18 @@ class Network {
   /// Total messages processed since construction (safety valve for tests).
   uint64_t processed_events() const { return processed_events_; }
 
+  /// Deliveries queued towards `id` but not yet processed — the node's
+  /// instantaneous ingress queue depth, the quantity the per-bucket
+  /// queueing telemetry records under skewed workloads. Deterministic
+  /// engine only: the parallel engine's worker mailboxes are not
+  /// observable from other threads, so it reports 0 for worker-resident
+  /// nodes (driver-pumped home nodes are still counted).
+  virtual size_t PendingTo(NodeId id) const {
+    return static_cast<size_t>(id) < pending_deliver_.size()
+               ? pending_deliver_[id]
+               : 0;
+  }
+
  protected:
   enum class EventType { kDeliver, kDeliveryFailure, kTimer };
 
@@ -282,6 +294,10 @@ class Network {
   uint64_t next_seq_ = 1;
   uint64_t processed_events_ = 0;
   size_t wake_events_ = 0;  ///< Queued events with wake == true.
+  /// Queued kDeliver events per destination (see PendingTo). Maintained in
+  /// Push/ProcessEvent, so every engine that funnels deliveries through
+  /// the base event queue keeps it consistent.
+  std::vector<uint32_t> pending_deliver_;
   MessageStats stats_;
   FaultInjector* injector_ = nullptr;
   RemoteRouter* router_ = nullptr;

@@ -476,6 +476,66 @@ std::unique_ptr<MessageBody> DeSelfCheckReply(WireReader& r) {
   return m;
 }
 
+bool SerInsertBatch(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<InsertBatchMsg>(body);
+  w.U64(m.op_id);
+  w.U64(m.seq);
+  w.I32(m.client);
+  w.U32(m.intended_bucket);
+  w.U32(m.attempt);
+  w.U32(static_cast<uint32_t>(m.records.size()));
+  for (const WireRecord& rec : m.records) PutWireRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeInsertBatch(WireReader& r) {
+  auto m = std::make_unique<InsertBatchMsg>();
+  RD(r.U64(&m->op_id));
+  RD(r.U64(&m->seq));
+  RD(r.I32(&m->client));
+  RD(r.U32(&m->intended_bucket));
+  RD(r.U32(&m->attempt));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(PlausibleCount(r, count, kWireRecordMinSize));
+  m->records.resize(count);
+  for (WireRecord& rec : m->records) RD(GetWireRecord(r, &rec));
+  return m;
+}
+
+bool SerInsertBatchReply(const MessageBody& body, WireWriter& w) {
+  const auto& m = BodyAs<InsertBatchReplyMsg>(body);
+  w.U64(m.op_id);
+  w.U64(m.seq);
+  w.U32(m.bucket);
+  w.U32(m.level);
+  w.U32(m.applied);
+  w.U32(m.exists);
+  w.Bool(m.bounced);
+  w.Pad(3);
+  w.U32(static_cast<uint32_t>(m.rejected.size()));
+  for (const WireRecord& rec : m.rejected) PutWireRecord(rec, w);
+  return true;
+}
+
+std::unique_ptr<MessageBody> DeInsertBatchReply(WireReader& r) {
+  auto m = std::make_unique<InsertBatchReplyMsg>();
+  RD(r.U64(&m->op_id));
+  RD(r.U64(&m->seq));
+  RD(r.U32(&m->bucket));
+  RD(r.U32(&m->level));
+  RD(r.U32(&m->applied));
+  RD(r.U32(&m->exists));
+  RD(r.Bool(&m->bounced));
+  RD(r.Skip(3));
+  uint32_t count;
+  RD(r.U32(&count));
+  RD(PlausibleCount(r, count, kWireRecordMinSize));
+  m->rejected.resize(count);
+  for (WireRecord& rec : m->rejected) RD(GetWireRecord(r, &rec));
+  return m;
+}
+
 #undef RD
 
 }  // namespace
@@ -531,6 +591,11 @@ void RegisterLhStarWire() {
                       {"SurveyRequest", SerSurveyRequest, DeSurveyRequest});
     RegisterWireCodec(LhStarMsg::kSurveyReply,
                       {"SurveyReply", SerSurveyReply, DeSurveyReply});
+    RegisterWireCodec(LhStarMsg::kInsertBatch,
+                      {"InsertBatch", SerInsertBatch, DeInsertBatch});
+    RegisterWireCodec(
+        LhStarMsg::kInsertBatchReply,
+        {"InsertBatchReply", SerInsertBatchReply, DeInsertBatchReply});
     return true;
   }();
   (void)once;

@@ -1,0 +1,49 @@
+#include "workload/bucket_load.h"
+
+#include <algorithm>
+
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace lhrs::workload {
+
+std::vector<BucketLoad> SnapshotBucketLoad(LhStarFile& file) {
+  std::vector<BucketLoad> out;
+  telemetry::Telemetry* t = file.network().telemetry();
+  if (t == nullptr) return out;
+  const telemetry::MetricsRegistry& metrics = t->metrics();
+  const BucketNo buckets = file.bucket_count();
+  out.reserve(buckets);
+  for (BucketNo b = 0; b < buckets; ++b) {
+    BucketLoad load;
+    load.bucket = b;
+    const auto label = static_cast<int64_t>(b);
+    if (const telemetry::Counter* ops = metrics.FindCounter(
+            telemetry::Labeled("bucket.ops", "bucket", label))) {
+      load.ops = ops->value();
+    }
+    if (const telemetry::Histogram* depth = metrics.FindHistogram(
+            telemetry::Labeled("bucket.queue_depth", "bucket", label))) {
+      load.queue_depth_p50 = depth->p50();
+      load.queue_depth_p95 = depth->p95();
+      load.queue_depth_max = depth->max();
+    }
+    out.push_back(load);
+  }
+  return out;
+}
+
+double SkewRatio(const std::vector<BucketLoad>& load) {
+  uint64_t total = 0;
+  uint64_t peak = 0;
+  for (const BucketLoad& b : load) {
+    total += b.ops;
+    peak = std::max(peak, b.ops);
+  }
+  if (total == 0 || load.empty()) return 0.0;
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(load.size());
+  return static_cast<double>(peak) / mean;
+}
+
+}  // namespace lhrs::workload

@@ -1,0 +1,83 @@
+#include "workload/bulk_load.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lhrs::workload {
+
+double BulkLoadReport::RecordsPerSimSecond() const {
+  const SimTime us = elapsed_us();
+  if (us == 0) return 0.0;
+  return static_cast<double>(records) * 1e6 / static_cast<double>(us);
+}
+
+BulkLoadReport BulkLoad(LhStarFile& file,
+                        const std::vector<WireRecord>& records,
+                        const BulkLoadOptions& options) {
+  LHRS_CHECK(options.batch_size > 0);
+  LHRS_CHECK(options.sessions > 0);
+  LHRS_CHECK(options.window > 0);
+
+  BulkLoadReport report;
+  report.records = records.size();
+  report.start_us = file.network().now();
+  report.end_us = report.start_us;
+  if (records.empty()) return report;
+
+  while (file.session_count() < options.sessions) file.AddSession();
+
+  // Pre-chunk into batches; `next` advances as sessions pull work.
+  std::vector<std::vector<WireRecord>> batches;
+  for (size_t at = 0; at < records.size(); at += options.batch_size) {
+    const size_t n = std::min(options.batch_size, records.size() - at);
+    batches.emplace_back(records.begin() + static_cast<ptrdiff_t>(at),
+                         records.begin() + static_cast<ptrdiff_t>(at + n));
+  }
+  report.batches = batches.size();
+
+  size_t next = 0;
+  size_t outstanding = 0;
+  std::map<sdds::OpToken, size_t> token_session;
+
+  auto submit_on = [&](size_t session) {
+    if (next >= batches.size()) return false;
+    const sdds::OpToken token =
+        file.SubmitBatch(session, std::move(batches[next++]));
+    token_session[token] = session;
+    ++outstanding;
+    return true;
+  };
+
+  // Completion-driven refill: the listener fires inside event processing,
+  // keeping each session's window full until the batch queue drains.
+  file.SetCompletionListener([&](sdds::OpToken token) {
+    auto it = token_session.find(token);
+    if (it == token_session.end()) return;  // Not one of ours.
+    const size_t session = it->second;
+    token_session.erase(it);
+    --outstanding;
+    Result<OpOutcome> outcome = file.Take(token);
+    LHRS_CHECK(outcome.ok()) << "bulk-load take failed";
+    report.applied += outcome->batch_applied;
+    report.exists += outcome->batch_exists;
+    report.failed += outcome->batch_failed;
+    submit_on(session);
+  });
+
+  for (size_t w = 0; w < options.window; ++w) {
+    for (size_t s = 0; s < options.sessions; ++s) {
+      if (!submit_on(s)) break;
+    }
+  }
+  file.network().RunUntilIdle();
+  file.SetCompletionListener(nullptr);
+  LHRS_CHECK(outstanding == 0 && next == batches.size())
+      << "bulk load stalled with " << outstanding << " batches in flight";
+  report.end_us = file.network().now();
+  return report;
+}
+
+}  // namespace lhrs::workload

@@ -1,0 +1,48 @@
+#ifndef LHRS_WORKLOAD_BULK_LOAD_H_
+#define LHRS_WORKLOAD_BULK_LOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lhstar/lhstar_file.h"
+
+namespace lhrs::workload {
+
+struct BulkLoadOptions {
+  /// Records per InsertBatchMsg sub-batch group (one SubmitBatch call).
+  size_t batch_size = 64;
+  /// Client sessions loading in parallel; batches round-robin across them.
+  size_t sessions = 1;
+  /// Outstanding batch ops per session (open-loop window).
+  size_t window = 2;
+};
+
+struct BulkLoadReport {
+  uint64_t records = 0;
+  uint64_t batches = 0;
+  uint64_t applied = 0;
+  uint64_t exists = 0;  ///< Duplicate keys (already resident).
+  uint64_t failed = 0;
+  SimTime start_us = 0;
+  SimTime end_us = 0;
+
+  SimTime elapsed_us() const { return end_us - start_us; }
+  double RecordsPerSimSecond() const;
+};
+
+/// Loads `records` through the batched insert path: each SubmitBatch call
+/// ships `batch_size` records grouped per target bucket under the session's
+/// client image (one InsertBatchMsg per bucket), and the availability
+/// layers group-commit their parity deltas per sub-batch. Runs open-loop —
+/// up to `sessions * window` batches in flight, refilled from inside the
+/// completion path — and drains the network to idle before returning.
+///
+/// Owns the file's completion listener for the duration of the call (do
+/// not run it under a live SessionPool).
+BulkLoadReport BulkLoad(LhStarFile& file,
+                        const std::vector<WireRecord>& records,
+                        const BulkLoadOptions& options = {});
+
+}  // namespace lhrs::workload
+
+#endif  // LHRS_WORKLOAD_BULK_LOAD_H_

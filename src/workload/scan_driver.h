@@ -1,0 +1,47 @@
+#ifndef LHRS_WORKLOAD_SCAN_DRIVER_H_
+#define LHRS_WORKLOAD_SCAN_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "lhstar/lhstar_file.h"
+
+namespace lhrs::workload {
+
+struct ParallelScanOptions {
+  /// Disjoint key-range partitions, one scan op (and one session) each.
+  size_t partitions = 4;
+  /// Deterministic (every-bucket-replies) termination; false relies on
+  /// the run-to-idle time-out, matching the paper's probabilistic mode.
+  bool deterministic = true;
+  /// Inclusive overall key range; defaults to the full key space.
+  Key key_min = 0;
+  Key key_max = ~Key{0};
+};
+
+struct ParallelScanReport {
+  /// Client-side merge of all partitions, globally sorted by key.
+  std::vector<WireRecord> records;
+  size_t partitions = 0;  ///< Non-empty partitions actually launched.
+  SimTime elapsed_us = 0;
+};
+
+/// Range-partitioned parallel scan with client-side merge: splits
+/// [key_min, key_max] into `partitions` contiguous disjoint sub-ranges,
+/// launches one ranged scan per sub-range on its own session (so the P
+/// scans overlap in the network), then sorts each partition's replies and
+/// concatenates them in partition order — disjoint ascending ranges make
+/// the concatenation globally sorted without a P-way merge.
+///
+/// Works over multicast scan delivery and the unicast fallback alike
+/// (NetworkConfig::multicast_available), and stays exact while splits
+/// race the scan: the coverage-forwarding protocol guarantees each
+/// record is reported exactly once per matching sub-range.
+Result<ParallelScanReport> ParallelScan(LhStarFile& file,
+                                        const ParallelScanOptions& options =
+                                            {});
+
+}  // namespace lhrs::workload
+
+#endif  // LHRS_WORKLOAD_SCAN_DRIVER_H_

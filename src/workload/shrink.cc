@@ -1,0 +1,58 @@
+#include "workload/shrink.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lhrs::workload {
+
+ShrinkReport ShrinkByDeletion(LhStarFile& file, const std::vector<Key>& keys,
+                              const ShrinkOptions& options) {
+  LHRS_CHECK(options.delete_fraction >= 0 && options.delete_fraction <= 1);
+  LHRS_CHECK(options.resume_fraction >= 0 &&
+             options.resume_fraction <= options.delete_fraction);
+  LHRS_CHECK(options.sessions > 0 && options.window > 0);
+
+  ShrinkReport report;
+  report.buckets_before = file.bucket_count();
+  const uint64_t merges_before = file.coordinator().merges_performed();
+
+  // Seeded Fisher-Yates over a copy, then take the prefix: which keys die
+  // (and in what order) is a pure function of (keys, seed).
+  std::vector<Key> shuffled = keys;
+  Rng rng(options.seed);
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+  }
+  const size_t victims_end = static_cast<size_t>(
+      static_cast<double>(shuffled.size()) * options.delete_fraction);
+  const size_t victims_begin = static_cast<size_t>(
+      static_cast<double>(shuffled.size()) * options.resume_fraction);
+  report.deleted_keys.assign(
+      shuffled.begin() + static_cast<ptrdiff_t>(victims_begin),
+      shuffled.begin() + static_cast<ptrdiff_t>(victims_end));
+  report.deletes = victims_end - victims_begin;
+
+  size_t next = 0;
+  sdds::PipelinedRunner runner(
+      file, sdds::RunnerOptions{options.sessions, options.window, 0});
+  report.runner =
+      runner.Run([&](size_t /*session*/) -> std::optional<sdds::SddsOp> {
+        if (next >= report.deleted_keys.size()) return std::nullopt;
+        return sdds::SddsOp{OpType::kDelete, report.deleted_keys[next++], {}};
+      });
+
+  // The runner returns when the last delete completes; merge record moves
+  // and parity deltas it triggered can still be in flight. Settle before
+  // reading the post-shrink shape (invariant checks rely on this).
+  file.network().RunUntilIdle();
+
+  report.buckets_after = file.bucket_count();
+  report.merges = file.coordinator().merges_performed() - merges_before;
+  return report;
+}
+
+}  // namespace lhrs::workload

@@ -1,0 +1,50 @@
+#ifndef LHRS_WORKLOAD_SHRINK_H_
+#define LHRS_WORKLOAD_SHRINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lhstar/lhstar_file.h"
+#include "sdds/session.h"
+
+namespace lhrs::workload {
+
+struct ShrinkOptions {
+  /// Fraction of `keys` deleted (a seeded shuffle picks the victims).
+  double delete_fraction = 0.75;
+  /// Start of the victim window within the same seeded shuffle: the drive
+  /// deletes victims [resume_fraction, delete_fraction). Because the
+  /// shuffle is a pure function of (keys, seed), an interrupted drive can
+  /// resume exactly where it stopped — two drives covering [0, a) and
+  /// [a, b) delete precisely the victims of one drive covering [0, b).
+  double resume_fraction = 0.0;
+  uint64_t seed = 1;
+  /// Open-loop deletion drive: sessions x window concurrent deletes, so
+  /// merges happen under load rather than between isolated ops.
+  size_t sessions = 2;
+  size_t window = 4;
+};
+
+struct ShrinkReport {
+  BucketNo buckets_before = 0;
+  BucketNo buckets_after = 0;
+  uint64_t merges = 0;   ///< Coordinator merges during the drive.
+  uint64_t deletes = 0;  ///< Delete ops submitted.
+  sdds::RunnerReport runner;
+
+  /// Keys the drive deleted, in submission order (the test oracle removes
+  /// exactly these).
+  std::vector<Key> deleted_keys;
+};
+
+/// Shrinks a file by deleting `delete_fraction` of `keys` through the
+/// pipelined session layer. With FileConfig::enable_merge set, the load
+/// dropping below merge_load_threshold makes the coordinator merge tail
+/// buckets back into their parents while deletes are still in flight —
+/// the file-shrink scenario of paper section 4.3 under load.
+ShrinkReport ShrinkByDeletion(LhStarFile& file, const std::vector<Key>& keys,
+                              const ShrinkOptions& options = {});
+
+}  // namespace lhrs::workload
+
+#endif  // LHRS_WORKLOAD_SHRINK_H_

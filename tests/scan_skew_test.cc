@@ -1,0 +1,215 @@
+// Parallel-scan tests: exact sorted results while splits race the scan,
+// the unicast fallback leg, hot-key (Zipfian) update traffic racing the
+// scan, and partition-boundary arithmetic on narrow ranges.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lhrs/lhrs_file.h"
+#include "lhstar/lhstar_file.h"
+#include "workload/bulk_load.h"
+#include "workload/generator.h"
+#include "workload/scan_driver.h"
+
+namespace lhrs {
+namespace {
+
+using workload::BulkLoad;
+using workload::BulkLoadOptions;
+using workload::ParallelScan;
+using workload::ParallelScanOptions;
+
+std::vector<Key> MakeKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::set<Key> keys;
+  while (keys.size() < n) keys.insert(rng.Next64());
+  return {keys.begin(), keys.end()};
+}
+
+void ExpectSortedAndUnique(const std::vector<WireRecord>& records) {
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].key, records[i].key) << "at " << i;
+  }
+}
+
+TEST(ParallelScanTest, ExactWhileSplitsRaceTheScan) {
+  // 150 preloaded keys, then 150 racing inserts submitted *before* the
+  // scan's event processing starts: the splits those inserts trigger are
+  // in full flight while the four partition scans fan out. Every
+  // preloaded key must be reported exactly once regardless.
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = 8;
+  LhStarFile file(opts);
+
+  const std::vector<Key> preload = MakeKeys(150, 71);
+  Rng values(3);
+  for (Key k : preload) {
+    ASSERT_TRUE(file.Insert(k, values.RandomBytes(16)).ok());
+  }
+  const std::vector<Key> racing = MakeKeys(300, 73);  // Superset pool.
+  std::vector<sdds::OpToken> tokens;
+  std::set<Key> racing_keys;
+  for (Key k : racing) {
+    if (racing_keys.size() == 150) break;
+    if (std::find(preload.begin(), preload.end(), k) != preload.end()) {
+      continue;
+    }
+    racing_keys.insert(k);
+    tokens.push_back(
+        file.Submit(0, OpType::kInsert, k, values.RandomBytes(16)));
+  }
+
+  ParallelScanOptions scan_opts;
+  scan_opts.partitions = 4;
+  auto result = ParallelScan(file, scan_opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->partitions, 4u);
+  ExpectSortedAndUnique(result->records);
+
+  std::set<Key> reported;
+  for (const WireRecord& rec : result->records) reported.insert(rec.key);
+  EXPECT_EQ(reported.size(), result->records.size()) << "duplicate keys";
+  for (Key k : preload) {
+    EXPECT_TRUE(reported.contains(k)) << "preloaded key missing";
+  }
+  for (Key k : reported) {
+    EXPECT_TRUE(std::find(preload.begin(), preload.end(), k) !=
+                    preload.end() ||
+                racing_keys.contains(k))
+        << "phantom key reported";
+  }
+  // The racing inserts all landed too.
+  for (sdds::OpToken token : tokens) {
+    auto outcome = file.Take(token);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->status.ok());
+  }
+}
+
+TEST(ParallelScanTest, UnicastFallbackLegIsExact) {
+  // Without hardware multicast the client opens the scan with one unicast
+  // per bucket it presumes; coverage forwarding reaches the rest. Same
+  // exactness contract, same racing splits.
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = 8;
+  opts.net.multicast_available = false;
+  LhStarFile file(opts);
+
+  const std::vector<Key> preload = MakeKeys(120, 79);
+  Rng values(5);
+  for (Key k : preload) {
+    ASSERT_TRUE(file.Insert(k, values.RandomBytes(16)).ok());
+  }
+  std::vector<sdds::OpToken> tokens;
+  for (Key k : MakeKeys(60, 83)) {
+    tokens.push_back(
+        file.Submit(0, OpType::kInsert, k, values.RandomBytes(16)));
+  }
+
+  ParallelScanOptions scan_opts;
+  scan_opts.partitions = 3;
+  auto result = ParallelScan(file, scan_opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectSortedAndUnique(result->records);
+  std::set<Key> reported;
+  for (const WireRecord& rec : result->records) reported.insert(rec.key);
+  for (Key k : preload) {
+    EXPECT_TRUE(reported.contains(k)) << "preloaded key missing (unicast)";
+  }
+  for (sdds::OpToken token : tokens) {
+    auto outcome = file.Take(token);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->status.ok());
+  }
+}
+
+TEST(ParallelScanTest, ExactUnderHotKeyUpdateTraffic) {
+  // Zipfian read-modify-write traffic hammers a handful of hot keys while
+  // the partitioned scan runs. Updates never change the key set, so the
+  // scan must return exactly the preloaded keys — hot-bucket queueing and
+  // all.
+  LhrsFile::Options opts;
+  opts.file.bucket_capacity = 8;
+  opts.group_size = 4;
+  opts.policy.base_k = 1;
+  LhrsFile file(opts);
+
+  workload::GeneratorOptions gen_opts;
+  gen_opts.seed = 89;
+  gen_opts.sessions = 2;
+  gen_opts.ops_per_session = 150;
+  gen_opts.keyspace = 200;
+  gen_opts.dist = workload::GeneratorOptions::KeyDist::kZipfian;
+  gen_opts.search_fraction = 0.5;
+  gen_opts.rmw_fraction = 0.5;
+  gen_opts.insert_fraction = 0.0;  // Key set stays fixed.
+  workload::WorkloadGenerator gen(gen_opts);
+
+  std::vector<WireRecord> records;
+  Rng values(7);
+  for (Key k : gen.preload_keys()) {
+    records.push_back(WireRecord{k, 0, values.RandomBytes(16)});
+  }
+  const auto load = BulkLoad(file, records, BulkLoadOptions{});
+  ASSERT_EQ(load.applied, records.size());
+
+  // Submit the hot streams without running the loop, then scan: the scan
+  // and the skewed traffic share the network from the same instant.
+  std::vector<sdds::OpToken> tokens;
+  for (size_t s = 0; s < gen_opts.sessions; ++s) {
+    while (file.session_count() < gen_opts.sessions) file.AddSession();
+    while (auto op = gen.Next(s)) {
+      tokens.push_back(file.Submit(s, op->op, op->key, op->value));
+    }
+  }
+
+  ParallelScanOptions scan_opts;
+  scan_opts.partitions = 4;
+  auto result = ParallelScan(file, scan_opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectSortedAndUnique(result->records);
+  ASSERT_EQ(result->records.size(), gen.preload_keys().size());
+  std::set<Key> expected(gen.preload_keys().begin(),
+                         gen.preload_keys().end());
+  for (const WireRecord& rec : result->records) {
+    EXPECT_TRUE(expected.contains(rec.key));
+  }
+  for (sdds::OpToken token : tokens) {
+    auto outcome = file.Take(token);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->status.ok());
+  }
+  EXPECT_TRUE(file.VerifyParityInvariants().ok());
+}
+
+TEST(ParallelScanTest, NarrowRangePartitionsCoverInclusiveBounds) {
+  LhStarFile::Options opts;
+  opts.file.bucket_capacity = 8;
+  LhStarFile file(opts);
+
+  const std::vector<Key> keys = MakeKeys(200, 97);  // Returned sorted.
+  Rng values(9);
+  for (Key k : keys) {
+    ASSERT_TRUE(file.Insert(k, values.RandomBytes(8)).ok());
+  }
+  // Scan the middle half, bounds landing exactly on existing keys.
+  const Key lo = keys[50];
+  const Key hi = keys[149];
+  ParallelScanOptions scan_opts;
+  scan_opts.partitions = 5;
+  scan_opts.key_min = lo;
+  scan_opts.key_max = hi;
+  auto result = ParallelScan(file, scan_opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectSortedAndUnique(result->records);
+  ASSERT_EQ(result->records.size(), 100u);
+  EXPECT_EQ(result->records.front().key, lo);
+  EXPECT_EQ(result->records.back().key, hi);
+}
+
+}  // namespace
+}  // namespace lhrs

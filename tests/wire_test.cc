@@ -238,6 +238,28 @@ std::vector<std::unique_ptr<MessageBody>> SampleBodies() {
     m->k = 2;
     add(std::move(m));
   }
+  {
+    auto m = std::make_unique<InsertBatchMsg>();
+    m->op_id = 91;
+    m->seq = 3;
+    m->client = 12;
+    m->intended_bucket = 5;
+    m->attempt = 2;
+    m->records = {SampleRecord(41, "bulk-a"), SampleRecord(42, "bulk-b")};
+    add(std::move(m));
+  }
+  {
+    auto m = std::make_unique<InsertBatchReplyMsg>();
+    m->op_id = 91;
+    m->seq = 3;
+    m->bucket = 5;
+    m->level = 3;
+    m->applied = 1;
+    m->exists = 0;
+    m->bounced = false;
+    m->rejected = {SampleRecord(42, "bulk-b")};
+    add(std::move(m));
+  }
 
   // --- LH*RS parity & recovery -------------------------------------------
   {

@@ -1,0 +1,185 @@
+// Workload-generator tests: seeded determinism (same seed => byte-identical
+// per-session op streams, on the classic engine and the locality-sharded
+// parallel engine alike), the read-modify-write pairing invariant, and the
+// Zipfian empirical frequency check.
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lhstar/lhstar_file.h"
+#include "sdds/session.h"
+#include "workload/generator.h"
+
+namespace lhrs {
+namespace {
+
+using workload::DigestOp;
+using workload::GeneratorOptions;
+using workload::kFnvOffsetBasis;
+using workload::WorkloadGenerator;
+
+GeneratorOptions SmallOptions() {
+  GeneratorOptions opts;
+  opts.seed = 71;
+  opts.sessions = 3;
+  opts.ops_per_session = 200;
+  opts.keyspace = 64;
+  opts.value_bytes = 16;
+  return opts;
+}
+
+TEST(WorkloadGeneratorTest, SameSeedYieldsIdenticalStreams) {
+  WorkloadGenerator a(SmallOptions());
+  WorkloadGenerator b(SmallOptions());
+  ASSERT_EQ(a.preload_keys(), b.preload_keys());
+  for (size_t s = 0; s < SmallOptions().sessions; ++s) {
+    for (;;) {
+      auto op_a = a.Next(s);
+      auto op_b = b.Next(s);
+      ASSERT_EQ(op_a.has_value(), op_b.has_value());
+      if (!op_a.has_value()) break;
+      EXPECT_EQ(op_a->op, op_b->op);
+      EXPECT_EQ(op_a->key, op_b->key);
+      EXPECT_EQ(op_a->value, op_b->value);
+    }
+  }
+}
+
+TEST(WorkloadGeneratorTest, StreamDigestMatchesDrainedStream) {
+  const GeneratorOptions opts = SmallOptions();
+  WorkloadGenerator gen(opts);
+  for (size_t s = 0; s < opts.sessions; ++s) {
+    uint64_t h = kFnvOffsetBasis;
+    while (auto op = gen.Next(s)) h = DigestOp(h, *op);
+    EXPECT_EQ(h, WorkloadGenerator::StreamDigest(opts, s)) << "session " << s;
+  }
+}
+
+TEST(WorkloadGeneratorTest, SessionsAndSeedsAreUncorrelated) {
+  const GeneratorOptions opts = SmallOptions();
+  std::set<uint64_t> digests;
+  for (size_t s = 0; s < opts.sessions; ++s) {
+    digests.insert(WorkloadGenerator::StreamDigest(opts, s));
+  }
+  GeneratorOptions reseeded = opts;
+  reseeded.seed = opts.seed + 1;
+  digests.insert(WorkloadGenerator::StreamDigest(reseeded, 0));
+  EXPECT_EQ(digests.size(), opts.sessions + 1);
+}
+
+TEST(WorkloadGeneratorTest, RmwUpdateImmediatelyFollowsItsSearch) {
+  GeneratorOptions opts = SmallOptions();
+  opts.search_fraction = 0.2;
+  opts.rmw_fraction = 0.7;
+  opts.insert_fraction = 0.1;
+  WorkloadGenerator gen(opts);
+  size_t pairs = 0;
+  std::optional<Key> last_search;
+  while (auto op = gen.Next(0)) {
+    if (op->op == OpType::kUpdate) {
+      ASSERT_TRUE(last_search.has_value())
+          << "update without a preceding search";
+      EXPECT_EQ(op->key, *last_search);
+      ++pairs;
+    }
+    last_search = op->op == OpType::kSearch ? std::optional<Key>(op->key)
+                                            : std::nullopt;
+  }
+  EXPECT_GT(pairs, 40u);  // ~70% of 200 slots are RMW halves.
+}
+
+TEST(WorkloadGeneratorTest, ZipfianFrequenciesMatchTheory) {
+  GeneratorOptions opts;
+  opts.seed = 13;
+  opts.sessions = 1;
+  opts.ops_per_session = 60000;
+  opts.keyspace = 64;
+  opts.dist = GeneratorOptions::KeyDist::kZipfian;
+  opts.search_fraction = 1.0;
+  opts.rmw_fraction = 0.0;
+  opts.insert_fraction = 0.0;
+  WorkloadGenerator gen(opts);
+
+  std::map<Key, uint64_t> counts;
+  uint64_t total = 0;
+  while (auto op = gen.Next(0)) {
+    ++counts[op->key];
+    ++total;
+  }
+  double harmonic = 0.0;
+  for (size_t r = 0; r < opts.keyspace; ++r) {
+    harmonic += 1.0 / std::pow(static_cast<double>(r + 1), opts.zipf_theta);
+  }
+  // The five hottest ranks carry enough mass for a tight relative check.
+  for (size_t r = 0; r < 5; ++r) {
+    const double expected =
+        1.0 / std::pow(static_cast<double>(r + 1), opts.zipf_theta) /
+        harmonic;
+    const double observed =
+        static_cast<double>(counts[gen.preload_keys()[r]]) /
+        static_cast<double>(total);
+    EXPECT_NEAR(observed, expected, expected * 0.10)
+        << "rank " << r << " drifted beyond 10%";
+  }
+  // Monotone hotness across the head of the distribution.
+  EXPECT_GT(counts[gen.preload_keys()[0]], counts[gen.preload_keys()[4]]);
+}
+
+/// Runs the generator-fed open-loop runner on a file with `localities`
+/// engine workers and returns the per-session digests of the submitted op
+/// streams (observed at the OpSource boundary).
+std::vector<uint64_t> ObservedDigests(size_t localities,
+                                      const GeneratorOptions& opts) {
+  LhStarFile::Options file_opts;
+  file_opts.file.bucket_capacity = 8;
+  file_opts.net.localities = localities;
+  LhStarFile file(file_opts);
+
+  WorkloadGenerator gen(opts);
+  Rng values(5);
+  for (Key k : gen.preload_keys()) {
+    EXPECT_TRUE(file.Insert(k, values.RandomBytes(16)).ok());
+  }
+
+  std::vector<uint64_t> digests(opts.sessions, kFnvOffsetBasis);
+  sdds::PipelinedRunner runner(file,
+                               sdds::RunnerOptions{opts.sessions, 4, 0});
+  const sdds::RunnerReport report =
+      runner.Run([&](size_t session) -> std::optional<sdds::SddsOp> {
+        auto op = gen.Next(session);
+        if (op.has_value()) digests[session] = DigestOp(digests[session], *op);
+        return op;
+      });
+  EXPECT_EQ(report.completed, opts.sessions * opts.ops_per_session);
+  EXPECT_EQ(report.failures, 0u);
+  return digests;
+}
+
+TEST(WorkloadGeneratorTest, ByteIdenticalStreamsAcrossExecutionEngines) {
+  // The determinism claim end to end: the classic deterministic engine
+  // (localities = 0) and the locality-sharded parallel engine (4 workers)
+  // interleave sessions differently, yet every session submits the exact
+  // same byte stream — which also matches the pure-function reference.
+  GeneratorOptions opts;
+  opts.seed = 29;
+  opts.sessions = 2;
+  opts.ops_per_session = 120;
+  opts.keyspace = 96;
+  opts.value_bytes = 16;
+  const std::vector<uint64_t> classic = ObservedDigests(0, opts);
+  const std::vector<uint64_t> parallel = ObservedDigests(4, opts);
+  ASSERT_EQ(classic.size(), parallel.size());
+  for (size_t s = 0; s < classic.size(); ++s) {
+    EXPECT_EQ(classic[s], parallel[s]) << "session " << s;
+    EXPECT_EQ(classic[s], WorkloadGenerator::StreamDigest(opts, s))
+        << "session " << s;
+  }
+}
+
+}  // namespace
+}  // namespace lhrs

@@ -20,6 +20,14 @@ cell (the op label) instead of by position: per-ISA kernel tables
 set legitimately differs between the baseline host and the CI runner —
 rows present on only one side warn rather than fail.
 
+Exception: a "(sim)" marker in any header cell (e.g. "ops/s (sim)",
+"records/s (sim)") means the rates are derived from deterministic
+simulated time, not wall clock — zero run-to-run noise, so they gate as
+hard failures like cost tables. These tables keep positional row
+matching, and direction is decided per column: "/s" columns fail when
+the fresh value drops below baseline, every other numeric column fails
+when it rises above (messages, latencies, skew ratios are costs).
+
 Exit code: 0 clean, 1 regression, 2 usage/IO error.
 """
 
@@ -47,6 +55,11 @@ def is_throughput_table(table):
     return any("/s" in h for h in table.get("header", []))
 
 
+def is_sim_table(table):
+    """Deterministic simulated-time tables: gate hard, per-column direction."""
+    return any("(sim)" in h for h in table.get("header", []))
+
+
 def check_tables(baseline, fresh, tolerance):
     failures = []
     warnings = []
@@ -57,8 +70,10 @@ def check_tables(baseline, fresh, tolerance):
         if fresh_table is None:
             failures.append(f"table missing from fresh report: {title!r}")
             continue
-        throughput = is_throughput_table(base_table)
+        sim = is_sim_table(base_table)
+        throughput = not sim and is_throughput_table(base_table)
         tol = tolerance * 2 if throughput else tolerance
+        header = base_table.get("header", [])
         base_rows = base_table.get("rows", [])
         fresh_rows = fresh_table.get("rows", [])
         if throughput:
@@ -95,7 +110,12 @@ def check_tables(baseline, fresh, tolerance):
                 f = parse_cell(f_cell)
                 if b is None or f is None or b <= 0:
                     continue
-                if throughput:
+                if sim and col < len(header) and "/s" in header[col]:
+                    if f < b * (1 - tol):
+                        failures.append(
+                            f"{title!r} row {key} col {col}: sim throughput "
+                            f"{f:g} < baseline {b:g} (-{(1 - f / b):.0%})")
+                elif throughput:
                     if f < b * (1 - tol):
                         warnings.append(
                             f"{title!r} row {key} col {col}: throughput "
